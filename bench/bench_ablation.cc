@@ -1,0 +1,104 @@
+// Ablation study of RP-DBSCAN's design choices (beyond the paper's own
+// figures, but directly motivated by its Sections 4.2.2, 5.2 and 6.1.4):
+//
+//  (a) dictionary defragmentation + sub-dictionary skipping on/off
+//      -> Phase II time and the fraction of sub-dictionaries inspected;
+//  (b) full-edge reduction on/off -> surviving edge count after merging;
+//  (c) pseudo random partitioning vs one monolithic partition
+//      -> Phase II task balance.
+//
+// All variants must produce the identical clustering (asserted in tests);
+// this harness measures only their cost profile.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+#include "parallel/cluster_model.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+RunStats RunVariant(const Dataset& ds, double eps, bool defrag, bool skip,
+                    bool reduce, size_t partitions, bool rtree = false) {
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = kMinPts;
+  o.num_threads = kThreads;
+  o.num_partitions = partitions;
+  o.defragment_dictionary = defrag;
+  o.subdictionary_skipping = skip;
+  o.reduce_edges = reduce;
+  o.use_rtree_index = rtree;
+  auto r = RunRpDbscan(ds, o);
+  if (!r.ok()) {
+    std::fprintf(stderr, "variant failed: %s\n",
+                 r.status().ToString().c_str());
+    return RunStats();
+  }
+  return r->stats;
+}
+
+void Run() {
+  PrintHeader(
+      "Ablation: dictionary defrag+skipping, edge reduction, partitioning");
+  const BenchDataset osm = MakeOsm();
+  const double eps = osm.EpsSweep()[1];
+
+  std::printf("\n(a) dictionary defragmentation + skipping (Lemma 5.10)\n");
+  std::printf("%-28s %12s %14s\n", "variant", "phase2(s)",
+              "subdict visit%");
+  for (const bool on : {true, false}) {
+    const RunStats s = RunVariant(osm.data, eps, on, on, true, 32);
+    const double pct =
+        s.subdict_possible > 0
+            ? 100.0 * static_cast<double>(s.subdict_visited) /
+                  static_cast<double>(s.subdict_possible)
+            : 100.0;
+    std::printf("%-28s %12.3f %13.1f%%\n",
+                on ? "defrag+skip ON" : "monolithic, no skip",
+                s.phase2_seconds, pct);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(b) full-edge reduction (Sec. 6.1.4)\n");
+  std::printf("%-28s %14s %14s\n", "variant", "edges round0",
+              "edges final");
+  for (const bool on : {true, false}) {
+    const RunStats s = RunVariant(osm.data, eps, true, true, on, 32);
+    std::printf("%-28s %14zu %14zu\n",
+                on ? "reduction ON" : "reduction OFF",
+                s.edges_per_round.empty() ? 0 : s.edges_per_round.front(),
+                s.edges_per_round.empty() ? 0 : s.edges_per_round.back());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(c) candidate-cell index (Lemma 5.6)\n");
+  std::printf("%-28s %12s %12s\n", "variant", "dict(s)", "phase2(s)");
+  for (const bool rtree : {false, true}) {
+    const RunStats s = RunVariant(osm.data, eps, true, true, true, 32,
+                                  rtree);
+    std::printf("%-28s %12.3f %12.3f\n", rtree ? "R-tree" : "kd-tree",
+                s.dictionary_seconds, s.phase2_seconds);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\n(d) partition granularity (cells spread over k partitions)\n");
+  std::printf("%-28s %12s %12s\n", "variant", "total(s)", "imbalance");
+  for (const size_t parts : {1, 8, 32, 128}) {
+    const RunStats s = RunVariant(osm.data, eps, true, true, true, parts);
+    char name[32];
+    std::snprintf(name, sizeof(name), "k = %zu", parts);
+    std::printf("%-28s %12.3f %12.2f\n", name, s.total_seconds,
+                LoadImbalance(s.phase2_task_seconds));
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

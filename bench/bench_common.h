@@ -1,0 +1,95 @@
+#ifndef RPDBSCAN_BENCH_BENCH_COMMON_H_
+#define RPDBSCAN_BENCH_BENCH_COMMON_H_
+
+// Shared configuration for the figure/table reproduction harnesses.
+//
+// Every real data set of the paper (Table 3) is replaced by a scaled-down
+// synthetic analogue (see DESIGN.md for the substitution argument), and
+// minPts is scaled from the paper's 100 (used at 10^7..10^9 points) to 20
+// at our 10^4..10^5 point scale. eps10 is, as in the paper (Sec. 7.1.4),
+// a radius that produces on the order of ten clusters; each experiment
+// sweeps {1/8, 1/4, 1/2, 1} * eps10.
+//
+// The RPDBSCAN_BENCH_SCALE environment variable multiplies all data sizes
+// (default 1.0) so the suite can be run larger on beefier machines.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace bench {
+
+inline double BenchScale() {
+  const char* s = std::getenv("RPDBSCAN_BENCH_SCALE");
+  if (s == nullptr) return 1.0;
+  const double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * BenchScale());
+}
+
+/// One analogue data set: name, generator, eps10 and the sweep values.
+/// The paper sweeps {1/8, 1/4, 1/2, 1} * eps10; our scaled-down analogues
+/// have a narrower usable density range (at 1/8 * eps10 some would be
+/// all-noise), so each analogue carries an explicit four-value sweep
+/// spanning the same sparse-to-dense regimes.
+struct BenchDataset {
+  std::string name;
+  Dataset data;
+  double eps10 = 0;
+  std::vector<double> eps_sweep;
+
+  std::vector<double> EpsSweep() const { return eps_sweep; }
+};
+
+/// The paper's evaluation minPts, scaled to our data sizes.
+inline constexpr size_t kMinPts = 20;
+
+/// Worker-thread count for the parallel engines (the machine in this
+/// environment has one core; threads stand in for cluster executors and
+/// the scheduling model recovers multi-worker behaviour).
+inline constexpr size_t kThreads = 4;
+
+inline BenchDataset MakeGeoLife(size_t n = 40000) {
+  return {"GeoLife", synth::GeoLifeLike(Scaled(n), 101), 2.0,
+          {0.25, 0.5, 1.0, 2.0}};
+}
+inline BenchDataset MakeCosmo(size_t n = 40000) {
+  return {"Cosmo50", synth::CosmoLike(Scaled(n), 102), 1.6,
+          {0.8, 1.2, 1.6, 2.4}};
+}
+inline BenchDataset MakeOsm(size_t n = 40000) {
+  return {"OpenStreetMap", synth::OsmLike(Scaled(n), 103), 1.2,
+          {0.15, 0.3, 0.6, 1.2}};
+}
+inline BenchDataset MakeTera(size_t n = 10000) {
+  return {"TeraClickLog", synth::TeraLike(Scaled(n), 104), 40.0,
+          {8.0, 10.0, 20.0, 40.0}};
+}
+
+inline std::vector<BenchDataset> AllDatasets() {
+  std::vector<BenchDataset> v;
+  v.push_back(MakeGeoLife());
+  v.push_back(MakeCosmo());
+  v.push_back(MakeOsm());
+  v.push_back(MakeTera());
+  return v;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,105 @@
+// Reproduces Figure 11 / Table 6: total elapsed time of the six parallel
+// DBSCAN algorithms on the four data-set analogues as eps varies.
+//
+// Expected shape (paper, Sec. 7.2.1): RP-DBSCAN is always the fastest;
+// its time *improves* as eps grows (more compact dictionary) while the
+// region-split family gets *worse* (duplication + imbalance); the
+// non-approximate SPARK-DBSCAN and graph-based NG-DBSCAN are slowest
+// (they time out at scale in the paper; here they simply trail badly).
+
+#include <cstdio>
+
+#include "baselines/ng_dbscan.h"
+#include "baselines/region_split.h"
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+double RunRegion(const Dataset& ds, double eps,
+                 RegionPartitionStrategy strategy, bool rho_approx) {
+  RegionSplitOptions o;
+  o.params = {eps, kMinPts};
+  o.strategy = strategy;
+  o.num_splits = 8;
+  o.num_threads = kThreads;
+  o.rho_approximate = rho_approx;
+  auto r = RunRegionSplitDbscan(ds, o);
+  if (!r.ok()) {
+    std::fprintf(stderr, "region-split failed: %s\n",
+                 r.status().ToString().c_str());
+    return -1;
+  }
+  return r->total_seconds;
+}
+
+double RunRp(const Dataset& ds, double eps) {
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = kMinPts;
+  o.num_threads = kThreads;
+  o.num_partitions = 32;
+  auto r = RunRpDbscan(ds, o);
+  if (!r.ok()) {
+    std::fprintf(stderr, "rp-dbscan failed: %s\n",
+                 r.status().ToString().c_str());
+    return -1;
+  }
+  return r->stats.total_seconds;
+}
+
+double RunNg(const Dataset& ds, double eps) {
+  NgDbscanOptions o;
+  o.params = {eps, kMinPts};
+  o.max_iterations = 15;
+  auto r = RunNgDbscan(ds, o);
+  if (!r.ok()) return -1;
+  return r->total_seconds;
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 11 / Table 6: total elapsed time (seconds) vs eps\n"
+      "columns: SPARK-DBSCAN, NG-DBSCAN, ESP, RBP, CBP, RP-DBSCAN\n"
+      "(NG-DBSCAN only on the GeoLife analogue, as in Fig. 11a;\n"
+      " paper shape: RP always fastest, improving with eps)");
+  std::printf("%-14s %8s %10s %10s %8s %8s %8s %10s\n", "dataset", "eps",
+              "SPARK", "NG", "ESP", "RBP", "CBP", "RP");
+  for (const BenchDataset& bd : AllDatasets()) {
+    for (const double eps : bd.EpsSweep()) {
+      const double esp = RunRegion(bd.data, eps,
+                                   RegionPartitionStrategy::kEvenSplit,
+                                   /*rho_approx=*/true);
+      const double rbp =
+          RunRegion(bd.data, eps, RegionPartitionStrategy::kReducedBoundary,
+                    /*rho_approx=*/true);
+      const double cbp = RunRegion(bd.data, eps,
+                                   RegionPartitionStrategy::kCostBased,
+                                   /*rho_approx=*/true);
+      const double spark = RunRegion(bd.data, eps,
+                                     RegionPartitionStrategy::kCostBased,
+                                     /*rho_approx=*/false);
+      const double ng =
+          bd.name == "GeoLife" ? RunNg(bd.data, eps) : -1.0;
+      const double rp = RunRp(bd.data, eps);
+      char ng_buf[32];
+      if (ng < 0) {
+        std::snprintf(ng_buf, sizeof(ng_buf), "%10s", "N/A");
+      } else {
+        std::snprintf(ng_buf, sizeof(ng_buf), "%10.3f", ng);
+      }
+      std::printf("%-14s %8.3f %10.3f %s %8.3f %8.3f %8.3f %10.3f\n",
+                  bd.name.c_str(), eps, spark, ng_buf, esp, rbp, cbp, rp);
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

@@ -1,0 +1,51 @@
+// Reproduces Figure 12: breakdown of the RP-DBSCAN elapsed time into its
+// phases (I-1 partitioning, I-2 dictionary, II cell graph, III-1 merging,
+// III-2 labeling) on each data-set analogue at eps10.
+//
+// Expected shape (paper): Phase II dominates (31-68%) and its share grows
+// with data size; Phases I and III stay small.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 12: breakdown of RP-DBSCAN elapsed time by phase\n"
+      "(paper shape: Phase II largest, pre/post-processing cheap)");
+  std::printf("%-14s %8s %8s %8s %8s %8s %8s\n", "dataset", "I-1", "I-2",
+              "II", "III-1", "III-2", "total(s)");
+  for (const BenchDataset& bd : AllDatasets()) {
+    RpDbscanOptions o;
+    o.eps = bd.eps10;
+    o.min_pts = kMinPts;
+    o.num_threads = kThreads;
+    o.num_partitions = 32;
+    auto r = RunRpDbscan(bd.data, o);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    const RunStats& s = r->stats;
+    const double sum = s.partition_seconds + s.dictionary_seconds +
+                       s.phase2_seconds + s.merge_seconds +
+                       s.label_seconds;
+    std::printf("%-14s %8.2f %8.2f %8.2f %8.2f %8.2f %8.3f\n",
+                bd.name.c_str(), s.partition_seconds / sum,
+                s.dictionary_seconds / sum, s.phase2_seconds / sum,
+                s.merge_seconds / sum, s.label_seconds / sum,
+                s.total_seconds);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

@@ -1,0 +1,59 @@
+// Reproduces Figure 14: total number of points processed across all
+// splits (data duplication) for the region-split family vs RP-DBSCAN.
+//
+// Expected shape (paper, Sec. 7.3.2): RP-DBSCAN always processes exactly
+// |D| points (pseudo random partitioning duplicates nothing); region-split
+// algorithms process strictly more because of overlap halos, with RBP the
+// least wasteful of the three.
+
+#include <cstdio>
+
+#include "baselines/region_split.h"
+#include "bench_common.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+size_t RegionProcessed(const Dataset& ds, double eps,
+                       RegionPartitionStrategy strategy) {
+  RegionSplitOptions o;
+  o.params = {eps, kMinPts};
+  o.strategy = strategy;
+  o.num_splits = 8;
+  o.num_threads = kThreads;
+  auto r = RunRegionSplitDbscan(ds, o);
+  if (!r.ok()) return 0;
+  return r->points_processed;
+}
+
+void Run() {
+  PrintHeader(
+      "Figure 14: total points processed across splits (duplication)\n"
+      "(paper shape: RP == |D| exactly; region-split > |D|, RBP lowest\n"
+      " of the three region strategies)");
+  std::printf("%-14s %8s %10s %10s %10s %10s %10s\n", "dataset", "eps",
+              "|D|", "ESP", "RBP", "CBP", "RP");
+  for (const BenchDataset& bd : AllDatasets()) {
+    for (const double eps : bd.EpsSweep()) {
+      const size_t esp = RegionProcessed(
+          bd.data, eps, RegionPartitionStrategy::kEvenSplit);
+      const size_t rbp = RegionProcessed(
+          bd.data, eps, RegionPartitionStrategy::kReducedBoundary);
+      const size_t cbp = RegionProcessed(
+          bd.data, eps, RegionPartitionStrategy::kCostBased);
+      // Pseudo random partitioning assigns each cell (hence each point) to
+      // exactly one partition: processed == |D| by construction.
+      const size_t rp = bd.data.size();
+      std::printf("%-14s %8.3f %10zu %10zu %10zu %10zu %10zu\n",
+                  bd.name.c_str(), eps, bd.data.size(), esp, rbp, cbp, rp);
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

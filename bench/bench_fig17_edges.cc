@@ -1,0 +1,53 @@
+// Reproduces Figure 17 / Table 7: number of cell-graph edges remaining
+// after each round of the progressive (tournament) merge, on every
+// data-set analogue at two eps values.
+//
+// Expected shape (paper, Sec. 7.6.2): a steep drop in the first rounds —
+// edge-type detection turns cross-partition edges into full edges and the
+// spanning forest discards the redundant ones — so the final single-node
+// merge handles only a small fraction of the initial edges.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figure 17 / Table 7: edges remaining after each merge round\n"
+      "(paper shape: steep monotone decrease round over round)\n"
+      "40 partitions -> a 6-round tournament + round 0 baseline");
+  for (const BenchDataset& bd : AllDatasets()) {
+    const auto sweep = bd.EpsSweep();
+    for (const double eps : {sweep[1], sweep[2]}) {
+      RpDbscanOptions o;
+      o.eps = eps;
+      o.min_pts = kMinPts;
+      o.num_threads = kThreads;
+      // The paper's TeraClickLog runs use 40 splits on 40 cores.
+      o.num_partitions = 40;
+      auto r = RunRpDbscan(bd.data, o);
+      if (!r.ok()) {
+        std::fprintf(stderr, "failed: %s\n",
+                     r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-14s eps=%-8.3f rounds:", bd.name.c_str(), eps);
+      for (const size_t e : r->stats.edges_per_round) {
+        std::printf(" %zu", e);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

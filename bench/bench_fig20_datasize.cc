@@ -1,0 +1,64 @@
+// Reproduces Appendix B.3 (Figures 20-21): scalability of RP-DBSCAN to
+// the data size, and the phase breakdown at each size. The paper grows a
+// 5-d alpha=8 Gaussian mixture from 5 GB to 80 GB (16x); we grow the
+// point count 16x at our scale.
+//
+// Expected shapes (paper): near-linear total time (15.2x over a 16x size
+// increase); Phase II's share grows toward ~80% with size.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader(
+      "Figures 20-21: scalability to data size + phase breakdown\n"
+      "(paper shapes: near-linear elapsed time; Phase II share grows)");
+  std::printf("%-10s %10s %8s | %6s %6s %6s %6s %6s\n", "points",
+              "elapsed(s)", "vs base", "I-1", "I-2", "II", "III-1",
+              "III-2");
+  const size_t base_n = Scaled(10000);
+  double base_time = 0;
+  for (const size_t mult : {1, 2, 4, 8, 16}) {
+    synth::GaussianMixtureOptions g;
+    g.num_points = base_n * mult;
+    g.dim = 5;
+    g.num_components = 10;
+    g.skewness_alpha = 8.0;  // the paper's B.3 configuration
+    g.seed = 401;
+    const Dataset ds = GaussianMixture(g);
+    RpDbscanOptions o;
+    o.eps = 5.0;
+    o.min_pts = kMinPts;
+    o.num_threads = kThreads;
+    o.num_partitions = 32;
+    auto r = RunRpDbscan(ds, o);
+    if (!r.ok()) {
+      std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    const RunStats& s = r->stats;
+    if (mult == 1) base_time = s.total_seconds;
+    const double sum = s.partition_seconds + s.dictionary_seconds +
+                       s.phase2_seconds + s.merge_seconds +
+                       s.label_seconds;
+    std::printf("%-10zu %10.3f %7.1fx | %6.2f %6.2f %6.2f %6.2f %6.2f\n",
+                ds.size(), s.total_seconds,
+                base_time > 0 ? s.total_seconds / base_time : 0.0,
+                s.partition_seconds / sum, s.dictionary_seconds / sum,
+                s.phase2_seconds / sum, s.merge_seconds / sum,
+                s.label_seconds / sum);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

@@ -1,0 +1,115 @@
+// Google-benchmark micro-benchmarks for the library's hot paths: cell
+// binning, dictionary construction, the (eps,rho)-region query, kd-tree
+// radius search, and union-find. These are the per-operation costs behind
+// the figure-level harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "graph/disjoint_set.h"
+#include "spatial/kdtree.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+const Dataset& BenchData() {
+  static const Dataset* ds = new Dataset(synth::OsmLike(50000, 901));
+  return *ds;
+}
+
+void BM_CellOf(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  auto geom = GridGeometry::Create(2, 0.5, 0.01);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom->CellOf(ds.point(i)));
+    i = (i + 1) % ds.size();
+  }
+}
+BENCHMARK(BM_CellOf);
+
+void BM_SubcellOf(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  auto geom = GridGeometry::Create(2, 0.5, 0.01);
+  const CellCoord c = geom->CellOf(ds.point(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom->SubcellOf(ds.point(0), c));
+  }
+}
+BENCHMARK(BM_SubcellOf);
+
+void BM_CellSetBuild(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  auto geom = GridGeometry::Create(2, 0.5, 0.01);
+  for (auto _ : state) {
+    auto cells = CellSet::Build(ds, *geom, 16, 7);
+    benchmark::DoNotOptimize(cells);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+}
+BENCHMARK(BM_CellSetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_DictionaryBuild(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  auto geom = GridGeometry::Create(2, 0.5, 0.01);
+  auto cells = CellSet::Build(ds, *geom, 16, 7);
+  for (auto _ : state) {
+    auto dict = CellDictionary::Build(ds, *cells);
+    benchmark::DoNotOptimize(dict);
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+}
+BENCHMARK(BM_DictionaryBuild)->Unit(benchmark::kMillisecond);
+
+void BM_RegionQuery(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  auto geom = GridGeometry::Create(2, 0.5, 0.01);
+  auto cells = CellSet::Build(ds, *geom, 16, 7);
+  auto dict = CellDictionary::Build(ds, *cells);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict->QueryCount(ds.point(i)));
+    i = (i + 997) % ds.size();
+  }
+}
+BENCHMARK(BM_RegionQuery);
+
+void BM_KdTreeRadius(benchmark::State& state) {
+  const Dataset& ds = BenchData();
+  KdTree tree;
+  tree.Build(ds.flat().data(), ds.size(), ds.dim());
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t count = 0;
+    tree.ForEachInRadius(ds.point(i), 0.5,
+                         [&count](uint32_t, double) { ++count; });
+    benchmark::DoNotOptimize(count);
+    i = (i + 997) % ds.size();
+  }
+}
+BENCHMARK(BM_KdTreeRadius);
+
+void BM_DisjointSetUnionFind(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    DisjointSet dsu(100000);
+    state.ResumeTiming();
+    for (int i = 0; i < 100000; ++i) {
+      dsu.Union(static_cast<uint32_t>(rng.Uniform(100000)),
+                static_cast<uint32_t>(rng.Uniform(100000)));
+    }
+    benchmark::DoNotOptimize(dsu.num_components());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_DisjointSetUnionFind)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rpdbscan
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// Reproduces Table 4 (and the quantitative half of Figure 16): Rand index
+// between RP-DBSCAN and the original DBSCAN algorithm on the Moons, Blobs
+// and Chameleon synthetic sets for rho in {0.10, 0.05, 0.01}.
+//
+// Expected shape (paper, Sec. 7.5): >= 0.98 everywhere; 1.00 (identical
+// clustering) at rho = 0.01, which is why 0.01 is the default.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/exact_dbscan.h"
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+#include "metrics/rand_index.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+struct AccuracySet {
+  const char* name;
+  Dataset data;
+  double eps;
+  size_t min_pts;
+};
+
+void Run() {
+  PrintHeader(
+      "Table 4: Rand index of RP-DBSCAN vs original DBSCAN\n"
+      "(paper shape: >=0.98 at rho=0.10, 1.00 at rho=0.01)");
+  // The paper's accuracy sets have 100,000 points each (Sec. 7.1.3).
+  std::vector<AccuracySet> sets;
+  sets.push_back(
+      {"Moons", synth::Moons(Scaled(100000), 0.05, 201), 0.06, 50});
+  sets.push_back(
+      {"Blobs", synth::Blobs(Scaled(100000), 10, 1.5, 202), 0.8, 50});
+  sets.push_back(
+      {"Chameleon", synth::ChameleonLike(Scaled(100000), 203), 0.8, 50});
+
+  std::printf("%-12s %10s %10s %10s\n", "dataset", "rho=0.10", "rho=0.05",
+              "rho=0.01");
+  for (const AccuracySet& s : sets) {
+    auto exact = RunExactDbscan(s.data, {s.eps, s.min_pts});
+    if (!exact.ok()) {
+      std::fprintf(stderr, "exact failed on %s\n", s.name);
+      continue;
+    }
+    std::printf("%-12s", s.name);
+    for (const double rho : {0.10, 0.05, 0.01}) {
+      RpDbscanOptions o;
+      o.eps = s.eps;
+      o.min_pts = s.min_pts;
+      o.rho = rho;
+      o.num_threads = kThreads;
+      o.num_partitions = 16;
+      auto rp = RunRpDbscan(s.data, o);
+      if (!rp.ok()) {
+        std::printf(" %10s", "FAIL");
+        continue;
+      }
+      auto ri = RandIndex(rp->labels, exact->labels);
+      std::printf(" %10.4f", ri.ok() ? *ri : -1.0);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main() { rpdbscan::bench::Run(); }

@@ -1,0 +1,74 @@
+// Scenario: GPS hot-spot detection on heavily skewed location data — the
+// workload the paper's introduction motivates with the GeoLife data set
+// (most users in one metropolis, the rest spread over 30+ cities).
+//
+//   $ ./geolife_hotspots [num_points]
+//
+// Shows why the random-split strategy matters: the same clustering run is
+// executed with RP-DBSCAN's pseudo random partitioning and with the
+// classic even region split, and the per-split load imbalance of both is
+// printed side by side.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/region_split.h"
+#include "core/rp_dbscan.h"
+#include "metrics/cluster_stats.h"
+#include "parallel/cluster_model.h"
+#include "synth/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace rpdbscan;
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoll(argv[1]))
+                            : 60000;
+  std::printf("Generating %zu skewed GPS-like points (GeoLife analogue)\n",
+              n);
+  const Dataset data = synth::GeoLifeLike(n, /*seed=*/7);
+
+  const double eps = 1.0;
+  const size_t min_pts = 20;
+
+  // --- RP-DBSCAN: random split over cells. ---
+  RpDbscanOptions rp_opts;
+  rp_opts.eps = eps;
+  rp_opts.min_pts = min_pts;
+  rp_opts.num_threads = 4;
+  rp_opts.num_partitions = 8;
+  auto rp = RunRpDbscan(data, rp_opts);
+  if (!rp.ok()) {
+    std::fprintf(stderr, "RP-DBSCAN failed: %s\n",
+                 rp.status().ToString().c_str());
+    return 1;
+  }
+  const ClusterSummary hotspots = Summarize(rp->labels);
+  std::printf("\nHot spots found: %s\n", hotspots.ToString().c_str());
+  std::printf("RP-DBSCAN total: %.3f s, load imbalance %.2f\n",
+              rp->stats.total_seconds,
+              LoadImbalance(rp->stats.phase2_task_seconds));
+
+  // --- Region split on the same data: the imbalance the paper fixes. ---
+  RegionSplitOptions region_opts;
+  region_opts.params = {eps, min_pts};
+  region_opts.strategy = RegionPartitionStrategy::kEvenSplit;
+  region_opts.num_splits = 8;
+  region_opts.num_threads = 4;
+  auto region = RunRegionSplitDbscan(data, region_opts);
+  if (!region.ok()) {
+    std::fprintf(stderr, "region split failed: %s\n",
+                 region.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Even region split: %.3f s, load imbalance %.2f, "
+      "%zu points processed for %zu inputs (%.2fx duplication)\n",
+      region->total_seconds, LoadImbalance(region->task_seconds),
+      region->points_processed, data.size(),
+      static_cast<double>(region->points_processed) /
+          static_cast<double>(data.size()));
+
+  std::printf(
+      "\nOn skewed data the dense metropolis lands in one region split,\n"
+      "dragging its worker; RP-DBSCAN's cells spread it evenly.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "baselines/exact_dbscan.h"
+
+#include <deque>
+
+#include "spatial/kdtree.h"
+
+namespace rpdbscan {
+namespace {
+
+// Internal sentinel: point not yet visited. Distinct from kNoise because a
+// noise-marked point may later be adopted as a border point.
+constexpr int64_t kUnvisited = -2;
+
+}  // namespace
+
+StatusOr<ExactDbscanResult> RunExactDbscan(const Dataset& data,
+                                           const DbscanParams& params,
+                                           bool use_index) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(params.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+
+  KdTree tree;
+  if (use_index) {
+    tree.Build(data.flat().data(), data.size(), data.dim());
+  }
+  const double eps2 = params.eps * params.eps;
+  auto region_query = [&](size_t i) {
+    if (use_index) return tree.RadiusSearch(data.point(i), params.eps);
+    std::vector<uint32_t> out;
+    const float* q = data.point(i);
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (DistanceSquared(q, data.point(j), data.dim()) <= eps2) {
+        out.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    return out;
+  };
+
+  ExactDbscanResult result;
+  result.labels.assign(data.size(), kUnvisited);
+  result.point_is_core.assign(data.size(), 0);
+  Labels& labels = result.labels;
+
+  int64_t cluster = 0;
+  std::vector<uint32_t> neighbors;
+  std::deque<uint32_t> frontier;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (labels[i] != kUnvisited) continue;
+    neighbors = region_query(i);
+    if (neighbors.size() < params.min_pts) {
+      labels[i] = kNoise;
+      continue;
+    }
+    // i starts a new cluster; expand it breadth-first (Defs. 2.2-2.4).
+    result.point_is_core[i] = 1;
+    labels[i] = cluster;
+    frontier.assign(neighbors.begin(), neighbors.end());
+    while (!frontier.empty()) {
+      const uint32_t q = frontier.front();
+      frontier.pop_front();
+      if (labels[q] == kNoise) {
+        labels[q] = cluster;  // border point adopted by the cluster
+        continue;
+      }
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cluster;
+      neighbors = region_query(q);
+      if (neighbors.size() >= params.min_pts) {
+        result.point_is_core[q] = 1;
+        frontier.insert(frontier.end(), neighbors.begin(), neighbors.end());
+      }
+    }
+    ++cluster;
+  }
+  return result;
+}
+
+}  // namespace rpdbscan

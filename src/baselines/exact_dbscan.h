@@ -1,0 +1,45 @@
+#ifndef RPDBSCAN_BASELINES_EXACT_DBSCAN_H_
+#define RPDBSCAN_BASELINES_EXACT_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// The two classic DBSCAN parameters (Sec. 2.1).
+struct DbscanParams {
+  /// Neighborhood radius.
+  double eps = 0.0;
+  /// Minimum neighborhood size (|N_eps(p)| >= min_pts makes p core; the
+  /// neighborhood includes p itself).
+  size_t min_pts = 0;
+};
+
+/// Output of the exact algorithm: labels plus per-point core flags (the
+/// region-split merge logic needs the flags).
+struct ExactDbscanResult {
+  Labels labels;
+  std::vector<uint8_t> point_is_core;
+};
+
+/// Original DBSCAN [Ester et al., 1996] — the ground truth for the
+/// accuracy study (Table 4) and the local clusterer of the
+/// non-approximate SPARK-DBSCAN baseline.
+///
+/// `use_index` selects kd-tree region queries (default; models the
+/// R-package reference run) or unindexed linear-scan region queries
+/// (models the open-source spark_dbscan implementation the paper
+/// benchmarks as SPARK-DBSCAN, which performs no spatial indexing — the
+/// reason it cannot finish at scale, Sec. 7.2.1).
+///
+/// Single-threaded by design.
+StatusOr<ExactDbscanResult> RunExactDbscan(const Dataset& data,
+                                           const DbscanParams& params,
+                                           bool use_index = true);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BASELINES_EXACT_DBSCAN_H_

@@ -1,0 +1,145 @@
+#include "baselines/grid_dbscan.h"
+
+#include <vector>
+
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "graph/disjoint_set.h"
+#include "spatial/kdtree.h"
+
+namespace rpdbscan {
+
+StatusOr<ExactDbscanResult> RunGridDbscan(const Dataset& data,
+                                          const DbscanParams& params) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(params.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  // rho = 1: cells only, no sub-cell machinery.
+  auto geom_or = GridGeometry::Create(data.dim(), params.eps, 1.0);
+  if (!geom_or.ok()) return geom_or.status();
+  const GridGeometry& geom = *geom_or;
+  auto cells_or = CellSet::Build(data, geom, /*num_partitions=*/1, 1);
+  if (!cells_or.ok()) return cells_or.status();
+  const CellSet& cells = *cells_or;
+  const size_t num_cells = cells.num_cells();
+  const double eps = params.eps;
+  const double eps2 = eps * eps;
+
+  // Index cell centers for candidate lookup. Any cell holding a point
+  // within eps of a point of cell c has its center within
+  // eps + 2 * (diag/2) = 2 eps of c's center (this covers both per-point
+  // neighbor counting, which only needs 1.5 eps, and the core-cell
+  // connectivity test, which needs the full 2 eps).
+  std::vector<float> centers(num_cells * data.dim());
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    geom.CellCenter(cells.cell(c).coord, centers.data() + c * data.dim());
+  }
+  KdTree center_tree;
+  center_tree.Build(centers.data(), num_cells, data.dim());
+
+  ExactDbscanResult result;
+  result.labels.assign(data.size(), kNoise);
+  result.point_is_core.assign(data.size(), 0);
+
+  // ---- Core marking (Gunawan's shortcut + exact counting). ----
+  std::vector<uint8_t> cell_is_core(num_cells, 0);
+  std::vector<std::vector<uint32_t>> candidates(num_cells);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    candidates[c] = center_tree.RadiusSearch(
+        centers.data() + c * data.dim(), 2.0 * eps);
+  }
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    const CellData& cell = cells.cell(c);
+    if (cell.point_ids.size() >= params.min_pts) {
+      // Dense cell: every point sees the whole cell within eps.
+      for (const uint32_t pid : cell.point_ids) {
+        result.point_is_core[pid] = 1;
+      }
+      cell_is_core[c] = 1;
+      continue;
+    }
+    for (const uint32_t pid : cell.point_ids) {
+      const float* p = data.point(pid);
+      size_t count = 0;
+      for (const uint32_t nc : candidates[c]) {
+        for (const uint32_t qid : cells.cell(nc).point_ids) {
+          if (DistanceSquared(p, data.point(qid), data.dim()) <= eps2) {
+            ++count;
+            if (count >= params.min_pts) break;
+          }
+        }
+        if (count >= params.min_pts) break;
+      }
+      if (count >= params.min_pts) {
+        result.point_is_core[pid] = 1;
+        cell_is_core[c] = 1;
+      }
+    }
+  }
+
+  // ---- Core-cell connectivity (bichromatic pair test of [15]). ----
+  DisjointSet dsu(num_cells);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_is_core[c] == 0) continue;
+    for (const uint32_t nc : candidates[c]) {
+      if (nc <= c || cell_is_core[nc] == 0) continue;
+      if (dsu.Find(c) == dsu.Find(nc)) continue;
+      bool connected = false;
+      for (const uint32_t pid : cells.cell(c).point_ids) {
+        if (result.point_is_core[pid] == 0) continue;
+        const float* p = data.point(pid);
+        for (const uint32_t qid : cells.cell(nc).point_ids) {
+          if (result.point_is_core[qid] == 0) continue;
+          if (DistanceSquared(p, data.point(qid), data.dim()) <= eps2) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+      if (connected) dsu.Union(c, nc);
+    }
+  }
+
+  // ---- Labeling. ----
+  std::vector<int64_t> root_cluster(num_cells, -1);
+  int64_t next_cluster = 0;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_is_core[c] == 0) continue;
+    const uint32_t root = dsu.Find(c);
+    if (root_cluster[root] < 0) root_cluster[root] = next_cluster++;
+    // All points of a core cell share its cluster (each is within eps of
+    // the cell's core point).
+    for (const uint32_t pid : cells.cell(c).point_ids) {
+      result.labels[pid] = root_cluster[root];
+    }
+  }
+  // Border points in non-core cells.
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (cell_is_core[c] != 0) continue;
+    for (const uint32_t pid : cells.cell(c).point_ids) {
+      const float* p = data.point(pid);
+      for (const uint32_t nc : candidates[c]) {
+        if (cell_is_core[nc] == 0) continue;
+        bool attached = false;
+        for (const uint32_t qid : cells.cell(nc).point_ids) {
+          if (result.point_is_core[qid] == 0) continue;
+          if (DistanceSquared(p, data.point(qid), data.dim()) <= eps2) {
+            result.labels[pid] =
+                root_cluster[dsu.Find(nc)];
+            attached = true;
+            break;
+          }
+        }
+        if (attached) break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,33 @@
+#ifndef RPDBSCAN_BASELINES_GRID_DBSCAN_H_
+#define RPDBSCAN_BASELINES_GRID_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/exact_dbscan.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Exact grid-based DBSCAN in the style of Gunawan [15] / Gan & Tao [11]
+/// — the single-machine cell algorithms the paper builds on (Sec. 2.1,
+/// Def. 3.1 cites both). Uses the same diagonal-eps cell grid as
+/// RP-DBSCAN but performs *exact* point-to-point distance tests instead
+/// of sub-cell approximation:
+///
+///  * a cell with >= minPts points makes all its points core for free
+///    (any two points in a cell are within eps of each other);
+///  * otherwise each point counts exact neighbors across candidate cells;
+///  * core cells are connected when some core-core pair across them is
+///    within eps (the bichromatic-closest-pair step of [15]);
+///  * border points attach to the first core point within eps.
+///
+/// Produces clustering identical to the original DBSCAN up to the usual
+/// border-point tie-breaking. Single-threaded reference implementation.
+StatusOr<ExactDbscanResult> RunGridDbscan(const Dataset& data,
+                                          const DbscanParams& params);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BASELINES_GRID_DBSCAN_H_

@@ -1,0 +1,30 @@
+#ifndef RPDBSCAN_BASELINES_LOCAL_DBSCAN_H_
+#define RPDBSCAN_BASELINES_LOCAL_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/exact_dbscan.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Labels + core flags of one local (per-split) clustering run.
+struct LocalClusteringResult {
+  Labels labels;
+  std::vector<uint8_t> point_is_core;
+};
+
+/// rho-approximate DBSCAN [Gan & Tao, 2015] on one in-memory split,
+/// implemented over this repository's cell grid / cell dictionary
+/// machinery (single partition, single thread). This is the local
+/// clusterer the paper retrofits into ESP-, RBP- and CBP-DBSCAN for fair
+/// comparison (Sec. 7.1.2: "we implemented rho-approximate DBSCAN in
+/// ESP-DBSCAN, RBP-DBSCAN, and CBP-DBSCAN").
+StatusOr<LocalClusteringResult> RunApproxLocalDbscan(
+    const Dataset& data, const DbscanParams& params, double rho);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BASELINES_LOCAL_DBSCAN_H_

@@ -1,0 +1,136 @@
+#include "baselines/naive_random_split.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/disjoint_set.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "util/random.h"
+#include "util/reservoir.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+
+StatusOr<NaiveRandomSplitResult> RunNaiveRandomSplitDbscan(
+    const Dataset& data, const NaiveRandomSplitOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(options.params.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (options.params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (options.num_splits == 0) {
+    return Status::InvalidArgument("num_splits must be >= 1");
+  }
+
+  NaiveRandomSplitResult result;
+  Stopwatch total;
+  Rng rng(options.seed);
+  const size_t k = options.num_splits;
+
+  // Random split of *points* (Fig. 1b) — disjoint, near-equal subsets.
+  const std::vector<std::vector<uint32_t>> splits =
+      RandomDisjointSplit(data.size(), k, rng);
+
+  DbscanParams local = options.params;
+  if (options.scale_min_pts) {
+    local.min_pts = std::max<size_t>(1, options.params.min_pts / k);
+  }
+
+  // Local clustering per split (shared-nothing: each split sees only its
+  // own 1/k sample, which is exactly why density estimates are off).
+  size_t num_threads = options.num_threads == 0 ? 4 : options.num_threads;
+  ThreadPool pool(num_threads);
+  std::vector<ExactDbscanResult> locals(splits.size());
+  std::vector<Status> statuses(splits.size());
+  ParallelFor(
+      pool, splits.size(),
+      [&](size_t s) {
+        Dataset sub(data.dim());
+        sub.Reserve(splits[s].size());
+        for (const uint32_t id : splits[s]) sub.Append(data.point(id));
+        if (sub.empty()) return;
+        auto r = RunExactDbscan(sub, local);
+        if (r.ok()) {
+          locals[s] = std::move(*r);
+        } else {
+          statuses[s] = r.status();
+        }
+      },
+      /*chunk=*/1);
+  for (const Status& st : statuses) {
+    RPDBSCAN_RETURN_IF_ERROR(st);
+  }
+
+  // Merge heuristic: sample representatives per local cluster; merge two
+  // clusters when any representative pair is within eps. Approximate by
+  // construction (the paper: "the merging process is also approximate").
+  std::vector<size_t> slot_offset(splits.size() + 1, 0);
+  for (size_t s = 0; s < splits.size(); ++s) {
+    int64_t max_label = -1;
+    for (const int64_t l : locals[s].labels) {
+      max_label = std::max(max_label, l);
+    }
+    slot_offset[s + 1] = slot_offset[s] + static_cast<size_t>(max_label + 1);
+  }
+  DisjointSet dsu(slot_offset.back());
+
+  struct Representative {
+    uint32_t point_id;  // global
+    uint32_t slot;
+  };
+  std::vector<Representative> reps;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    // Collect members per local cluster, then reservoir-sample each.
+    std::unordered_map<int64_t, std::vector<uint32_t>> members;
+    for (size_t i = 0; i < splits[s].size(); ++i) {
+      const int64_t l = locals[s].labels[i];
+      if (l != kNoise) members[l].push_back(splits[s][i]);
+    }
+    for (auto& [label, ids] : members) {
+      const uint32_t slot =
+          static_cast<uint32_t>(slot_offset[s] + static_cast<size_t>(label));
+      std::vector<uint32_t> picks =
+          ReservoirSample(ids.size(), options.representatives_per_cluster,
+                          rng);
+      for (const uint32_t idx : picks) {
+        reps.push_back(Representative{ids[idx], slot});
+      }
+    }
+  }
+  const double eps2 = options.params.eps * options.params.eps;
+  for (size_t i = 0; i < reps.size(); ++i) {
+    for (size_t j = i + 1; j < reps.size(); ++j) {
+      if (dsu.Find(reps[i].slot) == dsu.Find(reps[j].slot)) continue;
+      if (DistanceSquared(data.point(reps[i].point_id),
+                          data.point(reps[j].point_id),
+                          data.dim()) <= eps2) {
+        dsu.Union(reps[i].slot, reps[j].slot);
+      }
+    }
+  }
+
+  // Final labels through the merged slots.
+  result.labels.assign(data.size(), kNoise);
+  std::unordered_map<uint32_t, int64_t> dense;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    for (size_t i = 0; i < splits[s].size(); ++i) {
+      const int64_t l = locals[s].labels[i];
+      if (l == kNoise) continue;
+      const uint32_t slot =
+          static_cast<uint32_t>(slot_offset[s] + static_cast<size_t>(l));
+      const auto it =
+          dense.emplace(dsu.Find(slot), static_cast<int64_t>(dense.size()))
+              .first;
+      result.labels[splits[s][i]] = it->second;
+    }
+  }
+  result.num_clusters = dense.size();
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpdbscan

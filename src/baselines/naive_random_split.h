@@ -1,0 +1,47 @@
+#ifndef RPDBSCAN_BASELINES_NAIVE_RANDOM_SPLIT_H_
+#define RPDBSCAN_BASELINES_NAIVE_RANDOM_SPLIT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "baselines/exact_dbscan.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Options for the naive random-split family (SDBC / S-DBSCAN /
+/// SP-DBSCAN / Cludoop, Sec. 2.2.1): points — not cells — are split into
+/// disjoint random subsets, each clustered independently, and local
+/// clusters are merged heuristically through per-cluster representatives.
+struct NaiveRandomSplitOptions {
+  DbscanParams params;
+  size_t num_splits = 8;
+  /// Representatives sampled per local cluster for the merge heuristic.
+  size_t representatives_per_cluster = 32;
+  /// Scale min_pts by 1/num_splits for the diluted local densities (the
+  /// charitable variant; without it nearly everything becomes noise).
+  bool scale_min_pts = true;
+  size_t num_threads = 0;
+  uint64_t seed = 17;
+};
+
+struct NaiveRandomSplitResult {
+  Labels labels;
+  size_t num_clusters = 0;
+  double total_seconds = 0;
+};
+
+/// Runs the naive random-split DBSCAN. This family is fast but loses
+/// accuracy because region queries see only a 1/k sample of the true
+/// density and merging is approximate ("succeeded to improve efficiency
+/// but lost accuracy", Sec. 2.2.1) — the failure mode RP-DBSCAN's
+/// two-level cell dictionary exists to fix. The accompanying benchmark
+/// (`bench_naive_accuracy`) quantifies the accuracy gap against RP-DBSCAN
+/// on the same splits.
+StatusOr<NaiveRandomSplitResult> RunNaiveRandomSplitDbscan(
+    const Dataset& data, const NaiveRandomSplitOptions& options);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BASELINES_NAIVE_RANDOM_SPLIT_H_

@@ -1,0 +1,158 @@
+#include "baselines/ng_dbscan.h"
+
+#include <algorithm>
+
+#include "graph/disjoint_set.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+namespace {
+
+// One neighbor-list entry. Lists are kept as bounded max-heaps on dist2 so
+// the worst entry is evicted first.
+struct Neighbor {
+  double dist2 = 0;
+  uint32_t id = 0;
+};
+
+bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  return a.dist2 < b.dist2;  // max-heap on distance
+}
+
+// Bounded insert: returns true if `cand` entered the list.
+bool TryInsert(std::vector<Neighbor>& list, size_t cap, Neighbor cand) {
+  for (const Neighbor& n : list) {
+    if (n.id == cand.id) return false;
+  }
+  if (list.size() < cap) {
+    list.push_back(cand);
+    std::push_heap(list.begin(), list.end(), HeapLess);
+    return true;
+  }
+  if (list.front().dist2 <= cand.dist2) return false;
+  std::pop_heap(list.begin(), list.end(), HeapLess);
+  list.back() = cand;
+  std::push_heap(list.begin(), list.end(), HeapLess);
+  return true;
+}
+
+}  // namespace
+
+StatusOr<NgDbscanResult> RunNgDbscan(const Dataset& data,
+                                     const NgDbscanOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(options.params.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (options.params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  const size_t n = data.size();
+  const size_t cap =
+      options.max_neighbors == 0 ? options.params.min_pts
+                                 : options.max_neighbors;
+  const size_t samples =
+      options.samples_per_node == 0 ? cap : options.samples_per_node;
+  const double eps2 = options.params.eps * options.params.eps;
+
+  NgDbscanResult result;
+  Stopwatch total;
+  Stopwatch phase_watch;
+  Rng rng(options.seed);
+
+  // ---- Phase 1: converge the neighbor graph from a random start. ----
+  std::vector<std::vector<Neighbor>> lists(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    lists[u].reserve(cap + 1);
+    const size_t init = cap < 4 ? cap : 4;  // sparse random seeding
+    for (size_t t = 0; t < init; ++t) {
+      const uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+      if (v == u) continue;
+      TryInsert(lists[u], cap,
+                Neighbor{DistanceSquared(data.point(u), data.point(v),
+                                         data.dim()),
+                         v});
+    }
+  }
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    size_t updates = 0;
+    for (uint32_t u = 0; u < n; ++u) {
+      if (lists[u].empty()) continue;
+      for (size_t s = 0; s < samples; ++s) {
+        // Sample a neighbor v of u, then a neighbor w of v: the classic
+        // "neighbors of neighbors are likely neighbors" exchange.
+        const Neighbor& v = lists[u][rng.Uniform(lists[u].size())];
+        if (lists[v.id].empty()) continue;
+        const Neighbor& w = lists[v.id][rng.Uniform(lists[v.id].size())];
+        if (w.id == u) continue;
+        const double d2 =
+            DistanceSquared(data.point(u), data.point(w.id), data.dim());
+        const Neighbor cand{d2, w.id};
+        if (TryInsert(lists[u], cap, cand)) ++updates;
+        // Symmetric: u is a candidate for w.
+        if (TryInsert(lists[w.id], cap, Neighbor{d2, u})) ++updates;
+      }
+    }
+    result.iterations_run = iter + 1;
+    if (static_cast<double>(updates) <
+        options.convergence_fraction * static_cast<double>(n) *
+            static_cast<double>(cap)) {
+      break;
+    }
+  }
+  result.graph_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- Phase 2: cluster on the eps-graph. ----
+  phase_watch.Reset();
+  std::vector<uint8_t> core(n, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    size_t within = 1;  // the point itself
+    for (const Neighbor& v : lists[u]) {
+      if (v.dist2 <= eps2) ++within;
+    }
+    core[u] = within >= options.params.min_pts ? 1 : 0;
+  }
+  DisjointSet dsu(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (core[u] == 0) continue;
+    for (const Neighbor& v : lists[u]) {
+      if (v.dist2 <= eps2 && core[v.id] != 0) dsu.Union(u, v.id);
+    }
+  }
+  result.labels.assign(n, kNoise);
+  std::vector<int64_t> root_cluster(n, -1);
+  int64_t next_cluster = 0;
+  for (uint32_t u = 0; u < n; ++u) {
+    if (core[u] == 0) continue;
+    const uint32_t root = dsu.Find(u);
+    if (root_cluster[root] < 0) root_cluster[root] = next_cluster++;
+    result.labels[u] = root_cluster[root];
+  }
+  // Border attachment: a non-core node adopts the cluster of any core
+  // neighbor within eps (checking both edge directions).
+  for (uint32_t u = 0; u < n; ++u) {
+    if (core[u] != 0) continue;
+    for (const Neighbor& v : lists[u]) {
+      if (v.dist2 <= eps2 && core[v.id] != 0) {
+        result.labels[u] = result.labels[v.id];
+        break;
+      }
+    }
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    if (core[u] == 0) continue;
+    for (const Neighbor& v : lists[u]) {
+      if (v.dist2 <= eps2 && core[v.id] == 0 &&
+          result.labels[v.id] == kNoise) {
+        result.labels[v.id] = result.labels[u];
+      }
+    }
+  }
+  result.num_clusters = static_cast<size_t>(next_cluster);
+  result.cluster_seconds = phase_watch.ElapsedSeconds();
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,411 @@
+#include "baselines/region_split.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "baselines/local_dbscan.h"
+#include "core/cell_coord.h"
+#include "core/grid.h"
+#include "graph/disjoint_set.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "spatial/mbr.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+
+const char* RegionPartitionStrategyName(RegionPartitionStrategy s) {
+  switch (s) {
+    case RegionPartitionStrategy::kEvenSplit:
+      return "even-split";
+    case RegionPartitionStrategy::kReducedBoundary:
+      return "reduced-boundary";
+    case RegionPartitionStrategy::kCostBased:
+      return "cost-based";
+  }
+  return "?";
+}
+
+namespace {
+
+// One contiguous sub-region: the point ids it owns (inside its box) plus,
+// later, the halo-extended task set.
+struct Split {
+  std::vector<uint32_t> inner;
+  Mbr box{0};
+};
+
+// Shared state of the recursive splitter.
+struct SplitContext {
+  const Dataset& data;
+  RegionPartitionStrategy strategy;
+  double eps;
+  /// Per-point cost estimate for kCostBased (empty otherwise).
+  std::vector<uint32_t> cost;
+  std::vector<Split> out;
+};
+
+// Returns the coordinate spread (max - min) of `ids` along `dim`.
+std::pair<float, float> Extent(const SplitContext& ctx,
+                               const std::vector<uint32_t>& ids,
+                               size_t dim) {
+  float lo = ctx.data.point(ids[0])[dim];
+  float hi = lo;
+  for (const uint32_t id : ids) {
+    const float v = ctx.data.point(id)[dim];
+    if (v < lo) lo = v;
+    if (v > hi) hi = v;
+  }
+  return {lo, hi};
+}
+
+size_t WidestDim(const SplitContext& ctx, const std::vector<uint32_t>& ids) {
+  size_t best = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < ctx.data.dim(); ++d) {
+    const auto [lo, hi] = Extent(ctx, ids, d);
+    const double spread = static_cast<double>(hi) - lo;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best = d;
+    }
+  }
+  return best;
+}
+
+// Value of the `frac`-quantile coordinate of `ids` along `dim`.
+float QuantileCoord(const SplitContext& ctx, std::vector<uint32_t>& ids,
+                    size_t dim, double frac) {
+  const size_t pos = std::min(
+      ids.size() - 1, static_cast<size_t>(frac * static_cast<double>(
+                                              ids.size())));
+  std::nth_element(ids.begin(), ids.begin() + pos, ids.end(),
+                   [&ctx, dim](uint32_t a, uint32_t b) {
+                     return ctx.data.point(a)[dim] <
+                            ctx.data.point(b)[dim];
+                   });
+  return ctx.data.point(ids[pos])[dim];
+}
+
+// Number of points of `ids` whose `dim` coordinate is within eps of `cut`
+// — the overlap band the reduced-boundary strategy minimizes.
+size_t BandCount(const SplitContext& ctx, const std::vector<uint32_t>& ids,
+                 size_t dim, float cut) {
+  size_t n = 0;
+  for (const uint32_t id : ids) {
+    const double d = static_cast<double>(ctx.data.point(id)[dim]) - cut;
+    if (d >= -ctx.eps && d <= ctx.eps) ++n;
+  }
+  return n;
+}
+
+// Chooses (dim, cut) for the current subset per strategy. `frac` is the
+// target left-side share (t1 / target).
+std::pair<size_t, float> ChooseCut(SplitContext& ctx,
+                                   std::vector<uint32_t>& ids,
+                                   double frac) {
+  switch (ctx.strategy) {
+    case RegionPartitionStrategy::kEvenSplit: {
+      const size_t dim = WidestDim(ctx, ids);
+      return {dim, QuantileCoord(ctx, ids, dim, frac)};
+    }
+    case RegionPartitionStrategy::kReducedBoundary: {
+      // Try the balanced cut on every dimension; keep the one crossing
+      // the fewest points (DBSCAN-MR's reduced-boundary objective).
+      size_t best_dim = 0;
+      float best_cut = 0;
+      size_t best_band = static_cast<size_t>(-1);
+      for (size_t d = 0; d < ctx.data.dim(); ++d) {
+        const float cut = QuantileCoord(ctx, ids, d, frac);
+        const size_t band = BandCount(ctx, ids, d, cut);
+        if (band < best_band) {
+          best_band = band;
+          best_dim = d;
+          best_cut = cut;
+        }
+      }
+      return {best_dim, best_cut};
+    }
+    case RegionPartitionStrategy::kCostBased: {
+      // Balance estimated local-clustering cost: each point is weighted
+      // by the occupancy of its eps-cell (a density proxy for region
+      // query cost, in the spirit of MR-DBSCAN's cost model).
+      const size_t dim = WidestDim(ctx, ids);
+      std::sort(ids.begin(), ids.end(),
+                [&ctx, dim](uint32_t a, uint32_t b) {
+                  return ctx.data.point(a)[dim] < ctx.data.point(b)[dim];
+                });
+      double total = 0;
+      for (const uint32_t id : ids) total += ctx.cost[id];
+      const double want = frac * total;
+      double acc = 0;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        acc += ctx.cost[ids[i]];
+        if (acc >= want) {
+          return {dim, ctx.data.point(ids[i])[dim]};
+        }
+      }
+      return {dim, ctx.data.point(ids.back())[dim]};
+    }
+  }
+  return {0, 0.0f};
+}
+
+// Recursively cuts `ids` (bounded by `box`) into `target` splits.
+void SplitRecursive(SplitContext& ctx, std::vector<uint32_t> ids, Mbr box,
+                    size_t target) {
+  if (target <= 1 || ids.size() < 2) {
+    Split s;
+    s.inner = std::move(ids);
+    s.box = std::move(box);
+    ctx.out.push_back(std::move(s));
+    return;
+  }
+  const size_t t1 = target / 2;
+  const size_t t2 = target - t1;
+  const double frac = static_cast<double>(t1) / static_cast<double>(target);
+  auto [dim, cut_f] = ChooseCut(ctx, ids, frac);
+  double cut = cut_f;
+
+  std::vector<uint32_t> left;
+  std::vector<uint32_t> right;
+  auto partition_at = [&](size_t d, double c) {
+    left.clear();
+    right.clear();
+    for (const uint32_t id : ids) {
+      if (static_cast<double>(ctx.data.point(id)[d]) < c) {
+        left.push_back(id);
+      } else {
+        right.push_back(id);
+      }
+    }
+  };
+  partition_at(dim, cut);
+  if (left.empty() || right.empty()) {
+    // The chosen cut landed on an extreme value (duplicate coordinates,
+    // e.g. clamped boundary points). Re-cut halfway between the extent of
+    // some dimension — geometrically valid so every inner point stays
+    // inside its split's box. A subset degenerate along *every* dimension
+    // (all points identical) becomes one split.
+    bool resplit = false;
+    for (size_t d = 0; d < ctx.data.dim() && !resplit; ++d) {
+      const auto [lo, hi] = Extent(ctx, ids, d);
+      if (hi > lo) {
+        const double mid =
+            (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+        partition_at(d, mid);
+        if (!left.empty() && !right.empty()) {
+          dim = d;
+          cut = mid;
+          resplit = true;
+        }
+      }
+    }
+    if (!resplit) {
+      Split s;
+      s.inner = std::move(ids);
+      s.box = std::move(box);
+      ctx.out.push_back(std::move(s));
+      return;
+    }
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  Mbr left_box = box;
+  Mbr right_box = box;
+  left_box.set_max(dim, cut);
+  right_box.set_min(dim, cut);
+  SplitRecursive(ctx, std::move(left), std::move(left_box), t1);
+  SplitRecursive(ctx, std::move(right), std::move(right_box), t2);
+}
+
+// Per-point cost estimates for kCostBased: occupancy of the point's
+// eps-sided grid cell.
+std::vector<uint32_t> ComputeCellCosts(const Dataset& data, double eps) {
+  std::vector<uint32_t> cost(data.size(), 1);
+  auto geom_or = GridGeometry::Create(data.dim(), eps, /*rho=*/1.0);
+  if (!geom_or.ok()) return cost;
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> counts;
+  counts.reserve(data.size() / 4 + 16);
+  std::vector<CellCoord> coords(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    coords[i] = geom_or->CellOf(data.point(i));
+    ++counts[coords[i]];
+  }
+  for (size_t i = 0; i < data.size(); ++i) cost[i] = counts[coords[i]];
+  return cost;
+}
+
+}  // namespace
+
+StatusOr<RegionSplitResult> RunRegionSplitDbscan(
+    const Dataset& data, const RegionSplitOptions& options) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(options.params.eps > 0.0)) {
+    return Status::InvalidArgument("eps must be positive");
+  }
+  if (options.params.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (options.num_splits == 0) {
+    return Status::InvalidArgument("num_splits must be >= 1");
+  }
+
+  RegionSplitResult result;
+  Stopwatch total;
+
+  // ---- Split phase. ----
+  Stopwatch phase_watch;
+  SplitContext ctx{data, options.strategy, options.params.eps, {}, {}};
+  if (options.strategy == RegionPartitionStrategy::kCostBased) {
+    ctx.cost = ComputeCellCosts(data, options.params.eps);
+  }
+  std::vector<uint32_t> all(data.size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  Mbr space(data.dim());
+  for (size_t i = 0; i < data.size(); ++i) space.ExpandToPoint(data.point(i));
+  SplitRecursive(ctx, std::move(all), std::move(space), options.num_splits);
+  std::vector<Split>& splits = ctx.out;
+
+  // Halo attachment: every split also processes the points within eps of
+  // its region (the overlap that preserves the same-split restriction).
+  std::vector<std::vector<uint32_t>> task_points(splits.size());
+  const double eps2 = options.params.eps * options.params.eps;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    task_points[s].reserve(splits[s].inner.size());
+    for (uint32_t id = 0; id < data.size(); ++id) {
+      if (splits[s].box.MinDist2(data.point(id)) <= eps2) {
+        task_points[s].push_back(id);
+      }
+    }
+    result.points_processed += task_points[s].size();
+  }
+  result.split_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- Local clustering, one parallel task per split. ----
+  phase_watch.Reset();
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) num_threads = 4;
+  ThreadPool pool(num_threads);
+  std::vector<LocalClusteringResult> locals(splits.size());
+  std::vector<Status> local_status(splits.size());
+  result.task_seconds.assign(splits.size(), 0.0);
+  ParallelFor(
+      pool, splits.size(),
+      [&](size_t s) {
+        Stopwatch watch;
+        Dataset sub(data.dim());
+        sub.Reserve(task_points[s].size());
+        for (const uint32_t id : task_points[s]) sub.Append(data.point(id));
+        if (sub.empty()) {
+          result.task_seconds[s] = watch.ElapsedSeconds();
+          return;
+        }
+        if (options.rho_approximate) {
+          auto local =
+              RunApproxLocalDbscan(sub, options.params, options.rho);
+          if (!local.ok()) {
+            local_status[s] = local.status();
+          } else {
+            locals[s] = std::move(*local);
+          }
+        } else {
+          // The SPARK-DBSCAN configuration: the open-source implementation
+          // the paper benchmarks performs unindexed region queries.
+          auto local = RunExactDbscan(sub, options.params,
+                                      /*use_index=*/false);
+          if (!local.ok()) {
+            local_status[s] = local.status();
+          } else {
+            locals[s].labels = std::move(local->labels);
+            locals[s].point_is_core = std::move(local->point_is_core);
+          }
+        }
+        result.task_seconds[s] = watch.ElapsedSeconds();
+      },
+      /*chunk=*/1);
+  for (const Status& st : local_status) {
+    RPDBSCAN_RETURN_IF_ERROR(st);
+  }
+  result.local_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- Merge phase: connect local clusters through shared halo points.
+  phase_watch.Reset();
+  // Global slot per (split, local cluster id).
+  std::vector<size_t> slot_offset(splits.size() + 1, 0);
+  for (size_t s = 0; s < splits.size(); ++s) {
+    int64_t max_label = -1;
+    for (const int64_t l : locals[s].labels) max_label = std::max(max_label, l);
+    slot_offset[s + 1] = slot_offset[s] + static_cast<size_t>(max_label + 1);
+  }
+  DisjointSet dsu(slot_offset.back());
+
+  // Group every point's appearances across splits.
+  struct Appearance {
+    uint32_t split = 0;
+    int64_t label = 0;
+    bool core = false;
+  };
+  std::vector<std::vector<Appearance>> appearances(data.size());
+  for (size_t s = 0; s < splits.size(); ++s) {
+    for (size_t local_idx = 0; local_idx < task_points[s].size();
+         ++local_idx) {
+      const uint32_t g = task_points[s][local_idx];
+      appearances[g].push_back(
+          Appearance{static_cast<uint32_t>(s), locals[s].labels[local_idx],
+                     locals[s].point_is_core[local_idx] != 0});
+    }
+  }
+  for (uint32_t g = 0; g < data.size(); ++g) {
+    const auto& apps = appearances[g];
+    if (apps.size() < 2) continue;
+    // A point that is core in any split joins every cluster it appears in
+    // into one (its eps-neighborhood is density-connected through it).
+    bool core_somewhere = false;
+    for (const Appearance& a : apps) core_somewhere |= a.core;
+    if (!core_somewhere) continue;
+    int64_t first_slot = -1;
+    for (const Appearance& a : apps) {
+      if (a.label == kNoise) continue;
+      const size_t slot = slot_offset[a.split] + static_cast<size_t>(a.label);
+      if (first_slot < 0) {
+        first_slot = static_cast<int64_t>(slot);
+      } else {
+        dsu.Union(static_cast<uint32_t>(first_slot),
+                  static_cast<uint32_t>(slot));
+      }
+    }
+  }
+
+  // ---- Final labels from each point's home split. ----
+  result.labels.assign(data.size(), kNoise);
+  std::unordered_map<uint32_t, int64_t> dense;
+  for (size_t s = 0; s < splits.size(); ++s) {
+    // Map global id -> local index for this split once.
+    std::unordered_map<uint32_t, uint32_t> local_index;
+    local_index.reserve(task_points[s].size() * 2);
+    for (uint32_t i = 0; i < task_points[s].size(); ++i) {
+      local_index.emplace(task_points[s][i], i);
+    }
+    for (const uint32_t g : splits[s].inner) {
+      const auto it = local_index.find(g);
+      RPDBSCAN_CHECK(it != local_index.end());
+      const int64_t label = locals[s].labels[it->second];
+      if (label == kNoise) continue;
+      const uint32_t slot =
+          static_cast<uint32_t>(slot_offset[s] + static_cast<size_t>(label));
+      const uint32_t root = dsu.Find(slot);
+      const auto dit =
+          dense.emplace(root, static_cast<int64_t>(dense.size())).first;
+      result.labels[g] = dit->second;
+    }
+  }
+  result.num_clusters = dense.size();
+  result.merge_seconds = phase_watch.ElapsedSeconds();
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpdbscan

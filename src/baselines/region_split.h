@@ -1,0 +1,77 @@
+#ifndef RPDBSCAN_BASELINES_REGION_SPLIT_H_
+#define RPDBSCAN_BASELINES_REGION_SPLIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/exact_dbscan.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// The three region-split partitioning strategies from the paper's
+/// baseline table (Table 2 / Sec. 2.2.2).
+enum class RegionPartitionStrategy {
+  /// ESP-DBSCAN (= RDD-DBSCAN [7]): distribute points as evenly as
+  /// possible — recursive median cuts.
+  kEvenSplit,
+  /// RBP-DBSCAN (= DBSCAN-MR [8]): minimize the number of points inside
+  /// the eps-wide overlap band of each cut.
+  kReducedBoundary,
+  /// CBP-DBSCAN / SPARK-DBSCAN (= MR-DBSCAN [18]): balance an estimated
+  /// local-clustering cost (density-weighted point counts).
+  kCostBased,
+};
+
+const char* RegionPartitionStrategyName(RegionPartitionStrategy s);
+
+/// Options for the region-split DBSCAN family. All four baselines are this
+/// framework with different knobs:
+///   ESP  = kEvenSplit        + rho_approximate
+///   RBP  = kReducedBoundary  + rho_approximate
+///   CBP  = kCostBased        + rho_approximate
+///   SPARK-DBSCAN = kCostBased, rho_approximate = false (exact local runs)
+struct RegionSplitOptions {
+  DbscanParams params;
+  RegionPartitionStrategy strategy = RegionPartitionStrategy::kEvenSplit;
+  /// Number of contiguous sub-regions (splits).
+  size_t num_splits = 8;
+  /// Worker threads; 0 = hardware concurrency.
+  size_t num_threads = 0;
+  /// Local clusterer: rho-approximate cell DBSCAN (true) or exact DBSCAN.
+  bool rho_approximate = true;
+  double rho = 0.01;
+};
+
+/// Result plus the accounting the paper's comparison figures need.
+struct RegionSplitResult {
+  Labels labels;
+  size_t num_clusters = 0;
+  /// Per-split local-clustering seconds (load imbalance, Fig. 13).
+  std::vector<double> task_seconds;
+  /// Sum of split task sizes including halo duplication — the paper's
+  /// "total number of points processed" (Fig. 14). Always >= data size;
+  /// equality would mean zero duplication.
+  size_t points_processed = 0;
+  double split_seconds = 0;
+  double local_seconds = 0;
+  double merge_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// Runs the shared region-split pipeline: (1) recursively cut the space
+/// into `num_splits` contiguous sub-regions by the chosen strategy, (2)
+/// attach to every split all points within eps of its region (the overlap
+/// halo that preserves the same-split restriction), (3) cluster each split
+/// locally in parallel, (4) merge local clusters through shared halo
+/// points (union when the shared point is core somewhere), and (5) label
+/// every point from its home split.
+StatusOr<RegionSplitResult> RunRegionSplitDbscan(
+    const Dataset& data, const RegionSplitOptions& options);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_BASELINES_REGION_SPLIT_H_

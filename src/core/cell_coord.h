@@ -1,0 +1,106 @@
+#ifndef RPDBSCAN_CORE_CELL_COORD_H_
+#define RPDBSCAN_CORE_CELL_COORD_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace rpdbscan {
+
+/// Integer lattice coordinates identifying one grid cell (Def. 3.1).
+/// Fixed inline storage (no allocation: cells are created per point on the
+/// partitioning hot path); supports up to kMaxDim dimensions, which covers
+/// the paper's widest data set (TeraClickLog, 13-d). The hash is
+/// precomputed at construction because every phase keys hash maps on cells.
+class CellCoord {
+ public:
+  static constexpr size_t kMaxDim = 16;
+
+  CellCoord() = default;
+
+  CellCoord(const int32_t* coords, size_t dim) : dim_(static_cast<uint8_t>(dim)) {
+    uint64_t h = 0x9d5c0fb1e7a33e1bULL;
+    for (size_t i = 0; i < dim; ++i) {
+      c_[i] = coords[i];
+      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(coords[i])));
+    }
+    hash_ = h;
+  }
+
+  size_t dim() const { return dim_; }
+  int32_t operator[](size_t i) const { return c_[i]; }
+  const int32_t* data() const { return c_.data(); }
+  uint64_t hash() const { return hash_; }
+
+  friend bool operator==(const CellCoord& a, const CellCoord& b) {
+    if (a.dim_ != b.dim_ || a.hash_ != b.hash_) return false;
+    for (size_t i = 0; i < a.dim_; ++i) {
+      if (a.c_[i] != b.c_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<int32_t, kMaxDim> c_{};
+  uint64_t hash_ = 0;
+  uint8_t dim_ = 0;
+};
+
+/// Hash functor for unordered containers keyed by CellCoord.
+struct CellCoordHash {
+  size_t operator()(const CellCoord& c) const {
+    return static_cast<size_t>(c.hash());
+  }
+};
+
+/// Identifies one sub-cell inside its cell: the packed per-dimension local
+/// indices, d*(h-1) bits total (Lemma 4.3's position encoding). 128 bits of
+/// storage cover the worst case in this repository (d=13, h=8 → 91 bits).
+struct SubcellId {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const SubcellId& a, const SubcellId& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+struct SubcellIdHash {
+  size_t operator()(const SubcellId& s) const {
+    return static_cast<size_t>(HashCombine(s.lo, s.hi));
+  }
+};
+
+/// Writes `bits` bits of `value` at bit offset `pos` of the 128-bit pair.
+/// `pos + bits` must be <= 128 and `bits` <= 32.
+inline void SubcellSetBits(SubcellId* id, unsigned pos, unsigned bits,
+                           uint64_t value) {
+  if (pos < 64) {
+    id->lo |= value << pos;
+    const unsigned spill = pos + bits > 64 ? pos + bits - 64 : 0;
+    if (spill > 0) id->hi |= value >> (bits - spill);
+  } else {
+    id->hi |= value << (pos - 64);
+  }
+}
+
+/// Reads `bits` bits at offset `pos`. Inverse of SubcellSetBits.
+inline uint64_t SubcellGetBits(const SubcellId& id, unsigned pos,
+                               unsigned bits) {
+  const uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  uint64_t v;
+  if (pos < 64) {
+    v = id.lo >> pos;
+    const unsigned avail = 64 - pos;
+    if (bits > avail) v |= id.hi << avail;
+  } else {
+    v = id.hi >> (pos - 64);
+  }
+  return v & mask;
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_CELL_COORD_H_

@@ -1,0 +1,402 @@
+#include "core/cell_dictionary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "parallel/parallel_for.h"
+#include "util/bitstream.h"
+#include "util/logging.h"
+
+namespace rpdbscan {
+namespace {
+
+bool SubcellLess(const DictSubcell& a, const DictSubcell& b) {
+  if (a.id.hi != b.id.hi) return a.id.hi < b.id.hi;
+  return a.id.lo < b.id.lo;
+}
+
+// Recursive BSP over [begin, end) of `order` (indices into `entries`,
+// with centers in `centers`): split at the median of the widest-spread
+// dimension until a fragment is at most `max_cells` cells, then emit the
+// fragment (Sec. 4.2.2). Median cuts are the balance-optimal members of
+// the paper's cut-candidate set.
+void Bsp(const std::vector<float>& centers, size_t dim,
+         std::vector<uint32_t>& order, size_t begin, size_t end,
+         size_t max_cells,
+         std::vector<std::pair<size_t, size_t>>* fragments) {
+  if (end - begin <= max_cells) {
+    fragments->emplace_back(begin, end);
+    return;
+  }
+  size_t best_dim = 0;
+  double best_spread = -1.0;
+  for (size_t d = 0; d < dim; ++d) {
+    float lo = centers[order[begin] * dim + d];
+    float hi = lo;
+    for (size_t i = begin + 1; i < end; ++i) {
+      const float v = centers[order[i] * dim + d];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    const double spread = static_cast<double>(hi) - lo;
+    if (spread > best_spread) {
+      best_spread = spread;
+      best_dim = d;
+    }
+  }
+  const size_t mid = begin + (end - begin) / 2;
+  std::nth_element(order.begin() + begin, order.begin() + mid,
+                   order.begin() + end,
+                   [&centers, dim, best_dim](uint32_t a, uint32_t b) {
+                     return centers[a * dim + best_dim] <
+                            centers[b * dim + best_dim];
+                   });
+  Bsp(centers, dim, order, begin, mid, max_cells, fragments);
+  Bsp(centers, dim, order, mid, end, max_cells, fragments);
+}
+
+// ---- Wire format primitives (little-endian, fixed width). ----
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+// Bounds-checked sequential reader.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  const uint8_t* Cursor() const { return data_ + pos_; }
+  size_t Remaining() const { return size_ - pos_; }
+  bool Skip(size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+constexpr uint32_t kDictMagic = 0x52504444;  // "RPDD"
+constexpr uint32_t kDictVersion = 1;
+
+}  // namespace
+
+StatusOr<CellDictionary> CellDictionary::Build(
+    const Dataset& data, const CellSet& cells,
+    const CellDictionaryOptions& opts, ThreadPool* pool) {
+  const GridGeometry& geom = cells.geom();
+  if (data.dim() != geom.dim()) {
+    return Status::InvalidArgument("dataset dim does not match grid dim");
+  }
+  // Per-cell sub-cell histograms (Alg. 2 lines 13-17), one independent
+  // task per cell.
+  std::vector<CellEntry> entries(cells.num_cells());
+  auto build_entry = [&](size_t id) {
+    const CellData& cell = cells.cell(static_cast<uint32_t>(id));
+    CellEntry& entry = entries[id];
+    entry.coord = cell.coord;
+    entry.cell_id = static_cast<uint32_t>(id);
+    std::unordered_map<SubcellId, uint32_t, SubcellIdHash> histogram;
+    histogram.reserve(cell.point_ids.size());
+    for (const uint32_t pid : cell.point_ids) {
+      ++histogram[geom.SubcellOf(data.point(pid), cell.coord)];
+    }
+    entry.subcells.reserve(histogram.size());
+    for (const auto& kv : histogram) {
+      entry.subcells.push_back(DictSubcell{kv.first, kv.second});
+    }
+    // Deterministic order independent of hash-map iteration.
+    std::sort(entry.subcells.begin(), entry.subcells.end(), SubcellLess);
+  };
+  if (pool != nullptr) {
+    ParallelFor(*pool, entries.size(), build_entry);
+  } else {
+    for (size_t id = 0; id < entries.size(); ++id) build_entry(id);
+  }
+  return Assemble(geom, std::move(entries), opts);
+}
+
+StatusOr<CellDictionary> CellDictionary::Assemble(
+    const GridGeometry& geom, std::vector<CellEntry> entries,
+    const CellDictionaryOptions& opts) {
+  if (opts.max_cells_per_subdict == 0) {
+    return Status::InvalidArgument("max_cells_per_subdict must be >= 1");
+  }
+  CellDictionary dict;
+  dict.geom_ = geom;
+  dict.enable_skipping_ = opts.enable_skipping;
+  dict.index_ = opts.index;
+  dict.num_cells_ = entries.size();
+  for (const CellEntry& e : entries) dict.num_subcells_ += e.subcells.size();
+
+  // Cell centers drive both the BSP and the per-fragment kd-trees.
+  std::vector<float> centers(entries.size() * geom.dim());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    geom.CellCenter(entries[i].coord, centers.data() + i * geom.dim());
+  }
+
+  // Defragmentation: BSP the cells into balanced, spatially contiguous
+  // fragments (or keep everything in one fragment for the ablation).
+  std::vector<uint32_t> order(entries.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::pair<size_t, size_t>> fragments;
+  if (opts.defragment) {
+    Bsp(centers, geom.dim(), order, 0, order.size(),
+        opts.max_cells_per_subdict, &fragments);
+  } else {
+    fragments.emplace_back(0, order.size());
+  }
+
+  dict.subdicts_.resize(fragments.size());
+  for (size_t f = 0; f < fragments.size(); ++f) {
+    const auto [begin, end] = fragments[f];
+    SubDictionary& sd = dict.subdicts_[f];
+    const size_t n = end - begin;
+    sd.cells_.reserve(n);
+    sd.cell_centers_.reserve(n * geom.dim());
+    sd.mbr_ = Mbr(geom.dim());
+    for (size_t i = begin; i < end; ++i) {
+      CellEntry& entry = entries[order[i]];
+      DictCell dc;
+      dc.coord = entry.coord;
+      dc.cell_id = entry.cell_id;
+      dc.subcell_begin = static_cast<uint32_t>(sd.subcells_.size());
+      uint32_t total = 0;
+      for (const DictSubcell& s : entry.subcells) {
+        total += s.count;
+        sd.subcells_.push_back(s);
+      }
+      dc.subcell_end = static_cast<uint32_t>(sd.subcells_.size());
+      dc.total_count = total;
+      sd.cells_.push_back(dc);
+      const float* center = centers.data() + order[i] * geom.dim();
+      sd.cell_centers_.insert(sd.cell_centers_.end(), center,
+                              center + geom.dim());
+      sd.mbr_.ExpandToMbr(geom.CellBox(entry.coord));
+    }
+    // Precompute sub-cell centers for distance tests during queries.
+    sd.subcell_centers_.resize(sd.subcells_.size() * geom.dim());
+    for (const DictCell& dc : sd.cells_) {
+      for (uint32_t s = dc.subcell_begin; s < dc.subcell_end; ++s) {
+        geom.SubcellCenter(dc.coord, sd.subcells_[s].id,
+                           sd.subcell_centers_.data() + s * geom.dim());
+      }
+    }
+    if (opts.index == CandidateIndex::kKdTree) {
+      sd.tree_.Build(sd.cell_centers_.data(), sd.cells_.size(), geom.dim());
+    } else {
+      sd.rtree_.Build(sd.cell_centers_.data(), sd.cells_.size(),
+                      geom.dim());
+    }
+  }
+  return dict;
+}
+
+size_t CellDictionary::SizeBitsLemma43() const {
+  const size_t d = geom_.dim();
+  const size_t h = static_cast<size_t>(geom_.h());
+  // 32 bits of density per (sub-)cell, 32d bits of exact position per cell,
+  // d(h-1) bits of local position per sub-cell (Eq. 1).
+  return 32 * (num_cells_ + num_subcells_) + 32 * d * num_cells_ +
+         d * (h - 1) * num_subcells_;
+}
+
+std::vector<uint8_t> CellDictionary::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(SizeBytesLemma43() + 64);
+  PutU32(&out, kDictMagic);
+  PutU32(&out, kDictVersion);
+  PutU32(&out, static_cast<uint32_t>(geom_.dim()));
+  PutF64(&out, geom_.eps());
+  PutF64(&out, geom_.rho());
+  PutU64(&out, num_cells_);
+  PutU64(&out, num_subcells_);
+
+  // Per cell: d x 32-bit lattice coordinate (the "exact position" term of
+  // Eq. 1), the dense cell id, and its sub-cell count.
+  for (const SubDictionary& sd : subdicts_) {
+    for (const DictCell& cell : sd.cells_) {
+      for (size_t d = 0; d < geom_.dim(); ++d) {
+        PutU32(&out, static_cast<uint32_t>(cell.coord[d]));
+      }
+      PutU32(&out, cell.cell_id);
+      PutU32(&out, cell.subcell_end - cell.subcell_begin);
+    }
+  }
+  // Densities: 32 bits per sub-cell, in cell order.
+  for (const SubDictionary& sd : subdicts_) {
+    for (const DictCell& cell : sd.cells_) {
+      for (uint32_t s = cell.subcell_begin; s < cell.subcell_end; ++s) {
+        PutU32(&out, sd.subcells_[s].count);
+      }
+    }
+  }
+  // Sub-cell positions: d*(h-1) bits each, bit-packed, in cell order.
+  const unsigned bits_per_subcell =
+      static_cast<unsigned>(geom_.dim()) * geom_.bits_per_dim();
+  BitWriter bits;
+  for (const SubDictionary& sd : subdicts_) {
+    for (const DictCell& cell : sd.cells_) {
+      for (uint32_t s = cell.subcell_begin; s < cell.subcell_end; ++s) {
+        const SubcellId& id = sd.subcells_[s].id;
+        if (bits_per_subcell <= 64) {
+          bits.Write(id.lo, bits_per_subcell);
+        } else {
+          bits.Write(id.lo, 64);
+          bits.Write(id.hi, bits_per_subcell - 64);
+        }
+      }
+    }
+  }
+  const std::vector<uint8_t> packed = bits.TakeBytes();
+  PutU64(&out, packed.size());
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+StatusOr<CellDictionary> CellDictionary::Deserialize(
+    const std::vector<uint8_t>& bytes, const CellDictionaryOptions& opts) {
+  ByteReader in(bytes.data(), bytes.size());
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t dim = 0;
+  double eps = 0;
+  double rho = 0;
+  uint64_t num_cells = 0;
+  uint64_t num_subcells = 0;
+  if (!in.ReadU32(&magic) || magic != kDictMagic) {
+    return Status::InvalidArgument("dictionary buffer: bad magic");
+  }
+  if (!in.ReadU32(&version) || version != kDictVersion) {
+    return Status::InvalidArgument("dictionary buffer: unknown version");
+  }
+  if (!in.ReadU32(&dim) || !in.ReadF64(&eps) || !in.ReadF64(&rho) ||
+      !in.ReadU64(&num_cells) || !in.ReadU64(&num_subcells)) {
+    return Status::InvalidArgument("dictionary buffer: truncated header");
+  }
+  auto geom_or = GridGeometry::Create(dim, eps, rho);
+  if (!geom_or.ok()) {
+    return Status::InvalidArgument("dictionary buffer: invalid geometry (" +
+                                   geom_or.status().message() + ")");
+  }
+  const GridGeometry& geom = *geom_or;
+
+  // Guard against absurd counts before allocating (overflow-safe).
+  const size_t cell_record = 4 * (dim + 2);
+  if (num_cells > in.Remaining() / cell_record) {
+    return Status::InvalidArgument("dictionary buffer: truncated cells");
+  }
+  if (num_subcells > in.Remaining() / 4) {
+    return Status::InvalidArgument("dictionary buffer: truncated sub-cells");
+  }
+  std::vector<CellEntry> entries(num_cells);
+  uint64_t declared_subcells = 0;
+  for (CellEntry& entry : entries) {
+    int32_t coords[CellCoord::kMaxDim];
+    for (uint32_t d = 0; d < dim; ++d) {
+      uint32_t raw = 0;
+      if (!in.ReadU32(&raw)) {
+        return Status::InvalidArgument("dictionary buffer: truncated cell");
+      }
+      coords[d] = static_cast<int32_t>(raw);
+    }
+    entry.coord = CellCoord(coords, dim);
+    uint32_t nsub = 0;
+    if (!in.ReadU32(&entry.cell_id) || !in.ReadU32(&nsub)) {
+      return Status::InvalidArgument("dictionary buffer: truncated cell");
+    }
+    if (nsub == 0) {
+      return Status::InvalidArgument(
+          "dictionary buffer: cell with zero sub-cells");
+    }
+    declared_subcells += nsub;
+    if (declared_subcells > num_subcells) {
+      // Bound the allocation below: a corrupted per-cell count must not
+      // drive resize() beyond the (already remaining-bytes-checked) total.
+      return Status::InvalidArgument(
+          "dictionary buffer: sub-cell count overflow");
+    }
+    entry.subcells.resize(nsub);
+  }
+  if (declared_subcells != num_subcells) {
+    return Status::InvalidArgument(
+        "dictionary buffer: sub-cell count mismatch");
+  }
+  // Densities.
+  for (CellEntry& entry : entries) {
+    for (DictSubcell& sc : entry.subcells) {
+      if (!in.ReadU32(&sc.count)) {
+        return Status::InvalidArgument(
+            "dictionary buffer: truncated densities");
+      }
+      if (sc.count == 0) {
+        return Status::InvalidArgument(
+            "dictionary buffer: zero-density sub-cell");
+      }
+    }
+  }
+  // Positions.
+  uint64_t packed_size = 0;
+  if (!in.ReadU64(&packed_size) || packed_size > in.Remaining()) {
+    return Status::InvalidArgument(
+        "dictionary buffer: truncated position stream");
+  }
+  const unsigned bits_per_subcell =
+      static_cast<unsigned>(dim) * geom.bits_per_dim();
+  if (packed_size * 8 < num_subcells * bits_per_subcell) {
+    return Status::InvalidArgument(
+        "dictionary buffer: position stream too short");
+  }
+  BitReader bits(in.Cursor(), packed_size);
+  for (CellEntry& entry : entries) {
+    for (DictSubcell& sc : entry.subcells) {
+      if (bits_per_subcell <= 64) {
+        sc.id.lo = bits.Read(bits_per_subcell);
+      } else {
+        sc.id.lo = bits.Read(64);
+        sc.id.hi = bits.Read(bits_per_subcell - 64);
+      }
+    }
+  }
+  return Assemble(geom, std::move(entries), opts);
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,219 @@
+#ifndef RPDBSCAN_CORE_CELL_DICTIONARY_H_
+#define RPDBSCAN_CORE_CELL_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_coord.h"
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "io/dataset.h"
+#include "parallel/thread_pool.h"
+#include "spatial/kdtree.h"
+#include "spatial/mbr.h"
+#include "spatial/rtree.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// One sub-cell entry of the dictionary: packed local position plus the
+/// number of points inside (the "density", Sec. 4.2.1).
+struct DictSubcell {
+  SubcellId id;
+  uint32_t count = 0;
+};
+
+/// One root-node entry of the dictionary: a cell, its total density, and
+/// the contiguous range of its sub-cells in the owning sub-dictionary.
+struct DictCell {
+  CellCoord coord;
+  uint32_t cell_id = 0;       // dense id shared with CellSet / cell graph
+  uint32_t total_count = 0;
+  uint32_t subcell_begin = 0;
+  uint32_t subcell_end = 0;
+};
+
+/// A defragmented fragment of the two-level cell dictionary (Def. 4.4):
+/// a subset of cells, their sub-cells, an MBR for skipping (Lemma 5.10)
+/// and a kd-tree over cell centers for O(log |cell|) candidate lookup
+/// (Lemma 5.6).
+class SubDictionary {
+ public:
+  const Mbr& mbr() const { return mbr_; }
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_subcells() const { return subcells_.size(); }
+  const std::vector<DictCell>& cells() const { return cells_; }
+  const std::vector<DictSubcell>& subcells() const { return subcells_; }
+
+ private:
+  friend class CellDictionary;
+
+  std::vector<DictCell> cells_;
+  std::vector<DictSubcell> subcells_;
+  /// Precomputed sub-cell centers (num_subcells * dim floats) so queries
+  /// compare distances without re-decoding packed positions.
+  std::vector<float> subcell_centers_;
+  /// Cell centers (num_cells * dim floats) indexed by the kd-tree.
+  std::vector<float> cell_centers_;
+  KdTree tree_;     // populated when index == kKdTree
+  RTree rtree_;     // populated when index == kRTree
+  Mbr mbr_{0};
+};
+
+/// Which spatial index finds candidate cells inside a sub-dictionary.
+/// Lemma 5.6 allows either ("R*-tree or kd-tree"); both give identical
+/// query results.
+enum class CandidateIndex : uint8_t {
+  kKdTree = 0,
+  kRTree = 1,
+};
+
+/// Build/query options. The ablation benchmarks flip the booleans.
+struct CellDictionaryOptions {
+  /// Cells per sub-dictionary before BSP splits further (stands in for the
+  /// paper's "available main memory" bound, Sec. 4.2.2).
+  size_t max_cells_per_subdict = 2048;
+  /// Apply BSP defragmentation; false keeps one monolithic sub-dictionary.
+  bool defragment = true;
+  /// Apply MBR-based sub-dictionary skipping during queries (Lemma 5.10).
+  bool enable_skipping = true;
+  /// Candidate-cell index (Lemma 5.6).
+  CandidateIndex index = CandidateIndex::kKdTree;
+};
+
+/// One cell's raw dictionary content: the unit of dictionary assembly and
+/// of the Lemma 4.3 wire format.
+struct CellEntry {
+  CellCoord coord;
+  uint32_t cell_id = 0;
+  std::vector<DictSubcell> subcells;
+};
+
+/// The two-level cell dictionary (Def. 4.2): the broadcast-compact summary
+/// of the *entire* data set that lets each worker answer (eps, rho)-region
+/// queries for successors living in other partitions without communication.
+///
+/// Immutable after Build; queries are const and thread-safe — exactly the
+/// broadcast-variable role it plays on Spark in the paper.
+class CellDictionary {
+ public:
+  /// Builds the dictionary over every cell of `cells` (which indexes
+  /// `data`). Cell ids in the dictionary are the CellSet ids. Per-cell
+  /// sub-cell histograms are computed in parallel on `pool` when given
+  /// (the paper builds per-partition dictionaries on the workers before
+  /// combining them, Alg. 2 lines 13-20).
+  static StatusOr<CellDictionary> Build(
+      const Dataset& data, const CellSet& cells,
+      const CellDictionaryOptions& opts = CellDictionaryOptions(),
+      ThreadPool* pool = nullptr);
+
+  const GridGeometry& geom() const { return geom_; }
+  size_t num_cells() const { return num_cells_; }
+  size_t num_subcells() const { return num_subcells_; }
+  size_t num_subdictionaries() const { return subdicts_.size(); }
+  const std::vector<SubDictionary>& subdictionaries() const {
+    return subdicts_;
+  }
+
+  /// Dictionary size in bits per Lemma 4.3 / Eq. (1):
+  ///   32(|cell| + |subcell|) + 32 d |cell| + d(h-1)|subcell|.
+  size_t SizeBitsLemma43() const;
+
+  /// Same, rounded up to bytes (what Table 5 reports as a fraction of the
+  /// raw data payload).
+  size_t SizeBytesLemma43() const { return (SizeBitsLemma43() + 7) / 8; }
+
+  /// (eps, rho)-region query (Def. 5.1) around `p`: invokes
+  /// `visit(const DictCell&, uint32_t matched_count)` once per cell that
+  /// has at least one sub-cell whose center lies within eps of `p`.
+  /// `matched_count` is the summed density of those sub-cells; for cells
+  /// fully contained in the query ball the whole cell is taken in one step
+  /// (Example 5.5's containment fast path).
+  ///
+  /// Returns the number of sub-dictionaries actually inspected (after
+  /// skipping) so callers can account for the Lemma 5.10 savings.
+  template <typename Visitor>
+  size_t Query(const float* p, Visitor&& visit) const {
+    const double eps = geom_.eps();
+    const double eps2 = eps * eps;
+    // Any cell with a sub-cell center within eps has its own center within
+    // eps + cell_diagonal/2 = 1.5 * eps (cell diagonal is eps, Def. 3.1).
+    const double candidate_radius = 1.5 * eps;
+    size_t visited = 0;
+    for (const SubDictionary& sd : subdicts_) {
+      if (enable_skipping_ && sd.mbr_.MinDist2(p) > eps2) continue;
+      ++visited;
+      auto per_candidate = [&](uint32_t local_cell, double) {
+        const DictCell& cell = sd.cells_[local_cell];
+        if (geom_.CellMaxDist2(cell.coord, p) <= eps2) {
+          // Fully contained: every sub-cell is an (eps,rho)-neighbor.
+          visit(cell, cell.total_count);
+          return;
+        }
+        if (geom_.CellMinDist2(cell.coord, p) > eps2) {
+          return;  // cannot intersect
+        }
+        uint32_t matched = 0;
+        for (uint32_t s = cell.subcell_begin; s < cell.subcell_end; ++s) {
+          const float* center =
+              sd.subcell_centers_.data() + s * geom_.dim();
+          if (DistanceSquared(p, center, geom_.dim()) <= eps2) {
+            matched += sd.subcells_[s].count;
+          }
+        }
+        if (matched > 0) visit(cell, matched);
+      };
+      if (index_ == CandidateIndex::kKdTree) {
+        sd.tree_.ForEachInRadius(p, candidate_radius, per_candidate);
+      } else {
+        sd.rtree_.ForEachInRadius(p, candidate_radius, per_candidate);
+      }
+    }
+    return visited;
+  }
+
+  /// Total density of all (eps, rho)-neighbor sub-cells of `p` — the count
+  /// compared against minPts in core marking (Example 5.7).
+  uint32_t QueryCount(const float* p) const {
+    uint32_t total = 0;
+    Query(p, [&total](const DictCell&, uint32_t c) { total += c; });
+    return total;
+  }
+
+  /// Serializes the dictionary into the Lemma 4.3 wire layout: a fixed
+  /// header, then per cell its exact position (32 bits per dimension),
+  /// id and sub-cell count, then 32-bit densities, then the sub-cell
+  /// positions bit-packed at d*(h-1) bits each. This is the payload the
+  /// paper broadcasts to every worker (Alg. 1 line 5); Table 5 reports
+  /// its size relative to the data.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Reconstructs a dictionary from Serialize() output, re-running
+  /// defragmentation and index construction with `opts` (a receiving
+  /// worker may use different memory limits than the sender). Fails with
+  /// InvalidArgument on a corrupt or truncated buffer.
+  static StatusOr<CellDictionary> Deserialize(
+      const std::vector<uint8_t>& bytes,
+      const CellDictionaryOptions& opts = CellDictionaryOptions());
+
+ private:
+  CellDictionary() = default;
+
+  /// Shared assembly path of Build and Deserialize: defragmentation (BSP),
+  /// per-fragment kd-trees, MBRs and pre-decoded sub-cell centers.
+  static StatusOr<CellDictionary> Assemble(const GridGeometry& geom,
+                                           std::vector<CellEntry> entries,
+                                           const CellDictionaryOptions& opts);
+
+  GridGeometry geom_;
+  std::vector<SubDictionary> subdicts_;
+  size_t num_cells_ = 0;
+  size_t num_subcells_ = 0;
+  bool enable_skipping_ = true;
+  CandidateIndex index_ = CandidateIndex::kKdTree;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_CELL_DICTIONARY_H_

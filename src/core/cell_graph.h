@@ -1,0 +1,50 @@
+#ifndef RPDBSCAN_CORE_CELL_GRAPH_H_
+#define RPDBSCAN_CORE_CELL_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpdbscan {
+
+/// Vertex classification in a cell (sub)graph (Def. 5.8): a partition
+/// knows core/non-core only for cells it owns; every other endpoint is
+/// undetermined until the merge phase resolves it.
+enum class CellType : uint8_t {
+  kUndetermined = 0,
+  kCore = 1,
+  kNonCore = 2,
+};
+
+/// Edge classification (Def. 5.8). Phase II emits only kUndetermined
+/// ("the type ... cannot be confirmed in this phase", Sec. 3); the merge
+/// tournament promotes edges to full/partial as endpoint types become
+/// known. Invariant maintained by the merge: a kFull edge has already been
+/// fed to the union-find (so later rounds pass it through untouched).
+enum class EdgeType : uint8_t {
+  kUndetermined = 0,
+  kFull = 1,     // core -> core; undirected for clustering purposes
+  kPartial = 2,  // core -> non-core; direction matters for labeling
+};
+
+/// One directed reachability edge between cells, by dense cell id. The
+/// `from` cell is always a core cell of the partition that created the
+/// edge.
+struct CellEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  EdgeType type = EdgeType::kUndetermined;
+};
+
+/// The local clustering result of one partition (Phase II output): the
+/// types of the cells the partition owns plus the reachability edges found
+/// from its core cells.
+struct CellSubgraph {
+  uint32_t partition_id = 0;
+  /// (cell id, type) for every cell owned by this partition.
+  std::vector<std::pair<uint32_t, CellType>> owned;
+  std::vector<CellEdge> edges;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_CELL_GRAPH_H_

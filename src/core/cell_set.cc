@@ -1,0 +1,76 @@
+#include "core/cell_set.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/reservoir.h"
+
+namespace rpdbscan {
+
+StatusOr<CellSet> CellSet::Build(const Dataset& data,
+                                 const GridGeometry& geom,
+                                 size_t num_partitions, uint64_t seed) {
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (data.dim() != geom.dim()) {
+    return Status::InvalidArgument("dataset dim does not match grid dim");
+  }
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  CellSet set(geom);
+  set.index_.reserve(data.size() / 4 + 16);
+  // Pass 1: bin every point into its (created-on-demand) cell.
+  for (size_t i = 0; i < data.size(); ++i) {
+    const CellCoord coord = geom.CellOf(data.point(i));
+    auto [it, inserted] =
+        set.index_.emplace(coord, static_cast<uint32_t>(set.cells_.size()));
+    if (inserted) {
+      set.cells_.emplace_back();
+      set.cells_.back().coord = coord;
+    }
+    set.cells_[it->second].point_ids.push_back(static_cast<uint32_t>(i));
+  }
+  // Pass 2: pseudo random partitioning (Alg. 2, lines 5-8) — "randomly
+  // divides the entire set of cells to partitions of the same size"
+  // (Sec. 4.1): a seeded shuffle dealt round-robin, so partition sizes
+  // differ by at most one cell.
+  Rng rng(seed);
+  set.partitions_ = RandomDisjointSplit(set.cells_.size(), num_partitions,
+                                        rng);
+  for (uint32_t pid = 0; pid < set.partitions_.size(); ++pid) {
+    for (const uint32_t cid : set.partitions_[pid]) {
+      set.cells_[cid].owner_partition = pid;
+    }
+  }
+  return set;
+}
+
+int64_t CellSet::FindCell(const CellCoord& coord) const {
+  const auto it = index_.find(coord);
+  if (it == index_.end()) return -1;
+  return static_cast<int64_t>(it->second);
+}
+
+size_t CellSet::MaxPartitionPoints() const {
+  size_t best = 0;
+  for (const auto& part : partitions_) {
+    size_t n = 0;
+    for (const uint32_t cid : part) n += cells_[cid].point_ids.size();
+    best = std::max(best, n);
+  }
+  return best;
+}
+
+size_t CellSet::MinPartitionPoints() const {
+  size_t best = static_cast<size_t>(-1);
+  for (const auto& part : partitions_) {
+    size_t n = 0;
+    for (const uint32_t cid : part) n += cells_[cid].point_ids.size();
+    best = std::min(best, n);
+  }
+  return best == static_cast<size_t>(-1) ? 0 : best;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,72 @@
+#ifndef RPDBSCAN_CORE_CELL_SET_H_
+#define RPDBSCAN_CORE_CELL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cell_coord.h"
+#include "core/grid.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// One non-empty grid cell and the ids of the points inside it.
+struct CellData {
+  CellCoord coord;
+  /// Point ids (indices into the Dataset) belonging to this cell.
+  std::vector<uint32_t> point_ids;
+  /// Owning pseudo-random partition (Phase I-1 assignment).
+  uint32_t owner_partition = 0;
+};
+
+/// The grid view of a data set plus its pseudo random partitioning
+/// (Phase I-1, Alg. 2 part 1): every point is binned to its cell, then
+/// whole *cells* — not points — are distributed across k partitions by a
+/// random key, which is the paper's central data-split idea (Sec. 4.1).
+///
+/// Cell ids are dense [0, num_cells) and shared with the cell dictionary
+/// and cell graph.
+class CellSet {
+ public:
+  /// Bins `data` into cells and assigns each cell a partition in
+  /// [0, num_partitions) with a seeded hash (deterministic given the seed,
+  /// uniform like the paper's random key).
+  static StatusOr<CellSet> Build(const Dataset& data,
+                                 const GridGeometry& geom,
+                                 size_t num_partitions, uint64_t seed);
+
+  const GridGeometry& geom() const { return geom_; }
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  const CellData& cell(uint32_t id) const { return cells_[id]; }
+  const std::vector<CellData>& cells() const { return cells_; }
+
+  /// Cell ids owned by partition `pid`.
+  const std::vector<uint32_t>& partition(uint32_t pid) const {
+    return partitions_[pid];
+  }
+
+  /// Dense id of the cell at `coord`, or -1 if the cell is empty/unknown.
+  int64_t FindCell(const CellCoord& coord) const;
+
+  /// Number of points in the largest / smallest partition (used by the
+  /// partitioning-balance tests and Fig. 13-style accounting).
+  size_t MaxPartitionPoints() const;
+  size_t MinPartitionPoints() const;
+
+ private:
+  explicit CellSet(const GridGeometry& geom) : geom_(geom) {}
+
+  GridGeometry geom_;
+  std::vector<CellData> cells_;
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> index_;
+  std::vector<std::vector<uint32_t>> partitions_;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_CELL_SET_H_

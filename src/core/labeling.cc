@@ -1,0 +1,54 @@
+#include "core/labeling.h"
+
+#include "parallel/parallel_for.h"
+
+namespace rpdbscan {
+
+Labels LabelPoints(const Dataset& data, const CellSet& cells,
+                   const MergeResult& merge,
+                   const std::vector<uint8_t>& point_is_core,
+                   ThreadPool& pool) {
+  Labels labels(data.size(), kNoise);
+  const double eps2 = cells.geom().eps() * cells.geom().eps();
+  ParallelFor(
+      pool, cells.num_partitions(),
+      [&](size_t pid) {
+        for (const uint32_t cid : cells.partition(pid)) {
+          const CellData& cell = cells.cell(cid);
+          const uint32_t cluster = merge.core_cluster[cid];
+          if (cluster != kNoCluster) {
+            // Core cell: all points share the cell's cluster.
+            for (const uint32_t point_id : cell.point_ids) {
+              labels[point_id] = static_cast<int64_t>(cluster);
+            }
+            continue;
+          }
+          // Non-core cell: test each point against the core points of its
+          // predecessor cells (Alg. 4 lines 18-23).
+          const std::vector<uint32_t>& preds = merge.predecessors[cid];
+          if (preds.empty()) continue;  // all points stay noise
+          for (const uint32_t q_id : cell.point_ids) {
+            const float* q = data.point(q_id);
+            for (const uint32_t pred_cid : preds) {
+              const CellData& pred = cells.cell(pred_cid);
+              const uint32_t pred_cluster = merge.core_cluster[pred_cid];
+              bool assigned = false;
+              for (const uint32_t p_id : pred.point_ids) {
+                if (point_is_core[p_id] == 0) continue;
+                if (DistanceSquared(q, data.point(p_id), data.dim()) <=
+                    eps2) {
+                  labels[q_id] = static_cast<int64_t>(pred_cluster);
+                  assigned = true;
+                  break;
+                }
+              }
+              if (assigned) break;
+            }
+          }
+        }
+      },
+      /*chunk=*/1);
+  return labels;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,31 @@
+#ifndef RPDBSCAN_CORE_LABELING_H_
+#define RPDBSCAN_CORE_LABELING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_set.h"
+#include "core/merge.h"
+#include "io/dataset.h"
+#include "parallel/thread_pool.h"
+
+namespace rpdbscan {
+
+/// Phase III-2 (Alg. 4 part 2): translates cell-level cluster membership
+/// to point labels, in parallel over partitions.
+///
+///  * Points in core cells inherit their cell's cluster id (every point in
+///    a core cell is directly reachable from its core point — Fig. 3a).
+///  * Points in non-core cells are checked point-vs-core-point against the
+///    cell's core predecessors (Lemma 3.5, partial clause): label of the
+///    first core point within eps, else noise.
+///
+/// `point_is_core` comes from Phase II; `merge` from Phase III-1.
+Labels LabelPoints(const Dataset& data, const CellSet& cells,
+                   const MergeResult& merge,
+                   const std::vector<uint8_t>& point_is_core,
+                   ThreadPool& pool);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_LABELING_H_

@@ -1,0 +1,175 @@
+#include "core/merge.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include <mutex>
+
+#include "graph/disjoint_set.h"
+#include "parallel/parallel_for.h"
+#include "util/logging.h"
+
+namespace rpdbscan {
+namespace {
+
+// A subgraph during the tournament: knows the types of the cells whose
+// owning partitions have been folded into it.
+struct TournamentGraph {
+  std::vector<std::pair<uint32_t, CellType>> owned;
+  std::vector<CellEdge> edges;
+};
+
+size_t TotalEdges(const std::vector<TournamentGraph>& graphs) {
+  size_t n = 0;
+  for (const auto& g : graphs) n += g.edges.size();
+  return n;
+}
+
+// Merges `b` into `a` (Def. 6.2), then re-types and reduces edges inside
+// the merged graph using the type knowledge available to it. `dsu` is the
+// global union-find accumulating the spanning forest of full edges,
+// guarded by `dsu_mu` when matches of a round run concurrently (their
+// lineages are disjoint, so the lock is for memory safety only — the
+// outcome is order-independent).
+void MergePair(TournamentGraph& a, TournamentGraph&& b, DisjointSet& dsu,
+               std::mutex& dsu_mu, std::vector<CellType>& type_of,
+               bool reduce_edges) {
+  // Def. 6.2: union of vertices; a cell owned by one side promotes the
+  // other side's undetermined view. With single ownership there are no
+  // core/non-core conflicts; we simply install the known types.
+  a.owned.insert(a.owned.end(), b.owned.begin(), b.owned.end());
+  a.edges.insert(a.edges.end(),
+                 std::make_move_iterator(b.edges.begin()),
+                 std::make_move_iterator(b.edges.end()));
+  b.owned.clear();
+  b.edges.clear();
+
+  // Edge type detection (Sec. 6.1.3) + reduction (Sec. 6.1.4) in one
+  // sweep. An edge can be typed only once this merged graph *contains* the
+  // successor's owning partition — even though `type_of` is globally
+  // filled, resolving earlier would misstate the per-round edge series the
+  // paper reports (Fig. 17). Hence the `known` membership check.
+  std::unordered_set<uint32_t> known;
+  known.reserve(a.owned.size() * 2);
+  for (const auto& owned_cell : a.owned) known.insert(owned_cell.first);
+  std::vector<CellEdge> kept;
+  kept.reserve(a.edges.size());
+  for (CellEdge& e : a.edges) {
+    if (e.type == EdgeType::kUndetermined) {
+      const CellType to_type =
+          known.count(e.to) != 0 ? type_of[e.to] : CellType::kUndetermined;
+      if (to_type == CellType::kUndetermined) {
+        kept.push_back(e);  // successor still unknown: keep for later round
+        continue;
+      }
+      if (to_type == CellType::kCore) {
+        e.type = EdgeType::kFull;
+        // Full edge: both cells' points share a cluster (Lemma 3.5).
+        // Keep the edge only if it extends the spanning forest.
+        bool novel;
+        {
+          std::lock_guard<std::mutex> lock(dsu_mu);
+          novel = dsu.Union(e.from, e.to);
+        }
+        if (novel || !reduce_edges) kept.push_back(e);
+        continue;
+      }
+      e.type = EdgeType::kPartial;
+      kept.push_back(e);
+      continue;
+    }
+    // Already typed in an earlier round (full edges are already in the
+    // union-find; partial edges just ride along).
+    kept.push_back(e);
+  }
+  a.edges = std::move(kept);
+}
+
+}  // namespace
+
+MergeResult MergeSubgraphs(std::vector<CellSubgraph> subgraphs,
+                           size_t num_cells, const MergeOptions& opts) {
+  MergeResult result;
+  // Global type table, filled as each subgraph's owned list arrives.
+  std::vector<CellType> type_of(num_cells, CellType::kUndetermined);
+  std::vector<TournamentGraph> round;
+  round.reserve(subgraphs.size());
+  for (CellSubgraph& sg : subgraphs) {
+    TournamentGraph g;
+    g.owned = std::move(sg.owned);
+    g.edges = std::move(sg.edges);
+    for (const auto& [cid, type] : g.owned) {
+      RPDBSCAN_DCHECK(type_of[cid] == CellType::kUndetermined)
+          << "cell " << cid << " owned by two partitions";
+      type_of[cid] = type;
+    }
+    round.push_back(std::move(g));
+  }
+  subgraphs.clear();
+
+  DisjointSet dsu(num_cells);
+  std::mutex dsu_mu;
+  result.edges_per_round.push_back(TotalEdges(round));  // round 0
+
+  // Tournament (Sec. 6.1.1): pair up subgraphs each round until one is
+  // left; the matches of one round are independent and run in parallel
+  // when a pool is provided. An odd graph gets a bye.
+  while (round.size() > 1) {
+    const size_t matches = round.size() / 2;
+    auto run_match = [&](size_t m) {
+      MergePair(round[2 * m], std::move(round[2 * m + 1]), dsu, dsu_mu,
+                type_of, opts.reduce_edges);
+    };
+    if (opts.pool != nullptr && matches > 1) {
+      ParallelFor(*opts.pool, matches, run_match, /*chunk=*/1);
+    } else {
+      for (size_t m = 0; m < matches; ++m) run_match(m);
+    }
+    std::vector<TournamentGraph> next;
+    next.reserve(matches + 1);
+    for (size_t m = 0; m < matches; ++m) {
+      next.push_back(std::move(round[2 * m]));
+    }
+    if (round.size() % 2 == 1) next.push_back(std::move(round.back()));
+    round = std::move(next);
+    result.edges_per_round.push_back(TotalEdges(round));
+  }
+
+  // Single-partition runs never enter the loop; resolve their edges with
+  // one self-merge so the global graph is fully typed.
+  if (round.size() == 1 && !round[0].edges.empty()) {
+    MergePair(round[0], TournamentGraph{}, dsu, dsu_mu, type_of,
+              opts.reduce_edges);
+    if (result.edges_per_round.size() == 1) {
+      result.edges_per_round.push_back(round[0].edges.size());
+    }
+  }
+
+  // Harvest the global graph: cluster ids from the spanning forest and
+  // predecessor lists from partial edges.
+  result.core_cluster.assign(num_cells, kNoCluster);
+  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
+  for (uint32_t cid = 0; cid < num_cells; ++cid) {
+    if (type_of[cid] != CellType::kCore) continue;
+    const uint32_t root = dsu.Find(cid);
+    const auto it = root_to_cluster
+                        .emplace(root, static_cast<uint32_t>(
+                                           root_to_cluster.size()))
+                        .first;
+    result.core_cluster[cid] = it->second;
+  }
+  result.num_clusters = root_to_cluster.size();
+
+  result.predecessors.assign(num_cells, {});
+  if (!round.empty()) {
+    for (const CellEdge& e : round[0].edges) {
+      if (e.type == EdgeType::kPartial) {
+        result.predecessors[e.to].push_back(e.from);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,54 @@
+#ifndef RPDBSCAN_CORE_MERGE_H_
+#define RPDBSCAN_CORE_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/cell_graph.h"
+#include "parallel/thread_pool.h"
+
+namespace rpdbscan {
+
+/// Options for the progressive (tournament) merge.
+struct MergeOptions {
+  /// Drop redundant full edges via the spanning forest (Sec. 6.1.4). The
+  /// ablation benchmark flips this off to measure merge traffic without
+  /// reduction.
+  bool reduce_edges = true;
+  /// Run the matches of each tournament round in parallel on this pool
+  /// (Sec. 6.1.1: "multiple parallel rounds"). Null = sequential. Matches
+  /// of one round touch disjoint partition lineages, so the result is
+  /// identical either way.
+  ThreadPool* pool = nullptr;
+};
+
+/// Sentinel cluster id for non-core cells in `core_cluster`.
+inline constexpr uint32_t kNoCluster = std::numeric_limits<uint32_t>::max();
+
+/// Result of Phase III-1 (Alg. 4 part 1): the global cell graph, reduced to
+/// what point labeling needs.
+struct MergeResult {
+  /// Per cell id: dense cluster id for core cells, kNoCluster otherwise.
+  /// Each spanning tree of full edges is one cluster (Fig. 10b).
+  std::vector<uint32_t> core_cluster;
+  /// Per cell id: the core predecessor cells of each *non-core* cell —
+  /// the surviving partial edges, inverted for labeling (Alg. 4 line 18).
+  std::vector<std::vector<uint32_t>> predecessors;
+  /// Total edges alive across all subgraphs after round r (index r);
+  /// index 0 is before any merging — the series of Fig. 17 / Table 7.
+  std::vector<size_t> edges_per_round;
+  size_t num_clusters = 0;
+};
+
+/// Runs the tournament merge over the Phase II subgraphs: pairwise merging
+/// (Def. 6.2), edge-type detection as endpoint types become known
+/// (Sec. 6.1.3), and full-edge reduction through a union-find spanning
+/// forest (Sec. 6.1.4). Consumes `subgraphs`.
+MergeResult MergeSubgraphs(std::vector<CellSubgraph> subgraphs,
+                           size_t num_cells, const MergeOptions& opts);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_MERGE_H_

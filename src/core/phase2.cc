@@ -1,0 +1,85 @@
+#include "core/phase2.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "parallel/parallel_for.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+
+Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
+                            const CellDictionary& dict, size_t min_pts,
+                            ThreadPool& pool) {
+  Phase2Result result;
+  const size_t k = cells.num_partitions();
+  result.subgraphs.resize(k);
+  result.point_is_core.assign(data.size(), 0);
+  result.cell_is_core.assign(cells.num_cells(), 0);
+  result.task_seconds.assign(k, 0.0);
+  std::atomic<size_t> subdict_visited{0};
+  std::atomic<size_t> subdict_possible{0};
+  const size_t num_subdicts = dict.num_subdictionaries();
+
+  ParallelFor(
+      pool, k,
+      [&](size_t pid) {
+        Stopwatch watch;
+        CellSubgraph& graph = result.subgraphs[pid];
+        graph.partition_id = static_cast<uint32_t>(pid);
+        size_t visited = 0;
+        size_t possible = 0;
+        // Scratch, reused across points of a cell.
+        std::vector<uint32_t> neighbor_cells;
+        std::vector<uint32_t> cell_edges;
+        for (const uint32_t cid : cells.partition(pid)) {
+          const CellData& cell = cells.cell(cid);
+          bool cell_core = false;
+          cell_edges.clear();
+          for (const uint32_t point_id : cell.point_ids) {
+            const float* p = data.point(point_id);
+            neighbor_cells.clear();
+            uint64_t count = 0;
+            visited += dict.Query(
+                p, [&](const DictCell& dc, uint32_t matched) {
+                  count += matched;
+                  if (dc.cell_id != cid) {
+                    neighbor_cells.push_back(dc.cell_id);
+                  }
+                });
+            possible += num_subdicts;
+            if (count >= min_pts) {
+              // Core point (Example 5.7): its neighbor cells become
+              // reachability successors of this cell.
+              result.point_is_core[point_id] = 1;
+              cell_core = true;
+              cell_edges.insert(cell_edges.end(), neighbor_cells.begin(),
+                                neighbor_cells.end());
+            }
+          }
+          result.cell_is_core[cid] = cell_core ? 1 : 0;
+          graph.owned.emplace_back(
+              cid, cell_core ? CellType::kCore : CellType::kNonCore);
+          if (cell_core && !cell_edges.empty()) {
+            std::sort(cell_edges.begin(), cell_edges.end());
+            cell_edges.erase(
+                std::unique(cell_edges.begin(), cell_edges.end()),
+                cell_edges.end());
+            for (const uint32_t to : cell_edges) {
+              graph.edges.push_back(
+                  CellEdge{cid, to, EdgeType::kUndetermined});
+            }
+          }
+        }
+        subdict_visited.fetch_add(visited, std::memory_order_relaxed);
+        subdict_possible.fetch_add(possible, std::memory_order_relaxed);
+        result.task_seconds[pid] = watch.ElapsedSeconds();
+      },
+      /*chunk=*/1);
+
+  result.subdict_visited = subdict_visited.load();
+  result.subdict_possible = subdict_possible.load();
+  return result;
+}
+
+}  // namespace rpdbscan

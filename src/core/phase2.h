@@ -1,0 +1,46 @@
+#ifndef RPDBSCAN_CORE_PHASE2_H_
+#define RPDBSCAN_CORE_PHASE2_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_graph.h"
+#include "core/cell_set.h"
+#include "io/dataset.h"
+#include "parallel/thread_pool.h"
+
+namespace rpdbscan {
+
+/// Output of Phase II (cell graph construction, Alg. 3) across all
+/// partitions.
+struct Phase2Result {
+  /// One local cell subgraph per partition.
+  std::vector<CellSubgraph> subgraphs;
+  /// Per-point core flag (indexed by point id), set by the owning
+  /// partition. Needed later by point labeling (Lemma 3.5, partial case).
+  std::vector<uint8_t> point_is_core;
+  /// Per-cell core flag (indexed by cell id).
+  std::vector<uint8_t> cell_is_core;
+  /// Wall seconds spent by each partition's task — the per-split numbers
+  /// behind the paper's load-imbalance metric (Fig. 13).
+  std::vector<double> task_seconds;
+  /// Sub-dictionaries inspected / total sub-dictionary visits possible,
+  /// summed over all region queries (Lemma 5.10 effectiveness).
+  size_t subdict_visited = 0;
+  size_t subdict_possible = 0;
+};
+
+/// Runs Phase II: for every partition (in parallel on `pool`), performs an
+/// (eps, rho)-region query per point, marks core points and core cells
+/// (Example 5.7), and emits the partition's cell subgraph whose edges link
+/// each core cell to every cell holding at least one neighbor sub-cell
+/// (Defs. 3.3/3.4, recorded as kUndetermined per Alg. 3).
+Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
+                            const CellDictionary& dict, size_t min_pts,
+                            ThreadPool& pool);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_PHASE2_H_

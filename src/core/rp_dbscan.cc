@@ -1,0 +1,138 @@
+#include "core/rp_dbscan.h"
+
+#include <sstream>
+#include <thread>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "core/labeling.h"
+#include "core/merge.h"
+#include "core/phase2.h"
+#include "parallel/thread_pool.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+
+std::string RunStats::ToString() const {
+  std::ostringstream os;
+  os << "RP-DBSCAN run: " << total_seconds << " s total\n"
+     << "  Phase I-1 (partitioning):   " << partition_seconds << " s\n"
+     << "  Phase I-2 (dictionary):     " << dictionary_seconds << " s\n"
+     << "  Phase I-2 (broadcast):      " << broadcast_seconds << " s ("
+     << broadcast_bytes << " bytes)\n"
+     << "  Phase II  (cell graph):     " << phase2_seconds << " s\n"
+     << "  Phase III-1 (merging):      " << merge_seconds << " s\n"
+     << "  Phase III-2 (labeling):     " << label_seconds << " s\n"
+     << "  cells=" << num_cells << " subcells=" << num_subcells
+     << " subdicts=" << num_subdictionaries
+     << " dict_bytes=" << dictionary_bytes << "\n"
+     << "  core_cells=" << num_core_cells << " clusters=" << num_clusters
+     << " noise=" << num_noise_points << "\n";
+  os << "  edges/round:";
+  for (const size_t e : edges_per_round) os << ' ' << e;
+  os << '\n';
+  return os.str();
+}
+
+StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
+                                     const RpDbscanOptions& options) {
+  if (options.min_pts == 0) {
+    return Status::InvalidArgument("min_pts must be >= 1");
+  }
+  if (data.empty()) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  auto geom_or = GridGeometry::Create(data.dim(), options.eps, options.rho);
+  if (!geom_or.ok()) return geom_or.status();
+  const GridGeometry geom = *geom_or;
+
+  size_t num_threads = options.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  size_t num_partitions = options.num_partitions;
+  if (num_partitions == 0) num_partitions = num_threads * 4;
+
+  ThreadPool pool(num_threads);
+  RpDbscanResult result;
+  RunStats& stats = result.stats;
+  Stopwatch total;
+
+  // ---- Phase I-1: pseudo random partitioning (Sec. 4.1). ----
+  Stopwatch phase_watch;
+  auto cells_or = CellSet::Build(data, geom, num_partitions, options.seed);
+  if (!cells_or.ok()) return cells_or.status();
+  const CellSet& cells = *cells_or;
+  stats.partition_seconds = phase_watch.ElapsedSeconds();
+
+  // ---- Phase I-2: two-level cell dictionary (Sec. 4.2). ----
+  phase_watch.Reset();
+  CellDictionaryOptions dict_opts;
+  dict_opts.max_cells_per_subdict = options.max_cells_per_subdict;
+  dict_opts.defragment = options.defragment_dictionary;
+  dict_opts.enable_skipping = options.subdictionary_skipping;
+  dict_opts.index = options.use_rtree_index ? CandidateIndex::kRTree
+                                            : CandidateIndex::kKdTree;
+  auto dict_or = CellDictionary::Build(data, cells, dict_opts, &pool);
+  if (!dict_or.ok()) return dict_or.status();
+  stats.dictionary_seconds = phase_watch.ElapsedSeconds();
+
+  // Broadcast simulation (Alg. 1 line 5): serialize to the Lemma 4.3 wire
+  // layout and decode, as every Spark worker would.
+  if (options.simulate_broadcast) {
+    phase_watch.Reset();
+    const std::vector<uint8_t> wire = dict_or->Serialize();
+    stats.broadcast_bytes = wire.size();
+    auto decoded = CellDictionary::Deserialize(wire, dict_opts);
+    if (!decoded.ok()) {
+      return Status::Internal("broadcast round-trip failed: " +
+                              decoded.status().message());
+    }
+    dict_or = std::move(decoded);
+    stats.broadcast_seconds = phase_watch.ElapsedSeconds();
+  }
+  const CellDictionary& dict = *dict_or;
+  stats.num_cells = dict.num_cells();
+  stats.num_subcells = dict.num_subcells();
+  stats.num_subdictionaries = dict.num_subdictionaries();
+  stats.dictionary_bytes = dict.SizeBytesLemma43();
+
+  // ---- Phase II: core marking + cell subgraph building (Sec. 5). ----
+  phase_watch.Reset();
+  Phase2Result phase2 =
+      BuildSubgraphs(data, cells, dict, options.min_pts, pool);
+  stats.phase2_seconds = phase_watch.ElapsedSeconds();
+  stats.phase2_task_seconds = phase2.task_seconds;
+  stats.subdict_visited = phase2.subdict_visited;
+  stats.subdict_possible = phase2.subdict_possible;
+  for (const uint8_t c : phase2.cell_is_core) {
+    stats.num_core_cells += c;
+  }
+
+  // ---- Phase III-1: progressive graph merging (Sec. 6.1). ----
+  phase_watch.Reset();
+  MergeOptions merge_opts;
+  merge_opts.reduce_edges = options.reduce_edges;
+  merge_opts.pool = &pool;
+  MergeResult merged = MergeSubgraphs(std::move(phase2.subgraphs),
+                                      cells.num_cells(), merge_opts);
+  stats.merge_seconds = phase_watch.ElapsedSeconds();
+  stats.edges_per_round = merged.edges_per_round;
+  stats.num_clusters = merged.num_clusters;
+
+  // ---- Phase III-2: point labeling (Sec. 6.2). ----
+  phase_watch.Reset();
+  result.labels =
+      LabelPoints(data, cells, merged, phase2.point_is_core, pool);
+  stats.label_seconds = phase_watch.ElapsedSeconds();
+  for (const int64_t l : result.labels) {
+    if (l == kNoise) ++stats.num_noise_points;
+  }
+
+  stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,103 @@
+#ifndef RPDBSCAN_CORE_RP_DBSCAN_H_
+#define RPDBSCAN_CORE_RP_DBSCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Parameters of RP-DBSCAN (Alg. 1 inputs plus engine knobs).
+struct RpDbscanOptions {
+  /// DBSCAN neighborhood radius (also the cell diagonal, Def. 3.1).
+  double eps = 0.0;
+  /// DBSCAN density threshold. The paper fixes 100 in its evaluation.
+  size_t min_pts = 100;
+  /// Approximation rate of the two-level dictionary (Def. 4.1). The
+  /// paper's default 0.01 yields clustering identical to exact DBSCAN on
+  /// its accuracy sets (Table 4).
+  double rho = 0.01;
+  /// Number of pseudo random partitions (the paper's k). 0 = auto: four
+  /// per worker thread.
+  size_t num_partitions = 0;
+  /// Worker threads standing in for cluster executors. 0 = hardware
+  /// concurrency.
+  size_t num_threads = 0;
+  /// Seed for the partition assignment.
+  uint64_t seed = 7;
+
+  // --- dictionary knobs (defaults follow the paper; ablations flip) ---
+  size_t max_cells_per_subdict = 2048;
+  bool defragment_dictionary = true;
+  bool subdictionary_skipping = true;
+  /// Use the R-tree instead of the kd-tree for candidate-cell lookup
+  /// (Lemma 5.6 allows either; results are identical).
+  bool use_rtree_index = false;
+  /// Round-trip the dictionary through its Lemma 4.3 wire format before
+  /// Phase II, as the Spark implementation broadcasts it to every worker
+  /// (Alg. 1 line 5). Measures the real broadcast payload size.
+  bool simulate_broadcast = true;
+  /// Spanning-forest full-edge reduction during merging (Sec. 6.1.4).
+  bool reduce_edges = true;
+};
+
+/// Timing and structure statistics of one run — the observables every
+/// experiment in Sec. 7 is built from.
+struct RunStats {
+  // Phase wall times (Fig. 12 / Fig. 21 breakdowns).
+  double partition_seconds = 0;   // Phase I-1
+  double dictionary_seconds = 0;  // Phase I-2
+  double phase2_seconds = 0;      // Phase II (cell graph construction)
+  double merge_seconds = 0;       // Phase III-1
+  double label_seconds = 0;       // Phase III-2
+  double total_seconds = 0;
+
+  /// Per-partition task seconds of Phase II local clustering — the numbers
+  /// behind the load-imbalance metric (Fig. 13).
+  std::vector<double> phase2_task_seconds;
+
+  /// Edges alive after each tournament round (Fig. 17 / Table 7).
+  std::vector<size_t> edges_per_round;
+
+  // Structure sizes.
+  size_t num_cells = 0;
+  size_t num_subcells = 0;
+  size_t num_subdictionaries = 0;
+  /// Two-level dictionary size per Lemma 4.3 (Table 5's numerator).
+  size_t dictionary_bytes = 0;
+  /// Actual serialized wire size (0 when broadcast simulation is off).
+  size_t broadcast_bytes = 0;
+  double broadcast_seconds = 0;
+  size_t num_core_cells = 0;
+  size_t num_clusters = 0;
+  size_t num_noise_points = 0;
+  /// Sub-dictionary visits actually performed / possible (Lemma 5.10).
+  size_t subdict_visited = 0;
+  size_t subdict_possible = 0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// A finished clustering: one label per point (kNoise for outliers) plus
+/// run statistics.
+struct RpDbscanResult {
+  Labels labels;
+  RunStats stats;
+};
+
+/// Runs the full three-phase RP-DBSCAN pipeline (Alg. 1) on `data`.
+///
+/// Fails (without crashing) on invalid parameters: non-positive eps,
+/// rho outside (0,1], min_pts of 0, empty data, or dimensionality above
+/// the supported maximum.
+StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
+                                     const RpDbscanOptions& options);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_RP_DBSCAN_H_

@@ -1,0 +1,44 @@
+#include "graph/disjoint_set.h"
+
+#include <numeric>
+
+namespace rpdbscan {
+
+DisjointSet::DisjointSet(size_t n)
+    : parent_(n), comp_size_(n, 1), components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0u);
+}
+
+uint32_t DisjointSet::Add() {
+  const uint32_t id = static_cast<uint32_t>(parent_.size());
+  parent_.push_back(id);
+  comp_size_.push_back(1);
+  ++components_;
+  return id;
+}
+
+uint32_t DisjointSet::Find(uint32_t x) {
+  // Path halving: every node on the walk points to its grandparent.
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool DisjointSet::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (comp_size_[ra] < comp_size_[rb]) {
+    const uint32_t tmp = ra;
+    ra = rb;
+    rb = tmp;
+  }
+  parent_[rb] = ra;
+  comp_size_[ra] += comp_size_[rb];
+  --components_;
+  return true;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,41 @@
+#ifndef RPDBSCAN_GRAPH_DISJOINT_SET_H_
+#define RPDBSCAN_GRAPH_DISJOINT_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpdbscan {
+
+/// Union-find with path halving and union by size. This is the linear-time
+/// machinery behind the paper's edge reduction (Sec. 6.1.4: "the spanning
+/// forest is found in linear time") and behind cluster-id assignment from
+/// the global cell graph's spanning trees.
+class DisjointSet {
+ public:
+  /// `n` singleton elements, ids [0, n).
+  explicit DisjointSet(size_t n);
+
+  /// Adds one more singleton and returns its id.
+  uint32_t Add();
+
+  /// Representative of `x`'s component.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the components of `a` and `b`. Returns true iff they were in
+  /// different components (i.e., the edge (a,b) belongs to the spanning
+  /// forest).
+  bool Union(uint32_t a, uint32_t b);
+
+  size_t size() const { return parent_.size(); }
+  size_t num_components() const { return components_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> comp_size_;
+  size_t components_ = 0;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_GRAPH_DISJOINT_SET_H_

@@ -1,0 +1,78 @@
+#include "io/binary.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace rpdbscan {
+namespace {
+
+constexpr uint32_t kMagic = 0x53445052;  // "RPDS" little-endian
+constexpr uint32_t kVersion = 1;
+
+struct Header {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t dim;
+  uint32_t reserved;
+  uint64_t count;
+};
+static_assert(sizeof(Header) == 24, "header layout must be packed");
+
+}  // namespace
+
+Status WriteBinary(const std::string& path, const Dataset& ds) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Header header{kMagic, kVersion, static_cast<uint32_t>(ds.dim()), 0,
+                static_cast<uint64_t>(ds.size())};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  out.write(reinterpret_cast<const char*>(ds.flat().data()),
+            static_cast<std::streamsize>(ds.flat().size() * sizeof(float)));
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  Header header{};
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in || in.gcount() != sizeof(header)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  if (header.magic != kMagic) {
+    return Status::InvalidArgument(path + ": not an RPDS file");
+  }
+  if (header.version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported version " +
+                                   std::to_string(header.version));
+  }
+  if (header.dim == 0) {
+    return Status::InvalidArgument(path + ": zero dimension");
+  }
+  // Sanity-check the declared size against the actual file length before
+  // allocating.
+  const auto payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const auto file_end = in.tellg();
+  const uint64_t available =
+      static_cast<uint64_t>(file_end - payload_start);
+  const uint64_t bytes_per_point =
+      static_cast<uint64_t>(header.dim) * sizeof(float);
+  // Overflow-safe: count * bytes_per_point must fit in the file.
+  if (header.count > available / bytes_per_point) {
+    return Status::InvalidArgument(path + ": truncated payload");
+  }
+  in.seekg(payload_start);
+  std::vector<float> flat(header.count * header.dim);
+  in.read(reinterpret_cast<char*>(flat.data()),
+          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+  if (!in && !flat.empty()) {
+    return Status::InvalidArgument(path + ": short read");
+  }
+  return Dataset::FromFlat(header.dim, std::move(flat));
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,81 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rpdbscan {
+namespace {
+
+// Splits `line` on commas and/or whitespace into float fields. Returns
+// false on a parse failure.
+bool ParseRow(const std::string& line, std::vector<float>* out) {
+  out->clear();
+  const char* p = line.c_str();
+  const char* end = p + line.size();
+  while (p < end) {
+    while (p < end && (*p == ',' || *p == ' ' || *p == '\t' || *p == '\r')) {
+      ++p;
+    }
+    if (p >= end) break;
+    char* next = nullptr;
+    const float v = std::strtof(p, &next);
+    if (next == p) return false;
+    out->push_back(v);
+    p = next;
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Dataset> ReadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::string line;
+  std::vector<float> row;
+  size_t dim = 0;
+  std::vector<float> flat;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (!ParseRow(line, &row) || row.empty()) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": unparsable row");
+    }
+    if (dim == 0) {
+      dim = row.size();
+    } else if (row.size() != dim) {
+      return Status::IOError(path + ":" + std::to_string(line_no) +
+                             ": arity " + std::to_string(row.size()) +
+                             " != " + std::to_string(dim));
+    }
+    flat.insert(flat.end(), row.begin(), row.end());
+  }
+  if (dim == 0) return Status::IOError(path + ": no data rows");
+  return Dataset::FromFlat(dim, std::move(flat));
+}
+
+Status WriteCsv(const std::string& path, const Dataset& ds,
+                const Labels* labels) {
+  if (labels != nullptr && labels->size() != ds.size()) {
+    return Status::InvalidArgument("labels size does not match dataset");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const float* p = ds.point(i);
+    for (size_t d = 0; d < ds.dim(); ++d) {
+      if (d > 0) out << ',';
+      out << p[d];
+    }
+    if (labels != nullptr) out << ',' << (*labels)[i];
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

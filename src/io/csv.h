@@ -1,0 +1,25 @@
+#ifndef RPDBSCAN_IO_CSV_H_
+#define RPDBSCAN_IO_CSV_H_
+
+#include <string>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Reads a headerless CSV of floats (one point per line, comma- or
+/// whitespace-separated). All rows must have the same arity, which becomes
+/// the data set dimension. Empty lines and lines starting with '#' are
+/// skipped.
+StatusOr<Dataset> ReadCsv(const std::string& path);
+
+/// Writes `ds` as comma-separated rows. If `labels` is non-null it must
+/// have `ds.size()` entries and is appended as a last integer column —
+/// the format the plotting examples consume (Fig. 16 reproductions).
+Status WriteCsv(const std::string& path, const Dataset& ds,
+                const Labels* labels = nullptr);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_CSV_H_

@@ -1,0 +1,28 @@
+#include "io/dataset.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rpdbscan {
+
+StatusOr<Dataset> Dataset::FromFlat(size_t dim, std::vector<float> coords) {
+  if (dim == 0) {
+    return Status::InvalidArgument("Dataset dimension must be >= 1");
+  }
+  if (coords.size() % dim != 0) {
+    return Status::InvalidArgument(
+        "flat coordinate buffer size is not a multiple of dim");
+  }
+  Dataset ds(dim);
+  ds.coords_ = std::move(coords);
+  return ds;
+}
+
+void Dataset::Append(std::initializer_list<float> p) {
+  RPDBSCAN_CHECK(p.size() == dim_) << "Append arity " << p.size()
+                                   << " != dim " << dim_;
+  coords_.insert(coords_.end(), p.begin(), p.end());
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,85 @@
+#include "io/svg_scatter.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "spatial/mbr.h"
+
+namespace rpdbscan {
+namespace {
+
+// A categorical palette with good mutual contrast; cluster ids cycle.
+constexpr const char* kPalette[] = {
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4", "#46f0f0",
+    "#f032e6", "#bcf60c", "#008080", "#9a6324", "#800000", "#808000",
+    "#000075", "#fabebe", "#ffd8b1", "#aaffc3",
+};
+constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+constexpr const char* kNoiseColor = "#bbbbbb";
+
+}  // namespace
+
+Status WriteSvgScatter(const std::string& path, const Dataset& ds,
+                       const Labels& labels,
+                       const SvgScatterOptions& opts) {
+  if (labels.size() != ds.size()) {
+    return Status::InvalidArgument("labels size does not match dataset");
+  }
+  if (ds.empty()) return Status::InvalidArgument("dataset is empty");
+  if (opts.dim_x >= ds.dim() || opts.dim_y >= ds.dim()) {
+    return Status::InvalidArgument("plot dimensions out of range");
+  }
+  if (opts.width <= 0 || opts.height <= 0) {
+    return Status::InvalidArgument("canvas must be positive");
+  }
+
+  // Data extent with a 4% margin.
+  Mbr box(2);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const float p[2] = {ds.point(i)[opts.dim_x], ds.point(i)[opts.dim_y]};
+    box.ExpandToPoint(p);
+  }
+  const double span_x = std::max(1e-12, box.max(0) - box.min(0));
+  const double span_y = std::max(1e-12, box.max(1) - box.min(1));
+  const double margin = 0.04;
+  auto to_px_x = [&](double x) {
+    return (margin + (1 - 2 * margin) * (x - box.min(0)) / span_x) *
+           opts.width;
+  };
+  auto to_px_y = [&](double y) {
+    // SVG y grows downward; flip so the plot reads like a math plot.
+    return (1.0 - margin - (1 - 2 * margin) * (y - box.min(1)) / span_y) *
+           opts.height;
+  };
+
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opts.width
+      << "\" height=\"" << opts.height << "\" viewBox=\"0 0 " << opts.width
+      << ' ' << opts.height << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!opts.title.empty()) {
+    out << "<text x=\"" << opts.width / 2
+        << "\" y=\"16\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"14\">"
+        << opts.title << "</text>\n";
+  }
+  // Noise first so cluster points draw on top.
+  for (const bool noise_pass : {true, false}) {
+    for (size_t i = 0; i < ds.size(); ++i) {
+      const bool is_noise = labels[i] == kNoise;
+      if (is_noise != noise_pass) continue;
+      const char* color =
+          is_noise ? kNoiseColor
+                   : kPalette[static_cast<size_t>(labels[i]) % kPaletteSize];
+      out << "<circle cx=\"" << to_px_x(ds.point(i)[opts.dim_x])
+          << "\" cy=\"" << to_px_y(ds.point(i)[opts.dim_y]) << "\" r=\""
+          << opts.point_radius << "\" fill=\"" << color << "\"/>\n";
+    }
+  }
+  out << "</svg>\n";
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,38 @@
+#ifndef RPDBSCAN_IO_SVG_SCATTER_H_
+#define RPDBSCAN_IO_SVG_SCATTER_H_
+
+#include <string>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Options for the SVG scatter plot writer.
+struct SvgScatterOptions {
+  /// Canvas size in pixels.
+  int width = 800;
+  int height = 800;
+  /// Marker radius in pixels.
+  double point_radius = 1.2;
+  /// Which two dimensions to plot.
+  size_t dim_x = 0;
+  size_t dim_y = 1;
+  /// Optional plot title rendered at the top.
+  std::string title;
+};
+
+/// Writes a 2-d scatter plot of `ds` colored by `labels` (noise gray,
+/// clusters cycling through a categorical palette) as a standalone SVG —
+/// the direct rendering of the paper's Fig. 16 cluster visualisations,
+/// with no external plotting stack needed.
+///
+/// Fails if labels mismatch the data set or the selected dimensions do
+/// not exist.
+Status WriteSvgScatter(const std::string& path, const Dataset& ds,
+                       const Labels& labels,
+                       const SvgScatterOptions& opts = SvgScatterOptions());
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_SVG_SCATTER_H_

@@ -1,0 +1,81 @@
+#include "io/transforms.h"
+
+#include <cmath>
+
+namespace rpdbscan {
+
+StatusOr<AffineTransform> FitMinMax(const Dataset& ds, double lo,
+                                    double hi) {
+  if (ds.empty()) return Status::InvalidArgument("dataset is empty");
+  if (!(hi > lo)) return Status::InvalidArgument("need hi > lo");
+  const size_t dim = ds.dim();
+  std::vector<double> mins(dim, ds.point(0)[0]);
+  std::vector<double> maxs(dim, ds.point(0)[0]);
+  for (size_t d = 0; d < dim; ++d) {
+    mins[d] = maxs[d] = ds.point(0)[d];
+  }
+  for (size_t i = 1; i < ds.size(); ++i) {
+    const float* p = ds.point(i);
+    for (size_t d = 0; d < dim; ++d) {
+      if (p[d] < mins[d]) mins[d] = p[d];
+      if (p[d] > maxs[d]) maxs[d] = p[d];
+    }
+  }
+  AffineTransform t;
+  t.offset.resize(dim);
+  t.scale.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const double range = maxs[d] - mins[d];
+    // x' = (x - min) * (hi-lo)/range + lo  ==  (x - offset) * scale with
+    // offset = min - lo*range/(hi-lo).
+    if (range > 0) {
+      t.scale[d] = (hi - lo) / range;
+      t.offset[d] = mins[d] - lo / t.scale[d];
+    } else {
+      t.scale[d] = 1.0;
+      t.offset[d] = mins[d] - lo;  // constant dimension -> all map to lo
+    }
+  }
+  return t;
+}
+
+StatusOr<AffineTransform> FitStandardize(const Dataset& ds) {
+  if (ds.empty()) return Status::InvalidArgument("dataset is empty");
+  const size_t dim = ds.dim();
+  std::vector<double> mean(dim, 0.0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const float* p = ds.point(i);
+    for (size_t d = 0; d < dim; ++d) mean[d] += p[d];
+  }
+  const double n = static_cast<double>(ds.size());
+  for (double& m : mean) m /= n;
+  std::vector<double> var(dim, 0.0);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const float* p = ds.point(i);
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = p[d] - mean[d];
+      var[d] += delta * delta;
+    }
+  }
+  AffineTransform t;
+  t.offset = mean;
+  t.scale.resize(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    const double stddev = std::sqrt(var[d] / n);
+    t.scale[d] = stddev > 0 ? 1.0 / stddev : 1.0;
+  }
+  return t;
+}
+
+Status ApplyTransform(const AffineTransform& t, Dataset* ds) {
+  if (ds == nullptr) return Status::InvalidArgument("null dataset");
+  if (t.dim() != ds->dim()) {
+    return Status::InvalidArgument("transform dim does not match dataset");
+  }
+  for (size_t i = 0; i < ds->size(); ++i) {
+    t.Apply(ds->mutable_point(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,43 @@
+#ifndef RPDBSCAN_IO_TRANSFORMS_H_
+#define RPDBSCAN_IO_TRANSFORMS_H_
+
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Per-dimension affine rescaling parameters: x' = (x - offset) * scale.
+/// Produced by the fitting helpers below; kept so query points or held-out
+/// data can be mapped into the same space.
+struct AffineTransform {
+  std::vector<double> offset;
+  std::vector<double> scale;
+
+  size_t dim() const { return offset.size(); }
+
+  /// Applies the transform to one point in place.
+  void Apply(float* p) const {
+    for (size_t d = 0; d < offset.size(); ++d) {
+      p[d] = static_cast<float>((p[d] - offset[d]) * scale[d]);
+    }
+  }
+};
+
+/// Fits a min-max rescaling of `ds` onto [lo, hi]^dim (constant dimensions
+/// map to lo). DBSCAN's single eps assumes comparable dimension scales —
+/// GPS traces or click-log features usually need this first.
+StatusOr<AffineTransform> FitMinMax(const Dataset& ds, double lo = 0.0,
+                                    double hi = 1.0);
+
+/// Fits a z-score standardization (mean 0, stddev 1; constant dimensions
+/// are centered only).
+StatusOr<AffineTransform> FitStandardize(const Dataset& ds);
+
+/// Applies `t` to every point of `ds` in place. Fails on dim mismatch.
+Status ApplyTransform(const AffineTransform& t, Dataset* ds);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_TRANSFORMS_H_

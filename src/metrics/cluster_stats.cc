@@ -1,0 +1,39 @@
+#include "metrics/cluster_stats.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace rpdbscan {
+
+std::string ClusterSummary::ToString() const {
+  std::ostringstream os;
+  os << num_points << " points, " << num_clusters << " clusters, "
+     << num_noise << " noise";
+  if (!sizes.empty()) {
+    os << "; top sizes:";
+    const size_t show = sizes.size() < 5 ? sizes.size() : 5;
+    for (size_t i = 0; i < show; ++i) os << ' ' << sizes[i];
+  }
+  return os.str();
+}
+
+ClusterSummary Summarize(const Labels& labels) {
+  ClusterSummary out;
+  out.num_points = labels.size();
+  std::unordered_map<int64_t, size_t> counts;
+  for (const int64_t l : labels) {
+    if (l == kNoise) {
+      ++out.num_noise;
+    } else {
+      ++counts[l];
+    }
+  }
+  out.num_clusters = counts.size();
+  out.sizes.reserve(counts.size());
+  for (const auto& kv : counts) out.sizes.push_back(kv.second);
+  std::sort(out.sizes.begin(), out.sizes.end(), std::greater<size_t>());
+  return out;
+}
+
+}  // namespace rpdbscan

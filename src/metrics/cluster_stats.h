@@ -1,0 +1,35 @@
+#ifndef RPDBSCAN_METRICS_CLUSTER_STATS_H_
+#define RPDBSCAN_METRICS_CLUSTER_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace rpdbscan {
+
+/// Summary of one clustering result: how many clusters, how much noise,
+/// and the cluster-size distribution. Used by examples and by tests that
+/// assert macroscopic properties ("around ten clusters", Sec. 7.1.4).
+struct ClusterSummary {
+  size_t num_points = 0;
+  size_t num_clusters = 0;
+  size_t num_noise = 0;
+  /// Cluster sizes in decreasing order.
+  std::vector<size_t> sizes;
+
+  /// Size of the largest cluster, 0 if none.
+  size_t LargestCluster() const { return sizes.empty() ? 0 : sizes[0]; }
+
+  /// One-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes the summary of `labels` (noise = kNoise entries).
+ClusterSummary Summarize(const Labels& labels);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_METRICS_CLUSTER_STATS_H_

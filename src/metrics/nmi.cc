@@ -1,0 +1,93 @@
+#include "metrics/nmi.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace rpdbscan {
+namespace {
+
+// Remaps labels applying the noise policy (mirrors rand_index.cc).
+std::vector<int64_t> Normalize(const Labels& in, NoiseHandling noise) {
+  std::vector<int64_t> out(in.size());
+  std::unordered_map<int64_t, int64_t> remap;
+  int64_t next = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == kNoise && noise == NoiseHandling::kSingleton) {
+      out[i] = next++;
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(in[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return static_cast<size_t>(HashCombine(
+        static_cast<uint64_t>(p.first), static_cast<uint64_t>(p.second)));
+  }
+};
+
+double Entropy(const std::unordered_map<int64_t, int64_t>& counts,
+               double n) {
+  double h = 0.0;
+  for (const auto& kv : counts) {
+    const double p = static_cast<double>(kv.second) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+StatusOr<double> NormalizedMutualInformation(const Labels& a,
+                                             const Labels& b,
+                                             NoiseHandling noise) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("labelings differ in size");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("labelings are empty");
+  }
+  const std::vector<int64_t> na = Normalize(a, noise);
+  const std::vector<int64_t> nb = Normalize(b, noise);
+  std::unordered_map<std::pair<int64_t, int64_t>, int64_t, PairHash> joint;
+  std::unordered_map<int64_t, int64_t> rows;
+  std::unordered_map<int64_t, int64_t> cols;
+  for (size_t i = 0; i < na.size(); ++i) {
+    ++joint[{na[i], nb[i]}];
+    ++rows[na[i]];
+    ++cols[nb[i]];
+  }
+  const double n = static_cast<double>(a.size());
+  const double ha = Entropy(rows, n);
+  const double hb = Entropy(cols, n);
+  double mi = 0.0;
+  for (const auto& kv : joint) {
+    const double pij = static_cast<double>(kv.second) / n;
+    const double pi =
+        static_cast<double>(rows[kv.first.first]) / n;
+    const double pj =
+        static_cast<double>(cols[kv.first.second]) / n;
+    mi += pij * std::log(pij / (pi * pj));
+  }
+  const double denom = std::sqrt(ha * hb);
+  if (denom <= 0.0) {
+    // Both partitions trivial: identical iff the joint is diagonal, which
+    // with zero entropy on either side means both are single-cluster (or
+    // the normalization made them identical singletons).
+    return joint.size() == rows.size() && joint.size() == cols.size()
+               ? 1.0
+               : 0.0;
+  }
+  const double nmi = mi / denom;
+  // Clamp tiny numeric excursions outside [0, 1].
+  return nmi < 0.0 ? 0.0 : (nmi > 1.0 ? 1.0 : nmi);
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,25 @@
+#ifndef RPDBSCAN_METRICS_NMI_H_
+#define RPDBSCAN_METRICS_NMI_H_
+
+#include "io/dataset.h"
+#include "metrics/rand_index.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Normalized mutual information between two labelings, NMI =
+/// I(A;B) / sqrt(H(A) H(B)), in [0, 1] with 1 for identical partitions.
+/// Complements the Rand index in the extended accuracy study: NMI is less
+/// dominated by large clusters, so it is the sharper lens on whether an
+/// approximate algorithm loses *small* clusters.
+///
+/// Noise points are handled per `noise` (same semantics as RandIndex).
+/// Returns 1.0 when both partitions are trivial (single cluster or all
+/// singletons) and identical; fails on empty or mismatched inputs.
+StatusOr<double> NormalizedMutualInformation(
+    const Labels& a, const Labels& b,
+    NoiseHandling noise = NoiseHandling::kSingleton);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_METRICS_NMI_H_

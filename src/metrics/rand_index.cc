@@ -1,0 +1,111 @@
+#include "metrics/rand_index.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace rpdbscan {
+namespace {
+
+// Remaps labels so noise points follow the chosen policy, producing dense
+// non-negative ids.
+std::vector<int64_t> Normalize(const Labels& in, NoiseHandling noise) {
+  std::vector<int64_t> out(in.size());
+  std::unordered_map<int64_t, int64_t> remap;
+  int64_t next = 0;
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == kNoise && noise == NoiseHandling::kSingleton) {
+      out[i] = next++;
+      continue;
+    }
+    const auto [it, inserted] = remap.emplace(in[i], next);
+    if (inserted) ++next;
+    out[i] = it->second;
+  }
+  return out;
+}
+
+struct PairHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+    return static_cast<size_t>(
+        HashCombine(static_cast<uint64_t>(p.first),
+                    static_cast<uint64_t>(p.second)));
+  }
+};
+
+// Sum over x of C(x, 2), as double to avoid overflow on large n.
+double SumChoose2(const std::unordered_map<int64_t, int64_t>& counts) {
+  double s = 0.0;
+  for (const auto& kv : counts) {
+    const double c = static_cast<double>(kv.second);
+    s += 0.5 * c * (c - 1.0);
+  }
+  return s;
+}
+
+struct Contingency {
+  double sum_nij_c2 = 0.0;  // sum over cells of C(n_ij, 2)
+  double sum_ai_c2 = 0.0;   // sum over rows
+  double sum_bj_c2 = 0.0;   // sum over columns
+  double total_pairs = 0.0;  // C(n, 2)
+};
+
+StatusOr<Contingency> BuildContingency(const Labels& a, const Labels& b,
+                                       NoiseHandling noise) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("labelings differ in size");
+  }
+  if (a.empty()) {
+    return Status::InvalidArgument("labelings are empty");
+  }
+  const std::vector<int64_t> na = Normalize(a, noise);
+  const std::vector<int64_t> nb = Normalize(b, noise);
+  std::unordered_map<std::pair<int64_t, int64_t>, int64_t, PairHash> cells;
+  std::unordered_map<int64_t, int64_t> rows;
+  std::unordered_map<int64_t, int64_t> cols;
+  cells.reserve(a.size());
+  for (size_t i = 0; i < na.size(); ++i) {
+    ++cells[{na[i], nb[i]}];
+    ++rows[na[i]];
+    ++cols[nb[i]];
+  }
+  Contingency c;
+  for (const auto& kv : cells) {
+    const double n_ij = static_cast<double>(kv.second);
+    c.sum_nij_c2 += 0.5 * n_ij * (n_ij - 1.0);
+  }
+  c.sum_ai_c2 = SumChoose2(rows);
+  c.sum_bj_c2 = SumChoose2(cols);
+  const double n = static_cast<double>(a.size());
+  c.total_pairs = 0.5 * n * (n - 1.0);
+  return c;
+}
+
+}  // namespace
+
+StatusOr<double> RandIndex(const Labels& a, const Labels& b,
+                           NoiseHandling noise) {
+  auto c = BuildContingency(a, b, noise);
+  if (!c.ok()) return c.status();
+  if (c->total_pairs <= 0.0) return 1.0;
+  // Agreements = C(n,2) + 2*sum C(n_ij,2) - sum C(a_i,2) - sum C(b_j,2).
+  const double agree = c->total_pairs + 2.0 * c->sum_nij_c2 -
+                       c->sum_ai_c2 - c->sum_bj_c2;
+  return agree / c->total_pairs;
+}
+
+StatusOr<double> AdjustedRandIndex(const Labels& a, const Labels& b,
+                                   NoiseHandling noise) {
+  auto c = BuildContingency(a, b, noise);
+  if (!c.ok()) return c.status();
+  if (c->total_pairs <= 0.0) return 1.0;
+  const double expected = c->sum_ai_c2 * c->sum_bj_c2 / c->total_pairs;
+  const double max_index = 0.5 * (c->sum_ai_c2 + c->sum_bj_c2);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both clusterings trivial and identical
+  return (c->sum_nij_c2 - expected) / denom;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,36 @@
+#ifndef RPDBSCAN_METRICS_RAND_INDEX_H_
+#define RPDBSCAN_METRICS_RAND_INDEX_H_
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// How noise points (label kNoise) are treated when comparing clusterings.
+enum class NoiseHandling {
+  /// Every noise point is its own singleton cluster. Two clusterings that
+  /// mark the same points as noise therefore agree on those points. This is
+  /// the conventional choice for DBSCAN comparisons and our default.
+  kSingleton,
+  /// All noise points form one shared "noise cluster".
+  kOneCluster,
+};
+
+/// Rand index between two labelings of the same point set (Sec. 7.1.5):
+/// the fraction of point pairs on which the clusterings agree, in [0, 1],
+/// 1 meaning identical clusterings. Computed in O(n + #distinct pairs) via
+/// a contingency table, so it is usable on the 100k-point accuracy sets.
+///
+/// Fails if the labelings are empty or differ in size.
+StatusOr<double> RandIndex(const Labels& a, const Labels& b,
+                           NoiseHandling noise = NoiseHandling::kSingleton);
+
+/// Adjusted Rand index (chance-corrected; 1 = identical, ~0 = random).
+/// Provided for the extended accuracy study beyond the paper's Table 4.
+StatusOr<double> AdjustedRandIndex(
+    const Labels& a, const Labels& b,
+    NoiseHandling noise = NoiseHandling::kSingleton);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_METRICS_RAND_INDEX_H_

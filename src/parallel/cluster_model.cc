@@ -1,0 +1,48 @@
+#include "parallel/cluster_model.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rpdbscan {
+
+double LoadImbalance(const std::vector<double>& task_seconds) {
+  if (task_seconds.size() < 2) return 1.0;
+  const auto [min_it, max_it] =
+      std::minmax_element(task_seconds.begin(), task_seconds.end());
+  if (*min_it <= 1e-12) return 1.0;
+  return *max_it / *min_it;
+}
+
+double MakespanForWorkers(const std::vector<double>& task_seconds,
+                          size_t num_workers) {
+  if (task_seconds.empty()) return 0.0;
+  if (num_workers == 0) num_workers = 1;
+  // Min-heap of worker finish times; each task goes to the earliest-free
+  // worker, in submission order.
+  std::priority_queue<double, std::vector<double>, std::greater<>> workers;
+  for (size_t i = 0; i < num_workers; ++i) workers.push(0.0);
+  double makespan = 0.0;
+  for (double t : task_seconds) {
+    double free_at = workers.top();
+    workers.pop();
+    free_at += t;
+    makespan = std::max(makespan, free_at);
+    workers.push(free_at);
+  }
+  return makespan;
+}
+
+std::vector<double> SpeedupSeries(const std::vector<double>& task_seconds,
+                                  size_t base_workers,
+                                  const std::vector<size_t>& worker_counts) {
+  std::vector<double> out;
+  out.reserve(worker_counts.size());
+  const double base = MakespanForWorkers(task_seconds, base_workers);
+  for (size_t w : worker_counts) {
+    const double m = MakespanForWorkers(task_seconds, w);
+    out.push_back(m > 0.0 ? base / m : 1.0);
+  }
+  return out;
+}
+
+}  // namespace rpdbscan

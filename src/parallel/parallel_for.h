@@ -1,0 +1,43 @@
+#ifndef RPDBSCAN_PARALLEL_PARALLEL_FOR_H_
+#define RPDBSCAN_PARALLEL_PARALLEL_FOR_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "parallel/thread_pool.h"
+
+namespace rpdbscan {
+
+/// Runs `fn(i)` for every i in [0, n) on `pool`, blocking until all
+/// iterations complete. Work is handed out in dynamic chunks through a
+/// shared atomic cursor, so iterations with skewed costs still balance.
+///
+/// `fn` must be safe to invoke concurrently from multiple threads.
+template <typename Fn>
+void ParallelFor(ThreadPool& pool, size_t n, Fn&& fn, size_t chunk = 0) {
+  if (n == 0) return;
+  if (pool.num_threads() == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (chunk == 0) {
+    chunk = n / (pool.num_threads() * 8);
+    if (chunk == 0) chunk = 1;
+  }
+  std::atomic<size_t> cursor{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t begin = cursor.fetch_add(chunk);
+      if (begin >= n) return;
+      const size_t end = begin + chunk < n ? begin + chunk : n;
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  // Submit one claimant per pool thread; each pulls chunks until drained.
+  for (size_t t = 0; t < pool.num_threads(); ++t) pool.Submit(worker);
+  pool.Wait();
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,57 @@
+#ifndef RPDBSCAN_PARALLEL_THREAD_POOL_H_
+#define RPDBSCAN_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rpdbscan {
+
+/// A fixed-size pool of worker threads with a single FIFO queue.
+///
+/// This is the execution substrate that stands in for the Spark executor
+/// fleet in the paper's evaluation: each data partition becomes one task.
+/// The pool is deliberately simple (one lock, one queue) — partition tasks
+/// in this workload are hundreds of milliseconds, so queue contention is
+/// irrelevant, and simplicity keeps task start/stop timestamps trustworthy.
+///
+/// Thread-safe. Tasks may submit further tasks.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `fn` for execution. Never blocks.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and no task is running. Tasks enqueued
+  /// while waiting are also waited for.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  size_t active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_PARALLEL_THREAD_POOL_H_

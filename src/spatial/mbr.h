@@ -1,0 +1,97 @@
+#ifndef RPDBSCAN_SPATIAL_MBR_H_
+#define RPDBSCAN_SPATIAL_MBR_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rpdbscan {
+
+/// A d-dimensional minimum bounding rectangle (Def. 5.9). Starts empty
+/// (inverted bounds) and grows via Expand*. Coordinates are double: MBRs
+/// bound float data, and widening avoids rounding a point out of its box.
+class Mbr {
+ public:
+  explicit Mbr(size_t dim)
+      : min_(dim, std::numeric_limits<double>::infinity()),
+        max_(dim, -std::numeric_limits<double>::infinity()) {}
+
+  size_t dim() const { return min_.size(); }
+
+  /// True if no point was ever added.
+  bool empty() const { return min_.empty() || min_[0] > max_[0]; }
+
+  void ExpandToPoint(const float* p) {
+    for (size_t i = 0; i < min_.size(); ++i) {
+      const double v = p[i];
+      if (v < min_[i]) min_[i] = v;
+      if (v > max_[i]) max_[i] = v;
+    }
+  }
+  void ExpandToPoint(const double* p) {
+    for (size_t i = 0; i < min_.size(); ++i) {
+      if (p[i] < min_[i]) min_[i] = p[i];
+      if (p[i] > max_[i]) max_[i] = p[i];
+    }
+  }
+  void ExpandToMbr(const Mbr& other) {
+    for (size_t i = 0; i < min_.size(); ++i) {
+      if (other.min_[i] < min_[i]) min_[i] = other.min_[i];
+      if (other.max_[i] > max_[i]) max_[i] = other.max_[i];
+    }
+  }
+
+  double min(size_t i) const { return min_[i]; }
+  double max(size_t i) const { return max_[i]; }
+  void set_min(size_t i, double v) { min_[i] = v; }
+  void set_max(size_t i, double v) { max_[i] = v; }
+
+  /// True iff the closed box contains `p`.
+  bool Contains(const float* p) const {
+    for (size_t i = 0; i < min_.size(); ++i) {
+      if (p[i] < min_[i] || p[i] > max_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Squared Euclidean distance from `p` to the nearest box point (0 if
+  /// inside). This is the quantity behind sub-dictionary skipping
+  /// (Lemma 5.10): skip iff MinDist2 > eps^2.
+  double MinDist2(const float* p) const {
+    double acc = 0.0;
+    for (size_t i = 0; i < min_.size(); ++i) {
+      const double v = p[i];
+      double d = 0.0;
+      if (v < min_[i]) {
+        d = min_[i] - v;
+      } else if (v > max_[i]) {
+        d = v - max_[i];
+      }
+      acc += d * d;
+    }
+    return acc;
+  }
+
+  /// Squared Euclidean distance from `p` to the farthest box corner.
+  /// MaxDist2 <= eps^2 means the whole box lies inside the eps-ball,
+  /// the full-containment fast path of the (eps, rho)-region query.
+  double MaxDist2(const float* p) const {
+    double acc = 0.0;
+    for (size_t i = 0; i < min_.size(); ++i) {
+      const double v = p[i];
+      const double to_min = v > min_[i] ? v - min_[i] : min_[i] - v;
+      const double to_max = v > max_[i] ? v - max_[i] : max_[i] - v;
+      const double d = to_min > to_max ? to_min : to_max;
+      acc += d * d;
+    }
+    return acc;
+  }
+
+ private:
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_SPATIAL_MBR_H_

@@ -1,0 +1,80 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rpdbscan {
+
+void RTree::Build(const float* data, size_t n, size_t dim, size_t fanout) {
+  data_ = data;
+  dim_ = dim;
+  n_ = n;
+  if (fanout < 2) fanout = 2;
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  nodes_.clear();
+  children_.clear();
+  if (n == 0) return;
+
+  // --- Sort-Tile-Recursive leaf packing. ---
+  // Sort by dim 0, tile into vertical slabs of ~sqrt(n/fanout) leaves,
+  // sort each slab by dim 1 (or dim 0 again in 1-d), cut into leaves of
+  // `fanout` points. This fills leaves completely and keeps them square.
+  const size_t num_leaves = (n + fanout - 1) / fanout;
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_points = (n + slabs - 1) / slabs;
+  std::sort(perm_.begin(), perm_.end(), [&](uint32_t a, uint32_t b) {
+    return data_[a * dim_] < data_[b * dim_];
+  });
+  const size_t second_dim = dim_ > 1 ? 1 : 0;
+  for (size_t s = 0; s < slabs; ++s) {
+    const size_t begin = s * slab_points;
+    if (begin >= n) break;
+    const size_t end = std::min(n, begin + slab_points);
+    std::sort(perm_.begin() + begin, perm_.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                return data_[a * dim_ + second_dim] <
+                       data_[b * dim_ + second_dim];
+              });
+  }
+  // Emit leaves.
+  std::vector<uint32_t> level;  // node ids of the current level
+  for (size_t begin = 0; begin < n; begin += fanout) {
+    const size_t end = std::min(n, begin + fanout);
+    Node leaf;
+    leaf.leaf = true;
+    leaf.begin = static_cast<uint32_t>(begin);
+    leaf.end = static_cast<uint32_t>(end);
+    leaf.box = Mbr(dim_);
+    for (size_t i = begin; i < end; ++i) {
+      leaf.box.ExpandToPoint(data_ + perm_[i] * dim_);
+    }
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(std::move(leaf));
+  }
+
+  // --- Pack upward until a single root remains. ---
+  while (level.size() > 1) {
+    std::vector<uint32_t> parent_level;
+    for (size_t begin = 0; begin < level.size(); begin += fanout) {
+      const size_t end = std::min(level.size(), begin + fanout);
+      Node parent;
+      parent.leaf = false;
+      parent.begin = static_cast<uint32_t>(children_.size());
+      parent.box = Mbr(dim_);
+      for (size_t i = begin; i < end; ++i) {
+        children_.push_back(level[i]);
+        parent.box.ExpandToMbr(nodes_[level[i]].box);
+      }
+      parent.end = static_cast<uint32_t>(children_.size());
+      parent_level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+    level = std::move(parent_level);
+  }
+  root_ = level[0];
+}
+
+}  // namespace rpdbscan

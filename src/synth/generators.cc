@@ -1,0 +1,310 @@
+#include "synth/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace synth {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+float Clampf(double v, double lo, double hi) {
+  return static_cast<float>(v < lo ? lo : (v > hi ? hi : v));
+}
+
+// Picks a component index given cumulative weights in [0,1].
+size_t PickComponent(const std::vector<double>& cumulative, Rng& rng) {
+  const double u = rng.UniformDouble();
+  const auto it =
+      std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  const size_t idx = static_cast<size_t>(it - cumulative.begin());
+  return idx < cumulative.size() ? idx : cumulative.size() - 1;
+}
+
+std::vector<double> Cumulative(std::vector<double> weights, size_t k) {
+  if (weights.empty()) weights.assign(k, 1.0);
+  double total = 0.0;
+  for (double w : weights) total += w;
+  RPDBSCAN_CHECK(total > 0.0);
+  double acc = 0.0;
+  for (double& w : weights) {
+    acc += w / total;
+    w = acc;
+  }
+  return weights;
+}
+
+}  // namespace
+
+Dataset GaussianMixture(const GaussianMixtureOptions& opts) {
+  RPDBSCAN_CHECK(opts.dim >= 1);
+  RPDBSCAN_CHECK(opts.num_components >= 1);
+  RPDBSCAN_CHECK(opts.skewness_alpha > 0.0);
+  Rng rng(opts.seed);
+  // Component means, uniform over the space.
+  std::vector<double> means(opts.num_components * opts.dim);
+  for (double& m : means) {
+    m = rng.UniformDouble(opts.space_min, opts.space_max);
+  }
+  const double stddev = 1.0 / std::sqrt(opts.skewness_alpha);
+  const std::vector<double> cum = Cumulative(opts.weights,
+                                             opts.num_components);
+  Dataset ds(opts.dim);
+  ds.Reserve(opts.num_points);
+  std::vector<float> p(opts.dim);
+  for (size_t i = 0; i < opts.num_points; ++i) {
+    const size_t c = PickComponent(cum, rng);
+    for (size_t d = 0; d < opts.dim; ++d) {
+      p[d] = Clampf(means[c * opts.dim + d] + stddev * rng.Normal(),
+                    opts.space_min, opts.space_max);
+    }
+    ds.Append(p.data());
+  }
+  return ds;
+}
+
+Dataset Moons(size_t n, double noise, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(2);
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = kPi * rng.UniformDouble();
+    float p[2];
+    if (i % 2 == 0) {
+      p[0] = static_cast<float>(std::cos(t) + noise * rng.Normal());
+      p[1] = static_cast<float>(std::sin(t) + noise * rng.Normal());
+    } else {
+      p[0] = static_cast<float>(1.0 - std::cos(t) + noise * rng.Normal());
+      p[1] = static_cast<float>(0.5 - std::sin(t) + noise * rng.Normal());
+    }
+    ds.Append(p);
+  }
+  return ds;
+}
+
+Dataset Blobs(size_t n, size_t num_blobs, double stddev, uint64_t seed,
+              size_t dim) {
+  RPDBSCAN_CHECK(num_blobs >= 1);
+  Rng rng(seed);
+  // Spread the centers with rejection so blobs are separated by at least
+  // ~6 stddev where possible (keeps the exact-DBSCAN ground truth clean).
+  std::vector<double> centers;
+  const double min_sep = 6.0 * stddev;
+  for (size_t b = 0; b < num_blobs; ++b) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::vector<double> c(dim);
+      for (auto& v : c) v = rng.UniformDouble(10.0, 90.0);
+      bool ok = true;
+      for (size_t o = 0; o < b && ok; ++o) {
+        double d2 = 0;
+        for (size_t d = 0; d < dim; ++d) {
+          const double delta = centers[o * dim + d] - c[d];
+          d2 += delta * delta;
+        }
+        if (d2 < min_sep * min_sep) ok = false;
+      }
+      if (ok || attempt == 63) {
+        centers.insert(centers.end(), c.begin(), c.end());
+        break;
+      }
+    }
+  }
+  Dataset ds(dim);
+  ds.Reserve(n);
+  std::vector<float> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t b = rng.Uniform(num_blobs);
+    for (size_t d = 0; d < dim; ++d) {
+      p[d] = Clampf(centers[b * dim + d] + stddev * rng.Normal(), 0.0,
+                    100.0);
+    }
+    ds.Append(p.data());
+  }
+  return ds;
+}
+
+Dataset ChameleonLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(2);
+  ds.Reserve(n);
+  const size_t noise_n = n / 20;  // ~5% uniform noise
+  const size_t shaped = n - noise_n;
+  for (size_t i = 0; i < shaped; ++i) {
+    float p[2];
+    switch (i % 4) {
+      case 0: {  // dense horizontal bar
+        p[0] = static_cast<float>(rng.UniformDouble(10.0, 45.0));
+        p[1] = static_cast<float>(75.0 + 1.5 * rng.Normal());
+        break;
+      }
+      case 1: {  // sparse tilted bar (lower density: wider jitter)
+        const double t = rng.UniformDouble(0.0, 35.0);
+        p[0] = static_cast<float>(55.0 + t + 3.0 * rng.Normal());
+        p[1] = static_cast<float>(55.0 + 0.8 * t + 3.0 * rng.Normal());
+        break;
+      }
+      case 2: {  // ring
+        const double a = rng.UniformDouble(0.0, 2.0 * kPi);
+        const double r = 14.0 + 1.2 * rng.Normal();
+        p[0] = static_cast<float>(30.0 + r * std::cos(a));
+        p[1] = static_cast<float>(30.0 + r * std::sin(a));
+        break;
+      }
+      default: {  // sine band
+        const double t = rng.UniformDouble(0.0, 40.0);
+        p[0] = static_cast<float>(55.0 + t);
+        p[1] = static_cast<float>(20.0 + 6.0 * std::sin(t / 5.0) +
+                                  1.2 * rng.Normal());
+        break;
+      }
+    }
+    p[0] = Clampf(p[0], 0.0, 100.0);
+    p[1] = Clampf(p[1], 0.0, 100.0);
+    ds.Append(p);
+  }
+  for (size_t i = 0; i < noise_n; ++i) {
+    float p[2] = {static_cast<float>(rng.UniformDouble(0.0, 100.0)),
+                  static_cast<float>(rng.UniformDouble(0.0, 100.0))};
+    ds.Append(p);
+  }
+  return ds;
+}
+
+Dataset GeoLifeLike(size_t n, uint64_t seed) {
+  // One metropolitan component ("Beijing") holding ~65% of all points in
+  // <1% of the space, 30 city components sharing ~30%, 5% background
+  // noise — reproducing the extreme skew the paper highlights
+  // (Sec. 7.1.3) while keeping the eps-ball population bounded.
+  Rng rng(seed);
+  Dataset ds(3);
+  ds.Reserve(n);
+  // Component means.
+  std::vector<double> means(31 * 3);
+  for (double& m : means) m = rng.UniformDouble(0.0, 100.0);
+  float p[3];
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < 0.65) {
+      // Metropolitan core: most of the mass in one (spatially extended)
+      // dense region.
+      for (int d = 0; d < 3; ++d) {
+        p[d] = Clampf(means[d] + 4.0 * rng.Normal(), 0.0, 100.0);
+      }
+    } else if (u < 0.95) {
+      const size_t c = 1 + rng.Uniform(30);
+      for (int d = 0; d < 3; ++d) {
+        p[d] = Clampf(means[c * 3 + d] + 2.5 * rng.Normal(), 0.0, 100.0);
+      }
+    } else {
+      for (int d = 0; d < 3; ++d) {
+        p[d] = static_cast<float>(rng.UniformDouble(0.0, 100.0));
+      }
+    }
+    ds.Append(p);
+  }
+  return ds;
+}
+
+Dataset CosmoLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kHalos = 150;
+  std::vector<double> means(kHalos * 3);
+  for (double& m : means) m = rng.UniformDouble(0.0, 100.0);
+  // N-body halo mass function: power-law (Pareto-like) masses, so a few
+  // massive halos dominate -- the structure that makes contiguous region
+  // splits uneven while cell-level random split stays balanced. Halo
+  // radius grows with mass^(1/3) (constant overdensity).
+  std::vector<double> mass(kHalos);
+  std::vector<double> radius(kHalos);
+  double total_mass = 0.0;
+  for (size_t h = 0; h < kHalos; ++h) {
+    const double u = rng.UniformDouble();
+    mass[h] = std::pow(1.0 - 0.999 * u, -0.7);  // heavy-tailed masses
+    total_mass += mass[h];
+    radius[h] = std::cbrt(mass[h]);
+  }
+  std::vector<double> cum(kHalos);
+  double acc = 0.0;
+  for (size_t h = 0; h < kHalos; ++h) {
+    acc += mass[h] / total_mass;
+    cum[h] = acc;
+  }
+  Dataset ds(3);
+  ds.Reserve(n);
+  float p[3];
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < 0.8) {
+      const double pick = rng.UniformDouble();
+      size_t h = static_cast<size_t>(
+          std::lower_bound(cum.begin(), cum.end(), pick) - cum.begin());
+      if (h >= kHalos) h = kHalos - 1;
+      for (int d = 0; d < 3; ++d) {
+        p[d] = Clampf(means[h * 3 + d] + radius[h] * rng.Normal(), 0.0,
+                      100.0);
+      }
+    } else {
+      for (int d = 0; d < 3; ++d) {
+        p[d] = static_cast<float>(rng.UniformDouble(0.0, 100.0));
+      }
+    }
+    ds.Append(p);
+  }
+  return ds;
+}
+
+Dataset OsmLike(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  constexpr size_t kCities = 25;
+  constexpr size_t kRoads = 40;
+  std::vector<double> cities(kCities * 2);
+  for (double& c : cities) c = rng.UniformDouble(0.0, 100.0);
+  // Roads connect random city pairs.
+  std::vector<std::pair<size_t, size_t>> roads;
+  roads.reserve(kRoads);
+  for (size_t r = 0; r < kRoads; ++r) {
+    roads.emplace_back(rng.Uniform(kCities), rng.Uniform(kCities));
+  }
+  Dataset ds(2);
+  ds.Reserve(n);
+  float p[2];
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < 0.55) {  // city mass
+      const size_t c = rng.Uniform(kCities);
+      p[0] = Clampf(cities[c * 2] + 1.0 * rng.Normal(), 0.0, 100.0);
+      p[1] = Clampf(cities[c * 2 + 1] + 1.0 * rng.Normal(), 0.0, 100.0);
+    } else if (u < 0.9) {  // along a road
+      const auto& [a, b] = roads[rng.Uniform(kRoads)];
+      const double t = rng.UniformDouble();
+      const double x =
+          cities[a * 2] + t * (cities[b * 2] - cities[a * 2]);
+      const double y =
+          cities[a * 2 + 1] + t * (cities[b * 2 + 1] - cities[a * 2 + 1]);
+      p[0] = Clampf(x + 0.4 * rng.Normal(), 0.0, 100.0);
+      p[1] = Clampf(y + 0.4 * rng.Normal(), 0.0, 100.0);
+    } else {  // noise
+      p[0] = static_cast<float>(rng.UniformDouble(0.0, 100.0));
+      p[1] = static_cast<float>(rng.UniformDouble(0.0, 100.0));
+    }
+    ds.Append(p);
+  }
+  return ds;
+}
+
+Dataset TeraLike(size_t n, uint64_t seed) {
+  GaussianMixtureOptions opts;
+  opts.num_points = n;
+  opts.dim = 13;
+  opts.num_components = 10;
+  opts.skewness_alpha = 1.0 / 9.0;  // stddev 3 in a 100-wide space
+  opts.seed = seed;
+  return GaussianMixture(opts);
+}
+
+}  // namespace synth
+}  // namespace rpdbscan

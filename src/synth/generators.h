@@ -1,0 +1,75 @@
+#ifndef RPDBSCAN_SYNTH_GENERATORS_H_
+#define RPDBSCAN_SYNTH_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/dataset.h"
+
+namespace rpdbscan {
+namespace synth {
+
+/// Parameters for the Gaussian-mixture generator of Appendix B.1: ten (by
+/// default) multivariate Gaussians with means uniform in
+/// [space_min, space_max]^dim and inverse covariance alpha * I, so a larger
+/// `skewness_alpha` concentrates points more tightly around the means
+/// (Fig. 18).
+struct GaussianMixtureOptions {
+  size_t num_points = 100000;
+  size_t dim = 2;
+  size_t num_components = 10;
+  /// The paper's skewness coefficient alpha: stddev = 1/sqrt(alpha).
+  double skewness_alpha = 1.0;
+  double space_min = 0.0;
+  double space_max = 100.0;
+  /// Optional per-component mixing weights; uniform when empty.
+  std::vector<double> weights;
+  uint64_t seed = 42;
+};
+
+/// Samples from the Gaussian mixture described above. Coordinates are
+/// clamped to the space bounds so cells stay within a known extent.
+Dataset GaussianMixture(const GaussianMixtureOptions& opts);
+
+/// Two interleaved half-moons in 2-d (unit scale) with Gaussian jitter of
+/// `noise` — the "Moons" accuracy data set (Table 4 / Fig. 16a).
+Dataset Moons(size_t n, double noise, uint64_t seed);
+
+/// `num_blobs` isotropic Gaussian blobs in [0,100]^dim with the given
+/// standard deviation — the "Blobs" accuracy data set (Table 4 / Fig. 16b).
+Dataset Blobs(size_t n, size_t num_blobs, double stddev, uint64_t seed,
+              size_t dim = 2);
+
+/// A Chameleon-style 2-d data set: clusters of different shapes and
+/// densities (bars, a ring, a sine band) over ~5% uniform noise
+/// (Table 4 / Fig. 16c).
+Dataset ChameleonLike(size_t n, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Scaled-down analogues of the paper's real data sets (Table 3). Each
+// preserves the property the paper uses the data set for; see DESIGN.md for
+// the substitution rationale.
+// ---------------------------------------------------------------------------
+
+/// GeoLife analogue: 3-d, heavily skewed — one super-dense metropolitan
+/// component holding most of the mass plus ~30 diffuse city components and
+/// background noise.
+Dataset GeoLifeLike(size_t n, uint64_t seed);
+
+/// Cosmo50 analogue: 3-d N-body-like — many mid-size clumps ("halos") over
+/// a diffuse uniform background.
+Dataset CosmoLike(size_t n, uint64_t seed);
+
+/// OpenStreetMap analogue: 2-d — dense city blobs connected by jittered
+/// road segments, plus sparse noise.
+Dataset OsmLike(size_t n, uint64_t seed);
+
+/// TeraClickLog analogue: 13-d Gaussian mixture (the paper uses this set
+/// purely as a high-dimensional, very large stress case).
+Dataset TeraLike(size_t n, uint64_t seed);
+
+}  // namespace synth
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_SYNTH_GENERATORS_H_

@@ -1,0 +1,71 @@
+#ifndef RPDBSCAN_UTIL_BITSTREAM_H_
+#define RPDBSCAN_UTIL_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpdbscan {
+
+/// Append-only bit stream writer. Bits are packed LSB-first into bytes —
+/// the layout used to serialize sub-cell positions, which Lemma 4.3 sizes
+/// at d*(h-1) bits each.
+class BitWriter {
+ public:
+  /// Appends the low `bits` bits of `value` (bits <= 64).
+  void Write(uint64_t value, unsigned bits) {
+    for (unsigned i = 0; i < bits; ++i) {
+      if (bit_pos_ == 0) bytes_.push_back(0);
+      if ((value >> i) & 1u) {
+        bytes_.back() |= static_cast<uint8_t>(1u << bit_pos_);
+      }
+      bit_pos_ = (bit_pos_ + 1) & 7;
+    }
+  }
+
+  /// Total bits written so far.
+  size_t BitCount() const {
+    return bytes_.empty() ? 0
+                          : (bytes_.size() - 1) * 8 +
+                                (bit_pos_ == 0 ? 8 : bit_pos_);
+  }
+
+  /// The packed bytes (final partial byte zero-padded).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  unsigned bit_pos_ = 0;  // next free bit index in bytes_.back()
+};
+
+/// Sequential reader over a BitWriter-produced buffer.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  /// Reads `bits` bits (bits <= 64). Returns 0 bits past the end (callers
+  /// check Exhausted() / remaining counts themselves).
+  uint64_t Read(unsigned bits) {
+    uint64_t value = 0;
+    for (unsigned i = 0; i < bits && pos_ < size_bits_; ++i, ++pos_) {
+      if ((data_[pos_ >> 3] >> (pos_ & 7)) & 1u) {
+        value |= 1ULL << i;
+      }
+    }
+    return value;
+  }
+
+  size_t position_bits() const { return pos_; }
+  bool Exhausted() const { return pos_ >= size_bits_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_BITSTREAM_H_

@@ -1,0 +1,29 @@
+#ifndef RPDBSCAN_UTIL_HASH_H_
+#define RPDBSCAN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace rpdbscan {
+
+/// Combines a hash value with another value, boost-style but with a 64-bit
+/// mixing finalizer (good avalanche on lattice coordinates, which are the
+/// dominant key type in this library).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return Mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// Hashes a contiguous run of 64-bit lanes.
+inline uint64_t HashSpan64(const uint64_t* data, size_t n,
+                           uint64_t seed = 0xc0ffee) {
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_HASH_H_

@@ -1,0 +1,107 @@
+#ifndef RPDBSCAN_UTIL_RANDOM_H_
+#define RPDBSCAN_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rpdbscan {
+
+/// Finalizer from the SplitMix64 generator; also a good 64-bit hash mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
+/// std::mt19937 so that runs are reproducible across standard libraries
+/// (the distributions in <random> are not implementation-stable).
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via SplitMix64, as recommended by the
+  /// xoshiro authors.
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) {
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      lane = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double Normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    // Avoid log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_RANDOM_H_

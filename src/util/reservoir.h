@@ -1,0 +1,51 @@
+#ifndef RPDBSCAN_UTIL_RESERVOIR_H_
+#define RPDBSCAN_UTIL_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rpdbscan {
+
+/// Reservoir sampling (Vitter's Algorithm R): a uniform sample of `k`
+/// indices from [0, n) in one O(n) pass — the primitive the paper cites
+/// for the speed of random splits (Sec. 1.1, [32]). Order of the returned
+/// indices is the reservoir's insertion order, not sorted.
+inline std::vector<uint32_t> ReservoirSample(size_t n, size_t k, Rng& rng) {
+  if (k > n) k = n;
+  std::vector<uint32_t> reservoir(k);
+  std::iota(reservoir.begin(), reservoir.end(), 0u);
+  for (size_t i = k; i < n; ++i) {
+    const uint64_t j = rng.Uniform(i + 1);
+    if (j < k) reservoir[j] = static_cast<uint32_t>(i);
+  }
+  return reservoir;
+}
+
+/// Partitions [0, n) into `k` disjoint random subsets of near-equal size
+/// (the "random split" of Fig. 1b): a Fisher-Yates shuffle dealt
+/// round-robin. Every index appears in exactly one subset.
+inline std::vector<std::vector<uint32_t>> RandomDisjointSplit(size_t n,
+                                                              size_t k,
+                                                              Rng& rng) {
+  if (k == 0) k = 1;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (size_t i = n; i > 1; --i) {
+    const size_t j = rng.Uniform(i);
+    const uint32_t tmp = perm[i - 1];
+    perm[i - 1] = perm[j];
+    perm[j] = tmp;
+  }
+  std::vector<std::vector<uint32_t>> out(k);
+  for (auto& part : out) part.reserve(n / k + 1);
+  for (size_t i = 0; i < n; ++i) out[i % k].push_back(perm[i]);
+  return out;
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_RESERVOIR_H_

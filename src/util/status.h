@@ -1,0 +1,129 @@
+#ifndef RPDBSCAN_UTIL_STATUS_H_
+#define RPDBSCAN_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rpdbscan {
+
+/// Canonical error codes, modeled after the usual database-systems
+/// convention (a small closed enum; the message carries the detail).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIOError = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a stable, human-readable name for `code` ("OK", "InvalidArgument",
+/// ...). Never returns null.
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result used on every fallible public API
+/// in this library instead of exceptions. A `Status` is cheap to copy in the
+/// OK case (no allocation) and carries a message otherwise.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a detail `message`. A `kOk` code
+  /// with a non-empty message is allowed but the message is ignored by
+  /// `ok()` checks.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error union: holds either a `T` or a non-OK `Status`.
+/// Mirrors the familiar absl/arrow Result idiom without the dependency.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK; an OK status
+  /// is converted to an Internal error to keep the invariant.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Undefined behaviour otherwise (same contract as
+  /// std::optional::operator*).
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define RPDBSCAN_RETURN_IF_ERROR(expr)           \
+  do {                                           \
+    ::rpdbscan::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_STATUS_H_

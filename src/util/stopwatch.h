@@ -1,0 +1,36 @@
+#ifndef RPDBSCAN_UTIL_STOPWATCH_H_
+#define RPDBSCAN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rpdbscan {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Reset, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_UTIL_STOPWATCH_H_

@@ -1,0 +1,167 @@
+// Property-style parameterized sweeps: RP-DBSCAN must track exact DBSCAN
+// across data shapes, eps values, minPts values and rho values — the
+// grid behind Table 4 extended into a property test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "baselines/exact_dbscan.h"
+#include "core/rp_dbscan.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+enum class Shape { kMoons, kBlobs, kChameleon };
+
+Dataset MakeShape(Shape s, size_t n, uint64_t seed) {
+  switch (s) {
+    case Shape::kMoons:
+      return synth::Moons(n, 0.05, seed);
+    case Shape::kBlobs:
+      return synth::Blobs(n, 5, 1.0, seed);
+    case Shape::kChameleon:
+      return synth::ChameleonLike(n, seed);
+  }
+  return Dataset(2);
+}
+
+double EpsFor(Shape s) {
+  switch (s) {
+    case Shape::kMoons:
+      return 0.08;
+    case Shape::kBlobs:
+      return 1.0;
+    case Shape::kChameleon:
+      return 1.5;
+  }
+  return 1.0;
+}
+
+using AccuracyParam = std::tuple<Shape, double /*rho*/>;
+
+class AccuracySweep : public ::testing::TestWithParam<AccuracyParam> {};
+
+TEST_P(AccuracySweep, RandIndexAtLeastPaperTable4) {
+  const auto [shape, rho] = GetParam();
+  const Dataset ds = MakeShape(shape, 3000, 1234);
+  RpDbscanOptions o;
+  o.eps = EpsFor(shape);
+  o.min_pts = 10;
+  o.rho = rho;
+  o.num_threads = 2;
+  o.num_partitions = 6;
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  auto exact = RunExactDbscan(ds, {o.eps, o.min_pts});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rp->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  // Table 4's weakest entry is 0.98 (Chameleon at rho=0.10).
+  EXPECT_GE(*ri, 0.98);
+  if (rho <= 0.01) {
+    EXPECT_GE(*ri, 0.995);
+  }
+}
+
+std::string AccuracyParamName(
+    const ::testing::TestParamInfo<AccuracyParam>& info) {
+  const Shape shape = std::get<0>(info.param);
+  const double rho = std::get<1>(info.param);
+  std::string name;
+  switch (shape) {
+    case Shape::kMoons:
+      name = "Moons";
+      break;
+    case Shape::kBlobs:
+      name = "Blobs";
+      break;
+    case Shape::kChameleon:
+      name = "Chameleon";
+      break;
+  }
+  name += "_rho";
+  name += rho == 0.10 ? "10" : (rho == 0.05 ? "05" : "01");
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4Grid, AccuracySweep,
+    ::testing::Combine(::testing::Values(Shape::kMoons, Shape::kBlobs,
+                                         Shape::kChameleon),
+                       ::testing::Values(0.10, 0.05, 0.01)),
+    AccuracyParamName);
+
+class EpsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EpsSweep, BlobsTrackExactAcrossEps) {
+  const double eps = GetParam();
+  const Dataset ds = synth::Blobs(2500, 5, 1.0, 99);
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = 10;
+  o.rho = 0.01;
+  o.num_threads = 2;
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok());
+  auto exact = RunExactDbscan(ds, {eps, 10});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rp->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.99) << "eps=" << eps;
+}
+
+INSTANTIATE_TEST_SUITE_P(QuarterToDouble, EpsSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+class MinPtsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MinPtsSweep, MoonsTrackExactAcrossMinPts) {
+  const size_t min_pts = GetParam();
+  const Dataset ds = synth::Moons(3000, 0.04, 100);
+  RpDbscanOptions o;
+  o.eps = 0.08;
+  o.min_pts = min_pts;
+  o.rho = 0.01;
+  o.num_threads = 2;
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok());
+  auto exact = RunExactDbscan(ds, {0.08, min_pts});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rp->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.99) << "min_pts=" << min_pts;
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, MinPtsSweep,
+                         ::testing::Values(2, 5, 10, 20, 40));
+
+class PartitionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionSweep, ClusteringInvariantToPartitionCount) {
+  const size_t parts = GetParam();
+  const Dataset ds = synth::Blobs(2000, 4, 1.0, 101);
+  RpDbscanOptions o;
+  o.eps = 1.0;
+  o.min_pts = 12;
+  o.num_threads = 2;
+  o.num_partitions = parts;
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok());
+  RpDbscanOptions ref = o;
+  ref.num_partitions = 1;
+  auto base = RunRpDbscan(ds, ref);
+  ASSERT_TRUE(base.ok());
+  auto ri = RandIndex(rp->labels, base->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0) << "partitions=" << parts;
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndOdd, PartitionSweep,
+                         ::testing::Values(2, 3, 7, 16, 33));
+
+}  // namespace
+}  // namespace rpdbscan

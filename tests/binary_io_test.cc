@@ -1,0 +1,113 @@
+#include "io/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/binary_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".rpds";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(BinaryIoTest, RoundTripExact) {
+  const Dataset ds = synth::Blobs(1234, 3, 1.0, 71, /*dim=*/5);
+  ASSERT_TRUE(WriteBinary(path_, ds).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->dim(), ds.dim());
+  EXPECT_EQ(back->size(), ds.size());
+  EXPECT_EQ(back->flat(), ds.flat());  // bit-exact
+}
+
+TEST_F(BinaryIoTest, RoundTripEmptyDataset) {
+  const Dataset ds(4);
+  ASSERT_TRUE(WriteBinary(path_, ds).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dim(), 4u);
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIOError) {
+  auto r = ReadBinary("/nonexistent/file.rpds");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(BinaryIoTest, RejectsWrongMagic) {
+  std::ofstream out(path_, std::ios::binary);
+  const char junk[32] = "definitely not an RPDS header..";
+  out.write(junk, sizeof(junk));
+  out.close();
+  auto r = ReadBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryIoTest, RejectsTruncatedHeader) {
+  std::ofstream out(path_, std::ios::binary);
+  out.write("RPDS", 4);
+  out.close();
+  EXPECT_FALSE(ReadBinary(path_).ok());
+}
+
+TEST_F(BinaryIoTest, RejectsTruncatedPayload) {
+  const Dataset ds = synth::Blobs(100, 2, 1.0, 72);
+  ASSERT_TRUE(WriteBinary(path_, ds).ok());
+  // Chop off the last 10 bytes.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 10));
+  out.close();
+  auto r = ReadBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinaryIoTest, RejectsAbsurdCount) {
+  // Header claiming 2^60 points over an 8-byte payload.
+  std::ofstream out(path_, std::ios::binary);
+  const uint32_t magic = 0x53445052;
+  const uint32_t version = 1;
+  const uint32_t dim = 2;
+  const uint32_t reserved = 0;
+  const uint64_t count = 1ULL << 60;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&dim), 4);
+  out.write(reinterpret_cast<const char*>(&reserved), 4);
+  out.write(reinterpret_cast<const char*>(&count), 8);
+  const float payload[2] = {1, 2};
+  out.write(reinterpret_cast<const char*>(payload), 8);
+  out.close();
+  EXPECT_FALSE(ReadBinary(path_).ok());
+}
+
+TEST_F(BinaryIoTest, HighDimensionalRoundTrip) {
+  const Dataset ds = synth::TeraLike(500, 73);
+  ASSERT_TRUE(WriteBinary(path_, ds).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dim(), 13u);
+  EXPECT_EQ(back->flat(), ds.flat());
+}
+
+}  // namespace
+}  // namespace rpdbscan

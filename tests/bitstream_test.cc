@@ -1,0 +1,101 @@
+#include "util/bitstream.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(BitstreamTest, EmptyWriter) {
+  BitWriter w;
+  EXPECT_EQ(w.BitCount(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitstreamTest, SingleBitRoundTrip) {
+  BitWriter w;
+  w.Write(1, 1);
+  EXPECT_EQ(w.BitCount(), 1u);
+  BitReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(r.Read(1), 1u);
+}
+
+TEST(BitstreamTest, ByteAlignedValues) {
+  BitWriter w;
+  w.Write(0xAB, 8);
+  w.Write(0xCD, 8);
+  ASSERT_EQ(w.bytes().size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0xAB);
+  EXPECT_EQ(w.bytes()[1], 0xCD);
+}
+
+TEST(BitstreamTest, UnalignedFieldsRoundTrip) {
+  BitWriter w;
+  w.Write(5, 3);    // 101
+  w.Write(0, 2);    // 00
+  w.Write(127, 7);  // 1111111
+  w.Write(1, 1);
+  BitReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(r.Read(3), 5u);
+  EXPECT_EQ(r.Read(2), 0u);
+  EXPECT_EQ(r.Read(7), 127u);
+  EXPECT_EQ(r.Read(1), 1u);
+}
+
+TEST(BitstreamTest, SixtyFourBitField) {
+  BitWriter w;
+  const uint64_t v = 0xDEADBEEFCAFEBABEULL;
+  w.Write(v, 64);
+  BitReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(r.Read(64), v);
+}
+
+TEST(BitstreamTest, OnlyLowBitsAreWritten) {
+  BitWriter w;
+  w.Write(0xFF, 4);  // only low 4 bits
+  w.Write(0, 4);
+  BitReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(r.Read(8), 0x0Fu);
+}
+
+TEST(BitstreamTest, ReaderPastEndReturnsZero) {
+  BitWriter w;
+  w.Write(0xFF, 8);
+  BitReader r(w.bytes().data(), w.bytes().size());
+  EXPECT_EQ(r.Read(8), 0xFFu);
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_EQ(r.Read(8), 0u);
+}
+
+TEST(BitstreamTest, RandomizedRoundTrip) {
+  Rng rng(99);
+  std::vector<std::pair<uint64_t, unsigned>> fields;
+  BitWriter w;
+  for (int i = 0; i < 1000; ++i) {
+    const unsigned bits = 1 + static_cast<unsigned>(rng.Uniform(64));
+    const uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+    const uint64_t value = rng.Next() & mask;
+    fields.emplace_back(value, bits);
+    w.Write(value, bits);
+  }
+  BitReader r(w.bytes().data(), w.bytes().size());
+  for (const auto& [value, bits] : fields) {
+    EXPECT_EQ(r.Read(bits), value);
+  }
+}
+
+TEST(BitstreamTest, BitCountTracksExactly) {
+  BitWriter w;
+  size_t expect = 0;
+  for (unsigned bits = 1; bits <= 13; ++bits) {
+    w.Write(0, bits);
+    expect += bits;
+    EXPECT_EQ(w.BitCount(), expect);
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

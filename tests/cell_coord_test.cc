@@ -1,0 +1,104 @@
+#include "core/cell_coord.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace rpdbscan {
+namespace {
+
+TEST(CellCoordTest, EqualityAndHash) {
+  const int32_t a[3] = {1, -2, 3};
+  const int32_t b[3] = {1, -2, 3};
+  const int32_t c[3] = {1, -2, 4};
+  CellCoord ca(a, 3);
+  CellCoord cb(b, 3);
+  CellCoord cc(c, 3);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(ca.hash(), cb.hash());
+  EXPECT_FALSE(ca == cc);
+}
+
+TEST(CellCoordTest, DimMismatchNotEqual) {
+  const int32_t a[3] = {1, 2, 3};
+  CellCoord c2(a, 2);
+  CellCoord c3(a, 3);
+  EXPECT_FALSE(c2 == c3);
+}
+
+TEST(CellCoordTest, AccessorsRoundTrip) {
+  const int32_t a[4] = {-5, 0, 7, 2147483647};
+  CellCoord c(a, 4);
+  EXPECT_EQ(c.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(c[i], a[i]);
+}
+
+TEST(CellCoordTest, HashScattersNeighboringCells) {
+  std::unordered_set<uint64_t> hashes;
+  for (int32_t x = -10; x <= 10; ++x) {
+    for (int32_t y = -10; y <= 10; ++y) {
+      const int32_t a[2] = {x, y};
+      hashes.insert(CellCoord(a, 2).hash());
+    }
+  }
+  EXPECT_EQ(hashes.size(), 21u * 21u);  // no collisions on a small lattice
+}
+
+TEST(CellCoordTest, WorksAsUnorderedMapKey) {
+  std::unordered_set<CellCoord, CellCoordHash> set;
+  const int32_t a[2] = {1, 2};
+  const int32_t b[2] = {2, 1};
+  set.insert(CellCoord(a, 2));
+  set.insert(CellCoord(b, 2));
+  set.insert(CellCoord(a, 2));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(SubcellIdTest, SetGetSingleField) {
+  SubcellId id;
+  SubcellSetBits(&id, 0, 7, 93);
+  EXPECT_EQ(SubcellGetBits(id, 0, 7), 93u);
+}
+
+TEST(SubcellIdTest, SetGetMultipleFields) {
+  SubcellId id;
+  // 13 dimensions x 7 bits = 91 bits, the repository worst case.
+  uint64_t values[13];
+  for (unsigned d = 0; d < 13; ++d) {
+    values[d] = (d * 37 + 11) % 128;
+    SubcellSetBits(&id, d * 7, 7, values[d]);
+  }
+  for (unsigned d = 0; d < 13; ++d) {
+    EXPECT_EQ(SubcellGetBits(id, d * 7, 7), values[d]) << "dim " << d;
+  }
+}
+
+TEST(SubcellIdTest, FieldStraddling64BitBoundary) {
+  SubcellId id;
+  SubcellSetBits(&id, 60, 8, 0xAB);  // spans lo/hi
+  EXPECT_EQ(SubcellGetBits(id, 60, 8), 0xABu);
+  EXPECT_NE(id.lo, 0u);
+  EXPECT_NE(id.hi, 0u);
+}
+
+TEST(SubcellIdTest, FieldEntirelyInHighWord) {
+  SubcellId id;
+  SubcellSetBits(&id, 64, 10, 777);
+  EXPECT_EQ(SubcellGetBits(id, 64, 10), 777u);
+  EXPECT_EQ(id.lo, 0u);
+}
+
+TEST(SubcellIdTest, EqualityAndHashing) {
+  SubcellId a;
+  SubcellId b;
+  SubcellSetBits(&a, 3, 5, 9);
+  SubcellSetBits(&b, 3, 5, 9);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(SubcellIdHash()(a), SubcellIdHash()(b));
+  SubcellId c;
+  SubcellSetBits(&c, 3, 5, 10);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace rpdbscan

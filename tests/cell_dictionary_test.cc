@@ -1,0 +1,224 @@
+#include "core/cell_dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+struct Fixture {
+  Dataset data{2};
+  GridGeometry geom;
+  StatusOr<CellSet> cells = Status::Internal("unset");
+
+  Fixture(Dataset ds, double eps, double rho, size_t parts = 4)
+      : data(std::move(ds)) {
+    auto g = GridGeometry::Create(data.dim(), eps, rho);
+    EXPECT_TRUE(g.ok());
+    geom = *g;
+    cells = CellSet::Build(data, geom, parts, 7);
+    EXPECT_TRUE(cells.ok());
+  }
+};
+
+// Reference (eps,rho)-region query: for every point, recompute every
+// sub-cell center from raw points and sum densities of centers within eps.
+// Mirrors Def. 5.1 with no indexing, no skipping, no containment fast path.
+std::map<uint32_t, uint32_t> BruteQuery(const Fixture& f, const float* q) {
+  std::map<uint32_t, uint32_t> per_cell;
+  const double eps2 = f.geom.eps() * f.geom.eps();
+  for (uint32_t cid = 0; cid < f.cells->num_cells(); ++cid) {
+    const CellData& cell = f.cells->cell(cid);
+    // Histogram sub-cells of this cell.
+    std::map<std::pair<uint64_t, uint64_t>, uint32_t> hist;
+    std::map<std::pair<uint64_t, uint64_t>, SubcellId> ids;
+    for (const uint32_t pid : cell.point_ids) {
+      const SubcellId sc = f.geom.SubcellOf(f.data.point(pid), cell.coord);
+      ++hist[{sc.hi, sc.lo}];
+      ids[{sc.hi, sc.lo}] = sc;
+    }
+    uint32_t matched = 0;
+    for (const auto& kv : hist) {
+      float center[CellCoord::kMaxDim];
+      f.geom.SubcellCenter(cell.coord, ids[kv.first], center);
+      if (DistanceSquared(q, center, f.data.dim()) <= eps2) {
+        matched += kv.second;
+      }
+    }
+    if (matched > 0) per_cell[cid] = matched;
+  }
+  return per_cell;
+}
+
+std::map<uint32_t, uint32_t> DictQuery(const CellDictionary& dict,
+                                       const float* q) {
+  std::map<uint32_t, uint32_t> per_cell;
+  dict.Query(q, [&](const DictCell& c, uint32_t matched) {
+    per_cell[c.cell_id] += matched;
+  });
+  return per_cell;
+}
+
+TEST(CellDictionaryTest, CountsMatchData) {
+  Fixture f(synth::Blobs(3000, 4, 2.0, 1), /*eps=*/1.0, /*rho=*/0.05);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->num_cells(), f.cells->num_cells());
+  size_t total = 0;
+  for (const SubDictionary& sd : dict->subdictionaries()) {
+    for (const DictCell& c : sd.cells()) {
+      total += c.total_count;
+      uint32_t from_subcells = 0;
+      for (uint32_t s = c.subcell_begin; s < c.subcell_end; ++s) {
+        from_subcells += sd.subcells()[s].count;
+      }
+      EXPECT_EQ(from_subcells, c.total_count);
+      EXPECT_EQ(c.total_count,
+                f.cells->cell(c.cell_id).point_ids.size());
+    }
+  }
+  EXPECT_EQ(total, f.data.size());
+}
+
+TEST(CellDictionaryTest, QueryMatchesBruteForce) {
+  Fixture f(synth::Blobs(2000, 3, 2.0, 2), /*eps=*/1.2, /*rho=*/0.05);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  Rng rng(3);
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t pid = static_cast<uint32_t>(rng.Uniform(f.data.size()));
+    const float* q = f.data.point(pid);
+    EXPECT_EQ(DictQuery(*dict, q), BruteQuery(f, q)) << "trial " << trial;
+  }
+}
+
+TEST(CellDictionaryTest, QueryMatchesBruteForceOffDataPoints) {
+  Fixture f(synth::Blobs(1500, 3, 2.0, 5), /*eps=*/0.9, /*rho=*/0.1);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  Rng rng(4);
+  for (int trial = 0; trial < 25; ++trial) {
+    const float q[2] = {static_cast<float>(rng.UniformDouble(0, 100)),
+                        static_cast<float>(rng.UniformDouble(0, 100))};
+    EXPECT_EQ(DictQuery(*dict, q), BruteQuery(f, q)) << "trial " << trial;
+  }
+}
+
+TEST(CellDictionaryTest, DefragAndSkippingDoNotChangeResults) {
+  Fixture f(synth::Blobs(2000, 4, 2.0, 6), /*eps=*/1.0, /*rho=*/0.05);
+  CellDictionaryOptions plain;
+  plain.defragment = false;
+  plain.enable_skipping = false;
+  CellDictionaryOptions tuned;
+  tuned.defragment = true;
+  tuned.enable_skipping = true;
+  tuned.max_cells_per_subdict = 64;
+  auto d1 = CellDictionary::Build(f.data, *f.cells, plain);
+  auto d2 = CellDictionary::Build(f.data, *f.cells, tuned);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->num_subdictionaries(), 1u);
+  EXPECT_GT(d2->num_subdictionaries(), 1u);
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t pid = static_cast<uint32_t>(rng.Uniform(f.data.size()));
+    const float* q = f.data.point(pid);
+    EXPECT_EQ(DictQuery(*d1, q), DictQuery(*d2, q));
+  }
+}
+
+TEST(CellDictionaryTest, SkippingVisitsFewerSubdictionaries) {
+  Fixture f(synth::Blobs(4000, 6, 1.5, 7), /*eps=*/0.8, /*rho=*/0.1);
+  CellDictionaryOptions opts;
+  opts.max_cells_per_subdict = 32;
+  auto with = CellDictionary::Build(f.data, *f.cells, opts);
+  opts.enable_skipping = false;
+  auto without = CellDictionary::Build(f.data, *f.cells, opts);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  const float* q = f.data.point(0);
+  auto ignore = [](const DictCell&, uint32_t) {};
+  EXPECT_LT(with->Query(q, ignore), without->Query(q, ignore));
+}
+
+TEST(CellDictionaryTest, RTreeIndexGivesIdenticalResults) {
+  // Lemma 5.6 names "R*-tree or kd-tree"; both indexes must agree.
+  Fixture f(synth::Blobs(2500, 4, 2.0, 13), /*eps=*/1.0, /*rho=*/0.05);
+  CellDictionaryOptions kd;
+  kd.index = CandidateIndex::kKdTree;
+  CellDictionaryOptions rt;
+  rt.index = CandidateIndex::kRTree;
+  auto d1 = CellDictionary::Build(f.data, *f.cells, kd);
+  auto d2 = CellDictionary::Build(f.data, *f.cells, rt);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t pid = static_cast<uint32_t>(rng.Uniform(f.data.size()));
+    const float* q = f.data.point(pid);
+    EXPECT_EQ(DictQuery(*d1, q), DictQuery(*d2, q)) << trial;
+  }
+}
+
+TEST(CellDictionaryTest, SizeFormulaLemma43) {
+  Fixture f(synth::Blobs(1000, 3, 2.0, 8), /*eps=*/1.0, /*rho=*/0.05);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  const size_t d = 2;
+  const size_t h = 6;  // rho=0.05 -> h=6
+  const size_t expect_bits =
+      32 * (dict->num_cells() + dict->num_subcells()) +
+      32 * d * dict->num_cells() + d * (h - 1) * dict->num_subcells();
+  EXPECT_EQ(dict->SizeBitsLemma43(), expect_bits);
+  EXPECT_EQ(dict->SizeBytesLemma43(), (expect_bits + 7) / 8);
+}
+
+TEST(CellDictionaryTest, DictionaryIsSmallerThanDataAtScale) {
+  // Table 5's premise: the dictionary compresses the data set. With
+  // rho = 0.10 and clustered data, many points share sub-cells.
+  Fixture f(synth::Blobs(50000, 5, 1.0, 9), /*eps=*/2.0, /*rho=*/0.10);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  EXPECT_LT(dict->SizeBytesLemma43(), f.data.PayloadBytes());
+}
+
+TEST(CellDictionaryTest, LargerEpsShrinksDictionary) {
+  // The paper's observation (Sec. 7.2.1): dictionaries get more compact as
+  // eps grows because (sub-)cells grow.
+  const Dataset ds = synth::Blobs(20000, 5, 1.0, 10);
+  size_t prev = SIZE_MAX;
+  for (const double eps : {0.5, 1.0, 2.0, 4.0}) {
+    Fixture f(ds, eps, 0.05);
+    auto dict = CellDictionary::Build(f.data, *f.cells);
+    ASSERT_TRUE(dict.ok());
+    const size_t bytes = dict->SizeBytesLemma43();
+    EXPECT_LT(bytes, prev) << "eps=" << eps;
+    prev = bytes;
+  }
+}
+
+TEST(CellDictionaryTest, RejectsZeroBudget) {
+  Fixture f(synth::Blobs(100, 2, 2.0, 11), 1.0, 0.1);
+  CellDictionaryOptions opts;
+  opts.max_cells_per_subdict = 0;
+  EXPECT_FALSE(CellDictionary::Build(f.data, *f.cells, opts).ok());
+}
+
+TEST(CellDictionaryTest, QueryCountIncludesOwnSubcell) {
+  // A point always finds at least itself (its own sub-cell's density).
+  Fixture f(synth::Blobs(500, 2, 2.0, 12), 1.0, 0.05);
+  auto dict = CellDictionary::Build(f.data, *f.cells);
+  ASSERT_TRUE(dict.ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_GE(dict->QueryCount(f.data.point(i)), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

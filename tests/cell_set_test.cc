@@ -1,0 +1,144 @@
+#include "core/cell_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+GridGeometry MakeGeom(size_t dim, double eps, double rho = 0.1) {
+  auto g = GridGeometry::Create(dim, eps, rho);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+TEST(CellSetTest, EveryPointAssignedToExactlyOneCell) {
+  const Dataset ds = synth::Blobs(5000, 5, 2.0, 1);
+  auto set = CellSet::Build(ds, MakeGeom(2, 1.0), 8, 7);
+  ASSERT_TRUE(set.ok());
+  size_t total = 0;
+  std::set<uint32_t> seen;
+  for (uint32_t c = 0; c < set->num_cells(); ++c) {
+    for (const uint32_t pid : set->cell(c).point_ids) {
+      EXPECT_TRUE(seen.insert(pid).second) << "point in two cells";
+    }
+    total += set->cell(c).point_ids.size();
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+TEST(CellSetTest, PointsLandInTheirGeometricCell) {
+  const Dataset ds = synth::Blobs(1000, 3, 2.0, 2);
+  const GridGeometry geom = MakeGeom(2, 0.8);
+  auto set = CellSet::Build(ds, geom, 4, 7);
+  ASSERT_TRUE(set.ok());
+  for (uint32_t c = 0; c < set->num_cells(); ++c) {
+    for (const uint32_t pid : set->cell(c).point_ids) {
+      EXPECT_EQ(geom.CellOf(ds.point(pid)), set->cell(c).coord);
+    }
+  }
+}
+
+TEST(CellSetTest, PartitionsCoverAllCellsDisjointly) {
+  const Dataset ds = synth::Blobs(5000, 5, 2.0, 3);
+  auto set = CellSet::Build(ds, MakeGeom(2, 1.0), 6, 7);
+  ASSERT_TRUE(set.ok());
+  std::set<uint32_t> seen;
+  for (uint32_t p = 0; p < set->num_partitions(); ++p) {
+    for (const uint32_t cid : set->partition(p)) {
+      EXPECT_TRUE(seen.insert(cid).second);
+      EXPECT_EQ(set->cell(cid).owner_partition, p);
+    }
+  }
+  EXPECT_EQ(seen.size(), set->num_cells());
+}
+
+TEST(CellSetTest, PartitioningIsDeterministicPerSeed) {
+  const Dataset ds = synth::Blobs(2000, 4, 2.0, 4);
+  auto a = CellSet::Build(ds, MakeGeom(2, 1.0), 8, 42);
+  auto b = CellSet::Build(ds, MakeGeom(2, 1.0), 8, 42);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_cells(), b->num_cells());
+  for (uint32_t c = 0; c < a->num_cells(); ++c) {
+    EXPECT_EQ(a->cell(c).owner_partition, b->cell(c).owner_partition);
+  }
+}
+
+TEST(CellSetTest, DifferentSeedsShuffleAssignment) {
+  const Dataset ds = synth::Blobs(2000, 4, 2.0, 4);
+  auto a = CellSet::Build(ds, MakeGeom(2, 1.0), 8, 1);
+  auto b = CellSet::Build(ds, MakeGeom(2, 1.0), 8, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  size_t differ = 0;
+  for (uint32_t c = 0; c < a->num_cells(); ++c) {
+    if (a->cell(c).owner_partition != b->cell(c).owner_partition) ++differ;
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(CellSetTest, PartitionSizesDifferByAtMostOneCell) {
+  // Sec. 4.1: partitions of the same size (exactly, up to rounding).
+  const Dataset ds = synth::Blobs(8000, 6, 2.0, 14);
+  auto set = CellSet::Build(ds, MakeGeom(2, 0.7), 7, 9);
+  ASSERT_TRUE(set.ok());
+  size_t lo = SIZE_MAX;
+  size_t hi = 0;
+  for (uint32_t p = 0; p < set->num_partitions(); ++p) {
+    lo = std::min(lo, set->partition(p).size());
+    hi = std::max(hi, set->partition(p).size());
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(CellSetTest, LoadBalanceOnSkewedData) {
+  // The headline property of pseudo random partitioning (Sec. 4.1): even
+  // on heavily skewed data, partitions get nearly equal point counts.
+  const Dataset ds = synth::GeoLifeLike(60000, 11);
+  auto set = CellSet::Build(ds, MakeGeom(3, 1.0), 10, 3);
+  ASSERT_TRUE(set.ok());
+  const double ratio =
+      static_cast<double>(set->MaxPartitionPoints()) /
+      static_cast<double>(std::max<size_t>(1, set->MinPartitionPoints()));
+  EXPECT_LT(ratio, 2.0) << "cells per partition should balance points";
+}
+
+TEST(CellSetTest, FindCell) {
+  const Dataset ds = synth::Blobs(100, 2, 2.0, 5);
+  const GridGeometry geom = MakeGeom(2, 1.0);
+  auto set = CellSet::Build(ds, geom, 2, 7);
+  ASSERT_TRUE(set.ok());
+  const CellCoord c0 = geom.CellOf(ds.point(0));
+  const int64_t found = set->FindCell(c0);
+  ASSERT_GE(found, 0);
+  EXPECT_EQ(set->cell(static_cast<uint32_t>(found)).coord, c0);
+  const int32_t far[2] = {1000000, 1000000};
+  EXPECT_EQ(set->FindCell(CellCoord(far, 2)), -1);
+}
+
+TEST(CellSetTest, RejectsInvalidInputs) {
+  const Dataset empty(2);
+  EXPECT_FALSE(CellSet::Build(empty, MakeGeom(2, 1.0), 4, 7).ok());
+
+  const Dataset ds = synth::Blobs(10, 1, 2.0, 6);
+  EXPECT_FALSE(CellSet::Build(ds, MakeGeom(3, 1.0), 4, 7).ok());  // dim
+  EXPECT_FALSE(CellSet::Build(ds, MakeGeom(2, 1.0), 0, 7).ok());  // k=0
+}
+
+TEST(CellSetTest, MorePartitionsThanCellsLeavesSomeEmpty) {
+  Dataset ds(2);
+  ds.Append({0, 0});
+  ds.Append({0.1f, 0.1f});
+  auto set = CellSet::Build(ds, MakeGeom(2, 10.0), 16, 7);
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->num_partitions(), 16u);
+  EXPECT_LE(set->num_cells(), 2u);
+  EXPECT_EQ(set->MinPartitionPoints(), 0u);
+}
+
+}  // namespace
+}  // namespace rpdbscan

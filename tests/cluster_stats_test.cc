@@ -1,0 +1,49 @@
+#include "metrics/cluster_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rpdbscan {
+namespace {
+
+TEST(SummarizeTest, CountsClustersAndNoise) {
+  const Labels labels = {0, 0, 1, kNoise, 1, 1, kNoise};
+  const ClusterSummary s = Summarize(labels);
+  EXPECT_EQ(s.num_points, 7u);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.num_noise, 2u);
+  ASSERT_EQ(s.sizes.size(), 2u);
+  EXPECT_EQ(s.sizes[0], 3u);  // descending
+  EXPECT_EQ(s.sizes[1], 2u);
+  EXPECT_EQ(s.LargestCluster(), 3u);
+}
+
+TEST(SummarizeTest, AllNoise) {
+  const Labels labels = {kNoise, kNoise};
+  const ClusterSummary s = Summarize(labels);
+  EXPECT_EQ(s.num_clusters, 0u);
+  EXPECT_EQ(s.num_noise, 2u);
+  EXPECT_EQ(s.LargestCluster(), 0u);
+}
+
+TEST(SummarizeTest, EmptyLabels) {
+  const ClusterSummary s = Summarize({});
+  EXPECT_EQ(s.num_points, 0u);
+  EXPECT_EQ(s.num_clusters, 0u);
+}
+
+TEST(SummarizeTest, NonContiguousIdsCounted) {
+  const Labels labels = {42, 42, 1000, 7};
+  const ClusterSummary s = Summarize(labels);
+  EXPECT_EQ(s.num_clusters, 3u);
+}
+
+TEST(SummarizeTest, ToStringMentionsCounts) {
+  const Labels labels = {0, 0, kNoise};
+  const std::string str = Summarize(labels).ToString();
+  EXPECT_NE(str.find("3 points"), std::string::npos);
+  EXPECT_NE(str.find("1 clusters"), std::string::npos);
+  EXPECT_NE(str.find("1 noise"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpdbscan

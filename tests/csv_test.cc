@@ -1,0 +1,109 @@
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace rpdbscan {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/csv_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, ReadsCommaSeparated) {
+  WriteFile("1.0,2.0\n3.5,-4.5\n");
+  auto ds = ReadCsv(path_);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->dim(), 2u);
+  ASSERT_EQ(ds->size(), 2u);
+  EXPECT_FLOAT_EQ(ds->point(1)[1], -4.5f);
+}
+
+TEST_F(CsvTest, ReadsWhitespaceSeparated) {
+  WriteFile("1 2 3\n4 5 6\n");
+  auto ds = ReadCsv(path_);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->dim(), 3u);
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST_F(CsvTest, SkipsCommentsAndBlankLines) {
+  WriteFile("# header\n\n1,2\n# middle\n3,4\n");
+  auto ds = ReadCsv(path_);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);
+}
+
+TEST_F(CsvTest, RejectsArityMismatch) {
+  WriteFile("1,2\n3,4,5\n");
+  auto ds = ReadCsv(path_);
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RejectsUnparsableRow) {
+  WriteFile("1,2\nfoo,bar\n");
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(CsvTest, RejectsEmptyFile) {
+  WriteFile("");
+  EXPECT_FALSE(ReadCsv(path_).ok());
+}
+
+TEST_F(CsvTest, MissingFileIsIOError) {
+  auto ds = ReadCsv("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CsvTest, RoundTripWithoutLabels) {
+  Dataset ds(2);
+  ds.Append({1.5f, 2.5f});
+  ds.Append({-3.0f, 4.0f});
+  ASSERT_TRUE(WriteCsv(path_, ds).ok());
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_FLOAT_EQ(back->point(0)[0], 1.5f);
+  EXPECT_FLOAT_EQ(back->point(1)[1], 4.0f);
+}
+
+TEST_F(CsvTest, RoundTripWithLabels) {
+  Dataset ds(2);
+  ds.Append({1.0f, 2.0f});
+  ds.Append({3.0f, 4.0f});
+  const Labels labels = {7, kNoise};
+  ASSERT_TRUE(WriteCsv(path_, ds, &labels).ok());
+  auto back = ReadCsv(path_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->dim(), 3u);  // label column appended
+  EXPECT_FLOAT_EQ(back->point(0)[2], 7.0f);
+  EXPECT_FLOAT_EQ(back->point(1)[2], -1.0f);
+}
+
+TEST_F(CsvTest, WriteRejectsLabelSizeMismatch) {
+  Dataset ds(2);
+  ds.Append({1.0f, 2.0f});
+  const Labels labels = {1, 2, 3};
+  EXPECT_EQ(WriteCsv(path_, ds, &labels).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rpdbscan

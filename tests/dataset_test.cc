@@ -1,0 +1,90 @@
+#include "io/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace rpdbscan {
+namespace {
+
+TEST(DatasetTest, EmptyAfterConstruction) {
+  Dataset ds(3);
+  EXPECT_EQ(ds.dim(), 3u);
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_TRUE(ds.empty());
+}
+
+TEST(DatasetTest, ZeroDimClampedToOne) {
+  Dataset ds(0);
+  EXPECT_EQ(ds.dim(), 1u);
+}
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset ds(2);
+  ds.Append({1.0f, 2.0f});
+  ds.Append({3.0f, 4.0f});
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_FLOAT_EQ(ds.point(0)[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.point(0)[1], 2.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[0], 3.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[1], 4.0f);
+}
+
+TEST(DatasetTest, AppendFromPointer) {
+  Dataset ds(3);
+  const float p[3] = {7, 8, 9};
+  ds.Append(p);
+  EXPECT_EQ(ds.size(), 1u);
+  EXPECT_FLOAT_EQ(ds.point(0)[2], 9.0f);
+}
+
+TEST(DatasetTest, MutablePoint) {
+  Dataset ds(2);
+  ds.Append({0.0f, 0.0f});
+  ds.mutable_point(0)[1] = 5.0f;
+  EXPECT_FLOAT_EQ(ds.point(0)[1], 5.0f);
+}
+
+TEST(DatasetTest, FromFlatValid) {
+  auto ds = Dataset::FromFlat(2, {1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 3u);
+  EXPECT_FLOAT_EQ(ds->point(2)[1], 6.0f);
+}
+
+TEST(DatasetTest, FromFlatRejectsBadArity) {
+  auto ds = Dataset::FromFlat(2, {1, 2, 3});
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, FromFlatRejectsZeroDim) {
+  auto ds = Dataset::FromFlat(0, {});
+  ASSERT_FALSE(ds.ok());
+}
+
+TEST(DatasetTest, PayloadBytes) {
+  Dataset ds(4);
+  ds.Append({1, 2, 3, 4});
+  ds.Append({5, 6, 7, 8});
+  EXPECT_EQ(ds.PayloadBytes(), 2 * 4 * sizeof(float));
+}
+
+TEST(DatasetDeathTest, AppendArityMismatchAborts) {
+  Dataset ds(2);
+  EXPECT_DEATH(ds.Append({1.0f, 2.0f, 3.0f}), "arity");
+}
+
+TEST(DistanceSquaredTest, KnownValues) {
+  const float a[3] = {0, 0, 0};
+  const float b[3] = {3, 4, 0};
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, b, 3), 25.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, a, 3), 0.0);
+}
+
+TEST(DistanceSquaredTest, IsSymmetric) {
+  const float a[2] = {1.5f, -2.0f};
+  const float b[2] = {-0.5f, 7.0f};
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, b, 2), DistanceSquared(b, a, 2));
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,80 @@
+#include "graph/disjoint_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(DisjointSetTest, StartsAsSingletons) {
+  DisjointSet dsu(5);
+  EXPECT_EQ(dsu.size(), 5u);
+  EXPECT_EQ(dsu.num_components(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) EXPECT_EQ(dsu.Find(i), i);
+}
+
+TEST(DisjointSetTest, UnionMergesComponents) {
+  DisjointSet dsu(4);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_EQ(dsu.num_components(), 3u);
+  EXPECT_EQ(dsu.Find(0), dsu.Find(1));
+  EXPECT_NE(dsu.Find(0), dsu.Find(2));
+}
+
+TEST(DisjointSetTest, RedundantUnionReturnsFalse) {
+  DisjointSet dsu(3);
+  EXPECT_TRUE(dsu.Union(0, 1));
+  EXPECT_FALSE(dsu.Union(1, 0));
+  EXPECT_FALSE(dsu.Union(0, 1));
+  EXPECT_EQ(dsu.num_components(), 2u);
+}
+
+TEST(DisjointSetTest, TransitiveConnectivity) {
+  DisjointSet dsu(5);
+  dsu.Union(0, 1);
+  dsu.Union(1, 2);
+  dsu.Union(3, 4);
+  EXPECT_EQ(dsu.Find(0), dsu.Find(2));
+  EXPECT_EQ(dsu.Find(3), dsu.Find(4));
+  EXPECT_NE(dsu.Find(2), dsu.Find(3));
+  EXPECT_EQ(dsu.num_components(), 2u);
+}
+
+TEST(DisjointSetTest, AddExtendsSet) {
+  DisjointSet dsu(2);
+  const uint32_t id = dsu.Add();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(dsu.size(), 3u);
+  EXPECT_EQ(dsu.num_components(), 3u);
+  EXPECT_TRUE(dsu.Union(0, id));
+  EXPECT_EQ(dsu.Find(id), dsu.Find(0));
+}
+
+TEST(DisjointSetTest, SpanningForestEdgeCount) {
+  // Union over random edges: the number of true returns must equal
+  // n - num_components (the spanning forest size) — the property the
+  // paper's edge reduction relies on (Sec. 6.1.4).
+  const size_t n = 500;
+  DisjointSet dsu(n);
+  Rng rng(5);
+  size_t forest_edges = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t a = static_cast<uint32_t>(rng.Uniform(n));
+    const uint32_t b = static_cast<uint32_t>(rng.Uniform(n));
+    if (a == b) continue;
+    if (dsu.Union(a, b)) ++forest_edges;
+  }
+  EXPECT_EQ(forest_edges, n - dsu.num_components());
+}
+
+TEST(DisjointSetTest, LargeChainPathCompression) {
+  const size_t n = 100000;
+  DisjointSet dsu(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) dsu.Union(i, i + 1);
+  EXPECT_EQ(dsu.num_components(), 1u);
+  EXPECT_EQ(dsu.Find(0), dsu.Find(static_cast<uint32_t>(n - 1)));
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,122 @@
+#include "baselines/exact_dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/cluster_stats.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(ExactDbscanTest, RejectsBadInputs) {
+  const Dataset empty(2);
+  EXPECT_FALSE(RunExactDbscan(empty, {1.0, 5}).ok());
+  Dataset one(2);
+  one.Append({0, 0});
+  EXPECT_FALSE(RunExactDbscan(one, {0.0, 5}).ok());
+  EXPECT_FALSE(RunExactDbscan(one, {1.0, 0}).ok());
+}
+
+TEST(ExactDbscanTest, TwoWellSeparatedClusters) {
+  Dataset ds(2);
+  // Cluster A around (0,0), cluster B around (10,10), one far outlier.
+  for (int i = 0; i < 10; ++i) {
+    ds.Append({static_cast<float>(i % 3) * 0.1f,
+               static_cast<float>(i / 3) * 0.1f});
+  }
+  for (int i = 0; i < 10; ++i) {
+    ds.Append({10.0f + static_cast<float>(i % 3) * 0.1f,
+               10.0f + static_cast<float>(i / 3) * 0.1f});
+  }
+  ds.Append({50, 50});
+  auto r = RunExactDbscan(ds, {1.0, 5});
+  ASSERT_TRUE(r.ok());
+  const ClusterSummary s = Summarize(r->labels);
+  EXPECT_EQ(s.num_clusters, 2u);
+  EXPECT_EQ(s.num_noise, 1u);
+  EXPECT_EQ(r->labels[20], kNoise);
+  // All of A shares one label, all of B another.
+  for (int i = 1; i < 10; ++i) EXPECT_EQ(r->labels[i], r->labels[0]);
+  for (int i = 11; i < 20; ++i) EXPECT_EQ(r->labels[i], r->labels[10]);
+  EXPECT_NE(r->labels[0], r->labels[10]);
+}
+
+TEST(ExactDbscanTest, MinPtsCountsThePointItself) {
+  // Two points at distance 1, min_pts = 2: both are core (each has itself
+  // plus the other within eps).
+  Dataset ds(1);
+  ds.Append({0});
+  ds.Append({1});
+  auto r = RunExactDbscan(ds, {1.0, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->point_is_core[0], 1);
+  EXPECT_EQ(r->point_is_core[1], 1);
+  EXPECT_EQ(r->labels[0], r->labels[1]);
+}
+
+TEST(ExactDbscanTest, BorderPointAdoptedNotCore) {
+  // Dense clump + one point just within eps of only part of the clump:
+  // its own neighborhood (3 points incl. itself) is below min_pts.
+  Dataset ds(1);
+  for (int i = 0; i < 5; ++i) ds.Append({static_cast<float>(i) * 0.01f});
+  ds.Append({1.03f});
+  auto r = RunExactDbscan(ds, {1.0, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->point_is_core[5], 0);
+  EXPECT_NE(r->labels[5], kNoise);  // border, adopted by the cluster
+}
+
+TEST(ExactDbscanTest, ChainExpansion) {
+  // A long chain of points 0.5 apart with eps=0.6, min_pts=2: one cluster.
+  Dataset ds(1);
+  for (int i = 0; i < 100; ++i) ds.Append({static_cast<float>(i) * 0.5f});
+  auto r = RunExactDbscan(ds, {0.6, 2});
+  ASSERT_TRUE(r.ok());
+  const ClusterSummary s = Summarize(r->labels);
+  EXPECT_EQ(s.num_clusters, 1u);
+  EXPECT_EQ(s.num_noise, 0u);
+}
+
+TEST(ExactDbscanTest, AllNoiseWhenSparse) {
+  Dataset ds(2);
+  for (int i = 0; i < 10; ++i) {
+    ds.Append({static_cast<float>(i * 100), 0.0f});
+  }
+  auto r = RunExactDbscan(ds, {1.0, 3});
+  ASSERT_TRUE(r.ok());
+  for (const int64_t l : r->labels) EXPECT_EQ(l, kNoise);
+  for (const uint8_t c : r->point_is_core) EXPECT_EQ(c, 0);
+}
+
+TEST(ExactDbscanTest, BlobsRecovered) {
+  const Dataset ds = synth::Blobs(3000, 5, 0.5, 77);
+  auto r = RunExactDbscan(ds, {0.6, 15});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Summarize(r->labels).num_clusters, 5u);
+}
+
+TEST(ExactDbscanTest, UnindexedModeMatchesIndexedMode) {
+  // The SPARK-DBSCAN configuration disables the kd-tree; results must be
+  // identical, only slower.
+  const Dataset ds = synth::Blobs(1200, 4, 1.0, 79);
+  auto indexed = RunExactDbscan(ds, {1.0, 10}, /*use_index=*/true);
+  auto brute = RunExactDbscan(ds, {1.0, 10}, /*use_index=*/false);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_TRUE(brute.ok());
+  EXPECT_EQ(indexed->labels, brute->labels);
+  EXPECT_EQ(indexed->point_is_core, brute->point_is_core);
+}
+
+TEST(ExactDbscanTest, CoreFlagsConsistentWithLabels) {
+  const Dataset ds = synth::Moons(1000, 0.05, 78);
+  auto r = RunExactDbscan(ds, {0.1, 8});
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (r->point_is_core[i] != 0) {
+      EXPECT_NE(r->labels[i], kNoise) << "core point marked noise";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,59 @@
+// Randomized equivalence fuzzing: RP-DBSCAN must track exact DBSCAN on
+// random mixtures with random dimensionality, eps, minPts, partition
+// count and seed. Complements the curated accuracy sweeps by exploring
+// parameter corners no one hand-picked.
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_dbscan.h"
+#include "core/rp_dbscan.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzEquivalence, RpTracksExactOnRandomConfigs) {
+  Rng rng(GetParam());
+  // Random data shape.
+  const size_t dim = 1 + rng.Uniform(4);             // 1..4
+  const size_t components = 2 + rng.Uniform(8);      // 2..9
+  const double alpha = 0.25 * (1 + rng.Uniform(8));  // 0.25..2.0
+  synth::GaussianMixtureOptions g;
+  g.num_points = 1500 + rng.Uniform(1500);
+  g.dim = dim;
+  g.num_components = components;
+  g.skewness_alpha = alpha;
+  g.seed = rng.Next();
+  const Dataset ds = GaussianMixture(g);
+
+  // Random clustering parameters in a regime where structure exists.
+  const double eps = rng.UniformDouble(1.0, 4.0);
+  const size_t min_pts = 5 + rng.Uniform(25);
+
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = min_pts;
+  o.rho = 0.01;
+  o.num_partitions = 1 + rng.Uniform(24);
+  o.num_threads = 2;
+  o.seed = rng.Next();
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  auto exact = RunExactDbscan(ds, {eps, min_pts});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rp->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.99) << "dim=" << dim << " eps=" << eps
+                       << " min_pts=" << min_pts
+                       << " partitions=" << o.num_partitions;
+}
+
+INSTANTIATE_TEST_SUITE_P(TwentyConfigs, FuzzEquivalence,
+                         ::testing::Range<uint64_t>(1000, 1020));
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,147 @@
+#include "synth/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <map>
+
+namespace rpdbscan {
+namespace synth {
+namespace {
+
+TEST(GaussianMixtureTest, ProducesRequestedShape) {
+  GaussianMixtureOptions opts;
+  opts.num_points = 5000;
+  opts.dim = 3;
+  opts.num_components = 10;
+  opts.skewness_alpha = 1.0;
+  const Dataset ds = GaussianMixture(opts);
+  EXPECT_EQ(ds.size(), 5000u);
+  EXPECT_EQ(ds.dim(), 3u);
+}
+
+TEST(GaussianMixtureTest, PointsStayInBounds) {
+  GaussianMixtureOptions opts;
+  opts.num_points = 2000;
+  opts.dim = 2;
+  opts.skewness_alpha = 0.125;  // wide spread, exercises clamping
+  const Dataset ds = GaussianMixture(opts);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t d = 0; d < 2; ++d) {
+      EXPECT_GE(ds.point(i)[d], 0.0f);
+      EXPECT_LE(ds.point(i)[d], 100.0f);
+    }
+  }
+}
+
+TEST(GaussianMixtureTest, DeterministicForSeed) {
+  GaussianMixtureOptions opts;
+  opts.num_points = 100;
+  opts.seed = 77;
+  const Dataset a = GaussianMixture(opts);
+  const Dataset b = GaussianMixture(opts);
+  EXPECT_EQ(a.flat(), b.flat());
+}
+
+TEST(GaussianMixtureTest, HigherAlphaConcentrates) {
+  // Measure mean nearest-center distance proxy: variance of coordinates
+  // must shrink when alpha grows (Appendix B.1 / Fig. 18).
+  auto spread = [](double alpha) {
+    GaussianMixtureOptions opts;
+    opts.num_points = 20000;
+    opts.dim = 2;
+    opts.num_components = 1;
+    opts.skewness_alpha = alpha;
+    opts.seed = 5;
+    const Dataset ds = GaussianMixture(opts);
+    double mean = 0;
+    for (size_t i = 0; i < ds.size(); ++i) mean += ds.point(i)[0];
+    mean /= static_cast<double>(ds.size());
+    double var = 0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      const double d = ds.point(i)[0] - mean;
+      var += d * d;
+    }
+    return var / static_cast<double>(ds.size());
+  };
+  EXPECT_GT(spread(0.125), spread(8.0) * 10);
+}
+
+TEST(GaussianMixtureTest, WeightsShiftMass) {
+  GaussianMixtureOptions opts;
+  opts.num_points = 10000;
+  opts.dim = 1;
+  opts.num_components = 2;
+  opts.weights = {0.9, 0.1};
+  opts.skewness_alpha = 100.0;  // tight blobs
+  opts.seed = 3;
+  const Dataset ds = GaussianMixture(opts);
+  EXPECT_EQ(ds.size(), 10000u);
+}
+
+TEST(MoonsTest, TwoScaleStructure) {
+  const Dataset ds = Moons(2000, 0.05, 1);
+  EXPECT_EQ(ds.size(), 2000u);
+  EXPECT_EQ(ds.dim(), 2u);
+  // All points in the (generous) bounding box of the two moons.
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GT(ds.point(i)[0], -2.0f);
+    EXPECT_LT(ds.point(i)[0], 3.0f);
+    EXPECT_GT(ds.point(i)[1], -2.0f);
+    EXPECT_LT(ds.point(i)[1], 2.5f);
+  }
+}
+
+TEST(BlobsTest, RespectsDimAndCount) {
+  const Dataset ds = Blobs(3000, 5, 1.0, 2, /*dim=*/4);
+  EXPECT_EQ(ds.size(), 3000u);
+  EXPECT_EQ(ds.dim(), 4u);
+}
+
+TEST(ChameleonLikeTest, HasNoisePortion) {
+  const Dataset ds = ChameleonLike(10000, 4);
+  EXPECT_EQ(ds.size(), 10000u);
+  EXPECT_EQ(ds.dim(), 2u);
+}
+
+TEST(DatasetAnaloguesTest, ShapesMatchTable3) {
+  EXPECT_EQ(GeoLifeLike(1000, 1).dim(), 3u);   // GeoLife is 3-d
+  EXPECT_EQ(CosmoLike(1000, 1).dim(), 3u);     // Cosmo50 is 3-d
+  EXPECT_EQ(OsmLike(1000, 1).dim(), 2u);       // OpenStreetMap is 2-d
+  EXPECT_EQ(TeraLike(1000, 1).dim(), 13u);     // TeraClickLog is 13-d
+}
+
+TEST(GeoLifeLikeTest, IsHeavilySkewed) {
+  // A majority of the mass must sit in a tiny region (the "Beijing"
+  // component) — the property the paper uses GeoLife for.
+  const Dataset ds = GeoLifeLike(20000, 9);
+  // Find the densest unit lattice cell, then count the mass within
+  // distance 5 of its center.
+  std::map<std::array<int, 3>, size_t> buckets;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    buckets[{static_cast<int>(ds.point(i)[0]),
+             static_cast<int>(ds.point(i)[1]),
+             static_cast<int>(ds.point(i)[2])}]++;
+  }
+  std::array<int, 3> mode{};
+  size_t best = 0;
+  for (const auto& kv : buckets) {
+    if (kv.second > best) {
+      best = kv.second;
+      mode = kv.first;
+    }
+  }
+  const float c[3] = {mode[0] + 0.5f, mode[1] + 0.5f, mode[2] + 0.5f};
+  size_t dense = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (DistanceSquared(c, ds.point(i), 3) < 144.0) ++dense;
+  }
+  // The metro component holds ~65% of the points within a ball covering
+  // ~0.7% of the space volume.
+  EXPECT_GT(dense, ds.size() / 2);
+}
+
+}  // namespace
+}  // namespace synth
+}  // namespace rpdbscan

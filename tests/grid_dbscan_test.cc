@@ -1,0 +1,117 @@
+#include "baselines/grid_dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_dbscan.h"
+#include "metrics/cluster_stats.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(GridDbscanTest, RejectsBadInputs) {
+  const Dataset empty(2);
+  EXPECT_FALSE(RunGridDbscan(empty, {1.0, 5}).ok());
+  Dataset one(2);
+  one.Append({0, 0});
+  EXPECT_FALSE(RunGridDbscan(one, {0.0, 5}).ok());
+  EXPECT_FALSE(RunGridDbscan(one, {1.0, 0}).ok());
+}
+
+TEST(GridDbscanTest, CoreFlagsMatchExactDbscanExactly) {
+  // Coreness is a pointwise exact predicate: both exact algorithms must
+  // agree bit for bit.
+  const Dataset ds = synth::Blobs(3000, 5, 1.0, 91);
+  auto grid = RunGridDbscan(ds, {1.0, 15});
+  auto exact = RunExactDbscan(ds, {1.0, 15});
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(grid->point_is_core, exact->point_is_core);
+}
+
+TEST(GridDbscanTest, CorePointCoMembershipMatchesExact) {
+  // Core points belong to exactly one cluster; the two exact algorithms
+  // must agree on every core-core pair.
+  const Dataset ds = synth::Moons(3000, 0.05, 92);
+  const DbscanParams params{0.07, 10};
+  auto grid = RunGridDbscan(ds, params);
+  auto exact = RunExactDbscan(ds, params);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(exact.ok());
+  Rng rng(3);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const size_t a = static_cast<size_t>(rng.Uniform(ds.size()));
+    const size_t b = static_cast<size_t>(rng.Uniform(ds.size()));
+    if (!grid->point_is_core[a] || !grid->point_is_core[b]) continue;
+    EXPECT_EQ(grid->labels[a] == grid->labels[b],
+              exact->labels[a] == exact->labels[b])
+        << "pair " << a << "," << b;
+  }
+}
+
+TEST(GridDbscanTest, RandIndexVsExactIsNearOne) {
+  const Dataset ds = synth::ChameleonLike(4000, 93);
+  const DbscanParams params{1.2, 12};
+  auto grid = RunGridDbscan(ds, params);
+  auto exact = RunExactDbscan(ds, params);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(grid->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  // Only border-point tie-breaking may differ.
+  EXPECT_GE(*ri, 0.9995);
+}
+
+TEST(GridDbscanTest, DenseCellShortcut) {
+  // One cell packed with >= minPts identical points: all core, one
+  // cluster, no scans needed.
+  Dataset ds(2);
+  for (int i = 0; i < 50; ++i) ds.Append({5, 5});
+  auto r = RunGridDbscan(ds, {1.0, 20});
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(r->point_is_core[i], 1);
+    EXPECT_EQ(r->labels[i], r->labels[0]);
+  }
+  EXPECT_EQ(Summarize(r->labels).num_clusters, 1u);
+}
+
+TEST(GridDbscanTest, ChainAcrossManyCells) {
+  // A chain spanning many cells exercises the 2-eps connectivity radius.
+  Dataset ds(1);
+  for (int i = 0; i < 200; ++i) ds.Append({static_cast<float>(i) * 0.45f});
+  auto grid = RunGridDbscan(ds, {0.5, 2});
+  auto exact = RunExactDbscan(ds, {0.5, 2});
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(Summarize(grid->labels).num_clusters, 1u);
+  EXPECT_EQ(grid->point_is_core, exact->point_is_core);
+}
+
+TEST(GridDbscanTest, NoiseStaysNoise) {
+  Dataset ds(2);
+  for (int i = 0; i < 20; ++i) {
+    ds.Append({static_cast<float>(i * 100), 0.0f});
+  }
+  auto r = RunGridDbscan(ds, {1.0, 3});
+  ASSERT_TRUE(r.ok());
+  for (const int64_t l : r->labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(GridDbscanTest, HighDimensional) {
+  const Dataset ds = synth::TeraLike(1000, 94);
+  const DbscanParams params{15.0, 8};
+  auto grid = RunGridDbscan(ds, params);
+  auto exact = RunExactDbscan(ds, params);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(grid->point_is_core, exact->point_is_core);
+  auto ri = RandIndex(grid->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.999);
+}
+
+}  // namespace
+}  // namespace rpdbscan

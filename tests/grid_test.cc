@@ -1,0 +1,164 @@
+#include "core/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "io/dataset.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(GridGeometryTest, CellDiagonalIsEps) {
+  auto g = GridGeometry::Create(3, 0.9, 0.01);
+  ASSERT_TRUE(g.ok());
+  // side * sqrt(d) == eps (Def. 3.1: diagonal length eps).
+  EXPECT_NEAR(g->cell_side() * std::sqrt(3.0), 0.9, 1e-12);
+}
+
+TEST(GridGeometryTest, HFollowsDefinition41) {
+  // h = 1 + ceil(log2(1/rho)).
+  auto g1 = GridGeometry::Create(2, 1.0, 0.01);
+  ASSERT_TRUE(g1.ok());
+  EXPECT_EQ(g1->h(), 8);  // ceil(log2(100)) = 7
+  EXPECT_EQ(g1->splits_per_dim(), 128);
+
+  auto g2 = GridGeometry::Create(2, 1.0, 0.05);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->h(), 6);  // ceil(log2(20)) = 5
+
+  auto g3 = GridGeometry::Create(2, 1.0, 0.5);
+  ASSERT_TRUE(g3.ok());
+  EXPECT_EQ(g3->h(), 2);
+
+  auto g4 = GridGeometry::Create(2, 1.0, 1.0);
+  ASSERT_TRUE(g4.ok());
+  EXPECT_EQ(g4->h(), 1);  // the cell is its own sub-cell
+  EXPECT_EQ(g4->splits_per_dim(), 1);
+}
+
+TEST(GridGeometryTest, SubcellDiagonalAtMostRhoEps) {
+  // Lemma 5.2 relies on subcell diagonal <= rho * eps.
+  for (const double rho : {0.01, 0.05, 0.10, 0.5}) {
+    auto g = GridGeometry::Create(3, 2.0, rho);
+    ASSERT_TRUE(g.ok());
+    const double diag = g->subcell_side() * std::sqrt(3.0);
+    EXPECT_LE(diag, rho * 2.0 + 1e-12) << "rho=" << rho;
+  }
+}
+
+TEST(GridGeometryTest, RejectsBadParameters) {
+  EXPECT_FALSE(GridGeometry::Create(0, 1.0, 0.01).ok());
+  EXPECT_FALSE(GridGeometry::Create(17, 1.0, 0.01).ok());  // > kMaxDim
+  EXPECT_FALSE(GridGeometry::Create(2, 0.0, 0.01).ok());
+  EXPECT_FALSE(GridGeometry::Create(2, -1.0, 0.01).ok());
+  EXPECT_FALSE(GridGeometry::Create(2, 1.0, 0.0).ok());
+  EXPECT_FALSE(GridGeometry::Create(2, 1.0, 1.5).ok());
+}
+
+TEST(GridGeometryTest, RejectsSubcellBitsOverflow) {
+  // 13 dims with very small rho would exceed the 128-bit SubcellId.
+  EXPECT_FALSE(GridGeometry::Create(13, 1.0, 1e-4).ok());
+  EXPECT_TRUE(GridGeometry::Create(13, 1.0, 0.01).ok());  // 91 bits, fits
+}
+
+TEST(GridGeometryTest, CellOfHandlesNegativeCoordinates) {
+  auto g = GridGeometry::Create(2, std::sqrt(2.0), 0.5);  // side = 1
+  ASSERT_TRUE(g.ok());
+  const float p[2] = {-0.5f, 2.5f};
+  const CellCoord c = g->CellOf(p);
+  EXPECT_EQ(c[0], -1);
+  EXPECT_EQ(c[1], 2);
+}
+
+TEST(GridGeometryTest, PointInsideItsCellBox) {
+  auto g = GridGeometry::Create(3, 0.7, 0.01);
+  ASSERT_TRUE(g.ok());
+  const float p[3] = {13.37f, -4.2f, 0.001f};
+  const Mbr box = g->CellBox(g->CellOf(p));
+  EXPECT_TRUE(box.Contains(p));
+}
+
+TEST(GridGeometryTest, CellDistHelpersMatchMbr) {
+  auto g = GridGeometry::Create(3, 1.1, 0.1);
+  ASSERT_TRUE(g.ok());
+  const float probes[][3] = {
+      {0, 0, 0}, {5.5f, -2.2f, 8.8f}, {-10, 20, -30}, {0.3f, 0.3f, 0.3f}};
+  const float anchors[][3] = {
+      {0.1f, 0.1f, 0.1f}, {5, -2, 9}, {-9.7f, 19.9f, -30.2f}};
+  for (const auto& a : anchors) {
+    const CellCoord c = g->CellOf(a);
+    const Mbr box = g->CellBox(c);
+    for (const auto& p : probes) {
+      EXPECT_NEAR(g->CellMinDist2(c, p), box.MinDist2(p), 1e-9);
+      EXPECT_NEAR(g->CellMaxDist2(c, p), box.MaxDist2(p), 1e-9);
+    }
+  }
+}
+
+TEST(GridGeometryTest, CellCenterInsideBox) {
+  auto g = GridGeometry::Create(2, 1.0, 0.1);
+  ASSERT_TRUE(g.ok());
+  const float p[2] = {5.0f, 7.0f};
+  const CellCoord c = g->CellOf(p);
+  float center[2];
+  g->CellCenter(c, center);
+  EXPECT_TRUE(g->CellBox(c).Contains(center));
+}
+
+TEST(GridGeometryTest, SubcellCenterWithinHalfSubcellDiagonalOfPoint) {
+  // The approximation bound of Lemma 5.2: any point and the center of its
+  // sub-cell differ by at most rho*eps/2.
+  const double eps = 1.3;
+  const double rho = 0.05;
+  auto g = GridGeometry::Create(3, eps, rho);
+  ASSERT_TRUE(g.ok());
+  const float points[][3] = {
+      {0.0f, 0.0f, 0.0f},
+      {1.234f, -5.678f, 9.999f},
+      {-0.001f, 0.001f, 100.0f},
+      {42.42f, 13.13f, -7.77f},
+  };
+  for (const auto& p : points) {
+    const CellCoord c = g->CellOf(p);
+    const SubcellId sc = g->SubcellOf(p, c);
+    float center[3];
+    g->SubcellCenter(c, sc, center);
+    const double dist = std::sqrt(DistanceSquared(p, center, 3));
+    EXPECT_LE(dist, rho * eps / 2.0 + 1e-6);
+  }
+}
+
+TEST(GridGeometryTest, RhoOneSubcellIsWholeCell) {
+  auto g = GridGeometry::Create(2, 1.0, 1.0);
+  ASSERT_TRUE(g.ok());
+  const float p[2] = {3.3f, 4.4f};
+  const CellCoord c = g->CellOf(p);
+  const SubcellId sc = g->SubcellOf(p, c);
+  EXPECT_EQ(sc.lo, 0u);
+  EXPECT_EQ(sc.hi, 0u);
+  float sub_center[2];
+  float cell_center[2];
+  g->SubcellCenter(c, sc, sub_center);
+  g->CellCenter(c, cell_center);
+  EXPECT_FLOAT_EQ(sub_center[0], cell_center[0]);
+  EXPECT_FLOAT_EQ(sub_center[1], cell_center[1]);
+}
+
+TEST(GridGeometryTest, DistinctSubcellsForDistantPointsInCell) {
+  auto g = GridGeometry::Create(2, 1.0, 0.01);
+  ASSERT_TRUE(g.ok());
+  // Two points in the same cell but far apart within it.
+  const double side = g->cell_side();
+  const float p1[2] = {static_cast<float>(side * 0.05),
+                       static_cast<float>(side * 0.05)};
+  const float p2[2] = {static_cast<float>(side * 0.95),
+                       static_cast<float>(side * 0.95)};
+  const CellCoord c1 = g->CellOf(p1);
+  const CellCoord c2 = g->CellOf(p2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_FALSE(g->SubcellOf(p1, c1) == g->SubcellOf(p2, c2));
+}
+
+}  // namespace
+}  // namespace rpdbscan

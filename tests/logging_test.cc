@@ -1,0 +1,29 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rpdbscan {
+namespace {
+
+TEST(LoggingTest, InfoWarningErrorDoNotAbort) {
+  RPDBSCAN_LOG_INFO << "info line " << 1;
+  RPDBSCAN_LOG_WARN << "warn line " << 2;
+  RPDBSCAN_LOG_ERROR << "error line " << 3;
+  SUCCEED();
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  RPDBSCAN_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH({ RPDBSCAN_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckMessageIncludesCondition) {
+  EXPECT_DEATH({ RPDBSCAN_CHECK(2 < 1); }, "2 < 1");
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,115 @@
+#include "spatial/mbr.h"
+
+#include <gtest/gtest.h>
+
+namespace rpdbscan {
+namespace {
+
+TEST(MbrTest, StartsEmpty) {
+  Mbr box(2);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.dim(), 2u);
+}
+
+TEST(MbrTest, ExpandToPointMakesDegenerateBox) {
+  Mbr box(2);
+  const float p[2] = {3, 4};
+  box.ExpandToPoint(p);
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.min(0), 3.0);
+  EXPECT_DOUBLE_EQ(box.max(0), 3.0);
+  EXPECT_TRUE(box.Contains(p));
+}
+
+TEST(MbrTest, ExpandGrowsBounds) {
+  Mbr box(2);
+  const float a[2] = {0, 0};
+  const float b[2] = {10, -5};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  EXPECT_DOUBLE_EQ(box.min(0), 0.0);
+  EXPECT_DOUBLE_EQ(box.max(0), 10.0);
+  EXPECT_DOUBLE_EQ(box.min(1), -5.0);
+  EXPECT_DOUBLE_EQ(box.max(1), 0.0);
+}
+
+TEST(MbrTest, ExpandToMbr) {
+  Mbr a(1);
+  Mbr b(1);
+  const float lo[1] = {1};
+  const float hi[1] = {9};
+  a.ExpandToPoint(lo);
+  b.ExpandToPoint(hi);
+  a.ExpandToMbr(b);
+  EXPECT_DOUBLE_EQ(a.min(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(0), 9.0);
+}
+
+TEST(MbrTest, ContainsIsClosed) {
+  Mbr box(2);
+  const float a[2] = {0, 0};
+  const float b[2] = {2, 2};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  const float edge[2] = {2, 0};
+  const float outside[2] = {2.001f, 0};
+  EXPECT_TRUE(box.Contains(edge));
+  EXPECT_FALSE(box.Contains(outside));
+}
+
+TEST(MbrTest, MinDist2InsideIsZero) {
+  Mbr box(2);
+  const float a[2] = {0, 0};
+  const float b[2] = {4, 4};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  const float inside[2] = {2, 2};
+  EXPECT_DOUBLE_EQ(box.MinDist2(inside), 0.0);
+}
+
+TEST(MbrTest, MinDist2ToFaceAndCorner) {
+  Mbr box(2);
+  const float a[2] = {0, 0};
+  const float b[2] = {4, 4};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  const float face[2] = {2, 7};  // 3 above the top face
+  EXPECT_DOUBLE_EQ(box.MinDist2(face), 9.0);
+  const float corner[2] = {7, 8};  // 3 right, 4 above the corner
+  EXPECT_DOUBLE_EQ(box.MinDist2(corner), 25.0);
+}
+
+TEST(MbrTest, MaxDist2IsFarthestCorner) {
+  Mbr box(2);
+  const float a[2] = {0, 0};
+  const float b[2] = {4, 4};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  const float origin[2] = {0, 0};
+  EXPECT_DOUBLE_EQ(box.MaxDist2(origin), 32.0);  // corner (4,4)
+  const float center[2] = {2, 2};
+  EXPECT_DOUBLE_EQ(box.MaxDist2(center), 8.0);
+}
+
+TEST(MbrTest, MaxDist2FromOutsidePoint) {
+  Mbr box(1);
+  const float a[1] = {0};
+  const float b[1] = {2};
+  box.ExpandToPoint(a);
+  box.ExpandToPoint(b);
+  const float p[1] = {-3};
+  EXPECT_DOUBLE_EQ(box.MaxDist2(p), 25.0);  // to the far face at 2
+}
+
+TEST(MbrTest, SetMinMaxDirectly) {
+  Mbr box(2);
+  box.set_min(0, -1);
+  box.set_max(0, 1);
+  box.set_min(1, -2);
+  box.set_max(1, 2);
+  const float p[2] = {0, 0};
+  EXPECT_TRUE(box.Contains(p));
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,101 @@
+#include "baselines/naive_random_split.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_dbscan.h"
+#include "core/rp_dbscan.h"
+#include "metrics/cluster_stats.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(NaiveRandomSplitTest, RejectsBadInputs) {
+  const Dataset empty(2);
+  NaiveRandomSplitOptions o;
+  o.params = {1.0, 10};
+  EXPECT_FALSE(RunNaiveRandomSplitDbscan(empty, o).ok());
+  const Dataset ds = synth::Blobs(100, 2, 1.0, 1);
+  o.params = {0.0, 10};
+  EXPECT_FALSE(RunNaiveRandomSplitDbscan(ds, o).ok());
+  o.params = {1.0, 0};
+  EXPECT_FALSE(RunNaiveRandomSplitDbscan(ds, o).ok());
+  o.params = {1.0, 10};
+  o.num_splits = 0;
+  EXPECT_FALSE(RunNaiveRandomSplitDbscan(ds, o).ok());
+}
+
+TEST(NaiveRandomSplitTest, SingleSplitMatchesExactDbscan) {
+  const Dataset ds = synth::Blobs(2000, 4, 1.0, 2);
+  NaiveRandomSplitOptions o;
+  o.params = {1.0, 12};
+  o.num_splits = 1;
+  o.scale_min_pts = false;
+  auto naive = RunNaiveRandomSplitDbscan(ds, o);
+  ASSERT_TRUE(naive.ok());
+  auto exact = RunExactDbscan(ds, {1.0, 12});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(naive->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(NaiveRandomSplitTest, RecoversWellSeparatedBlobsApproximately) {
+  const Dataset ds = synth::Blobs(8000, 4, 0.8, 3);
+  NaiveRandomSplitOptions o;
+  o.params = {1.0, 16};
+  o.num_splits = 4;
+  auto r = RunNaiveRandomSplitDbscan(ds, o);
+  ASSERT_TRUE(r.ok());
+  const ClusterSummary s = Summarize(r->labels);
+  // Blob structure must be broadly recovered (it may fragment/over-noise
+  // a bit — that is the point of this baseline).
+  EXPECT_GE(s.num_clusters, 4u);
+  EXPECT_LE(s.num_clusters, 12u);
+}
+
+TEST(NaiveRandomSplitTest, LessAccurateThanRpDbscanOnHardData) {
+  // The Sec. 2.2.1 claim: naive random split trades accuracy for speed;
+  // RP-DBSCAN keeps exactness via the cell dictionary. On thin structures
+  // (moons) density dilution hurts the naive variant.
+  const Dataset ds = synth::Moons(6000, 0.05, 4);
+  auto exact = RunExactDbscan(ds, {0.06, 16});
+  ASSERT_TRUE(exact.ok());
+
+  NaiveRandomSplitOptions no;
+  no.params = {0.06, 16};
+  no.num_splits = 8;
+  auto naive = RunNaiveRandomSplitDbscan(ds, no);
+  ASSERT_TRUE(naive.ok());
+
+  RpDbscanOptions ro;
+  ro.eps = 0.06;
+  ro.min_pts = 16;
+  ro.num_threads = 2;
+  auto rp = RunRpDbscan(ds, ro);
+  ASSERT_TRUE(rp.ok());
+
+  auto naive_ri = RandIndex(naive->labels, exact->labels);
+  auto rp_ri = RandIndex(rp->labels, exact->labels);
+  ASSERT_TRUE(naive_ri.ok());
+  ASSERT_TRUE(rp_ri.ok());
+  EXPECT_GT(*rp_ri, *naive_ri);
+  EXPECT_GE(*rp_ri, 0.99);
+}
+
+TEST(NaiveRandomSplitTest, DeterministicForSeed) {
+  const Dataset ds = synth::Blobs(1500, 3, 1.0, 5);
+  NaiveRandomSplitOptions o;
+  o.params = {1.0, 12};
+  o.num_splits = 4;
+  o.seed = 77;
+  auto a = RunNaiveRandomSplitDbscan(ds, o);
+  auto b = RunNaiveRandomSplitDbscan(ds, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+}  // namespace
+}  // namespace rpdbscan

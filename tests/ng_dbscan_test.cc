@@ -1,0 +1,91 @@
+#include "baselines/ng_dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_dbscan.h"
+#include "metrics/cluster_stats.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(NgDbscanTest, RejectsBadInputs) {
+  const Dataset empty(2);
+  NgDbscanOptions o;
+  o.params = {1.0, 5};
+  EXPECT_FALSE(RunNgDbscan(empty, o).ok());
+  const Dataset ds = synth::Blobs(50, 1, 1.0, 1);
+  o.params = {0.0, 5};
+  EXPECT_FALSE(RunNgDbscan(ds, o).ok());
+  o.params = {1.0, 0};
+  EXPECT_FALSE(RunNgDbscan(ds, o).ok());
+}
+
+TEST(NgDbscanTest, RecoversWellSeparatedBlobs) {
+  const Dataset ds = synth::Blobs(3000, 4, 0.8, 2);
+  NgDbscanOptions o;
+  o.params = {1.5, 10};
+  o.max_iterations = 20;
+  o.seed = 3;
+  auto r = RunNgDbscan(ds, o);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Summarize(r->labels).num_clusters, 4u);
+  EXPECT_GT(r->iterations_run, 0u);
+  EXPECT_LE(r->iterations_run, 20u);
+}
+
+TEST(NgDbscanTest, ApproximatesExactDbscan) {
+  // NG-DBSCAN is an approximation (Sec. 2.2.3): expect high but not
+  // necessarily perfect agreement on easy data.
+  const Dataset ds = synth::Blobs(2500, 3, 0.7, 4);
+  NgDbscanOptions o;
+  o.params = {1.5, 10};
+  o.max_iterations = 25;
+  auto ng = RunNgDbscan(ds, o);
+  ASSERT_TRUE(ng.ok());
+  auto exact = RunExactDbscan(ds, {1.5, 10});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(ng->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.95);
+}
+
+TEST(NgDbscanTest, SparseDataAllNoise) {
+  Dataset ds(2);
+  for (int i = 0; i < 200; ++i) {
+    ds.Append({static_cast<float>(i * 50), static_cast<float>(i % 7)});
+  }
+  NgDbscanOptions o;
+  o.params = {1.0, 5};
+  auto r = RunNgDbscan(ds, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_clusters, 0u);
+  for (const int64_t l : r->labels) EXPECT_EQ(l, kNoise);
+}
+
+TEST(NgDbscanTest, TimingFieldsPopulated) {
+  const Dataset ds = synth::Blobs(500, 2, 1.0, 5);
+  NgDbscanOptions o;
+  o.params = {1.5, 8};
+  auto r = RunNgDbscan(ds, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->graph_seconds, 0.0);
+  EXPECT_GE(r->cluster_seconds, 0.0);
+  EXPECT_GE(r->total_seconds, r->graph_seconds);
+}
+
+TEST(NgDbscanTest, DeterministicForSeed) {
+  const Dataset ds = synth::Blobs(800, 3, 1.0, 6);
+  NgDbscanOptions o;
+  o.params = {1.5, 8};
+  o.seed = 42;
+  auto a = RunNgDbscan(ds, o);
+  auto b = RunNgDbscan(ds, o);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,102 @@
+#include "metrics/nmi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rpdbscan {
+namespace {
+
+TEST(NmiTest, IdenticalPartitionsScoreOne) {
+  const Labels a = {0, 0, 1, 1, 2, 2};
+  auto nmi = NormalizedMutualInformation(a, a);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, RelabelingInvariant) {
+  const Labels a = {0, 0, 1, 1, 2, 2};
+  const Labels b = {9, 9, 4, 4, 7, 7};
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsScoreNearZero) {
+  Labels a;
+  Labels b;
+  for (int i = 0; i < 1024; ++i) {
+    a.push_back(i % 2);
+    b.push_back((i / 2) % 2);
+  }
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, 0.0, 1e-9);
+}
+
+TEST(NmiTest, KnownHandValue) {
+  // a = {0,0,1,1}, b = {0,1,1,1}:
+  // H(a) = log 2; H(b) = -(1/4 log 1/4 + 3/4 log 3/4)
+  // joint: (0,0)=1/4, (0,1)=1/4, (1,1)=1/2
+  // MI = 1/4 log( (1/4)/(1/2*1/4) ) + 1/4 log( (1/4)/(1/2*3/4) )
+  //      + 1/2 log( (1/2)/(1/2*3/4) )
+  const Labels a = {0, 0, 1, 1};
+  const Labels b = {0, 1, 1, 1};
+  const double ha = std::log(2.0);
+  const double hb =
+      -(0.25 * std::log(0.25) + 0.75 * std::log(0.75));
+  const double mi = 0.25 * std::log(0.25 / (0.5 * 0.25)) +
+                    0.25 * std::log(0.25 / (0.5 * 0.75)) +
+                    0.5 * std::log(0.5 / (0.5 * 0.75));
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_NEAR(*nmi, mi / std::sqrt(ha * hb), 1e-12);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  const Labels a = {0, 0, 0, 1, 1, 2};
+  const Labels b = {0, 1, 1, 1, 2, 2};
+  auto ab = NormalizedMutualInformation(a, b);
+  auto ba = NormalizedMutualInformation(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NEAR(*ab, *ba, 1e-12);
+}
+
+TEST(NmiTest, NoiseHandlingModes) {
+  const Labels a = {0, 0, kNoise, kNoise};
+  const Labels b = {0, 0, kNoise, kNoise};
+  auto singleton =
+      NormalizedMutualInformation(a, b, NoiseHandling::kSingleton);
+  ASSERT_TRUE(singleton.ok());
+  EXPECT_NEAR(*singleton, 1.0, 1e-12);
+  auto one = NormalizedMutualInformation(a, b, NoiseHandling::kOneCluster);
+  ASSERT_TRUE(one.ok());
+  EXPECT_NEAR(*one, 1.0, 1e-12);
+}
+
+TEST(NmiTest, TrivialPartitionsBothSingleCluster) {
+  const Labels a = {0, 0, 0};
+  auto nmi = NormalizedMutualInformation(a, a, NoiseHandling::kOneCluster);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_DOUBLE_EQ(*nmi, 1.0);
+}
+
+TEST(NmiTest, RejectsBadInputs) {
+  const Labels a = {0, 1};
+  const Labels b = {0};
+  EXPECT_FALSE(NormalizedMutualInformation(a, b).ok());
+  EXPECT_FALSE(NormalizedMutualInformation({}, {}).ok());
+}
+
+TEST(NmiTest, BoundedInUnitInterval) {
+  const Labels a = {0, 1, 2, 0, 1, 2, 0, 1};
+  const Labels b = {2, 2, 1, 1, 0, 0, 2, 1};
+  auto nmi = NormalizedMutualInformation(a, b);
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_GE(*nmi, 0.0);
+  EXPECT_LE(*nmi, 1.0);
+}
+
+}  // namespace
+}  // namespace rpdbscan

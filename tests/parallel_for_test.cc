@@ -1,0 +1,63 @@
+#include "parallel/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace rpdbscan {
+namespace {
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(pool, 0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  ParallelFor(pool, 1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelForTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  ParallelFor(pool, 5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  const std::vector<int> expect = {0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expect);  // inline path preserves order
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  ThreadPool pool(3);
+  const size_t n = 10000;
+  std::atomic<long long> sum{0};
+  ParallelFor(pool, n, [&](size_t i) {
+    sum.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n * (n - 1) / 2));
+}
+
+TEST(ParallelForTest, ExplicitChunkSize) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(97);
+  ParallelFor(pool, hits.size(), [&](size_t i) { hits[i].fetch_add(1); },
+              /*chunk=*/5);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,136 @@
+#include "core/phase2.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/exact_dbscan.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+struct Pipeline {
+  Dataset data{2};
+  GridGeometry geom;
+  StatusOr<CellSet> cells = Status::Internal("unset");
+  StatusOr<CellDictionary> dict = Status::Internal("unset");
+
+  Pipeline(Dataset ds, double eps, double rho, size_t parts)
+      : data(std::move(ds)) {
+    auto g = GridGeometry::Create(data.dim(), eps, rho);
+    EXPECT_TRUE(g.ok());
+    geom = *g;
+    cells = CellSet::Build(data, geom, parts, 7);
+    EXPECT_TRUE(cells.ok());
+    dict = CellDictionary::Build(data, *cells);
+    EXPECT_TRUE(dict.ok());
+  }
+};
+
+TEST(Phase2Test, OneSubgraphPerPartition) {
+  Pipeline p(synth::Blobs(2000, 3, 1.5, 1), 1.0, 0.01, 6);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 10, pool);
+  EXPECT_EQ(r.subgraphs.size(), 6u);
+  EXPECT_EQ(r.task_seconds.size(), 6u);
+  EXPECT_EQ(r.point_is_core.size(), p.data.size());
+  EXPECT_EQ(r.cell_is_core.size(), p.cells->num_cells());
+}
+
+TEST(Phase2Test, OwnedCellsMatchPartitions) {
+  Pipeline p(synth::Blobs(2000, 3, 1.5, 2), 1.0, 0.01, 5);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 10, pool);
+  for (uint32_t pid = 0; pid < 5; ++pid) {
+    std::set<uint32_t> expect(p.cells->partition(pid).begin(),
+                              p.cells->partition(pid).end());
+    std::set<uint32_t> got;
+    for (const auto& [cid, type] : r.subgraphs[pid].owned) {
+      got.insert(cid);
+      EXPECT_NE(type, CellType::kUndetermined);
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(Phase2Test, CoreFlagsMatchExactDbscanUpToApproximation) {
+  // With rho = 0.01 the (eps,rho)-count is within a whisker of the exact
+  // neighborhood count; on well-separated blobs core sets coincide.
+  Pipeline p(synth::Blobs(3000, 3, 1.0, 3), 1.0, 0.01, 4);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 20, pool);
+  auto exact = RunExactDbscan(p.data, DbscanParams{1.0, 20});
+  ASSERT_TRUE(exact.ok());
+  size_t diff = 0;
+  for (size_t i = 0; i < p.data.size(); ++i) {
+    if (r.point_is_core[i] != exact->point_is_core[i]) ++diff;
+  }
+  EXPECT_LT(static_cast<double>(diff), 0.01 * p.data.size());
+}
+
+TEST(Phase2Test, CoreCellIffHasCorePoint) {
+  Pipeline p(synth::Blobs(2000, 3, 1.5, 4), 1.0, 0.05, 4);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 15, pool);
+  for (uint32_t cid = 0; cid < p.cells->num_cells(); ++cid) {
+    bool has_core = false;
+    for (const uint32_t pid : p.cells->cell(cid).point_ids) {
+      has_core |= r.point_is_core[pid] != 0;
+    }
+    EXPECT_EQ(r.cell_is_core[cid] != 0, has_core) << "cell " << cid;
+  }
+}
+
+TEST(Phase2Test, EdgesOriginateFromCoreCellsOnly) {
+  Pipeline p(synth::Blobs(2000, 3, 1.5, 5), 1.0, 0.05, 4);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 15, pool);
+  for (const CellSubgraph& g : r.subgraphs) {
+    for (const CellEdge& e : g.edges) {
+      EXPECT_NE(e.from, e.to) << "self edge";
+      EXPECT_EQ(r.cell_is_core[e.from], 1) << "edge from non-core cell";
+      EXPECT_EQ(e.type, EdgeType::kUndetermined);
+    }
+  }
+}
+
+TEST(Phase2Test, EdgesAreDeduplicatedPerCell) {
+  Pipeline p(synth::Blobs(3000, 2, 1.0, 6), 1.5, 0.05, 3);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 10, pool);
+  for (const CellSubgraph& g : r.subgraphs) {
+    std::set<std::pair<uint32_t, uint32_t>> seen;
+    for (const CellEdge& e : g.edges) {
+      EXPECT_TRUE(seen.insert({e.from, e.to}).second)
+          << "duplicate edge " << e.from << "->" << e.to;
+    }
+  }
+}
+
+TEST(Phase2Test, HighMinPtsYieldsNoCores) {
+  Pipeline p(synth::Blobs(500, 2, 2.0, 7), 0.5, 0.05, 3);
+  ThreadPool pool(2);
+  const Phase2Result r =
+      BuildSubgraphs(p.data, *p.cells, *p.dict, 1000000, pool);
+  for (const uint8_t c : r.cell_is_core) EXPECT_EQ(c, 0);
+  for (const CellSubgraph& g : r.subgraphs) EXPECT_TRUE(g.edges.empty());
+}
+
+TEST(Phase2Test, MinPtsOneMakesEveryPointCore) {
+  Pipeline p(synth::Blobs(500, 2, 2.0, 8), 0.5, 0.05, 3);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 1, pool);
+  for (const uint8_t c : r.point_is_core) EXPECT_EQ(c, 1);
+}
+
+TEST(Phase2Test, SkippingStatsAccumulated) {
+  Pipeline p(synth::Blobs(2000, 4, 1.0, 9), 1.0, 0.05, 4);
+  ThreadPool pool(2);
+  const Phase2Result r = BuildSubgraphs(p.data, *p.cells, *p.dict, 10, pool);
+  EXPECT_GT(r.subdict_possible, 0u);
+  EXPECT_LE(r.subdict_visited, r.subdict_possible);
+}
+
+}  // namespace
+}  // namespace rpdbscan

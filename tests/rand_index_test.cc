@@ -1,0 +1,116 @@
+#include "metrics/rand_index.h"
+
+#include <gtest/gtest.h>
+
+namespace rpdbscan {
+namespace {
+
+TEST(RandIndexTest, IdenticalClusteringsScoreOne) {
+  const Labels a = {0, 0, 1, 1, 2};
+  auto ri = RandIndex(a, a);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(RandIndexTest, RelabeledClusteringsScoreOne) {
+  const Labels a = {0, 0, 1, 1, 2};
+  const Labels b = {5, 5, 9, 9, 7};  // same partition, different ids
+  auto ri = RandIndex(a, b);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(RandIndexTest, KnownHandComputedValue) {
+  // a: {0,0,1,1}  b: {0,1,1,1}. Pairs: (0,1) same/diff -> disagree;
+  // (0,2) diff/diff agree; (0,3) diff/diff agree; (1,2) diff/same
+  // disagree; (1,3) diff/same disagree; (2,3) same/same agree.
+  // RI = 3/6 = 0.5.
+  const Labels a = {0, 0, 1, 1};
+  const Labels b = {0, 1, 1, 1};
+  auto ri = RandIndex(a, b);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 0.5);
+}
+
+TEST(RandIndexTest, CompletelyDifferentStructures) {
+  // One big cluster vs all singletons: every pair disagrees.
+  const Labels a = {0, 0, 0, 0};
+  const Labels b = {0, 1, 2, 3};
+  auto ri = RandIndex(a, b);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 0.0);
+}
+
+TEST(RandIndexTest, NoiseAsSingletonsAgreeWhenMatched) {
+  const Labels a = {0, 0, kNoise, kNoise};
+  const Labels b = {1, 1, kNoise, kNoise};
+  auto ri = RandIndex(a, b, NoiseHandling::kSingleton);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(RandIndexTest, NoiseAsOneClusterDiffersFromSingleton) {
+  // Two noise points: singleton mode treats them as different clusters,
+  // one-cluster mode as the same. Compare against a labeling that puts
+  // them together.
+  const Labels a = {kNoise, kNoise};
+  const Labels b = {0, 0};
+  auto singleton = RandIndex(a, b, NoiseHandling::kSingleton);
+  auto one_cluster = RandIndex(a, b, NoiseHandling::kOneCluster);
+  ASSERT_TRUE(singleton.ok());
+  ASSERT_TRUE(one_cluster.ok());
+  EXPECT_DOUBLE_EQ(*singleton, 0.0);
+  EXPECT_DOUBLE_EQ(*one_cluster, 1.0);
+}
+
+TEST(RandIndexTest, RejectsSizeMismatch) {
+  const Labels a = {0, 1};
+  const Labels b = {0};
+  EXPECT_FALSE(RandIndex(a, b).ok());
+}
+
+TEST(RandIndexTest, RejectsEmpty) {
+  const Labels a;
+  EXPECT_FALSE(RandIndex(a, a).ok());
+}
+
+TEST(RandIndexTest, SinglePointIsPerfect) {
+  const Labels a = {0};
+  const Labels b = {3};
+  auto ri = RandIndex(a, b);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, IdenticalIsOne) {
+  const Labels a = {0, 0, 1, 1, 2, 2};
+  auto ari = AdjustedRandIndex(a, a);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AdjustedRandIndexTest, IndependentIsNearZero) {
+  // Interleaved labels: b splits each cluster of a evenly.
+  Labels a;
+  Labels b;
+  for (int i = 0; i < 400; ++i) {
+    a.push_back(i % 2);
+    b.push_back((i / 2) % 2);
+  }
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.0, 0.05);
+}
+
+TEST(AdjustedRandIndexTest, LowerThanRandIndexForPartialMatch) {
+  const Labels a = {0, 0, 0, 1, 1, 1};
+  const Labels b = {0, 0, 1, 1, 2, 2};
+  auto ri = RandIndex(a, b);
+  auto ari = AdjustedRandIndex(a, b);
+  ASSERT_TRUE(ri.ok());
+  ASSERT_TRUE(ari.ok());
+  EXPECT_LT(*ari, *ri);
+}
+
+}  // namespace
+}  // namespace rpdbscan

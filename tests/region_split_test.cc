@@ -1,0 +1,145 @@
+#include "baselines/region_split.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/exact_dbscan.h"
+#include "metrics/cluster_stats.h"
+#include "metrics/rand_index.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+RegionSplitOptions Opts(double eps, size_t min_pts,
+                        RegionPartitionStrategy strategy,
+                        size_t splits = 8) {
+  RegionSplitOptions o;
+  o.params = {eps, min_pts};
+  o.strategy = strategy;
+  o.num_splits = splits;
+  o.num_threads = 2;
+  return o;
+}
+
+TEST(RegionSplitTest, StrategyNames) {
+  EXPECT_STREQ(
+      RegionPartitionStrategyName(RegionPartitionStrategy::kEvenSplit),
+      "even-split");
+  EXPECT_STREQ(RegionPartitionStrategyName(
+                   RegionPartitionStrategy::kReducedBoundary),
+               "reduced-boundary");
+  EXPECT_STREQ(
+      RegionPartitionStrategyName(RegionPartitionStrategy::kCostBased),
+      "cost-based");
+}
+
+TEST(RegionSplitTest, RejectsBadInputs) {
+  const Dataset empty(2);
+  EXPECT_FALSE(RunRegionSplitDbscan(
+                   empty, Opts(1.0, 5, RegionPartitionStrategy::kEvenSplit))
+                   .ok());
+  const Dataset ds = synth::Blobs(100, 2, 1.0, 1);
+  EXPECT_FALSE(RunRegionSplitDbscan(
+                   ds, Opts(0.0, 5, RegionPartitionStrategy::kEvenSplit))
+                   .ok());
+  EXPECT_FALSE(RunRegionSplitDbscan(
+                   ds, Opts(1.0, 0, RegionPartitionStrategy::kEvenSplit))
+                   .ok());
+  auto o = Opts(1.0, 5, RegionPartitionStrategy::kEvenSplit);
+  o.num_splits = 0;
+  EXPECT_FALSE(RunRegionSplitDbscan(ds, o).ok());
+}
+
+class RegionSplitStrategyTest
+    : public ::testing::TestWithParam<RegionPartitionStrategy> {};
+
+TEST_P(RegionSplitStrategyTest, MatchesExactDbscan) {
+  const Dataset ds = synth::Blobs(4000, 5, 1.0, 51);
+  auto rs = RunRegionSplitDbscan(ds, Opts(1.0, 15, GetParam()));
+  ASSERT_TRUE(rs.ok()) << rs.status();
+  auto exact = RunExactDbscan(ds, {1.0, 15});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rs->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.999) << RegionPartitionStrategyName(GetParam());
+}
+
+TEST_P(RegionSplitStrategyTest, DuplicationAlwaysAtLeastDataSize) {
+  const Dataset ds = synth::Blobs(2000, 4, 1.5, 52);
+  auto rs = RunRegionSplitDbscan(ds, Opts(1.0, 10, GetParam(), 4));
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GE(rs->points_processed, ds.size());
+  EXPECT_EQ(rs->task_seconds.size(), 4u);
+}
+
+TEST_P(RegionSplitStrategyTest, ClusterSpanningCutIsMerged) {
+  // One elongated dense cluster crossing the whole space: any cut slices
+  // it, so the merge phase must reunite the halves.
+  Dataset ds(2);
+  for (int i = 0; i < 4000; ++i) {
+    ds.Append({static_cast<float>(i) * 0.02f,
+               static_cast<float>((i * 13) % 10) * 0.05f});
+  }
+  auto rs = RunRegionSplitDbscan(ds, Opts(0.5, 10, GetParam(), 8));
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(Summarize(rs->labels).num_clusters, 1u)
+      << RegionPartitionStrategyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, RegionSplitStrategyTest,
+    ::testing::Values(RegionPartitionStrategy::kEvenSplit,
+                      RegionPartitionStrategy::kReducedBoundary,
+                      RegionPartitionStrategy::kCostBased),
+    [](const ::testing::TestParamInfo<RegionPartitionStrategy>& info) {
+      switch (info.param) {
+        case RegionPartitionStrategy::kEvenSplit:
+          return "EvenSplit";
+        case RegionPartitionStrategy::kReducedBoundary:
+          return "ReducedBoundary";
+        case RegionPartitionStrategy::kCostBased:
+          return "CostBased";
+      }
+      return "Unknown";
+    });
+
+TEST(RegionSplitTest, ExactLocalClusteringAlsoCorrect) {
+  // SPARK-DBSCAN configuration: cost-based split without rho-approx.
+  const Dataset ds = synth::Blobs(1500, 3, 1.0, 53);
+  auto o = Opts(1.0, 10, RegionPartitionStrategy::kCostBased, 4);
+  o.rho_approximate = false;
+  auto rs = RunRegionSplitDbscan(ds, o);
+  ASSERT_TRUE(rs.ok());
+  auto exact = RunExactDbscan(ds, {1.0, 10});
+  ASSERT_TRUE(exact.ok());
+  auto ri = RandIndex(rs->labels, exact->labels);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_GE(*ri, 0.9999);
+}
+
+TEST(RegionSplitTest, SingleSplitDegeneratesToLocalRun) {
+  const Dataset ds = synth::Blobs(1000, 3, 1.0, 54);
+  auto rs = RunRegionSplitDbscan(
+      ds, Opts(1.0, 10, RegionPartitionStrategy::kEvenSplit, 1));
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->points_processed, ds.size());
+  EXPECT_EQ(Summarize(rs->labels).num_clusters, 3u);
+}
+
+TEST(RegionSplitTest, SkewedDataHasWorseImbalanceThanUniform) {
+  // Region split struggles on skew (Fig. 13a): compare max/min task size
+  // proxy through points_processed distribution is noisy on small data,
+  // so just assert the run completes and reports sane accounting.
+  const Dataset ds = synth::GeoLifeLike(8000, 55);
+  auto rs = RunRegionSplitDbscan(
+      ds, Opts(2.0, 10, RegionPartitionStrategy::kEvenSplit, 8));
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(rs->points_processed, ds.size());
+  EXPECT_GT(rs->total_seconds, 0.0);
+  EXPECT_GE(rs->split_seconds, 0.0);
+  EXPECT_GE(rs->local_seconds, 0.0);
+  EXPECT_GE(rs->merge_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,91 @@
+#include "util/reservoir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace rpdbscan {
+namespace {
+
+TEST(ReservoirSampleTest, SampleSizeAndRange) {
+  Rng rng(1);
+  const auto s = ReservoirSample(1000, 50, rng);
+  EXPECT_EQ(s.size(), 50u);
+  std::set<uint32_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const uint32_t v : s) EXPECT_LT(v, 1000u);
+}
+
+TEST(ReservoirSampleTest, KGreaterThanNReturnsAll) {
+  Rng rng(2);
+  const auto s = ReservoirSample(10, 100, rng);
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(ReservoirSampleTest, KZero) {
+  Rng rng(3);
+  EXPECT_TRUE(ReservoirSample(100, 0, rng).empty());
+}
+
+TEST(ReservoirSampleTest, IsApproximatelyUniform) {
+  // Each of 20 items should be picked ~ k/n = 1/4 of the time.
+  std::vector<int> hits(20, 0);
+  Rng rng(4);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (const uint32_t v : ReservoirSample(20, 5, rng)) ++hits[v];
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / trials, 0.25, 0.02);
+  }
+}
+
+TEST(RandomDisjointSplitTest, PartitionsExactly) {
+  Rng rng(5);
+  const auto splits = RandomDisjointSplit(1003, 7, rng);
+  ASSERT_EQ(splits.size(), 7u);
+  std::set<uint32_t> seen;
+  for (const auto& part : splits) {
+    for (const uint32_t v : part) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), 1003u);
+}
+
+TEST(RandomDisjointSplitTest, NearEqualSizes) {
+  Rng rng(6);
+  const auto splits = RandomDisjointSplit(1000, 8, rng);
+  for (const auto& part : splits) {
+    EXPECT_GE(part.size(), 125u - 1);
+    EXPECT_LE(part.size(), 125u + 1);
+  }
+}
+
+TEST(RandomDisjointSplitTest, ZeroSplitsClampedToOne) {
+  Rng rng(7);
+  const auto splits = RandomDisjointSplit(10, 0, rng);
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].size(), 10u);
+}
+
+TEST(RandomDisjointSplitTest, SplitsAreShuffled) {
+  Rng rng(8);
+  const auto splits = RandomDisjointSplit(1000, 2, rng);
+  // The first split must not simply be [0, 500).
+  std::vector<uint32_t> sorted = splits[0];
+  std::sort(sorted.begin(), sorted.end());
+  bool contiguous = true;
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    if (sorted[i + 1] != sorted[i] + 1) {
+      contiguous = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(contiguous);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,134 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+std::vector<uint32_t> BruteRadius(const Dataset& ds, const float* q,
+                                  double r) {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (DistanceSquared(q, ds.point(i), ds.dim()) <= r * r) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+Dataset RandomDataset(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  Dataset ds(dim);
+  ds.Reserve(n);
+  std::vector<float> p(dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (auto& v : p) v = static_cast<float>(rng.UniformDouble(0, 100));
+    ds.Append(p.data());
+  }
+  return ds;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  tree.Build(nullptr, 0, 2);
+  const float q[2] = {0, 0};
+  EXPECT_TRUE(tree.RadiusSearch(q, 100).empty());
+}
+
+TEST(RTreeTest, SinglePoint) {
+  Dataset ds(2);
+  ds.Append({5, 5});
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), 2);
+  const float near[2] = {5.5f, 5.0f};
+  const float far[2] = {50, 50};
+  EXPECT_EQ(tree.RadiusSearch(near, 1.0).size(), 1u);
+  EXPECT_TRUE(tree.RadiusSearch(far, 1.0).empty());
+}
+
+TEST(RTreeTest, MatchesBruteForce2d) {
+  const Dataset ds = RandomDataset(2000, 2, 142);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), ds.dim());
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const float q[2] = {static_cast<float>(rng.UniformDouble(0, 100)),
+                        static_cast<float>(rng.UniformDouble(0, 100))};
+    const double r = rng.UniformDouble(0.5, 15.0);
+    auto got = tree.RadiusSearch(q, r);
+    auto want = BruteRadius(ds, q, r);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, MatchesBruteForceHighDim) {
+  const Dataset ds = RandomDataset(600, 9, 143);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), ds.dim());
+  Rng rng(8);
+  std::vector<float> q(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& v : q) v = static_cast<float>(rng.UniformDouble(0, 100));
+    const double r = rng.UniformDouble(20.0, 80.0);
+    auto got = tree.RadiusSearch(q.data(), r);
+    auto want = BruteRadius(ds, q.data(), r);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(RTreeTest, OneDimensional) {
+  const Dataset ds = RandomDataset(500, 1, 144);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), 1);
+  const float q[1] = {50};
+  auto got = tree.RadiusSearch(q, 10.0);
+  auto want = BruteRadius(ds, q, 10.0);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(RTreeTest, DuplicatePointsAllFound) {
+  Dataset ds(2);
+  for (int i = 0; i < 50; ++i) ds.Append({3, 3});
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), 2, /*fanout=*/4);
+  const float q[2] = {3, 3};
+  EXPECT_EQ(tree.RadiusSearch(q, 0.5).size(), 50u);
+}
+
+TEST(RTreeTest, SmallFanoutStillCorrect) {
+  const Dataset ds = RandomDataset(300, 3, 145);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), 3, /*fanout=*/2);
+  const float q[3] = {50, 50, 50};
+  auto got = tree.RadiusSearch(q, 30.0);
+  auto want = BruteRadius(ds, q, 30.0);
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(RTreeTest, ReportsDistances) {
+  const Dataset ds = RandomDataset(200, 2, 146);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), 2);
+  const float q[2] = {50, 50};
+  tree.ForEachInRadius(q, 25.0, [&](uint32_t id, double d2) {
+    EXPECT_NEAR(d2, DistanceSquared(q, ds.point(id), 2), 1e-9);
+    EXPECT_LE(d2, 625.0 + 1e-9);
+  });
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,106 @@
+// Property test for Theorem 5.4 (the sandwich theorem): the clustering C
+// produced by (eps,rho)-region queries satisfies C1 <= C <= C2 where C1 is
+// exact DBSCAN at (1-rho/2)eps and C2 exact DBSCAN at (1+rho/2)eps.
+//
+// Operationally, over sampled point pairs:
+//  (a) two points that are core and co-clustered at (1-rho/2)eps must be
+//      co-clustered by RP-DBSCAN, and
+//  (b) two points that are core and co-clustered by RP-DBSCAN must be
+//      co-clustered at (1+rho/2)eps.
+// Border points may belong to several clusters (the classic DBSCAN
+// ambiguity), so a tiny violation rate is tolerated.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/exact_dbscan.h"
+#include "core/rp_dbscan.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+struct SandwichParam {
+  double rho;
+  uint64_t seed;
+};
+
+class SandwichSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(SandwichSweep, ClusteringIsSandwiched) {
+  const auto [rho, seed] = GetParam();
+  const double eps = 1.0;
+  const size_t min_pts = 15;
+  const Dataset ds = synth::Blobs(3000, 5, 1.2, seed);
+
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = min_pts;
+  o.rho = rho;
+  o.num_threads = 2;
+  o.num_partitions = 8;
+  auto rp = RunRpDbscan(ds, o);
+  ASSERT_TRUE(rp.ok());
+
+  auto lower = RunExactDbscan(ds, {(1.0 - rho / 2) * eps, min_pts});
+  auto upper = RunExactDbscan(ds, {(1.0 + rho / 2) * eps, min_pts});
+  ASSERT_TRUE(lower.ok());
+  ASSERT_TRUE(upper.ok());
+
+  Rng rng(seed * 31 + 7);
+  size_t lower_checked = 0;
+  size_t lower_violations = 0;
+  size_t upper_checked = 0;
+  size_t upper_violations = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const size_t a = static_cast<size_t>(rng.Uniform(ds.size()));
+    const size_t b = static_cast<size_t>(rng.Uniform(ds.size()));
+    if (a == b) continue;
+    // (a) C1 <= C.
+    if (lower->point_is_core[a] && lower->point_is_core[b] &&
+        lower->labels[a] == lower->labels[b]) {
+      ++lower_checked;
+      if (rp->labels[a] != rp->labels[b] || rp->labels[a] == kNoise) {
+        ++lower_violations;
+      }
+    }
+    // (b) C <= C2. RP core points are exactly the non-noise points of
+    // core cells; use co-clustered non-noise pairs that are core in the
+    // upper clustering's sense via the lower bound: any RP-core point is
+    // (1+rho/2)eps-core, so restrict to pairs core at the *lower* radius
+    // (a fortiori RP-core) to dodge border ambiguity.
+    if (lower->point_is_core[a] && lower->point_is_core[b] &&
+        rp->labels[a] != kNoise && rp->labels[a] == rp->labels[b]) {
+      ++upper_checked;
+      if (upper->labels[a] != upper->labels[b]) ++upper_violations;
+    }
+  }
+  ASSERT_GT(lower_checked, 100u);
+  ASSERT_GT(upper_checked, 100u);
+  EXPECT_LE(static_cast<double>(lower_violations),
+            0.01 * static_cast<double>(lower_checked))
+      << lower_violations << "/" << lower_checked;
+  EXPECT_LE(static_cast<double>(upper_violations),
+            0.01 * static_cast<double>(upper_checked))
+      << upper_violations << "/" << upper_checked;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RhoAndSeedGrid, SandwichSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.10, 0.20),
+                       ::testing::Values(11u, 22u, 33u)),
+    [](const ::testing::TestParamInfo<std::tuple<double, uint64_t>>& info) {
+      const double rho = std::get<0>(info.param);
+      const uint64_t seed = std::get<1>(info.param);
+      std::string name = "rho";
+      name += rho == 0.01 ? "01" : (rho == 0.05 ? "05"
+                                   : (rho == 0.10 ? "10" : "20"));
+      name += "_seed" + std::to_string(seed);
+      return name;
+    });
+
+}  // namespace
+}  // namespace rpdbscan

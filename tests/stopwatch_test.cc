@@ -1,0 +1,33 @@
+#include "util/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace rpdbscan {
+namespace {
+
+TEST(StopwatchTest, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch w;
+  const double t1 = w.ElapsedSeconds();
+  const double t2 = w.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(StopwatchTest, MeasuresSleep) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(w.ElapsedSeconds(), 0.015);
+  EXPECT_GE(w.ElapsedNanos(), 15000000);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.Reset();
+  EXPECT_LT(w.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace rpdbscan

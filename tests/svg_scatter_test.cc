@@ -1,0 +1,107 @@
+#include "io/svg_scatter.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+class SvgScatterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/svg_test_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".svg";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string ReadAll() {
+    std::ifstream in(path_);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(SvgScatterTest, WritesWellFormedSvg) {
+  Dataset ds(2);
+  ds.Append({0, 0});
+  ds.Append({1, 1});
+  ds.Append({2, 0});
+  const Labels labels = {0, 0, kNoise};
+  ASSERT_TRUE(WriteSvgScatter(path_, ds, labels).ok());
+  const std::string svg = ReadAll();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per point.
+  size_t circles = 0;
+  for (size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, 3u);
+  // Noise color present.
+  EXPECT_NE(svg.find("#bbbbbb"), std::string::npos);
+}
+
+TEST_F(SvgScatterTest, TitleRendered) {
+  Dataset ds(2);
+  ds.Append({0, 0});
+  const Labels labels = {0};
+  SvgScatterOptions opts;
+  opts.title = "moons";
+  ASSERT_TRUE(WriteSvgScatter(path_, ds, labels, opts).ok());
+  EXPECT_NE(ReadAll().find(">moons</text>"), std::string::npos);
+}
+
+TEST_F(SvgScatterTest, SelectsDimensions) {
+  Dataset ds(3);
+  ds.Append({1, 2, 3});
+  ds.Append({4, 5, 6});
+  const Labels labels = {0, 1};
+  SvgScatterOptions opts;
+  opts.dim_x = 1;
+  opts.dim_y = 2;
+  EXPECT_TRUE(WriteSvgScatter(path_, ds, labels, opts).ok());
+  opts.dim_y = 3;  // out of range
+  EXPECT_FALSE(WriteSvgScatter(path_, ds, labels, opts).ok());
+}
+
+TEST_F(SvgScatterTest, RejectsBadInputs) {
+  Dataset ds(2);
+  ds.Append({0, 0});
+  const Labels wrong_size = {0, 1};
+  EXPECT_FALSE(WriteSvgScatter(path_, ds, wrong_size).ok());
+  const Dataset empty(2);
+  EXPECT_FALSE(WriteSvgScatter(path_, empty, {}).ok());
+  const Labels one = {0};
+  SvgScatterOptions opts;
+  opts.width = 0;
+  EXPECT_FALSE(WriteSvgScatter(path_, ds, one, opts).ok());
+}
+
+TEST_F(SvgScatterTest, LargeDatasetAllPointsEmitted) {
+  const Dataset ds = synth::Moons(2000, 0.05, 9);
+  Labels labels(ds.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int64_t>(i % 5) - 1;  // includes noise (-1)
+  }
+  ASSERT_TRUE(WriteSvgScatter(path_, ds, labels).ok());
+  const std::string svg = ReadAll();
+  size_t circles = 0;
+  for (size_t pos = 0; (pos = svg.find("<circle", pos)) != std::string::npos;
+       ++pos) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, ds.size());
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,72 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace rpdbscan {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilLongTaskFinishes) {
+  ThreadPool pool(2);
+  std::atomic<bool> done{false};
+  pool.Submit([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    pool.Submit([&] { count.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,114 @@
+#include "io/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+TEST(MinMaxTest, MapsExtremesToBounds) {
+  Dataset ds(2);
+  ds.Append({10, -5});
+  ds.Append({20, 5});
+  ds.Append({15, 0});
+  auto t = FitMinMax(ds, 0.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(ApplyTransform(*t, &ds).ok());
+  EXPECT_FLOAT_EQ(ds.point(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.point(0)[1], 0.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[1], 1.0f);
+  EXPECT_FLOAT_EQ(ds.point(2)[0], 0.5f);
+  EXPECT_FLOAT_EQ(ds.point(2)[1], 0.5f);
+}
+
+TEST(MinMaxTest, CustomRange) {
+  Dataset ds(1);
+  ds.Append({0});
+  ds.Append({10});
+  auto t = FitMinMax(ds, -1.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(ApplyTransform(*t, &ds).ok());
+  EXPECT_FLOAT_EQ(ds.point(0)[0], -1.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[0], 1.0f);
+}
+
+TEST(MinMaxTest, ConstantDimensionMapsToLo) {
+  Dataset ds(2);
+  ds.Append({7, 1});
+  ds.Append({7, 2});
+  auto t = FitMinMax(ds, 0.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(ApplyTransform(*t, &ds).ok());
+  EXPECT_FLOAT_EQ(ds.point(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[0], 0.0f);
+}
+
+TEST(MinMaxTest, RejectsBadArguments) {
+  const Dataset empty(2);
+  EXPECT_FALSE(FitMinMax(empty).ok());
+  Dataset ds(1);
+  ds.Append({1});
+  EXPECT_FALSE(FitMinMax(ds, 1.0, 1.0).ok());  // hi == lo
+  EXPECT_FALSE(FitMinMax(ds, 2.0, 1.0).ok());  // hi < lo
+}
+
+TEST(StandardizeTest, ZeroMeanUnitVariance) {
+  const Dataset orig = synth::Blobs(5000, 3, 2.0, 81);
+  Dataset ds = orig;
+  auto t = FitStandardize(ds);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(ApplyTransform(*t, &ds).ok());
+  for (size_t d = 0; d < ds.dim(); ++d) {
+    double mean = 0;
+    for (size_t i = 0; i < ds.size(); ++i) mean += ds.point(i)[d];
+    mean /= static_cast<double>(ds.size());
+    double var = 0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      const double delta = ds.point(i)[d] - mean;
+      var += delta * delta;
+    }
+    var /= static_cast<double>(ds.size());
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(StandardizeTest, ConstantDimensionCenteredOnly) {
+  Dataset ds(1);
+  ds.Append({5});
+  ds.Append({5});
+  auto t = FitStandardize(ds);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(ApplyTransform(*t, &ds).ok());
+  EXPECT_FLOAT_EQ(ds.point(0)[0], 0.0f);
+  EXPECT_FLOAT_EQ(ds.point(1)[0], 0.0f);
+}
+
+TEST(ApplyTransformTest, RejectsDimMismatch) {
+  Dataset ds2(2);
+  ds2.Append({1, 2});
+  auto t = FitMinMax(ds2);
+  ASSERT_TRUE(t.ok());
+  Dataset ds3(3);
+  ds3.Append({1, 2, 3});
+  EXPECT_FALSE(ApplyTransform(*t, &ds3).ok());
+  EXPECT_FALSE(ApplyTransform(*t, nullptr).ok());
+}
+
+TEST(ApplyTransformTest, TransformIsReusableOnNewPoints) {
+  Dataset train(1);
+  train.Append({0});
+  train.Append({100});
+  auto t = FitMinMax(train, 0.0, 1.0);
+  ASSERT_TRUE(t.ok());
+  float held_out[1] = {50};
+  t->Apply(held_out);
+  EXPECT_FLOAT_EQ(held_out[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,281 @@
+// rpdbscan_cli: cluster a point set from the command line with any
+// algorithm in this repository.
+//
+// Input: --input=points.csv (headerless floats) or --input=points.rpds
+// (binary, see io/binary.h), or a synthetic set via
+// --generate=<moons|blobs|chameleon|geolife|cosmo|osm|tera> --n=<points>.
+//
+// Algorithm: --algo=<rp|exact|esp|rbp|cbp|spark|ng|naive> (default rp).
+//
+// Examples:
+//   rpdbscan_cli --generate=blobs --n=50000 --eps=1.0 --minpts=20 --stats
+//   rpdbscan_cli --input=data.csv --eps=0.5 --minpts=10 --output=labels.csv
+//   rpdbscan_cli --input=data.csv --convert=data.rpds
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/exact_dbscan.h"
+#include "baselines/naive_random_split.h"
+#include "baselines/ng_dbscan.h"
+#include "baselines/region_split.h"
+#include "core/rp_dbscan.h"
+#include "io/binary.h"
+#include "io/csv.h"
+#include "io/transforms.h"
+#include "metrics/cluster_stats.h"
+#include "spatial/kdtree.h"
+#include "synth/generators.h"
+#include "util/flags.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
+  input (pick one):
+    --input=PATH          .csv (headerless floats) or .rpds (binary)
+    --generate=KIND       moons|blobs|chameleon|geolife|cosmo|osm|tera
+    --n=N                 points to generate (default 50000)
+    --seed=S              generator seed (default 42)
+  clustering:
+    --algo=A              rp|exact|esp|rbp|cbp|spark|ng|naive (default rp)
+    --eps=E               DBSCAN radius (required unless --convert)
+    --minpts=M            density threshold (default 20)
+    --rho=R               approximation rate (default 0.01)
+    --partitions=K        partitions / splits (default 16)
+    --threads=T           worker threads (default 4)
+  preprocessing:
+    --normalize=MODE      minmax (onto [0,100]^d) or zscore
+  diagnostics:
+    --kdist=K             print K-th nearest-neighbor distance quantiles
+                          (the classic eps-selection aid) and exit
+  output:
+    --output=PATH         write points + label column as CSV
+    --stats               print timing / structure statistics
+    --convert=PATH        just convert the input to .rpds binary and exit
+)";
+
+StatusOr<Dataset> LoadInput(const FlagSet& flags) {
+  const std::string input = flags.GetString("input");
+  const std::string generate = flags.GetString("generate");
+  if (!input.empty() && !generate.empty()) {
+    return Status::InvalidArgument("--input and --generate are exclusive");
+  }
+  if (!input.empty()) {
+    if (input.size() >= 5 && input.substr(input.size() - 5) == ".rpds") {
+      return ReadBinary(input);
+    }
+    return ReadCsv(input);
+  }
+  if (generate.empty()) {
+    return Status::InvalidArgument("need --input or --generate");
+  }
+  auto n_or = flags.GetInt("n", 50000);
+  auto seed_or = flags.GetInt("seed", 42);
+  if (!n_or.ok()) return n_or.status();
+  if (!seed_or.ok()) return seed_or.status();
+  const size_t n = static_cast<size_t>(*n_or);
+  const uint64_t seed = static_cast<uint64_t>(*seed_or);
+  if (generate == "moons") return synth::Moons(n, 0.05, seed);
+  if (generate == "blobs") return synth::Blobs(n, 10, 1.0, seed);
+  if (generate == "chameleon") return synth::ChameleonLike(n, seed);
+  if (generate == "geolife") return synth::GeoLifeLike(n, seed);
+  if (generate == "cosmo") return synth::CosmoLike(n, seed);
+  if (generate == "osm") return synth::OsmLike(n, seed);
+  if (generate == "tera") return synth::TeraLike(n, seed);
+  return Status::InvalidArgument("unknown generator: " + generate);
+}
+
+StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
+                         bool print_stats) {
+  auto eps_or = flags.GetDouble("eps", 0.0);
+  auto minpts_or = flags.GetInt("minpts", 20);
+  auto rho_or = flags.GetDouble("rho", 0.01);
+  auto parts_or = flags.GetInt("partitions", 16);
+  auto threads_or = flags.GetInt("threads", 4);
+  if (!eps_or.ok()) return eps_or.status();
+  if (!minpts_or.ok()) return minpts_or.status();
+  if (!rho_or.ok()) return rho_or.status();
+  if (!parts_or.ok()) return parts_or.status();
+  if (!threads_or.ok()) return threads_or.status();
+  const DbscanParams params{*eps_or, static_cast<size_t>(*minpts_or)};
+  const std::string algo = flags.GetString("algo", "rp");
+
+  if (algo == "rp") {
+    RpDbscanOptions o;
+    o.eps = params.eps;
+    o.min_pts = params.min_pts;
+    o.rho = *rho_or;
+    o.num_partitions = static_cast<size_t>(*parts_or);
+    o.num_threads = static_cast<size_t>(*threads_or);
+    auto r = RunRpDbscan(data, o);
+    if (!r.ok()) return r.status();
+    if (print_stats) std::fputs(r->stats.ToString().c_str(), stdout);
+    return std::move(r->labels);
+  }
+  if (algo == "exact") {
+    auto r = RunExactDbscan(data, params);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  if (algo == "esp" || algo == "rbp" || algo == "cbp" || algo == "spark") {
+    RegionSplitOptions o;
+    o.params = params;
+    o.num_splits = static_cast<size_t>(*parts_or);
+    o.num_threads = static_cast<size_t>(*threads_or);
+    o.rho = *rho_or;
+    o.rho_approximate = algo != "spark";
+    o.strategy = algo == "esp"
+                     ? RegionPartitionStrategy::kEvenSplit
+                     : (algo == "rbp"
+                            ? RegionPartitionStrategy::kReducedBoundary
+                            : RegionPartitionStrategy::kCostBased);
+    auto r = RunRegionSplitDbscan(data, o);
+    if (!r.ok()) return r.status();
+    if (print_stats) {
+      std::printf("split %.3fs local %.3fs merge %.3fs; %zu pts processed\n",
+                  r->split_seconds, r->local_seconds, r->merge_seconds,
+                  r->points_processed);
+    }
+    return std::move(r->labels);
+  }
+  if (algo == "ng") {
+    NgDbscanOptions o;
+    o.params = params;
+    auto r = RunNgDbscan(data, o);
+    if (!r.ok()) return r.status();
+    if (print_stats) {
+      std::printf("graph %.3fs (%zu iterations), clustering %.3fs\n",
+                  r->graph_seconds, r->iterations_run, r->cluster_seconds);
+    }
+    return std::move(r->labels);
+  }
+  if (algo == "naive") {
+    NaiveRandomSplitOptions o;
+    o.params = params;
+    o.num_splits = static_cast<size_t>(*parts_or);
+    o.num_threads = static_cast<size_t>(*threads_or);
+    auto r = RunNaiveRandomSplitDbscan(data, o);
+    if (!r.ok()) return r.status();
+    return std::move(r->labels);
+  }
+  return Status::InvalidArgument("unknown --algo: " + algo);
+}
+
+int Main(int argc, char** argv) {
+  auto flags_or = FlagSet::Parse(argc - 1, argv + 1);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "%s\n%s", flags_or.status().ToString().c_str(),
+                 kUsage);
+    return 1;
+  }
+  const FlagSet& flags = *flags_or;
+  if (flags.GetBool("help")) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  auto data_or = LoadInput(flags);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "input error: %s\n%s",
+                 data_or.status().ToString().c_str(), kUsage);
+    return 1;
+  }
+  Dataset& data = *data_or;
+  std::fprintf(stderr, "loaded %zu points, %zu dimensions\n", data.size(),
+               data.dim());
+
+  const std::string normalize = flags.GetString("normalize");
+  if (!normalize.empty()) {
+    StatusOr<AffineTransform> t =
+        normalize == "minmax"
+            ? FitMinMax(data, 0.0, 100.0)
+            : (normalize == "zscore"
+                   ? FitStandardize(data)
+                   : Status::InvalidArgument("unknown --normalize mode: " +
+                                             normalize));
+    if (!t.ok() || !ApplyTransform(*t, &data).ok()) {
+      std::fprintf(stderr, "normalize failed: %s\n",
+                   t.ok() ? "apply error" : t.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "normalized (%s)\n", normalize.c_str());
+  }
+
+  // k-distance diagnostic: the knee of the sorted k-NN distance curve is
+  // the classic eps choice (the paper picks eps empirically; this tool
+  // shows the candidate range).
+  auto kdist_or = flags.GetInt("kdist", 0);
+  if (!kdist_or.ok()) {
+    std::fprintf(stderr, "%s\n", kdist_or.status().ToString().c_str());
+    return 1;
+  }
+  if (*kdist_or > 0) {
+    const size_t k = static_cast<size_t>(*kdist_or);
+    KdTree tree;
+    tree.Build(data.flat().data(), data.size(), data.dim());
+    Rng rng(1);
+    const size_t sample =
+        data.size() < 20000 ? data.size() : static_cast<size_t>(20000);
+    std::vector<double> kdist;
+    kdist.reserve(sample);
+    for (size_t s = 0; s < sample; ++s) {
+      const size_t i = sample == data.size()
+                           ? s
+                           : static_cast<size_t>(rng.Uniform(data.size()));
+      const auto knn = tree.KNearest(data.point(i), k + 1);  // incl. self
+      if (knn.size() > k) kdist.push_back(std::sqrt(knn[k].first));
+    }
+    std::sort(kdist.begin(), kdist.end());
+    std::printf("%zu-NN distance quantiles over %zu sampled points:\n", k,
+                kdist.size());
+    for (const double q : {0.50, 0.75, 0.90, 0.95, 0.99}) {
+      const size_t idx = static_cast<size_t>(q * (kdist.size() - 1));
+      std::printf("  p%-4.0f %.6g\n", q * 100, kdist[idx]);
+    }
+    std::printf(
+        "pick eps near the knee (p90-p95) with minPts ~ %zu\n", k + 1);
+    return 0;
+  }
+
+  const std::string convert = flags.GetString("convert");
+  if (!convert.empty()) {
+    const Status s = WriteBinary(convert, data);
+    if (!s.ok()) {
+      std::fprintf(stderr, "convert failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", convert.c_str());
+    return 0;
+  }
+
+  auto labels_or = Cluster(flags, data, flags.GetBool("stats"));
+  if (!labels_or.ok()) {
+    std::fprintf(stderr, "clustering failed: %s\n%s",
+                 labels_or.status().ToString().c_str(), kUsage);
+    return 1;
+  }
+  const Labels& labels = *labels_or;
+  std::printf("%s\n", Summarize(labels).ToString().c_str());
+
+  const std::string output = flags.GetString("output");
+  if (!output.empty()) {
+    const Status s = WriteCsv(output, data, &labels);
+    if (!s.ok()) {
+      std::fprintf(stderr, "output failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rpdbscan
+
+int main(int argc, char** argv) { return rpdbscan::Main(argc, argv); }

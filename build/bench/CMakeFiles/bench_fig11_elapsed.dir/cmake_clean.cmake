@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_elapsed.dir/bench_fig11_elapsed.cc.o"
+  "CMakeFiles/bench_fig11_elapsed.dir/bench_fig11_elapsed.cc.o.d"
+  "bench_fig11_elapsed"
+  "bench_fig11_elapsed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_elapsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

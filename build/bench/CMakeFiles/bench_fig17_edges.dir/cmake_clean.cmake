@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_edges.dir/bench_fig17_edges.cc.o"
+  "CMakeFiles/bench_fig17_edges.dir/bench_fig17_edges.cc.o.d"
+  "bench_fig17_edges"
+  "bench_fig17_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

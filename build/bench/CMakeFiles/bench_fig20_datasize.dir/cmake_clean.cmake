@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_datasize.dir/bench_fig20_datasize.cc.o"
+  "CMakeFiles/bench_fig20_datasize.dir/bench_fig20_datasize.cc.o.d"
+  "bench_fig20_datasize"
+  "bench_fig20_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_accuracy.dir/bench_naive_accuracy.cc.o"
+  "CMakeFiles/bench_naive_accuracy.dir/bench_naive_accuracy.cc.o.d"
+  "bench_naive_accuracy"
+  "bench_naive_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

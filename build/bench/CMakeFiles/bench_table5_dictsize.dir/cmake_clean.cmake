@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_dictsize.dir/bench_table5_dictsize.cc.o"
+  "CMakeFiles/bench_table5_dictsize.dir/bench_table5_dictsize.cc.o.d"
+  "bench_table5_dictsize"
+  "bench_table5_dictsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_dictsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_visual.dir/accuracy_visual.cpp.o"
+  "CMakeFiles/accuracy_visual.dir/accuracy_visual.cpp.o.d"
+  "accuracy_visual"
+  "accuracy_visual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_visual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_halos.dir/cosmo_halos.cpp.o"
+  "CMakeFiles/cosmo_halos.dir/cosmo_halos.cpp.o.d"
+  "cosmo_halos"
+  "cosmo_halos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_halos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cosmo_halos.
+# This may be replaced when dependencies are built.

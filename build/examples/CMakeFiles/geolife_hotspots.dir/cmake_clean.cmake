@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolife_hotspots.dir/geolife_hotspots.cpp.o"
+  "CMakeFiles/geolife_hotspots.dir/geolife_hotspots.cpp.o.d"
+  "geolife_hotspots"
+  "geolife_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolife_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exact_dbscan.cc" "src/baselines/CMakeFiles/rp_baselines.dir/exact_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/exact_dbscan.cc.o.d"
+  "/root/repo/src/baselines/grid_dbscan.cc" "src/baselines/CMakeFiles/rp_baselines.dir/grid_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/grid_dbscan.cc.o.d"
+  "/root/repo/src/baselines/local_dbscan.cc" "src/baselines/CMakeFiles/rp_baselines.dir/local_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/local_dbscan.cc.o.d"
+  "/root/repo/src/baselines/naive_random_split.cc" "src/baselines/CMakeFiles/rp_baselines.dir/naive_random_split.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/naive_random_split.cc.o.d"
+  "/root/repo/src/baselines/ng_dbscan.cc" "src/baselines/CMakeFiles/rp_baselines.dir/ng_dbscan.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/ng_dbscan.cc.o.d"
+  "/root/repo/src/baselines/region_split.cc" "src/baselines/CMakeFiles/rp_baselines.dir/region_split.cc.o" "gcc" "src/baselines/CMakeFiles/rp_baselines.dir/region_split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/rp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_baselines.dir/exact_dbscan.cc.o"
+  "CMakeFiles/rp_baselines.dir/exact_dbscan.cc.o.d"
+  "CMakeFiles/rp_baselines.dir/grid_dbscan.cc.o"
+  "CMakeFiles/rp_baselines.dir/grid_dbscan.cc.o.d"
+  "CMakeFiles/rp_baselines.dir/local_dbscan.cc.o"
+  "CMakeFiles/rp_baselines.dir/local_dbscan.cc.o.d"
+  "CMakeFiles/rp_baselines.dir/naive_random_split.cc.o"
+  "CMakeFiles/rp_baselines.dir/naive_random_split.cc.o.d"
+  "CMakeFiles/rp_baselines.dir/ng_dbscan.cc.o"
+  "CMakeFiles/rp_baselines.dir/ng_dbscan.cc.o.d"
+  "CMakeFiles/rp_baselines.dir/region_split.cc.o"
+  "CMakeFiles/rp_baselines.dir/region_split.cc.o.d"
+  "librp_baselines.a"
+  "librp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cell_dictionary.cc" "src/core/CMakeFiles/rp_core.dir/cell_dictionary.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/cell_dictionary.cc.o.d"
+  "/root/repo/src/core/cell_set.cc" "src/core/CMakeFiles/rp_core.dir/cell_set.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/cell_set.cc.o.d"
+  "/root/repo/src/core/grid.cc" "src/core/CMakeFiles/rp_core.dir/grid.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/grid.cc.o.d"
+  "/root/repo/src/core/labeling.cc" "src/core/CMakeFiles/rp_core.dir/labeling.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/labeling.cc.o.d"
+  "/root/repo/src/core/merge.cc" "src/core/CMakeFiles/rp_core.dir/merge.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/merge.cc.o.d"
+  "/root/repo/src/core/phase2.cc" "src/core/CMakeFiles/rp_core.dir/phase2.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/phase2.cc.o.d"
+  "/root/repo/src/core/rp_dbscan.cc" "src/core/CMakeFiles/rp_core.dir/rp_dbscan.cc.o" "gcc" "src/core/CMakeFiles/rp_core.dir/rp_dbscan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/rp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_core.dir/cell_dictionary.cc.o"
+  "CMakeFiles/rp_core.dir/cell_dictionary.cc.o.d"
+  "CMakeFiles/rp_core.dir/cell_set.cc.o"
+  "CMakeFiles/rp_core.dir/cell_set.cc.o.d"
+  "CMakeFiles/rp_core.dir/grid.cc.o"
+  "CMakeFiles/rp_core.dir/grid.cc.o.d"
+  "CMakeFiles/rp_core.dir/labeling.cc.o"
+  "CMakeFiles/rp_core.dir/labeling.cc.o.d"
+  "CMakeFiles/rp_core.dir/merge.cc.o"
+  "CMakeFiles/rp_core.dir/merge.cc.o.d"
+  "CMakeFiles/rp_core.dir/phase2.cc.o"
+  "CMakeFiles/rp_core.dir/phase2.cc.o.d"
+  "CMakeFiles/rp_core.dir/rp_dbscan.cc.o"
+  "CMakeFiles/rp_core.dir/rp_dbscan.cc.o.d"
+  "librp_core.a"
+  "librp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_graph.dir/disjoint_set.cc.o"
+  "CMakeFiles/rp_graph.dir/disjoint_set.cc.o.d"
+  "librp_graph.a"
+  "librp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_io.dir/binary.cc.o"
+  "CMakeFiles/rp_io.dir/binary.cc.o.d"
+  "CMakeFiles/rp_io.dir/csv.cc.o"
+  "CMakeFiles/rp_io.dir/csv.cc.o.d"
+  "CMakeFiles/rp_io.dir/dataset.cc.o"
+  "CMakeFiles/rp_io.dir/dataset.cc.o.d"
+  "CMakeFiles/rp_io.dir/svg_scatter.cc.o"
+  "CMakeFiles/rp_io.dir/svg_scatter.cc.o.d"
+  "CMakeFiles/rp_io.dir/transforms.cc.o"
+  "CMakeFiles/rp_io.dir/transforms.cc.o.d"
+  "librp_io.a"
+  "librp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_metrics.dir/cluster_stats.cc.o"
+  "CMakeFiles/rp_metrics.dir/cluster_stats.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/nmi.cc.o"
+  "CMakeFiles/rp_metrics.dir/nmi.cc.o.d"
+  "CMakeFiles/rp_metrics.dir/rand_index.cc.o"
+  "CMakeFiles/rp_metrics.dir/rand_index.cc.o.d"
+  "librp_metrics.a"
+  "librp_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

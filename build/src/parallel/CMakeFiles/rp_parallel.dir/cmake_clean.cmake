@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_parallel.dir/cluster_model.cc.o"
+  "CMakeFiles/rp_parallel.dir/cluster_model.cc.o.d"
+  "CMakeFiles/rp_parallel.dir/thread_pool.cc.o"
+  "CMakeFiles/rp_parallel.dir/thread_pool.cc.o.d"
+  "librp_parallel.a"
+  "librp_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_spatial.dir/kdtree.cc.o"
+  "CMakeFiles/rp_spatial.dir/kdtree.cc.o.d"
+  "CMakeFiles/rp_spatial.dir/rtree.cc.o"
+  "CMakeFiles/rp_spatial.dir/rtree.cc.o.d"
+  "librp_spatial.a"
+  "librp_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

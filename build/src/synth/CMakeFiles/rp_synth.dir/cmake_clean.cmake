@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_synth.dir/generators.cc.o"
+  "CMakeFiles/rp_synth.dir/generators.cc.o.d"
+  "librp_synth.a"
+  "librp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

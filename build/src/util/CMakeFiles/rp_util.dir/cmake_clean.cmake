@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rp_util.dir/flags.cc.o"
+  "CMakeFiles/rp_util.dir/flags.cc.o.d"
+  "CMakeFiles/rp_util.dir/status.cc.o"
+  "CMakeFiles/rp_util.dir/status.cc.o.d"
+  "librp_util.a"
+  "librp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

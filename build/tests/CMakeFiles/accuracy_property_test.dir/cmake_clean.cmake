@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_property_test.dir/accuracy_property_test.cc.o"
+  "CMakeFiles/accuracy_property_test.dir/accuracy_property_test.cc.o.d"
+  "accuracy_property_test"
+  "accuracy_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_test.dir/bitstream_test.cc.o"
+  "CMakeFiles/bitstream_test.dir/bitstream_test.cc.o.d"
+  "bitstream_test"
+  "bitstream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_coord_test.dir/cell_coord_test.cc.o"
+  "CMakeFiles/cell_coord_test.dir/cell_coord_test.cc.o.d"
+  "cell_coord_test"
+  "cell_coord_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_coord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

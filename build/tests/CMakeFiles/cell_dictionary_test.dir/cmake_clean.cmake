@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_dictionary_test.dir/cell_dictionary_test.cc.o"
+  "CMakeFiles/cell_dictionary_test.dir/cell_dictionary_test.cc.o.d"
+  "cell_dictionary_test"
+  "cell_dictionary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_dictionary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

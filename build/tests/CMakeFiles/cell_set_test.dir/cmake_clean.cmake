@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_set_test.dir/cell_set_test.cc.o"
+  "CMakeFiles/cell_set_test.dir/cell_set_test.cc.o.d"
+  "cell_set_test"
+  "cell_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

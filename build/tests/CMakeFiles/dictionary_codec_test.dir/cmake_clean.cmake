@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dictionary_codec_test.dir/dictionary_codec_test.cc.o"
+  "CMakeFiles/dictionary_codec_test.dir/dictionary_codec_test.cc.o.d"
+  "dictionary_codec_test"
+  "dictionary_codec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dictionary_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjoint_set_test.dir/disjoint_set_test.cc.o"
+  "CMakeFiles/disjoint_set_test.dir/disjoint_set_test.cc.o.d"
+  "disjoint_set_test"
+  "disjoint_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjoint_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_dbscan_test.dir/exact_dbscan_test.cc.o"
+  "CMakeFiles/exact_dbscan_test.dir/exact_dbscan_test.cc.o.d"
+  "exact_dbscan_test"
+  "exact_dbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/flags_test.dir/flags_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/rp_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/rp_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/spatial/CMakeFiles/rp_spatial.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/rp_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rp_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

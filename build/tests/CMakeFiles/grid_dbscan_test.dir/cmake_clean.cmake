@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_dbscan_test.dir/grid_dbscan_test.cc.o"
+  "CMakeFiles/grid_dbscan_test.dir/grid_dbscan_test.cc.o.d"
+  "grid_dbscan_test"
+  "grid_dbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

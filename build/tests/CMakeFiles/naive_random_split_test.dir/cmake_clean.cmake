@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naive_random_split_test.dir/naive_random_split_test.cc.o"
+  "CMakeFiles/naive_random_split_test.dir/naive_random_split_test.cc.o.d"
+  "naive_random_split_test"
+  "naive_random_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naive_random_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ng_dbscan_test.dir/ng_dbscan_test.cc.o"
+  "CMakeFiles/ng_dbscan_test.dir/ng_dbscan_test.cc.o.d"
+  "ng_dbscan_test"
+  "ng_dbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ng_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

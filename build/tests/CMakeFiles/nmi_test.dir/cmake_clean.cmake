@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmi_test.dir/nmi_test.cc.o"
+  "CMakeFiles/nmi_test.dir/nmi_test.cc.o.d"
+  "nmi_test"
+  "nmi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

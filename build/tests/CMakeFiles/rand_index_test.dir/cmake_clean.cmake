@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rand_index_test.dir/rand_index_test.cc.o"
+  "CMakeFiles/rand_index_test.dir/rand_index_test.cc.o.d"
+  "rand_index_test"
+  "rand_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rand_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandwich_property_test.dir/sandwich_property_test.cc.o"
+  "CMakeFiles/sandwich_property_test.dir/sandwich_property_test.cc.o.d"
+  "sandwich_property_test"
+  "sandwich_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandwich_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

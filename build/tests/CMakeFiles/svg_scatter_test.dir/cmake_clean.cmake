@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_scatter_test.dir/svg_scatter_test.cc.o"
+  "CMakeFiles/svg_scatter_test.dir/svg_scatter_test.cc.o.d"
+  "svg_scatter_test"
+  "svg_scatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_scatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

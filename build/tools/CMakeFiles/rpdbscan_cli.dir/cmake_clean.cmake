@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpdbscan_cli.dir/rpdbscan_cli.cc.o"
+  "CMakeFiles/rpdbscan_cli.dir/rpdbscan_cli.cc.o.d"
+  "rpdbscan_cli"
+  "rpdbscan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpdbscan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,7 +5,9 @@
 //      -> Phase II time and the fraction of sub-dictionaries inspected;
 //  (b) full-edge reduction on/off -> surviving edge count after merging;
 //  (c) pseudo random partitioning vs one monolithic partition
-//      -> Phase II task balance.
+//      -> Phase II task balance;
+//  (e) batched per-cell vs per-point Phase II query kernel
+//      -> Phase II time plus the scan/early-exit counters.
 //
 // All variants must produce the identical clustering (asserted in tests);
 // this harness measures only their cost profile.
@@ -21,7 +23,8 @@ namespace bench {
 namespace {
 
 RunStats RunVariant(const Dataset& ds, double eps, bool defrag, bool skip,
-                    bool reduce, size_t partitions, bool rtree = false) {
+                    bool reduce, size_t partitions, bool rtree = false,
+                    bool batched = true) {
   RpDbscanOptions o;
   o.eps = eps;
   o.min_pts = kMinPts;
@@ -31,6 +34,7 @@ RunStats RunVariant(const Dataset& ds, double eps, bool defrag, bool skip,
   o.subdictionary_skipping = skip;
   o.reduce_edges = reduce;
   o.use_rtree_index = rtree;
+  o.batched_queries = batched;
   auto r = RunRpDbscan(ds, o);
   if (!r.ok()) {
     std::fprintf(stderr, "variant failed: %s\n",
@@ -93,6 +97,18 @@ void Run() {
     std::snprintf(name, sizeof(name), "k = %zu", parts);
     std::printf("%-28s %12.3f %12.2f\n", name, s.total_seconds,
                 LoadImbalance(s.phase2_task_seconds));
+    std::fflush(stdout);
+  }
+
+  std::printf("\n(e) Phase II query kernel (batched vs per-point)\n");
+  std::printf("%-28s %12s %14s %12s\n", "variant", "phase2(s)",
+              "cells scanned", "early exits");
+  for (const bool batched : {true, false}) {
+    const RunStats s =
+        RunVariant(osm.data, eps, true, true, true, 32, false, batched);
+    std::printf("%-28s %12.3f %14zu %12zu\n",
+                batched ? "batched QueryCell" : "per-point Query",
+                s.phase2_seconds, s.candidate_cells_scanned, s.early_exits);
     std::fflush(stdout);
   }
 }

@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/cell_dictionary.h"
 #include "core/cell_set.h"
 #include "core/grid.h"
+#include "core/phase2.h"
 #include "graph/disjoint_set.h"
 #include "spatial/kdtree.h"
 #include "synth/generators.h"
@@ -92,6 +94,54 @@ void BM_KdTreeRadius(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KdTreeRadius);
+
+// ---- Phase II query kernels, head to head. ----
+//
+// Same pipeline state, same output, two engines: the reference per-point
+// (eps,rho)-region Query vs the batched per-cell QueryCell kernel. Run on
+// the GeoLife-like skewed generator (the workload where dense cells make
+// per-cell batching matter most) at the bench_common defaults. Honors
+// RPDBSCAN_BENCH_SCALE so tools/run_bench.sh can smoke-test it.
+
+struct Phase2Fixture {
+  Dataset data;
+  StatusOr<CellSet> cells = Status::Internal("unset");
+  StatusOr<CellDictionary> dict = Status::Internal("unset");
+  double eps = 0;
+
+  Phase2Fixture(Dataset ds, double eps_in) : data(std::move(ds)), eps(eps_in) {
+    auto geom = GridGeometry::Create(data.dim(), eps, 0.01);
+    cells = CellSet::Build(data, *geom, 32, 7);
+    dict = CellDictionary::Build(data, *cells);
+  }
+};
+
+Phase2Fixture& GeoLifeFixture() {
+  static Phase2Fixture* f = new Phase2Fixture(
+      synth::GeoLifeLike(bench::Scaled(40000), 101), /*eps=*/2.0);
+  return *f;
+}
+
+void BM_Phase2Query(benchmark::State& state, bool batched) {
+  Phase2Fixture& f = GeoLifeFixture();
+  ThreadPool pool(1);  // kernel cost, not parallel speedup
+  Phase2Options opts;
+  opts.batched_queries = batched;
+  Phase2Result last;
+  for (auto _ : state) {
+    last = BuildSubgraphs(f.data, *f.cells, *f.dict, bench::kMinPts, pool,
+                          opts);
+    benchmark::DoNotOptimize(last.point_is_core.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.data.size());
+  state.counters["candidate_cells_scanned"] =
+      static_cast<double>(last.candidate_cells_scanned);
+  state.counters["early_exits"] = static_cast<double>(last.early_exits);
+}
+BENCHMARK_CAPTURE(BM_Phase2Query, per_point, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Phase2Query, batched, true)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DisjointSetUnionFind(benchmark::State& state) {
   Rng rng(1);

@@ -58,17 +58,27 @@ void Bsp(const std::vector<float>& centers, size_t dim,
 }
 
 // ---- Wire format primitives (little-endian, fixed width). ----
+//
+// Writers store into a pre-sized buffer through a cursor instead of
+// push_back-ing byte by byte: Serialize knows its exact output size up
+// front, and the per-byte capacity checks used to dominate the simulated
+// broadcast cost on large dictionaries.
 
-void PutU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+uint8_t* StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+  return p + 4;
 }
-void PutU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+uint8_t* StoreU64(uint8_t* p, uint64_t v) {
+  p = StoreU32(p, static_cast<uint32_t>(v));
+  return StoreU32(p, static_cast<uint32_t>(v >> 32));
 }
-void PutF64(std::vector<uint8_t>* out, double v) {
+uint8_t* StoreF64(uint8_t* p, double v) {
   uint64_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
+  return StoreU64(p, bits);
 }
 
 // Bounds-checked sequential reader.
@@ -230,6 +240,161 @@ StatusOr<CellDictionary> CellDictionary::Assemble(
   return dict;
 }
 
+namespace {
+
+// Conservative classification margins for the cell-level candidate split.
+// Box-to-box bounds and the per-point distance tests round differently at
+// the last ulp; the relative margin (orders of magnitude above double
+// rounding error, orders below any real geometric gap) pushes borderline
+// cells into the per-point "maybe" group, whose tests reproduce Query()
+// arithmetic exactly — so the split can never change results, only shift
+// work between the hoisted and the per-point path.
+constexpr double kContainMargin = 1.0 - 1e-9;
+constexpr double kDisjointMargin = 1.0 + 1e-9;
+
+// Squared distance bounds between the source cell's point MBR
+// [a_lo, a_hi] and candidate cell `b`'s box, valid for every pair of one
+// actual point and one point of the box. Using the tight point MBR rather
+// than the full source box is what lets sparsely-populated cells drop or
+// pre-sum most of their candidates.
+void BoxPairDistBounds(const float* a_lo, const float* a_hi,
+                       const GridGeometry& geom, const CellCoord& b,
+                       double* min2, double* max2) {
+  const double side = geom.cell_side();
+  double mn = 0.0;
+  double mx = 0.0;
+  for (size_t d = 0; d < geom.dim(); ++d) {
+    const double lo = geom.CellOrigin(b, d);
+    const double hi = lo + side;
+    const double alo = a_lo[d];
+    const double ahi = a_hi[d];
+    double gap = 0.0;
+    if (alo > hi) {
+      gap = alo - hi;
+    } else if (lo > ahi) {
+      gap = lo - ahi;
+    }
+    mn += gap * gap;
+    const double far = std::max(ahi - lo, hi - alo);
+    mx += far * far;
+  }
+  *min2 = mn;
+  *max2 = mx;
+}
+
+// Squared distance between a sub-dictionary MBR and the source cell's
+// point MBR: the box-to-box generalization of Mbr::MinDist2, used so one
+// skipping test (Lemma 5.10) covers every point of the source cell.
+double MbrPairMinDist2(const Mbr& mbr, const float* a_lo, const float* a_hi,
+                       size_t dim) {
+  double acc = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    double gap = 0.0;
+    if (mbr.min(d) > a_hi[d]) {
+      gap = mbr.min(d) - a_hi[d];
+    } else if (a_lo[d] > mbr.max(d)) {
+      gap = a_lo[d] - mbr.max(d);
+    }
+    acc += gap * gap;
+  }
+  return acc;
+}
+
+}  // namespace
+
+size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
+                                 const float* mbr_hi,
+                                 CandidateCellList* out) const {
+  out->Clear();
+  const size_t dim = geom_.dim();
+  const double eps = geom_.eps();
+  const double eps2 = eps * eps;
+  const double disjoint2 = eps2 * kDisjointMargin;
+  const double contained2 = eps2 * kContainMargin;
+  // Per-point queries reach cells whose center is within 1.5*eps of the
+  // point (Query's candidate radius); every point lies within the MBR's
+  // half-diagonal of the MBR center, so one traversal at 1.5*eps plus that
+  // half-diagonal covers them all (at most 2*eps since the MBR fits the
+  // cell box). The margin keeps the cover robust to rounding.
+  float center[CellCoord::kMaxDim];
+  double half_diag2 = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    center[d] = 0.5f * (mbr_lo[d] + mbr_hi[d]);
+    // Bound |p[d] - center[d]| from the rounded center actually queried,
+    // so float rounding of the midpoint cannot shrink the cover.
+    const double c = center[d];
+    const double half = std::max(c - static_cast<double>(mbr_lo[d]),
+                                 static_cast<double>(mbr_hi[d]) - c);
+    half_diag2 += half * half;
+  }
+  const double candidate_radius =
+      (1.5 * eps + std::sqrt(half_diag2)) * kDisjointMargin;
+
+  size_t visited = 0;
+  for (size_t sdi = 0; sdi < subdicts_.size(); ++sdi) {
+    const SubDictionary& sd = subdicts_[sdi];
+    if (enable_skipping_ &&
+        MbrPairMinDist2(sd.mbr_, mbr_lo, mbr_hi, dim) > disjoint2) {
+      continue;
+    }
+    ++visited;
+    out->tree_hits.clear();
+    if (index_ == CandidateIndex::kKdTree) {
+      sd.tree_.CollectInRadius(center, candidate_radius, &out->tree_hits);
+    } else {
+      sd.rtree_.CollectInRadius(center, candidate_radius, &out->tree_hits);
+    }
+    for (const uint32_t local_cell : out->tree_hits) {
+      const DictCell& dc = sd.cells_[local_cell];
+      double pair_min2 = 0.0;
+      double pair_max2 = 0.0;
+      BoxPairDistBounds(mbr_lo, mbr_hi, geom_, dc.coord, &pair_min2,
+                        &pair_max2);
+      if (pair_min2 > disjoint2) continue;  // unreachable from any point
+      if (pair_max2 <= contained2) {
+        // Every point of the source cell swallows this cell whole: hoist
+        // the Example 5.5 containment fast path to cell level.
+        out->always_count += dc.total_count;
+        if (!(dc.coord == cell)) out->always_neighbors.push_back(dc.cell_id);
+        continue;
+      }
+      out->maybe_refs.push_back(CandidateCellList::MaybeRef{
+          pair_min2, dc.cell_id, static_cast<uint32_t>(sdi), local_cell});
+    }
+  }
+
+  // Order the maybe group nearest-first (box-to-box lower bound, cell id
+  // as a deterministic tie-break): the source cell and its densest
+  // surroundings land at the front, so the per-point pass-1 scan crosses
+  // min_pts after the fewest evaluations. Evaluation order cannot change
+  // results — the density sum and the matched-cell union are both
+  // order-independent.
+  std::sort(out->maybe_refs.begin(), out->maybe_refs.end(),
+            [](const CandidateCellList::MaybeRef& a,
+               const CandidateCellList::MaybeRef& b) {
+              if (a.min2 != b.min2) return a.min2 < b.min2;
+              return a.cell_id < b.cell_id;
+            });
+
+  // Lay out per-candidate metadata in sorted order; sub-cell centers and
+  // densities stay in the sub-dictionaries' contiguous storage, referenced
+  // by pointer.
+  for (const CandidateCellList::MaybeRef& ref : out->maybe_refs) {
+    const SubDictionary& sd = subdicts_[ref.subdict];
+    const DictCell& dc = sd.cells_[ref.local_cell];
+    out->cell_ids.push_back(dc.cell_id);
+    for (size_t d = 0; d < dim; ++d) {
+      out->origins.push_back(geom_.CellOrigin(dc.coord, d));
+    }
+    out->total_counts.push_back(dc.total_count);
+    out->subcell_centers.push_back(sd.subcell_centers_.data() +
+                                   dc.subcell_begin * dim);
+    out->subcells.push_back(sd.subcells_.data() + dc.subcell_begin);
+    out->num_subcells.push_back(dc.subcell_end - dc.subcell_begin);
+  }
+  return visited;
+}
+
 size_t CellDictionary::SizeBitsLemma43() const {
   const size_t d = geom_.dim();
   const size_t h = static_cast<size_t>(geom_.h());
@@ -240,36 +405,8 @@ size_t CellDictionary::SizeBitsLemma43() const {
 }
 
 std::vector<uint8_t> CellDictionary::Serialize() const {
-  std::vector<uint8_t> out;
-  out.reserve(SizeBytesLemma43() + 64);
-  PutU32(&out, kDictMagic);
-  PutU32(&out, kDictVersion);
-  PutU32(&out, static_cast<uint32_t>(geom_.dim()));
-  PutF64(&out, geom_.eps());
-  PutF64(&out, geom_.rho());
-  PutU64(&out, num_cells_);
-  PutU64(&out, num_subcells_);
-
-  // Per cell: d x 32-bit lattice coordinate (the "exact position" term of
-  // Eq. 1), the dense cell id, and its sub-cell count.
-  for (const SubDictionary& sd : subdicts_) {
-    for (const DictCell& cell : sd.cells_) {
-      for (size_t d = 0; d < geom_.dim(); ++d) {
-        PutU32(&out, static_cast<uint32_t>(cell.coord[d]));
-      }
-      PutU32(&out, cell.cell_id);
-      PutU32(&out, cell.subcell_end - cell.subcell_begin);
-    }
-  }
-  // Densities: 32 bits per sub-cell, in cell order.
-  for (const SubDictionary& sd : subdicts_) {
-    for (const DictCell& cell : sd.cells_) {
-      for (uint32_t s = cell.subcell_begin; s < cell.subcell_end; ++s) {
-        PutU32(&out, sd.subcells_[s].count);
-      }
-    }
-  }
-  // Sub-cell positions: d*(h-1) bits each, bit-packed, in cell order.
+  // Sub-cell positions first (d*(h-1) bits each, bit-packed, in cell
+  // order) so the total output size is known before writing anything.
   const unsigned bits_per_subcell =
       static_cast<unsigned>(geom_.dim()) * geom_.bits_per_dim();
   BitWriter bits;
@@ -287,8 +424,46 @@ std::vector<uint8_t> CellDictionary::Serialize() const {
     }
   }
   const std::vector<uint8_t> packed = bits.TakeBytes();
-  PutU64(&out, packed.size());
-  out.insert(out.end(), packed.begin(), packed.end());
+
+  constexpr size_t kHeaderBytes = 3 * 4 + 2 * 8 + 2 * 8;
+  const size_t total = kHeaderBytes +
+                       num_cells_ * 4 * (geom_.dim() + 2) +
+                       num_subcells_ * 4 + 8 + packed.size();
+  std::vector<uint8_t> out(total);
+  uint8_t* cur = out.data();
+  cur = StoreU32(cur, kDictMagic);
+  cur = StoreU32(cur, kDictVersion);
+  cur = StoreU32(cur, static_cast<uint32_t>(geom_.dim()));
+  cur = StoreF64(cur, geom_.eps());
+  cur = StoreF64(cur, geom_.rho());
+  cur = StoreU64(cur, num_cells_);
+  cur = StoreU64(cur, num_subcells_);
+
+  // Per cell: d x 32-bit lattice coordinate (the "exact position" term of
+  // Eq. 1), the dense cell id, and its sub-cell count.
+  for (const SubDictionary& sd : subdicts_) {
+    for (const DictCell& cell : sd.cells_) {
+      for (size_t d = 0; d < geom_.dim(); ++d) {
+        cur = StoreU32(cur, static_cast<uint32_t>(cell.coord[d]));
+      }
+      cur = StoreU32(cur, cell.cell_id);
+      cur = StoreU32(cur, cell.subcell_end - cell.subcell_begin);
+    }
+  }
+  // Densities: 32 bits per sub-cell, in cell order.
+  for (const SubDictionary& sd : subdicts_) {
+    for (const DictCell& cell : sd.cells_) {
+      for (uint32_t s = cell.subcell_begin; s < cell.subcell_end; ++s) {
+        cur = StoreU32(cur, sd.subcells_[s].count);
+      }
+    }
+  }
+  cur = StoreU64(cur, packed.size());
+  if (!packed.empty()) {
+    std::memcpy(cur, packed.data(), packed.size());
+    cur += packed.size();
+  }
+  RPDBSCAN_CHECK(cur == out.data() + out.size());
   return out;
 }
 

@@ -90,6 +90,75 @@ struct CellEntry {
   std::vector<DictSubcell> subcells;
 };
 
+/// Flat SoA candidate set produced by CellDictionary::QueryCell for one
+/// source cell: everything the (eps, rho)-region queries of *all* points
+/// inside that cell can touch, gathered with a single index traversal per
+/// sub-dictionary and laid out contiguously so the per-point scan does no
+/// hash or tree work. Reuse one instance across the cells of a partition
+/// task — Clear() keeps the allocations.
+///
+/// Candidate cells split into two groups by box-to-box distance bounds
+/// (valid for every query point in the source cell):
+///  * "always" cells, provably eps-contained for any point of the source
+///    cell: pre-summed into `always_count` (the containment fast path of
+///    Example 5.5 hoisted from point to cell level);
+///  * "maybe" cells, needing the per-point containment / sub-cell distance
+///    tests, stored as parallel arrays plus a flattened copy of their
+///    sub-cell centers and densities.
+/// Cells whose box can never intersect any query ball are dropped at
+/// gather time.
+struct CandidateCellList {
+  /// Summed density of the always-contained cells (source cell included
+  /// when its own box fits every query ball).
+  uint64_t always_count = 0;
+  /// Ids of the always-contained cells, source cell excluded — for a core
+  /// point every one of them is a neighbor cell.
+  std::vector<uint32_t> always_neighbors;
+
+  // --- "maybe" cells, one entry per cell (SoA), sorted by ascending
+  // --- box-to-box distance to the source cell so per-point scans hit the
+  // --- densest/nearest candidates first and exit at min_pts early. ---
+  std::vector<uint32_t> cell_ids;
+  /// Box origin (dim doubles per cell) for the per-point min/max distance
+  /// tests; same arithmetic as GridGeometry::CellMinDist2/CellMaxDist2.
+  std::vector<double> origins;
+  /// Total density per cell (the containment fast-path contribution).
+  std::vector<uint32_t> total_counts;
+  /// Views into the owning sub-dictionary's contiguous per-cell sub-cell
+  /// data (centers: dim floats per sub-cell; entries: DictSubcell). Held
+  /// by pointer — cells average only a handful of points, so copying the
+  /// sub-cell data out would dwarf the scans it serves. Valid only while
+  /// the dictionary outlives the list.
+  std::vector<const float*> subcell_centers;
+  std::vector<const DictSubcell*> subcells;
+  std::vector<uint32_t> num_subcells;
+
+  /// Scratch for the per-sub-dictionary index traversal.
+  std::vector<uint32_t> tree_hits;
+  /// Scratch for the proximity sort of the maybe group before flattening.
+  struct MaybeRef {
+    double min2 = 0;        // box-to-box lower bound to the source cell
+    uint32_t cell_id = 0;   // deterministic tie-break
+    uint32_t subdict = 0;
+    uint32_t local_cell = 0;
+  };
+  std::vector<MaybeRef> maybe_refs;
+
+  size_t num_maybe() const { return cell_ids.size(); }
+
+  void Clear() {
+    always_count = 0;
+    always_neighbors.clear();
+    cell_ids.clear();
+    origins.clear();
+    total_counts.clear();
+    subcell_centers.clear();
+    subcells.clear();
+    num_subcells.clear();
+    maybe_refs.clear();
+  }
+};
+
 /// The two-level cell dictionary (Def. 4.2): the broadcast-compact summary
 /// of the *entire* data set that lets each worker answer (eps, rho)-region
 /// queries for successors living in other partitions without communication.
@@ -172,6 +241,26 @@ class CellDictionary {
     }
     return visited;
   }
+
+  /// Batched (eps, rho)-region query for every point of cell `cell` at
+  /// once: gathers into `*out` (cleared first) the candidate-cell set that
+  /// per-point queries of any point inside the cell could reach, using a
+  /// single index traversal per non-skipped sub-dictionary. `mbr_lo` /
+  /// `mbr_hi` (dim floats each) bound the cell's *actual* points; the
+  /// traversal radius is the per-point candidate radius 1.5*eps
+  /// (Lemma 5.6) plus the MBR's half-diagonal (at most eps/2, usually far
+  /// less on skewed data). Candidates are classified by MBR-to-box bounds:
+  /// provably contained cells are pre-summed, provably disjoint cells are
+  /// dropped, and the rest are referenced for per-point tests, sorted
+  /// nearest-first. The classification is conservative (tiny relative
+  /// margins push borderline cells into the per-point group), so scanning
+  /// `*out` reproduces Query() bit-exactly for every point inside the MBR.
+  ///
+  /// Returns the number of sub-dictionaries inspected after MBR skipping,
+  /// here at most one visit per sub-dictionary per *cell* (vs per point
+  /// for Query) — the Lemma 5.10 accounting for the batched kernel.
+  size_t QueryCell(const CellCoord& cell, const float* mbr_lo,
+                   const float* mbr_hi, CandidateCellList* out) const;
 
   /// Total density of all (eps, rho)-neighbor sub-cells of `p` — the count
   /// compared against minPts in core marking (Example 5.7).

@@ -2,15 +2,231 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 
 #include "parallel/parallel_for.h"
 #include "util/stopwatch.h"
 
 namespace rpdbscan {
+namespace {
+
+/// Scratch buffers of one partition task, reused across its cells so the
+/// hot loop never reallocates once the high-water marks are reached.
+struct Phase2Scratch {
+  CandidateCellList candidates;
+  std::vector<uint32_t> neighbor_cells;
+  std::vector<uint32_t> cell_edges;
+  /// Per maybe-candidate: 1 once any core point of the current cell has
+  /// matched it (the cell's edge set is a union over core points, so a
+  /// matched candidate never needs re-evaluation for later points).
+  std::vector<uint8_t> maybe_matched;
+  /// suffix_remaining[i] = sum of total_counts[i..): the most density the
+  /// still-unscanned candidates could add. Exact upper bound (matched
+  /// never exceeds total), so pass 1 can abandon a point the moment
+  /// count + suffix_remaining[i] < min_pts.
+  std::vector<uint64_t> suffix_remaining;
+};
+
+/// Per-point distance bounds to a maybe-cell's box, fused into one pass
+/// over the dimensions. Per-dimension arithmetic is identical to
+/// GridGeometry::CellMinDist2/CellMaxDist2 so the batched kernel keeps the
+/// reference path's exact floating-point behaviour.
+inline void PointBoxDistBounds(const double* origin, double side,
+                               const float* p, size_t dim, double* min2,
+                               double* max2) {
+  double mn = 0.0;
+  double mx = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double lo = origin[d];
+    const double hi = lo + side;
+    const double v = p[d];
+    double gap = 0.0;
+    if (v < lo) {
+      gap = lo - v;
+    } else if (v > hi) {
+      gap = v - hi;
+    }
+    mn += gap * gap;
+    const double to_lo = v > lo ? v - lo : lo - v;
+    const double to_hi = v > hi ? v - hi : hi - v;
+    const double far = to_lo > to_hi ? to_lo : to_hi;
+    mx += far * far;
+  }
+  *min2 = mn;
+  *max2 = mx;
+}
+
+/// Matched density of maybe-cell `i` for point `p`: the Example 5.5 logic
+/// (containment fast path, then the sub-cell center scan) over the flat
+/// candidate arrays.
+inline uint32_t MatchedCount(const CandidateCellList& cand, size_t i,
+                             const float* p, size_t dim, double side,
+                             double eps2) {
+  double min2 = 0.0;
+  double max2 = 0.0;
+  PointBoxDistBounds(cand.origins.data() + i * dim, side, p, dim, &min2,
+                     &max2);
+  if (max2 <= eps2) return cand.total_counts[i];
+  if (min2 > eps2) return 0;
+  uint32_t matched = 0;
+  const float* centers = cand.subcell_centers[i];
+  const DictSubcell* subs = cand.subcells[i];
+  const uint32_t n = cand.num_subcells[i];
+  for (uint32_t s = 0; s < n; ++s) {
+    if (DistanceSquared(p, centers + s * dim, dim) <= eps2) {
+      matched += subs[s].count;
+    }
+  }
+  return matched;
+}
+
+/// Statistics one partition task accumulates and flushes once at the end.
+struct TaskCounters {
+  size_t visited = 0;
+  size_t possible = 0;
+  size_t scanned = 0;
+  size_t early_exits = 0;
+};
+
+/// Batched kernel for one cell: a single QueryCell gather, then per point
+/// a two-pass flat scan — pass 1 counts toward min_pts with an early exit,
+/// pass 2 (core points only) finishes neighbor-cell collection.
+void ProcessCellBatched(const Dataset& data, const CellData& cell,
+                        uint32_t cid, const CellDictionary& dict,
+                        size_t min_pts, size_t num_subdicts,
+                        Phase2Scratch& scratch, Phase2Result& result,
+                        bool& cell_core, TaskCounters& counters) {
+  const GridGeometry& geom = dict.geom();
+  const size_t dim = geom.dim();
+  const double side = geom.cell_side();
+  const double eps2 = geom.eps() * geom.eps();
+  if (cell.point_ids.empty()) return;
+  // Tight bounding box of the cell's actual points: QueryCell classifies
+  // candidates against it, which on skewed data resolves most of them at
+  // cell level before any per-point work.
+  float mbr_lo[CellCoord::kMaxDim];
+  float mbr_hi[CellCoord::kMaxDim];
+  for (size_t d = 0; d < dim; ++d) {
+    mbr_lo[d] = std::numeric_limits<float>::max();
+    mbr_hi[d] = std::numeric_limits<float>::lowest();
+  }
+  for (const uint32_t point_id : cell.point_ids) {
+    const float* p = data.point(point_id);
+    for (size_t d = 0; d < dim; ++d) {
+      mbr_lo[d] = std::min(mbr_lo[d], p[d]);
+      mbr_hi[d] = std::max(mbr_hi[d], p[d]);
+    }
+  }
+  CandidateCellList& cand = scratch.candidates;
+  counters.visited += dict.QueryCell(cell.coord, mbr_lo, mbr_hi, &cand);
+  counters.possible += num_subdicts;
+  const size_t num_maybe = cand.num_maybe();
+  scratch.cell_edges.reserve(cand.always_neighbors.size() + num_maybe);
+  scratch.maybe_matched.assign(num_maybe, 0);
+  scratch.suffix_remaining.resize(num_maybe + 1);
+  scratch.suffix_remaining[num_maybe] = 0;
+  for (size_t i = num_maybe; i-- > 0;) {
+    scratch.suffix_remaining[i] =
+        scratch.suffix_remaining[i + 1] + cand.total_counts[i];
+  }
+  if (cand.always_count + scratch.suffix_remaining[0] < min_pts) {
+    return;  // no point of this cell can reach min_pts: all non-core
+  }
+  size_t num_matched = 0;
+  // Records that a core point matched maybe-candidate `idx`: later points
+  // skip it in pass 2 (the edge union already has it), and its edge is
+  // emitted exactly once.
+  auto record_matched = [&](size_t idx) {
+    if (!scratch.maybe_matched[idx]) {
+      scratch.maybe_matched[idx] = 1;
+      ++num_matched;
+      if (cand.cell_ids[idx] != cid) {
+        scratch.cell_edges.push_back(cand.cell_ids[idx]);
+      }
+    }
+  };
+  for (const uint32_t point_id : cell.point_ids) {
+    const float* p = data.point(point_id);
+    scratch.neighbor_cells.clear();
+    uint64_t count = cand.always_count;
+    size_t i = 0;
+    // Pass 1: core test. QueryCell sorted the candidates nearest-first,
+    // so the density sum usually crosses min_pts within the first few
+    // evaluations. Matches are staged by index — they only enter the edge
+    // union if this point turns out core.
+    while (count < min_pts && i < num_maybe) {
+      if (count + scratch.suffix_remaining[i] < min_pts) break;
+      const uint32_t matched = MatchedCount(cand, i, p, dim, side, eps2);
+      ++counters.scanned;
+      if (matched > 0) {
+        count += matched;
+        scratch.neighbor_cells.push_back(static_cast<uint32_t>(i));
+      }
+      ++i;
+    }
+    if (count < min_pts) continue;  // not core: neighbors are irrelevant
+    if (i < num_maybe) ++counters.early_exits;
+    result.point_is_core[point_id] = 1;
+    cell_core = true;
+    for (const uint32_t idx : scratch.neighbor_cells) record_matched(idx);
+    if (num_matched == num_maybe) continue;  // edge union already complete
+    // Pass 2: finish neighbor collection over the cells pass 1 skipped,
+    // but only those no earlier core point has matched yet.
+    for (; i < num_maybe; ++i) {
+      if (scratch.maybe_matched[i]) continue;
+      ++counters.scanned;
+      if (MatchedCount(cand, i, p, dim, side, eps2) > 0) {
+        record_matched(i);
+      }
+    }
+  }
+  if (cell_core) {
+    // Every always-contained cell neighbors every core point; one append
+    // per cell suffices.
+    scratch.cell_edges.insert(scratch.cell_edges.end(),
+                              cand.always_neighbors.begin(),
+                              cand.always_neighbors.end());
+  }
+}
+
+/// Reference path for one cell: a full per-point Query (Def. 5.1) against
+/// the dictionary, exactly as Alg. 3 states it. Kept alongside the batched
+/// kernel so equivalence stays testable and ablations can price the
+/// batching.
+void ProcessCellPerPoint(const Dataset& data, const CellData& cell,
+                         uint32_t cid, const CellDictionary& dict,
+                         size_t min_pts, size_t num_subdicts,
+                         Phase2Scratch& scratch, Phase2Result& result,
+                         bool& cell_core, TaskCounters& counters) {
+  for (const uint32_t point_id : cell.point_ids) {
+    const float* p = data.point(point_id);
+    scratch.neighbor_cells.clear();
+    uint64_t count = 0;
+    counters.visited += dict.Query(
+        p, [&](const DictCell& dc, uint32_t matched) {
+          count += matched;
+          if (dc.cell_id != cid) {
+            scratch.neighbor_cells.push_back(dc.cell_id);
+          }
+        });
+    counters.possible += num_subdicts;
+    if (count >= min_pts) {
+      // Core point (Example 5.7): its neighbor cells become
+      // reachability successors of this cell.
+      result.point_is_core[point_id] = 1;
+      cell_core = true;
+      scratch.cell_edges.insert(scratch.cell_edges.end(),
+                                scratch.neighbor_cells.begin(),
+                                scratch.neighbor_cells.end());
+    }
+  }
+}
+
+}  // namespace
 
 Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
                             const CellDictionary& dict, size_t min_pts,
-                            ThreadPool& pool) {
+                            ThreadPool& pool, const Phase2Options& opts) {
   Phase2Result result;
   const size_t k = cells.num_partitions();
   result.subgraphs.resize(k);
@@ -19,6 +235,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   result.task_seconds.assign(k, 0.0);
   std::atomic<size_t> subdict_visited{0};
   std::atomic<size_t> subdict_possible{0};
+  std::atomic<size_t> cells_scanned{0};
+  std::atomic<size_t> early_exits{0};
   const size_t num_subdicts = dict.num_subdictionaries();
 
   ParallelFor(
@@ -27,40 +245,27 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
         Stopwatch watch;
         CellSubgraph& graph = result.subgraphs[pid];
         graph.partition_id = static_cast<uint32_t>(pid);
-        size_t visited = 0;
-        size_t possible = 0;
-        // Scratch, reused across points of a cell.
-        std::vector<uint32_t> neighbor_cells;
-        std::vector<uint32_t> cell_edges;
+        TaskCounters counters;
+        Phase2Scratch scratch;
+        scratch.neighbor_cells.reserve(64);
         for (const uint32_t cid : cells.partition(pid)) {
           const CellData& cell = cells.cell(cid);
           bool cell_core = false;
-          cell_edges.clear();
-          for (const uint32_t point_id : cell.point_ids) {
-            const float* p = data.point(point_id);
-            neighbor_cells.clear();
-            uint64_t count = 0;
-            visited += dict.Query(
-                p, [&](const DictCell& dc, uint32_t matched) {
-                  count += matched;
-                  if (dc.cell_id != cid) {
-                    neighbor_cells.push_back(dc.cell_id);
-                  }
-                });
-            possible += num_subdicts;
-            if (count >= min_pts) {
-              // Core point (Example 5.7): its neighbor cells become
-              // reachability successors of this cell.
-              result.point_is_core[point_id] = 1;
-              cell_core = true;
-              cell_edges.insert(cell_edges.end(), neighbor_cells.begin(),
-                                neighbor_cells.end());
-            }
+          scratch.cell_edges.clear();
+          if (opts.batched_queries) {
+            ProcessCellBatched(data, cell, cid, dict, min_pts,
+                               num_subdicts, scratch, result, cell_core,
+                               counters);
+          } else {
+            ProcessCellPerPoint(data, cell, cid, dict, min_pts,
+                                num_subdicts, scratch, result, cell_core,
+                                counters);
           }
           result.cell_is_core[cid] = cell_core ? 1 : 0;
           graph.owned.emplace_back(
               cid, cell_core ? CellType::kCore : CellType::kNonCore);
-          if (cell_core && !cell_edges.empty()) {
+          if (cell_core && !scratch.cell_edges.empty()) {
+            std::vector<uint32_t>& cell_edges = scratch.cell_edges;
             std::sort(cell_edges.begin(), cell_edges.end());
             cell_edges.erase(
                 std::unique(cell_edges.begin(), cell_edges.end()),
@@ -71,14 +276,22 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
             }
           }
         }
-        subdict_visited.fetch_add(visited, std::memory_order_relaxed);
-        subdict_possible.fetch_add(possible, std::memory_order_relaxed);
+        subdict_visited.fetch_add(counters.visited,
+                                  std::memory_order_relaxed);
+        subdict_possible.fetch_add(counters.possible,
+                                   std::memory_order_relaxed);
+        cells_scanned.fetch_add(counters.scanned,
+                                std::memory_order_relaxed);
+        early_exits.fetch_add(counters.early_exits,
+                              std::memory_order_relaxed);
         result.task_seconds[pid] = watch.ElapsedSeconds();
       },
       /*chunk=*/1);
 
   result.subdict_visited = subdict_visited.load();
   result.subdict_possible = subdict_possible.load();
+  result.candidate_cells_scanned = cells_scanned.load();
+  result.early_exits = early_exits.load();
   return result;
 }
 

@@ -13,6 +13,15 @@
 
 namespace rpdbscan {
 
+/// Phase II engine knobs (the ablation benchmarks flip these).
+struct Phase2Options {
+  /// Use the batched per-cell query kernel (CellDictionary::QueryCell):
+  /// one index traversal per source cell, then a flat candidate scan per
+  /// point with an early exit at min_pts. false keeps the reference
+  /// per-point Query path; both produce identical results.
+  bool batched_queries = true;
+};
+
 /// Output of Phase II (cell graph construction, Alg. 3) across all
 /// partitions.
 struct Phase2Result {
@@ -27,9 +36,16 @@ struct Phase2Result {
   /// behind the paper's load-imbalance metric (Fig. 13).
   std::vector<double> task_seconds;
   /// Sub-dictionaries inspected / total sub-dictionary visits possible,
-  /// summed over all region queries (Lemma 5.10 effectiveness).
+  /// summed over all region queries (Lemma 5.10 effectiveness). The
+  /// per-point path issues one query per point; the batched kernel issues
+  /// one per cell, so its ratio is over cell-level traversals.
   size_t subdict_visited = 0;
   size_t subdict_possible = 0;
+  /// Batched kernel only: per-point evaluations of "maybe" candidate
+  /// cells (the flat-scan work the kernel actually did), and the number
+  /// of points proven core before exhausting their candidate list.
+  size_t candidate_cells_scanned = 0;
+  size_t early_exits = 0;
 };
 
 /// Runs Phase II: for every partition (in parallel on `pool`), performs an
@@ -39,7 +55,8 @@ struct Phase2Result {
 /// (Defs. 3.3/3.4, recorded as kUndetermined per Alg. 3).
 Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
                             const CellDictionary& dict, size_t min_pts,
-                            ThreadPool& pool);
+                            ThreadPool& pool,
+                            const Phase2Options& opts = Phase2Options());
 
 }  // namespace rpdbscan
 

@@ -28,7 +28,9 @@ std::string RunStats::ToString() const {
      << " subdicts=" << num_subdictionaries
      << " dict_bytes=" << dictionary_bytes << "\n"
      << "  core_cells=" << num_core_cells << " clusters=" << num_clusters
-     << " noise=" << num_noise_points << "\n";
+     << " noise=" << num_noise_points << "\n"
+     << "  candidate_cells_scanned=" << candidate_cells_scanned
+     << " early_exits=" << early_exits << "\n";
   os << "  edges/round:";
   for (const size_t e : edges_per_round) os << ' ' << e;
   os << '\n';
@@ -101,12 +103,16 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
 
   // ---- Phase II: core marking + cell subgraph building (Sec. 5). ----
   phase_watch.Reset();
+  Phase2Options phase2_opts;
+  phase2_opts.batched_queries = options.batched_queries;
   Phase2Result phase2 =
-      BuildSubgraphs(data, cells, dict, options.min_pts, pool);
+      BuildSubgraphs(data, cells, dict, options.min_pts, pool, phase2_opts);
   stats.phase2_seconds = phase_watch.ElapsedSeconds();
   stats.phase2_task_seconds = phase2.task_seconds;
   stats.subdict_visited = phase2.subdict_visited;
   stats.subdict_possible = phase2.subdict_possible;
+  stats.candidate_cells_scanned = phase2.candidate_cells_scanned;
+  stats.early_exits = phase2.early_exits;
   for (const uint8_t c : phase2.cell_is_core) {
     stats.num_core_cells += c;
   }

@@ -30,6 +30,12 @@ struct RpDbscanOptions {
   /// Seed for the partition assignment.
   uint64_t seed = 7;
 
+  /// Phase II query engine: batched per-cell (eps,rho)-region kernel
+  /// (one dictionary traversal per cell, flat candidate scan per point,
+  /// early exit at min_pts) vs the reference per-point Query path. Both
+  /// produce identical clustering; the toggle exists for ablation.
+  bool batched_queries = true;
+
   // --- dictionary knobs (defaults follow the paper; ablations flip) ---
   size_t max_cells_per_subdict = 2048;
   bool defragment_dictionary = true;
@@ -78,6 +84,11 @@ struct RunStats {
   /// Sub-dictionary visits actually performed / possible (Lemma 5.10).
   size_t subdict_visited = 0;
   size_t subdict_possible = 0;
+  /// Batched Phase II kernel counters (0 on the per-point path):
+  /// per-point candidate-cell evaluations, and points proven core before
+  /// their candidate list was exhausted.
+  size_t candidate_cells_scanned = 0;
+  size_t early_exits = 0;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -47,6 +47,13 @@ class KdTree {
     return out;
   }
 
+  /// Batched form of ForEachInRadius: appends (without clearing) every id
+  /// within `radius` of `q` to the caller-owned `*out`, in the same order
+  /// the callback form visits them. Lets callers amortize one traversal
+  /// over many consumers of the hit list (the cell-level region query).
+  void CollectInRadius(const float* q, double radius,
+                       std::vector<uint32_t>* out) const;
+
   /// Counts points within `radius` of `q`, stopping early once the count
   /// reaches `cap` (used by DBSCAN core tests where only ">= minPts"
   /// matters). A `cap` of 0 means no early exit.

@@ -77,4 +77,27 @@ void RTree::Build(const float* data, size_t n, size_t dim, size_t fanout) {
   root_ = level[0];
 }
 
+void RTree::CollectInRadius(const float* q, double radius,
+                            std::vector<uint32_t>* out) const {
+  if (nodes_.empty()) return;
+  CollectBall(root_, q, radius * radius, out);
+}
+
+void RTree::CollectBall(uint32_t node_id, const float* q, double r2,
+                        std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.box.MinDist2(q) > r2) return;
+  if (node.leaf) {
+    for (uint32_t i = node.begin; i < node.end; ++i) {
+      const uint32_t id = perm_[i];
+      const double d2 = DistanceSquared(q, data_ + id * dim_, dim_);
+      if (d2 <= r2) out->push_back(id);
+    }
+    return;
+  }
+  for (uint32_t i = node.begin; i < node.end; ++i) {
+    CollectBall(children_[i], q, r2, out);
+  }
+}
+
 }  // namespace rpdbscan

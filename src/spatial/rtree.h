@@ -42,6 +42,13 @@ class RTree {
     return out;
   }
 
+  /// Batched form of ForEachInRadius: appends (without clearing) every id
+  /// within `radius` of `q` to the caller-owned `*out`, in the same order
+  /// the callback form visits them. Mirrors KdTree::CollectInRadius so the
+  /// cell dictionary can gather candidates with either index.
+  void CollectInRadius(const float* q, double radius,
+                       std::vector<uint32_t>* out) const;
+
  private:
   struct Node {
     Mbr box{0};
@@ -51,6 +58,9 @@ class RTree {
     uint32_t end = 0;
     bool leaf = false;
   };
+
+  void CollectBall(uint32_t node_id, const float* q, double r2,
+                   std::vector<uint32_t>* out) const;
 
   template <typename Fn>
   void VisitBall(uint32_t node_id, const float* q, double r2,

@@ -1,0 +1,154 @@
+// Randomized equivalence of the two Phase II query engines: the batched
+// per-cell kernel (CellDictionary::QueryCell + flat scan) must reproduce
+// the reference per-point Query path bit-for-bit — same core points, same
+// core cells, same edge sets — across dimensionalities, candidate index
+// types, sub-dictionary skipping on/off, and min_pts values on both sides
+// of the early-exit threshold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/phase2.h"
+#include "synth/generators.h"
+
+namespace rpdbscan {
+namespace {
+
+struct EngineConfig {
+  double eps = 1.0;
+  double rho = 0.05;
+  size_t partitions = 5;
+  size_t min_pts = 20;
+  bool use_rtree = false;
+  bool skipping = true;
+  bool defragment = true;
+};
+
+std::vector<std::tuple<uint32_t, uint32_t>> CanonicalEdges(
+    const Phase2Result& r) {
+  std::vector<std::tuple<uint32_t, uint32_t>> edges;
+  for (const CellSubgraph& g : r.subgraphs) {
+    for (const CellEdge& e : g.edges) {
+      EXPECT_EQ(e.type, EdgeType::kUndetermined);
+      edges.emplace_back(e.from, e.to);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Runs both engines on one pipeline and asserts identical output.
+/// Returns the batched result for counter assertions.
+Phase2Result ExpectEquivalent(const Dataset& data, const EngineConfig& cfg) {
+  auto geom = GridGeometry::Create(data.dim(), cfg.eps, cfg.rho);
+  EXPECT_TRUE(geom.ok());
+  auto cells = CellSet::Build(data, *geom, cfg.partitions, 7);
+  EXPECT_TRUE(cells.ok());
+  CellDictionaryOptions dict_opts;
+  dict_opts.max_cells_per_subdict = 64;  // force several sub-dictionaries
+  dict_opts.defragment = cfg.defragment;
+  dict_opts.enable_skipping = cfg.skipping;
+  dict_opts.index =
+      cfg.use_rtree ? CandidateIndex::kRTree : CandidateIndex::kKdTree;
+  auto dict = CellDictionary::Build(data, *cells, dict_opts);
+  EXPECT_TRUE(dict.ok());
+  ThreadPool pool(3);
+
+  Phase2Options per_point;
+  per_point.batched_queries = false;
+  Phase2Options batched;
+  batched.batched_queries = true;
+  const Phase2Result a =
+      BuildSubgraphs(data, *cells, *dict, cfg.min_pts, pool, per_point);
+  const Phase2Result b =
+      BuildSubgraphs(data, *cells, *dict, cfg.min_pts, pool, batched);
+
+  EXPECT_EQ(a.point_is_core, b.point_is_core);
+  EXPECT_EQ(a.cell_is_core, b.cell_is_core);
+  EXPECT_EQ(CanonicalEdges(a), CanonicalEdges(b));
+  // The reference path issues one sub-dictionary sweep per point, the
+  // batched kernel one per cell. (visited is not compared: the cell-level
+  // skip test is box-based and so more conservative than the per-point
+  // one — with single-point cells batched can visit slightly more.)
+  EXPECT_LE(b.subdict_possible, a.subdict_possible);
+  EXPECT_LE(b.subdict_visited, b.subdict_possible);
+  EXPECT_EQ(a.candidate_cells_scanned, 0u);
+  EXPECT_EQ(a.early_exits, 0u);
+  return b;
+}
+
+TEST(BatchedQueryTest, RandomizedAcrossDimsIndexesAndSkipping) {
+  uint64_t seed = 1000;
+  for (size_t dim = 2; dim <= 5; ++dim) {
+    const Dataset data = synth::Blobs(1200, 4, 2.0, ++seed, dim);
+    for (const bool rtree : {false, true}) {
+      for (const bool skipping : {true, false}) {
+        SCOPED_TRACE("dim=" + std::to_string(dim) +
+                     " rtree=" + std::to_string(rtree) +
+                     " skip=" + std::to_string(skipping));
+        EngineConfig cfg;
+        cfg.eps = 2.5;
+        cfg.min_pts = 20;
+        cfg.use_rtree = rtree;
+        cfg.skipping = skipping;
+        ExpectEquivalent(data, cfg);
+      }
+    }
+  }
+}
+
+TEST(BatchedQueryTest, MinPtsOnBothSidesOfEarlyExit) {
+  const Dataset data = synth::Blobs(1500, 3, 1.5, 77, 3);
+  // min_pts = 1: every point is core before or at its first candidate —
+  // maximal early exits. min_pts = 1e6: no cell's candidate densities can
+  // add up, so the upper-bound cutoff rejects every point with zero scans
+  // and zero early exits.
+  for (const size_t min_pts : {size_t{1}, size_t{25}, size_t{1000000}}) {
+    EngineConfig cfg;
+    cfg.eps = 1.2;
+    cfg.min_pts = min_pts;
+    const Phase2Result b = ExpectEquivalent(data, cfg);
+    if (min_pts == 1) {
+      EXPECT_GT(b.early_exits, 0u);
+    } else if (min_pts == 25) {
+      EXPECT_GT(b.candidate_cells_scanned, 0u);
+    } else {
+      EXPECT_EQ(b.early_exits, 0u);
+      EXPECT_EQ(b.candidate_cells_scanned, 0u);
+    }
+  }
+}
+
+TEST(BatchedQueryTest, SkewedGeoLifeAnalogue) {
+  // The workload the kernel is optimized for: one super-dense component
+  // where per-cell batching amortizes the most.
+  const Dataset data = synth::GeoLifeLike(4000, 901);
+  for (const bool rtree : {false, true}) {
+    EngineConfig cfg;
+    cfg.eps = 2.0;
+    cfg.rho = 0.01;
+    cfg.min_pts = 20;
+    cfg.use_rtree = rtree;
+    const Phase2Result b = ExpectEquivalent(data, cfg);
+    EXPECT_GT(b.early_exits, 0u);  // dense cells prove coreness early
+  }
+}
+
+TEST(BatchedQueryTest, MonolithicDictionaryAndTinyCells) {
+  // No defragmentation (single sub-dictionary) plus an eps small enough
+  // that many cells hold a single point: exercises empty candidate lists
+  // and always-contained-only paths.
+  const Dataset data = synth::Moons(800, 0.05, 5);
+  EngineConfig cfg;
+  cfg.eps = 0.05;
+  cfg.rho = 0.25;
+  cfg.min_pts = 3;
+  cfg.defragment = false;
+  ExpectEquivalent(data, cfg);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -130,5 +130,23 @@ TEST(RTreeTest, ReportsDistances) {
   });
 }
 
+TEST(RTreeTest, CollectInRadiusMatchesCallbackFormAndAppends) {
+  const Dataset ds = RandomDataset(2000, 3, 18);
+  RTree tree;
+  tree.Build(ds.flat().data(), ds.size(), ds.dim());
+  for (const double r : {0.0, 2.0, 10.0, 200.0}) {
+    const float* q = ds.point(23);
+    std::vector<uint32_t> got = {4242};  // must append, not clear
+    tree.CollectInRadius(q, r, &got);
+    ASSERT_GE(got.size(), 1u);
+    EXPECT_EQ(got.front(), 4242u);
+    got.erase(got.begin());
+    std::vector<uint32_t> want;
+    tree.ForEachInRadius(q, r,
+                         [&want](uint32_t id, double) { want.push_back(id); });
+    EXPECT_EQ(got, want);
+  }
+}
+
 }  // namespace
 }  // namespace rpdbscan

@@ -50,6 +50,8 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
     --rho=R               approximation rate (default 0.01)
     --partitions=K        partitions / splits (default 16)
     --threads=T           worker threads (default 4)
+    --perpoint            rp only: use the reference per-point query path
+                          instead of the batched Phase II kernel
   preprocessing:
     --normalize=MODE      minmax (onto [0,100]^d) or zscore
   diagnostics:
@@ -114,6 +116,7 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
     o.rho = *rho_or;
     o.num_partitions = static_cast<size_t>(*parts_or);
     o.num_threads = static_cast<size_t>(*threads_or);
+    o.batched_queries = !flags.GetBool("perpoint");
     auto r = RunRpDbscan(data, o);
     if (!r.ok()) return r.status();
     if (print_stats) std::fputs(r->stats.ToString().c_str(), stdout);

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Phase II benchmark runner: executes the batched-vs-per-point query kernel
+# pair (bench_micro BM_Phase2Query) and the Fig. 12 phase breakdown, then
+# writes kernel times, counters and the speedup to a JSON file so the perf
+# trajectory of the Phase II kernel is recorded alongside the code.
+#
+# Usage: tools/run_bench.sh [--smoke] [BUILD_DIR] [OUTPUT_JSON]
+#   --smoke      tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
+#                used by the `run_bench_smoke` ctest entry.
+#   BUILD_DIR    cmake build directory (default: ./build)
+#   OUTPUT_JSON  output path (default: ./BENCH_phase2.json)
+set -euo pipefail
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_phase2.json}"
+
+BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
+BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
+for bin in "$BENCH_MICRO" "$BENCH_FIG12"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run_bench.sh: missing binary $bin (build the project first)" >&2
+    exit 1
+  fi
+done
+
+SCALE="${RPDBSCAN_BENCH_SCALE:-1.0}"
+MIN_TIME=""
+if [[ "$SMOKE" == 1 ]]; then
+  SCALE="0.02"
+  MIN_TIME="--benchmark_min_time=0.05"
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+echo "== Phase II query kernels (bench_micro, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
+  --benchmark_filter='BM_Phase2Query' \
+  --benchmark_out="$TMP_DIR/phase2.json" \
+  --benchmark_out_format=json \
+  ${MIN_TIME:+$MIN_TIME}
+
+echo "== Phase breakdown (bench_fig12_breakdown, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_FIG12" | tee "$TMP_DIR/fig12.txt"
+
+python3 - "$TMP_DIR/phase2.json" "$TMP_DIR/fig12.txt" "$OUT_JSON" \
+    "$SCALE" <<'PY'
+import json
+import sys
+
+bench_json, fig12_txt, out_path, scale = sys.argv[1:5]
+with open(bench_json) as f:
+    raw = json.load(f)
+
+kernels = []
+for b in raw.get("benchmarks", []):
+    name = b["name"].split("/")[-1]
+    kernels.append({
+        "kernel": name,
+        "real_time_ms": b["real_time"],
+        "cpu_time_ms": b["cpu_time"],
+        "items_per_second": b.get("items_per_second"),
+        "candidate_cells_scanned": b.get("candidate_cells_scanned"),
+        "early_exits": b.get("early_exits"),
+    })
+
+times = {k["kernel"]: k["real_time_ms"] for k in kernels}
+speedup = None
+if times.get("batched") and times.get("per_point"):
+    speedup = times["per_point"] / times["batched"]
+
+with open(fig12_txt) as f:
+    fig12 = f.read()
+
+out = {
+    "generated_by": "tools/run_bench.sh",
+    "bench_scale": float(scale),
+    "context": raw.get("context", {}),
+    "phase2_kernels": kernels,
+    "speedup_batched_over_per_point": speedup,
+    "fig12_breakdown": fig12,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+print(f"wrote {out_path}"
+      + (f" (batched speedup {speedup:.2f}x)" if speedup else ""))
+PY

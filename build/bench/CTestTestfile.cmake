@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(run_bench_smoke "bash" "/root/repo/bench/../tools/run_bench.sh" "--smoke" "/root/repo/build" "/root/repo/build/BENCH_phase2_smoke.json")
+set_tests_properties(run_bench_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;32;add_test;/root/repo/bench/CMakeLists.txt;0;")

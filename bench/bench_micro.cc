@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "bench_common.h"
 #include "core/cell_dictionary.h"
 #include "core/cell_set.h"
@@ -54,6 +56,51 @@ void BM_CellSetBuild(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ds.size());
 }
 BENCHMARK(BM_CellSetBuild)->Unit(benchmark::kMillisecond);
+
+// ---- Phase I-1 build engines, head to head. ----
+//
+// Sorted CSR grouping (key encode + radix sort + CSR emit) vs the seed
+// hash-map scan, on the skewed GeoLife-like generator at two sizes. A
+// single-thread pool isolates the algorithmic win (fewer allocations, no
+// pointer chasing) from parallel speedup — the 1-vCPU regime this
+// repository targets. Honors RPDBSCAN_BENCH_SCALE for run_bench.sh.
+
+const Dataset& Phase1Data(size_t n) {
+  static auto* cache = new std::map<size_t, Dataset>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    it = cache->emplace(n, synth::GeoLifeLike(bench::Scaled(n), 101)).first;
+  }
+  return it->second;
+}
+
+void BM_Phase1Build(benchmark::State& state, bool sorted) {
+  const Dataset& ds = Phase1Data(static_cast<size_t>(state.range(0)));
+  auto geom = GridGeometry::Create(3, 2.0, 0.01);
+  ThreadPool pool(1);
+  double key_s = 0;
+  double sort_s = 0;
+  double scatter_s = 0;
+  for (auto _ : state) {
+    auto cells = CellSet::Build(ds, *geom, 32, 7, &pool, sorted);
+    benchmark::DoNotOptimize(cells->num_cells());
+    key_s = cells->breakdown().key_seconds;
+    sort_s = cells->breakdown().sort_seconds;
+    scatter_s = cells->breakdown().scatter_seconds;
+  }
+  state.SetItemsProcessed(state.iterations() * ds.size());
+  state.counters["key_seconds"] = key_s;
+  state.counters["sort_seconds"] = sort_s;
+  state.counters["scatter_seconds"] = scatter_s;
+}
+BENCHMARK_CAPTURE(BM_Phase1Build, sorted, true)
+    ->Arg(40000)
+    ->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Phase1Build, hashmap, false)
+    ->Arg(40000)
+    ->Arg(160000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DictionaryBuild(benchmark::State& state) {
   const Dataset& ds = BenchData();

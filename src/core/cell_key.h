@@ -1,0 +1,91 @@
+#ifndef RPDBSCAN_CORE_CELL_KEY_H_
+#define RPDBSCAN_CORE_CELL_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/cell_coord.h"
+#include "core/grid.h"
+
+namespace rpdbscan {
+
+/// Fixed-width encoding of a point's CellCoord for the sorted Phase I-1
+/// path: per dimension, the lattice index minus the data set's minimum
+/// lattice index, packed into `bits[d]` bits. Two points get equal keys iff
+/// they fall in the same cell, so a stable sort of (key, point_id) pairs
+/// groups points by cell — no per-cell allocation, no hashing.
+///
+/// The layout is derived from per-dimension coordinate bounds. Because
+/// floor(x * inv_side) is monotonic in x, the lattice bounds of a dimension
+/// are exactly the lattice indices of its float min/max — no per-point
+/// bound pass is needed.
+struct CellKeyLayout {
+  size_t dim = 0;
+  int64_t coord_min[CellCoord::kMaxDim] = {};
+  unsigned bits[CellCoord::kMaxDim] = {};
+  unsigned shift[CellCoord::kMaxDim] = {};
+  unsigned total_bits = 0;
+
+  /// The sorted path runs only when a key fits 128 bits; otherwise
+  /// CellSet::Build falls back to hash-map grouping.
+  bool Fits128() const { return total_bits <= 128; }
+  bool Fits64() const { return total_bits <= 64; }
+  unsigned NumKeyBytes() const { return (total_bits + 7) / 8; }
+};
+
+/// Builds the layout from per-dimension float data bounds. `fmin`/`fmax`
+/// are the column-wise min/max of the data set ( `dim` entries each).
+inline CellKeyLayout MakeCellKeyLayout(const GridGeometry& geom,
+                                       const float* fmin, const float* fmax) {
+  CellKeyLayout layout;
+  layout.dim = geom.dim();
+  unsigned pos = 0;
+  for (size_t d = 0; d < layout.dim; ++d) {
+    const int64_t lo = geom.CellIndexOf(fmin[d]);
+    const int64_t hi = geom.CellIndexOf(fmax[d]);
+    layout.coord_min[d] = lo;
+    uint64_t range = static_cast<uint64_t>(hi - lo);
+    unsigned bits = 0;
+    while (range > 0) {
+      ++bits;
+      range >>= 1;
+    }
+    layout.bits[d] = bits;
+    layout.shift[d] = pos;
+    pos += bits;
+  }
+  layout.total_bits = pos;
+  return layout;
+}
+
+/// A 128-bit key as two 64-bit halves; compared low byte first by the
+/// radix sort, so bit 0 of `lo` is the least significant key bit.
+struct CellKey128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+/// Encodes point `p` under `layout`. The binning arithmetic is
+/// GridGeometry::CellIndexOf — identical to CellOf, so both Phase I-1
+/// paths agree on every point's cell.
+inline CellKey128 EncodeCellKey(const CellKeyLayout& layout,
+                                const GridGeometry& geom, const float* p) {
+  CellKey128 key;
+  for (size_t d = 0; d < layout.dim; ++d) {
+    if (layout.bits[d] == 0) continue;  // whole data set in one slab
+    const uint64_t v = static_cast<uint64_t>(
+        static_cast<int64_t>(geom.CellIndexOf(p[d])) - layout.coord_min[d]);
+    const unsigned pos = layout.shift[d];
+    if (pos < 64) {
+      key.lo |= v << pos;
+      if (pos + layout.bits[d] > 64 && pos > 0) key.hi |= v >> (64 - pos);
+    } else {
+      key.hi |= v << (pos - 64);
+    }
+  }
+  return key;
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_CELL_KEY_H_

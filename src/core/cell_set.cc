@@ -1,15 +1,264 @@
 #include "core/cell_set.h"
 
 #include <algorithm>
+#include <array>
+#include <unordered_map>
 
+#include "core/cell_key.h"
+#include "parallel/parallel_for.h"
+#include "parallel/parallel_sort.h"
 #include "util/random.h"
 #include "util/reservoir.h"
+#include "util/stopwatch.h"
 
 namespace rpdbscan {
+namespace {
+
+/// (key, point_id) pair of the sorted grouping pass, 64-bit key flavor.
+/// Most data sets land here (key bits = sum over dims of
+/// log2(cells spanned per dim), e.g. ~33 bits for the 3-d GeoLife
+/// analogue), and the 16-byte pair keeps the radix passes cache-friendly.
+struct Key64Pair {
+  uint64_t key;
+  uint32_t pid;
+};
+
+/// 128-bit flavor for wide/high-dimensional grids (up to 128 key bits).
+struct Key128Pair {
+  uint64_t lo;
+  uint64_t hi;
+  uint32_t pid;
+};
+
+inline bool SameKey(const Key64Pair& a, const Key64Pair& b) {
+  return a.key == b.key;
+}
+inline bool SameKey(const Key128Pair& a, const Key128Pair& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+inline uint8_t KeyByte(const Key64Pair& p, unsigned b) {
+  return static_cast<uint8_t>(p.key >> (8 * b));
+}
+inline uint8_t KeyByte(const Key128Pair& p, unsigned b) {
+  return b < 8 ? static_cast<uint8_t>(p.lo >> (8 * b))
+               : static_cast<uint8_t>(p.hi >> (8 * (b - 8)));
+}
+
+/// One contiguous run of equal keys in the sorted pair array. `first_pid`
+/// is the run's smallest point id (the radix sort is stable and pairs
+/// start in point-id order), which is exactly the id of the first point of
+/// the original forward scan to hit this cell — ordering groups by it
+/// reproduces the hash path's first-encounter cell numbering.
+struct CellGroup {
+  uint32_t first_pid;
+  uint64_t begin;
+  uint64_t count;
+};
+
+/// Scans the sorted pairs into groups, orders them into dense cell ids,
+/// and emits the CSR arrays. Runs the per-group copy in parallel: every
+/// group writes a disjoint slice of the flat array.
+template <typename Pair>
+void EmitCsrGroups(const Dataset& data, const GridGeometry& geom,
+                   const std::vector<Pair>& pairs, ThreadPool* pool,
+                   std::vector<CellData>* cells,
+                   std::vector<uint64_t>* offsets,
+                   std::vector<uint32_t>* point_ids) {
+  const size_t n = pairs.size();
+  std::vector<CellGroup> groups;
+  size_t begin = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || !SameKey(pairs[i], pairs[begin])) {
+      groups.push_back(CellGroup{pairs[begin].pid, begin, i - begin});
+      begin = i;
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const CellGroup& a, const CellGroup& b) {
+              return a.first_pid < b.first_pid;
+            });
+  const size_t num_cells = groups.size();
+  cells->resize(num_cells);
+  offsets->resize(num_cells + 1);
+  point_ids->resize(n);
+  (*offsets)[0] = 0;
+  for (size_t g = 0; g < num_cells; ++g) {
+    (*offsets)[g + 1] = (*offsets)[g] + groups[g].count;
+  }
+  auto emit_group = [&](size_t g) {
+    const CellGroup& group = groups[g];
+    uint64_t dst = (*offsets)[g];
+    for (uint64_t i = 0; i < group.count; ++i) {
+      (*point_ids)[dst + i] = pairs[group.begin + i].pid;
+    }
+    (*cells)[g].coord = geom.CellOf(data.point(group.first_pid));
+  };
+  if (pool != nullptr && pool->num_threads() > 1 && num_cells > 1) {
+    ParallelFor(*pool, num_cells, emit_group);
+  } else {
+    for (size_t g = 0; g < num_cells; ++g) emit_group(g);
+  }
+}
+
+}  // namespace
+
+bool CellSet::BuildSortedGroups(const Dataset& data, ThreadPool* pool) {
+  Stopwatch watch;
+  const size_t n = data.size();
+  const size_t dim = data.dim();
+  const bool parallel =
+      pool != nullptr && pool->num_threads() > 1 && n >= 4096;
+
+  // Column-wise float bounds. floor(x * inv_side) is monotonic, so lattice
+  // bounds — and with them the key layout — follow from these directly.
+  std::array<float, CellCoord::kMaxDim> fmin;
+  std::array<float, CellCoord::kMaxDim> fmax;
+  for (size_t d = 0; d < dim; ++d) {
+    fmin[d] = fmax[d] = data.point(0)[d];
+  }
+  size_t num_chunks = 1;
+  if (parallel) num_chunks = pool->num_threads() * 4;
+  const size_t chunk_len = (n + num_chunks - 1) / num_chunks;
+  if (num_chunks > 1) {
+    std::vector<std::array<float, CellCoord::kMaxDim>> lo(num_chunks, fmin);
+    std::vector<std::array<float, CellCoord::kMaxDim>> hi(num_chunks, fmax);
+    ParallelFor(
+        *pool, num_chunks,
+        [&](size_t c) {
+          const size_t end = std::min(n, (c + 1) * chunk_len);
+          for (size_t i = c * chunk_len; i < end; ++i) {
+            const float* p = data.point(i);
+            for (size_t d = 0; d < dim; ++d) {
+              lo[c][d] = std::min(lo[c][d], p[d]);
+              hi[c][d] = std::max(hi[c][d], p[d]);
+            }
+          }
+        },
+        /*chunk=*/1);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      for (size_t d = 0; d < dim; ++d) {
+        fmin[d] = std::min(fmin[d], lo[c][d]);
+        fmax[d] = std::max(fmax[d], hi[c][d]);
+      }
+    }
+  } else {
+    for (size_t i = 1; i < n; ++i) {
+      const float* p = data.point(i);
+      for (size_t d = 0; d < dim; ++d) {
+        fmin[d] = std::min(fmin[d], p[d]);
+        fmax[d] = std::max(fmax[d], p[d]);
+      }
+    }
+  }
+
+  const CellKeyLayout layout =
+      MakeCellKeyLayout(geom_, fmin.data(), fmax.data());
+  if (!layout.Fits128()) {
+    return false;  // grid too wide for a 128-bit key: hash fallback
+  }
+
+  if (layout.Fits64()) {
+    std::vector<Key64Pair> pairs(n);
+    auto encode = [&](size_t i) {
+      const CellKey128 key = EncodeCellKey(layout, geom_, data.point(i));
+      pairs[i] = Key64Pair{key.lo, static_cast<uint32_t>(i)};
+    };
+    if (parallel) {
+      ParallelFor(*pool, n, encode);
+    } else {
+      for (size_t i = 0; i < n; ++i) encode(i);
+    }
+    breakdown_.key_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    std::vector<Key64Pair> scratch;
+    ParallelRadixSort(
+        pairs, scratch, layout.NumKeyBytes(),
+        [](const Key64Pair& p, unsigned b) { return KeyByte(p, b); }, pool);
+    breakdown_.sort_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    EmitCsrGroups(data, geom_, pairs, pool, &cells_, &cell_point_offsets_,
+                  &point_ids_);
+  } else {
+    std::vector<Key128Pair> pairs(n);
+    auto encode = [&](size_t i) {
+      const CellKey128 key = EncodeCellKey(layout, geom_, data.point(i));
+      pairs[i] = Key128Pair{key.lo, key.hi, static_cast<uint32_t>(i)};
+    };
+    if (parallel) {
+      ParallelFor(*pool, n, encode);
+    } else {
+      for (size_t i = 0; i < n; ++i) encode(i);
+    }
+    breakdown_.key_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    std::vector<Key128Pair> scratch;
+    ParallelRadixSort(
+        pairs, scratch, layout.NumKeyBytes(),
+        [](const Key128Pair& p, unsigned b) { return KeyByte(p, b); }, pool);
+    breakdown_.sort_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    EmitCsrGroups(data, geom_, pairs, pool, &cells_, &cell_point_offsets_,
+                  &point_ids_);
+  }
+  breakdown_.scatter_seconds = watch.ElapsedSeconds();
+  return true;
+}
+
+void CellSet::BuildHashedGroups(const Dataset& data) {
+  // The seed algorithm: one forward scan over points, growing one id list
+  // per cell in an unordered_map — kept as the sorted path's ablation
+  // partner and as the fallback when no 128-bit key exists.
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> index;
+  index.reserve(data.size() / 4 + 16);
+  std::vector<std::vector<uint32_t>> groups;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const CellCoord coord = geom_.CellOf(data.point(i));
+    auto [it, inserted] =
+        index.emplace(coord, static_cast<uint32_t>(cells_.size()));
+    if (inserted) {
+      cells_.emplace_back();
+      cells_.back().coord = coord;
+      groups.emplace_back();
+    }
+    groups[it->second].push_back(static_cast<uint32_t>(i));
+  }
+  // Materialize the same CSR layout the sorted path emits.
+  cell_point_offsets_.resize(cells_.size() + 1);
+  cell_point_offsets_[0] = 0;
+  for (size_t c = 0; c < groups.size(); ++c) {
+    cell_point_offsets_[c + 1] = cell_point_offsets_[c] + groups[c].size();
+  }
+  point_ids_.resize(data.size());
+  for (size_t c = 0; c < groups.size(); ++c) {
+    std::copy(groups[c].begin(), groups[c].end(),
+              point_ids_.begin() +
+                  static_cast<ptrdiff_t>(cell_point_offsets_[c]));
+  }
+}
+
+void CellSet::AssignPartitions(size_t num_partitions, uint64_t seed) {
+  // Pseudo random partitioning (Alg. 2, lines 5-8) — "randomly divides the
+  // entire set of cells to partitions of the same size" (Sec. 4.1): a
+  // seeded shuffle dealt round-robin, so partition sizes differ by at most
+  // one cell.
+  Rng rng(seed);
+  partitions_ = RandomDisjointSplit(cells_.size(), num_partitions, rng);
+  partition_points_.assign(partitions_.size(), 0);
+  for (uint32_t pid = 0; pid < partitions_.size(); ++pid) {
+    size_t points = 0;
+    for (const uint32_t cid : partitions_[pid]) {
+      cells_[cid].owner_partition = pid;
+      points += cells_[cid].point_ids.size();
+    }
+    partition_points_[pid] = points;
+  }
+}
 
 StatusOr<CellSet> CellSet::Build(const Dataset& data,
                                  const GridGeometry& geom,
-                                 size_t num_partitions, uint64_t seed) {
+                                 size_t num_partitions, uint64_t seed,
+                                 ThreadPool* pool, bool sorted) {
   if (data.empty()) {
     return Status::InvalidArgument("dataset is empty");
   }
@@ -20,57 +269,39 @@ StatusOr<CellSet> CellSet::Build(const Dataset& data,
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
   CellSet set(geom);
-  set.index_.reserve(data.size() / 4 + 16);
-  // Pass 1: bin every point into its (created-on-demand) cell.
-  for (size_t i = 0; i < data.size(); ++i) {
-    const CellCoord coord = geom.CellOf(data.point(i));
-    auto [it, inserted] =
-        set.index_.emplace(coord, static_cast<uint32_t>(set.cells_.size()));
-    if (inserted) {
-      set.cells_.emplace_back();
-      set.cells_.back().coord = coord;
-    }
-    set.cells_[it->second].point_ids.push_back(static_cast<uint32_t>(i));
+  bool used_sorted = false;
+  if (sorted) {
+    used_sorted = set.BuildSortedGroups(data, pool);
   }
-  // Pass 2: pseudo random partitioning (Alg. 2, lines 5-8) — "randomly
-  // divides the entire set of cells to partitions of the same size"
-  // (Sec. 4.1): a seeded shuffle dealt round-robin, so partition sizes
-  // differ by at most one cell.
-  Rng rng(seed);
-  set.partitions_ = RandomDisjointSplit(set.cells_.size(), num_partitions,
-                                        rng);
-  for (uint32_t pid = 0; pid < set.partitions_.size(); ++pid) {
-    for (const uint32_t cid : set.partitions_[pid]) {
-      set.cells_[cid].owner_partition = pid;
-    }
+  if (!used_sorted) {
+    set.breakdown_ = Phase1Breakdown{};
+    Stopwatch watch;
+    set.BuildHashedGroups(data);
+    set.breakdown_.scatter_seconds = watch.ElapsedSeconds();
   }
+  set.breakdown_.sorted_path_used = used_sorted;
+  // Spans into the now-final flat array; both grouping paths share this.
+  for (size_t c = 0; c < set.cells_.size(); ++c) {
+    set.cells_[c].point_ids = PointIdSpan(
+        set.point_ids_.data() + set.cell_point_offsets_[c],
+        set.cell_point_offsets_[c + 1] - set.cell_point_offsets_[c]);
+  }
+  set.index_.Build(set.cells_);
+  set.AssignPartitions(num_partitions, seed);
   return set;
-}
-
-int64_t CellSet::FindCell(const CellCoord& coord) const {
-  const auto it = index_.find(coord);
-  if (it == index_.end()) return -1;
-  return static_cast<int64_t>(it->second);
 }
 
 size_t CellSet::MaxPartitionPoints() const {
   size_t best = 0;
-  for (const auto& part : partitions_) {
-    size_t n = 0;
-    for (const uint32_t cid : part) n += cells_[cid].point_ids.size();
-    best = std::max(best, n);
-  }
+  for (const size_t n : partition_points_) best = std::max(best, n);
   return best;
 }
 
 size_t CellSet::MinPartitionPoints() const {
-  size_t best = static_cast<size_t>(-1);
-  for (const auto& part : partitions_) {
-    size_t n = 0;
-    for (const uint32_t cid : part) n += cells_[cid].point_ids.size();
-    best = std::min(best, n);
-  }
-  return best == static_cast<size_t>(-1) ? 0 : best;
+  if (partition_points_.empty()) return 0;
+  size_t best = partition_points_[0];
+  for (const size_t n : partition_points_) best = std::min(best, n);
+  return best;
 }
 
 }  // namespace rpdbscan

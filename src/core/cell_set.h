@@ -3,23 +3,59 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/cell_coord.h"
+#include "core/flat_cell_index.h"
 #include "core/grid.h"
 #include "io/dataset.h"
+#include "parallel/thread_pool.h"
 #include "util/status.h"
 
 namespace rpdbscan {
 
+/// Non-owning view of one cell's point ids inside the CellSet's flat CSR
+/// array. Mirrors the read-only surface of the std::vector it replaced, so
+/// every consumer iterates it the same way — but a cell no longer owns an
+/// allocation.
+class PointIdSpan {
+ public:
+  PointIdSpan() = default;
+  PointIdSpan(const uint32_t* data, size_t size)
+      : data_(data), size_(static_cast<uint32_t>(size)) {}
+
+  const uint32_t* begin() const { return data_; }
+  const uint32_t* end() const { return data_ + size_; }
+  const uint32_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t operator[](size_t i) const { return data_[i]; }
+  uint32_t front() const { return data_[0]; }
+  uint32_t back() const { return data_[size_ - 1]; }
+
+ private:
+  const uint32_t* data_ = nullptr;
+  uint32_t size_ = 0;
+};
+
 /// One non-empty grid cell and the ids of the points inside it.
 struct CellData {
   CellCoord coord;
-  /// Point ids (indices into the Dataset) belonging to this cell.
-  std::vector<uint32_t> point_ids;
+  /// Point ids (indices into the Dataset) belonging to this cell, ascending.
+  /// A view into CellSet::point_ids() (CSR layout).
+  PointIdSpan point_ids;
   /// Owning pseudo-random partition (Phase I-1 assignment).
   uint32_t owner_partition = 0;
+};
+
+/// Wall-time sub-breakdown of CellSet::Build (feeds RunStats'
+/// partition_seconds breakdown). On the hash-map fallback path everything
+/// lands in scatter_seconds and sorted_path_used is false.
+struct Phase1Breakdown {
+  double key_seconds = 0;      // per-point key encoding (sorted path)
+  double sort_seconds = 0;     // parallel radix sort of (key, pid) pairs
+  double scatter_seconds = 0;  // group scan + CSR emit (+ hash fallback)
+  bool sorted_path_used = false;
 };
 
 /// The grid view of a data set plus its pseudo random partitioning
@@ -28,15 +64,38 @@ struct CellData {
 /// random key, which is the paper's central data-split idea (Sec. 4.1).
 ///
 /// Cell ids are dense [0, num_cells) and shared with the cell dictionary
-/// and cell graph.
+/// and cell graph. Point ids live in one flat CSR array
+/// (`cell_point_offsets()` / `point_ids()`); each CellData exposes its
+/// slice as a span. Two build engines produce byte-identical structures:
+///
+///  * sorted (default): parallel key encoding (core/cell_key.h), a parallel
+///    radix sort of (key, point_id) pairs (parallel/parallel_sort.h), and
+///    one scan that emits the CSR arrays — zero per-cell allocations;
+///  * hash-map (`sorted = false`, the seed algorithm): a sequential
+///    unordered-map scan, kept for ablation and as the fallback when a
+///    cell key cannot fit 128 bits.
+///
+/// Both paths number cells in first-encounter order of a forward point scan
+/// and list each cell's points ascending, so everything downstream —
+/// partition assignment included — is bit-identical between them.
 class CellSet {
  public:
   /// Bins `data` into cells and assigns each cell a partition in
   /// [0, num_partitions) with a seeded hash (deterministic given the seed,
-  /// uniform like the paper's random key).
+  /// uniform like the paper's random key). `pool` parallelizes the sorted
+  /// path when given; null runs it sequentially (still sort-based).
   static StatusOr<CellSet> Build(const Dataset& data,
                                  const GridGeometry& geom,
-                                 size_t num_partitions, uint64_t seed);
+                                 size_t num_partitions, uint64_t seed,
+                                 ThreadPool* pool = nullptr,
+                                 bool sorted = true);
+
+  // Spans point into this object's flat arrays: moving preserves them
+  // (vector buffers are stable under move), copying would not.
+  CellSet(const CellSet&) = delete;
+  CellSet& operator=(const CellSet&) = delete;
+  CellSet(CellSet&&) = default;
+  CellSet& operator=(CellSet&&) = default;
 
   const GridGeometry& geom() const { return geom_; }
   size_t num_cells() const { return cells_.size(); }
@@ -45,26 +104,53 @@ class CellSet {
   const CellData& cell(uint32_t id) const { return cells_[id]; }
   const std::vector<CellData>& cells() const { return cells_; }
 
+  /// CSR layout: cell `id`'s points are
+  /// point_ids()[cell_point_offsets()[id] .. cell_point_offsets()[id+1]).
+  const std::vector<uint64_t>& cell_point_offsets() const {
+    return cell_point_offsets_;
+  }
+  const std::vector<uint32_t>& point_ids() const { return point_ids_; }
+
   /// Cell ids owned by partition `pid`.
   const std::vector<uint32_t>& partition(uint32_t pid) const {
     return partitions_[pid];
   }
 
   /// Dense id of the cell at `coord`, or -1 if the cell is empty/unknown.
-  int64_t FindCell(const CellCoord& coord) const;
+  int64_t FindCell(const CellCoord& coord) const {
+    return index_.Find(coord, cells_);
+  }
+
+  /// Total points in partition `pid` (cached at build time).
+  size_t PartitionPoints(uint32_t pid) const {
+    return partition_points_[pid];
+  }
 
   /// Number of points in the largest / smallest partition (used by the
   /// partitioning-balance tests and Fig. 13-style accounting).
   size_t MaxPartitionPoints() const;
   size_t MinPartitionPoints() const;
 
+  /// Build-time sub-phase breakdown of the last Build.
+  const Phase1Breakdown& breakdown() const { return breakdown_; }
+
  private:
   explicit CellSet(const GridGeometry& geom) : geom_(geom) {}
 
+  /// Fills cells_ / cell_point_offsets_ / point_ids_. Returns false when
+  /// the key does not fit 128 bits (caller falls back to the hash path).
+  bool BuildSortedGroups(const Dataset& data, ThreadPool* pool);
+  void BuildHashedGroups(const Dataset& data);
+  void AssignPartitions(size_t num_partitions, uint64_t seed);
+
   GridGeometry geom_;
   std::vector<CellData> cells_;
-  std::unordered_map<CellCoord, uint32_t, CellCoordHash> index_;
+  std::vector<uint64_t> cell_point_offsets_;
+  std::vector<uint32_t> point_ids_;
+  FlatCellIndex index_;
   std::vector<std::vector<uint32_t>> partitions_;
+  std::vector<size_t> partition_points_;
+  Phase1Breakdown breakdown_;
 };
 
 }  // namespace rpdbscan

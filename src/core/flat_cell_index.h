@@ -1,0 +1,60 @@
+#ifndef RPDBSCAN_CORE_FLAT_CELL_INDEX_H_
+#define RPDBSCAN_CORE_FLAT_CELL_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_coord.h"
+
+namespace rpdbscan {
+
+/// Open-addressing coord -> dense-cell-id index: one flat power-of-two
+/// slot array, linear probing, load factor <= 0.5. Replaces the seed's
+/// std::unordered_map in CellSet::FindCell — a lookup is one mix of the
+/// precomputed CellCoord hash plus a short probe over a contiguous array,
+/// with no node allocations and no pointer chasing.
+///
+/// The index stores only cell ids; coordinate equality is checked against
+/// the caller's cell array, which the CSR layout already keeps dense.
+class FlatCellIndex {
+ public:
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  /// Rebuilds the table over `cells[i].coord -> i`. Coords must be unique.
+  template <typename CellVector>
+  void Build(const CellVector& cells) {
+    size_t capacity = 16;
+    while (capacity < cells.size() * 2) capacity <<= 1;
+    mask_ = capacity - 1;
+    slots_.assign(capacity, kEmptySlot);
+    for (uint32_t id = 0; id < cells.size(); ++id) {
+      size_t s = static_cast<size_t>(cells[id].coord.hash()) & mask_;
+      while (slots_[s] != kEmptySlot) s = (s + 1) & mask_;
+      slots_[s] = id;
+    }
+  }
+
+  /// Dense id of the cell at `coord`, or -1 if absent.
+  template <typename CellVector>
+  int64_t Find(const CellCoord& coord, const CellVector& cells) const {
+    if (slots_.empty()) return -1;
+    size_t s = static_cast<size_t>(coord.hash()) & mask_;
+    while (slots_[s] != kEmptySlot) {
+      const uint32_t id = slots_[s];
+      if (cells[id].coord == coord) return static_cast<int64_t>(id);
+      s = (s + 1) & mask_;
+    }
+    return -1;
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_FLAT_CELL_INDEX_H_

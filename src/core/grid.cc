@@ -21,6 +21,7 @@ StatusOr<GridGeometry> GridGeometry::Create(size_t dim, double eps,
   g.eps_ = eps;
   g.rho_ = rho;
   g.cell_side_ = eps / std::sqrt(static_cast<double>(dim));
+  g.inv_cell_side_ = 1.0 / g.cell_side_;
   // h = 1 + ceil(log2(1/rho)) (Def. 4.1).
   const double levels = std::ceil(std::log2(1.0 / rho));
   g.h_ = 1 + static_cast<int>(levels < 0 ? 0 : levels);
@@ -39,8 +40,7 @@ StatusOr<GridGeometry> GridGeometry::Create(size_t dim, double eps,
 CellCoord GridGeometry::CellOf(const float* p) const {
   int32_t c[CellCoord::kMaxDim];
   for (size_t d = 0; d < dim_; ++d) {
-    c[d] = static_cast<int32_t>(
-        std::floor(static_cast<double>(p[d]) / cell_side_));
+    c[d] = CellIndexOf(p[d]);
   }
   return CellCoord(c, dim_);
 }

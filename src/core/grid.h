@@ -1,6 +1,7 @@
 #ifndef RPDBSCAN_CORE_GRID_H_
 #define RPDBSCAN_CORE_GRID_H_
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 
@@ -31,6 +32,9 @@ class GridGeometry {
   double rho() const { return rho_; }
   /// Side length of a cell (eps / sqrt(dim)).
   double cell_side() const { return cell_side_; }
+  /// Precomputed 1 / cell_side(): the per-point binning hot path multiplies
+  /// by this instead of dividing (Phase I-1 runs it n*d times per build).
+  double inv_cell_side() const { return inv_cell_side_; }
   /// The paper's h: number of dictionary levels parameterized by rho.
   int h() const { return h_; }
   /// Sub-cells per dimension inside a cell: 2^(h-1).
@@ -38,6 +42,15 @@ class GridGeometry {
   double subcell_side() const { return subcell_side_; }
   /// Bits per dimension in a SubcellId: h - 1.
   unsigned bits_per_dim() const { return static_cast<unsigned>(h_ - 1); }
+
+  /// Lattice index along one dimension of the cell containing coordinate
+  /// `v`. This is THE binning arithmetic: CellOf and the sorted Phase I-1
+  /// key encoder both call it, so a point lands in the same cell no matter
+  /// which path bins it.
+  int32_t CellIndexOf(float v) const {
+    return static_cast<int32_t>(
+        std::floor(static_cast<double>(v) * inv_cell_side_));
+  }
 
   /// Lattice coordinates of the cell containing `p`.
   CellCoord CellOf(const float* p) const;
@@ -102,6 +115,7 @@ class GridGeometry {
   double eps_ = 0;
   double rho_ = 0;
   double cell_side_ = 0;
+  double inv_cell_side_ = 0;
   double subcell_side_ = 0;
   int h_ = 1;
   int splits_per_dim_ = 1;

@@ -17,7 +17,9 @@ namespace rpdbscan {
 std::string RunStats::ToString() const {
   std::ostringstream os;
   os << "RP-DBSCAN run: " << total_seconds << " s total\n"
-     << "  Phase I-1 (partitioning):   " << partition_seconds << " s\n"
+     << "  Phase I-1 (partitioning):   " << partition_seconds << " s"
+     << " (key " << key_seconds << " s, sort " << sort_seconds
+     << " s, scatter " << scatter_seconds << " s)\n"
      << "  Phase I-2 (dictionary):     " << dictionary_seconds << " s\n"
      << "  Phase I-2 (broadcast):      " << broadcast_seconds << " s ("
      << broadcast_bytes << " bytes)\n"
@@ -64,10 +66,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
 
   // ---- Phase I-1: pseudo random partitioning (Sec. 4.1). ----
   Stopwatch phase_watch;
-  auto cells_or = CellSet::Build(data, geom, num_partitions, options.seed);
+  auto cells_or = CellSet::Build(data, geom, num_partitions, options.seed,
+                                 &pool, options.sorted_phase1);
   if (!cells_or.ok()) return cells_or.status();
   const CellSet& cells = *cells_or;
   stats.partition_seconds = phase_watch.ElapsedSeconds();
+  stats.key_seconds = cells.breakdown().key_seconds;
+  stats.sort_seconds = cells.breakdown().sort_seconds;
+  stats.scatter_seconds = cells.breakdown().scatter_seconds;
 
   // ---- Phase I-2: two-level cell dictionary (Sec. 4.2). ----
   phase_watch.Reset();

@@ -36,6 +36,13 @@ struct RpDbscanOptions {
   /// produce identical clustering; the toggle exists for ablation.
   bool batched_queries = true;
 
+  /// Phase I-1 engine: parallel sort-based CSR grouping (key encoding +
+  /// radix sort of (key, point_id) pairs + one CSR emit scan) vs the seed
+  /// hash-map scan. Both produce bit-identical cell sets (cells numbered
+  /// in first-encounter order, point ids ascending within a cell); the
+  /// toggle exists for ablation.
+  bool sorted_phase1 = true;
+
   // --- dictionary knobs (defaults follow the paper; ablations flip) ---
   size_t max_cells_per_subdict = 2048;
   bool defragment_dictionary = true;
@@ -56,6 +63,11 @@ struct RpDbscanOptions {
 struct RunStats {
   // Phase wall times (Fig. 12 / Fig. 21 breakdowns).
   double partition_seconds = 0;   // Phase I-1
+  // Phase I-1 sub-breakdown (sorted CSR path; all ~0 on the hash path
+  // except scatter_seconds, which then covers the whole hash-map scan).
+  double key_seconds = 0;      // per-point cell-key encoding
+  double sort_seconds = 0;     // radix sort of (key, point_id) pairs
+  double scatter_seconds = 0;  // group scan + CSR emit
   double dictionary_seconds = 0;  // Phase I-2
   double phase2_seconds = 0;      // Phase II (cell graph construction)
   double merge_seconds = 0;       // Phase III-1

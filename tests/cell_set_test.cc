@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "synth/generators.h"
+#include "util/random.h"
 
 namespace rpdbscan {
 namespace {
@@ -93,6 +95,71 @@ TEST(CellSetTest, PartitionSizesDifferByAtMostOneCell) {
     hi = std::max(hi, set->partition(p).size());
   }
   EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(CellSetTest, PartitionSizesBalancedForArbitrarySeeds) {
+  // Property form of the Sec. 4.1 guarantee: for ANY split seed and any
+  // partition count, cell counts differ by at most one across partitions.
+  const Dataset ds = synth::Blobs(4000, 5, 2.0, 21);
+  const GridGeometry geom = MakeGeom(2, 0.9);
+  Rng rng(77);
+  for (int round = 0; round < 25; ++round) {
+    const uint64_t seed = rng.Next();
+    const size_t k = 1 + rng.Uniform(15);
+    auto set = CellSet::Build(ds, geom, k, seed);
+    ASSERT_TRUE(set.ok());
+    size_t lo = SIZE_MAX;
+    size_t hi = 0;
+    for (uint32_t p = 0; p < set->num_partitions(); ++p) {
+      lo = std::min(lo, set->partition(p).size());
+      hi = std::max(hi, set->partition(p).size());
+    }
+    EXPECT_LE(hi - lo, 1u) << "seed=" << seed << " k=" << k;
+  }
+}
+
+TEST(CellSetTest, CsrLayoutIsConsistent) {
+  const Dataset ds = synth::GeoLifeLike(5000, 13);
+  auto set = CellSet::Build(ds, MakeGeom(3, 1.0), 8, 7);
+  ASSERT_TRUE(set.ok());
+  const auto& offsets = set->cell_point_offsets();
+  const auto& flat = set->point_ids();
+  ASSERT_EQ(offsets.size(), set->num_cells() + 1);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), ds.size());
+  EXPECT_EQ(flat.size(), ds.size());
+  for (uint32_t c = 0; c < set->num_cells(); ++c) {
+    ASSERT_LE(offsets[c], offsets[c + 1]);
+    const PointIdSpan span = set->cell(c).point_ids;
+    // Each span is exactly its CSR slice, with ascending point ids.
+    ASSERT_EQ(span.data(), flat.data() + offsets[c]);
+    ASSERT_EQ(span.size(), offsets[c + 1] - offsets[c]);
+    for (size_t i = 1; i < span.size(); ++i) {
+      EXPECT_LT(span[i - 1], span[i]);
+    }
+  }
+}
+
+TEST(CellSetTest, CachedPartitionPointsMatchSpans) {
+  const Dataset ds = synth::GeoLifeLike(8000, 5);
+  auto set = CellSet::Build(ds, MakeGeom(3, 1.0), 9, 3);
+  ASSERT_TRUE(set.ok());
+  size_t max_pts = 0;
+  size_t min_pts = SIZE_MAX;
+  size_t total = 0;
+  for (uint32_t p = 0; p < set->num_partitions(); ++p) {
+    size_t n = 0;
+    for (const uint32_t cid : set->partition(p)) {
+      n += set->cell(cid).point_ids.size();
+    }
+    EXPECT_EQ(set->PartitionPoints(p), n);
+    max_pts = std::max(max_pts, n);
+    min_pts = std::min(min_pts, n);
+    total += n;
+  }
+  EXPECT_EQ(set->MaxPartitionPoints(), max_pts);
+  EXPECT_EQ(set->MinPartitionPoints(), min_pts);
+  EXPECT_EQ(total, ds.size());
 }
 
 TEST(CellSetTest, LoadBalanceOnSkewedData) {

@@ -1,0 +1,167 @@
+// Equivalence of the two Phase I-1 engines: the sorted CSR build
+// (key encoding + radix sort + CSR emit) must reproduce the seed hash-map
+// scan bit for bit — same dense cell ids, same point order within cells,
+// same partition assignment, and therefore identical clustering — across
+// dimensionalities, seeds, partition counts, and thread counts.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cell_set.h"
+#include "core/rp_dbscan.h"
+#include "parallel/thread_pool.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+GridGeometry MakeGeom(size_t dim, double eps, double rho = 0.01) {
+  auto g = GridGeometry::Create(dim, eps, rho);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+/// Asserts the two cell sets are structurally identical: cells, CSR
+/// arrays, and partition assignment.
+void ExpectSameCellSet(const CellSet& a, const CellSet& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.cell_point_offsets(), b.cell_point_offsets());
+  ASSERT_EQ(a.point_ids(), b.point_ids());
+  for (uint32_t c = 0; c < a.num_cells(); ++c) {
+    EXPECT_EQ(a.cell(c).coord, b.cell(c).coord) << "cell " << c;
+    EXPECT_EQ(a.cell(c).owner_partition, b.cell(c).owner_partition);
+  }
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  for (uint32_t p = 0; p < a.num_partitions(); ++p) {
+    EXPECT_EQ(a.partition(p), b.partition(p)) << "partition " << p;
+    EXPECT_EQ(a.PartitionPoints(p), b.PartitionPoints(p));
+  }
+}
+
+TEST(SortedPhase1Test, MatchesHashMapAcrossDimsSeedsAndPartitions) {
+  ThreadPool pool(4);
+  Rng rng(2024);
+  for (int round = 0; round < 6; ++round) {
+    const uint64_t data_seed = rng.Next();
+    const size_t num_partitions = 1 + rng.Uniform(17);
+    const uint64_t split_seed = rng.Next();
+    struct Config {
+      Dataset data;
+      GridGeometry geom;
+    };
+    const Config configs[] = {
+        {synth::Moons(3000, 0.05, data_seed), MakeGeom(2, 0.15)},
+        {synth::GeoLifeLike(4000, data_seed), MakeGeom(3, 1.0)},
+        {synth::TeraLike(1200, data_seed), MakeGeom(13, 30.0)},
+    };
+    for (const Config& cfg : configs) {
+      auto sorted = CellSet::Build(cfg.data, cfg.geom, num_partitions,
+                                   split_seed, &pool, /*sorted=*/true);
+      auto sorted_seq = CellSet::Build(cfg.data, cfg.geom, num_partitions,
+                                       split_seed, nullptr, /*sorted=*/true);
+      auto hashed = CellSet::Build(cfg.data, cfg.geom, num_partitions,
+                                   split_seed, nullptr, /*sorted=*/false);
+      ASSERT_TRUE(sorted.ok());
+      ASSERT_TRUE(sorted_seq.ok());
+      ASSERT_TRUE(hashed.ok());
+      EXPECT_TRUE(sorted->breakdown().sorted_path_used);
+      EXPECT_TRUE(sorted_seq->breakdown().sorted_path_used);
+      EXPECT_FALSE(hashed->breakdown().sorted_path_used);
+      ExpectSameCellSet(*sorted, *hashed);
+      ExpectSameCellSet(*sorted_seq, *hashed);
+    }
+  }
+}
+
+TEST(SortedPhase1Test, NegativeCoordinatesGroupIdentically) {
+  Dataset ds(2);
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    ds.Append({static_cast<float>(rng.UniformDouble(-50.0, 50.0)),
+               static_cast<float>(rng.UniformDouble(-50.0, 50.0))});
+  }
+  const GridGeometry geom = MakeGeom(2, 1.5);
+  auto sorted = CellSet::Build(ds, geom, 6, 11, nullptr, /*sorted=*/true);
+  auto hashed = CellSet::Build(ds, geom, 6, 11, nullptr, /*sorted=*/false);
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_TRUE(hashed.ok());
+  EXPECT_TRUE(sorted->breakdown().sorted_path_used);
+  ExpectSameCellSet(*sorted, *hashed);
+}
+
+TEST(SortedPhase1Test, OverflowingKeyFallsBackToHashMap) {
+  // 16 dims x a fine grid: the per-dimension lattice ranges need far more
+  // than 128 key bits, so the sorted build must detect it and fall back —
+  // and still produce the identical structure.
+  Dataset ds(16);
+  Rng rng(5);
+  std::vector<float> p(16);
+  for (int i = 0; i < 400; ++i) {
+    for (auto& v : p) {
+      v = static_cast<float>(rng.UniformDouble(0.0, 100.0));
+    }
+    ds.Append(p.data());
+  }
+  const GridGeometry geom = MakeGeom(16, 0.05, /*rho=*/1.0);
+  auto sorted = CellSet::Build(ds, geom, 4, 3, nullptr, /*sorted=*/true);
+  auto hashed = CellSet::Build(ds, geom, 4, 3, nullptr, /*sorted=*/false);
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_TRUE(hashed.ok());
+  EXPECT_FALSE(sorted->breakdown().sorted_path_used);
+  ExpectSameCellSet(*sorted, *hashed);
+}
+
+TEST(SortedPhase1Test, EndToEndClusteringIsBitIdentical) {
+  struct Run {
+    Dataset data;
+    double eps;
+    size_t min_pts;
+  };
+  const Run runs[] = {
+      {synth::GeoLifeLike(8000, 17), 2.0, 20},
+      {synth::Moons(5000, 0.05, 23), 0.12, 10},
+      {synth::Blobs(6000, 8, 1.0, 31), 0.8, 15},
+  };
+  for (const Run& run : runs) {
+    RpDbscanOptions base;
+    base.eps = run.eps;
+    base.min_pts = run.min_pts;
+    base.rho = 0.01;
+    base.num_partitions = 12;
+    base.num_threads = 4;
+    RpDbscanOptions sorted = base;
+    sorted.sorted_phase1 = true;
+    RpDbscanOptions hashed = base;
+    hashed.sorted_phase1 = false;
+    auto rs = RunRpDbscan(run.data, sorted);
+    auto rh = RunRpDbscan(run.data, hashed);
+    ASSERT_TRUE(rs.ok());
+    ASSERT_TRUE(rh.ok());
+    EXPECT_EQ(rs->labels, rh->labels);
+    EXPECT_EQ(rs->stats.num_cells, rh->stats.num_cells);
+    EXPECT_EQ(rs->stats.num_subcells, rh->stats.num_subcells);
+    EXPECT_EQ(rs->stats.num_subdictionaries, rh->stats.num_subdictionaries);
+    EXPECT_EQ(rs->stats.num_core_cells, rh->stats.num_core_cells);
+    EXPECT_EQ(rs->stats.num_clusters, rh->stats.num_clusters);
+    EXPECT_EQ(rs->stats.num_noise_points, rh->stats.num_noise_points);
+  }
+}
+
+TEST(SortedPhase1Test, BreakdownCoversThePartitionPhase) {
+  const Dataset ds = synth::GeoLifeLike(20000, 41);
+  ThreadPool pool(4);
+  auto set =
+      CellSet::Build(ds, MakeGeom(3, 1.0), 8, 7, &pool, /*sorted=*/true);
+  ASSERT_TRUE(set.ok());
+  const Phase1Breakdown& b = set->breakdown();
+  EXPECT_TRUE(b.sorted_path_used);
+  EXPECT_GE(b.key_seconds, 0.0);
+  EXPECT_GE(b.sort_seconds, 0.0);
+  EXPECT_GE(b.scatter_seconds, 0.0);
+  EXPECT_GT(b.key_seconds + b.sort_seconds + b.scatter_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -52,6 +52,8 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
     --threads=T           worker threads (default 4)
     --perpoint            rp only: use the reference per-point query path
                           instead of the batched Phase II kernel
+    --hashmap-phase1      rp only: use the reference hash-map Phase I-1
+                          grouping instead of the sorted CSR build
   preprocessing:
     --normalize=MODE      minmax (onto [0,100]^d) or zscore
   diagnostics:
@@ -117,6 +119,7 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
     o.num_partitions = static_cast<size_t>(*parts_or);
     o.num_threads = static_cast<size_t>(*threads_or);
     o.batched_queries = !flags.GetBool("perpoint");
+    o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
     auto r = RunRpDbscan(data, o);
     if (!r.ok()) return r.status();
     if (print_stats) std::fputs(r->stats.ToString().c_str(), stdout);

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Phase II benchmark runner: executes the batched-vs-per-point query kernel
-# pair (bench_micro BM_Phase2Query) and the Fig. 12 phase breakdown, then
-# writes kernel times, counters and the speedup to a JSON file so the perf
-# trajectory of the Phase II kernel is recorded alongside the code.
+# Benchmark runner for the two engine head-to-heads whose perf trajectory
+# is recorded alongside the code:
+#   * Phase I-1 build (bench_micro BM_Phase1Build): sorted CSR grouping vs
+#     the seed hash-map scan, GeoLifeLike at two sizes -> BENCH_phase1.json
+#   * Phase II query kernel (bench_micro BM_Phase2Query): batched per-cell
+#     vs per-point, plus the Fig. 12 phase breakdown -> BENCH_phase2.json
 #
-# Usage: tools/run_bench.sh [--smoke] [BUILD_DIR] [OUTPUT_JSON]
+# Usage: tools/run_bench.sh [--smoke] [BUILD_DIR] [OUTPUT_JSON] [PHASE1_JSON]
 #   --smoke      tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
 #                used by the `run_bench_smoke` ctest entry.
 #   BUILD_DIR    cmake build directory (default: ./build)
-#   OUTPUT_JSON  output path (default: ./BENCH_phase2.json)
+#   OUTPUT_JSON  Phase II output path (default: ./BENCH_phase2.json)
+#   PHASE1_JSON  Phase I output path (default: OUTPUT_JSON with "phase2"
+#                replaced by "phase1", else ./BENCH_phase1.json)
 set -euo pipefail
 
 SMOKE=0
@@ -18,6 +22,13 @@ if [[ "${1:-}" == "--smoke" ]]; then
 fi
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_phase2.json}"
+OUT1_JSON="${3:-}"
+if [[ -z "$OUT1_JSON" ]]; then
+  OUT1_JSON="${OUT_JSON//phase2/phase1}"
+  if [[ "$OUT1_JSON" == "$OUT_JSON" ]]; then
+    OUT1_JSON="BENCH_phase1.json"
+  fi
+fi
 
 BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
 BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
@@ -38,6 +49,13 @@ fi
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 
+echo "== Phase I-1 build engines (bench_micro, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
+  --benchmark_filter='BM_Phase1Build' \
+  --benchmark_out="$TMP_DIR/phase1.json" \
+  --benchmark_out_format=json \
+  ${MIN_TIME:+$MIN_TIME}
+
 echo "== Phase II query kernels (bench_micro, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
   --benchmark_filter='BM_Phase2Query' \
@@ -47,6 +65,50 @@ RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
 
 echo "== Phase breakdown (bench_fig12_breakdown, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_FIG12" | tee "$TMP_DIR/fig12.txt"
+
+python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'
+import json
+import sys
+
+bench_json, out_path, scale = sys.argv[1:4]
+with open(bench_json) as f:
+    raw = json.load(f)
+
+# Names look like "BM_Phase1Build/sorted/40000".
+engines = []
+for b in raw.get("benchmarks", []):
+    parts = b["name"].split("/")
+    engines.append({
+        "engine": parts[1] if len(parts) > 1 else b["name"],
+        "points": int(parts[2]) if len(parts) > 2 else None,
+        "real_time_ms": b["real_time"],
+        "cpu_time_ms": b["cpu_time"],
+        "items_per_second": b.get("items_per_second"),
+        "key_seconds": b.get("key_seconds"),
+        "sort_seconds": b.get("sort_seconds"),
+        "scatter_seconds": b.get("scatter_seconds"),
+    })
+
+speedups = {}
+sizes = sorted({e["points"] for e in engines if e["points"] is not None})
+for n in sizes:
+    t = {e["engine"]: e["real_time_ms"] for e in engines if e["points"] == n}
+    if t.get("sorted") and t.get("hashmap"):
+        speedups[str(n)] = t["hashmap"] / t["sorted"]
+
+out = {
+    "generated_by": "tools/run_bench.sh",
+    "bench_scale": float(scale),
+    "dataset": "GeoLifeLike",
+    "context": raw.get("context", {}),
+    "phase1_engines": engines,
+    "speedup_sorted_over_hashmap": speedups,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2)
+summary = ", ".join(f"{n}: {s:.2f}x" for n, s in speedups.items())
+print(f"wrote {out_path}" + (f" (sorted speedup {summary})" if summary else ""))
+PY
 
 python3 - "$TMP_DIR/phase2.json" "$TMP_DIR/fig12.txt" "$OUT_JSON" \
     "$SCALE" <<'PY'

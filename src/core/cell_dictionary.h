@@ -45,6 +45,13 @@ class SubDictionary {
   size_t num_subcells() const { return subcells_.size(); }
   const std::vector<DictCell>& cells() const { return cells_; }
   const std::vector<DictSubcell>& subcells() const { return subcells_; }
+  /// Precomputed center arrays (see the private members below): read-only
+  /// views for the auditors, which recompute both from the geometry and
+  /// compare bit-exactly. No copies — these arrays scale with the data.
+  const std::vector<float>& subcell_centers() const {
+    return subcell_centers_;
+  }
+  const std::vector<float>& cell_centers() const { return cell_centers_; }
 
  private:
   friend class CellDictionary;

@@ -121,6 +121,10 @@ class CellSet {
     return index_.Find(coord, cells_);
   }
 
+  /// The coord -> id hash table behind FindCell (read-only; the auditors
+  /// verify its capacity/load-factor contract against the cell count).
+  const FlatCellIndex& index() const { return index_; }
+
   /// Total points in partition `pid` (cached at build time).
   size_t PartitionPoints(uint32_t pid) const {
     return partition_points_[pid];

@@ -162,10 +162,13 @@ MergeResult MergeSubgraphs(std::vector<CellSubgraph> subgraphs,
   result.num_clusters = root_to_cluster.size();
 
   result.predecessors.assign(num_cells, {});
+  result.edges_reduced = opts.reduce_edges;
   if (!round.empty()) {
     for (const CellEdge& e : round[0].edges) {
       if (e.type == EdgeType::kPartial) {
         result.predecessors[e.to].push_back(e.from);
+      } else if (e.type == EdgeType::kFull) {
+        result.full_edges.push_back(e);
       }
     }
   }

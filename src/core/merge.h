@@ -40,6 +40,16 @@ struct MergeResult {
   /// index 0 is before any merging — the series of Fig. 17 / Table 7.
   std::vector<size_t> edges_per_round;
   size_t num_clusters = 0;
+  /// The surviving full (core -> core) edges of the final merged graph.
+  /// With `reduce_edges` on these are exactly the spanning forest of
+  /// Sec. 6.1.4 (every edge joined two previously disconnected trees), so
+  /// the merge-forest auditor can re-verify acyclicity; without reduction
+  /// they are all detected full edges.
+  std::vector<CellEdge> full_edges;
+  /// Whether the run applied full-edge reduction (mirrors
+  /// MergeOptions::reduce_edges; tells the auditor which forest invariant
+  /// applies).
+  bool edges_reduced = false;
 };
 
 /// Runs the tournament merge over the Phase II subgraphs: pairwise merging

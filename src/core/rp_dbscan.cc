@@ -11,6 +11,7 @@
 #include "core/phase2.h"
 #include "parallel/thread_pool.h"
 #include "util/stopwatch.h"
+#include "verify/audit.h"
 
 namespace rpdbscan {
 
@@ -33,6 +34,10 @@ std::string RunStats::ToString() const {
      << " noise=" << num_noise_points << "\n"
      << "  candidate_cells_scanned=" << candidate_cells_scanned
      << " early_exits=" << early_exits << "\n";
+  if (audit_checks > 0) {
+    os << "  audit: " << audit_checks << " checks, " << audit_violations
+       << " violations, " << audit_seconds << " s\n";
+  }
   os << "  edges/round:";
   for (const size_t e : edges_per_round) os << ' ' << e;
   os << '\n';
@@ -64,6 +69,17 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   RunStats& stats = result.stats;
   Stopwatch total;
 
+  // Per-stage invariant auditing: accumulate counts/time into the stats
+  // and fail the run on the first violated stage (later phases would only
+  // propagate the corruption).
+  const AuditLevel audit = options.audit_level;
+  auto apply_audit = [&stats](const char* stage,
+                              const AuditReport& rep) -> Status {
+    stats.audit_checks += rep.checks();
+    stats.audit_violations += rep.violations();
+    return rep.ToStatus(stage);
+  };
+
   // ---- Phase I-1: pseudo random partitioning (Sec. 4.1). ----
   Stopwatch phase_watch;
   auto cells_or = CellSet::Build(data, geom, num_partitions, options.seed,
@@ -74,6 +90,13 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   stats.key_seconds = cells.breakdown().key_seconds;
   stats.sort_seconds = cells.breakdown().sort_seconds;
   stats.scatter_seconds = cells.breakdown().scatter_seconds;
+
+  if (audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep = AuditCellSet(data, cells, audit);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("cell-set", rep));
+  }
 
   // ---- Phase I-2: two-level cell dictionary (Sec. 4.2). ----
   phase_watch.Reset();
@@ -107,6 +130,15 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   stats.num_subdictionaries = dict.num_subdictionaries();
   stats.dictionary_bytes = dict.SizeBytesLemma43();
 
+  // Audits the dictionary Phase II will actually query — after the
+  // broadcast round-trip, so the wire codec is covered too.
+  if (audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep = AuditDictionary(data, cells, dict, audit);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("dictionary", rep));
+  }
+
   // ---- Phase II: core marking + cell subgraph building (Sec. 5). ----
   phase_watch.Reset();
   Phase2Options phase2_opts;
@@ -123,6 +155,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
     stats.num_core_cells += c;
   }
 
+  // Must run before MergeSubgraphs consumes the subgraphs.
+  if (audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep = AuditCellGraph(data, cells, phase2, audit);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("cell-graph", rep));
+  }
+
   // ---- Phase III-1: progressive graph merging (Sec. 6.1). ----
   phase_watch.Reset();
   MergeOptions merge_opts;
@@ -134,6 +174,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   stats.edges_per_round = merged.edges_per_round;
   stats.num_clusters = merged.num_clusters;
 
+  if (audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep =
+        AuditMergeForest(phase2.cell_is_core, merged, audit);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("merge-forest", rep));
+  }
+
   // ---- Phase III-2: point labeling (Sec. 6.2). ----
   phase_watch.Reset();
   result.labels =
@@ -141,6 +189,15 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   stats.label_seconds = phase_watch.ElapsedSeconds();
   for (const int64_t l : result.labels) {
     if (l == kNoise) ++stats.num_noise_points;
+  }
+
+  if (audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep =
+        AuditLabels(data, cells, merged, phase2.point_is_core, result.labels,
+                    options.min_pts, audit, options.seed);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("labels", rep));
   }
 
   stats.total_seconds = total.ElapsedSeconds();

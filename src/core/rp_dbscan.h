@@ -8,6 +8,7 @@
 
 #include "io/dataset.h"
 #include "util/status.h"
+#include "verify/audit.h"
 
 namespace rpdbscan {
 
@@ -56,6 +57,12 @@ struct RpDbscanOptions {
   bool simulate_broadcast = true;
   /// Spanning-forest full-edge reduction during merging (Sec. 6.1.4).
   bool reduce_edges = true;
+
+  /// Invariant auditing between phases (src/verify/audit.h): kOff runs no
+  /// checks, kCheap structural scans, kFull per-point recomputation. Any
+  /// violated invariant fails the run with an Internal status naming the
+  /// stage and the first violations; check counts land in RunStats.
+  AuditLevel audit_level = AuditLevel::kOff;
 };
 
 /// Timing and structure statistics of one run — the observables every
@@ -101,6 +108,13 @@ struct RunStats {
   /// their candidate list was exhausted.
   size_t candidate_cells_scanned = 0;
   size_t early_exits = 0;
+
+  /// Invariant auditing (0 everywhere when audit_level = kOff): checks
+  /// evaluated, checks violated (a successful run always reports 0 — any
+  /// violation fails RunRpDbscan), and the wall time the audits cost.
+  size_t audit_checks = 0;
+  size_t audit_violations = 0;
+  double audit_seconds = 0;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -13,6 +13,9 @@
 
 #include "core/phase2.h"
 #include "synth/generators.h"
+#include "verify/audit.h"
+
+#include "test_seed.h"
 
 namespace rpdbscan {
 namespace {
@@ -69,6 +72,18 @@ Phase2Result ExpectEquivalent(const Dataset& data, const EngineConfig& cfg) {
   EXPECT_EQ(a.point_is_core, b.point_is_core);
   EXPECT_EQ(a.cell_is_core, b.cell_is_core);
   EXPECT_EQ(CanonicalEdges(a), CanonicalEdges(b));
+  // Every configuration also runs the structural auditors at kFull: both
+  // engines must emit invariant-clean structures, not merely equal ones.
+  const AuditReport cell_audit = AuditCellSet(data, *cells, AuditLevel::kFull);
+  EXPECT_TRUE(cell_audit.ok()) << cell_audit.ToString();
+  const AuditReport dict_audit =
+      AuditDictionary(data, *cells, *dict, AuditLevel::kFull);
+  EXPECT_TRUE(dict_audit.ok()) << dict_audit.ToString();
+  for (const Phase2Result* r : {&a, &b}) {
+    const AuditReport graph_audit =
+        AuditCellGraph(data, *cells, *r, AuditLevel::kFull);
+    EXPECT_TRUE(graph_audit.ok()) << graph_audit.ToString();
+  }
   // The reference path issues one sub-dictionary sweep per point, the
   // batched kernel one per cell. (visited is not compared: the cell-level
   // skip test is box-based and so more conservative than the per-point
@@ -81,7 +96,8 @@ Phase2Result ExpectEquivalent(const Dataset& data, const EngineConfig& cfg) {
 }
 
 TEST(BatchedQueryTest, RandomizedAcrossDimsIndexesAndSkipping) {
-  uint64_t seed = 1000;
+  uint64_t seed = TestSeed(1000);
+  SCOPED_TRACE(SeedNote(seed));
   for (size_t dim = 2; dim <= 5; ++dim) {
     const Dataset data = synth::Blobs(1200, 4, 2.0, ++seed, dim);
     for (const bool rtree : {false, true}) {
@@ -101,7 +117,9 @@ TEST(BatchedQueryTest, RandomizedAcrossDimsIndexesAndSkipping) {
 }
 
 TEST(BatchedQueryTest, MinPtsOnBothSidesOfEarlyExit) {
-  const Dataset data = synth::Blobs(1500, 3, 1.5, 77, 3);
+  const uint64_t seed = TestSeed(77);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Blobs(1500, 3, 1.5, seed, 3);
   // min_pts = 1: every point is core before or at its first candidate —
   // maximal early exits. min_pts = 1e6: no cell's candidate densities can
   // add up, so the upper-bound cutoff rejects every point with zero scans
@@ -125,7 +143,9 @@ TEST(BatchedQueryTest, MinPtsOnBothSidesOfEarlyExit) {
 TEST(BatchedQueryTest, SkewedGeoLifeAnalogue) {
   // The workload the kernel is optimized for: one super-dense component
   // where per-cell batching amortizes the most.
-  const Dataset data = synth::GeoLifeLike(4000, 901);
+  const uint64_t seed = TestSeed(901);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::GeoLifeLike(4000, seed);
   for (const bool rtree : {false, true}) {
     EngineConfig cfg;
     cfg.eps = 2.0;
@@ -141,7 +161,9 @@ TEST(BatchedQueryTest, MonolithicDictionaryAndTinyCells) {
   // No defragmentation (single sub-dictionary) plus an eps small enough
   // that many cells hold a single point: exercises empty candidate lists
   // and always-contained-only paths.
-  const Dataset data = synth::Moons(800, 0.05, 5);
+  const uint64_t seed = TestSeed(5);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Moons(800, 0.05, seed);
   EngineConfig cfg;
   cfg.eps = 0.05;
   cfg.rho = 0.25;

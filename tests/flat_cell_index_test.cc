@@ -1,0 +1,120 @@
+#include "core/flat_cell_index.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cell_coord.h"
+
+namespace rpdbscan {
+namespace {
+
+// The index templates only require a `.coord` member, so the tests can
+// drive it without building a full CellSet.
+struct FakeCell {
+  CellCoord coord;
+};
+
+CellCoord Coord2(int32_t x, int32_t y) {
+  const int32_t c[2] = {x, y};
+  return CellCoord(c, 2);
+}
+
+TEST(FlatCellIndexTest, DefaultConstructedFindsNothing) {
+  const FlatCellIndex index;
+  const std::vector<FakeCell> cells;
+  EXPECT_EQ(index.Find(Coord2(0, 0), cells), -1);
+  EXPECT_EQ(index.capacity(), 0u);
+}
+
+TEST(FlatCellIndexTest, EmptyBuildFindsNothing) {
+  FlatCellIndex index;
+  const std::vector<FakeCell> cells;
+  index.Build(cells);
+  EXPECT_EQ(index.capacity(), 16u);
+  EXPECT_EQ(index.Find(Coord2(3, -7), cells), -1);
+}
+
+TEST(FlatCellIndexTest, FindsEveryKeyAndRejectsAbsentOnes) {
+  std::vector<FakeCell> cells;
+  for (int32_t x = -3; x <= 3; ++x) {
+    for (int32_t y = -3; y <= 3; ++y) {
+      cells.push_back(FakeCell{Coord2(x, y)});
+    }
+  }
+  FlatCellIndex index;
+  index.Build(cells);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(index.Find(cells[i].coord, cells), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(index.Find(Coord2(100, 100), cells), -1);
+  EXPECT_EQ(index.Find(Coord2(-4, 0), cells), -1);
+}
+
+TEST(FlatCellIndexTest, CollisionChainsProbePastOccupiedSlots) {
+  // Engineer keys that all land in one bucket of the initial 16-slot
+  // table (mask 15), forcing a linear-probe chain.
+  const size_t mask = 15;
+  std::vector<FakeCell> colliding;
+  const size_t target = Coord2(0, 0).hash() & mask;
+  for (int32_t x = 0; colliding.size() < 6; ++x) {
+    const CellCoord c = Coord2(x, 0);
+    if ((c.hash() & mask) == target) colliding.push_back(FakeCell{c});
+  }
+  // 6 cells keep the table at its initial 16 slots (16 >= 2 * 6), so the
+  // engineered bucket really collides.
+  std::vector<FakeCell> cells(colliding.begin(), colliding.begin() + 5);
+  FlatCellIndex index;
+  index.Build(cells);
+  ASSERT_EQ(index.capacity(), 16u);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(index.Find(cells[i].coord, cells), static_cast<int64_t>(i));
+  }
+  // Same bucket, never inserted: the probe walks the whole chain and must
+  // stop at the first empty slot, not loop or mis-match.
+  EXPECT_EQ(index.Find(colliding[5].coord, cells), -1);
+}
+
+TEST(FlatCellIndexTest, RebuildGrowsPastLoadFactor) {
+  std::vector<FakeCell> cells;
+  FlatCellIndex index;
+  size_t last_capacity = 0;
+  for (int32_t i = 0; i < 300; ++i) {
+    cells.push_back(FakeCell{Coord2(i, -i)});
+    index.Build(cells);
+    // Load factor <= 0.5 at every size, capacity only ever grows.
+    EXPECT_GE(index.capacity(), 2 * cells.size());
+    EXPECT_EQ(index.capacity() & (index.capacity() - 1), 0u);
+    EXPECT_GE(index.capacity(), last_capacity);
+    last_capacity = index.capacity();
+  }
+  EXPECT_GE(index.capacity(), 1024u);  // grew well past the initial 16
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(index.Find(cells[i].coord, cells), static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(index.Find(Coord2(300, -300), cells), -1);
+}
+
+TEST(FlatCellIndexTest, MaxDimensionalKeys) {
+  // kMaxDim-wide coordinates with extreme values: the hash must separate
+  // keys that differ in any single lane.
+  std::vector<FakeCell> cells;
+  for (int32_t v = 0; v < 64; ++v) {
+    int32_t c[CellCoord::kMaxDim];
+    for (size_t d = 0; d < CellCoord::kMaxDim; ++d) {
+      c[d] = (d % 2 == 0 ? 1 : -1) * (INT32_MAX - v - static_cast<int32_t>(d));
+    }
+    cells.push_back(FakeCell{CellCoord(c, CellCoord::kMaxDim)});
+  }
+  FlatCellIndex index;
+  index.Build(cells);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(index.Find(cells[i].coord, cells), static_cast<int64_t>(i));
+  }
+  int32_t absent[CellCoord::kMaxDim] = {};
+  EXPECT_EQ(index.Find(CellCoord(absent, CellCoord::kMaxDim), cells), -1);
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -11,13 +11,17 @@
 #include "synth/generators.h"
 #include "util/random.h"
 
+#include "test_seed.h"
+
 namespace rpdbscan {
 namespace {
 
 class FuzzEquivalence : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(FuzzEquivalence, RpTracksExactOnRandomConfigs) {
-  Rng rng(GetParam());
+  const uint64_t seed = TestSeed(GetParam());
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
   // Random data shape.
   const size_t dim = 1 + rng.Uniform(4);             // 1..4
   const size_t components = 2 + rng.Uniform(8);      // 2..9
@@ -41,6 +45,9 @@ TEST_P(FuzzEquivalence, RpTracksExactOnRandomConfigs) {
   o.num_partitions = 1 + rng.Uniform(24);
   o.num_threads = 2;
   o.seed = rng.Next();
+  // Every fuzz config doubles as an invariant-audit run: the full audit
+  // must find zero violations (a violation fails RunRpDbscan outright).
+  o.audit_level = AuditLevel::kFull;
   auto rp = RunRpDbscan(ds, o);
   ASSERT_TRUE(rp.ok()) << rp.status();
   auto exact = RunExactDbscan(ds, {eps, min_pts});

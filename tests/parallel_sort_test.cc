@@ -1,0 +1,135 @@
+#include "parallel/parallel_sort.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+// Key plus original position: the position tag turns every equality check
+// into a stability check (std::stable_sort on the key alone is the oracle).
+struct Item {
+  uint64_t key = 0;
+  uint32_t pos = 0;
+};
+
+uint8_t ByteOf(const Item& item, unsigned b) {
+  return static_cast<uint8_t>(item.key >> (8 * b));
+}
+
+std::vector<Item> Tagged(const std::vector<uint64_t>& keys) {
+  std::vector<Item> items(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    items[i] = Item{keys[i], static_cast<uint32_t>(i)};
+  }
+  return items;
+}
+
+// Runs the radix sort (with `threads` pool workers; 0 = no pool) and
+// asserts the result matches a stable sort of the same input — same key
+// order AND same original-position order inside equal-key runs.
+void ExpectStableSorted(const std::vector<uint64_t>& keys, size_t threads,
+                        unsigned num_key_bytes = 8) {
+  std::vector<Item> items = Tagged(keys);
+  std::vector<Item> expected = items;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Item& a, const Item& b) { return a.key < b.key; });
+  std::vector<Item> scratch;
+  if (threads == 0) {
+    ParallelRadixSort(items, scratch, num_key_bytes, ByteOf, nullptr);
+  } else {
+    ThreadPool pool(threads);
+    ParallelRadixSort(items, scratch, num_key_bytes, ByteOf, &pool);
+  }
+  ASSERT_EQ(items.size(), expected.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].key, expected[i].key) << "at index " << i;
+    EXPECT_EQ(items[i].pos, expected[i].pos)
+        << "stability broken at index " << i << " (key " << items[i].key
+        << ")";
+  }
+}
+
+TEST(ParallelSortTest, EmptyInput) {
+  ExpectStableSorted({}, 0);
+  ExpectStableSorted({}, 4);
+}
+
+TEST(ParallelSortTest, SingleElement) {
+  ExpectStableSorted({42}, 0);
+  ExpectStableSorted({42}, 4);
+}
+
+TEST(ParallelSortTest, AllEqualKeysSkipEveryPass) {
+  // Every byte is constant, so the degenerate-pass skip fires 8 times and
+  // the input must come back untouched (which is also the stable order).
+  std::vector<uint64_t> keys(5000, 0xdeadbeefcafe1234ULL);
+  ExpectStableSorted(keys, 0);
+  ExpectStableSorted(keys, 4);
+}
+
+TEST(ParallelSortTest, MoreThreadsThanElements) {
+  ExpectStableSorted({3, 1, 2}, 8);
+  ExpectStableSorted({2, 2, 1}, 8);
+}
+
+TEST(ParallelSortTest, PreSortedInput) {
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i * 3;
+  ExpectStableSorted(keys, 0);
+  ExpectStableSorted(keys, 4);
+}
+
+TEST(ParallelSortTest, ReverseSortedInput) {
+  std::vector<uint64_t> keys(10000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = (keys.size() - i) * 7;
+  ExpectStableSorted(keys, 0);
+  ExpectStableSorted(keys, 4);
+}
+
+TEST(ParallelSortTest, RandomKeysWithHeavyDuplication) {
+  // Few distinct keys over many elements: equal-key runs are long, so any
+  // stability bug in the chunked scatter shows up immediately.
+  Rng rng(1234);
+  std::vector<uint64_t> keys(50000);
+  for (uint64_t& k : keys) k = rng.Uniform(17);
+  ExpectStableSorted(keys, 0);
+  ExpectStableSorted(keys, 4);
+}
+
+TEST(ParallelSortTest, FullWidthRandomKeys) {
+  Rng rng(99);
+  std::vector<uint64_t> keys(20000);
+  for (uint64_t& k : keys) k = rng.Next();
+  ExpectStableSorted(keys, 0);
+  ExpectStableSorted(keys, 4);
+}
+
+TEST(ParallelSortTest, TruncatedKeyBytesSortOnlyLowBytes) {
+  // num_key_bytes = 2 must order by the low 16 bits only — and remain
+  // stable w.r.t. the high bits it never looks at.
+  Rng rng(7);
+  std::vector<uint64_t> raw(10000);
+  for (uint64_t& k : raw) k = rng.Next();
+  std::vector<Item> items = Tagged(raw);
+  std::vector<Item> expected = items;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Item& a, const Item& b) {
+                     return (a.key & 0xffff) < (b.key & 0xffff);
+                   });
+  std::vector<Item> scratch;
+  ThreadPool pool(4);
+  ParallelRadixSort(items, scratch, 2, ByteOf, &pool);
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_EQ(items[i].pos, expected[i].pos) << "at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

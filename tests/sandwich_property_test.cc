@@ -19,6 +19,8 @@
 #include "synth/generators.h"
 #include "util/random.h"
 
+#include "test_seed.h"
+
 namespace rpdbscan {
 namespace {
 
@@ -31,7 +33,9 @@ class SandwichSweep
     : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
 
 TEST_P(SandwichSweep, ClusteringIsSandwiched) {
-  const auto [rho, seed] = GetParam();
+  const auto [rho, grid_seed] = GetParam();
+  const uint64_t seed = TestSeed(grid_seed);
+  SCOPED_TRACE(SeedNote(seed));
   const double eps = 1.0;
   const size_t min_pts = 15;
   const Dataset ds = synth::Blobs(3000, 5, 1.2, seed);
@@ -42,8 +46,10 @@ TEST_P(SandwichSweep, ClusteringIsSandwiched) {
   o.rho = rho;
   o.num_threads = 2;
   o.num_partitions = 8;
+  // Full invariant auditing rides along on every sampled configuration.
+  o.audit_level = AuditLevel::kFull;
   auto rp = RunRpDbscan(ds, o);
-  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rp.ok()) << rp.status();
 
   auto lower = RunExactDbscan(ds, {(1.0 - rho / 2) * eps, min_pts});
   auto upper = RunExactDbscan(ds, {(1.0 + rho / 2) * eps, min_pts});

@@ -14,6 +14,8 @@
 #include "synth/generators.h"
 #include "util/random.h"
 
+#include "test_seed.h"
+
 namespace rpdbscan {
 namespace {
 
@@ -42,7 +44,9 @@ void ExpectSameCellSet(const CellSet& a, const CellSet& b) {
 
 TEST(SortedPhase1Test, MatchesHashMapAcrossDimsSeedsAndPartitions) {
   ThreadPool pool(4);
-  Rng rng(2024);
+  const uint64_t seed = TestSeed(2024);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
   for (int round = 0; round < 6; ++round) {
     const uint64_t data_seed = rng.Next();
     const size_t num_partitions = 1 + rng.Uniform(17);
@@ -77,7 +81,9 @@ TEST(SortedPhase1Test, MatchesHashMapAcrossDimsSeedsAndPartitions) {
 
 TEST(SortedPhase1Test, NegativeCoordinatesGroupIdentically) {
   Dataset ds(2);
-  Rng rng(99);
+  const uint64_t seed = TestSeed(99);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
   for (int i = 0; i < 3000; ++i) {
     ds.Append({static_cast<float>(rng.UniformDouble(-50.0, 50.0)),
                static_cast<float>(rng.UniformDouble(-50.0, 50.0))});
@@ -96,7 +102,9 @@ TEST(SortedPhase1Test, OverflowingKeyFallsBackToHashMap) {
   // than 128 key bits, so the sorted build must detect it and fall back —
   // and still produce the identical structure.
   Dataset ds(16);
-  Rng rng(5);
+  const uint64_t seed = TestSeed(5);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
   std::vector<float> p(16);
   for (int i = 0; i < 400; ++i) {
     for (auto& v : p) {
@@ -114,15 +122,17 @@ TEST(SortedPhase1Test, OverflowingKeyFallsBackToHashMap) {
 }
 
 TEST(SortedPhase1Test, EndToEndClusteringIsBitIdentical) {
+  const uint64_t seed = TestSeed(17);
+  SCOPED_TRACE(SeedNote(seed));
   struct Run {
     Dataset data;
     double eps;
     size_t min_pts;
   };
   const Run runs[] = {
-      {synth::GeoLifeLike(8000, 17), 2.0, 20},
-      {synth::Moons(5000, 0.05, 23), 0.12, 10},
-      {synth::Blobs(6000, 8, 1.0, 31), 0.8, 15},
+      {synth::GeoLifeLike(8000, seed), 2.0, 20},
+      {synth::Moons(5000, 0.05, seed + 6), 0.12, 10},
+      {synth::Blobs(6000, 8, 1.0, seed + 14), 0.8, 15},
   };
   for (const Run& run : runs) {
     RpDbscanOptions base;
@@ -131,14 +141,17 @@ TEST(SortedPhase1Test, EndToEndClusteringIsBitIdentical) {
     base.rho = 0.01;
     base.num_partitions = 12;
     base.num_threads = 4;
+    // Both engines run under the full invariant audit; a violation in
+    // either pipeline fails the run before the bit-compare below.
+    base.audit_level = AuditLevel::kFull;
     RpDbscanOptions sorted = base;
     sorted.sorted_phase1 = true;
     RpDbscanOptions hashed = base;
     hashed.sorted_phase1 = false;
     auto rs = RunRpDbscan(run.data, sorted);
     auto rh = RunRpDbscan(run.data, hashed);
-    ASSERT_TRUE(rs.ok());
-    ASSERT_TRUE(rh.ok());
+    ASSERT_TRUE(rs.ok()) << rs.status();
+    ASSERT_TRUE(rh.ok()) << rh.status();
     EXPECT_EQ(rs->labels, rh->labels);
     EXPECT_EQ(rs->stats.num_cells, rh->stats.num_cells);
     EXPECT_EQ(rs->stats.num_subcells, rh->stats.num_subcells);

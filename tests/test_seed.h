@@ -1,0 +1,31 @@
+#ifndef RPDBSCAN_TESTS_TEST_SEED_H_
+#define RPDBSCAN_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace rpdbscan {
+
+/// Seed for randomized tests: the suite's `fallback` unless the
+/// RPDBSCAN_TEST_SEED environment variable overrides it — the replay knob
+/// for a failure whose message printed its effective seed.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* env = std::getenv("RPDBSCAN_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<uint64_t>(v);
+}
+
+/// One-line seed note for SCOPED_TRACE so every assertion failure names
+/// the seed to replay with.
+inline std::string SeedNote(uint64_t seed) {
+  return "effective seed " + std::to_string(seed) +
+         " (replay: RPDBSCAN_TEST_SEED=" + std::to_string(seed) + ")";
+}
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_TESTS_TEST_SEED_H_

@@ -54,6 +54,9 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
                           instead of the batched Phase II kernel
     --hashmap-phase1      rp only: use the reference hash-map Phase I-1
                           grouping instead of the sorted CSR build
+    --audit[=LEVEL]       rp only: audit pipeline invariants between
+                          phases; LEVEL is off|cheap|full (bare --audit
+                          means full). Violations fail the run.
   preprocessing:
     --normalize=MODE      minmax (onto [0,100]^d) or zscore
   diagnostics:
@@ -120,6 +123,18 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
     o.num_threads = static_cast<size_t>(*threads_or);
     o.batched_queries = !flags.GetBool("perpoint");
     o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
+    if (flags.Has("audit")) {
+      const std::string level = flags.GetString("audit");
+      if (level.empty() || level == "full") {
+        o.audit_level = AuditLevel::kFull;
+      } else if (level == "cheap") {
+        o.audit_level = AuditLevel::kCheap;
+      } else if (level == "off") {
+        o.audit_level = AuditLevel::kOff;
+      } else {
+        return Status::InvalidArgument("--audit must be off|cheap|full");
+      }
+    }
     auto r = RunRpDbscan(data, o);
     if (!r.ok()) return r.status();
     if (print_stats) std::fputs(r->stats.ToString().c_str(), stdout);

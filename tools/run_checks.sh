@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Sanitizer / release check matrix:
+#   1. Debug + ASan + UBSan over the full test suite (minus `slow` tests —
+#      the bench smoke run rebuilds nothing and times out under ASan).
+#   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
+#      thread-pool, parallel-sort, phase2, merge and end-to-end suites that
+#      exercise every concurrent code path.
+#   3. Plain Release over everything, including the slow tests.
+#
+# Usage: tools/run_checks.sh [build-root]
+# Build trees land under <build-root> (default: ./build-checks).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_root="${1:-${repo_root}/build-checks}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" build_type="$2" sanitize="$3"
+  shift 3
+  local dir="${build_root}/${name}"
+  echo "==== [${name}] configure (${build_type}, sanitize='${sanitize}')"
+  cmake -B "${dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DRPDBSCAN_SANITIZE="${sanitize}" >/dev/null
+  echo "==== [${name}] build"
+  cmake --build "${dir}" -j "${jobs}" >/dev/null
+  echo "==== [${name}] ctest $*"
+  (cd "${dir}" && ctest --output-on-failure -j "${jobs}" "$@")
+}
+
+# 1. ASan + UBSan, full suite minus the slow label.
+ASAN_OPTIONS="detect_leaks=0" \
+  run_config asan Debug "address,undefined" -LE slow
+
+# 2. TSan on the parallel subset. halt_on_error turns any race into a
+#    test failure instead of a log line.
+TSAN_OPTIONS="halt_on_error=1" \
+  run_config tsan RelWithDebInfo thread -L sanitizer-safe
+
+# 3. Plain Release, everything.
+run_config release Release ""
+
+echo "==== all check configurations passed"

@@ -7,10 +7,14 @@
 //  (c) pseudo random partitioning vs one monolithic partition
 //      -> Phase II task balance;
 //  (e) batched per-cell vs per-point Phase II query kernel
-//      -> Phase II time plus the scan/early-exit counters.
+//      -> Phase II time plus the scan/early-exit counters;
+//  (f) Phase II candidate enumeration: lattice-stencil hash probes vs
+//      tree descent vs per-point -> Phase II time plus probe/hit counters.
 //
 // All variants must produce the identical clustering (asserted in tests);
-// this harness measures only their cost profile.
+// this harness measures only their cost profile. Sections (a)-(e) pin the
+// tree enumeration engine — skipping, index choice and batching only
+// exist on that path; section (f) prices the enumeration itself.
 
 #include <cstdio>
 
@@ -24,7 +28,7 @@ namespace {
 
 RunStats RunVariant(const Dataset& ds, double eps, bool defrag, bool skip,
                     bool reduce, size_t partitions, bool rtree = false,
-                    bool batched = true) {
+                    bool batched = true, bool stencil = false) {
   RpDbscanOptions o;
   o.eps = eps;
   o.min_pts = kMinPts;
@@ -35,6 +39,7 @@ RunStats RunVariant(const Dataset& ds, double eps, bool defrag, bool skip,
   o.reduce_edges = reduce;
   o.use_rtree_index = rtree;
   o.batched_queries = batched;
+  o.stencil_queries = stencil;
   auto r = RunRpDbscan(ds, o);
   if (!r.ok()) {
     std::fprintf(stderr, "variant failed: %s\n",
@@ -109,6 +114,31 @@ void Run() {
     std::printf("%-28s %12.3f %14zu %12zu\n",
                 batched ? "batched QueryCell" : "per-point Query",
                 s.phase2_seconds, s.candidate_cells_scanned, s.early_exits);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\n(f) Phase II candidate enumeration (stencil vs tree vs "
+      "per-point)\n");
+  std::printf("%-28s %12s %14s %12s\n", "variant", "phase2(s)",
+              "stencil probes", "hit-rate");
+  struct EngineRow {
+    const char* name;
+    bool batched;
+    bool stencil;
+  };
+  for (const EngineRow row : {EngineRow{"lattice stencil", true, true},
+                              EngineRow{"batched tree", true, false},
+                              EngineRow{"per-point Query", false, false}}) {
+    const RunStats s = RunVariant(osm.data, eps, true, true, true, 32,
+                                  false, row.batched, row.stencil);
+    const double hit_rate =
+        s.stencil_probes > 0
+            ? static_cast<double>(s.stencil_hits) /
+                  static_cast<double>(s.stencil_probes)
+            : 0.0;
+    std::printf("%-28s %12.3f %14zu %11.1f%%\n", row.name,
+                s.phase2_seconds, s.stencil_probes, 100.0 * hit_rate);
     std::fflush(stdout);
   }
 }

@@ -14,6 +14,19 @@ namespace rpdbscan {
 /// partitioning hot path); supports up to kMaxDim dimensions, which covers
 /// the paper's widest data set (TeraClickLog, 13-d). The hash is
 /// precomputed at construction because every phase keys hash maps on cells.
+/// The CellCoord hash as a free function over a raw coordinate array —
+/// for probe loops that want the hash of a coordinate without
+/// materializing a CellCoord (the lattice-stencil candidate engine issues
+/// one per stencil offset per cell).
+inline uint64_t CellCoordHashOf(const int32_t* coords, size_t dim) {
+  uint64_t h = 0x9d5c0fb1e7a33e1bULL;
+  for (size_t i = 0; i < dim; ++i) {
+    h = HashCombine(h,
+                    static_cast<uint64_t>(static_cast<uint32_t>(coords[i])));
+  }
+  return h;
+}
+
 class CellCoord {
  public:
   static constexpr size_t kMaxDim = 16;
@@ -21,12 +34,10 @@ class CellCoord {
   CellCoord() = default;
 
   CellCoord(const int32_t* coords, size_t dim) : dim_(static_cast<uint8_t>(dim)) {
-    uint64_t h = 0x9d5c0fb1e7a33e1bULL;
     for (size_t i = 0; i < dim; ++i) {
       c_[i] = coords[i];
-      h = HashCombine(h, static_cast<uint64_t>(static_cast<uint32_t>(coords[i])));
     }
-    hash_ = h;
+    hash_ = CellCoordHashOf(coords, dim);
   }
 
   size_t dim() const { return dim_; }

@@ -161,12 +161,12 @@ StatusOr<CellDictionary> CellDictionary::Build(
   } else {
     for (size_t id = 0; id < entries.size(); ++id) build_entry(id);
   }
-  return Assemble(geom, std::move(entries), opts);
+  return Assemble(geom, std::move(entries), opts, pool);
 }
 
 StatusOr<CellDictionary> CellDictionary::Assemble(
     const GridGeometry& geom, std::vector<CellEntry> entries,
-    const CellDictionaryOptions& opts) {
+    const CellDictionaryOptions& opts, ThreadPool* pool) {
   if (opts.max_cells_per_subdict == 0) {
     return Status::InvalidArgument("max_cells_per_subdict must be >= 1");
   }
@@ -237,7 +237,57 @@ StatusOr<CellDictionary> CellDictionary::Assemble(
                       geom.dim());
     }
   }
+
+  // Dictionary-global cell index: coordinate -> (sub-dictionary, local
+  // cell), the probe target of the lattice-stencil engine and of
+  // FindDictCell. Built unconditionally — Deserialize comes through here
+  // too, so a broadcast round-trip rebuilds it on the receiving side.
+  std::vector<size_t> ref_offsets(dict.subdicts_.size() + 1, 0);
+  for (size_t f = 0; f < dict.subdicts_.size(); ++f) {
+    ref_offsets[f + 1] = ref_offsets[f] + dict.subdicts_[f].cells_.size();
+  }
+  const size_t dim = geom.dim();
+  dict.cell_refs_.resize(dict.num_cells_);
+  dict.ref_coords_.resize(dict.num_cells_ * dim);
+  std::vector<uint64_t> ref_hashes(dict.num_cells_);
+  auto fill_refs = [&](size_t f) {
+    const SubDictionary& sd = dict.subdicts_[f];
+    GlobalCellRef* ref = dict.cell_refs_.data() + ref_offsets[f];
+    int32_t* coords = dict.ref_coords_.data() + ref_offsets[f] * dim;
+    uint64_t* hash = ref_hashes.data() + ref_offsets[f];
+    for (size_t i = 0; i < sd.cells_.size(); ++i, ++ref, coords += dim) {
+      const CellCoord& c = sd.cells_[i].coord;
+      std::copy(c.data(), c.data() + dim, coords);
+      *hash++ = c.hash();
+      ref->subdict = static_cast<uint32_t>(f);
+      ref->local_cell = static_cast<uint32_t>(i);
+      ref->cell_id = sd.cells_[i].cell_id;
+      ref->total_count = sd.cells_[i].total_count;
+      ref->subcell_begin = sd.cells_[i].subcell_begin;
+      ref->subcell_end = sd.cells_[i].subcell_end;
+    }
+  };
+  if (pool != nullptr) {
+    ParallelFor(*pool, dict.subdicts_.size(), fill_refs);
+  } else {
+    for (size_t f = 0; f < dict.subdicts_.size(); ++f) fill_refs(f);
+  }
+  dict.cell_index_.BuildHashed(ref_hashes.data(), ref_hashes.size(), pool);
+
+  if (opts.build_stencil) {
+    dict.stencil_ =
+        LatticeStencil::Create(geom.dim(), opts.max_stencil_offsets);
+  }
   return dict;
+}
+
+DictCellRef CellDictionary::FindDictCell(const CellCoord& coord) const {
+  const int64_t i = cell_index_.FindHashed(coord.hash(), coord.data(),
+                                           coord.dim(), ref_coords_.data());
+  if (i < 0) return DictCellRef{};
+  const GlobalCellRef& ref = cell_refs_[static_cast<size_t>(i)];
+  const SubDictionary* sd = &subdicts_[ref.subdict];
+  return DictCellRef{sd, &sd->cells_[ref.local_cell]};
 }
 
 namespace {
@@ -358,11 +408,206 @@ size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
         if (!(dc.coord == cell)) out->always_neighbors.push_back(dc.cell_id);
         continue;
       }
+      const uint32_t coord_idx =
+          static_cast<uint32_t>(out->staged_coords.size() / dim);
+      out->staged_coords.insert(out->staged_coords.end(), dc.coord.data(),
+                                dc.coord.data() + dim);
       out->maybe_refs.push_back(CandidateCellList::MaybeRef{
-          pair_min2, dc.cell_id, static_cast<uint32_t>(sdi), local_cell});
+          pair_min2, dc.cell_id, static_cast<uint32_t>(sdi),
+          dc.subcell_begin, dc.subcell_end, dc.total_count, coord_idx});
     }
   }
 
+  SortAndFlattenMaybes(out);
+  return visited;
+}
+
+size_t CellDictionary::QueryCellStencil(const CellCoord& cell,
+                                        const float* mbr_lo,
+                                        const float* mbr_hi,
+                                        CandidateCellList* out) const {
+  // Dimension dispatch: each instantiation unrolls the per-dimension
+  // staging/hashing loops (same trick as the Phase II scan kernel). The
+  // covered cases mirror the dimensions the synthetic generators and
+  // benchmarks exercise; anything else takes the runtime-dim fallback.
+  switch (geom_.dim()) {
+    case 2:
+      return QueryCellStencilImpl<2>(cell, mbr_lo, mbr_hi, out);
+    case 3:
+      return QueryCellStencilImpl<3>(cell, mbr_lo, mbr_hi, out);
+    case 4:
+      return QueryCellStencilImpl<4>(cell, mbr_lo, mbr_hi, out);
+    case 5:
+      return QueryCellStencilImpl<5>(cell, mbr_lo, mbr_hi, out);
+    default:
+      return QueryCellStencilImpl<0>(cell, mbr_lo, mbr_hi, out);
+  }
+}
+
+template <size_t kDim>
+size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
+                                            const float* mbr_lo,
+                                            const float* mbr_hi,
+                                            CandidateCellList* out) const {
+  RPDBSCAN_CHECK(stencil_.enabled());
+  out->Clear();
+  const size_t dim = kDim ? kDim : geom_.dim();
+  const double side = geom_.cell_side();
+  const double eps = geom_.eps();
+  const double eps2 = eps * eps;
+  const double disjoint2 = eps2 * kDisjointMargin;
+  const double contained2 = eps2 * kContainMargin;
+
+  // Stage 1 — arithmetic classification, no memory traffic beyond the
+  // stencil itself. A neighbor's box is a pure function of its integer
+  // coordinates (CellOrigin(c, d) is exactly double(c[d]) * side), so the
+  // per-dimension bounds below reproduce BoxPairDistBounds on the
+  // materialized coordinate bit-for-bit — same margins, same surviving
+  // set as QueryCell classifying that cell. Offsets provably disjoint
+  // from every query ball (pair_min2 > disjoint2, the majority on skewed
+  // data where the point MBR hugs a corner of the cell) are dropped here,
+  // before any probe. The tree path cannot make this move: it must walk
+  // its index to learn which cells exist before it can reject them.
+  //
+  // Per axis an offset component ranges over [-r, r] with
+  // r = 1 + floor(sqrt(d)) (LatticeStencil's per-axis bound), so each
+  // (dimension, component) pair's neighbor coordinate and per-dimension
+  // gap^2 / far^2 terms are precomputed once per source cell into small
+  // stack tables; staging an offset is then one table lookup and add per
+  // dimension. The tabulated values are the same doubles the direct
+  // computation yields, summed in the same dimension order — bit-equal.
+  const int32_t radius = 1 + static_cast<int32_t>(std::sqrt(
+                                 static_cast<double>(dim)));
+  const size_t width = static_cast<size_t>(2 * radius + 1);
+  int32_t coord_tab[CellCoord::kMaxDim][12];
+  double gap2_tab[CellCoord::kMaxDim][12];
+  double far2_tab[CellCoord::kMaxDim][12];
+  RPDBSCAN_CHECK(width <= 12);
+  for (size_t d = 0; d < dim; ++d) {
+    for (int32_t v = -radius; v <= radius; ++v) {
+      // 64-bit intermediate: a wrapped coordinate could not hold data
+      // anyway (CellIndexOf saturates far earlier), but signed overflow
+      // must not be UB on the probe path.
+      const int32_t c =
+          static_cast<int32_t>(static_cast<int64_t>(cell[d]) + v);
+      const double lo = static_cast<double>(c) * side;
+      const double hi = lo + side;
+      const double alo = mbr_lo[d];
+      const double ahi = mbr_hi[d];
+      double gap = 0.0;
+      if (alo > hi) {
+        gap = alo - hi;
+      } else if (lo > ahi) {
+        gap = lo - ahi;
+      }
+      const double far = std::max(ahi - lo, hi - alo);
+      const size_t slot = static_cast<size_t>(v + radius);
+      coord_tab[d][slot] = c;
+      gap2_tab[d][slot] = gap * gap;
+      far2_tab[d][slot] = far * far;
+    }
+  }
+
+  // Stage the source cell first (index 0), then surviving offsets in
+  // stencil order — matching the previous engine's classification order
+  // exactly. Order only affects always_neighbors' transient layout
+  // (maybe_refs get sorted), but determinism is easier to audit when it
+  // never changes. Scratch is sized for the worst case up front and
+  // written through raw pointers: this loop runs once per source cell
+  // over thousands of offsets, and push_back growth checks showed up in
+  // the Phase II profile.
+  const size_t n = stencil_.num_offsets();
+  out->staged_hash.resize(n + 1);
+  out->staged_min2.resize(n + 1);
+  out->staged_max2.resize(n + 1);
+  out->staged_coords.resize((n + 1) * dim);
+  uint64_t* sh = out->staged_hash.data();
+  double* smn = out->staged_min2.data();
+  double* smx = out->staged_max2.data();
+  int32_t* scoords = out->staged_coords.data();
+  {
+    // Source cell: never droppable — the point MBR lies inside the
+    // source box, so its pair_min2 is 0.
+    double mn = 0.0;
+    double mx = 0.0;
+    const size_t slot = static_cast<size_t>(radius);
+    for (size_t d = 0; d < dim; ++d) {
+      scoords[d] = coord_tab[d][slot];
+      mn += gap2_tab[d][slot];
+      mx += far2_tab[d][slot];
+    }
+    sh[0] = cell.hash();
+    smn[0] = mn;
+    smx[0] = mx;
+  }
+  size_t staged = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t* off = stencil_.offset(i);
+    // One branchless pass per offset: both bounds and the coordinates are
+    // computed unconditionally (coords land in the next staging slot and
+    // are simply overwritten if the offset drops), then a single
+    // data-dependent branch settles survival. An early per-dimension exit
+    // on the growing lower bound proves the same verdict, but its
+    // unpredictable branches cost more than the few spare table adds —
+    // and a survivor's mn is the full in-order sum either way, so the
+    // staged values are bit-identical. Only survivors pay the hash.
+    double mn = 0.0;
+    double mx = 0.0;
+    int32_t* coords = scoords + staged * dim;
+    for (size_t d = 0; d < dim; ++d) {
+      const size_t slot = static_cast<size_t>(off[d] + radius);
+      coords[d] = coord_tab[d][slot];
+      mn += gap2_tab[d][slot];
+      mx += far2_tab[d][slot];
+    }
+    if (mn > disjoint2) continue;  // unreachable from any point: no probe
+    sh[staged] = CellCoordHashOf(coords, dim);
+    smn[staged] = mn;
+    smx[staged] = mx;
+    ++staged;
+  }
+
+  // Stage 2 — probe the survivors against the global cell index,
+  // prefetch-pipelined: the probes are independent single-slot lookups at
+  // random table positions, so issuing the prefetch a few iterations
+  // ahead overlaps their cache misses. A hit classifies straight from the
+  // GlobalCellRef (cell id and density are duplicated there) — the
+  // sub-dictionaries are never touched.
+  size_t hits = 0;
+  const int32_t* rc = ref_coords_.data();
+  constexpr size_t kPrefetchAhead = 8;
+  const size_t warm = std::min(kPrefetchAhead, staged);
+  for (size_t j = 0; j < warm; ++j) {
+    cell_index_.PrefetchHashed(sh[j]);
+  }
+  for (size_t j = 0; j < staged; ++j) {
+    if (j + kPrefetchAhead < staged) {
+      cell_index_.PrefetchHashed(sh[j + kPrefetchAhead]);
+    }
+    const int64_t slot =
+        cell_index_.FindHashed(sh[j], scoords + j * dim, dim, rc);
+    if (slot < 0) continue;
+    ++hits;
+    const GlobalCellRef& ref = cell_refs_[static_cast<size_t>(slot)];
+    if (smx[j] <= contained2) {
+      out->always_count += ref.total_count;
+      // j == 0 is the source cell (stencil offsets are non-zero, so no
+      // other staged coordinate can equal it).
+      if (j != 0) out->always_neighbors.push_back(ref.cell_id);
+      continue;
+    }
+    out->maybe_refs.push_back(CandidateCellList::MaybeRef{
+        smn[j], ref.cell_id, ref.subdict, ref.subcell_begin,
+        ref.subcell_end, ref.total_count, static_cast<uint32_t>(j)});
+  }
+
+  SortAndFlattenMaybes(out);
+  out->stencil_probes = staged;
+  out->stencil_hits = hits;
+  return staged;
+}
+
+void CellDictionary::SortAndFlattenMaybes(CandidateCellList* out) const {
   // Order the maybe group nearest-first (box-to-box lower bound, cell id
   // as a deterministic tie-break): the source cell and its densest
   // surroundings land at the front, so the per-point pass-1 scan crosses
@@ -378,21 +623,40 @@ size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
 
   // Lay out per-candidate metadata in sorted order; sub-cell centers and
   // densities stay in the sub-dictionaries' contiguous storage, referenced
-  // by pointer.
-  for (const CandidateCellList::MaybeRef& ref : out->maybe_refs) {
+  // by pointer. Sized up front and written by index — this runs once per
+  // maybe-cell per source cell, and the per-element growth checks of
+  // push_back were measurable in the Phase II profile.
+  // The MaybeRef carries everything the flat layout needs (cell id,
+  // density, sub-cell range, and an index into the staged coordinate
+  // scratch), so the flatten never touches a DictCell — one less random
+  // load per candidate, on both query engines. Cell origins come from
+  // the integer coordinates exactly as GridGeometry::CellOrigin computes
+  // them: static_cast<double>(c[d]) * cell_side.
+  const size_t dim = geom_.dim();
+  const double side = geom_.cell_side();
+  const int32_t* scoords = out->staged_coords.data();
+  const size_t m = out->maybe_refs.size();
+  out->cell_ids.resize(m);
+  out->origins.resize(m * dim);
+  out->total_counts.resize(m);
+  out->subcell_centers.resize(m);
+  out->subcells.resize(m);
+  out->num_subcells.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const CandidateCellList::MaybeRef& ref = out->maybe_refs[i];
     const SubDictionary& sd = subdicts_[ref.subdict];
-    const DictCell& dc = sd.cells_[ref.local_cell];
-    out->cell_ids.push_back(dc.cell_id);
+    out->cell_ids[i] = ref.cell_id;
+    double* origin = out->origins.data() + i * dim;
+    const int32_t* c = scoords + static_cast<size_t>(ref.coord_idx) * dim;
     for (size_t d = 0; d < dim; ++d) {
-      out->origins.push_back(geom_.CellOrigin(dc.coord, d));
+      origin[d] = static_cast<double>(c[d]) * side;
     }
-    out->total_counts.push_back(dc.total_count);
-    out->subcell_centers.push_back(sd.subcell_centers_.data() +
-                                   dc.subcell_begin * dim);
-    out->subcells.push_back(sd.subcells_.data() + dc.subcell_begin);
-    out->num_subcells.push_back(dc.subcell_end - dc.subcell_begin);
+    out->total_counts[i] = ref.total_count;
+    out->subcell_centers[i] =
+        sd.subcell_centers_.data() + ref.subcell_begin * dim;
+    out->subcells[i] = sd.subcells_.data() + ref.subcell_begin;
+    out->num_subcells[i] = ref.subcell_end - ref.subcell_begin;
   }
-  return visited;
 }
 
 size_t CellDictionary::SizeBitsLemma43() const {
@@ -468,7 +732,8 @@ std::vector<uint8_t> CellDictionary::Serialize() const {
 }
 
 StatusOr<CellDictionary> CellDictionary::Deserialize(
-    const std::vector<uint8_t>& bytes, const CellDictionaryOptions& opts) {
+    const std::vector<uint8_t>& bytes, const CellDictionaryOptions& opts,
+    ThreadPool* pool) {
   ByteReader in(bytes.data(), bytes.size());
   uint32_t magic = 0;
   uint32_t version = 0;
@@ -571,7 +836,7 @@ StatusOr<CellDictionary> CellDictionary::Deserialize(
       }
     }
   }
-  return Assemble(geom, std::move(entries), opts);
+  return Assemble(geom, std::move(entries), opts, pool);
 }
 
 }  // namespace rpdbscan

@@ -7,7 +7,9 @@
 
 #include "core/cell_coord.h"
 #include "core/cell_set.h"
+#include "core/flat_cell_index.h"
 #include "core/grid.h"
+#include "core/lattice_stencil.h"
 #include "io/dataset.h"
 #include "parallel/thread_pool.h"
 #include "spatial/kdtree.h"
@@ -68,6 +70,31 @@ class SubDictionary {
   Mbr mbr_{0};
 };
 
+/// One entry of the dictionary-global cell index: where a cell's DictCell
+/// landed after defragmentation, keyed by the precomputed CellCoord hash
+/// through FlatCellIndex. The dense cell id, total density, and sub-cell
+/// range are duplicated here from the DictCell so a stencil probe hit
+/// classifies, records, and later flattens the candidate from this one
+/// entry — the query path never issues a dependent load into the
+/// sub-dictionary's cell array. Lattice coordinates live in a separate
+/// flat array (CellDictionary::ref_coords_) so this stays a 24-byte
+/// struct: a probe hit's classification reads touch a single cache line.
+struct GlobalCellRef {
+  uint32_t subdict = 0;
+  uint32_t local_cell = 0;
+  uint32_t cell_id = 0;
+  uint32_t total_count = 0;
+  uint32_t subcell_begin = 0;
+  uint32_t subcell_end = 0;
+};
+
+/// Resolution of a lattice coordinate through the global cell index.
+struct DictCellRef {
+  const SubDictionary* subdict = nullptr;
+  const DictCell* cell = nullptr;
+  explicit operator bool() const { return cell != nullptr; }
+};
+
 /// Which spatial index finds candidate cells inside a sub-dictionary.
 /// Lemma 5.6 allows either ("R*-tree or kd-tree"); both give identical
 /// query results.
@@ -87,6 +114,17 @@ struct CellDictionaryOptions {
   bool enable_skipping = true;
   /// Candidate-cell index (Lemma 5.6).
   CandidateIndex index = CandidateIndex::kKdTree;
+  /// Build the lattice-stencil candidate engine: the precomputed eps-ball
+  /// offset set served by QueryCellStencil. Costs one
+  /// LatticeStencil::Create per dictionary (microseconds); the global cell
+  /// index it probes is built regardless.
+  bool build_stencil = true;
+  /// Stencil size cap, the high-dimensionality fallback threshold: when
+  /// the eps-ball offset set would exceed this many offsets the stencil
+  /// stays disabled and Phase II falls back to tree traversal. The default
+  /// covers d <= 5 (the d = 5 stencil holds 6094 offsets; d = 6 would need
+  /// 41220).
+  size_t max_stencil_offsets = 8192;
 };
 
 /// One cell's raw dictionary content: the unit of dictionary assembly and
@@ -143,13 +181,41 @@ struct CandidateCellList {
   /// Scratch for the per-sub-dictionary index traversal.
   std::vector<uint32_t> tree_hits;
   /// Scratch for the proximity sort of the maybe group before flattening.
+  /// Self-contained: everything the flattened SoA needs is carried here
+  /// (filled from the GlobalCellRef on the stencil path, from the
+  /// DictCell on the tree path), so SortAndFlattenMaybes touches no
+  /// dictionary cell storage — coordinates are read from staged_coords
+  /// via coord_idx.
   struct MaybeRef {
     double min2 = 0;        // box-to-box lower bound to the source cell
     uint32_t cell_id = 0;   // deterministic tie-break
     uint32_t subdict = 0;
-    uint32_t local_cell = 0;
+    uint32_t subcell_begin = 0;
+    uint32_t subcell_end = 0;
+    uint32_t total_count = 0;
+    uint32_t coord_idx = 0;  // index into staged_coords, dim int32 each
   };
   std::vector<MaybeRef> maybe_refs;
+
+  /// Scratch for the stencil engine's staged probes: offsets that survive
+  /// the pure-arithmetic disjointness pre-drop, as parallel arrays of
+  /// coordinate hash, box-pair distance bounds, and raw lattice
+  /// coordinates (dim int32 per staged probe). Sized by the stencil, so
+  /// the allocations amortize across every cell of a partition task.
+  /// staged_coords doubles as the flatten's coordinate source on both
+  /// engines (the tree path appends each maybe-cell's coordinates as it
+  /// classifies).
+  std::vector<uint64_t> staged_hash;
+  std::vector<double> staged_min2;
+  std::vector<double> staged_max2;
+  std::vector<int32_t> staged_coords;
+
+  /// Stencil engine accounting (QueryCellStencil only): lattice hash
+  /// probes issued for this cell (offsets surviving the arithmetic
+  /// pre-drop, plus the source cell), and probes that found a dictionary
+  /// cell.
+  size_t stencil_probes = 0;
+  size_t stencil_hits = 0;
 
   size_t num_maybe() const { return cell_ids.size(); }
 
@@ -163,6 +229,12 @@ struct CandidateCellList {
     subcells.clear();
     num_subcells.clear();
     maybe_refs.clear();
+    staged_hash.clear();
+    staged_min2.clear();
+    staged_max2.clear();
+    staged_coords.clear();
+    stencil_probes = 0;
+    stencil_hits = 0;
   }
 };
 
@@ -269,6 +341,47 @@ class CellDictionary {
   size_t QueryCell(const CellCoord& cell, const float* mbr_lo,
                    const float* mbr_hi, CandidateCellList* out) const;
 
+  /// Same contract as QueryCell and bit-identical Phase II results, but
+  /// candidates are enumerated over the precomputed eps-ball lattice
+  /// stencil instead of per-sub-dictionary tree descent. Every cell any
+  /// query point can match has integer lattice distance class m(o) <= d,
+  /// so the stencil covers it; classification reuses QueryCell's
+  /// BoxPairDistBounds arithmetic and margins verbatim, and the per-point
+  /// tests downstream reuse Query()'s exact arithmetic — so results
+  /// cannot differ. (The candidate *lists* may differ in
+  /// provably-zero-match cells: the tree path's Lemma 5.10 MBR skipping
+  /// can drop cells the stencil still classifies, and vice versa the
+  /// stencil never sees cells beyond distance class d that the traversal
+  /// radius admits. Both prunings are sound, which is all the downstream
+  /// scan needs.)
+  ///
+  /// The engine's unique lever: a neighbor's box bounds are a pure
+  /// function of its integer coordinates (CellOrigin is coord * side), so
+  /// each offset is classified arithmetically from the stencil alone, and
+  /// offsets provably disjoint from every query ball are dropped before
+  /// any memory access. Only the survivors issue O(1) hash probes of the
+  /// global cell index — prefetch-pipelined, resolved from the 16-byte
+  /// hashed slots plus the GlobalCellRef, with no tree descent and no
+  /// DictCell loads on the probe path.
+  ///
+  /// Only callable when has_stencil(). out->stencil_probes counts the
+  /// probes actually issued (at most num_offsets + 1, including the
+  /// always-probed source cell — a function of geometry and MBR only,
+  /// independent of min_pts); out->stencil_hits the probes that found a
+  /// dictionary cell. Returns the probe count.
+  size_t QueryCellStencil(const CellCoord& cell, const float* mbr_lo,
+                          const float* mbr_hi, CandidateCellList* out) const;
+
+  /// O(1) lattice coordinate -> DictCell through the dictionary-global
+  /// open-addressing index (always built, including after Deserialize).
+  /// Returns a null ref for coordinates with no dictionary cell.
+  DictCellRef FindDictCell(const CellCoord& coord) const;
+
+  /// True when the eps-ball lattice stencil was built (build_stencil set
+  /// and the offset count within max_stencil_offsets).
+  bool has_stencil() const { return stencil_.enabled(); }
+  const LatticeStencil& stencil() const { return stencil_; }
+
   /// Total density of all (eps, rho)-neighbor sub-cells of `p` — the count
   /// compared against minPts in core marking (Example 5.7).
   uint32_t QueryCount(const float* p) const {
@@ -287,23 +400,50 @@ class CellDictionary {
 
   /// Reconstructs a dictionary from Serialize() output, re-running
   /// defragmentation and index construction with `opts` (a receiving
-  /// worker may use different memory limits than the sender). Fails with
-  /// InvalidArgument on a corrupt or truncated buffer.
+  /// worker may use different memory limits than the sender). The global
+  /// cell index and stencil are rebuilt as well, on `pool` when given.
+  /// Fails with InvalidArgument on a corrupt or truncated buffer.
   static StatusOr<CellDictionary> Deserialize(
       const std::vector<uint8_t>& bytes,
-      const CellDictionaryOptions& opts = CellDictionaryOptions());
+      const CellDictionaryOptions& opts = CellDictionaryOptions(),
+      ThreadPool* pool = nullptr);
 
  private:
   CellDictionary() = default;
 
   /// Shared assembly path of Build and Deserialize: defragmentation (BSP),
-  /// per-fragment kd-trees, MBRs and pre-decoded sub-cell centers.
+  /// per-fragment kd-trees, MBRs, pre-decoded sub-cell centers, the global
+  /// cell index (parallel on `pool` when given) and the lattice stencil.
   static StatusOr<CellDictionary> Assemble(const GridGeometry& geom,
                                            std::vector<CellEntry> entries,
-                                           const CellDictionaryOptions& opts);
+                                           const CellDictionaryOptions& opts,
+                                           ThreadPool* pool);
+
+  /// Shared tail of QueryCell / QueryCellStencil: nearest-first sort of
+  /// the maybe group and the SoA flattening.
+  void SortAndFlattenMaybes(CandidateCellList* out) const;
+
+  /// QueryCellStencil body, instantiated per dimension (kDim == 0 is the
+  /// runtime-dim fallback) so the per-dimension staging and hashing loops
+  /// fully unroll. Unrolling the fixed-order sums does not reassociate
+  /// them, so every instantiation classifies identically.
+  template <size_t kDim>
+  size_t QueryCellStencilImpl(const CellCoord& cell, const float* mbr_lo,
+                              const float* mbr_hi,
+                              CandidateCellList* out) const;
 
   GridGeometry geom_;
   std::vector<SubDictionary> subdicts_;
+  /// Dictionary-global cell index: cell_refs_ in sub-dictionary layout
+  /// order, probed through cell_index_ by coordinate hash. ref_coords_
+  /// holds the matching lattice coordinates (dim int32s per cell, same
+  /// order) — the hash-collision check array of FlatCellIndex::FindHashed,
+  /// kept out of GlobalCellRef so the hot classification fields stay
+  /// one-cache-line dense.
+  std::vector<GlobalCellRef> cell_refs_;
+  std::vector<int32_t> ref_coords_;
+  FlatCellIndex cell_index_;
+  LatticeStencil stencil_;
   size_t num_cells_ = 0;
   size_t num_subcells_ = 0;
   bool enable_skipping_ = true;

@@ -2,12 +2,65 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "parallel/parallel_for.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace rpdbscan {
+
+bool SubcellRangeMbr(const CellDictionary& dict, const CellCoord& coord,
+                     float* mbr_lo, float* mbr_hi) {
+  const DictCellRef ref = dict.FindDictCell(coord);
+  if (!ref) return false;
+  const GridGeometry& geom = dict.geom();
+  const size_t dim = geom.dim();
+  const unsigned bits = geom.bits_per_dim();
+  const std::vector<DictSubcell>& subs = ref.subdict->subcells();
+  int64_t min_idx[CellCoord::kMaxDim];
+  int64_t max_idx[CellCoord::kMaxDim];
+  for (size_t d = 0; d < dim; ++d) {
+    min_idx[d] = std::numeric_limits<int64_t>::max();
+    max_idx[d] = -1;
+  }
+  for (uint32_t s = ref.cell->subcell_begin; s < ref.cell->subcell_end;
+       ++s) {
+    const SubcellId& id = subs[s].id;
+    for (size_t d = 0; d < dim; ++d) {
+      const int64_t i =
+          bits == 0
+              ? 0
+              : static_cast<int64_t>(SubcellGetBits(
+                    id, static_cast<unsigned>(d) * bits, bits));
+      min_idx[d] = std::min(min_idx[d], i);
+      max_idx[d] = std::max(max_idx[d], i);
+    }
+  }
+  const double sub_side = geom.subcell_side();
+  for (size_t d = 0; d < dim; ++d) {
+    RPDBSCAN_DCHECK(max_idx[d] >= 0);
+    const double origin = geom.CellOrigin(coord, d);
+    // One unconditional float ulp outward per face: sub-cell assignment
+    // floors (p - origin) / sub_side with clamping, so a point can sit a
+    // double-rounding error outside its decoded sub-cell box; the ulp
+    // (~2^-24 relative) dwarfs that (~2^-52 relative) and, being
+    // conservative, cannot change query results — only the always/maybe
+    // split, by at most the margin.
+    mbr_lo[d] = std::nextafterf(
+        static_cast<float>(origin + static_cast<double>(min_idx[d]) *
+                                        sub_side),
+        -std::numeric_limits<float>::infinity());
+    mbr_hi[d] = std::nextafterf(
+        static_cast<float>(origin + static_cast<double>(max_idx[d] + 1) *
+                                        sub_side),
+        std::numeric_limits<float>::infinity());
+  }
+  return true;
+}
+
 namespace {
 
 /// Scratch buffers of one partition task, reused across its cells so the
@@ -27,15 +80,21 @@ struct Phase2Scratch {
   std::vector<uint64_t> suffix_remaining;
 };
 
-/// Per-point distance bounds to a maybe-cell's box, fused into one pass
-/// over the dimensions. Per-dimension arithmetic is identical to
-/// GridGeometry::CellMinDist2/CellMaxDist2 so the batched kernel keeps the
-/// reference path's exact floating-point behaviour.
-inline void PointBoxDistBounds(const double* origin, double side,
-                               const float* p, size_t dim, double* min2,
-                               double* max2) {
+/// The per-point kernels below are templated on a compile-time dimension
+/// (kDim == 0 falls back to the runtime value): with the trip count a
+/// constant, the compiler fully unrolls the per-dimension loops and the
+/// inlined DistanceSquared. Unrolling a fixed-order sequential double
+/// accumulation does not reassociate it, so every sum is bit-identical
+/// to the runtime-dim path — the dispatch is pure speed.
+
+/// Per-point squared lower bound to a maybe-cell's box. Per-dimension
+/// arithmetic is identical to GridGeometry::CellMinDist2 so the batched
+/// kernel keeps the reference path's exact floating-point behaviour.
+template <size_t kDim>
+inline double PointBoxMinDist2(const double* origin, double side,
+                               const float* p, size_t dim_rt) {
+  const size_t dim = kDim ? kDim : dim_rt;
   double mn = 0.0;
-  double mx = 0.0;
   for (size_t d = 0; d < dim; ++d) {
     const double lo = origin[d];
     const double hi = lo + side;
@@ -47,35 +106,56 @@ inline void PointBoxDistBounds(const double* origin, double side,
       gap = v - hi;
     }
     mn += gap * gap;
+  }
+  return mn;
+}
+
+/// Per-point squared upper bound to a maybe-cell's box; arithmetic of
+/// GridGeometry::CellMaxDist2.
+template <size_t kDim>
+inline double PointBoxMaxDist2(const double* origin, double side,
+                               const float* p, size_t dim_rt) {
+  const size_t dim = kDim ? kDim : dim_rt;
+  double mx = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double lo = origin[d];
+    const double hi = lo + side;
+    const double v = p[d];
     const double to_lo = v > lo ? v - lo : lo - v;
     const double to_hi = v > hi ? v - hi : hi - v;
     const double far = to_lo > to_hi ? to_lo : to_hi;
     mx += far * far;
   }
-  *min2 = mn;
-  *max2 = mx;
+  return mx;
 }
 
 /// Matched density of maybe-cell `i` for point `p`: the Example 5.5 logic
 /// (containment fast path, then the sub-cell center scan) over the flat
-/// candidate arrays.
+/// candidate arrays. The lower bound is tested first: most evaluations
+/// land on disjoint cells (the maybe list is shared across every point of
+/// the source cell), and min2 > eps2 implies max2 > eps2, so skipping the
+/// upper-bound arithmetic for them cannot change any outcome.
+template <size_t kDim>
 inline uint32_t MatchedCount(const CandidateCellList& cand, size_t i,
-                             const float* p, size_t dim, double side,
+                             const float* p, size_t dim_rt, double side,
                              double eps2) {
-  double min2 = 0.0;
-  double max2 = 0.0;
-  PointBoxDistBounds(cand.origins.data() + i * dim, side, p, dim, &min2,
-                     &max2);
-  if (max2 <= eps2) return cand.total_counts[i];
+  const size_t dim = kDim ? kDim : dim_rt;
+  const double* origin = cand.origins.data() + i * dim;
+  const double min2 = PointBoxMinDist2<kDim>(origin, side, p, dim);
   if (min2 > eps2) return 0;
+  const double max2 = PointBoxMaxDist2<kDim>(origin, side, p, dim);
+  if (max2 <= eps2) return cand.total_counts[i];
   uint32_t matched = 0;
   const float* centers = cand.subcell_centers[i];
   const DictSubcell* subs = cand.subcells[i];
   const uint32_t n = cand.num_subcells[i];
   for (uint32_t s = 0; s < n; ++s) {
-    if (DistanceSquared(p, centers + s * dim, dim) <= eps2) {
-      matched += subs[s].count;
-    }
+    // Branchless accumulate: the per-sub-cell hit pattern is effectively
+    // random, so a conditional move beats a mispredicting branch on this
+    // innermost loop. Same sum, same comparisons.
+    const bool in =
+        DistanceSquared(p, centers + s * dim, dim) <= eps2;
+    matched += in ? subs[s].count : 0u;
   }
   return matched;
 }
@@ -86,52 +166,23 @@ struct TaskCounters {
   size_t possible = 0;
   size_t scanned = 0;
   size_t early_exits = 0;
+  size_t stencil_probes = 0;
+  size_t stencil_hits = 0;
 };
 
-/// Batched kernel for one cell: a single QueryCell gather, then per point
-/// a two-pass flat scan — pass 1 counts toward min_pts with an early exit,
-/// pass 2 (core points only) finishes neighbor-cell collection.
-void ProcessCellBatched(const Dataset& data, const CellData& cell,
-                        uint32_t cid, const CellDictionary& dict,
-                        size_t min_pts, size_t num_subdicts,
-                        Phase2Scratch& scratch, Phase2Result& result,
-                        bool& cell_core, TaskCounters& counters) {
-  const GridGeometry& geom = dict.geom();
-  const size_t dim = geom.dim();
-  const double side = geom.cell_side();
-  const double eps2 = geom.eps() * geom.eps();
-  if (cell.point_ids.empty()) return;
-  // Tight bounding box of the cell's actual points: QueryCell classifies
-  // candidates against it, which on skewed data resolves most of them at
-  // cell level before any per-point work.
-  float mbr_lo[CellCoord::kMaxDim];
-  float mbr_hi[CellCoord::kMaxDim];
-  for (size_t d = 0; d < dim; ++d) {
-    mbr_lo[d] = std::numeric_limits<float>::max();
-    mbr_hi[d] = std::numeric_limits<float>::lowest();
-  }
-  for (const uint32_t point_id : cell.point_ids) {
-    const float* p = data.point(point_id);
-    for (size_t d = 0; d < dim; ++d) {
-      mbr_lo[d] = std::min(mbr_lo[d], p[d]);
-      mbr_hi[d] = std::max(mbr_hi[d], p[d]);
-    }
-  }
-  CandidateCellList& cand = scratch.candidates;
-  counters.visited += dict.QueryCell(cell.coord, mbr_lo, mbr_hi, &cand);
-  counters.possible += num_subdicts;
+/// The per-point half of the batched kernel: a two-pass flat scan over an
+/// already-gathered candidate list — pass 1 counts toward min_pts with an
+/// early exit, pass 2 (core points only) finishes neighbor-cell
+/// collection. Instantiated per dimension so the innermost distance loops
+/// unroll (see the kernel template note above).
+template <size_t kDim>
+void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
+                    const CandidateCellList& cand, size_t min_pts,
+                    size_t dim_rt, double side, double eps2,
+                    Phase2Scratch& scratch, Phase2Result& result,
+                    bool& cell_core, TaskCounters& counters) {
+  const size_t dim = kDim ? kDim : dim_rt;
   const size_t num_maybe = cand.num_maybe();
-  scratch.cell_edges.reserve(cand.always_neighbors.size() + num_maybe);
-  scratch.maybe_matched.assign(num_maybe, 0);
-  scratch.suffix_remaining.resize(num_maybe + 1);
-  scratch.suffix_remaining[num_maybe] = 0;
-  for (size_t i = num_maybe; i-- > 0;) {
-    scratch.suffix_remaining[i] =
-        scratch.suffix_remaining[i + 1] + cand.total_counts[i];
-  }
-  if (cand.always_count + scratch.suffix_remaining[0] < min_pts) {
-    return;  // no point of this cell can reach min_pts: all non-core
-  }
   size_t num_matched = 0;
   // Records that a core point matched maybe-candidate `idx`: later points
   // skip it in pass 2 (the edge union already has it), and its edge is
@@ -156,7 +207,8 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
     // union if this point turns out core.
     while (count < min_pts && i < num_maybe) {
       if (count + scratch.suffix_remaining[i] < min_pts) break;
-      const uint32_t matched = MatchedCount(cand, i, p, dim, side, eps2);
+      const uint32_t matched =
+          MatchedCount<kDim>(cand, i, p, dim, side, eps2);
       ++counters.scanned;
       if (matched > 0) {
         count += matched;
@@ -175,10 +227,104 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
     for (; i < num_maybe; ++i) {
       if (scratch.maybe_matched[i]) continue;
       ++counters.scanned;
-      if (MatchedCount(cand, i, p, dim, side, eps2) > 0) {
+      if (MatchedCount<kDim>(cand, i, p, dim, side, eps2) > 0) {
         record_matched(i);
       }
     }
+  }
+}
+
+/// Batched kernel for one cell: a single QueryCell gather, then per point
+/// a two-pass flat scan — pass 1 counts toward min_pts with an early exit,
+/// pass 2 (core points only) finishes neighbor-cell collection.
+void ProcessCellBatched(const Dataset& data, const CellData& cell,
+                        uint32_t cid, const CellDictionary& dict,
+                        size_t min_pts, size_t num_subdicts,
+                        bool use_stencil, Phase2Scratch& scratch,
+                        Phase2Result& result, bool& cell_core,
+                        TaskCounters& counters) {
+  const GridGeometry& geom = dict.geom();
+  const size_t dim = geom.dim();
+  const double side = geom.cell_side();
+  const double eps2 = geom.eps() * geom.eps();
+  if (cell.point_ids.empty()) return;
+  // Conservative bounding box of the cell's points: QueryCell classifies
+  // candidates against it, which on skewed data resolves most of them at
+  // cell level before any per-point work. Derived from the dictionary's
+  // occupied sub-cell ranges — data the dictionary already holds — instead
+  // of a fresh scan over the points every run.
+  float mbr_lo[CellCoord::kMaxDim];
+  float mbr_hi[CellCoord::kMaxDim];
+  if (!SubcellRangeMbr(dict, cell.coord, mbr_lo, mbr_hi)) {
+    // Not in the dictionary (impossible in the pipeline, where the
+    // dictionary covers every CellSet cell — but QueryCell's contract only
+    // needs some cover, so degrade rather than die).
+    for (size_t d = 0; d < dim; ++d) {
+      mbr_lo[d] = std::numeric_limits<float>::max();
+      mbr_hi[d] = std::numeric_limits<float>::lowest();
+    }
+    for (const uint32_t point_id : cell.point_ids) {
+      const float* p = data.point(point_id);
+      for (size_t d = 0; d < dim; ++d) {
+        mbr_lo[d] = std::min(mbr_lo[d], p[d]);
+        mbr_hi[d] = std::max(mbr_hi[d], p[d]);
+      }
+    }
+  }
+#ifndef NDEBUG
+  // Debug builds prove the sub-cell-range box really covers the points
+  // (the sanitizer suite runs with NDEBUG off, so this stays exercised).
+  for (const uint32_t point_id : cell.point_ids) {
+    const float* p = data.point(point_id);
+    for (size_t d = 0; d < dim; ++d) {
+      RPDBSCAN_CHECK(p[d] >= mbr_lo[d] && p[d] <= mbr_hi[d])
+          << "sub-cell-range MBR fails to cover point " << point_id
+          << " in dim " << d;
+    }
+  }
+#endif
+  CandidateCellList& cand = scratch.candidates;
+  if (use_stencil) {
+    dict.QueryCellStencil(cell.coord, mbr_lo, mbr_hi, &cand);
+    counters.stencil_probes += cand.stencil_probes;
+    counters.stencil_hits += cand.stencil_hits;
+  } else {
+    counters.visited += dict.QueryCell(cell.coord, mbr_lo, mbr_hi, &cand);
+    counters.possible += num_subdicts;
+  }
+  const size_t num_maybe = cand.num_maybe();
+  scratch.cell_edges.reserve(cand.always_neighbors.size() + num_maybe);
+  scratch.maybe_matched.assign(num_maybe, 0);
+  scratch.suffix_remaining.resize(num_maybe + 1);
+  scratch.suffix_remaining[num_maybe] = 0;
+  for (size_t i = num_maybe; i-- > 0;) {
+    scratch.suffix_remaining[i] =
+        scratch.suffix_remaining[i + 1] + cand.total_counts[i];
+  }
+  if (cand.always_count + scratch.suffix_remaining[0] < min_pts) {
+    return;  // no point of this cell can reach min_pts: all non-core
+  }
+  switch (dim) {
+    case 2:
+      ScanCellPoints<2>(data, cell, cid, cand, min_pts, dim, side, eps2,
+                        scratch, result, cell_core, counters);
+      break;
+    case 3:
+      ScanCellPoints<3>(data, cell, cid, cand, min_pts, dim, side, eps2,
+                        scratch, result, cell_core, counters);
+      break;
+    case 4:
+      ScanCellPoints<4>(data, cell, cid, cand, min_pts, dim, side, eps2,
+                        scratch, result, cell_core, counters);
+      break;
+    case 5:
+      ScanCellPoints<5>(data, cell, cid, cand, min_pts, dim, side, eps2,
+                        scratch, result, cell_core, counters);
+      break;
+    default:
+      ScanCellPoints<0>(data, cell, cid, cand, min_pts, dim, side, eps2,
+                        scratch, result, cell_core, counters);
+      break;
   }
   if (cell_core) {
     // Every always-contained cell neighbors every core point; one append
@@ -237,11 +383,29 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   std::atomic<size_t> subdict_possible{0};
   std::atomic<size_t> cells_scanned{0};
   std::atomic<size_t> early_exits{0};
+  std::atomic<size_t> stencil_probes{0};
+  std::atomic<size_t> stencil_hits{0};
   const size_t num_subdicts = dict.num_subdictionaries();
+  const bool use_stencil =
+      opts.batched_queries && opts.stencil_queries && dict.has_stencil();
+
+  // Longest-first schedule (LPT): partition tasks are submitted by
+  // descending cached point count so a straggler cannot land on the last
+  // free worker and stretch the makespan — the Fig. 13 imbalance numbers
+  // then measure the partitioning, not the submission order. stable_sort
+  // keeps equal-sized partitions in id order for determinism.
+  std::vector<uint32_t> schedule(k);
+  std::iota(schedule.begin(), schedule.end(), 0u);
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [&cells](uint32_t a, uint32_t b) {
+                     return cells.PartitionPoints(a) >
+                            cells.PartitionPoints(b);
+                   });
 
   ParallelFor(
       pool, k,
-      [&](size_t pid) {
+      [&](size_t slot) {
+        const size_t pid = schedule[slot];
         Stopwatch watch;
         CellSubgraph& graph = result.subgraphs[pid];
         graph.partition_id = static_cast<uint32_t>(pid);
@@ -254,8 +418,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
           scratch.cell_edges.clear();
           if (opts.batched_queries) {
             ProcessCellBatched(data, cell, cid, dict, min_pts,
-                               num_subdicts, scratch, result, cell_core,
-                               counters);
+                               num_subdicts, use_stencil, scratch, result,
+                               cell_core, counters);
           } else {
             ProcessCellPerPoint(data, cell, cid, dict, min_pts,
                                 num_subdicts, scratch, result, cell_core,
@@ -284,6 +448,10 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
                                 std::memory_order_relaxed);
         early_exits.fetch_add(counters.early_exits,
                               std::memory_order_relaxed);
+        stencil_probes.fetch_add(counters.stencil_probes,
+                                 std::memory_order_relaxed);
+        stencil_hits.fetch_add(counters.stencil_hits,
+                               std::memory_order_relaxed);
         result.task_seconds[pid] = watch.ElapsedSeconds();
       },
       /*chunk=*/1);
@@ -292,6 +460,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   result.subdict_possible = subdict_possible.load();
   result.candidate_cells_scanned = cells_scanned.load();
   result.early_exits = early_exits.load();
+  result.stencil_probes = stencil_probes.load();
+  result.stencil_hits = stencil_hits.load();
   return result;
 }
 

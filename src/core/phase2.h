@@ -20,6 +20,13 @@ struct Phase2Options {
   /// point with an early exit at min_pts. false keeps the reference
   /// per-point Query path; both produce identical results.
   bool batched_queries = true;
+  /// With batched_queries: enumerate candidate cells through the lattice
+  /// stencil (CellDictionary::QueryCellStencil, O(1) hash probes per
+  /// offset) instead of per-sub-dictionary tree descent. Silently falls
+  /// back to the tree path when the dictionary carries no stencil (high
+  /// dimensionality or build_stencil off). All three engines produce
+  /// identical results.
+  bool stencil_queries = true;
 };
 
 /// Output of Phase II (cell graph construction, Alg. 3) across all
@@ -46,7 +53,26 @@ struct Phase2Result {
   /// of points proven core before exhausting their candidate list.
   size_t candidate_cells_scanned = 0;
   size_t early_exits = 0;
+  /// Stencil engine only: lattice hash probes issued (per cell, the
+  /// stencil offsets surviving the arithmetic disjointness pre-drop plus
+  /// the always-probed source cell — at most num_offsets + 1) and probes
+  /// that found a dictionary cell. hit-rate = stencil_hits /
+  /// stencil_probes is the dictionary occupancy of the probed
+  /// neighborhood.
+  size_t stencil_probes = 0;
+  size_t stencil_hits = 0;
 };
+
+/// Bounding box of cell `coord`'s points derived from the dictionary's own
+/// occupied sub-cell ranges (the union of occupied sub-cell boxes) instead
+/// of a scan over the points: O(#subcells * d) work off data already
+/// resident in the dictionary. The box is rounded one float ulp outward
+/// per face so it conservatively covers every point even where sub-cell
+/// assignment clamped a point sitting a double-rounding error outside its
+/// decoded box. Returns false when the dictionary has no cell at `coord`
+/// (the caller then scans the points). Exposed for the equivalence tests.
+bool SubcellRangeMbr(const CellDictionary& dict, const CellCoord& coord,
+                     float* mbr_lo, float* mbr_hi);
 
 /// Runs Phase II: for every partition (in parallel on `pool`), performs an
 /// (eps, rho)-region query per point, marks core points and core cells

@@ -34,6 +34,13 @@ std::string RunStats::ToString() const {
      << " noise=" << num_noise_points << "\n"
      << "  candidate_cells_scanned=" << candidate_cells_scanned
      << " early_exits=" << early_exits << "\n";
+  if (stencil_probes > 0) {
+    os << "  stencil_probes=" << stencil_probes
+       << " stencil_hits=" << stencil_hits << " (hit-rate "
+       << (static_cast<double>(stencil_hits) /
+           static_cast<double>(stencil_probes))
+       << ")\n";
+  }
   if (audit_checks > 0) {
     os << "  audit: " << audit_checks << " checks, " << audit_violations
        << " violations, " << audit_seconds << " s\n";
@@ -106,6 +113,11 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   dict_opts.enable_skipping = options.subdictionary_skipping;
   dict_opts.index = options.use_rtree_index ? CandidateIndex::kRTree
                                             : CandidateIndex::kKdTree;
+  // Stencil construction is only useful to the stencil engine; its size
+  // cap (and hence the high-dimensionality fallback) stays at the
+  // CellDictionaryOptions default.
+  dict_opts.build_stencil =
+      options.batched_queries && options.stencil_queries;
   auto dict_or = CellDictionary::Build(data, cells, dict_opts, &pool);
   if (!dict_or.ok()) return dict_or.status();
   stats.dictionary_seconds = phase_watch.ElapsedSeconds();
@@ -116,7 +128,7 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
     phase_watch.Reset();
     const std::vector<uint8_t> wire = dict_or->Serialize();
     stats.broadcast_bytes = wire.size();
-    auto decoded = CellDictionary::Deserialize(wire, dict_opts);
+    auto decoded = CellDictionary::Deserialize(wire, dict_opts, &pool);
     if (!decoded.ok()) {
       return Status::Internal("broadcast round-trip failed: " +
                               decoded.status().message());
@@ -143,6 +155,7 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   phase_watch.Reset();
   Phase2Options phase2_opts;
   phase2_opts.batched_queries = options.batched_queries;
+  phase2_opts.stencil_queries = options.stencil_queries;
   Phase2Result phase2 =
       BuildSubgraphs(data, cells, dict, options.min_pts, pool, phase2_opts);
   stats.phase2_seconds = phase_watch.ElapsedSeconds();
@@ -151,6 +164,8 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   stats.subdict_possible = phase2.subdict_possible;
   stats.candidate_cells_scanned = phase2.candidate_cells_scanned;
   stats.early_exits = phase2.early_exits;
+  stats.stencil_probes = phase2.stencil_probes;
+  stats.stencil_hits = phase2.stencil_hits;
   for (const uint8_t c : phase2.cell_is_core) {
     stats.num_core_cells += c;
   }

@@ -37,6 +37,14 @@ struct RpDbscanOptions {
   /// produce identical clustering; the toggle exists for ablation.
   bool batched_queries = true;
 
+  /// Phase II candidate enumeration (only with batched_queries): lattice
+  /// stencil — O(1) hash probes of a dictionary-global cell index over a
+  /// precomputed eps-ball offset set — vs per-sub-dictionary tree descent
+  /// (Lemma 5.6). Automatically falls back to the tree path when the
+  /// stencil would exceed its size cap (dimensionality >= 6), mirroring
+  /// the sorted_phase1 fallback pattern. Identical clustering either way.
+  bool stencil_queries = true;
+
   /// Phase I-1 engine: parallel sort-based CSR grouping (key encoding +
   /// radix sort of (key, point_id) pairs + one CSR emit scan) vs the seed
   /// hash-map scan. Both produce bit-identical cell sets (cells numbered
@@ -108,6 +116,12 @@ struct RunStats {
   /// their candidate list was exhausted.
   size_t candidate_cells_scanned = 0;
   size_t early_exits = 0;
+  /// Stencil engine counters (0 on the tree and per-point paths): lattice
+  /// hash probes issued during Phase II (offsets surviving the arithmetic
+  /// disjointness pre-drop, plus one self probe per cell) and probes that
+  /// found a cell.
+  size_t stencil_probes = 0;
+  size_t stencil_hits = 0;
 
   /// Invariant auditing (0 everywhere when audit_level = kOff): checks
   /// evaluated, checks violated (a successful run always reports 0 — any

@@ -1,0 +1,407 @@
+// Randomized three-way equivalence of the Phase II query engines: the
+// lattice-stencil kernel (CellDictionary::QueryCellStencil over the global
+// cell index) must reproduce both the batched tree kernel (QueryCell) and
+// the reference per-point Query path bit-for-bit — same core points, same
+// core cells, same edge sets — across dimensionalities, rho values and
+// skipping settings, including through the serialize/deserialize broadcast
+// round-trip, plus the high-dimensionality and build-option fallbacks and
+// the sub-cell-range MBR containment contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/phase2.h"
+#include "core/rp_dbscan.h"
+#include "synth/generators.h"
+#include "verify/audit.h"
+
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+struct EngineConfig {
+  double eps = 1.0;
+  double rho = 0.05;
+  size_t partitions = 5;
+  size_t min_pts = 20;
+  bool use_rtree = false;
+  bool skipping = true;
+  bool defragment = true;
+  bool build_stencil = true;
+  size_t max_stencil_offsets = 8192;
+  /// Round-trip the dictionary through its Lemma 4.3 wire format before
+  /// querying (the broadcast path rebuilds the global index and stencil).
+  bool roundtrip = false;
+};
+
+struct ThreeWayOutcome {
+  Phase2Result stencil;   // result under Phase2Options defaults
+  Phase2Result tree;      // batched, stencil_queries = false
+  bool has_stencil = false;
+  size_t num_cells = 0;
+  size_t stencil_offsets = 0;
+};
+
+std::vector<std::tuple<uint32_t, uint32_t>> CanonicalEdges(
+    const Phase2Result& r) {
+  std::vector<std::tuple<uint32_t, uint32_t>> edges;
+  for (const CellSubgraph& g : r.subgraphs) {
+    for (const CellEdge& e : g.edges) {
+      EXPECT_EQ(e.type, EdgeType::kUndetermined);
+      edges.emplace_back(e.from, e.to);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+/// Runs all three engines on one pipeline and asserts identical output
+/// plus the per-engine counter contracts.
+ThreeWayOutcome ExpectThreeWayEquivalent(const Dataset& data,
+                                         const EngineConfig& cfg) {
+  ThreeWayOutcome out;
+  auto geom = GridGeometry::Create(data.dim(), cfg.eps, cfg.rho);
+  EXPECT_TRUE(geom.ok());
+  auto cells = CellSet::Build(data, *geom, cfg.partitions, 7);
+  EXPECT_TRUE(cells.ok());
+  CellDictionaryOptions dict_opts;
+  dict_opts.max_cells_per_subdict = 64;  // force several sub-dictionaries
+  dict_opts.defragment = cfg.defragment;
+  dict_opts.enable_skipping = cfg.skipping;
+  dict_opts.index =
+      cfg.use_rtree ? CandidateIndex::kRTree : CandidateIndex::kKdTree;
+  dict_opts.build_stencil = cfg.build_stencil;
+  dict_opts.max_stencil_offsets = cfg.max_stencil_offsets;
+  ThreadPool pool(3);
+  auto built = CellDictionary::Build(data, *cells, dict_opts, &pool);
+  EXPECT_TRUE(built.ok());
+  CellDictionary dict = std::move(*built);
+  if (cfg.roundtrip) {
+    auto wire = CellDictionary::Deserialize(dict.Serialize(), dict_opts,
+                                            &pool);
+    EXPECT_TRUE(wire.ok());
+    EXPECT_EQ(wire->has_stencil(), dict.has_stencil());
+    dict = std::move(*wire);
+  }
+
+  Phase2Options per_point_opts;
+  per_point_opts.batched_queries = false;
+  Phase2Options tree_opts;
+  tree_opts.stencil_queries = false;
+  const Phase2Options stencil_opts;  // defaults: batched + stencil
+  Phase2Result a =
+      BuildSubgraphs(data, *cells, dict, cfg.min_pts, pool, per_point_opts);
+  Phase2Result t =
+      BuildSubgraphs(data, *cells, dict, cfg.min_pts, pool, tree_opts);
+  Phase2Result s =
+      BuildSubgraphs(data, *cells, dict, cfg.min_pts, pool, stencil_opts);
+
+  EXPECT_EQ(a.point_is_core, t.point_is_core);
+  EXPECT_EQ(a.point_is_core, s.point_is_core);
+  EXPECT_EQ(a.cell_is_core, t.cell_is_core);
+  EXPECT_EQ(a.cell_is_core, s.cell_is_core);
+  const auto edges = CanonicalEdges(a);
+  EXPECT_EQ(edges, CanonicalEdges(t));
+  EXPECT_EQ(edges, CanonicalEdges(s));
+  // Structural auditors at kFull: all three engines must emit
+  // invariant-clean structures, not merely equal ones.
+  const AuditReport cell_audit = AuditCellSet(data, *cells, AuditLevel::kFull);
+  EXPECT_TRUE(cell_audit.ok()) << cell_audit.ToString();
+  const AuditReport dict_audit =
+      AuditDictionary(data, *cells, dict, AuditLevel::kFull);
+  EXPECT_TRUE(dict_audit.ok()) << dict_audit.ToString();
+  for (const Phase2Result* r : {&a, &t, &s}) {
+    const AuditReport graph_audit =
+        AuditCellGraph(data, *cells, *r, AuditLevel::kFull);
+    EXPECT_TRUE(graph_audit.ok()) << graph_audit.ToString();
+  }
+  // Counter contracts. Only the stencil engine issues lattice probes; the
+  // arithmetic pre-drop bounds its probe count by (|stencil| + 1) per
+  // processed cell (every CellSet cell is non-empty and processed once)
+  // from above, and by one per cell from below — the source cell's MBR
+  // sits inside its own box, so the self probe can never be dropped and
+  // always hits, giving hits >= cells too.
+  EXPECT_EQ(a.stencil_probes, 0u);
+  EXPECT_EQ(a.stencil_hits, 0u);
+  EXPECT_EQ(t.stencil_probes, 0u);
+  EXPECT_EQ(t.stencil_hits, 0u);
+  EXPECT_GT(t.subdict_visited, 0u);
+  if (dict.has_stencil()) {
+    EXPECT_GE(s.stencil_probes, cells->num_cells());
+    EXPECT_LE(s.stencil_probes,
+              cells->num_cells() * (dict.stencil().num_offsets() + 1));
+    EXPECT_LE(s.stencil_hits, s.stencil_probes);
+    EXPECT_GE(s.stencil_hits, cells->num_cells());
+    // The stencil engine never descends sub-dictionaries.
+    EXPECT_EQ(s.subdict_visited, 0u);
+    EXPECT_EQ(s.subdict_possible, 0u);
+  } else {
+    // Fallback: stencil_queries silently took the tree path, so the
+    // tree-side counters must match run t exactly.
+    EXPECT_EQ(s.stencil_probes, 0u);
+    EXPECT_EQ(s.stencil_hits, 0u);
+    EXPECT_EQ(s.subdict_visited, t.subdict_visited);
+    EXPECT_EQ(s.subdict_possible, t.subdict_possible);
+    EXPECT_EQ(s.candidate_cells_scanned, t.candidate_cells_scanned);
+    EXPECT_EQ(s.early_exits, t.early_exits);
+  }
+  out.has_stencil = dict.has_stencil();
+  out.num_cells = cells->num_cells();
+  out.stencil_offsets = dict.has_stencil() ? dict.stencil().num_offsets() : 0;
+  out.tree = std::move(t);
+  out.stencil = std::move(s);
+  return out;
+}
+
+TEST(StencilQueryTest, RandomizedAcrossDimsRhoAndSkipping) {
+  uint64_t seed = TestSeed(4000);
+  SCOPED_TRACE(SeedNote(seed));
+  for (size_t dim = 2; dim <= 5; ++dim) {
+    const Dataset data = synth::Blobs(1000, 4, 2.0, ++seed, dim);
+    for (const double rho : {0.3, 0.05}) {
+      for (const bool skipping : {true, false}) {
+        SCOPED_TRACE("dim=" + std::to_string(dim) +
+                     " rho=" + std::to_string(rho) +
+                     " skip=" + std::to_string(skipping));
+        EngineConfig cfg;
+        cfg.eps = 2.5;
+        cfg.rho = rho;
+        cfg.min_pts = 20;
+        cfg.skipping = skipping;
+        const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+        EXPECT_TRUE(o.has_stencil);  // default cap covers d <= 5
+      }
+    }
+  }
+}
+
+TEST(StencilQueryTest, SkewedGeoLifeAnalogueRhoSweep) {
+  // The workload the stencil engine targets: one super-dense component
+  // where every probe hits and tiny rho makes sub-cell grids deep. Also
+  // exercises the R-tree tree path against the stencil.
+  const uint64_t seed = TestSeed(4901);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::GeoLifeLike(3000, seed);
+  for (const double rho : {0.25, 0.05, 0.01}) {
+    for (const bool rtree : {false, true}) {
+      SCOPED_TRACE("rho=" + std::to_string(rho) +
+                   " rtree=" + std::to_string(rtree));
+      EngineConfig cfg;
+      cfg.eps = 2.0;
+      cfg.rho = rho;
+      cfg.min_pts = 20;
+      cfg.use_rtree = rtree;
+      const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+      EXPECT_TRUE(o.has_stencil);
+      // 3-d stencil: the whole 5^3 window minus self.
+      EXPECT_EQ(o.stencil_offsets, 124u);
+      EXPECT_GT(o.stencil.early_exits, 0u);  // dense cells prove coreness
+    }
+  }
+}
+
+TEST(StencilQueryTest, MinPtsOnBothSidesOfEarlyExit) {
+  const uint64_t seed = TestSeed(4077);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Blobs(1500, 3, 1.5, seed, 3);
+  std::vector<size_t> probes_per_min_pts;
+  for (const size_t min_pts : {size_t{1}, size_t{25}, size_t{1000000}}) {
+    SCOPED_TRACE("min_pts=" + std::to_string(min_pts));
+    EngineConfig cfg;
+    cfg.eps = 1.2;
+    cfg.min_pts = min_pts;
+    const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+    // The probe count is a function of geometry and point MBRs only (the
+    // arithmetic pre-drop sees neither densities nor min_pts), so it must
+    // be identical on both sides of the early-exit threshold; only the
+    // downstream scan work varies.
+    EXPECT_GE(o.stencil.stencil_probes, o.num_cells);
+    EXPECT_LE(o.stencil.stencil_probes,
+              o.num_cells * (o.stencil_offsets + 1));
+    probes_per_min_pts.push_back(o.stencil.stencil_probes);
+  }
+  ASSERT_EQ(probes_per_min_pts.size(), 3u);
+  EXPECT_EQ(probes_per_min_pts[0], probes_per_min_pts[1]);
+  EXPECT_EQ(probes_per_min_pts[0], probes_per_min_pts[2]);
+}
+
+TEST(StencilQueryTest, HighDimFallbackStaysEquivalent) {
+  // d = 6 exceeds the default stencil cap: the dictionary must come back
+  // without a stencil and stencil_queries must silently ride the tree
+  // path, still bit-identical to the reference.
+  const uint64_t seed = TestSeed(4666);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Blobs(600, 3, 2.0, seed, 6);
+  EngineConfig cfg;
+  cfg.eps = 3.0;
+  cfg.min_pts = 10;
+  const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+  EXPECT_FALSE(o.has_stencil);
+  // Raising the cap far enough re-enables the stencil at d = 6.
+  EngineConfig wide = cfg;
+  wide.max_stencil_offsets = 65536;
+  const ThreeWayOutcome ow = ExpectThreeWayEquivalent(data, wide);
+  EXPECT_TRUE(ow.has_stencil);
+  EXPECT_EQ(ow.stencil_offsets, 41220u);
+}
+
+TEST(StencilQueryTest, BuildStencilOffFallsBack) {
+  const uint64_t seed = TestSeed(4042);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Moons(800, 0.05, seed);
+  EngineConfig cfg;
+  cfg.eps = 0.05;
+  cfg.rho = 0.25;
+  cfg.min_pts = 3;
+  cfg.defragment = false;
+  cfg.build_stencil = false;
+  const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+  EXPECT_FALSE(o.has_stencil);
+}
+
+TEST(StencilQueryTest, SerializeRoundtripRebuildsIndexAndStencil) {
+  // The broadcast path: Deserialize must rebuild the global cell index
+  // and stencil so receiving workers can run the stencil engine, with
+  // results identical to the sender's.
+  uint64_t seed = TestSeed(4123);
+  SCOPED_TRACE(SeedNote(seed));
+  for (size_t dim = 2; dim <= 3; ++dim) {
+    SCOPED_TRACE("dim=" + std::to_string(dim));
+    const Dataset data = synth::Blobs(900, 4, 2.0, ++seed, dim);
+    EngineConfig cfg;
+    cfg.eps = 2.0;
+    cfg.min_pts = 15;
+    cfg.roundtrip = true;
+    const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
+    EXPECT_TRUE(o.has_stencil);
+  }
+}
+
+TEST(StencilQueryTest, FindDictCellResolvesEveryCellAndRejectsAbsent) {
+  const uint64_t seed = TestSeed(4555);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::Blobs(1200, 4, 2.0, seed, 3);
+  auto geom = GridGeometry::Create(3, 2.0, 0.05);
+  ASSERT_TRUE(geom.ok());
+  auto cells = CellSet::Build(data, *geom, 4, 7);
+  ASSERT_TRUE(cells.ok());
+  CellDictionaryOptions dict_opts;
+  dict_opts.max_cells_per_subdict = 64;
+  auto dict = CellDictionary::Build(data, *cells, dict_opts);
+  ASSERT_TRUE(dict.ok());
+  for (uint32_t cid = 0; cid < cells->num_cells(); ++cid) {
+    const CellCoord& coord = cells->cell(cid).coord;
+    const DictCellRef ref = dict->FindDictCell(coord);
+    ASSERT_TRUE(static_cast<bool>(ref));
+    EXPECT_EQ(ref.cell->cell_id, cid);
+    EXPECT_TRUE(ref.cell->coord == coord);
+    EXPECT_GT(ref.cell->total_count, 0u);
+  }
+  // A coordinate far outside the populated lattice resolves to null.
+  int32_t far[CellCoord::kMaxDim] = {};
+  const CellCoord& some = cells->cell(0).coord;
+  for (size_t d = 0; d < 3; ++d) far[d] = some[d];
+  far[0] += 100000;
+  EXPECT_FALSE(static_cast<bool>(dict->FindDictCell(CellCoord(far, 3))));
+}
+
+TEST(StencilQueryTest, SubcellRangeMbrCoversEveryPoint) {
+  // The contract ProcessCellBatched's debug assert enforces, checked here
+  // in every build mode: the box decoded from occupied sub-cell ranges
+  // covers each of the cell's points, and lies within the cell box padded
+  // by one float ulp per face.
+  uint64_t seed = TestSeed(4200);
+  SCOPED_TRACE(SeedNote(seed));
+  for (size_t dim = 2; dim <= 4; ++dim) {
+    SCOPED_TRACE("dim=" + std::to_string(dim));
+    const Dataset data = synth::Blobs(1000, 5, 2.5, ++seed, dim);
+    auto geom = GridGeometry::Create(dim, 1.7, 0.04);
+    ASSERT_TRUE(geom.ok());
+    auto cells = CellSet::Build(data, *geom, 4, 7);
+    ASSERT_TRUE(cells.ok());
+    auto dict = CellDictionary::Build(data, *cells, CellDictionaryOptions());
+    ASSERT_TRUE(dict.ok());
+    for (uint32_t cid = 0; cid < cells->num_cells(); ++cid) {
+      const CellData& cell = cells->cell(cid);
+      float lo[CellCoord::kMaxDim];
+      float hi[CellCoord::kMaxDim];
+      ASSERT_TRUE(SubcellRangeMbr(*dict, cell.coord, lo, hi));
+      for (const uint32_t pid : cell.point_ids) {
+        const float* p = data.point(pid);
+        for (size_t d = 0; d < dim; ++d) {
+          ASSERT_GE(p[d], lo[d]) << "cell " << cid << " dim " << d;
+          ASSERT_LE(p[d], hi[d]) << "cell " << cid << " dim " << d;
+        }
+      }
+      // The box stays within the cell box up to float-rounding slack:
+      // double->float rounding plus the one-ulp outward padding is at
+      // most ~1.5 float ulps of the coordinate magnitude.
+      for (size_t d = 0; d < dim; ++d) {
+        const double origin = geom->CellOrigin(cell.coord, d);
+        const double mag =
+            std::abs(origin) + geom->cell_side() + 1.0;
+        const double slack =
+            4.0 * mag *
+            static_cast<double>(std::numeric_limits<float>::epsilon());
+        EXPECT_GE(static_cast<double>(lo[d]), origin - slack);
+        EXPECT_LE(static_cast<double>(hi[d]),
+                  origin + geom->cell_side() + slack);
+      }
+    }
+    // Absent coordinate: the caller must get false (and then fall back to
+    // a point scan).
+    int32_t far[CellCoord::kMaxDim] = {};
+    for (size_t d = 0; d < dim; ++d) far[d] = cells->cell(0).coord[d];
+    far[dim - 1] -= 99999;
+    float lo[CellCoord::kMaxDim];
+    float hi[CellCoord::kMaxDim];
+    EXPECT_FALSE(SubcellRangeMbr(*dict, CellCoord(far, dim), lo, hi));
+  }
+}
+
+TEST(StencilQueryTest, EndToEndPipelineLabelsIdentical) {
+  // Full RunRpDbscan under all three engines: identical labels, and the
+  // run stats reflect which engine actually executed.
+  const uint64_t seed = TestSeed(4321);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset data = synth::GeoLifeLike(2500, seed);
+  RpDbscanOptions base;
+  base.eps = 2.0;
+  base.min_pts = 20;
+  base.rho = 0.01;
+  base.num_partitions = 6;
+  base.num_threads = 3;
+  base.audit_level = AuditLevel::kCheap;
+
+  RpDbscanOptions stencil = base;  // defaults: batched + stencil
+  RpDbscanOptions tree = base;
+  tree.stencil_queries = false;
+  RpDbscanOptions per_point = base;
+  per_point.batched_queries = false;
+
+  const auto rs = RunRpDbscan(data, stencil);
+  const auto rt = RunRpDbscan(data, tree);
+  const auto rp = RunRpDbscan(data, per_point);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rt.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(rs->labels, rt->labels);
+  EXPECT_EQ(rs->labels, rp->labels);
+  EXPECT_GT(rs->stats.stencil_probes, 0u);
+  EXPECT_LE(rs->stats.stencil_hits, rs->stats.stencil_probes);
+  EXPECT_EQ(rt->stats.stencil_probes, 0u);
+  EXPECT_EQ(rp->stats.stencil_probes, 0u);
+  EXPECT_GT(rt->stats.subdict_visited, 0u);
+  EXPECT_EQ(rs->stats.subdict_visited, 0u);  // stencil never descends
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -52,6 +52,9 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
     --threads=T           worker threads (default 4)
     --perpoint            rp only: use the reference per-point query path
                           instead of the batched Phase II kernel
+    --tree-queries        rp only: enumerate Phase II candidates by
+                          per-sub-dictionary tree descent instead of the
+                          lattice-stencil hash probes
     --hashmap-phase1      rp only: use the reference hash-map Phase I-1
                           grouping instead of the sorted CSR build
     --audit[=LEVEL]       rp only: audit pipeline invariants between
@@ -122,6 +125,7 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
     o.num_partitions = static_cast<size_t>(*parts_or);
     o.num_threads = static_cast<size_t>(*threads_or);
     o.batched_queries = !flags.GetBool("perpoint");
+    o.stencil_queries = !flags.GetBool("tree-queries");
     o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
     if (flags.Has("audit")) {
       const std::string level = flags.GetString("audit");

@@ -3,12 +3,17 @@
 # is recorded alongside the code:
 #   * Phase I-1 build (bench_micro BM_Phase1Build): sorted CSR grouping vs
 #     the seed hash-map scan, GeoLifeLike at two sizes -> BENCH_phase1.json
-#   * Phase II query kernel (bench_micro BM_Phase2Query): batched per-cell
-#     vs per-point, plus the Fig. 12 phase breakdown -> BENCH_phase2.json
+#   * Phase II query kernel (bench_micro BM_Phase2Query): lattice-stencil
+#     vs batched-tree vs per-point, plus the Fig. 12 phase breakdown
+#     -> BENCH_phase2.json
 #
-# Usage: tools/run_bench.sh [--smoke] [BUILD_DIR] [OUTPUT_JSON] [PHASE1_JSON]
-#   --smoke      tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
-#                used by the `run_bench_smoke` ctest entry.
+# Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
+#                           [OUTPUT_JSON] [PHASE1_JSON]
+#   --smoke        tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
+#                  used by the `run_bench_smoke` ctest entry.
+#   --allow-debug  permit a non-Release build dir. Without it the script
+#                  refuses: numbers from unoptimized builds poison the
+#                  perf trajectory the BENCH jsons record.
 #   BUILD_DIR    cmake build directory (default: ./build)
 #   OUTPUT_JSON  Phase II output path (default: ./BENCH_phase2.json)
 #   PHASE1_JSON  Phase I output path (default: OUTPUT_JSON with "phase2"
@@ -16,10 +21,15 @@
 set -euo pipefail
 
 SMOKE=0
-if [[ "${1:-}" == "--smoke" ]]; then
-  SMOKE=1
+ALLOW_DEBUG=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    --allow-debug) ALLOW_DEBUG=1 ;;
+    *) echo "run_bench.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_phase2.json}"
 OUT1_JSON="${3:-}"
@@ -28,6 +38,19 @@ if [[ -z "$OUT1_JSON" ]]; then
   if [[ "$OUT1_JSON" == "$OUT_JSON" ]]; then
     OUT1_JSON="BENCH_phase1.json"
   fi
+fi
+
+# Only a Release build yields numbers worth recording. (The default cmake
+# configure here is RelWithDebInfo, and a stale Debug tree silently skews
+# every ratio in the output jsons.)
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
+  echo "run_bench.sh: build dir '$BUILD_DIR' has CMAKE_BUILD_TYPE=" \
+       "'${BUILD_TYPE:-unknown}', not Release." >&2
+  echo "  configure with -DCMAKE_BUILD_TYPE=Release, or pass" \
+       "--allow-debug to record anyway (smoke/CI only)." >&2
+  exit 1
 fi
 
 BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
@@ -129,12 +152,18 @@ for b in raw.get("benchmarks", []):
         "items_per_second": b.get("items_per_second"),
         "candidate_cells_scanned": b.get("candidate_cells_scanned"),
         "early_exits": b.get("early_exits"),
+        "stencil_probes": b.get("stencil_probes"),
+        "stencil_hits": b.get("stencil_hits"),
     })
 
-times = {k["kernel"]: k["real_time_ms"] for k in kernels}
-speedup = None
-if times.get("batched") and times.get("per_point"):
-    speedup = times["per_point"] / times["batched"]
+times = {k["kernel"]: k["real_time_ms"] for k in kernels
+         if k["kernel"] in ("per_point", "batched_tree", "stencil")}
+speedups = {}
+for fast, slow in (("batched_tree", "per_point"),
+                   ("stencil", "per_point"),
+                   ("stencil", "batched_tree")):
+    if times.get(fast) and times.get(slow):
+        speedups[f"speedup_{fast}_over_{slow}"] = times[slow] / times[fast]
 
 with open(fig12_txt) as f:
     fig12 = f.read()
@@ -144,11 +173,12 @@ out = {
     "bench_scale": float(scale),
     "context": raw.get("context", {}),
     "phase2_kernels": kernels,
-    "speedup_batched_over_per_point": speedup,
+    **speedups,
     "fig12_breakdown": fig12,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
-print(f"wrote {out_path}"
-      + (f" (batched speedup {speedup:.2f}x)" if speedup else ""))
+summary = ", ".join(f"{k.removeprefix('speedup_')}: {v:.2f}x"
+                    for k, v in speedups.items())
+print(f"wrote {out_path}" + (f" ({summary})" if summary else ""))
 PY

@@ -2,9 +2,13 @@
 # Sanitizer / release check matrix:
 #   1. Debug + ASan + UBSan over the full test suite (minus `slow` tests —
 #      the bench smoke run rebuilds nothing and times out under ASan).
+#      Includes the lattice-stencil engine suites (stencil_query_test,
+#      lattice_stencil_test) and, with NDEBUG off, the sub-cell-range MBR
+#      containment assertions in ProcessCellBatched.
 #   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
-#      thread-pool, parallel-sort, phase2, merge and end-to-end suites that
-#      exercise every concurrent code path.
+#      thread-pool, parallel-sort, phase2 (all three query engines, incl.
+#      the concurrent FlatCellIndex::BuildHashed), merge and end-to-end
+#      suites that exercise every concurrent code path.
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

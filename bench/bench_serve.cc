@@ -1,0 +1,181 @@
+// Serving-layer throughput: batched queries/sec of the frozen-snapshot
+// LabelServer at 1, 2 and 4 worker threads on the GeoLife analogue.
+//
+// The workload is the round-trip contract's worst case: every *training*
+// point is served back, so every query takes the exact path (home-cell
+// density replay plus, for non-core cells, the border-reference walk) —
+// no query short-circuits through the cheap far-noise exit. Reported
+// queries/sec is the best of kReps timed batches after one warmup.
+//
+// On this one-core host the 2- and 4-thread rows measure scheduling
+// overhead rather than speed-up; the interesting single-machine number is
+// the 1-thread row, and the thread sweep verifies the wait-free read path
+// scales without contention (see tests/serve_concurrent_test.cc for the
+// correctness side).
+//
+// Usage: bench_serve [OUTPUT_JSON]
+//   OUTPUT_JSON  where to write the machine-readable report
+//                (default: BENCH_serve.json in the working directory)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+#include "parallel/thread_pool.h"
+#include "serve/label_server.h"
+#include "serve/snapshot.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+constexpr size_t kReps = 3;
+constexpr size_t kThreadSweep[] = {1, 2, 4};
+
+struct ServeRun {
+  size_t threads = 0;
+  double seconds = 0;
+  ServeStats stats;
+};
+
+int Run(const std::string& out_path) {
+  PrintHeader(
+      "Serving layer: batched label queries/sec vs thread count\n"
+      "(GeoLife analogue, frozen snapshot, every training point served\n"
+      " back on the exact path)");
+
+  const BenchDataset geo = MakeGeoLife();
+  const double eps = geo.eps10;
+
+  RpDbscanOptions opts;
+  opts.eps = eps;
+  opts.min_pts = kMinPts;
+  opts.num_threads = kThreads;
+  opts.capture_model = true;
+
+  Stopwatch freeze_watch;
+  auto run = RunRpDbscan(geo.data, opts);
+  if (!run.ok()) {
+    std::fprintf(stderr, "bench_serve: clustering failed: %s\n",
+                 run.status().ToString().c_str());
+    return 1;
+  }
+  auto snap = ClusterModelSnapshot::FromModel(std::move(*run->model));
+  if (!snap.ok()) {
+    std::fprintf(stderr, "bench_serve: freeze failed: %s\n",
+                 snap.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<uint8_t> bytes = snap->Serialize();
+  const double freeze_seconds = freeze_watch.ElapsedSeconds();
+
+  // Serve from a deserialized copy, as a real server process would — the
+  // load time below is the cost of bringing one snapshot online.
+  Stopwatch load_watch;
+  auto loaded = ClusterModelSnapshot::Deserialize(bytes);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bench_serve: load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const double load_seconds = load_watch.ElapsedSeconds();
+  const ClusterModelSnapshot::Meta meta = loaded->meta();
+  const LabelServer server(
+      std::make_shared<const ClusterModelSnapshot>(std::move(*loaded)));
+
+  std::printf(
+      "dataset=%s points=%zu cells=%llu clusters=%llu "
+      "snapshot=%zu bytes (freeze %.3fs, load %.3fs)\n",
+      geo.name.c_str(), geo.data.size(),
+      static_cast<unsigned long long>(meta.num_cells),
+      static_cast<unsigned long long>(meta.num_clusters), bytes.size(),
+      freeze_seconds, load_seconds);
+  std::printf("%8s %12s %14s %10s %10s %10s\n", "threads", "seconds",
+              "queries/sec", "core", "border", "noise");
+
+  std::vector<ServeRun> runs;
+  for (const size_t threads : kThreadSweep) {
+    ThreadPool pool(threads);
+    std::vector<ServeResult> results;
+    ServeRun best;
+    best.threads = threads;
+    for (size_t rep = 0; rep <= kReps; ++rep) {  // rep 0 is warmup
+      ServeStats stats;
+      Stopwatch watch;
+      const Status s =
+          server.ClassifyBatch(geo.data, pool, &results, &stats);
+      const double seconds = watch.ElapsedSeconds();
+      if (!s.ok()) {
+        std::fprintf(stderr, "bench_serve: batch failed: %s\n",
+                     s.ToString().c_str());
+        return 1;
+      }
+      if (rep == 0) continue;
+      if (best.seconds == 0 || seconds < best.seconds) {
+        best.seconds = seconds;
+        best.stats = stats;
+      }
+    }
+    const double qps =
+        best.seconds > 0 ? static_cast<double>(best.stats.queries) /
+                               best.seconds
+                         : 0;
+    std::printf("%8zu %12.4f %14.0f %10llu %10llu %10llu\n", threads,
+                best.seconds, qps,
+                static_cast<unsigned long long>(best.stats.core),
+                static_cast<unsigned long long>(best.stats.border),
+                static_cast<unsigned long long>(best.stats.noise));
+    std::fflush(stdout);
+    runs.push_back(best);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("generated_by").Value("bench/bench_serve");
+  w.Key("bench_scale").Value(BenchScale());
+  w.Key("dataset").Value(geo.name);
+  w.Key("eps").Value(eps);
+  w.Key("min_pts").Value(static_cast<uint64_t>(kMinPts));
+  w.Key("num_points").Value(static_cast<uint64_t>(geo.data.size()));
+  w.Key("num_cells").Value(meta.num_cells);
+  w.Key("num_clusters").Value(meta.num_clusters);
+  w.Key("snapshot_bytes").Value(static_cast<uint64_t>(bytes.size()));
+  w.Key("freeze_seconds").Value(freeze_seconds);
+  w.Key("load_seconds").Value(load_seconds);
+  w.Key("reps").Value(static_cast<uint64_t>(kReps));
+  w.Key("runs").BeginArray();
+  for (const ServeRun& r : runs) {
+    w.Raw(ServeStatsToJson(r.stats, r.seconds, r.threads));
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_serve: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const std::string json = w.TakeString();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_serve.json";
+  return rpdbscan::bench::Run(out);
+}

@@ -377,6 +377,26 @@ class CellDictionary {
   /// Returns a null ref for coordinates with no dictionary cell.
   DictCellRef FindDictCell(const CellCoord& coord) const;
 
+  // --- Read-only serving surface (src/serve/). The label server probes
+  // --- the dictionary-global index directly — stencil-ordered FindHashed
+  // --- probes resolved from the 24-byte GlobalCellRefs, coordinates
+  // --- confirmed against the flat ref_coords array — without going
+  // --- through the Phase II candidate-list machinery. ---
+
+  /// The dictionary-global open-addressing cell index (hashed-slot mode).
+  const FlatCellIndex& cell_index() const { return cell_index_; }
+  /// GlobalCellRef payloads, in the order cell_index() ids resolve to.
+  const std::vector<GlobalCellRef>& cell_refs() const { return cell_refs_; }
+  /// Lattice coordinates matching cell_refs() (dim int32s per cell): the
+  /// hash-collision confirm array for FlatCellIndex::FindHashed.
+  const std::vector<int32_t>& ref_coords() const { return ref_coords_; }
+
+  /// Index into cell_refs() of the cell at `coord`, or -1 when absent.
+  int64_t FindCellRefIndex(const CellCoord& coord) const {
+    return cell_index_.FindHashed(coord.hash(), coord.data(),
+                                  geom_.dim(), ref_coords_.data());
+  }
+
   /// True when the eps-ball lattice stencil was built (build_stencil set
   /// and the offset count within max_stencil_offsets).
   bool has_stencil() const { return stencil_.enabled(); }
@@ -408,9 +428,12 @@ class CellDictionary {
       const CellDictionaryOptions& opts = CellDictionaryOptions(),
       ThreadPool* pool = nullptr);
 
- private:
+  /// An inert dictionary (no cells, dim-0 geometry): only useful as an
+  /// assignment target — CapturedModel and the snapshot loader construct
+  /// one and move a built dictionary in. Mirrors GridGeometry's default.
   CellDictionary() = default;
 
+ private:
   /// Shared assembly path of Build and Deserialize: defragmentation (BSP),
   /// per-fragment kd-trees, MBRs, pre-decoded sub-cell centers, the global
   /// cell index (parallel on `pool` when given) and the lattice stencil.

@@ -1,5 +1,6 @@
 #include "core/rp_dbscan.h"
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 
@@ -10,6 +11,7 @@
 #include "core/merge.h"
 #include "core/phase2.h"
 #include "parallel/thread_pool.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 #include "verify/audit.h"
 
@@ -49,6 +51,46 @@ std::string RunStats::ToString() const {
   for (const size_t e : edges_per_round) os << ' ' << e;
   os << '\n';
   return os.str();
+}
+
+std::string RunStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("partition_seconds").Value(partition_seconds);
+  w.Key("key_seconds").Value(key_seconds);
+  w.Key("sort_seconds").Value(sort_seconds);
+  w.Key("scatter_seconds").Value(scatter_seconds);
+  w.Key("dictionary_seconds").Value(dictionary_seconds);
+  w.Key("broadcast_seconds").Value(broadcast_seconds);
+  w.Key("phase2_seconds").Value(phase2_seconds);
+  w.Key("merge_seconds").Value(merge_seconds);
+  w.Key("label_seconds").Value(label_seconds);
+  w.Key("total_seconds").Value(total_seconds);
+  w.Key("num_cells").Value(num_cells);
+  w.Key("num_subcells").Value(num_subcells);
+  w.Key("num_subdictionaries").Value(num_subdictionaries);
+  w.Key("dictionary_bytes").Value(dictionary_bytes);
+  w.Key("broadcast_bytes").Value(broadcast_bytes);
+  w.Key("num_core_cells").Value(num_core_cells);
+  w.Key("num_clusters").Value(num_clusters);
+  w.Key("num_noise_points").Value(num_noise_points);
+  w.Key("subdict_visited").Value(subdict_visited);
+  w.Key("subdict_possible").Value(subdict_possible);
+  w.Key("candidate_cells_scanned").Value(candidate_cells_scanned);
+  w.Key("early_exits").Value(early_exits);
+  w.Key("stencil_probes").Value(stencil_probes);
+  w.Key("stencil_hits").Value(stencil_hits);
+  w.Key("audit_checks").Value(audit_checks);
+  w.Key("audit_violations").Value(audit_violations);
+  w.Key("audit_seconds").Value(audit_seconds);
+  w.Key("phase2_task_seconds").BeginArray();
+  for (const double s : phase2_task_seconds) w.Value(s);
+  w.EndArray();
+  w.Key("edges_per_round").BeginArray();
+  for (const size_t e : edges_per_round) w.Value(e);
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
 }
 
 StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
@@ -213,6 +255,51 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
                     options.min_pts, audit, options.seed);
     stats.audit_seconds += audit_watch.ElapsedSeconds();
     RPDBSCAN_RETURN_IF_ERROR(apply_audit("labels", rep));
+  }
+
+  // ---- Model capture for the serving layer (src/serve/). Runs last, and
+  // here rather than in a caller, because extracting the border references
+  // needs the CellSet (which cells of which points) alive, and the
+  // dictionary move must come after the final audit that reads it.
+  if (options.capture_model) {
+    auto model = std::make_shared<CapturedModel>();
+    model->min_pts = options.min_pts;
+    model->num_points = data.size();
+    const size_t dim = data.dim();
+    const size_t num_cells = cells.num_cells();
+    // Border references: for every cell that appears in some non-core
+    // cell's predecessor list, the coordinates of its core points in cell
+    // point-id order — exactly the points, and exactly the order, that
+    // LabelPoints' first-match walk tests. Serving replays that walk
+    // bit-for-bit from these copies.
+    std::vector<uint8_t> referenced(num_cells, 0);
+    for (const std::vector<uint32_t>& preds : merged.predecessors) {
+      for (const uint32_t p : preds) referenced[p] = 1;
+    }
+    model->ref_offsets.assign(num_cells + 1, 0);
+    for (uint32_t cid = 0; cid < num_cells; ++cid) {
+      uint64_t count = 0;
+      if (referenced[cid]) {
+        for (const uint32_t pid : cells.cell(cid).point_ids) {
+          count += phase2.point_is_core[pid];
+        }
+      }
+      model->ref_offsets[cid + 1] = model->ref_offsets[cid] + count;
+    }
+    model->ref_coords.resize(model->ref_offsets[num_cells] * dim);
+    for (uint32_t cid = 0; cid < num_cells; ++cid) {
+      if (referenced[cid] == 0) continue;
+      float* out = model->ref_coords.data() + model->ref_offsets[cid] * dim;
+      for (const uint32_t pid : cells.cell(cid).point_ids) {
+        if (phase2.point_is_core[pid] == 0) continue;
+        const float* p = data.point(pid);
+        out = std::copy(p, p + dim, out);
+      }
+    }
+    model->point_is_core = std::move(phase2.point_is_core);
+    model->merged = std::move(merged);
+    model->dictionary = std::move(*dict_or);
+    result.model = std::move(model);
   }
 
   stats.total_seconds = total.ElapsedSeconds();

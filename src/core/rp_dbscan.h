@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/cell_dictionary.h"
+#include "core/merge.h"
 #include "io/dataset.h"
 #include "util/status.h"
 #include "verify/audit.h"
@@ -71,6 +74,37 @@ struct RpDbscanOptions {
   /// violated invariant fails the run with an Internal status naming the
   /// stage and the first violations; check counts land in RunStats.
   AuditLevel audit_level = AuditLevel::kOff;
+
+  /// Capture the frozen clustering model (dictionary, cell-cluster table,
+  /// border references) on the result for the serving layer (src/serve/);
+  /// see CapturedModel. Costs one pass over the cells plus copies of the
+  /// referenced core points — nothing on the clustering hot path.
+  bool capture_model = false;
+};
+
+/// The frozen artifacts of one finished run that out-of-sample label
+/// serving needs (src/serve/snapshot.h turns this into an immutable,
+/// versioned ClusterModelSnapshot):
+///  * the cell dictionary Phase II actually queried (post-broadcast when
+///    simulate_broadcast is on), whose (eps,rho)-density answers are the
+///    exact core criterion of the run;
+///  * the merged per-cell cluster table and predecessor lists (Phase III);
+///  * for exact border reassignment, the core points of every cell that
+///    appears in some predecessor list, stored in the exact order
+///    LabelPoints walks them — serving a border query replays the same
+///    first-match walk bit-for-bit.
+struct CapturedModel {
+  CellDictionary dictionary;
+  MergeResult merged;
+  /// Per training point: 1 iff its (eps,rho)-density reached min_pts.
+  std::vector<uint8_t> point_is_core;
+  size_t min_pts = 0;
+  size_t num_points = 0;
+  /// CSR over cell ids: cell c's stored core-point coordinates are
+  /// ref_coords[ref_offsets[c] * dim .. ref_offsets[c + 1] * dim).
+  /// Non-empty only for cells referenced as a labeling predecessor.
+  std::vector<uint64_t> ref_offsets;
+  std::vector<float> ref_coords;
 };
 
 /// Timing and structure statistics of one run — the observables every
@@ -132,6 +166,10 @@ struct RunStats {
 
   /// Multi-line human-readable report.
   std::string ToString() const;
+
+  /// The same observables as one machine-readable JSON object (the
+  /// --stats-json emitter; serve reuses the writer for its own stats).
+  std::string ToJson() const;
 };
 
 /// A finished clustering: one label per point (kNoise for outliers) plus
@@ -139,6 +177,9 @@ struct RunStats {
 struct RpDbscanResult {
   Labels labels;
   RunStats stats;
+  /// Set iff RpDbscanOptions::capture_model was on. Shared so the result
+  /// stays copyable and the serving layer can hold the model alive.
+  std::shared_ptr<CapturedModel> model;
 };
 
 /// Runs the full three-phase RP-DBSCAN pipeline (Alg. 1) on `data`.

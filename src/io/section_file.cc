@@ -1,0 +1,173 @@
+#include "io/section_file.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/hash.h"
+
+namespace rpdbscan {
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kEntryBytes = 32;
+
+void StoreU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+void StoreU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back((v >> (8 * i)) & 0xff);
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void SectionFileWriter::AddSection(uint32_t id,
+                                   std::vector<uint8_t> payload) {
+  ids_.push_back(id);
+  payloads_.push_back(std::move(payload));
+}
+
+std::vector<uint8_t> SectionFileWriter::Finish() const {
+  std::vector<uint8_t> out;
+  size_t total = kHeaderBytes + kEntryBytes * ids_.size();
+  for (const std::vector<uint8_t>& p : payloads_) total += p.size();
+  out.reserve(total);
+  StoreU32(&out, magic_);
+  StoreU32(&out, version_);
+  StoreU32(&out, static_cast<uint32_t>(ids_.size()));
+  StoreU32(&out, 0);
+  uint64_t offset = kHeaderBytes + kEntryBytes * ids_.size();
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    const std::vector<uint8_t>& p = payloads_[i];
+    StoreU32(&out, ids_[i]);
+    StoreU32(&out, 0);
+    StoreU64(&out, offset);
+    StoreU64(&out, p.size());
+    StoreU64(&out, Fnv1a64(p.data(), p.size()));
+    offset += p.size();
+  }
+  for (const std::vector<uint8_t>& p : payloads_) {
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+StatusOr<SectionFileReader> SectionFileReader::Parse(const uint8_t* data,
+                                                     size_t size,
+                                                     uint32_t magic,
+                                                     uint32_t version,
+                                                     std::string container) {
+  SectionFileReader r;
+  r.data_ = data;
+  r.size_ = size;
+  r.container_ = std::move(container);
+  if (size < kHeaderBytes) {
+    return Status::InvalidArgument(r.container_ + " header: truncated (" +
+                                   std::to_string(size) + " bytes)");
+  }
+  if (LoadU32(data) != magic) {
+    return Status::InvalidArgument(r.container_ + " header: bad magic");
+  }
+  const uint32_t got_version = LoadU32(data + 4);
+  if (got_version != version) {
+    return Status::InvalidArgument(
+        r.container_ + " header: unsupported version " +
+        std::to_string(got_version) + " (expected " +
+        std::to_string(version) + ")");
+  }
+  const uint32_t num_sections = LoadU32(data + 8);
+  // Overflow-safe bound: the table alone must fit the buffer.
+  if (num_sections > (size - kHeaderBytes) / kEntryBytes) {
+    return Status::InvalidArgument(r.container_ +
+                                   " section table: truncated (" +
+                                   std::to_string(num_sections) +
+                                   " entries declared)");
+  }
+  r.entries_.reserve(num_sections);
+  for (uint32_t i = 0; i < num_sections; ++i) {
+    const uint8_t* e = data + kHeaderBytes + i * kEntryBytes;
+    SectionEntry entry;
+    entry.id = LoadU32(e);
+    entry.offset = LoadU64(e + 8);
+    entry.size = LoadU64(e + 16);
+    entry.checksum = LoadU64(e + 24);
+    if (entry.offset > size || entry.size > size - entry.offset) {
+      return Status::InvalidArgument(
+          r.container_ + " section table: entry " + std::to_string(i) +
+          " (id " + std::to_string(entry.id) +
+          ") extends past end of buffer");
+    }
+    for (const SectionEntry& prev : r.entries_) {
+      if (prev.id == entry.id) {
+        return Status::InvalidArgument(r.container_ +
+                                       " section table: duplicate id " +
+                                       std::to_string(entry.id));
+      }
+    }
+    r.entries_.push_back(entry);
+  }
+  return r;
+}
+
+const SectionEntry* SectionFileReader::FindEntry(uint32_t id) const {
+  for (const SectionEntry& e : entries_) {
+    if (e.id == id) return &e;
+  }
+  return nullptr;
+}
+
+StatusOr<SectionSpan> SectionFileReader::Section(
+    uint32_t id, const std::string& name) const {
+  const SectionEntry* e = FindEntry(id);
+  if (e == nullptr) {
+    return Status::NotFound(container_ + " section '" + name + "' (id " +
+                            std::to_string(id) + "): missing");
+  }
+  const uint8_t* p = data_ + e->offset;
+  if (Fnv1a64(p, e->size) != e->checksum) {
+    return Status::InvalidArgument(container_ + " section '" + name +
+                                   "' (id " + std::to_string(id) +
+                                   "): checksum mismatch");
+  }
+  return SectionSpan{p, static_cast<size_t>(e->size)};
+}
+
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff end = in.tellg();
+  if (end < 0) return Status::IOError("cannot stat " + path);
+  in.seekg(0);
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in && !bytes.empty()) {
+    return Status::IOError("short read on " + path);
+  }
+  return bytes;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,103 @@
+#ifndef RPDBSCAN_IO_SECTION_FILE_H_
+#define RPDBSCAN_IO_SECTION_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Generic checksummed multi-section container — the framing layer of the
+/// cluster-model snapshot (.rpsnap, docs/WIRE_FORMATS.md §3), kept in io/
+/// next to the other wire formats because nothing in it is serve-specific.
+///
+/// Layout (all integers little-endian, like io/binary.h):
+///   u32 magic        caller-chosen file identity
+///   u32 version      caller-chosen payload format version
+///   u32 num_sections
+///   u32 reserved     0
+///   num_sections x 32-byte table entries:
+///     u32 id, u32 reserved(0), u64 offset, u64 size, u64 checksum
+///   section payloads at their recorded offsets (written back to back)
+///
+/// `checksum` is Fnv1a64 (util/hash.h) over the payload bytes. The reader
+/// validates framing eagerly (magic, version, table bounds) and checksums
+/// lazily on section access, and every failure is a stage-named Status —
+/// never undefined behaviour on truncated or corrupted input.
+
+/// One parsed section-table entry.
+struct SectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+};
+
+/// A borrowed view of one section's payload.
+struct SectionSpan {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+};
+
+/// Accumulates sections, then emits the framed container.
+class SectionFileWriter {
+ public:
+  SectionFileWriter(uint32_t magic, uint32_t version)
+      : magic_(magic), version_(version) {}
+
+  /// Appends one section. Ids must be unique; order is preserved.
+  void AddSection(uint32_t id, std::vector<uint8_t> payload);
+
+  /// Header + table + payloads, checksummed.
+  std::vector<uint8_t> Finish() const;
+
+ private:
+  uint32_t magic_;
+  uint32_t version_;
+  std::vector<uint32_t> ids_;
+  std::vector<std::vector<uint8_t>> payloads_;
+};
+
+/// Parses and validates the framing of a container held in caller memory.
+/// The reader borrows `data` — it must outlive every SectionSpan handed
+/// out. `container` names the format in error messages ("snapshot", ...).
+class SectionFileReader {
+ public:
+  /// Validates magic, version and section-table bounds. Errors are
+  /// stage-named: "<container> header: ...", "<container> section table:
+  /// ...". Checksums are verified later, per section, by Section().
+  static StatusOr<SectionFileReader> Parse(const uint8_t* data, size_t size,
+                                           uint32_t magic, uint32_t version,
+                                           std::string container);
+
+  bool Has(uint32_t id) const { return FindEntry(id) != nullptr; }
+  const std::vector<SectionEntry>& entries() const { return entries_; }
+
+  /// Returns section `id`'s payload after verifying its checksum.
+  /// NotFound when absent; InvalidArgument "<container> section '<name>'
+  /// (id N): checksum mismatch ..." on corruption.
+  StatusOr<SectionSpan> Section(uint32_t id, const std::string& name) const;
+
+ private:
+  SectionFileReader() = default;
+  const SectionEntry* FindEntry(uint32_t id) const;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  std::string container_;
+  std::vector<SectionEntry> entries_;
+};
+
+/// Whole-file byte I/O for the container formats. WriteFileBytes fails
+/// with IOError (partial writes included); ReadFileBytes with IOError on
+/// missing/unreadable files.
+Status WriteFileBytes(const std::string& path,
+                      const std::vector<uint8_t>& bytes);
+StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_SECTION_FILE_H_

@@ -38,6 +38,42 @@ void ParallelFor(ThreadPool& pool, size_t n, Fn&& fn, size_t chunk = 0) {
   pool.Wait();
 }
 
+/// ParallelFor with a stable worker identity: runs `fn(worker, i)` where
+/// `worker` indexes the claimant task that pulled iteration `i`. Each
+/// claimant is one task execution, so state indexed by `worker` (scratch
+/// buffers, stat accumulators) is only ever touched by one thread at a
+/// time and needs no synchronization — the read-path pattern of the label
+/// server's batched API. Returns the number of claimants used (at most
+/// pool.num_threads(); 1 on the sequential fallback), i.e. how many
+/// worker slots `fn` may have seen.
+template <typename Fn>
+size_t ParallelForWorkers(ThreadPool& pool, size_t n, Fn&& fn,
+                          size_t chunk = 0) {
+  if (n == 0) return 0;
+  if (pool.num_threads() == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(size_t{0}, i);
+    return 1;
+  }
+  if (chunk == 0) {
+    chunk = n / (pool.num_threads() * 8);
+    if (chunk == 0) chunk = 1;
+  }
+  std::atomic<size_t> cursor{0};
+  const size_t claimants = pool.num_threads();
+  for (size_t t = 0; t < claimants; ++t) {
+    pool.Submit([&cursor, &fn, n, chunk, t] {
+      for (;;) {
+        const size_t begin = cursor.fetch_add(chunk);
+        if (begin >= n) return;
+        const size_t end = begin + chunk < n ? begin + chunk : n;
+        for (size_t i = begin; i < end; ++i) fn(t, i);
+      }
+    });
+  }
+  pool.Wait();
+  return claimants;
+}
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_PARALLEL_PARALLEL_FOR_H_

@@ -1,0 +1,292 @@
+#include "serve/label_server.h"
+
+#include <array>
+
+#include "core/cell_coord.h"
+#include "core/cell_dictionary.h"
+#include "core/grid.h"
+#include "core/merge.h"
+#include "parallel/parallel_for.h"
+#include "util/json_writer.h"
+
+namespace rpdbscan {
+namespace {
+
+/// Staged stencil probes per prefetch flush: enough to overlap the
+/// (almost always single-slot) random index loads, small enough to live
+/// on the stack.
+constexpr size_t kProbeBatch = 16;
+
+/// Deterministic "nearest cluster-labeled cell" tracker: lexicographic
+/// min of (box min-distance, cell id), so both candidate engines — which
+/// enumerate the same matched cells in different orders — pick the same
+/// cell.
+struct BestCell {
+  double min2 = 0;
+  uint32_t cell_id = 0;
+  bool found = false;
+
+  void Offer(double m2, uint32_t cid) {
+    if (!found || m2 < min2 || (m2 == min2 && cid < cell_id)) {
+      min2 = m2;
+      cell_id = cid;
+      found = true;
+    }
+  }
+};
+
+}  // namespace
+
+std::string ServeStatsToJson(const ServeStats& stats, double seconds,
+                             size_t threads) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("queries").Value(stats.queries);
+  w.Key("threads").Value(threads);
+  w.Key("seconds").Value(seconds);
+  w.Key("queries_per_second")
+      .Value(seconds > 0 ? static_cast<double>(stats.queries) / seconds : 0.0);
+  w.Key("cell_hits").Value(stats.cell_hits);
+  w.Key("exact").Value(stats.exact);
+  w.Key("core").Value(stats.core);
+  w.Key("border").Value(stats.border);
+  w.Key("noise").Value(stats.noise);
+  w.Key("stencil_probes").Value(stats.stencil_probes);
+  w.Key("stencil_hits").Value(stats.stencil_hits);
+  w.Key("border_ref_scans").Value(stats.border_ref_scans);
+  w.EndObject();
+  return w.TakeString();
+}
+
+LabelServer::LabelServer(
+    std::shared_ptr<const ClusterModelSnapshot> snapshot,
+    const LabelServerOptions& opts)
+    : snapshot_(std::move(snapshot)), opts_(opts) {}
+
+ServeResult LabelServer::Classify(const float* q, ServeStats* stats) const {
+  const ClusterModelSnapshot& snap = *snapshot_;
+  const CellDictionary& dict = snap.dictionary();
+  const GridGeometry& geom = dict.geom();
+  const size_t dim = geom.dim();
+  const double eps2 = geom.eps() * geom.eps();
+  const double side = geom.cell_side();
+  const std::vector<uint32_t>& cell_cluster = snap.cell_cluster();
+  const std::vector<GlobalCellRef>& refs = dict.cell_refs();
+
+  const CellCoord home = geom.CellOf(q);
+  const int64_t home_idx = dict.FindCellRefIndex(home);
+  const bool home_hit = home_idx >= 0;
+  const uint32_t home_cell_id =
+      home_hit ? refs[static_cast<size_t>(home_idx)].cell_id : 0;
+
+  uint64_t density = 0;
+  BestCell best;
+  uint64_t probes = 0;
+  uint64_t hits = 0;
+
+  /// Density of a dictionary cell's (eps, rho)-matched sub-cells for q —
+  /// the exact arithmetic of CellDictionary::Query: whole-cell containment
+  /// fast path via CellMaxDist2, else the per-sub-cell center test.
+  auto matched_count = [&](const CellCoord& coord,
+                           const GlobalCellRef& ref) -> uint32_t {
+    if (geom.CellMaxDist2(coord, q) <= eps2) return ref.total_count;
+    const SubDictionary& sd = dict.subdictionaries()[ref.subdict];
+    const float* centers = sd.subcell_centers().data();
+    const std::vector<DictSubcell>& subs = sd.subcells();
+    uint32_t matched = 0;
+    for (uint32_t s = ref.subcell_begin; s < ref.subcell_end; ++s) {
+      if (DistanceSquared(q, centers + static_cast<size_t>(s) * dim, dim) <=
+          eps2) {
+        matched += subs[s].count;
+      }
+    }
+    return matched;
+  };
+
+  if (dict.has_stencil()) {
+    // Home cell first (the zero offset is excluded from the stencil).
+    ++probes;
+    if (home_hit) {
+      ++hits;
+      const uint32_t matched =
+          matched_count(home, refs[static_cast<size_t>(home_idx)]);
+      if (matched > 0) {
+        density += matched;
+        if (cell_cluster[home_cell_id] != kNoCluster) {
+          best.Offer(0.0, home_cell_id);
+        }
+      }
+    }
+
+    const LatticeStencil& stencil = dict.stencil();
+    const size_t num_offsets = stencil.num_offsets();
+    const int32_t* ref_coords = dict.ref_coords().data();
+
+    std::array<CellCoord, kProbeBatch> staged;
+    std::array<double, kProbeBatch> staged_min2;
+    size_t nstaged = 0;
+
+    auto flush = [&] {
+      for (size_t i = 0; i < nstaged; ++i) {
+        dict.cell_index().PrefetchHashed(staged[i].hash());
+      }
+      for (size_t i = 0; i < nstaged; ++i) {
+        ++probes;
+        const int64_t idx = dict.cell_index().FindHashed(
+            staged[i].hash(), staged[i].data(), dim, ref_coords);
+        if (idx < 0) continue;
+        ++hits;
+        const GlobalCellRef& ref = refs[static_cast<size_t>(idx)];
+        const uint32_t matched = matched_count(staged[i], ref);
+        if (matched > 0) {
+          density += matched;
+          if (cell_cluster[ref.cell_id] != kNoCluster) {
+            best.Offer(staged_min2[i], ref.cell_id);
+          }
+        }
+      }
+      nstaged = 0;
+    };
+
+    int32_t oc[CellCoord::kMaxDim];
+    for (size_t o = 0; o < num_offsets; ++o) {
+      const int32_t* off = stencil.offset(o);
+      // Box min-distance of the offset cell to q, computed inline with
+      // GridGeometry::CellMinDist2's exact per-dimension arithmetic so
+      // the pre-drop (and the best-cell key) match the tree engine
+      // bit-for-bit — but without materializing (and hashing) a
+      // CellCoord for offsets that cannot intersect the query ball.
+      double min2 = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        oc[d] = home[d] + off[d];
+        const double lo = static_cast<double>(oc[d]) * side;
+        const double hi = lo + side;
+        const double v = q[d];
+        double delta = 0.0;
+        if (v < lo) {
+          delta = lo - v;
+        } else if (v > hi) {
+          delta = v - hi;
+        }
+        min2 += delta * delta;
+      }
+      if (min2 > eps2) continue;
+      staged[nstaged] = CellCoord(oc, dim);
+      staged_min2[nstaged] = min2;
+      if (++nstaged == kProbeBatch) flush();
+    }
+    flush();
+  } else {
+    // High-dimensionality fallback: per-sub-dictionary tree descent.
+    // Query() visits exactly the cells with a matched sub-cell, with the
+    // same matched arithmetic — density and best-cell tracking are
+    // engine-independent.
+    dict.Query(q, [&](const DictCell& cell, uint32_t matched) {
+      density += matched;
+      if (cell_cluster[cell.cell_id] != kNoCluster) {
+        best.Offer(geom.CellMinDist2(cell.coord, q), cell.cell_id);
+      }
+    });
+  }
+
+  ServeResult result;
+  result.density = density;
+  uint64_t ref_scans = 0;
+
+  if (home_hit && cell_cluster[home_cell_id] != kNoCluster) {
+    // Core home cell: every point of the cell belongs to its cluster
+    // (Lemma 3.4) — the training labels of this cell, replayed.
+    result.cluster = static_cast<int64_t>(cell_cluster[home_cell_id]);
+    result.certainty = Certainty::kExact;
+  } else if (home_hit && opts_.exact_border && snap.has_border_refs()) {
+    // Non-core home cell: replay the training border walk — predecessor
+    // cells in labeling order, their stored core points in point-id
+    // order, first within eps wins. Identical to LabelPoints, so a
+    // training point gets exactly its training label (noise included).
+    size_t num_preds = 0;
+    const uint32_t* preds = snap.PredsOf(home_cell_id, &num_preds);
+    for (size_t i = 0; i < num_preds && result.cluster == kNoise; ++i) {
+      size_t num_refs = 0;
+      const float* coords = snap.RefCoordsOf(preds[i], &num_refs);
+      for (size_t j = 0; j < num_refs; ++j) {
+        ++ref_scans;
+        if (DistanceSquared(q, coords + j * dim, dim) <= eps2) {
+          result.cluster = static_cast<int64_t>(cell_cluster[preds[i]]);
+          break;
+        }
+      }
+    }
+    result.certainty = Certainty::kExact;
+  } else if (best.found && (home_hit || opts_.subcell_fallback)) {
+    // Sandwich-approximate: nearest cluster-labeled cell within eps
+    // (Theorem 5.4's rho-approximate containment bound).
+    result.cluster = static_cast<int64_t>(cell_cluster[best.cell_id]);
+    result.certainty = Certainty::kApprox;
+  } else {
+    result.cluster = kNoise;
+    result.certainty = Certainty::kApprox;
+  }
+
+  result.kind = density >= snap.meta().min_pts
+                    ? PointKind::kCore
+                    : (result.cluster != kNoise ? PointKind::kBorder
+                                                : PointKind::kNoise);
+  // A dense query in a non-core (or absent) cell would, as a training
+  // point, have changed the clustering itself — the frozen model can only
+  // answer approximately. Never triggers for training points: a cell
+  // containing a core point is a core cell.
+  if (result.kind == PointKind::kCore &&
+      !(home_hit && cell_cluster[home_cell_id] != kNoCluster)) {
+    result.certainty = Certainty::kApprox;
+  }
+
+  if (stats != nullptr) {
+    ++stats->queries;
+    if (home_hit) ++stats->cell_hits;
+    if (result.certainty == Certainty::kExact) ++stats->exact;
+    switch (result.kind) {
+      case PointKind::kCore:
+        ++stats->core;
+        break;
+      case PointKind::kBorder:
+        ++stats->border;
+        break;
+      case PointKind::kNoise:
+        ++stats->noise;
+        break;
+    }
+    stats->stencil_probes += probes;
+    stats->stencil_hits += hits;
+    stats->border_ref_scans += ref_scans;
+  }
+  return result;
+}
+
+Status LabelServer::ClassifyBatch(const Dataset& queries, ThreadPool& pool,
+                                  std::vector<ServeResult>* out,
+                                  ServeStats* stats) const {
+  const size_t dim = snapshot_->meta().dim;
+  if (queries.dim() != dim) {
+    return Status::InvalidArgument(
+        "serve batch: query dimensionality " +
+        std::to_string(queries.dim()) + " does not match the snapshot's " +
+        std::to_string(dim));
+  }
+  out->assign(queries.size(), ServeResult());
+  const size_t num_workers = pool.num_threads() > 0 ? pool.num_threads() : 1;
+  std::vector<ServeStats> worker_stats(num_workers);
+  ParallelForWorkers(
+      pool, queries.size(),
+      [&](size_t worker, size_t i) {
+        (*out)[i] = Classify(queries.point(i),
+                             stats != nullptr ? &worker_stats[worker]
+                                              : nullptr);
+      },
+      /*chunk=*/256);
+  if (stats != nullptr) {
+    for (const ServeStats& ws : worker_stats) stats->Merge(ws);
+  }
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,157 @@
+#ifndef RPDBSCAN_SERVE_LABEL_SERVER_H_
+#define RPDBSCAN_SERVE_LABEL_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/dataset.h"
+#include "parallel/thread_pool.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// DBSCAN role of a served query point under the frozen model.
+enum class PointKind : uint8_t {
+  kCore = 0,
+  kBorder = 1,
+  kNoise = 2,
+};
+
+/// How the served answer relates to what a full re-run with the query
+/// point appended would produce (the Theorem 5.4 sandwich argument):
+///  * kExact — the answer replays the training-time labeling rule
+///    bit-for-bit: the query fell into a dictionary cell, so its cell
+///    granularity matches the run's, and (for non-core cells) the stored
+///    border references reproduce the first-match predecessor walk.
+///    Serving any *training* point is always kExact and returns exactly
+///    the label RunRpDbscan assigned it.
+///  * kApprox — the answer is cell-granularity approximate: the query
+///    landed outside every dictionary cell, or in a non-core cell
+///    without border references, so it is assigned by the nearest
+///    cluster-labeled cell within eps (the rho-approximate sandwich
+///    bound) rather than by exact point distances; or the query is
+///    itself dense enough to be core, which a frozen model cannot fold
+///    into the clustering.
+enum class Certainty : uint8_t {
+  kExact = 0,
+  kApprox = 1,
+};
+
+/// Answer for one query point.
+struct ServeResult {
+  /// Cluster id under the frozen model, kNoise for noise.
+  int64_t cluster = kNoise;
+  PointKind kind = PointKind::kNoise;
+  Certainty certainty = Certainty::kApprox;
+  /// The query's (eps, rho)-density under the frozen dictionary — the
+  /// count compared against min_pts for the core verdict.
+  uint64_t density = 0;
+};
+
+struct LabelServerOptions {
+  /// Resolve queries landing in non-core cells by replaying the training
+  /// labeling walk over the stored border references (kExact); off, or
+  /// when the snapshot carries no references, they resolve by nearest
+  /// labeled cell (kApprox).
+  bool exact_border = true;
+  /// Assign queries landing outside every dictionary cell to the nearest
+  /// cluster-labeled cell within eps (kApprox); off, they are noise.
+  bool subcell_fallback = true;
+};
+
+/// Per-thread serving counters. Plain integers — each worker of a batch
+/// owns one instance, merged after the barrier, so the totals are
+/// deterministic for a given query set.
+struct ServeStats {
+  uint64_t queries = 0;
+  /// Queries whose home cell exists in the dictionary.
+  uint64_t cell_hits = 0;
+  uint64_t exact = 0;
+  uint64_t core = 0;
+  uint64_t border = 0;
+  uint64_t noise = 0;
+  /// Stencil engine only: lattice hash probes issued (offsets surviving
+  /// the arithmetic pre-drop, plus the home-cell probe) and probes that
+  /// found a dictionary cell.
+  uint64_t stencil_probes = 0;
+  uint64_t stencil_hits = 0;
+  /// Stored core-point distance evaluations spent replaying border walks.
+  uint64_t border_ref_scans = 0;
+
+  void Merge(const ServeStats& o) {
+    queries += o.queries;
+    cell_hits += o.cell_hits;
+    exact += o.exact;
+    core += o.core;
+    border += o.border;
+    noise += o.noise;
+    stencil_probes += o.stencil_probes;
+    stencil_hits += o.stencil_hits;
+    border_ref_scans += o.border_ref_scans;
+  }
+};
+
+/// Serving counters as one JSON object (the --stats-json emitter of the
+/// serve subcommand; bench_serve writes the same shape). `seconds` and
+/// `threads` describe the timed batch; queries_per_second is derived.
+std::string ServeStatsToJson(const ServeStats& stats, double seconds,
+                             size_t threads);
+
+/// Classifies out-of-sample points against a frozen ClusterModelSnapshot.
+///
+/// The read path is wait-free: the snapshot is immutable and shared, every
+/// query works on stack scratch only, and batches hand each worker its own
+/// stats instance — no locks, no atomics, no shared mutable state. Any
+/// number of threads may call Classify / ClassifyBatch concurrently on one
+/// LabelServer.
+///
+/// A query point q resolves in two steps:
+///  1. Density: hash q's home cell, probe the eps-ball lattice stencil
+///     around it against the dictionary-global FlatCellIndex (hashed-slot
+///     mode, prefetch-pipelined, nearest rings first) — or descend the
+///     sub-dictionary trees when the snapshot's dimensionality disabled
+///     the stencil — summing the densities of sub-cells whose center lies
+///     within eps, with the CellMaxDist2 whole-cell containment fast path.
+///     This is the run's own core criterion (Def. 5.1), evaluated with the
+///     training kernels' exact arithmetic, so the density q gets here is
+///     the density it would have gotten as a training point.
+///  2. Label: a core home cell labels q with its cluster (kExact). A
+///     non-core home cell replays the training border walk over the
+///     stored references (kExact), or falls back to the nearest labeled
+///     cell (kApprox). A missing home cell resolves by nearest labeled
+///     cell within eps (kApprox) or noise.
+class LabelServer {
+ public:
+  /// `snapshot` must be non-null; shared so concurrent servers (and the
+  /// caller) keep the model alive without copies.
+  explicit LabelServer(std::shared_ptr<const ClusterModelSnapshot> snapshot,
+                       const LabelServerOptions& opts = LabelServerOptions());
+
+  const ClusterModelSnapshot& snapshot() const { return *snapshot_; }
+  const LabelServerOptions& options() const { return opts_; }
+
+  /// Classifies one point of snapshot dimensionality. Thread-safe and
+  /// allocation-free. Counters accumulate into `*stats` when given.
+  ServeResult Classify(const float* q, ServeStats* stats = nullptr) const;
+
+  /// Classifies every point of `queries` on `pool`, writing one result
+  /// per point into `*out` (resized; order matches `queries`). Results
+  /// and merged stats are independent of the thread count and identical
+  /// to calling Classify point by point. Fails with InvalidArgument on a
+  /// dimensionality mismatch.
+  Status ClassifyBatch(const Dataset& queries, ThreadPool& pool,
+                       std::vector<ServeResult>* out,
+                       ServeStats* stats = nullptr) const;
+
+ private:
+  std::shared_ptr<const ClusterModelSnapshot> snapshot_;
+  LabelServerOptions opts_;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_SERVE_LABEL_SERVER_H_

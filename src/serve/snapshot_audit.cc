@@ -1,0 +1,249 @@
+#include "serve/snapshot_audit.h"
+
+#include <algorithm>
+#include <string>
+
+#include "core/cell_dictionary.h"
+#include "core/grid.h"
+#include "core/merge.h"
+#include "io/section_file.h"
+
+namespace rpdbscan {
+namespace {
+
+std::string CellStr(uint32_t cid) { return "cell " + std::to_string(cid); }
+
+/// Per-cell-id lattice coordinates, gathered from the sub-dictionaries
+/// (cell_refs is in defragmented layout order, not cell-id order).
+std::vector<CellCoord> CoordsById(const CellDictionary& dict) {
+  std::vector<CellCoord> coords(dict.num_cells());
+  for (const SubDictionary& sd : dict.subdictionaries()) {
+    for (const DictCell& cell : sd.cells()) {
+      coords[cell.cell_id] = cell.coord;
+    }
+  }
+  return coords;
+}
+
+}  // namespace
+
+AuditReport AuditSnapshotBytes(const std::vector<uint8_t>& bytes) {
+  AuditReport report;
+  auto reader_or = SectionFileReader::Parse(
+      bytes.data(), bytes.size(), ClusterModelSnapshot::kMagic,
+      ClusterModelSnapshot::kFormatVersion, "snapshot");
+  if (!reader_or.ok()) {
+    report.Fail(reader_or.status().message());
+    return report;
+  }
+  const SectionFileReader& reader = *reader_or;
+
+  struct Mandatory {
+    uint32_t id;
+    const char* name;
+  };
+  const Mandatory mandatory[] = {
+      {ClusterModelSnapshot::kSectionMeta, "meta"},
+      {ClusterModelSnapshot::kSectionDictionary, "dictionary"},
+      {ClusterModelSnapshot::kSectionEngine, "engine"},
+      {ClusterModelSnapshot::kSectionLabels, "labels"},
+      {ClusterModelSnapshot::kSectionPredecessors, "predecessors"},
+  };
+  for (const Mandatory& m : mandatory) {
+    report.Check(reader.Has(m.id), [&] {
+      return "snapshot: mandatory section '" + std::string(m.name) +
+             "' missing";
+    });
+  }
+  for (const SectionEntry& e : reader.entries()) {
+    auto span = reader.Section(e.id, "id " + std::to_string(e.id));
+    report.Check(span.ok(), [&] { return span.status().message(); });
+  }
+  return report;
+}
+
+AuditReport AuditSnapshotStructure(const ClusterModelSnapshot& snap) {
+  AuditReport report;
+  const ClusterModelSnapshot::Meta& meta = snap.meta();
+  const CellDictionary& dict = snap.dictionary();
+  const GridGeometry& geom = dict.geom();
+  // Loop bounds come from the dictionary (the structure the tables were
+  // validated against on load); meta is compared, not trusted.
+  const size_t num_cells = dict.num_cells();
+
+  // Meta vs the rebuilt dictionary.
+  report.Check(geom.dim() == meta.dim && geom.eps() == meta.eps &&
+                   geom.rho() == meta.rho,
+               [&] { return std::string("meta geometry != dictionary"); });
+  report.Check(meta.num_cells == num_cells,
+               [&] { return std::string("meta cell count != dictionary"); });
+  report.Check(
+      dict.num_subcells() == meta.num_subcells,
+      [&] { return std::string("meta sub-cell count != dictionary"); });
+  report.Check(meta.min_pts > 0,
+               [&] { return std::string("meta min_pts is zero"); });
+
+  // Engine invariants: index capacity is a pure function of the cell
+  // count (FlatCellIndex::BuildHashed: 16 doubled while < 2 * count).
+  size_t expected_capacity = 16;
+  while (expected_capacity < num_cells * 2) expected_capacity <<= 1;
+  report.Check(dict.cell_index().capacity() == expected_capacity, [&] {
+    return "cell-index capacity " +
+           std::to_string(dict.cell_index().capacity()) + " != expected " +
+           std::to_string(expected_capacity);
+  });
+
+  // Label table: size, value range, and dense cluster-id coverage.
+  const std::vector<uint32_t>& labels = snap.cell_cluster();
+  report.Check(labels.size() == num_cells,
+               [&] { return std::string("label table size != cell count"); });
+  std::vector<uint8_t> seen(meta.num_clusters, 0);
+  size_t bad_labels = 0;
+  for (const uint32_t c : labels) {
+    if (c == kNoCluster) continue;
+    if (c >= meta.num_clusters) {
+      ++bad_labels;
+    } else {
+      seen[c] = 1;
+    }
+  }
+  report.Check(bad_labels == 0, [&] {
+    return std::to_string(bad_labels) + " cells label a cluster id >= " +
+           std::to_string(meta.num_clusters);
+  });
+  size_t unused = 0;
+  for (const uint8_t s : seen) unused += s == 0;
+  report.Check(unused == 0, [&] {
+    return std::to_string(unused) + " cluster ids label no cell";
+  });
+
+  // Predecessor CSR: shape, targets core cells, sources non-core.
+  const std::vector<uint64_t>& pred_offsets = snap.pred_offsets();
+  report.Check(
+      pred_offsets.size() == num_cells + 1 && pred_offsets.front() == 0 &&
+          pred_offsets.back() == snap.preds().size(),
+      [&] { return std::string("predecessor CSR shape broken"); });
+  if (pred_offsets.size() == num_cells + 1) {
+    for (uint32_t cid = 0; cid < num_cells; ++cid) {
+      const uint64_t begin = pred_offsets[cid];
+      const uint64_t end = pred_offsets[cid + 1];
+      if (begin > end) {
+        report.Fail("predecessor CSR not monotone at " + CellStr(cid));
+        continue;
+      }
+      const bool is_core = cid < labels.size() && labels[cid] != kNoCluster;
+      report.Check(!is_core || begin == end, [&] {
+        return "core " + CellStr(cid) + " has predecessors";
+      });
+      for (uint64_t i = begin; i < end; ++i) {
+        const uint32_t p = snap.preds()[i];
+        report.Check(
+            p < labels.size() && labels[p] != kNoCluster,
+            [&] { return CellStr(cid) + ": predecessor " +
+                         std::to_string(p) + " is not a core cell"; });
+      }
+    }
+  }
+
+  // Border references: CSR shape, and every stored point falls in the
+  // cell that stores it (they are that cell's own core points).
+  const std::vector<uint64_t>& ref_offsets = snap.ref_offsets();
+  report.Check(ref_offsets.size() == num_cells + 1 &&
+                   ref_offsets.front() == 0 &&
+                   snap.ref_coords().size() ==
+                       ref_offsets.back() * meta.dim,
+               [&] { return std::string("border-reference CSR broken"); });
+  const std::vector<CellCoord> coords = CoordsById(dict);
+  if (snap.has_border_refs() && ref_offsets.size() == num_cells + 1) {
+    for (uint32_t cid = 0; cid < num_cells; ++cid) {
+      size_t count = 0;
+      const float* pts = snap.RefCoordsOf(cid, &count);
+      for (size_t j = 0; j < count; ++j) {
+        report.Check(
+            geom.CellOf(pts + j * meta.dim) == coords[cid], [&] {
+              return "border reference " + std::to_string(j) + " of " +
+                     CellStr(cid) + " lies outside its cell";
+            });
+      }
+      // Only cells referenced as a labeling predecessor carry points.
+      report.Check(count == 0 || (cid < labels.size() &&
+                                  labels[cid] != kNoCluster), [&] {
+        return "non-core " + CellStr(cid) + " stores border references";
+      });
+    }
+  }
+
+  // Every dictionary cell resolves through the global index to itself.
+  for (uint32_t cid = 0; cid < dict.num_cells(); ++cid) {
+    const int64_t idx = dict.FindCellRefIndex(coords[cid]);
+    report.Check(
+        idx >= 0 && dict.cell_refs()[static_cast<size_t>(idx)].cell_id ==
+                        cid,
+        [&] { return CellStr(cid) + " unresolvable via the cell index"; });
+  }
+  return report;
+}
+
+AuditReport AuditSnapshotAgainstRun(const ClusterModelSnapshot& snap,
+                                    const Dataset& data,
+                                    const RpDbscanOptions& options) {
+  AuditReport report;
+  RpDbscanOptions opts = options;
+  opts.capture_model = true;
+  auto run_or = RunRpDbscan(data, opts);
+  if (!run_or.ok()) {
+    report.Fail("fresh run failed: " + run_or.status().ToString());
+    return report;
+  }
+  const CapturedModel& model = *run_or->model;
+  const ClusterModelSnapshot::Meta& meta = snap.meta();
+
+  report.Check(meta.dim == data.dim() && meta.eps == opts.eps &&
+                   meta.rho == opts.rho && meta.min_pts == opts.min_pts &&
+                   meta.num_points == data.size(),
+               [&] { return std::string("meta parameters != run's"); });
+  report.Check(meta.num_cells == model.dictionary.num_cells() &&
+                   meta.num_subcells == model.dictionary.num_subcells() &&
+                   meta.num_clusters == model.merged.num_clusters,
+               [&] { return std::string("meta structure counts != run's"); });
+
+  report.Check(snap.cell_cluster() == model.merged.core_cluster, [&] {
+    return std::string("per-cell cluster labels differ from a fresh run");
+  });
+
+  bool preds_match = snap.preds().size() ==
+                     [&] {
+                       size_t n = 0;
+                       for (const auto& p : model.merged.predecessors) {
+                         n += p.size();
+                       }
+                       return n;
+                     }();
+  if (preds_match &&
+      snap.pred_offsets().size() == model.merged.predecessors.size() + 1) {
+    for (uint32_t cid = 0; preds_match && cid < meta.num_cells; ++cid) {
+      size_t count = 0;
+      const uint32_t* p = snap.PredsOf(cid, &count);
+      const std::vector<uint32_t>& fresh = model.merged.predecessors[cid];
+      preds_match = count == fresh.size() &&
+                    std::equal(fresh.begin(), fresh.end(), p);
+    }
+  } else {
+    preds_match = false;
+  }
+  report.Check(preds_match, [] {
+    return std::string("predecessor lists differ from a fresh run");
+  });
+
+  if (snap.has_border_refs()) {
+    report.Check(snap.ref_offsets() == model.ref_offsets &&
+                     snap.ref_coords() == model.ref_coords,
+                 [] {
+                   return std::string(
+                       "border references differ from a fresh run");
+                 });
+  }
+  return report;
+}
+
+}  // namespace rpdbscan

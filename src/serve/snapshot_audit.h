@@ -1,0 +1,45 @@
+#ifndef RPDBSCAN_SERVE_SNAPSHOT_AUDIT_H_
+#define RPDBSCAN_SERVE_SNAPSHOT_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "io/dataset.h"
+#include "serve/snapshot.h"
+#include "verify/audit.h"
+
+namespace rpdbscan {
+
+/// Snapshot auditor (the rpdbscan_cli `verify-snapshot` tool and the
+/// round-trip tests): three independent passes over a .rpsnap at
+/// increasing cost. Lives in src/serve/ (not src/verify/) because it
+/// needs the snapshot types; it reuses verify's AuditReport so CLI
+/// reporting and ToStatus conventions match the pipeline auditors.
+
+/// Pass 1 — container integrity of raw .rpsnap bytes: magic, version,
+/// section-table bounds, per-section checksums, and that every mandatory
+/// section is present. Purely structural; never builds the model.
+AuditReport AuditSnapshotBytes(const std::vector<uint8_t>& bytes);
+
+/// Pass 2 — semantic consistency of a loaded snapshot: meta vs dictionary
+/// geometry and counts, label values against the cluster-id range,
+/// predecessor/border-reference CSR shape, predecessors targeting core
+/// cells only, stored border-reference points landing in the cell that
+/// stores them, and the engine invariants (index capacity as a function
+/// of the cell count; every dictionary cell resolvable through
+/// FindCellRefIndex).
+AuditReport AuditSnapshotStructure(const ClusterModelSnapshot& snap);
+
+/// Pass 3 — ground-truth agreement: re-runs RunRpDbscan on `data` with
+/// `options` (capture forced on) and checks the snapshot froze that run:
+/// identical meta parameters, bit-identical per-cell cluster labels and
+/// predecessor lists, and border references matching the fresh model's.
+/// The most expensive pass — a full clustering — so callers choose when.
+AuditReport AuditSnapshotAgainstRun(const ClusterModelSnapshot& snap,
+                                    const Dataset& data,
+                                    const RpDbscanOptions& options);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_SERVE_SNAPSHOT_AUDIT_H_

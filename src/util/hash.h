@@ -24,6 +24,20 @@ inline uint64_t HashSpan64(const uint64_t* data, size_t n,
   return h;
 }
 
+/// FNV-1a over a byte run: the per-section payload checksum of the
+/// sectioned container format (io/section_file.h). Not a substitute for
+/// Mix64-based hashing of structured keys — FNV is chosen here because the
+/// checksum must be a pure, documented function of the byte stream so
+/// other tooling can recompute it from the format spec alone.
+inline uint64_t Fnv1a64(const uint8_t* data, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_UTIL_HASH_H_

@@ -1,0 +1,208 @@
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "serve/snapshot_audit.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+RpDbscanOptions Opts(double eps, size_t min_pts) {
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = min_pts;
+  o.num_threads = 2;
+  o.num_partitions = 4;
+  o.capture_model = true;
+  return o;
+}
+
+/// Runs the pipeline with capture on and freezes the model.
+ClusterModelSnapshot MakeSnapshot(const Dataset& ds,
+                                  const RpDbscanOptions& opts,
+                                  const SnapshotOptions& sopts =
+                                      SnapshotOptions()) {
+  auto run = RunRpDbscan(ds, opts);
+  EXPECT_TRUE(run.ok()) << run.status();
+  EXPECT_NE(run->model, nullptr);
+  auto snap = ClusterModelSnapshot::FromModel(std::move(*run->model), sopts);
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  return std::move(*snap);
+}
+
+TEST(SnapshotTest, CaptureOffLeavesResultModelEmpty) {
+  const Dataset ds = synth::Blobs(500, 2, 1.0, 11);
+  RpDbscanOptions o = Opts(1.0, 10);
+  o.capture_model = false;
+  auto run = RunRpDbscan(ds, o);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->model, nullptr);
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryTable) {
+  const Dataset ds = synth::Blobs(3000, 4, 1.0, 12);
+  const ClusterModelSnapshot snap = MakeSnapshot(ds, Opts(1.0, 15));
+  const std::vector<uint8_t> bytes = snap.Serialize();
+
+  auto loaded = ClusterModelSnapshot::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->meta().dim, snap.meta().dim);
+  EXPECT_EQ(loaded->meta().eps, snap.meta().eps);
+  EXPECT_EQ(loaded->meta().rho, snap.meta().rho);
+  EXPECT_EQ(loaded->meta().min_pts, snap.meta().min_pts);
+  EXPECT_EQ(loaded->meta().num_points, snap.meta().num_points);
+  EXPECT_EQ(loaded->meta().num_cells, snap.meta().num_cells);
+  EXPECT_EQ(loaded->meta().num_subcells, snap.meta().num_subcells);
+  EXPECT_EQ(loaded->meta().num_clusters, snap.meta().num_clusters);
+  EXPECT_TRUE(loaded->has_border_refs());
+  EXPECT_EQ(loaded->cell_cluster(), snap.cell_cluster());
+  EXPECT_EQ(loaded->pred_offsets(), snap.pred_offsets());
+  EXPECT_EQ(loaded->preds(), snap.preds());
+  EXPECT_EQ(loaded->ref_offsets(), snap.ref_offsets());
+  EXPECT_EQ(loaded->ref_coords(), snap.ref_coords());
+
+  // Serialize is deterministic: a reload serializes to the same bytes.
+  EXPECT_EQ(loaded->Serialize(), bytes);
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  const Dataset ds = synth::Blobs(1500, 3, 1.0, 13);
+  const ClusterModelSnapshot snap = MakeSnapshot(ds, Opts(1.0, 12));
+  const std::string path = ::testing::TempDir() + "snapshot_test.rpsnap";
+  ASSERT_TRUE(snap.WriteFile(path).ok());
+  auto loaded = ClusterModelSnapshot::ReadFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Serialize(), snap.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, WithoutBorderRefsDropsTheSection) {
+  const Dataset ds = synth::Blobs(1500, 3, 1.0, 14);
+  SnapshotOptions sopts;
+  sopts.include_border_refs = false;
+  const ClusterModelSnapshot snap = MakeSnapshot(ds, Opts(1.0, 12), sopts);
+  EXPECT_FALSE(snap.has_border_refs());
+  EXPECT_EQ(snap.ref_offsets().back(), 0u);
+  auto loaded = ClusterModelSnapshot::Deserialize(snap.Serialize());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->has_border_refs());
+  EXPECT_LT(snap.Serialize().size(),
+            MakeSnapshot(ds, Opts(1.0, 12)).Serialize().size());
+}
+
+TEST(SnapshotTest, FromModelRejectsInconsistentTables) {
+  const Dataset ds = synth::Blobs(800, 2, 1.0, 15);
+  auto run = RunRpDbscan(ds, Opts(1.0, 10));
+  ASSERT_TRUE(run.ok()) << run.status();
+  CapturedModel model = std::move(*run->model);
+  model.merged.core_cluster.pop_back();  // table/dictionary disagreement
+  auto snap = ClusterModelSnapshot::FromModel(std::move(model));
+  EXPECT_FALSE(snap.ok());
+}
+
+// --- corruption: every failure is a stage-named Status, never UB ---
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const Dataset ds = synth::Blobs(1200, 3, 1.0, 16);
+    bytes_ = MakeSnapshot(ds, Opts(1.0, 12)).Serialize();
+  }
+
+  static std::string FailureMessage(const std::vector<uint8_t>& bytes) {
+    auto loaded = ClusterModelSnapshot::Deserialize(bytes);
+    EXPECT_FALSE(loaded.ok());
+    return loaded.ok() ? std::string() : loaded.status().message();
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, BadMagic) {
+  std::vector<uint8_t> bad = bytes_;
+  bad[0] ^= 0xff;
+  const std::string msg = FailureMessage(bad);
+  EXPECT_NE(msg.find("snapshot header"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("magic"), std::string::npos) << msg;
+}
+
+TEST_F(SnapshotCorruptionTest, BadVersion) {
+  std::vector<uint8_t> bad = bytes_;
+  bad[4] ^= 0x10;
+  const std::string msg = FailureMessage(bad);
+  EXPECT_NE(msg.find("snapshot header"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("version"), std::string::npos) << msg;
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEveryBoundary) {
+  // A handful of truncation points: inside the header, inside the section
+  // table, inside payloads, one byte short.
+  for (const size_t keep :
+       {size_t{0}, size_t{7}, size_t{17}, size_t{40}, bytes_.size() / 2,
+        bytes_.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    std::vector<uint8_t> bad(bytes_.begin(),
+                             bytes_.begin() + static_cast<long>(keep));
+    const std::string msg = FailureMessage(bad);
+    EXPECT_NE(msg.find("snapshot"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlipFailsChecksum) {
+  // Flip one byte in the middle of the payload area (past the header and
+  // six 32-byte table entries) — some section's checksum must catch it.
+  std::vector<uint8_t> bad = bytes_;
+  bad[bad.size() / 2] ^= 0x01;
+  const std::string msg = FailureMessage(bad);
+  EXPECT_NE(msg.find("checksum mismatch"), std::string::npos) << msg;
+}
+
+TEST_F(SnapshotCorruptionTest, AuditorFlagsCorruptBytesAndPassesGoodOnes) {
+  EXPECT_TRUE(AuditSnapshotBytes(bytes_).ok());
+  std::vector<uint8_t> bad = bytes_;
+  bad[bad.size() / 2] ^= 0x01;
+  EXPECT_GT(AuditSnapshotBytes(bad).violations(), 0u);
+  bad = bytes_;
+  bad[0] ^= 0xff;
+  EXPECT_GT(AuditSnapshotBytes(bad).violations(), 0u);
+}
+
+// --- auditor passes ---
+
+TEST(SnapshotAuditTest, StructureAndRunAgreementOnFreshSnapshot) {
+  const uint64_t seed = TestSeed(17);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(2500, 4, 1.0, seed);
+  const RpDbscanOptions opts = Opts(1.0, 15);
+  const ClusterModelSnapshot snap = MakeSnapshot(ds, opts);
+
+  const AuditReport bytes_report = AuditSnapshotBytes(snap.Serialize());
+  EXPECT_TRUE(bytes_report.ok()) << bytes_report.ToString();
+
+  const AuditReport structure = AuditSnapshotStructure(snap);
+  EXPECT_TRUE(structure.ok()) << structure.ToString();
+
+  const AuditReport against = AuditSnapshotAgainstRun(snap, ds, opts);
+  EXPECT_TRUE(against.ok()) << against.ToString();
+}
+
+TEST(SnapshotAuditTest, AgainstRunCatchesAForeignSnapshot) {
+  const Dataset ds = synth::Blobs(1200, 3, 1.0, 18);
+  const RpDbscanOptions opts = Opts(1.0, 12);
+  const ClusterModelSnapshot snap = MakeSnapshot(ds, opts);
+  // Audit against a *different* run (other eps): labels cannot match.
+  RpDbscanOptions other = opts;
+  other.eps = 1.5;
+  const AuditReport report = AuditSnapshotAgainstRun(snap, ds, other);
+  EXPECT_GT(report.violations(), 0u);
+}
+
+}  // namespace
+}  // namespace rpdbscan

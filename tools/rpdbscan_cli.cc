@@ -17,7 +17,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/exact_dbscan.h"
@@ -27,12 +30,18 @@
 #include "core/rp_dbscan.h"
 #include "io/binary.h"
 #include "io/csv.h"
+#include "io/section_file.h"
 #include "io/transforms.h"
 #include "metrics/cluster_stats.h"
+#include "parallel/thread_pool.h"
+#include "serve/label_server.h"
+#include "serve/snapshot.h"
+#include "serve/snapshot_audit.h"
 #include "spatial/kdtree.h"
 #include "synth/generators.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
 
 namespace rpdbscan {
 namespace {
@@ -68,8 +77,33 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
   output:
     --output=PATH         write points + label column as CSV
     --stats               print timing / structure statistics
+    --stats-json=PATH     write the run statistics as one JSON object
+                          (rp only; the serve subcommand reuses it for
+                          query-throughput stats)
+    --save-snapshot=PATH  rp only: freeze the clustering into a versioned
+                          .rpsnap model for the serve subcommand
     --convert=PATH        just convert the input to .rpds binary and exit
+
+serving (classify out-of-sample points against a frozen model):
+  rpdbscan_cli serve --snapshot=f.rpsnap --queries=q.csv [--threads=N]
+    --snapshot=PATH       .rpsnap written by --save-snapshot (required)
+    --queries=PATH        .csv or .rpds query points (required)
+    --threads=T           serving threads (default 4)
+    --verify              audit the snapshot (container + structure)
+                          before serving; violations fail the command
+    --approx-border       skip the exact border replay (answer non-core
+                          cells by nearest labeled cell, kApprox)
+    --output=PATH         write query points + served labels as CSV
+    --stats-json=PATH     write serving throughput stats as JSON
 )";
+
+Status WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << text << '\n';
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
 
 StatusOr<Dataset> LoadInput(const FlagSet& flags) {
   const std::string input = flags.GetString("input");
@@ -139,10 +173,29 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
         return Status::InvalidArgument("--audit must be off|cheap|full");
       }
     }
+    const std::string save_snapshot = flags.GetString("save-snapshot");
+    o.capture_model = !save_snapshot.empty();
     auto r = RunRpDbscan(data, o);
     if (!r.ok()) return r.status();
     if (print_stats) std::fputs(r->stats.ToString().c_str(), stdout);
+    const std::string stats_json = flags.GetString("stats-json");
+    if (!stats_json.empty()) {
+      RPDBSCAN_RETURN_IF_ERROR(WriteTextFile(stats_json, r->stats.ToJson()));
+      std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+    }
+    if (!save_snapshot.empty()) {
+      auto snap_or = ClusterModelSnapshot::FromModel(std::move(*r->model));
+      if (!snap_or.ok()) return snap_or.status();
+      RPDBSCAN_RETURN_IF_ERROR(snap_or->WriteFile(save_snapshot));
+      std::fprintf(stderr, "wrote snapshot %s (%zu cells, %zu clusters)\n",
+                   save_snapshot.c_str(), snap_or->meta().num_cells,
+                   snap_or->meta().num_clusters);
+    }
     return std::move(r->labels);
+  }
+  if (flags.Has("save-snapshot") || flags.Has("stats-json")) {
+    return Status::InvalidArgument(
+        "--save-snapshot / --stats-json require --algo=rp");
   }
   if (algo == "exact") {
     auto r = RunExactDbscan(data, params);
@@ -193,6 +246,115 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
   return Status::InvalidArgument("unknown --algo: " + algo);
 }
 
+/// The `serve` subcommand: load a frozen .rpsnap model, classify a query
+/// set concurrently, report labels and throughput.
+int ServeMain(const FlagSet& flags) {
+  const std::string snap_path = flags.GetString("snapshot");
+  const std::string queries_path = flags.GetString("queries");
+  auto threads_or = flags.GetInt("threads", 4);
+  if (snap_path.empty() || queries_path.empty() || !threads_or.ok()) {
+    std::fprintf(stderr, "serve needs --snapshot=PATH and --queries=PATH\n%s",
+                 kUsage);
+    return 1;
+  }
+  const size_t threads = *threads_or > 0 ? static_cast<size_t>(*threads_or)
+                                         : size_t{1};
+  ThreadPool pool(threads);
+
+  auto snap_or = ClusterModelSnapshot::ReadFile(snap_path, SnapshotOptions(),
+                                                &pool);
+  if (!snap_or.ok()) {
+    std::fprintf(stderr, "snapshot load failed: %s\n",
+                 snap_or.status().ToString().c_str());
+    return 1;
+  }
+  auto snapshot = std::make_shared<const ClusterModelSnapshot>(
+      std::move(*snap_or));
+  const ClusterModelSnapshot::Meta& meta = snapshot->meta();
+  std::fprintf(stderr,
+               "loaded %s: dim %zu, eps %g, %zu cells, %zu clusters, "
+               "trained on %zu points%s\n",
+               snap_path.c_str(), meta.dim, meta.eps, meta.num_cells,
+               meta.num_clusters, meta.num_points,
+               meta.has_border_refs ? "" : " (no border refs)");
+
+  if (flags.GetBool("verify")) {
+    AuditReport report;
+    auto bytes_or = ReadFileBytes(snap_path);
+    if (!bytes_or.ok()) {
+      std::fprintf(stderr, "verify failed: %s\n",
+                   bytes_or.status().ToString().c_str());
+      return 1;
+    }
+    report.Merge(AuditSnapshotBytes(*bytes_or));
+    report.Merge(AuditSnapshotStructure(*snapshot));
+    std::fprintf(stderr, "snapshot audit: %s\n", report.ToString().c_str());
+    if (!report.ok()) return 1;
+  }
+
+  auto queries_or =
+      queries_path.size() >= 5 &&
+              queries_path.substr(queries_path.size() - 5) == ".rpds"
+          ? ReadBinary(queries_path)
+          : ReadCsv(queries_path);
+  if (!queries_or.ok()) {
+    std::fprintf(stderr, "query load failed: %s\n",
+                 queries_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& queries = *queries_or;
+
+  LabelServerOptions sopts;
+  sopts.exact_border = !flags.GetBool("approx-border");
+  const LabelServer server(snapshot, sopts);
+
+  std::vector<ServeResult> results;
+  ServeStats stats;
+  const Stopwatch watch;
+  const Status s = server.ClassifyBatch(queries, pool, &results, &stats);
+  const double seconds = watch.ElapsedSeconds();
+  if (!s.ok()) {
+    std::fprintf(stderr, "serving failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "served %zu queries in %.3fs on %zu threads (%.0f queries/s): "
+      "%llu core, %llu border, %llu noise; %llu exact, %llu cell hits\n",
+      queries.size(), seconds, threads,
+      seconds > 0 ? static_cast<double>(queries.size()) / seconds : 0.0,
+      static_cast<unsigned long long>(stats.core),
+      static_cast<unsigned long long>(stats.border),
+      static_cast<unsigned long long>(stats.noise),
+      static_cast<unsigned long long>(stats.exact),
+      static_cast<unsigned long long>(stats.cell_hits));
+
+  const std::string stats_json = flags.GetString("stats-json");
+  if (!stats_json.empty()) {
+    const Status w = WriteTextFile(
+        stats_json, ServeStatsToJson(stats, seconds, threads));
+    if (!w.ok()) {
+      std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+  }
+
+  const std::string output = flags.GetString("output");
+  if (!output.empty()) {
+    Labels labels(results.size(), kNoise);
+    for (size_t i = 0; i < results.size(); ++i) {
+      labels[i] = results[i].cluster;
+    }
+    const Status w = WriteCsv(output, queries, &labels);
+    if (!w.ok()) {
+      std::fprintf(stderr, "output failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_or = FlagSet::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) {
@@ -204,6 +366,12 @@ int Main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+  if (!flags.positional().empty()) {
+    if (flags.positional().front() == "serve") return ServeMain(flags);
+    std::fprintf(stderr, "unknown subcommand: %s\n%s",
+                 flags.positional().front().c_str(), kUsage);
+    return 1;
   }
   auto data_or = LoadInput(flags);
   if (!data_or.ok()) {

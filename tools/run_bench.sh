@@ -6,9 +6,11 @@
 #   * Phase II query kernel (bench_micro BM_Phase2Query): lattice-stencil
 #     vs batched-tree vs per-point, plus the Fig. 12 phase breakdown
 #     -> BENCH_phase2.json
+#   * Serving layer (bench_serve): batched label queries/sec against a
+#     frozen snapshot at 1/2/4 threads -> BENCH_serve.json
 #
 # Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
-#                           [OUTPUT_JSON] [PHASE1_JSON]
+#                           [OUTPUT_JSON] [PHASE1_JSON] [SERVE_JSON]
 #   --smoke        tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
 #                  used by the `run_bench_smoke` ctest entry.
 #   --allow-debug  permit a non-Release build dir. Without it the script
@@ -18,6 +20,8 @@
 #   OUTPUT_JSON  Phase II output path (default: ./BENCH_phase2.json)
 #   PHASE1_JSON  Phase I output path (default: OUTPUT_JSON with "phase2"
 #                replaced by "phase1", else ./BENCH_phase1.json)
+#   SERVE_JSON   serving-layer output path (default: OUTPUT_JSON with
+#                "phase2" replaced by "serve", else ./BENCH_serve.json)
 set -euo pipefail
 
 SMOKE=0
@@ -39,6 +43,13 @@ if [[ -z "$OUT1_JSON" ]]; then
     OUT1_JSON="BENCH_phase1.json"
   fi
 fi
+OUT_SERVE_JSON="${4:-}"
+if [[ -z "$OUT_SERVE_JSON" ]]; then
+  OUT_SERVE_JSON="${OUT_JSON//phase2/serve}"
+  if [[ "$OUT_SERVE_JSON" == "$OUT_JSON" ]]; then
+    OUT_SERVE_JSON="BENCH_serve.json"
+  fi
+fi
 
 # Only a Release build yields numbers worth recording. (The default cmake
 # configure here is RelWithDebInfo, and a stale Debug tree silently skews
@@ -55,7 +66,8 @@ fi
 
 BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
 BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
-for bin in "$BENCH_MICRO" "$BENCH_FIG12"; do
+BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
+for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE"; do
   if [[ ! -x "$bin" ]]; then
     echo "run_bench.sh: missing binary $bin (build the project first)" >&2
     exit 1
@@ -88,6 +100,9 @@ RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
 
 echo "== Phase breakdown (bench_fig12_breakdown, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_FIG12" | tee "$TMP_DIR/fig12.txt"
+
+echo "== Serving layer (bench_serve, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_SERVE" "$OUT_SERVE_JSON"
 
 python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'
 import json

@@ -7,8 +7,9 @@
 #      containment assertions in ProcessCellBatched.
 #   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
 #      thread-pool, parallel-sort, phase2 (all three query engines, incl.
-#      the concurrent FlatCellIndex::BuildHashed), merge and end-to-end
-#      suites that exercise every concurrent code path.
+#      the concurrent FlatCellIndex::BuildHashed), merge, end-to-end and
+#      snapshot-serving (serve_concurrent_test: one frozen snapshot,
+#      many reader threads) suites that exercise every concurrent path.
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

@@ -30,6 +30,9 @@ void Run() {
       o.num_threads = kThreads;
       // The paper's TeraClickLog runs use 40 splits on 40 cores.
       o.num_partitions = 40;
+      // The per-round series is the object of study: the edge-parallel
+      // merge would collapse it to {initial, final}.
+      o.sequential_merge = true;
       auto r = RunRpDbscan(bd.data, o);
       if (!r.ok()) {
         std::fprintf(stderr, "failed: %s\n",

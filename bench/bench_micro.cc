@@ -11,7 +11,9 @@
 #include "core/cell_dictionary.h"
 #include "core/cell_set.h"
 #include "core/grid.h"
+#include "core/merge.h"
 #include "core/phase2.h"
+#include "core/simd.h"
 #include "graph/disjoint_set.h"
 #include "spatial/kdtree.h"
 #include "synth/generators.h"
@@ -171,6 +173,10 @@ struct Phase2Fixture {
     // setting for its equivalence sweeps.
     CellDictionaryOptions dopts;
     dopts.max_cells_per_subdict = 64;
+    // Quantized lanes ride along so the quantized kernel variant below
+    // measures against the same dictionary; exact kernels never read
+    // them.
+    dopts.quantized = true;
     dict = CellDictionary::Build(data, *cells, dopts);
   }
 };
@@ -181,14 +187,23 @@ Phase2Fixture& GeoLifeFixture() {
   return *f;
 }
 
-enum class QueryEngine { kPerPoint, kBatchedTree, kStencil };
+enum class QueryEngine {
+  kPerPoint,
+  kBatchedTree,
+  kStencil,
+  kStencilScalar,
+  kStencilQuant,
+};
 
 void BM_Phase2Query(benchmark::State& state, QueryEngine engine) {
   Phase2Fixture& f = GeoLifeFixture();
   ThreadPool pool(1);  // kernel cost, not parallel speedup
   Phase2Options opts;
   opts.batched_queries = engine != QueryEngine::kPerPoint;
-  opts.stencil_queries = engine == QueryEngine::kStencil;
+  opts.stencil_queries = engine != QueryEngine::kPerPoint &&
+                         engine != QueryEngine::kBatchedTree;
+  opts.scalar_kernels = engine == QueryEngine::kStencilScalar;
+  opts.quantized = engine == QueryEngine::kStencilQuant;
   Phase2Result last;
   for (auto _ : state) {
     last = BuildSubgraphs(f.data, *f.cells, *f.dict, bench::kMinPts, pool,
@@ -209,6 +224,11 @@ BENCHMARK_CAPTURE(BM_Phase2Query, batched_tree, QueryEngine::kBatchedTree)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_Phase2Query, stencil, QueryEngine::kStencil)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Phase2Query, stencil_scalar,
+                  QueryEngine::kStencilScalar)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Phase2Query, stencil_quant, QueryEngine::kStencilQuant)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LatticeStencilCreate(benchmark::State& state) {
   const size_t dim = static_cast<size_t>(state.range(0));
@@ -218,6 +238,80 @@ void BM_LatticeStencilCreate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatticeStencilCreate)->Arg(2)->Arg(3)->Arg(5);
+
+// ---- Phase III-1 merge engines, head to head. ----
+//
+// One prebuilt synthetic cell graph (random partition ownership, mostly
+// core cells, random directed edges — the shape Phase II emits), copied
+// per iteration because MergeSubgraphs consumes its input. The
+// sequential tournament pays per-round concatenation + hash-set rebuilds
+// + a mutexed union-find; the edge-parallel path types every edge in one
+// pass against a lock-free union-find — so it wins even on one thread,
+// and additionally scales with the pool.
+struct MergeFixture {
+  std::vector<CellSubgraph> subgraphs;
+  size_t num_cells;
+
+  explicit MergeFixture(size_t cells_in, size_t partitions, size_t edges)
+      : num_cells(cells_in) {
+    Rng rng(77);
+    subgraphs.resize(partitions);
+    std::vector<uint32_t> owner(num_cells);
+    std::vector<bool> is_core(num_cells);
+    for (uint32_t c = 0; c < num_cells; ++c) {
+      const uint32_t p = static_cast<uint32_t>(rng.Uniform(partitions));
+      owner[c] = p;
+      is_core[c] = rng.UniformDouble(0, 1) < 0.8;
+      subgraphs[p].partition_id = p;
+      subgraphs[p].owned.emplace_back(
+          c, is_core[c] ? CellType::kCore : CellType::kNonCore);
+    }
+    for (size_t e = 0; e < edges; ++e) {
+      const uint32_t from = static_cast<uint32_t>(rng.Uniform(num_cells));
+      const uint32_t to = static_cast<uint32_t>(rng.Uniform(num_cells));
+      if (from == to || !is_core[from]) continue;  // Phase II shape
+      subgraphs[owner[from]].edges.push_back(
+          CellEdge{from, to, EdgeType::kUndetermined});
+    }
+  }
+};
+
+MergeFixture& MergeData() {
+  static MergeFixture* f = new MergeFixture(
+      bench::Scaled(60000), /*partitions=*/32, bench::Scaled(360000));
+  return *f;
+}
+
+void BM_MergeForest(benchmark::State& state, bool parallel) {
+  MergeFixture& f = MergeData();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(threads);
+  MergeOptions opts;
+  opts.parallel_unions = parallel;
+  opts.pool = &pool;
+  size_t clusters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto graphs = f.subgraphs;  // consumed by the merge
+    state.ResumeTiming();
+    const MergeResult r =
+        MergeSubgraphs(std::move(graphs), f.num_cells, opts);
+    clusters = r.num_clusters;
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.SetItemsProcessed(state.iterations() * f.subgraphs.size());
+  state.counters["clusters"] = static_cast<double>(clusters);
+}
+BENCHMARK_CAPTURE(BM_MergeForest, sequential, false)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MergeForest, parallel, true)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DisjointSetUnionFind(benchmark::State& state) {
   Rng rng(1);
@@ -238,4 +332,23 @@ BENCHMARK(BM_DisjointSetUnionFind)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace rpdbscan
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN: the library's own build type
+// must land in the JSON context. google-benchmark's "library_build_type"
+// field reports how *libbenchmark* was compiled (the system package),
+// which is what let a debug-built rp_core masquerade as a release
+// benchmark run — run_bench.sh now keys off this context entry instead.
+int main(int argc, char** argv) {
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rpdbscan_build_type", "release");
+#else
+  benchmark::AddCustomContext("rpdbscan_build_type", "debug");
+#endif
+  benchmark::AddCustomContext(
+      "rpdbscan_simd",
+      rpdbscan::SimdLevelName(rpdbscan::DetectSimdLevel()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

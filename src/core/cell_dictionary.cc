@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 
 #include "parallel/parallel_for.h"
@@ -15,6 +16,53 @@ namespace {
 bool SubcellLess(const DictSubcell& a, const DictSubcell& b) {
   if (a.id.hi != b.id.hi) return a.id.hi < b.id.hi;
   return a.id.lo < b.id.lo;
+}
+
+// Tight bounds of one cell's occupied sub-cell boxes, decoded from the
+// packed sub-cell ids: per dimension the [min, max] occupied sub-cell
+// index range, mapped to coordinates and widened one float ulp outward
+// per face. The ulp absorbs the double-rounding slack of sub-cell
+// assignment (floor((p - origin) / sub_side) with clamping): a point can
+// sit a ~2^-52-relative error outside its decoded box, and the ~2^-24-
+// relative ulp dwarfs that — so the box is conservative and covers every
+// point of the cell. Same arithmetic as the old per-query
+// SubcellRangeMbr (core/phase2.h), which now reads these values back.
+void ComputeCellMbr(const GridGeometry& geom, const DictCell& dc,
+                    const std::vector<DictSubcell>& subs, float* mbr_lo,
+                    float* mbr_hi) {
+  const size_t dim = geom.dim();
+  const unsigned bits = geom.bits_per_dim();
+  int64_t min_idx[CellCoord::kMaxDim];
+  int64_t max_idx[CellCoord::kMaxDim];
+  for (size_t d = 0; d < dim; ++d) {
+    min_idx[d] = std::numeric_limits<int64_t>::max();
+    max_idx[d] = -1;
+  }
+  for (uint32_t s = dc.subcell_begin; s < dc.subcell_end; ++s) {
+    const SubcellId& id = subs[s].id;
+    for (size_t d = 0; d < dim; ++d) {
+      const int64_t i =
+          bits == 0
+              ? 0
+              : static_cast<int64_t>(SubcellGetBits(
+                    id, static_cast<unsigned>(d) * bits, bits));
+      min_idx[d] = std::min(min_idx[d], i);
+      max_idx[d] = std::max(max_idx[d], i);
+    }
+  }
+  const double sub_side = geom.subcell_side();
+  for (size_t d = 0; d < dim; ++d) {
+    RPDBSCAN_DCHECK(max_idx[d] >= 0);
+    const double origin = geom.CellOrigin(dc.coord, d);
+    mbr_lo[d] = std::nextafterf(
+        static_cast<float>(origin +
+                           static_cast<double>(min_idx[d]) * sub_side),
+        -std::numeric_limits<float>::infinity());
+    mbr_hi[d] = std::nextafterf(
+        static_cast<float>(origin +
+                           static_cast<double>(max_idx[d] + 1) * sub_side),
+        std::numeric_limits<float>::infinity());
+  }
 }
 
 // Recursive BSP over [begin, end) of `order` (indices into `entries`,
@@ -238,6 +286,107 @@ StatusOr<CellDictionary> CellDictionary::Assemble(
     }
   }
 
+  // Quantization frame for the fixed-point kernels: per-dimension minimum
+  // sub-cell center as the base, eps * 2^-16 as the quantum (inv_quantum
+  // = 2^16 / eps). Auto-disabled when any dimension's center span does
+  // not fit the uint32 lattice with margin — queries then silently use
+  // the exact kernels, results unchanged.
+  if (opts.quantized && dict.num_subcells_ > 0) {
+    double lo[CellCoord::kMaxDim];
+    double hi[CellCoord::kMaxDim];
+    for (size_t d = 0; d < geom.dim(); ++d) {
+      lo[d] = std::numeric_limits<double>::infinity();
+      hi[d] = -std::numeric_limits<double>::infinity();
+    }
+    for (const SubDictionary& sd : dict.subdicts_) {
+      const float* c = sd.subcell_centers_.data();
+      for (size_t s = 0; s < sd.subcells_.size(); ++s, c += geom.dim()) {
+        for (size_t d = 0; d < geom.dim(); ++d) {
+          const double v = static_cast<double>(c[d]);
+          lo[d] = std::min(lo[d], v);
+          hi[d] = std::max(hi[d], v);
+        }
+      }
+    }
+    const double inv_quantum =
+        static_cast<double>(int64_t{1} << kQuantBitsPerEps) / geom.eps();
+    bool fits = true;
+    for (size_t d = 0; d < geom.dim(); ++d) {
+      if (!((hi[d] - lo[d]) * inv_quantum < 4.0e9)) fits = false;
+    }
+    if (fits) {
+      dict.quantized_.enabled = true;
+      dict.quantized_.inv_quantum = inv_quantum;
+      for (size_t d = 0; d < geom.dim(); ++d) dict.quantized_.base[d] = lo[d];
+    }
+  }
+
+  // Lane-major (SoA) sub-cell storage: per-cell padded blocks of
+  // dim-major coordinate lanes plus per-slot densities, the layout the
+  // vector kernels (core/simd.h) stride over. Padding slots carry +inf
+  // centers and zero counts so whole-vector strides are safe; the
+  // quantized lanes (when enabled) quantize the same centers against the
+  // frame above.
+  {
+    auto build_lanes = [&](size_t f) {
+      SubDictionary& sd = dict.subdicts_[f];
+      const size_t dim = geom.dim();
+      sd.lane_dim_ = dim;
+      sd.lane_begin_.assign(sd.cells_.size() + 1, 0);
+      for (size_t i = 0; i < sd.cells_.size(); ++i) {
+        const uint32_t n =
+            sd.cells_[i].subcell_end - sd.cells_[i].subcell_begin;
+        const uint32_t padded =
+            (n + kSimdLaneWidth - 1) / kSimdLaneWidth * kSimdLaneWidth;
+        sd.lane_begin_[i + 1] = sd.lane_begin_[i] + padded;
+      }
+      const size_t total = sd.lane_begin_.back();
+      sd.lane_centers_.assign(total * dim, kLanePadCenter);
+      sd.lane_counts_.assign(total, 0);
+      if (dict.quantized_.enabled) {
+        sd.lane_qcenters_.assign(total * dim, kLanePadQuant);
+      }
+      for (size_t i = 0; i < sd.cells_.size(); ++i) {
+        const DictCell& dc = sd.cells_[i];
+        const uint32_t padded_n = sd.lane_begin_[i + 1] - sd.lane_begin_[i];
+        float* block = sd.lane_centers_.data() +
+                       static_cast<size_t>(sd.lane_begin_[i]) * dim;
+        uint32_t* qblock =
+            dict.quantized_.enabled
+                ? sd.lane_qcenters_.data() +
+                      static_cast<size_t>(sd.lane_begin_[i]) * dim
+                : nullptr;
+        for (uint32_t s = dc.subcell_begin; s < dc.subcell_end; ++s) {
+          const uint32_t slot = s - dc.subcell_begin;
+          const float* center = sd.subcell_centers_.data() + s * dim;
+          sd.lane_counts_[sd.lane_begin_[i] + slot] = sd.subcells_[s].count;
+          for (size_t d = 0; d < dim; ++d) {
+            block[d * padded_n + slot] = center[d];
+            if (qblock != nullptr) {
+              qblock[d * padded_n + slot] = static_cast<uint32_t>(
+                  std::llround((static_cast<double>(center[d]) -
+                                dict.quantized_.base[d]) *
+                               dict.quantized_.inv_quantum));
+            }
+          }
+        }
+      }
+      // Tight occupied-sub-cell MBR per cell: what candidate
+      // classification and the per-point box tests measure against
+      // instead of the full cell box.
+      sd.cell_mbrs_.resize(sd.cells_.size() * 2 * dim);
+      for (size_t i = 0; i < sd.cells_.size(); ++i) {
+        float* mbr = sd.cell_mbrs_.data() + i * 2 * dim;
+        ComputeCellMbr(geom, sd.cells_[i], sd.subcells_, mbr, mbr + dim);
+      }
+    };
+    if (pool != nullptr) {
+      ParallelFor(*pool, dict.subdicts_.size(), build_lanes);
+    } else {
+      for (size_t f = 0; f < dict.subdicts_.size(); ++f) build_lanes(f);
+    }
+  }
+
   // Dictionary-global cell index: coordinate -> (sub-dictionary, local
   // cell), the probe target of the lattice-stencil engine and of
   // FindDictCell. Built unconditionally — Deserialize comes through here
@@ -274,9 +423,120 @@ StatusOr<CellDictionary> CellDictionary::Assemble(
   }
   dict.cell_index_.BuildHashed(ref_hashes.data(), ref_hashes.size(), pool);
 
+  // Per-slot classification/flatten metadata: every pointer the query
+  // engines need about a candidate cell, resolved once. Built after the
+  // lane/MBR arrays above so the pointers are final.
+  dict.subdict_ref_base_.resize(dict.subdicts_.size() + 1);
+  for (size_t f = 0; f <= dict.subdicts_.size(); ++f) {
+    dict.subdict_ref_base_[f] = static_cast<uint32_t>(ref_offsets[f]);
+  }
+  dict.slot_meta_.resize(dict.num_cells_);
+  auto fill_meta = [&](size_t f) {
+    const SubDictionary& sd = dict.subdicts_[f];
+    SlotMeta* meta = dict.slot_meta_.data() + ref_offsets[f];
+    for (uint32_t i = 0; i < sd.cells_.size(); ++i, ++meta) {
+      meta->lane_centers = sd.lane_centers(i);
+      meta->lane_counts = sd.lane_counts(i);
+      meta->lane_qcenters = sd.lane_qcenters(i);
+      meta->mbr = sd.cell_mbr(i);
+      meta->lane_padded = sd.lane_padded(i);
+      meta->total_count = sd.cells_[i].total_count;
+      meta->cell_id = sd.cells_[i].cell_id;
+    }
+  };
+  if (pool != nullptr) {
+    ParallelFor(*pool, dict.subdicts_.size(), fill_meta);
+  } else {
+    for (size_t f = 0; f < dict.subdicts_.size(); ++f) fill_meta(f);
+  }
+
   if (opts.build_stencil) {
     dict.stencil_ =
         LatticeStencil::Create(geom.dim(), opts.max_stencil_offsets);
+  }
+
+  // Precomputed stencil neighborhoods: which dictionary cells occupy a
+  // source cell's stencil window depends only on the lattice, never on a
+  // query, so the hash probes are paid once here instead of once per
+  // region query. The stencil is closed under negation (membership
+  // depends only on |o_i|), so lattice adjacency is symmetric: only the
+  // half of the window whose first nonzero component is positive is
+  // probed, and every resolved pair (a, b) is scattered into both cells'
+  // lists — half the probes of even a single full-window pass. Each list
+  // holds the cell itself first, then its present neighbors in a
+  // deterministic discovery order; no consumer depends on the order
+  // ("maybe" candidates are re-sorted by distance bound, neighbor edges
+  // are sorted and deduplicated downstream). Probing runs in parallel
+  // over fixed-size cell blocks whose pair buffers are drained in block
+  // order, so the CSR is identical regardless of thread count.
+  if (dict.stencil_.enabled() && dict.num_cells_ > 0) {
+    const LatticeStencil& st = dict.stencil_;
+    const size_t noff = st.num_offsets();
+    std::vector<size_t> half;
+    half.reserve(noff / 2);
+    for (size_t i = 0; i < noff; ++i) {
+      const int32_t* off = st.offset(i);
+      size_t d = 0;
+      while (d < dim && off[d] == 0) ++d;
+      if (d < dim && off[d] > 0) half.push_back(i);
+    }
+    constexpr size_t kBlock = 256;
+    const size_t nblocks = (dict.num_cells_ + kBlock - 1) / kBlock;
+    std::vector<std::vector<uint64_t>> block_pairs(nblocks);
+    auto probe_block = [&](size_t b) {
+      std::vector<uint64_t>& out = block_pairs[b];
+      const size_t lo = b * kBlock;
+      const size_t hi = std::min(lo + kBlock, dict.num_cells_);
+      int32_t nbr[CellCoord::kMaxDim];
+      for (size_t s = lo; s < hi; ++s) {
+        const int32_t* c = dict.ref_coords_.data() + s * dim;
+        for (size_t i : half) {
+          const int32_t* off = st.offset(i);
+          for (size_t d = 0; d < dim; ++d) {
+            // 64-bit intermediate: a wrapped coordinate could not hold
+            // data anyway, but signed overflow must not be UB.
+            nbr[d] =
+                static_cast<int32_t>(static_cast<int64_t>(c[d]) + off[d]);
+          }
+          const int64_t hit = dict.cell_index_.FindHashed(
+              CellCoordHashOf(nbr, dim), nbr, dim, dict.ref_coords_.data());
+          if (hit < 0) continue;
+          out.push_back(static_cast<uint64_t>(s) << 32 |
+                        static_cast<uint64_t>(hit));
+        }
+      }
+    };
+    if (pool != nullptr) {
+      ParallelFor(*pool, nblocks, probe_block);
+    } else {
+      for (size_t b = 0; b < nblocks; ++b) probe_block(b);
+    }
+    std::vector<uint32_t> counts(dict.num_cells_, 1);  // 1 = self entry
+    for (const std::vector<uint64_t>& pairs : block_pairs) {
+      for (uint64_t p : pairs) {
+        ++counts[static_cast<size_t>(p >> 32)];
+        ++counts[static_cast<size_t>(p & 0xffffffffu)];
+      }
+    }
+    dict.stencil_nbr_begin_.assign(dict.num_cells_ + 1, 0);
+    for (size_t s = 0; s < dict.num_cells_; ++s) {
+      dict.stencil_nbr_begin_[s + 1] =
+          dict.stencil_nbr_begin_[s] + counts[s];
+    }
+    dict.stencil_nbr_slots_.resize(dict.stencil_nbr_begin_.back());
+    std::vector<size_t> cursor(dict.num_cells_);
+    for (size_t s = 0; s < dict.num_cells_; ++s) {
+      cursor[s] = dict.stencil_nbr_begin_[s];
+      dict.stencil_nbr_slots_[cursor[s]++] = static_cast<uint32_t>(s);
+    }
+    for (const std::vector<uint64_t>& pairs : block_pairs) {
+      for (uint64_t p : pairs) {
+        const uint32_t a = static_cast<uint32_t>(p >> 32);
+        const uint32_t b = static_cast<uint32_t>(p & 0xffffffffu);
+        dict.stencil_nbr_slots_[cursor[a]++] = b;
+        dict.stencil_nbr_slots_[cursor[b]++] = a;
+      }
+    }
   }
   return dict;
 }
@@ -303,19 +563,23 @@ constexpr double kContainMargin = 1.0 - 1e-9;
 constexpr double kDisjointMargin = 1.0 + 1e-9;
 
 // Squared distance bounds between the source cell's point MBR
-// [a_lo, a_hi] and candidate cell `b`'s box, valid for every pair of one
-// actual point and one point of the box. Using the tight point MBR rather
-// than the full source box is what lets sparsely-populated cells drop or
-// pre-sum most of their candidates.
-void BoxPairDistBounds(const float* a_lo, const float* a_hi,
-                       const GridGeometry& geom, const CellCoord& b,
+// [a_lo, a_hi] and candidate cell `b`'s occupied-sub-cell MBR
+// [b_lo, b_hi], valid for every pair of one source point and one point of
+// the candidate MBR — hence for every occupied sub-cell box and every
+// sub-cell center. Both boxes are tight point covers, so on sparse data
+// most candidates resolve to provably-disjoint or provably-contained
+// right here instead of in the per-point scan. Sound for classification:
+// max2 <= eps^2 means every sub-cell center is within eps of every source
+// point (the cell's whole density counts, exactly what the kernel would
+// find), min2 > eps^2 means none ever is (the kernel would find zero).
+void MbrPairDistBounds(const float* a_lo, const float* a_hi,
+                       const float* b_lo, const float* b_hi, size_t dim,
                        double* min2, double* max2) {
-  const double side = geom.cell_side();
   double mn = 0.0;
   double mx = 0.0;
-  for (size_t d = 0; d < geom.dim(); ++d) {
-    const double lo = geom.CellOrigin(b, d);
-    const double hi = lo + side;
+  for (size_t d = 0; d < dim; ++d) {
+    const double lo = b_lo[d];
+    const double hi = b_hi[d];
     const double alo = a_lo[d];
     const double ahi = a_hi[d];
     double gap = 0.0;
@@ -395,26 +659,24 @@ size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
       sd.rtree_.CollectInRadius(center, candidate_radius, &out->tree_hits);
     }
     for (const uint32_t local_cell : out->tree_hits) {
-      const DictCell& dc = sd.cells_[local_cell];
+      const uint32_t slot = subdict_ref_base_[sdi] + local_cell;
+      const SlotMeta& sm = slot_meta_[slot];
       double pair_min2 = 0.0;
       double pair_max2 = 0.0;
-      BoxPairDistBounds(mbr_lo, mbr_hi, geom_, dc.coord, &pair_min2,
-                        &pair_max2);
+      MbrPairDistBounds(mbr_lo, mbr_hi, sm.mbr, sm.mbr + dim, dim,
+                        &pair_min2, &pair_max2);
       if (pair_min2 > disjoint2) continue;  // unreachable from any point
       if (pair_max2 <= contained2) {
         // Every point of the source cell swallows this cell whole: hoist
         // the Example 5.5 containment fast path to cell level.
-        out->always_count += dc.total_count;
-        if (!(dc.coord == cell)) out->always_neighbors.push_back(dc.cell_id);
+        out->always_count += sm.total_count;
+        if (!(sd.cells_[local_cell].coord == cell)) {
+          out->always_neighbors.push_back(sm.cell_id);
+        }
         continue;
       }
-      const uint32_t coord_idx =
-          static_cast<uint32_t>(out->staged_coords.size() / dim);
-      out->staged_coords.insert(out->staged_coords.end(), dc.coord.data(),
-                                dc.coord.data() + dim);
-      out->maybe_refs.push_back(CandidateCellList::MaybeRef{
-          pair_min2, dc.cell_id, static_cast<uint32_t>(sdi),
-          dc.subcell_begin, dc.subcell_end, dc.total_count, coord_idx});
+      out->maybe_refs.push_back(
+          CandidateCellList::MaybeRef{pair_min2, sm.cell_id, slot});
     }
   }
 
@@ -458,30 +720,76 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   const double disjoint2 = eps2 * kDisjointMargin;
   const double contained2 = eps2 * kContainMargin;
 
-  // Stage 1 — arithmetic classification, no memory traffic beyond the
-  // stencil itself. A neighbor's box is a pure function of its integer
-  // coordinates (CellOrigin(c, d) is exactly double(c[d]) * side), so the
-  // per-dimension bounds below reproduce BoxPairDistBounds on the
-  // materialized coordinate bit-for-bit — same margins, same surviving
-  // set as QueryCell classifying that cell. Offsets provably disjoint
-  // from every query ball (pair_min2 > disjoint2, the majority on skewed
-  // data where the point MBR hugs a corner of the cell) are dropped here,
-  // before any probe. The tree path cannot make this move: it must walk
-  // its index to learn which cells exist before it can reject them.
+  // Fast path — the source cell is a dictionary cell (always true in the
+  // pipeline), so its stencil window was resolved once at Assemble into
+  // the precomputed neighborhood list: a linear walk over the present
+  // cells' global slots, classifying each from the per-slot metadata with
+  // the same MbrPairDistBounds arithmetic and margins as the tree engine.
+  // No hash probes, no coordinate staging, no per-offset arithmetic.
+  // Present cells the probing path's box-level pre-drop would have
+  // skipped are classified here instead and dropped by the (tighter)
+  // MBR-level lower bound, so the surviving candidate sequence is
+  // identical either way.
+  const int64_t src_slot = FindCellRefIndex(cell);
+  if (src_slot >= 0) {
+    const size_t begin = stencil_nbr_begin_[static_cast<size_t>(src_slot)];
+    const size_t count =
+        stencil_nbr_begin_[static_cast<size_t>(src_slot) + 1] - begin;
+    const uint32_t* nbr = stencil_nbr_slots_.data() + begin;
+    constexpr size_t kMetaPrefetchAhead = 8;
+    for (size_t j = 0; j < count; ++j) {
+      if (j + kMetaPrefetchAhead < count) {
+        __builtin_prefetch(&slot_meta_[nbr[j + kMetaPrefetchAhead]]);
+      }
+      const SlotMeta& sm = slot_meta_[nbr[j]];
+      double pair_min2 = 0.0;
+      double pair_max2 = 0.0;
+      MbrPairDistBounds(mbr_lo, mbr_hi, sm.mbr, sm.mbr + dim, dim,
+                        &pair_min2, &pair_max2);
+      if (pair_min2 > disjoint2) continue;  // unreachable from any point
+      if (pair_max2 <= contained2) {
+        out->always_count += sm.total_count;
+        // j == 0 is the source cell itself (the list stores it first;
+        // stencil offsets are non-zero, so no other entry can equal it).
+        if (j != 0) out->always_neighbors.push_back(sm.cell_id);
+        continue;
+      }
+      out->maybe_refs.push_back(
+          CandidateCellList::MaybeRef{pair_min2, sm.cell_id, nbr[j]});
+    }
+    SortAndFlattenMaybes(out);
+    out->stencil_probes = count;
+    out->stencil_hits = count;
+    return count;
+  }
+
+  // Fallback — a source coordinate outside the dictionary has no
+  // precomputed neighborhood: stage and hash-probe its window directly.
+  //
+  // Stage 1 — arithmetic pre-drop, no memory traffic beyond the stencil
+  // itself. A neighbor's full box is a pure function of its integer
+  // coordinates (CellOrigin(c, d) is exactly double(c[d]) * side), so a
+  // conservative box-level lower bound is computed from the stencil alone
+  // and offsets provably disjoint from every query ball (the majority on
+  // skewed data where the point MBR hugs a corner of the cell) are
+  // dropped before any probe. The full box contains the occupied-sub-cell
+  // MBR that final classification measures against, so the box bound
+  // never exceeds the MBR bound — the pre-drop keeps a superset of the
+  // survivors and cannot diverge from the tree engine. The tree path
+  // cannot make this move: it must walk its index to learn which cells
+  // exist before it can reject them.
   //
   // Per axis an offset component ranges over [-r, r] with
   // r = 1 + floor(sqrt(d)) (LatticeStencil's per-axis bound), so each
   // (dimension, component) pair's neighbor coordinate and per-dimension
-  // gap^2 / far^2 terms are precomputed once per source cell into small
-  // stack tables; staging an offset is then one table lookup and add per
-  // dimension. The tabulated values are the same doubles the direct
-  // computation yields, summed in the same dimension order — bit-equal.
+  // gap^2 term are precomputed once per source cell into small stack
+  // tables; staging an offset is then one table lookup and add per
+  // dimension.
   const int32_t radius = 1 + static_cast<int32_t>(std::sqrt(
                                  static_cast<double>(dim)));
   const size_t width = static_cast<size_t>(2 * radius + 1);
   int32_t coord_tab[CellCoord::kMaxDim][12];
   double gap2_tab[CellCoord::kMaxDim][12];
-  double far2_tab[CellCoord::kMaxDim][12];
   RPDBSCAN_CHECK(width <= 12);
   for (size_t d = 0; d < dim; ++d) {
     for (int32_t v = -radius; v <= radius; ++v) {
@@ -500,70 +808,53 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
       } else if (lo > ahi) {
         gap = lo - ahi;
       }
-      const double far = std::max(ahi - lo, hi - alo);
       const size_t slot = static_cast<size_t>(v + radius);
       coord_tab[d][slot] = c;
       gap2_tab[d][slot] = gap * gap;
-      far2_tab[d][slot] = far * far;
     }
   }
 
   // Stage the source cell first (index 0), then surviving offsets in
-  // stencil order — matching the previous engine's classification order
-  // exactly. Order only affects always_neighbors' transient layout
-  // (maybe_refs get sorted), but determinism is easier to audit when it
-  // never changes. Scratch is sized for the worst case up front and
-  // written through raw pointers: this loop runs once per source cell
-  // over thousands of offsets, and push_back growth checks showed up in
-  // the Phase II profile.
+  // stencil order — matching the previous engine's staging order exactly.
+  // Order only affects always_neighbors' transient layout (maybe_refs get
+  // sorted), but determinism is easier to audit when it never changes.
+  // Scratch is sized for the worst case up front and written through raw
+  // pointers: this loop runs once per source cell over thousands of
+  // offsets, and push_back growth checks showed up in the Phase II
+  // profile.
   const size_t n = stencil_.num_offsets();
   out->staged_hash.resize(n + 1);
-  out->staged_min2.resize(n + 1);
-  out->staged_max2.resize(n + 1);
   out->staged_coords.resize((n + 1) * dim);
   uint64_t* sh = out->staged_hash.data();
-  double* smn = out->staged_min2.data();
-  double* smx = out->staged_max2.data();
   int32_t* scoords = out->staged_coords.data();
   {
     // Source cell: never droppable — the point MBR lies inside the
-    // source box, so its pair_min2 is 0.
-    double mn = 0.0;
-    double mx = 0.0;
+    // source box, so its box-level lower bound is 0.
     const size_t slot = static_cast<size_t>(radius);
     for (size_t d = 0; d < dim; ++d) {
       scoords[d] = coord_tab[d][slot];
-      mn += gap2_tab[d][slot];
-      mx += far2_tab[d][slot];
     }
     sh[0] = cell.hash();
-    smn[0] = mn;
-    smx[0] = mx;
   }
   size_t staged = 1;
   for (size_t i = 0; i < n; ++i) {
     const int32_t* off = stencil_.offset(i);
-    // One branchless pass per offset: both bounds and the coordinates are
+    // One branchless pass per offset: the bound and the coordinates are
     // computed unconditionally (coords land in the next staging slot and
     // are simply overwritten if the offset drops), then a single
     // data-dependent branch settles survival. An early per-dimension exit
     // on the growing lower bound proves the same verdict, but its
-    // unpredictable branches cost more than the few spare table adds —
-    // and a survivor's mn is the full in-order sum either way, so the
-    // staged values are bit-identical. Only survivors pay the hash.
+    // unpredictable branches cost more than the few spare table adds.
+    // Only survivors pay the hash.
     double mn = 0.0;
-    double mx = 0.0;
     int32_t* coords = scoords + staged * dim;
     for (size_t d = 0; d < dim; ++d) {
       const size_t slot = static_cast<size_t>(off[d] + radius);
       coords[d] = coord_tab[d][slot];
       mn += gap2_tab[d][slot];
-      mx += far2_tab[d][slot];
     }
     if (mn > disjoint2) continue;  // unreachable from any point: no probe
     sh[staged] = CellCoordHashOf(coords, dim);
-    smn[staged] = mn;
-    smx[staged] = mx;
     ++staged;
   }
 
@@ -571,8 +862,9 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   // prefetch-pipelined: the probes are independent single-slot lookups at
   // random table positions, so issuing the prefetch a few iterations
   // ahead overlaps their cache misses. A hit classifies straight from the
-  // GlobalCellRef (cell id and density are duplicated there) — the
-  // sub-dictionaries are never touched.
+  // per-slot metadata (occupied-sub-cell MBR, density, cell id) with the
+  // same MbrPairDistBounds arithmetic and margins as the tree engine —
+  // identical inputs, identical verdicts, identical sort keys.
   size_t hits = 0;
   const int32_t* rc = ref_coords_.data();
   constexpr size_t kPrefetchAhead = 8;
@@ -588,17 +880,21 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
         cell_index_.FindHashed(sh[j], scoords + j * dim, dim, rc);
     if (slot < 0) continue;
     ++hits;
-    const GlobalCellRef& ref = cell_refs_[static_cast<size_t>(slot)];
-    if (smx[j] <= contained2) {
-      out->always_count += ref.total_count;
+    const SlotMeta& sm = slot_meta_[static_cast<size_t>(slot)];
+    double pair_min2 = 0.0;
+    double pair_max2 = 0.0;
+    MbrPairDistBounds(mbr_lo, mbr_hi, sm.mbr, sm.mbr + dim, dim,
+                      &pair_min2, &pair_max2);
+    if (pair_min2 > disjoint2) continue;  // unreachable from any point
+    if (pair_max2 <= contained2) {
+      out->always_count += sm.total_count;
       // j == 0 is the source cell (stencil offsets are non-zero, so no
       // other staged coordinate can equal it).
-      if (j != 0) out->always_neighbors.push_back(ref.cell_id);
+      if (j != 0) out->always_neighbors.push_back(sm.cell_id);
       continue;
     }
     out->maybe_refs.push_back(CandidateCellList::MaybeRef{
-        smn[j], ref.cell_id, ref.subdict, ref.subcell_begin,
-        ref.subcell_end, ref.total_count, static_cast<uint32_t>(j)});
+        pair_min2, sm.cell_id, static_cast<uint32_t>(slot)});
   }
 
   SortAndFlattenMaybes(out);
@@ -608,7 +904,7 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
 }
 
 void CellDictionary::SortAndFlattenMaybes(CandidateCellList* out) const {
-  // Order the maybe group nearest-first (box-to-box lower bound, cell id
+  // Order the maybe group nearest-first (MBR-to-MBR lower bound, cell id
   // as a deterministic tie-break): the source cell and its densest
   // surroundings land at the front, so the per-point pass-1 scan crosses
   // min_pts after the fewest evaluations. Evaluation order cannot change
@@ -621,41 +917,51 @@ void CellDictionary::SortAndFlattenMaybes(CandidateCellList* out) const {
               return a.cell_id < b.cell_id;
             });
 
-  // Lay out per-candidate metadata in sorted order; sub-cell centers and
-  // densities stay in the sub-dictionaries' contiguous storage, referenced
-  // by pointer. Sized up front and written by index — this runs once per
-  // maybe-cell per source cell, and the per-element growth checks of
-  // push_back were measurable in the Phase II profile.
-  // The MaybeRef carries everything the flat layout needs (cell id,
-  // density, sub-cell range, and an index into the staged coordinate
-  // scratch), so the flatten never touches a DictCell — one less random
-  // load per candidate, on both query engines. Cell origins come from
-  // the integer coordinates exactly as GridGeometry::CellOrigin computes
-  // them: static_cast<double>(c[d]) * cell_side.
+  // Lay out per-candidate metadata in sorted order; sub-cell lanes stay
+  // in the sub-dictionaries' contiguous storage, referenced by pointer.
+  // Sized up front and written by index — this runs once per maybe-cell
+  // per source cell, and the per-element growth checks of push_back were
+  // measurable in the Phase II profile. Every field is copied from the
+  // per-slot metadata table in one load per candidate; the candidate MBRs
+  // additionally land in a dimension-major lane-padded layout so the
+  // per-point vector bounds kernel (core/simd.h) strides whole lanes.
   const size_t dim = geom_.dim();
-  const double side = geom_.cell_side();
-  const int32_t* scoords = out->staged_coords.data();
   const size_t m = out->maybe_refs.size();
+  const size_t mp =
+      (m + kSimdLaneWidth - 1) / kSimdLaneWidth * kSimdLaneWidth;
+  out->maybe_stride = mp;
   out->cell_ids.resize(m);
-  out->origins.resize(m * dim);
+  out->mbr_lo_t.resize(mp * dim);
+  out->mbr_hi_t.resize(mp * dim);
   out->total_counts.resize(m);
-  out->subcell_centers.resize(m);
-  out->subcells.resize(m);
-  out->num_subcells.resize(m);
+  out->lane_centers.resize(m);
+  out->lane_counts.resize(m);
+  out->lane_qcenters.resize(m);
+  out->lane_padded.resize(m);
+  float* lo_t = out->mbr_lo_t.data();
+  float* hi_t = out->mbr_hi_t.data();
   for (size_t i = 0; i < m; ++i) {
     const CandidateCellList::MaybeRef& ref = out->maybe_refs[i];
-    const SubDictionary& sd = subdicts_[ref.subdict];
+    const SlotMeta& sm = slot_meta_[ref.slot];
     out->cell_ids[i] = ref.cell_id;
-    double* origin = out->origins.data() + i * dim;
-    const int32_t* c = scoords + static_cast<size_t>(ref.coord_idx) * dim;
     for (size_t d = 0; d < dim; ++d) {
-      origin[d] = static_cast<double>(c[d]) * side;
+      lo_t[d * mp + i] = sm.mbr[d];
+      hi_t[d * mp + i] = sm.mbr[dim + d];
     }
-    out->total_counts[i] = ref.total_count;
-    out->subcell_centers[i] =
-        sd.subcell_centers_.data() + ref.subcell_begin * dim;
-    out->subcells[i] = sd.subcells_.data() + ref.subcell_begin;
-    out->num_subcells[i] = ref.subcell_end - ref.subcell_begin;
+    out->total_counts[i] = sm.total_count;
+    out->lane_centers[i] = sm.lane_centers;
+    out->lane_counts[i] = sm.lane_counts;
+    out->lane_qcenters[i] = sm.lane_qcenters;
+    out->lane_padded[i] = sm.lane_padded;
+  }
+  // Padding lanes must still be *initialized* floats (the vector bounds
+  // kernel computes them and throws the result away): replicate the last
+  // candidate, or zeros when there is none.
+  for (size_t i = m; i < mp; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      lo_t[d * mp + i] = m > 0 ? lo_t[d * mp + (m - 1)] : 0.0f;
+      hi_t[d * mp + i] = m > 0 ? hi_t[d * mp + (m - 1)] : 0.0f;
+    }
   }
 }
 

@@ -10,6 +10,7 @@
 #include "core/flat_cell_index.h"
 #include "core/grid.h"
 #include "core/lattice_stencil.h"
+#include "core/simd.h"
 #include "io/dataset.h"
 #include "parallel/thread_pool.h"
 #include "spatial/kdtree.h"
@@ -55,6 +56,52 @@ class SubDictionary {
   }
   const std::vector<float>& cell_centers() const { return cell_centers_; }
 
+  // --- Lane-major (SoA) sub-cell storage for the vector kernels
+  // --- (core/simd.h). Each cell owns a padded block of kSimdLaneWidth-
+  // --- aligned slots: coordinate d's lane is lane_centers(c) +
+  // --- d * lane_padded(c), densities sit in lane_counts(c). Padding
+  // --- slots hold +inf centers / zero counts so kernels run whole
+  // --- vector strides. Built in Assemble alongside the AoS centers
+  // --- (which the auditors and the per-point reference path keep). ---
+
+  /// Padded slot count of a cell's lane block (multiple of
+  /// kSimdLaneWidth, >= its sub-cell count).
+  uint32_t lane_padded(uint32_t local_cell) const {
+    return lane_begin_[local_cell + 1] - lane_begin_[local_cell];
+  }
+  /// The cell's coordinate lanes: lane_dim() runs of lane_padded() floats.
+  const float* lane_centers(uint32_t local_cell) const {
+    return lane_centers_.data() +
+           static_cast<size_t>(lane_begin_[local_cell]) * lane_dim_;
+  }
+  /// The cell's per-slot densities (0 in padding slots).
+  const uint32_t* lane_counts(uint32_t local_cell) const {
+    return lane_counts_.data() + lane_begin_[local_cell];
+  }
+  /// Quantized coordinate lanes (same layout as lane_centers); null when
+  /// the dictionary was built without quantized mode.
+  const uint32_t* lane_qcenters(uint32_t local_cell) const {
+    return lane_qcenters_.empty()
+               ? nullptr
+               : lane_qcenters_.data() +
+                     static_cast<size_t>(lane_begin_[local_cell]) * lane_dim_;
+  }
+  size_t lane_dim() const { return lane_dim_; }
+
+  /// Tight per-cell bounds: the MBR of the cell's *occupied* sub-cell
+  /// boxes (2 * dim floats: lo then hi), decoded from the packed sub-cell
+  /// ids at Assemble with one float ulp outward per face — the same
+  /// arithmetic SubcellRangeMbr (core/phase2.h) used to recompute per
+  /// query. Candidate classification tests against this instead of the
+  /// full cell box: on sparse cells it is much smaller, so more
+  /// candidates resolve as provably-contained or provably-disjoint at
+  /// cell level, and the per-point box tests reject earlier. Soundness is
+  /// unchanged — every occupied sub-cell box (hence every sub-cell
+  /// center, hence every point) lies inside it.
+  const float* cell_mbr(uint32_t local_cell) const {
+    return cell_mbrs_.data() + static_cast<size_t>(local_cell) * 2 * lane_dim_;
+  }
+
  private:
   friend class CellDictionary;
 
@@ -65,6 +112,17 @@ class SubDictionary {
   std::vector<float> subcell_centers_;
   /// Cell centers (num_cells * dim floats) indexed by the kd-tree.
   std::vector<float> cell_centers_;
+  /// Lane-major sub-cell storage (see the accessors above): per-cell
+  /// padded slot offsets (num_cells + 1 entries, slot units), the
+  /// dim-major center lanes, per-slot densities, and optionally the
+  /// uint32 quantized center lanes.
+  std::vector<uint32_t> lane_begin_;
+  std::vector<float> lane_centers_;
+  std::vector<uint32_t> lane_counts_;
+  std::vector<uint32_t> lane_qcenters_;
+  /// Occupied-sub-cell MBR per cell, 2 * dim floats (see cell_mbr()).
+  std::vector<float> cell_mbrs_;
+  size_t lane_dim_ = 0;
   KdTree tree_;     // populated when index == kKdTree
   RTree rtree_;     // populated when index == kRTree
   Mbr mbr_{0};
@@ -125,6 +183,11 @@ struct CellDictionaryOptions {
   /// covers d <= 5 (the d = 5 stencil holds 6094 offsets; d = 6 would need
   /// 41220).
   size_t max_stencil_offsets = 8192;
+  /// Also build the uint32 quantized coordinate lanes (core/simd.h): the
+  /// fixed-point fast path for the sub-cell kernels. Auto-disabled (see
+  /// CellDictionary::has_quantized) when the coordinate span per dimension
+  /// exceeds the uint32 lattice at eps * 2^-16 quanta.
+  bool quantized = false;
 };
 
 /// One cell's raw dictionary content: the unit of dictionary assembly and
@@ -161,53 +224,50 @@ struct CandidateCellList {
   std::vector<uint32_t> always_neighbors;
 
   // --- "maybe" cells, one entry per cell (SoA), sorted by ascending
-  // --- box-to-box distance to the source cell so per-point scans hit the
+  // --- MBR-to-MBR distance to the source cell so per-point scans hit the
   // --- densest/nearest candidates first and exit at min_pts early. ---
   std::vector<uint32_t> cell_ids;
-  /// Box origin (dim doubles per cell) for the per-point min/max distance
-  /// tests; same arithmetic as GridGeometry::CellMinDist2/CellMaxDist2.
-  std::vector<double> origins;
+  /// Tight per-candidate bounds for the per-point min/max distance tests:
+  /// each candidate's occupied-sub-cell MBR (precomputed at Assemble),
+  /// laid out dimension-major and padded to maybe_stride so the vector
+  /// bounds kernel (core/simd.h PointBoundsFn) strides whole lanes —
+  /// dimension d of candidate i sits at mbr_lo_t[d * maybe_stride + i].
+  std::vector<float> mbr_lo_t;
+  std::vector<float> mbr_hi_t;
+  /// num_maybe() rounded up to kSimdLaneWidth: the lane stride of the
+  /// transposed MBR arrays above.
+  size_t maybe_stride = 0;
   /// Total density per cell (the containment fast-path contribution).
   std::vector<uint32_t> total_counts;
-  /// Views into the owning sub-dictionary's contiguous per-cell sub-cell
-  /// data (centers: dim floats per sub-cell; entries: DictSubcell). Held
-  /// by pointer — cells average only a handful of points, so copying the
-  /// sub-cell data out would dwarf the scans it serves. Valid only while
-  /// the dictionary outlives the list.
-  std::vector<const float*> subcell_centers;
-  std::vector<const DictSubcell*> subcells;
-  std::vector<uint32_t> num_subcells;
+  /// Lane-major sub-cell views of the candidates (SubDictionary lane
+  /// accessors): what the vector kernels scan.
+  /// lane_qcenters entries are null when the dictionary carries no
+  /// quantized lanes.
+  std::vector<const float*> lane_centers;
+  std::vector<const uint32_t*> lane_counts;
+  std::vector<const uint32_t*> lane_qcenters;
+  std::vector<uint32_t> lane_padded;
 
   /// Scratch for the per-sub-dictionary index traversal.
   std::vector<uint32_t> tree_hits;
-  /// Scratch for the proximity sort of the maybe group before flattening.
-  /// Self-contained: everything the flattened SoA needs is carried here
-  /// (filled from the GlobalCellRef on the stencil path, from the
-  /// DictCell on the tree path), so SortAndFlattenMaybes touches no
-  /// dictionary cell storage — coordinates are read from staged_coords
-  /// via coord_idx.
+  /// Scratch for the proximity sort of the maybe group before flattening:
+  /// the sort key plus the candidate's global cell-index slot, through
+  /// which SortAndFlattenMaybes copies everything the flat SoA needs from
+  /// the per-slot metadata table (CellDictionary::slot_meta_) in one
+  /// load — no dictionary cell storage, no pointer chasing per field.
   struct MaybeRef {
-    double min2 = 0;        // box-to-box lower bound to the source cell
+    double min2 = 0;        // MBR-to-MBR lower bound to the source cell
     uint32_t cell_id = 0;   // deterministic tie-break
-    uint32_t subdict = 0;
-    uint32_t subcell_begin = 0;
-    uint32_t subcell_end = 0;
-    uint32_t total_count = 0;
-    uint32_t coord_idx = 0;  // index into staged_coords, dim int32 each
+    uint32_t slot = 0;      // index into cell_refs() / the slot-meta table
   };
   std::vector<MaybeRef> maybe_refs;
 
   /// Scratch for the stencil engine's staged probes: offsets that survive
   /// the pure-arithmetic disjointness pre-drop, as parallel arrays of
-  /// coordinate hash, box-pair distance bounds, and raw lattice
-  /// coordinates (dim int32 per staged probe). Sized by the stencil, so
+  /// coordinate hash and raw lattice coordinates (dim int32 per staged
+  /// probe, the FindHashed collision confirm). Sized by the stencil, so
   /// the allocations amortize across every cell of a partition task.
-  /// staged_coords doubles as the flatten's coordinate source on both
-  /// engines (the tree path appends each maybe-cell's coordinates as it
-  /// classifies).
   std::vector<uint64_t> staged_hash;
-  std::vector<double> staged_min2;
-  std::vector<double> staged_max2;
   std::vector<int32_t> staged_coords;
 
   /// Stencil engine accounting (QueryCellStencil only): lattice hash
@@ -223,15 +283,16 @@ struct CandidateCellList {
     always_count = 0;
     always_neighbors.clear();
     cell_ids.clear();
-    origins.clear();
+    mbr_lo_t.clear();
+    mbr_hi_t.clear();
+    maybe_stride = 0;
     total_counts.clear();
-    subcell_centers.clear();
-    subcells.clear();
-    num_subcells.clear();
+    lane_centers.clear();
+    lane_counts.clear();
+    lane_qcenters.clear();
+    lane_padded.clear();
     maybe_refs.clear();
     staged_hash.clear();
-    staged_min2.clear();
-    staged_max2.clear();
     staged_coords.clear();
     stencil_probes = 0;
     stencil_hits = 0;
@@ -328,12 +389,16 @@ class CellDictionary {
   /// `mbr_hi` (dim floats each) bound the cell's *actual* points; the
   /// traversal radius is the per-point candidate radius 1.5*eps
   /// (Lemma 5.6) plus the MBR's half-diagonal (at most eps/2, usually far
-  /// less on skewed data). Candidates are classified by MBR-to-box bounds:
-  /// provably contained cells are pre-summed, provably disjoint cells are
-  /// dropped, and the rest are referenced for per-point tests, sorted
-  /// nearest-first. The classification is conservative (tiny relative
-  /// margins push borderline cells into the per-point group), so scanning
-  /// `*out` reproduces Query() bit-exactly for every point inside the MBR.
+  /// less on skewed data). Candidates are classified by MBR-to-MBR bounds
+  /// against each candidate's precomputed occupied-sub-cell MBR (tighter
+  /// than its full cell box on sparse data): provably contained cells are
+  /// pre-summed, provably disjoint cells are dropped, and the rest are
+  /// referenced for per-point tests, sorted nearest-first. The
+  /// classification is conservative (tiny relative margins push
+  /// borderline cells into the per-point group), so scanning `*out`
+  /// reproduces Query() exactly for every point inside the MBR: a
+  /// contained candidate's sub-cell centers all lie within eps (its whole
+  /// density counts, as Query would), a disjoint candidate's never do.
   ///
   /// Returns the number of sub-dictionaries inspected after MBR skipping,
   /// here at most one visit per sub-dictionary per *cell* (vs per point
@@ -345,8 +410,8 @@ class CellDictionary {
   /// candidates are enumerated over the precomputed eps-ball lattice
   /// stencil instead of per-sub-dictionary tree descent. Every cell any
   /// query point can match has integer lattice distance class m(o) <= d,
-  /// so the stencil covers it; classification reuses QueryCell's
-  /// BoxPairDistBounds arithmetic and margins verbatim, and the per-point
+  /// so the stencil covers it; hits are classified with QueryCell's
+  /// MBR-to-MBR arithmetic and margins verbatim, and the per-point
   /// tests downstream reuse Query()'s exact arithmetic — so results
   /// cannot differ. (The candidate *lists* may differ in
   /// provably-zero-match cells: the tree path's Lemma 5.10 MBR skipping
@@ -355,20 +420,24 @@ class CellDictionary {
   /// radius admits. Both prunings are sound, which is all the downstream
   /// scan needs.)
   ///
-  /// The engine's unique lever: a neighbor's box bounds are a pure
-  /// function of its integer coordinates (CellOrigin is coord * side), so
-  /// each offset is classified arithmetically from the stencil alone, and
-  /// offsets provably disjoint from every query ball are dropped before
-  /// any memory access. Only the survivors issue O(1) hash probes of the
-  /// global cell index — prefetch-pipelined, resolved from the 16-byte
-  /// hashed slots plus the GlobalCellRef, with no tree descent and no
-  /// DictCell loads on the probe path.
+  /// The engine's unique lever: which dictionary cells occupy a source
+  /// cell's stencil window is a pure function of the lattice — not of the
+  /// query — so Assemble resolves every cell's window once into a CSR
+  /// neighborhood list of global index slots. A query is then a linear
+  /// walk of that list, classifying each neighbor from its per-slot
+  /// metadata (occupied-sub-cell MBR, density, cell id): no tree descent,
+  /// no hash probes, no coordinate arithmetic on the hot path. A source
+  /// coordinate absent from the dictionary (never the case in the
+  /// pipeline, where every queried cell is a dictionary cell) falls back
+  /// to staging + hash-probing the window directly.
   ///
   /// Only callable when has_stencil(). out->stencil_probes counts the
-  /// probes actually issued (at most num_offsets + 1, including the
-  /// always-probed source cell — a function of geometry and MBR only,
-  /// independent of min_pts); out->stencil_hits the probes that found a
-  /// dictionary cell. Returns the probe count.
+  /// neighborhood entries walked (at most num_offsets + 1, including the
+  /// source cell itself — a function of the lattice only, independent of
+  /// the query MBR and of min_pts); out->stencil_hits counts the entries
+  /// that resolved to a dictionary cell (equal to the probe count on the
+  /// precomputed path, where only present cells are stored). Returns the
+  /// probe count.
   size_t QueryCellStencil(const CellCoord& cell, const float* mbr_lo,
                           const float* mbr_hi, CandidateCellList* out) const;
 
@@ -401,6 +470,12 @@ class CellDictionary {
   /// and the offset count within max_stencil_offsets).
   bool has_stencil() const { return stencil_.enabled(); }
   const LatticeStencil& stencil() const { return stencil_; }
+
+  /// True when the quantized coordinate lanes were built (opts.quantized
+  /// set and the coordinate span within the uint32 lattice).
+  bool has_quantized() const { return quantized_.enabled; }
+  /// The quantization frame for QuantizeQuery; enabled == has_quantized().
+  const QuantizedSpec& quantized_spec() const { return quantized_; }
 
   /// Total density of all (eps, rho)-neighbor sub-cells of `p` — the count
   /// compared against minPts in core marking (Example 5.7).
@@ -455,6 +530,21 @@ class CellDictionary {
                               const float* mbr_hi,
                               CandidateCellList* out) const;
 
+  /// Everything candidate classification and the SoA flatten need about
+  /// one dictionary cell, resolved to direct pointers once at Assemble
+  /// and indexed by global cell-index slot: classification reads the MBR
+  /// and density from one structure, and SortAndFlattenMaybes copies the
+  /// lane views out without touching the sub-dictionaries at all.
+  struct SlotMeta {
+    const float* lane_centers = nullptr;
+    const uint32_t* lane_counts = nullptr;
+    const uint32_t* lane_qcenters = nullptr;  // null without quantized mode
+    const float* mbr = nullptr;               // 2 * dim floats: lo then hi
+    uint32_t lane_padded = 0;
+    uint32_t total_count = 0;
+    uint32_t cell_id = 0;
+  };
+
   GridGeometry geom_;
   std::vector<SubDictionary> subdicts_;
   /// Dictionary-global cell index: cell_refs_ in sub-dictionary layout
@@ -465,8 +555,29 @@ class CellDictionary {
   /// one-cache-line dense.
   std::vector<GlobalCellRef> cell_refs_;
   std::vector<int32_t> ref_coords_;
+  /// Per-slot classification/flatten metadata, parallel to cell_refs_.
+  std::vector<SlotMeta> slot_meta_;
+  /// First global slot of each sub-dictionary (subdicts_.size() + 1
+  /// entries): slot of (subdict f, local cell i) = subdict_ref_base_[f]
+  /// + i, how the tree engine addresses the per-slot metadata.
+  std::vector<uint32_t> subdict_ref_base_;
+  /// Precomputed stencil neighborhoods (built when the stencil is): for
+  /// the cell at global slot s, stencil_nbr_slots_[stencil_nbr_begin_[s]
+  /// .. stencil_nbr_begin_[s + 1]) lists the global slots of the
+  /// dictionary cells inside its stencil window — itself first, then
+  /// present neighbors in a deterministic (thread-count independent)
+  /// discovery order of the symmetric half-window build. The order is
+  /// free because no consumer depends on it: "maybe" candidates are
+  /// re-sorted by distance bound and neighbor edges are sorted and
+  /// deduplicated downstream.
+  /// A per-worker query acceleration structure, never serialized: the
+  /// Lemma 4.3 broadcast payload is unchanged, and Deserialize rebuilds
+  /// this locally through Assemble.
+  std::vector<size_t> stencil_nbr_begin_;
+  std::vector<uint32_t> stencil_nbr_slots_;
   FlatCellIndex cell_index_;
   LatticeStencil stencil_;
+  QuantizedSpec quantized_;
   size_t num_cells_ = 0;
   size_t num_subcells_ = 0;
   bool enable_skipping_ = true;

@@ -1,5 +1,6 @@
 #include "core/merge.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -86,10 +87,131 @@ void MergePair(TournamentGraph& a, TournamentGraph&& b, DisjointSet& dsu,
   a.edges = std::move(kept);
 }
 
+// Shared deterministic post-pass of both merge paths: cluster ids from
+// first-encounter over ascending core cell ids (any Find whose component
+// partition matches yields the same ids), predecessor lists from partial
+// edges — sorted ascending so the first-match border walk downstream is
+// schedule-independent — and full edges in final-graph order.
+template <typename FindFn>
+void HarvestClusters(size_t num_cells, const std::vector<CellType>& type_of,
+                     FindFn&& find, const std::vector<CellEdge>& final_edges,
+                     MergeResult* result) {
+  result->core_cluster.assign(num_cells, kNoCluster);
+  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
+  for (uint32_t cid = 0; cid < num_cells; ++cid) {
+    if (type_of[cid] != CellType::kCore) continue;
+    const uint32_t root = find(cid);
+    const auto it = root_to_cluster
+                        .emplace(root, static_cast<uint32_t>(
+                                           root_to_cluster.size()))
+                        .first;
+    result->core_cluster[cid] = it->second;
+  }
+  result->num_clusters = root_to_cluster.size();
+
+  result->predecessors.assign(num_cells, {});
+  for (const CellEdge& e : final_edges) {
+    if (e.type == EdgeType::kPartial) {
+      result->predecessors[e.to].push_back(e.from);
+    } else if (e.type == EdgeType::kFull) {
+      result->full_edges.push_back(e);
+    }
+  }
+  for (std::vector<uint32_t>& preds : result->predecessors) {
+    std::sort(preds.begin(), preds.end());
+  }
+}
+
+// The edge-parallel path (MergeOptions::parallel_unions): the tournament
+// exists to propagate type knowledge pair by pair, but the global type
+// table is complete before any merging starts — so every edge can be
+// typed independently, and full edges can race into a lock-free
+// union-find. One pass over the flattened edge list replaces
+// O(log k) rounds of concatenate + hash-set rebuilds; per-worker kept
+// lists are concatenated and sorted by (from, to) (unique: each edge is
+// emitted by its single owning partition) so the final edge list is
+// deterministic even though the union schedule is not.
+MergeResult MergeSubgraphsParallel(std::vector<CellSubgraph> subgraphs,
+                                   size_t num_cells,
+                                   const MergeOptions& opts) {
+  MergeResult result;
+  std::vector<CellType> type_of(num_cells, CellType::kUndetermined);
+  size_t total_edges = 0;
+  for (const CellSubgraph& sg : subgraphs) total_edges += sg.edges.size();
+  std::vector<CellEdge> all;
+  all.reserve(total_edges);
+  for (CellSubgraph& sg : subgraphs) {
+    for (const auto& [cid, type] : sg.owned) {
+      RPDBSCAN_DCHECK(type_of[cid] == CellType::kUndetermined)
+          << "cell " << cid << " owned by two partitions";
+      type_of[cid] = type;
+    }
+    all.insert(all.end(), sg.edges.begin(), sg.edges.end());
+    sg.edges.clear();
+  }
+  subgraphs.clear();
+  result.edges_per_round.push_back(all.size());
+
+  ConcurrentDisjointSet dsu(num_cells);
+  const size_t num_workers =
+      opts.pool != nullptr && opts.pool->num_threads() > 0
+          ? opts.pool->num_threads()
+          : 1;
+  std::vector<std::vector<CellEdge>> kept(num_workers);
+  auto type_edge = [&](size_t worker, size_t i) {
+    CellEdge e = all[i];
+    if (e.type == EdgeType::kUndetermined) {
+      const CellType to_type = type_of[e.to];
+      if (to_type == CellType::kCore) {
+        e.type = EdgeType::kFull;
+        // Full edge (Lemma 3.5): survives only if its union extends the
+        // spanning forest. Which unions succeed is schedule-dependent,
+        // but their count — and the component partition — is not.
+        const bool novel = dsu.Union(e.from, e.to);
+        if (!novel && opts.reduce_edges) return;
+      } else if (to_type == CellType::kNonCore) {
+        e.type = EdgeType::kPartial;
+      }
+      // An unowned successor stays untyped, exactly as it would survive
+      // every tournament round.
+    }
+    kept[worker].push_back(e);
+  };
+  if (opts.pool != nullptr && num_workers > 1) {
+    ParallelForWorkers(*opts.pool, all.size(), type_edge, /*chunk=*/1024);
+  } else {
+    for (size_t i = 0; i < all.size(); ++i) type_edge(0, i);
+  }
+
+  std::vector<CellEdge> final_edges;
+  size_t kept_total = 0;
+  for (const std::vector<CellEdge>& k : kept) kept_total += k.size();
+  final_edges.reserve(kept_total);
+  for (std::vector<CellEdge>& k : kept) {
+    final_edges.insert(final_edges.end(), k.begin(), k.end());
+    k.clear();
+  }
+  std::sort(final_edges.begin(), final_edges.end(),
+            [](const CellEdge& a, const CellEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  result.edges_per_round.push_back(final_edges.size());
+
+  result.edges_reduced = opts.reduce_edges;
+  HarvestClusters(
+      num_cells, type_of, [&dsu](uint32_t cid) { return dsu.Find(cid); },
+      final_edges, &result);
+  return result;
+}
+
 }  // namespace
 
 MergeResult MergeSubgraphs(std::vector<CellSubgraph> subgraphs,
                            size_t num_cells, const MergeOptions& opts) {
+  if (opts.parallel_unions) {
+    return MergeSubgraphsParallel(std::move(subgraphs), num_cells, opts);
+  }
   MergeResult result;
   // Global type table, filled as each subgraph's owned list arrives.
   std::vector<CellType> type_of(num_cells, CellType::kUndetermined);
@@ -148,30 +270,11 @@ MergeResult MergeSubgraphs(std::vector<CellSubgraph> subgraphs,
 
   // Harvest the global graph: cluster ids from the spanning forest and
   // predecessor lists from partial edges.
-  result.core_cluster.assign(num_cells, kNoCluster);
-  std::unordered_map<uint32_t, uint32_t> root_to_cluster;
-  for (uint32_t cid = 0; cid < num_cells; ++cid) {
-    if (type_of[cid] != CellType::kCore) continue;
-    const uint32_t root = dsu.Find(cid);
-    const auto it = root_to_cluster
-                        .emplace(root, static_cast<uint32_t>(
-                                           root_to_cluster.size()))
-                        .first;
-    result.core_cluster[cid] = it->second;
-  }
-  result.num_clusters = root_to_cluster.size();
-
-  result.predecessors.assign(num_cells, {});
   result.edges_reduced = opts.reduce_edges;
-  if (!round.empty()) {
-    for (const CellEdge& e : round[0].edges) {
-      if (e.type == EdgeType::kPartial) {
-        result.predecessors[e.to].push_back(e.from);
-      } else if (e.type == EdgeType::kFull) {
-        result.full_edges.push_back(e);
-      }
-    }
-  }
+  static const std::vector<CellEdge> kNoEdges;
+  HarvestClusters(
+      num_cells, type_of, [&dsu](uint32_t cid) { return dsu.Find(cid); },
+      round.empty() ? kNoEdges : round[0].edges, &result);
   return result;
 }
 

@@ -22,6 +22,21 @@ struct MergeOptions {
   /// of one round touch disjoint partition lineages, so the result is
   /// identical either way.
   ThreadPool* pool = nullptr;
+  /// Replace the tournament reduction entirely with the edge-parallel
+  /// lock-free path: every edge is typed directly from the globally
+  /// complete type table and full edges enter a CAS-based concurrent
+  /// union-find (graph/disjoint_set), edge-parallel over `pool`. The
+  /// deterministic post-pass (min-root relabel over ascending cell ids +
+  /// canonical predecessor order) makes cluster ids, predecessor lists —
+  /// and therefore final point labels — bit-identical to the tournament;
+  /// which full edges survive reduction is schedule-dependent but always
+  /// a spanning forest of the same components, so the
+  /// #clusters == #core - #kept-full-edges accounting and AuditMergeForest
+  /// both hold unchanged. edges_per_round collapses to the 2-entry series
+  /// {initial, final} — flip this off (the pipeline's sequential_merge
+  /// knob) when the per-round tournament series itself is the object of
+  /// study (Fig. 17).
+  bool parallel_unions = false;
 };
 
 /// Sentinel cluster id for non-core cells in `core_cluster`.
@@ -35,6 +50,9 @@ struct MergeResult {
   std::vector<uint32_t> core_cluster;
   /// Per cell id: the core predecessor cells of each *non-core* cell —
   /// the surviving partial edges, inverted for labeling (Alg. 4 line 18).
+  /// Each list is sorted ascending: the canonical order that makes the
+  /// first-match border walk of LabelPoints identical across merge
+  /// schedules (tournament and edge-parallel alike).
   std::vector<std::vector<uint32_t>> predecessors;
   /// Total edges alive across all subgraphs after round r (index r);
   /// index 0 is before any merging — the series of Fig. 17 / Table 7.

@@ -14,49 +14,18 @@ namespace rpdbscan {
 
 bool SubcellRangeMbr(const CellDictionary& dict, const CellCoord& coord,
                      float* mbr_lo, float* mbr_hi) {
+  // The dictionary precomputes every cell's occupied-sub-cell MBR at
+  // Assemble (cell_dictionary.cc ComputeCellMbr — the decode + one-ulp
+  // outward arithmetic that used to live here); this is now a lookup.
   const DictCellRef ref = dict.FindDictCell(coord);
   if (!ref) return false;
-  const GridGeometry& geom = dict.geom();
-  const size_t dim = geom.dim();
-  const unsigned bits = geom.bits_per_dim();
-  const std::vector<DictSubcell>& subs = ref.subdict->subcells();
-  int64_t min_idx[CellCoord::kMaxDim];
-  int64_t max_idx[CellCoord::kMaxDim];
+  const size_t dim = dict.geom().dim();
+  const uint32_t local = static_cast<uint32_t>(
+      ref.cell - ref.subdict->cells().data());
+  const float* mbr = ref.subdict->cell_mbr(local);
   for (size_t d = 0; d < dim; ++d) {
-    min_idx[d] = std::numeric_limits<int64_t>::max();
-    max_idx[d] = -1;
-  }
-  for (uint32_t s = ref.cell->subcell_begin; s < ref.cell->subcell_end;
-       ++s) {
-    const SubcellId& id = subs[s].id;
-    for (size_t d = 0; d < dim; ++d) {
-      const int64_t i =
-          bits == 0
-              ? 0
-              : static_cast<int64_t>(SubcellGetBits(
-                    id, static_cast<unsigned>(d) * bits, bits));
-      min_idx[d] = std::min(min_idx[d], i);
-      max_idx[d] = std::max(max_idx[d], i);
-    }
-  }
-  const double sub_side = geom.subcell_side();
-  for (size_t d = 0; d < dim; ++d) {
-    RPDBSCAN_DCHECK(max_idx[d] >= 0);
-    const double origin = geom.CellOrigin(coord, d);
-    // One unconditional float ulp outward per face: sub-cell assignment
-    // floors (p - origin) / sub_side with clamping, so a point can sit a
-    // double-rounding error outside its decoded sub-cell box; the ulp
-    // (~2^-24 relative) dwarfs that (~2^-52 relative) and, being
-    // conservative, cannot change query results — only the always/maybe
-    // split, by at most the margin.
-    mbr_lo[d] = std::nextafterf(
-        static_cast<float>(origin + static_cast<double>(min_idx[d]) *
-                                        sub_side),
-        -std::numeric_limits<float>::infinity());
-    mbr_hi[d] = std::nextafterf(
-        static_cast<float>(origin + static_cast<double>(max_idx[d] + 1) *
-                                        sub_side),
-        std::numeric_limits<float>::infinity());
+    mbr_lo[d] = mbr[d];
+    mbr_hi[d] = mbr[dim + d];
   }
   return true;
 }
@@ -78,6 +47,11 @@ struct Phase2Scratch {
   /// never exceeds total), so pass 1 can abandon a point the moment
   /// count + suffix_remaining[i] < min_pts.
   std::vector<uint64_t> suffix_remaining;
+  /// Per maybe-candidate squared lower bound from the current point to the
+  /// candidate's MBR, filled by the vector bounds kernel (PointBoundsFn)
+  /// once per point before the candidate scan. Sized to the padded
+  /// maybe_stride — the kernel stores whole lanes.
+  std::vector<double> point_min2;
 };
 
 /// The per-point kernels below are templated on a compile-time dimension
@@ -87,39 +61,30 @@ struct Phase2Scratch {
 /// accumulation does not reassociate it, so every sum is bit-identical
 /// to the runtime-dim path — the dispatch is pure speed.
 
-/// Per-point squared lower bound to a maybe-cell's box. Per-dimension
-/// arithmetic is identical to GridGeometry::CellMinDist2 so the batched
-/// kernel keeps the reference path's exact floating-point behaviour.
+/// Per-point squared upper bound to a maybe-candidate's occupied-sub-cell
+/// MBR, read from the transposed (dimension-major, maybe_stride-strided)
+/// candidate arrays. The matching lower bound is precomputed for all
+/// candidates at once by the vector bounds kernel (core/simd.h
+/// PointBoundsFn) into Phase2Scratch::point_min2; the upper bound is only
+/// evaluated for candidates whose lower bound already passed, so it stays
+/// a scalar on-demand computation.
+///
+/// Correctness of the MBR-based fast paths: every sub-cell center of the
+/// candidate lies inside its occupied-sub-cell MBR, so max2 <= eps2
+/// proves every center within eps (the lane kernel would count the full
+/// total) and min2 > eps2 proves none is (the kernel would count zero).
+/// Both shortcuts return exactly what the kernel would, so per-point
+/// densities — and with them labels — are bit-identical to a run without
+/// the bounds.
 template <size_t kDim>
-inline double PointBoxMinDist2(const double* origin, double side,
-                               const float* p, size_t dim_rt) {
-  const size_t dim = kDim ? kDim : dim_rt;
-  double mn = 0.0;
-  for (size_t d = 0; d < dim; ++d) {
-    const double lo = origin[d];
-    const double hi = lo + side;
-    const double v = p[d];
-    double gap = 0.0;
-    if (v < lo) {
-      gap = lo - v;
-    } else if (v > hi) {
-      gap = v - hi;
-    }
-    mn += gap * gap;
-  }
-  return mn;
-}
-
-/// Per-point squared upper bound to a maybe-cell's box; arithmetic of
-/// GridGeometry::CellMaxDist2.
-template <size_t kDim>
-inline double PointBoxMaxDist2(const double* origin, double side,
-                               const float* p, size_t dim_rt) {
+inline double PointMbrMaxDist2(const float* lo_t, const float* hi_t,
+                               size_t stride, size_t i, const float* p,
+                               size_t dim_rt) {
   const size_t dim = kDim ? kDim : dim_rt;
   double mx = 0.0;
   for (size_t d = 0; d < dim; ++d) {
-    const double lo = origin[d];
-    const double hi = lo + side;
+    const double lo = lo_t[d * stride + i];
+    const double hi = hi_t[d * stride + i];
     const double v = p[d];
     const double to_lo = v > lo ? v - lo : lo - v;
     const double to_hi = v > hi ? v - hi : hi - v;
@@ -127,37 +92,6 @@ inline double PointBoxMaxDist2(const double* origin, double side,
     mx += far * far;
   }
   return mx;
-}
-
-/// Matched density of maybe-cell `i` for point `p`: the Example 5.5 logic
-/// (containment fast path, then the sub-cell center scan) over the flat
-/// candidate arrays. The lower bound is tested first: most evaluations
-/// land on disjoint cells (the maybe list is shared across every point of
-/// the source cell), and min2 > eps2 implies max2 > eps2, so skipping the
-/// upper-bound arithmetic for them cannot change any outcome.
-template <size_t kDim>
-inline uint32_t MatchedCount(const CandidateCellList& cand, size_t i,
-                             const float* p, size_t dim_rt, double side,
-                             double eps2) {
-  const size_t dim = kDim ? kDim : dim_rt;
-  const double* origin = cand.origins.data() + i * dim;
-  const double min2 = PointBoxMinDist2<kDim>(origin, side, p, dim);
-  if (min2 > eps2) return 0;
-  const double max2 = PointBoxMaxDist2<kDim>(origin, side, p, dim);
-  if (max2 <= eps2) return cand.total_counts[i];
-  uint32_t matched = 0;
-  const float* centers = cand.subcell_centers[i];
-  const DictSubcell* subs = cand.subcells[i];
-  const uint32_t n = cand.num_subcells[i];
-  for (uint32_t s = 0; s < n; ++s) {
-    // Branchless accumulate: the per-sub-cell hit pattern is effectively
-    // random, so a conditional move beats a mispredicting branch on this
-    // innermost loop. Same sum, same comparisons.
-    const bool in =
-        DistanceSquared(p, centers + s * dim, dim) <= eps2;
-    matched += in ? subs[s].count : 0u;
-  }
-  return matched;
 }
 
 /// Statistics one partition task accumulates and flushes once at the end.
@@ -168,6 +102,95 @@ struct TaskCounters {
   size_t early_exits = 0;
   size_t stencil_probes = 0;
   size_t stencil_hits = 0;
+  uint64_t quant_fallbacks = 0;
+};
+
+/// Resolved kernel dispatch for one BuildSubgraphs run: the exact lane
+/// kernel for the run's dimension and SIMD tier, plus (when the
+/// dictionary carries quantized lanes and the option asks for them) the
+/// quantized kernel and its quantization frame.
+struct KernelConfig {
+  SubcellCountFn exact_fn = nullptr;
+  PointBoundsFn bounds_fn = nullptr;
+  SubcellCountQuantFn quant_fn = nullptr;    // null when quantized off
+  const QuantizedSpec* qspec = nullptr;      // null when quantized off
+};
+
+/// Matched-density counters for the per-point scan: the Example 5.5 logic
+/// (MBR lower bound first — most evaluations land on disjoint cells and
+/// min2 > eps2 implies max2 > eps2 — then the containment fast path, then
+/// the lane kernel over the cell's SoA block). The lower bounds for all
+/// candidates are precomputed per point by the vector bounds kernel in
+/// BeginPoint; the fast paths are exact shortcuts of the lane kernel (see
+/// PointMbrMaxDist2), which itself reproduces the old AoS sub-cell scan
+/// bit-for-bit (see core/simd.h), so neither the storage layout, the
+/// vector tier, nor the MBR tightening can change any outcome.
+template <size_t kDim>
+struct ExactCounter {
+  SubcellCountFn fn = nullptr;
+  PointBoundsFn bounds_fn = nullptr;
+  double* point_min2 = nullptr;
+  size_t dim_rt = 0;
+  double eps2 = 0.0;
+
+  void BeginPoint(const float* p, const CandidateCellList& cand) {
+    bounds_fn(p, cand.mbr_lo_t.data(), cand.mbr_hi_t.data(),
+              cand.maybe_stride, kDim ? kDim : dim_rt, cand.num_maybe(),
+              point_min2);
+  }
+
+  uint32_t Count(const CandidateCellList& cand, size_t i, const float* p) {
+    const size_t dim = kDim ? kDim : dim_rt;
+    if (point_min2[i] > eps2) return 0;
+    const double max2 = PointMbrMaxDist2<kDim>(
+        cand.mbr_lo_t.data(), cand.mbr_hi_t.data(), cand.maybe_stride, i, p,
+        dim);
+    if (max2 <= eps2) return cand.total_counts[i];
+    return fn(p, cand.lane_centers[i], cand.lane_counts[i],
+              cand.lane_padded[i], dim, eps2);
+  }
+};
+
+/// Quantized variant: the query is quantized once per point (BeginPoint);
+/// points the frame cannot represent (far outside the dictionary span)
+/// silently use the exact kernel. Results match ExactCounter bit-for-bit
+/// — the integer thresholds are conservative and ambiguous sub-cells take
+/// the exact fallback, which `fallbacks` counts.
+template <size_t kDim>
+struct QuantCounter {
+  SubcellCountQuantFn qfn = nullptr;
+  SubcellCountFn fn = nullptr;
+  PointBoundsFn bounds_fn = nullptr;
+  double* point_min2 = nullptr;
+  const QuantizedSpec* spec = nullptr;
+  size_t dim_rt = 0;
+  double eps2 = 0.0;
+  uint64_t* fallbacks = nullptr;
+  int64_t qq[CellCoord::kMaxDim] = {};
+  bool qvalid = false;
+
+  void BeginPoint(const float* p, const CandidateCellList& cand) {
+    qvalid = QuantizeQuery(*spec, p, kDim ? kDim : dim_rt, qq);
+    bounds_fn(p, cand.mbr_lo_t.data(), cand.mbr_hi_t.data(),
+              cand.maybe_stride, kDim ? kDim : dim_rt, cand.num_maybe(),
+              point_min2);
+  }
+
+  uint32_t Count(const CandidateCellList& cand, size_t i, const float* p) {
+    const size_t dim = kDim ? kDim : dim_rt;
+    if (point_min2[i] > eps2) return 0;
+    const double max2 = PointMbrMaxDist2<kDim>(
+        cand.mbr_lo_t.data(), cand.mbr_hi_t.data(), cand.maybe_stride, i, p,
+        dim);
+    if (max2 <= eps2) return cand.total_counts[i];
+    if (!qvalid) {
+      return fn(p, cand.lane_centers[i], cand.lane_counts[i],
+                cand.lane_padded[i], dim, eps2);
+    }
+    return qfn(p, qq, cand.lane_centers[i], cand.lane_qcenters[i],
+               cand.lane_counts[i], cand.lane_padded[i], dim, eps2,
+               fallbacks);
+  }
 };
 
 /// The per-point half of the batched kernel: a two-pass flat scan over an
@@ -175,13 +198,12 @@ struct TaskCounters {
 /// early exit, pass 2 (core points only) finishes neighbor-cell
 /// collection. Instantiated per dimension so the innermost distance loops
 /// unroll (see the kernel template note above).
-template <size_t kDim>
+template <size_t kDim, typename Counter>
 void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
                     const CandidateCellList& cand, size_t min_pts,
-                    size_t dim_rt, double side, double eps2,
-                    Phase2Scratch& scratch, Phase2Result& result,
-                    bool& cell_core, TaskCounters& counters) {
-  const size_t dim = kDim ? kDim : dim_rt;
+                    Counter& counter, Phase2Scratch& scratch,
+                    Phase2Result& result, bool& cell_core,
+                    TaskCounters& counters) {
   const size_t num_maybe = cand.num_maybe();
   size_t num_matched = 0;
   // Records that a core point matched maybe-candidate `idx`: later points
@@ -198,6 +220,7 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
   };
   for (const uint32_t point_id : cell.point_ids) {
     const float* p = data.point(point_id);
+    counter.BeginPoint(p, cand);
     scratch.neighbor_cells.clear();
     uint64_t count = cand.always_count;
     size_t i = 0;
@@ -207,8 +230,7 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
     // union if this point turns out core.
     while (count < min_pts && i < num_maybe) {
       if (count + scratch.suffix_remaining[i] < min_pts) break;
-      const uint32_t matched =
-          MatchedCount<kDim>(cand, i, p, dim, side, eps2);
+      const uint32_t matched = counter.Count(cand, i, p);
       ++counters.scanned;
       if (matched > 0) {
         count += matched;
@@ -227,10 +249,43 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
     for (; i < num_maybe; ++i) {
       if (scratch.maybe_matched[i]) continue;
       ++counters.scanned;
-      if (MatchedCount<kDim>(cand, i, p, dim, side, eps2) > 0) {
+      if (counter.Count(cand, i, p) > 0) {
         record_matched(i);
       }
     }
+  }
+}
+
+/// Builds the dimension's counter (quantized when the config carries a
+/// quantized kernel, exact otherwise) and runs the per-point scan.
+template <size_t kDim>
+void ScanCellDispatch(const Dataset& data, const CellData& cell,
+                      uint32_t cid, const CandidateCellList& cand,
+                      size_t min_pts, size_t dim, double eps2,
+                      const KernelConfig& kernels, Phase2Scratch& scratch,
+                      Phase2Result& result, bool& cell_core,
+                      TaskCounters& counters) {
+  if (kernels.quant_fn != nullptr) {
+    QuantCounter<kDim> counter;
+    counter.qfn = kernels.quant_fn;
+    counter.fn = kernels.exact_fn;
+    counter.bounds_fn = kernels.bounds_fn;
+    counter.point_min2 = scratch.point_min2.data();
+    counter.spec = kernels.qspec;
+    counter.dim_rt = dim;
+    counter.eps2 = eps2;
+    counter.fallbacks = &counters.quant_fallbacks;
+    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
+                         result, cell_core, counters);
+  } else {
+    ExactCounter<kDim> counter;
+    counter.fn = kernels.exact_fn;
+    counter.bounds_fn = kernels.bounds_fn;
+    counter.point_min2 = scratch.point_min2.data();
+    counter.dim_rt = dim;
+    counter.eps2 = eps2;
+    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
+                         result, cell_core, counters);
   }
 }
 
@@ -240,12 +295,11 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
 void ProcessCellBatched(const Dataset& data, const CellData& cell,
                         uint32_t cid, const CellDictionary& dict,
                         size_t min_pts, size_t num_subdicts,
-                        bool use_stencil, Phase2Scratch& scratch,
-                        Phase2Result& result, bool& cell_core,
-                        TaskCounters& counters) {
+                        bool use_stencil, const KernelConfig& kernels,
+                        Phase2Scratch& scratch, Phase2Result& result,
+                        bool& cell_core, TaskCounters& counters) {
   const GridGeometry& geom = dict.geom();
   const size_t dim = geom.dim();
-  const double side = geom.cell_side();
   const double eps2 = geom.eps() * geom.eps();
   if (cell.point_ids.empty()) return;
   // Conservative bounding box of the cell's points: QueryCell classifies
@@ -295,6 +349,8 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
   const size_t num_maybe = cand.num_maybe();
   scratch.cell_edges.reserve(cand.always_neighbors.size() + num_maybe);
   scratch.maybe_matched.assign(num_maybe, 0);
+  // The bounds kernel stores whole lanes, so size to the padded stride.
+  scratch.point_min2.resize(cand.maybe_stride);
   scratch.suffix_remaining.resize(num_maybe + 1);
   scratch.suffix_remaining[num_maybe] = 0;
   for (size_t i = num_maybe; i-- > 0;) {
@@ -306,24 +362,24 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
   }
   switch (dim) {
     case 2:
-      ScanCellPoints<2>(data, cell, cid, cand, min_pts, dim, side, eps2,
-                        scratch, result, cell_core, counters);
+      ScanCellDispatch<2>(data, cell, cid, cand, min_pts, dim, eps2,
+                          kernels, scratch, result, cell_core, counters);
       break;
     case 3:
-      ScanCellPoints<3>(data, cell, cid, cand, min_pts, dim, side, eps2,
-                        scratch, result, cell_core, counters);
+      ScanCellDispatch<3>(data, cell, cid, cand, min_pts, dim, eps2,
+                          kernels, scratch, result, cell_core, counters);
       break;
     case 4:
-      ScanCellPoints<4>(data, cell, cid, cand, min_pts, dim, side, eps2,
-                        scratch, result, cell_core, counters);
+      ScanCellDispatch<4>(data, cell, cid, cand, min_pts, dim, eps2,
+                          kernels, scratch, result, cell_core, counters);
       break;
     case 5:
-      ScanCellPoints<5>(data, cell, cid, cand, min_pts, dim, side, eps2,
-                        scratch, result, cell_core, counters);
+      ScanCellDispatch<5>(data, cell, cid, cand, min_pts, dim, eps2,
+                          kernels, scratch, result, cell_core, counters);
       break;
     default:
-      ScanCellPoints<0>(data, cell, cid, cand, min_pts, dim, side, eps2,
-                        scratch, result, cell_core, counters);
+      ScanCellDispatch<0>(data, cell, cid, cand, min_pts, dim, eps2,
+                          kernels, scratch, result, cell_core, counters);
       break;
   }
   if (cell_core) {
@@ -385,9 +441,27 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   std::atomic<size_t> early_exits{0};
   std::atomic<size_t> stencil_probes{0};
   std::atomic<size_t> stencil_hits{0};
+  std::atomic<uint64_t> quant_fallbacks{0};
   const size_t num_subdicts = dict.num_subdictionaries();
   const bool use_stencil =
       opts.batched_queries && opts.stencil_queries && dict.has_stencil();
+
+  // Kernel dispatch, resolved once per run: SIMD tier (runtime-detected
+  // unless the option or RPDBSCAN_FORCE_SCALAR forces scalar) and the
+  // quantized fixed-point path (only when the dictionary carries the
+  // quantized lanes — absent lanes silently degrade to exact).
+  const SimdLevel level =
+      opts.scalar_kernels ? SimdLevel::kScalar : DetectSimdLevel();
+  const bool use_quantized = opts.quantized && dict.has_quantized();
+  KernelConfig kernels;
+  kernels.exact_fn = GetSubcellCountFn(level, dict.geom().dim());
+  kernels.bounds_fn = GetPointBoundsFn(level);
+  if (use_quantized) {
+    kernels.quant_fn = GetSubcellCountQuantFn(level, dict.geom().dim());
+    kernels.qspec = &dict.quantized_spec();
+  }
+  result.simd_level = level;
+  result.quantized = use_quantized;
 
   // Longest-first schedule (LPT): partition tasks are submitted by
   // descending cached point count so a straggler cannot land on the last
@@ -418,8 +492,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
           scratch.cell_edges.clear();
           if (opts.batched_queries) {
             ProcessCellBatched(data, cell, cid, dict, min_pts,
-                               num_subdicts, use_stencil, scratch, result,
-                               cell_core, counters);
+                               num_subdicts, use_stencil, kernels, scratch,
+                               result, cell_core, counters);
           } else {
             ProcessCellPerPoint(data, cell, cid, dict, min_pts,
                                 num_subdicts, scratch, result, cell_core,
@@ -452,6 +526,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
                                  std::memory_order_relaxed);
         stencil_hits.fetch_add(counters.stencil_hits,
                                std::memory_order_relaxed);
+        quant_fallbacks.fetch_add(counters.quant_fallbacks,
+                                  std::memory_order_relaxed);
         result.task_seconds[pid] = watch.ElapsedSeconds();
       },
       /*chunk=*/1);
@@ -462,6 +538,8 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   result.early_exits = early_exits.load();
   result.stencil_probes = stencil_probes.load();
   result.stencil_hits = stencil_hits.load();
+  result.quantized_exact_fallbacks =
+      static_cast<size_t>(quant_fallbacks.load());
   return result;
 }
 

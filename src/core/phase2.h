@@ -27,6 +27,18 @@ struct Phase2Options {
   /// dimensionality or build_stencil off). All three engines produce
   /// identical results.
   bool stencil_queries = true;
+  /// Force the portable scalar sub-cell kernels instead of the runtime-
+  /// detected SIMD tier (core/simd.h). Results are bit-identical either
+  /// way; the flag exists for ablations and the equivalence tests. The
+  /// RPDBSCAN_FORCE_SCALAR environment variable forces the same thing
+  /// process-wide.
+  bool scalar_kernels = false;
+  /// Use the quantized fixed-point sub-cell kernels when the dictionary
+  /// carries quantized lanes (CellDictionaryOptions::quantized). The
+  /// integer thresholds are conservative with an exact-float fallback
+  /// inside the quantization error band, so results still match the exact
+  /// path; silently ignored when the dictionary has no quantized lanes.
+  bool quantized = false;
 };
 
 /// Output of Phase II (cell graph construction, Alg. 3) across all
@@ -53,24 +65,33 @@ struct Phase2Result {
   /// of points proven core before exhausting their candidate list.
   size_t candidate_cells_scanned = 0;
   size_t early_exits = 0;
-  /// Stencil engine only: lattice hash probes issued (per cell, the
-  /// stencil offsets surviving the arithmetic disjointness pre-drop plus
-  /// the always-probed source cell — at most num_offsets + 1) and probes
-  /// that found a dictionary cell. hit-rate = stencil_hits /
-  /// stencil_probes is the dictionary occupancy of the probed
-  /// neighborhood.
+  /// Stencil engine only: neighborhood entries walked (per cell at most
+  /// num_offsets + 1, including the source cell itself; a function of the
+  /// lattice only) and entries that resolved to a dictionary cell. On the
+  /// precomputed-neighborhood path (source cell present in the
+  /// dictionary, always true in the pipeline) only present cells are
+  /// stored, so the two counters are equal; they diverge only on the
+  /// hash-probing fallback for absent source coordinates.
   size_t stencil_probes = 0;
   size_t stencil_hits = 0;
+  /// Kernel dispatch actually used: the SIMD tier of the sub-cell
+  /// kernels and whether the quantized fixed-point path was active.
+  SimdLevel simd_level = SimdLevel::kScalar;
+  bool quantized = false;
+  /// Quantized path only: sub-cell evaluations that fell inside the
+  /// quantization error band and took the exact-float fallback.
+  size_t quantized_exact_fallbacks = 0;
 };
 
 /// Bounding box of cell `coord`'s points derived from the dictionary's own
 /// occupied sub-cell ranges (the union of occupied sub-cell boxes) instead
-/// of a scan over the points: O(#subcells * d) work off data already
-/// resident in the dictionary. The box is rounded one float ulp outward
+/// of a scan over the points. The box is rounded one float ulp outward
 /// per face so it conservatively covers every point even where sub-cell
 /// assignment clamped a point sitting a double-rounding error outside its
-/// decoded box. Returns false when the dictionary has no cell at `coord`
-/// (the caller then scans the points). Exposed for the equivalence tests.
+/// decoded box. Since the dictionary precomputes these MBRs per cell at
+/// Assemble (SubDictionary::cell_mbr), this is now an O(d) lookup.
+/// Returns false when the dictionary has no cell at `coord` (the caller
+/// then scans the points). Exposed for the equivalence tests.
 bool SubcellRangeMbr(const CellDictionary& dict, const CellCoord& coord,
                      float* mbr_lo, float* mbr_hi);
 

@@ -10,6 +10,7 @@
 #include "core/labeling.h"
 #include "core/merge.h"
 #include "core/phase2.h"
+#include "core/simd.h"
 #include "parallel/thread_pool.h"
 #include "util/json_writer.h"
 #include "util/stopwatch.h"
@@ -35,7 +36,11 @@ std::string RunStats::ToString() const {
      << "  core_cells=" << num_core_cells << " clusters=" << num_clusters
      << " noise=" << num_noise_points << "\n"
      << "  candidate_cells_scanned=" << candidate_cells_scanned
-     << " early_exits=" << early_exits << "\n";
+     << " early_exits=" << early_exits << "\n"
+     << "  kernels=" << simd_kernel
+     << " quantized=" << (quantized_mode ? "on" : "off")
+     << " (exact_fallbacks=" << quantized_exact_fallbacks << ")"
+     << " merge=" << (parallel_merge ? "parallel" : "sequential") << "\n";
   if (stencil_probes > 0) {
     os << "  stencil_probes=" << stencil_probes
        << " stencil_hits=" << stencil_hits << " (hit-rate "
@@ -83,6 +88,10 @@ std::string RunStats::ToJson() const {
   w.Key("audit_checks").Value(audit_checks);
   w.Key("audit_violations").Value(audit_violations);
   w.Key("audit_seconds").Value(audit_seconds);
+  w.Key("simd_kernel").Value(simd_kernel);
+  w.Key("quantized_mode").Value(quantized_mode);
+  w.Key("quantized_exact_fallbacks").Value(quantized_exact_fallbacks);
+  w.Key("parallel_merge").Value(parallel_merge);
   w.Key("phase2_task_seconds").BeginArray();
   for (const double s : phase2_task_seconds) w.Value(s);
   w.EndArray();
@@ -160,6 +169,7 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   // CellDictionaryOptions default.
   dict_opts.build_stencil =
       options.batched_queries && options.stencil_queries;
+  dict_opts.quantized = options.quantized;
   auto dict_or = CellDictionary::Build(data, cells, dict_opts, &pool);
   if (!dict_or.ok()) return dict_or.status();
   stats.dictionary_seconds = phase_watch.ElapsedSeconds();
@@ -198,9 +208,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   Phase2Options phase2_opts;
   phase2_opts.batched_queries = options.batched_queries;
   phase2_opts.stencil_queries = options.stencil_queries;
+  phase2_opts.scalar_kernels = options.scalar_kernels;
+  phase2_opts.quantized = options.quantized;
   Phase2Result phase2 =
       BuildSubgraphs(data, cells, dict, options.min_pts, pool, phase2_opts);
   stats.phase2_seconds = phase_watch.ElapsedSeconds();
+  stats.simd_kernel = SimdLevelName(phase2.simd_level);
+  stats.quantized_mode = phase2.quantized;
+  stats.quantized_exact_fallbacks = phase2.quantized_exact_fallbacks;
   stats.phase2_task_seconds = phase2.task_seconds;
   stats.subdict_visited = phase2.subdict_visited;
   stats.subdict_possible = phase2.subdict_possible;
@@ -225,6 +240,8 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   MergeOptions merge_opts;
   merge_opts.reduce_edges = options.reduce_edges;
   merge_opts.pool = &pool;
+  merge_opts.parallel_unions = !options.sequential_merge;
+  stats.parallel_merge = merge_opts.parallel_unions;
   MergeResult merged = MergeSubgraphs(std::move(phase2.subgraphs),
                                       cells.num_cells(), merge_opts);
   stats.merge_seconds = phase_watch.ElapsedSeconds();

@@ -55,6 +55,29 @@ struct RpDbscanOptions {
   /// toggle exists for ablation.
   bool sorted_phase1 = true;
 
+  /// Force the scalar reference distance kernels in Phase II (and anything
+  /// downstream that inherits the dictionary), bypassing runtime SIMD
+  /// dispatch. Labels are bit-identical either way (the vector kernels are
+  /// exact); the toggle exists for ablation and for the equivalence tests.
+  /// The RPDBSCAN_FORCE_SCALAR environment variable forces the same thing
+  /// without recompiling or re-flagging.
+  bool scalar_kernels = false;
+
+  /// Quantized fixed-point candidate pre-filter: sub-cell centers carry
+  /// uint32 lattice offsets (eps * 2^-16 quantum) and the distance kernel
+  /// classifies most sub-cells with integer arithmetic, taking the exact
+  /// float path only when the quantization error band could flip the eps
+  /// comparison — so labels stay bit-identical to exact mode. Auto-disabled
+  /// (silently, reported in RunStats) when the data span per dimension
+  /// overflows the 32-bit lattice.
+  bool quantized = false;
+
+  /// Use the sequential tournament merge (Sec. 6.1.1) instead of the
+  /// edge-parallel lock-free union-find path. Labels and cluster ids are
+  /// bit-identical either way; flip this on to study the per-round edge
+  /// series (Fig. 17) or to ablate the parallel merge.
+  bool sequential_merge = false;
+
   // --- dictionary knobs (defaults follow the paper; ablations flip) ---
   size_t max_cells_per_subdict = 2048;
   bool defragment_dictionary = true;
@@ -163,6 +186,19 @@ struct RunStats {
   size_t audit_checks = 0;
   size_t audit_violations = 0;
   double audit_seconds = 0;
+
+  /// Distance-kernel dispatch Phase II actually ran with ("scalar",
+  /// "avx2", ...): the resolved runtime level, after scalar_kernels /
+  /// RPDBSCAN_FORCE_SCALAR / cpuid are all applied.
+  std::string simd_kernel = "scalar";
+  /// Whether the quantized fixed-point pre-filter was active (requested
+  /// and the lattice fit), and how many sub-cell lanes fell back to the
+  /// exact float compare because they landed in the error band.
+  bool quantized_mode = false;
+  size_t quantized_exact_fallbacks = 0;
+  /// Whether Phase III-1 ran the edge-parallel lock-free union-find path
+  /// (vs the sequential tournament).
+  bool parallel_merge = false;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

@@ -1,0 +1,251 @@
+#ifndef RPDBSCAN_CORE_SIMD_H_
+#define RPDBSCAN_CORE_SIMD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "core/cell_coord.h"
+
+namespace rpdbscan {
+
+/// Vector instruction tier of the sub-cell distance/classification
+/// kernels. Dispatch is resolved at runtime: the build may carry AVX2
+/// code the host cannot execute (and vice versa the host may offer more
+/// than the build compiled).
+enum class SimdLevel : uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest tier this binary carries code for (decided at configure time:
+/// the AVX2 translation unit is only built when the compiler accepts
+/// -mavx2).
+SimdLevel CompiledSimdLevel();
+
+/// Highest tier usable right now: compiled-in support intersected with
+/// the host CPU's feature set, overridable down to scalar by setting the
+/// RPDBSCAN_FORCE_SCALAR environment variable to anything but "0" (the
+/// escape hatch for debugging and for scalar-vs-SIMD equivalence runs).
+/// The cpuid probe is cached; the environment variable is re-read on
+/// every call so tests can flip it.
+SimdLevel DetectSimdLevel();
+
+/// Sub-cell coordinate lanes are padded to a multiple of this many slots
+/// (the AVX2 double-lane width). Padding slots carry +inf centers and
+/// zero densities, so every kernel can run whole vector strides without
+/// a scalar tail and padding can never match or contribute.
+inline constexpr uint32_t kSimdLaneWidth = 4;
+
+/// Padding values for the lane arrays (see kSimdLaneWidth).
+inline constexpr float kLanePadCenter =
+    std::numeric_limits<float>::infinity();
+inline constexpr uint32_t kLanePadQuant = 0xFFFFFFFFu;
+
+/// The exact sub-cell classification kernel: over one cell's lane-major
+/// (SoA) block — `dim` runs of `padded_n` floats, coordinate d's lane at
+/// lanes + d * padded_n — returns the summed density of sub-cells whose
+/// center lies within sqrt(eps2) of `q`, with per-lane arithmetic
+/// bit-identical to DistanceSquared (sequential per-dimension double
+/// accumulation). All tiers of this kernel produce the same uint32.
+using SubcellCountFn = uint32_t (*)(const float* q, const float* lanes,
+                                    const uint32_t* counts,
+                                    uint32_t padded_n, size_t dim,
+                                    double eps2);
+
+/// The quantized sub-cell classification kernel: integer lattice deltas
+/// against uint32 quantized coordinate lanes (`qlanes`, same layout as
+/// the float lanes), branchless conservative in/out thresholds, and an
+/// exact float fallback (via `lanes`) for sub-cells whose verdict the
+/// quantization error band could flip — so the returned density is
+/// bit-identical to the exact kernel's. `qq` holds the query offset in
+/// quanta per dimension (QuantizeQuery); `*fallbacks` counts the
+/// sub-cells that needed the exact fallback.
+using SubcellCountQuantFn = uint32_t (*)(const float* q, const int64_t* qq,
+                                         const float* lanes,
+                                         const uint32_t* qlanes,
+                                         const uint32_t* counts,
+                                         uint32_t padded_n, size_t dim,
+                                         double eps2, uint64_t* fallbacks);
+
+/// The per-point candidate-bounds kernel: squared lower bound from query
+/// `q` to each of `num` candidate MBRs, stored transposed dimension-major
+/// with lane stride `stride` (a multiple of kSimdLaneWidth; dimension d
+/// of candidate i at lo_t[d * stride + i]). Writes min2_out[0..num):
+/// per-candidate sequential per-dimension double accumulation of the
+/// clamped interval gap squared, bit-identical across tiers. May compute
+/// (and store into the padded tail up to the next lane boundary) garbage
+/// for padding lanes — callers never read past num. The arithmetic
+/// matches the scalar PointMbrMinDist2 recurrence exactly: gap = lo - v
+/// when v < lo, v - hi when v > hi, else 0, accumulated in dimension
+/// order.
+using PointBoundsFn = void (*)(const float* q, const float* lo_t,
+                               const float* hi_t, size_t stride, size_t dim,
+                               size_t num, double* min2_out);
+
+/// Kernel lookup for a dimensionality (compile-time-unrolled bodies for
+/// d in {2,3,4,5}, a runtime-dim fallback otherwise). Requesting a level
+/// above CompiledSimdLevel() degrades to the highest compiled tier.
+SubcellCountFn GetSubcellCountFn(SimdLevel level, size_t dim);
+SubcellCountQuantFn GetSubcellCountQuantFn(SimdLevel level, size_t dim);
+/// Bounds-kernel lookup (no dimension dispatch: the vector axis is the
+/// candidate index, so the dimension loop stays a short runtime loop).
+PointBoundsFn GetPointBoundsFn(SimdLevel level);
+
+// ---- Quantized fixed-point coordinate mode (uint32 lattice offsets) ----
+//
+// quantum = eps * 2^-16 (exactly representable: a power-of-two scaling),
+// so eps is exactly 2^16 quanta and eps^2 exactly 2^32 quanta^2. A
+// coordinate c is stored as round((c - base[d]) / quantum) in a uint32;
+// a query offset is the same expression in int64 (queries may fall
+// outside the dictionary's span). Each stored or query coordinate is off
+// by at most ~half a quantum, so an integer delta is within kQuantBand
+// quanta of the true scaled delta; per-dimension deltas of
+// (|dq| +- kQuantBand) clamped at kQuantClamp bound the true distance
+// from both sides without overflow (per-dim deltas of candidate cells
+// are < 2 eps = 2^17 quanta; the clamp only fires for provably-far
+// queries and itself proves "out").
+
+inline constexpr int kQuantBitsPerEps = 16;
+inline constexpr int64_t kQuantEps2 = int64_t{1} << (2 * kQuantBitsPerEps);
+inline constexpr int64_t kQuantBand = 2;
+inline constexpr int64_t kQuantClamp = int64_t{1} << 20;
+/// Query offsets beyond this many quanta (in magnitude) are rejected by
+/// QuantizeQuery: llround would be unsafe and the deltas could overflow.
+inline constexpr double kQuantMaxQueryAbs = 9.007199254740992e15;  // 2^53
+
+/// Per-dictionary quantization frame: the per-dimension base offsets and
+/// the precomputed 1/quantum. `enabled` is false when the dictionary was
+/// built without quantization or its coordinate span exceeds the uint32
+/// lattice.
+struct QuantizedSpec {
+  bool enabled = false;
+  double inv_quantum = 0.0;
+  double base[CellCoord::kMaxDim] = {};
+};
+
+/// Quantizes query `q` into per-dimension quanta offsets. Returns false
+/// (caller must use the exact kernel) for non-finite coordinates or
+/// offsets outside the safe integer range; any in-range result keeps the
+/// +-kQuantBand error bound the kernels assume.
+inline bool QuantizeQuery(const QuantizedSpec& spec, const float* q,
+                          size_t dim, int64_t* qq) {
+  for (size_t d = 0; d < dim; ++d) {
+    const double v =
+        (static_cast<double>(q[d]) - spec.base[d]) * spec.inv_quantum;
+    if (!(v > -kQuantMaxQueryAbs && v < kQuantMaxQueryAbs)) return false;
+    qq[d] = std::llround(v);
+  }
+  return true;
+}
+
+// ---- Portable reference kernels (header-inline so tests and the scalar
+// ---- dispatch table share one definition). Per-lane arithmetic is the
+// ---- canonical DistanceSquared recurrence: double-cast per coordinate,
+// ---- difference, square, sequential per-dimension accumulation. ----
+
+template <size_t kDim>
+inline uint32_t SubcellCountScalar(const float* q, const float* lanes,
+                                   const uint32_t* counts,
+                                   uint32_t padded_n, size_t dim_rt,
+                                   double eps2) {
+  const size_t dim = kDim ? kDim : dim_rt;
+  uint32_t matched = 0;
+  for (uint32_t s = 0; s < padded_n; ++s) {
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = static_cast<double>(q[d]) -
+                           static_cast<double>(lanes[d * padded_n + s]);
+      acc += delta * delta;
+    }
+    matched += acc <= eps2 ? counts[s] : 0u;
+  }
+  return matched;
+}
+
+template <size_t kDim>
+inline uint32_t SubcellCountQuantScalar(const float* q, const int64_t* qq,
+                                        const float* lanes,
+                                        const uint32_t* qlanes,
+                                        const uint32_t* counts,
+                                        uint32_t padded_n, size_t dim_rt,
+                                        double eps2, uint64_t* fallbacks) {
+  const size_t dim = kDim ? kDim : dim_rt;
+  uint32_t matched = 0;
+  for (uint32_t s = 0; s < padded_n; ++s) {
+    int64_t sum_in = 0;
+    int64_t sum_out = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      const int64_t delta =
+          static_cast<int64_t>(qlanes[d * padded_n + s]) - qq[d];
+      int64_t ad = delta < 0 ? -delta : delta;
+      if (ad > kQuantClamp) ad = kQuantClamp;
+      const int64_t ain = ad + kQuantBand;
+      const int64_t aout = ad > kQuantBand ? ad - kQuantBand : 0;
+      sum_in += ain * ain;
+      sum_out += aout * aout;
+    }
+    if (sum_in <= kQuantEps2) {
+      matched += counts[s];  // provably within eps even at worst error
+      continue;
+    }
+    if (sum_out > kQuantEps2) continue;  // provably outside eps
+    // Quantization error band: only an exact compare can decide. counts
+    // of 0 are padding slots — skip them without polluting the counter.
+    if (counts[s] == 0) continue;
+    ++*fallbacks;
+    double acc = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = static_cast<double>(q[d]) -
+                           static_cast<double>(lanes[d * padded_n + s]);
+      acc += delta * delta;
+    }
+    matched += acc <= eps2 ? counts[s] : 0u;
+  }
+  return matched;
+}
+
+/// Reference implementation of PointBoundsFn (the scalar dispatch entry):
+/// per candidate the same recurrence ExactCounter's box test used to run
+/// inline — interval gap per dimension, squared, accumulated in dimension
+/// order, all in double.
+inline void PointBoundsScalar(const float* q, const float* lo_t,
+                              const float* hi_t, size_t stride, size_t dim,
+                              size_t num, double* min2_out) {
+  for (size_t i = 0; i < num; ++i) {
+    double mn = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double lo = lo_t[d * stride + i];
+      const double hi = hi_t[d * stride + i];
+      const double v = q[d];
+      double gap = 0.0;
+      if (v < lo) {
+        gap = lo - v;
+      } else if (v > hi) {
+        gap = v - hi;
+      }
+      mn += gap * gap;
+    }
+    min2_out[i] = mn;
+  }
+}
+
+namespace simd_internal {
+// AVX2 kernel tables, defined in simd_avx2.cc (compiled with -mavx2
+// only — deliberately without -mfma, so the compiler cannot contract the
+// multiply-add chains and per-lane sums stay bit-identical to the scalar
+// recurrence). Declared unconditionally; referenced by the dispatcher
+// only when that translation unit was built.
+SubcellCountFn GetAvx2CountFn(size_t dim);
+SubcellCountQuantFn GetAvx2QuantFn(size_t dim);
+void PointBoundsAvx2(const float* q, const float* lo_t, const float* hi_t,
+                     size_t stride, size_t dim, size_t num,
+                     double* min2_out);
+}  // namespace simd_internal
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_CORE_SIMD_H_

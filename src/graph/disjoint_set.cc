@@ -41,4 +41,52 @@ bool DisjointSet::Union(uint32_t a, uint32_t b) {
   return true;
 }
 
+ConcurrentDisjointSet::ConcurrentDisjointSet(size_t n) : parent_(n) {
+  for (size_t i = 0; i < n; ++i) {
+    parent_[i].store(static_cast<uint32_t>(i), std::memory_order_relaxed);
+  }
+}
+
+uint32_t ConcurrentDisjointSet::Find(uint32_t x) {
+  // Path splitting: swing each visited node to its grandparent. A failed
+  // CAS means another thread already re-pointed the node (to something at
+  // least as compressed) — just keep walking.
+  uint32_t p = parent_[x].load(std::memory_order_acquire);
+  while (p != x) {
+    const uint32_t gp = parent_[p].load(std::memory_order_acquire);
+    if (gp != p) {
+      parent_[x].compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+    }
+    x = p;
+    p = parent_[x].load(std::memory_order_acquire);
+  }
+  return x;
+}
+
+bool ConcurrentDisjointSet::Union(uint32_t a, uint32_t b) {
+  while (true) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    // Link the larger-indexed root under the smaller: the invariant that
+    // links only ever point to smaller ids makes the quiescent
+    // representative the component minimum (deterministic), and rules
+    // out link cycles under any interleaving.
+    if (ra > rb) {
+      const uint32_t tmp = ra;
+      ra = rb;
+      rb = tmp;
+    }
+    uint32_t expected = rb;
+    if (parent_[rb].compare_exchange_strong(expected, ra,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return true;
+    }
+    // rb stopped being a root (someone linked it first); retry with
+    // fresh roots.
+  }
+}
+
 }  // namespace rpdbscan

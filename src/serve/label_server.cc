@@ -61,7 +61,11 @@ std::string ServeStatsToJson(const ServeStats& stats, double seconds,
 LabelServer::LabelServer(
     std::shared_ptr<const ClusterModelSnapshot> snapshot,
     const LabelServerOptions& opts)
-    : snapshot_(std::move(snapshot)), opts_(opts) {}
+    : snapshot_(std::move(snapshot)), opts_(opts) {
+  count_fn_ = GetSubcellCountFn(
+      opts_.scalar_kernels ? SimdLevel::kScalar : DetectSimdLevel(),
+      snapshot_->dictionary().geom().dim());
+}
 
 ServeResult LabelServer::Classify(const float* q, ServeStats* stats) const {
   const ClusterModelSnapshot& snap = *snapshot_;
@@ -86,21 +90,15 @@ ServeResult LabelServer::Classify(const float* q, ServeStats* stats) const {
 
   /// Density of a dictionary cell's (eps, rho)-matched sub-cells for q —
   /// the exact arithmetic of CellDictionary::Query: whole-cell containment
-  /// fast path via CellMaxDist2, else the per-sub-cell center test.
+  /// fast path via CellMaxDist2, else the lane kernel over the cell's SoA
+  /// block (bit-identical to the per-sub-cell center scan, core/simd.h).
   auto matched_count = [&](const CellCoord& coord,
                            const GlobalCellRef& ref) -> uint32_t {
     if (geom.CellMaxDist2(coord, q) <= eps2) return ref.total_count;
     const SubDictionary& sd = dict.subdictionaries()[ref.subdict];
-    const float* centers = sd.subcell_centers().data();
-    const std::vector<DictSubcell>& subs = sd.subcells();
-    uint32_t matched = 0;
-    for (uint32_t s = ref.subcell_begin; s < ref.subcell_end; ++s) {
-      if (DistanceSquared(q, centers + static_cast<size_t>(s) * dim, dim) <=
-          eps2) {
-        matched += subs[s].count;
-      }
-    }
-    return matched;
+    return count_fn_(q, sd.lane_centers(ref.local_cell),
+                     sd.lane_counts(ref.local_cell),
+                     sd.lane_padded(ref.local_cell), dim, eps2);
   };
 
   if (dict.has_stencil()) {

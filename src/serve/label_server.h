@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/simd.h"
 #include "io/dataset.h"
 #include "parallel/thread_pool.h"
 #include "serve/snapshot.h"
@@ -61,6 +62,12 @@ struct LabelServerOptions {
   /// Assign queries landing outside every dictionary cell to the nearest
   /// cluster-labeled cell within eps (kApprox); off, they are noise.
   bool subcell_fallback = true;
+  /// Force the portable scalar sub-cell kernel instead of the runtime-
+  /// detected SIMD tier (core/simd.h). Answers are bit-identical either
+  /// way — serving always uses the exact kernels (never the quantized
+  /// fixed-point path: a served density feeds a core verdict, and the
+  /// serving layer keeps training-time replay trivially auditable).
+  bool scalar_kernels = false;
 };
 
 /// Per-thread serving counters. Plain integers — each worker of a batch
@@ -150,6 +157,9 @@ class LabelServer {
  private:
   std::shared_ptr<const ClusterModelSnapshot> snapshot_;
   LabelServerOptions opts_;
+  /// Sub-cell classification kernel, resolved once at construction for
+  /// the snapshot's dimensionality and the detected SIMD tier.
+  SubcellCountFn count_fn_ = nullptr;
 };
 
 }  // namespace rpdbscan

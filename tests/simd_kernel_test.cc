@@ -1,0 +1,252 @@
+// Scalar-vs-SIMD equivalence of the sub-cell classification kernels: on
+// any lane block the detected vector kernel must return the exact same
+// density as the header-inline scalar reference — the property that makes
+// SIMD dispatch invisible to clustering results. Also covers the
+// RPDBSCAN_FORCE_SCALAR escape hatch and the end-to-end pipeline
+// guarantee (labels bit-identical with kernels forced scalar).
+#include "core/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+// One cell's SoA block: `n` real sub-cells padded to the lane width,
+// coordinate d's lane at lanes[d * padded + s]. Padding carries +inf
+// centers / zero counts / all-ones quantized slots, exactly as
+// CellDictionary::Assemble emits them.
+struct LaneBlock {
+  uint32_t n = 0;
+  uint32_t padded = 0;
+  std::vector<float> lanes;
+  std::vector<uint32_t> counts;
+  std::vector<uint32_t> qlanes;
+};
+
+LaneBlock RandomBlock(Rng& rng, size_t dim, uint32_t n, double span,
+                      const QuantizedSpec& spec) {
+  LaneBlock b;
+  b.n = n;
+  b.padded = (n + kSimdLaneWidth - 1) / kSimdLaneWidth * kSimdLaneWidth;
+  if (b.padded == 0) b.padded = kSimdLaneWidth;
+  b.lanes.assign(static_cast<size_t>(b.padded) * dim, kLanePadCenter);
+  b.counts.assign(b.padded, 0);
+  b.qlanes.assign(static_cast<size_t>(b.padded) * dim, kLanePadQuant);
+  for (uint32_t s = 0; s < n; ++s) {
+    b.counts[s] = 1 + static_cast<uint32_t>(rng.Uniform(50));
+    for (size_t d = 0; d < dim; ++d) {
+      const float c = static_cast<float>(rng.UniformDouble(0.0, span));
+      b.lanes[d * b.padded + s] = c;
+      b.qlanes[d * b.padded + s] = static_cast<uint32_t>(std::llround(
+          (static_cast<double>(c) - spec.base[d]) * spec.inv_quantum));
+    }
+  }
+  return b;
+}
+
+QuantizedSpec MakeSpec(double eps, size_t dim) {
+  QuantizedSpec spec;
+  spec.enabled = true;
+  spec.inv_quantum =
+      static_cast<double>(int64_t{1} << kQuantBitsPerEps) / eps;
+  for (size_t d = 0; d < dim; ++d) spec.base[d] = 0.0;
+  return spec;
+}
+
+TEST(SimdKernelTest, DetectedLevelMatchesScalarExactly) {
+  Rng rng(101);
+  for (const size_t dim : {2u, 3u, 4u, 5u, 7u}) {
+    const double eps = 0.9;
+    const double eps2 = eps * eps;
+    const QuantizedSpec spec = MakeSpec(eps, dim);
+    SubcellCountFn scalar = GetSubcellCountFn(SimdLevel::kScalar, dim);
+    SubcellCountFn vec = GetSubcellCountFn(DetectSimdLevel(), dim);
+    for (int trial = 0; trial < 40; ++trial) {
+      const uint32_t n = static_cast<uint32_t>(rng.Uniform(23));
+      const LaneBlock b = RandomBlock(rng, dim, n, 3.0, spec);
+      float q[CellCoord::kMaxDim];
+      for (size_t d = 0; d < dim; ++d) {
+        q[d] = static_cast<float>(rng.UniformDouble(-0.5, 3.5));
+      }
+      EXPECT_EQ(scalar(q, b.lanes.data(), b.counts.data(), b.padded, dim,
+                       eps2),
+                vec(q, b.lanes.data(), b.counts.data(), b.padded, dim,
+                    eps2))
+          << "dim=" << dim << " trial=" << trial;
+    }
+  }
+}
+
+TEST(SimdKernelTest, BoundaryDistancesStayBitIdentical) {
+  // Centers planted exactly on / just off the eps sphere: the acute case
+  // for any arithmetic re-association. The vector kernel must agree on
+  // every <= verdict.
+  for (const size_t dim : {2u, 3u, 5u}) {
+    const double eps = 1.0;
+    const QuantizedSpec spec = MakeSpec(eps, dim);
+    SubcellCountFn scalar = GetSubcellCountFn(SimdLevel::kScalar, dim);
+    SubcellCountFn vec = GetSubcellCountFn(DetectSimdLevel(), dim);
+    Rng rng(202);
+    for (int trial = 0; trial < 60; ++trial) {
+      LaneBlock b = RandomBlock(rng, dim, 8, 2.0, spec);
+      float q[CellCoord::kMaxDim] = {};
+      for (size_t d = 0; d < dim; ++d) q[d] = 1.0f;
+      // Overwrite sub-cell 0 with a point at distance ~eps from q along
+      // a random axis, nudged by a few ulps either way.
+      const size_t axis = rng.Uniform(dim);
+      float on = q[axis] + static_cast<float>(eps);
+      for (int nudge = 0; nudge < static_cast<int>(rng.Uniform(4));
+           ++nudge) {
+        on = std::nextafter(on, trial % 2 == 0 ? 10.0f : -10.0f);
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        b.lanes[d * b.padded] = d == axis ? on : q[d];
+      }
+      EXPECT_EQ(scalar(q, b.lanes.data(), b.counts.data(), b.padded, dim,
+                       eps * eps),
+                vec(q, b.lanes.data(), b.counts.data(), b.padded, dim,
+                    eps * eps));
+    }
+  }
+}
+
+TEST(SimdKernelTest, QuantKernelsMatchExactAndEachOther) {
+  Rng rng(303);
+  for (const size_t dim : {2u, 3u, 4u, 5u, 6u}) {
+    const double eps = 0.75;
+    const double eps2 = eps * eps;
+    const QuantizedSpec spec = MakeSpec(eps, dim);
+    SubcellCountFn exact = GetSubcellCountFn(SimdLevel::kScalar, dim);
+    SubcellCountQuantFn qscalar =
+        GetSubcellCountQuantFn(SimdLevel::kScalar, dim);
+    SubcellCountQuantFn qvec =
+        GetSubcellCountQuantFn(DetectSimdLevel(), dim);
+    for (int trial = 0; trial < 40; ++trial) {
+      const uint32_t n = static_cast<uint32_t>(rng.Uniform(19));
+      const LaneBlock b = RandomBlock(rng, dim, n, 2.5, spec);
+      float q[CellCoord::kMaxDim];
+      int64_t qq[CellCoord::kMaxDim];
+      for (size_t d = 0; d < dim; ++d) {
+        q[d] = static_cast<float>(rng.UniformDouble(-0.5, 3.0));
+      }
+      ASSERT_TRUE(QuantizeQuery(spec, q, dim, qq));
+      const uint32_t want =
+          exact(q, b.lanes.data(), b.counts.data(), b.padded, dim, eps2);
+      uint64_t fb_scalar = 0;
+      uint64_t fb_vec = 0;
+      EXPECT_EQ(qscalar(q, qq, b.lanes.data(), b.qlanes.data(),
+                        b.counts.data(), b.padded, dim, eps2, &fb_scalar),
+                want)
+          << "dim=" << dim;
+      EXPECT_EQ(qvec(q, qq, b.lanes.data(), b.qlanes.data(),
+                     b.counts.data(), b.padded, dim, eps2, &fb_vec),
+                want);
+      EXPECT_EQ(fb_scalar, fb_vec);
+    }
+  }
+}
+
+TEST(SimdKernelTest, PointBoundsMatchesScalarBitExactly) {
+  // The per-point candidate-bounds kernel: transposed MBR arrays padded
+  // to the lane stride, query bounds from the detected tier must be
+  // bit-identical doubles to the scalar reference — including candidates
+  // sitting exactly on an MBR face (gap exactly zero) and queries inside
+  // the box.
+  Rng rng(404);
+  for (const size_t dim : {2u, 3u, 4u, 5u, 7u}) {
+    PointBoundsFn vec = GetPointBoundsFn(DetectSimdLevel());
+    for (int trial = 0; trial < 40; ++trial) {
+      const size_t num = rng.Uniform(27);
+      const size_t stride =
+          (num + kSimdLaneWidth - 1) / kSimdLaneWidth * kSimdLaneWidth;
+      std::vector<float> lo_t(stride * dim, 0.0f);
+      std::vector<float> hi_t(stride * dim, 0.0f);
+      float q[CellCoord::kMaxDim];
+      for (size_t d = 0; d < dim; ++d) {
+        q[d] = static_cast<float>(rng.UniformDouble(-1.0, 4.0));
+      }
+      for (size_t i = 0; i < stride; ++i) {
+        for (size_t d = 0; d < dim; ++d) {
+          float a = static_cast<float>(rng.UniformDouble(-1.0, 4.0));
+          float b = static_cast<float>(rng.UniformDouble(-1.0, 4.0));
+          if (a > b) std::swap(a, b);
+          // A third of the faces land exactly on the query coordinate:
+          // the boundary case where the < / > selects must agree.
+          if (rng.Uniform(3) == 0) a = q[d];
+          if (rng.Uniform(3) == 0) b = q[d];
+          if (a > b) std::swap(a, b);
+          lo_t[d * stride + i] = a;
+          hi_t[d * stride + i] = b;
+        }
+      }
+      std::vector<double> want(stride, -1.0);
+      std::vector<double> got(stride, -1.0);
+      PointBoundsScalar(q, lo_t.data(), hi_t.data(), stride, dim, num,
+                        want.data());
+      vec(q, lo_t.data(), hi_t.data(), stride, dim, num, got.data());
+      for (size_t i = 0; i < num; ++i) {
+        EXPECT_EQ(want[i], got[i])
+            << "dim=" << dim << " trial=" << trial << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, QuantizeQueryRejectsUnsafeInputs) {
+  const QuantizedSpec spec = MakeSpec(1.0, 2);
+  int64_t qq[CellCoord::kMaxDim];
+  float bad_nan[2] = {std::nanf(""), 0.0f};
+  EXPECT_FALSE(QuantizeQuery(spec, bad_nan, 2, qq));
+  float bad_inf[2] = {std::numeric_limits<float>::infinity(), 0.0f};
+  EXPECT_FALSE(QuantizeQuery(spec, bad_inf, 2, qq));
+  float bad_huge[2] = {3.0e38f, 0.0f};
+  EXPECT_FALSE(QuantizeQuery(spec, bad_huge, 2, qq));
+  float fine[2] = {123.0f, -7.5f};
+  EXPECT_TRUE(QuantizeQuery(spec, fine, 2, qq));
+}
+
+TEST(SimdKernelTest, ForceScalarEnvironmentOverride) {
+  const SimdLevel unforced = DetectSimdLevel();
+  ASSERT_EQ(setenv("RPDBSCAN_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(DetectSimdLevel(), SimdLevel::kScalar);
+  ASSERT_EQ(setenv("RPDBSCAN_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_EQ(DetectSimdLevel(), unforced);
+  ASSERT_EQ(unsetenv("RPDBSCAN_FORCE_SCALAR"), 0);
+  EXPECT_EQ(DetectSimdLevel(), unforced);
+}
+
+TEST(SimdKernelTest, PipelineLabelsIdenticalScalarVsDispatch) {
+  // The whole point: flipping kernels cannot move a single label.
+  for (const size_t dim : {2u, 3u, 5u}) {
+    const Dataset ds = synth::Blobs(3000, 4, 1.0, 110 + dim, dim);
+    RpDbscanOptions scalar;
+    scalar.eps = 1.5;
+    scalar.min_pts = 15;
+    scalar.num_threads = 2;
+    scalar.num_partitions = 8;
+    scalar.scalar_kernels = true;
+    RpDbscanOptions simd = scalar;
+    simd.scalar_kernels = false;
+    auto a = RunRpDbscan(ds, scalar);
+    auto b = RunRpDbscan(ds, simd);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(a->stats.simd_kernel, "scalar");
+    EXPECT_EQ(b->stats.simd_kernel, SimdLevelName(DetectSimdLevel()));
+    EXPECT_EQ(a->labels, b->labels) << "dim=" << dim;
+    EXPECT_EQ(a->stats.num_clusters, b->stats.num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -123,12 +123,12 @@ ThreeWayOutcome ExpectThreeWayEquivalent(const Dataset& data,
         AuditCellGraph(data, *cells, *r, AuditLevel::kFull);
     EXPECT_TRUE(graph_audit.ok()) << graph_audit.ToString();
   }
-  // Counter contracts. Only the stencil engine issues lattice probes; the
-  // arithmetic pre-drop bounds its probe count by (|stencil| + 1) per
-  // processed cell (every CellSet cell is non-empty and processed once)
-  // from above, and by one per cell from below — the source cell's MBR
-  // sits inside its own box, so the self probe can never be dropped and
-  // always hits, giving hits >= cells too.
+  // Counter contracts. Only the stencil engine walks lattice
+  // neighborhoods; the window size bounds its probe count by
+  // (|stencil| + 1) per processed cell (every CellSet cell is non-empty
+  // and processed once) from above, and by one per cell from below — the
+  // source cell is always the first entry of its own precomputed
+  // neighborhood and always resolves, giving hits >= cells too.
   EXPECT_EQ(a.stencil_probes, 0u);
   EXPECT_EQ(a.stencil_hits, 0u);
   EXPECT_EQ(t.stencil_probes, 0u);
@@ -219,9 +219,9 @@ TEST(StencilQueryTest, MinPtsOnBothSidesOfEarlyExit) {
     cfg.eps = 1.2;
     cfg.min_pts = min_pts;
     const ThreeWayOutcome o = ExpectThreeWayEquivalent(data, cfg);
-    // The probe count is a function of geometry and point MBRs only (the
-    // arithmetic pre-drop sees neither densities nor min_pts), so it must
-    // be identical on both sides of the early-exit threshold; only the
+    // The probe count is a function of the lattice only (the precomputed
+    // neighborhoods see neither densities nor min_pts), so it must be
+    // identical on both sides of the early-exit threshold; only the
     // downstream scan work varies.
     EXPECT_GE(o.stencil.stencil_probes, o.num_cells);
     EXPECT_LE(o.stencil.stencil_probes,

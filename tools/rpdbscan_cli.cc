@@ -66,6 +66,13 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
                           lattice-stencil hash probes
     --hashmap-phase1      rp only: use the reference hash-map Phase I-1
                           grouping instead of the sorted CSR build
+    --scalar-kernels      rp only: force the scalar reference distance
+                          kernels (no SIMD dispatch); labels identical
+    --quantized           rp only: integer fixed-point candidate
+                          pre-filter with exact fallback in the error
+                          band; labels identical, auto-off on overflow
+    --sequential-merge    rp only: tournament merge (Fig. 17 series)
+                          instead of the edge-parallel union-find
     --audit[=LEVEL]       rp only: audit pipeline invariants between
                           phases; LEVEL is off|cheap|full (bare --audit
                           means full). Violations fail the run.
@@ -161,6 +168,9 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
     o.batched_queries = !flags.GetBool("perpoint");
     o.stencil_queries = !flags.GetBool("tree-queries");
     o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
+    o.scalar_kernels = flags.GetBool("scalar-kernels");
+    o.quantized = flags.GetBool("quantized");
+    o.sequential_merge = flags.GetBool("sequential-merge");
     if (flags.Has("audit")) {
       const std::string level = flags.GetString("audit");
       if (level.empty() || level == "full") {

@@ -4,8 +4,10 @@
 #   * Phase I-1 build (bench_micro BM_Phase1Build): sorted CSR grouping vs
 #     the seed hash-map scan, GeoLifeLike at two sizes -> BENCH_phase1.json
 #   * Phase II query kernel (bench_micro BM_Phase2Query): lattice-stencil
-#     vs batched-tree vs per-point, plus the Fig. 12 phase breakdown
-#     -> BENCH_phase2.json
+#     (SIMD vs forced-scalar vs quantized) vs batched-tree vs per-point,
+#     the Phase III merge engines (BM_MergeForest: edge-parallel lock-free
+#     union-find vs sequential tournament at 1/2/4 threads), plus the
+#     Fig. 12 phase breakdown -> BENCH_phase2.json
 #   * Serving layer (bench_serve): batched label queries/sec against a
 #     frozen snapshot at 1/2/4 threads -> BENCH_serve.json
 #
@@ -53,7 +55,11 @@ fi
 
 # Only a Release build yields numbers worth recording. (The default cmake
 # configure here is RelWithDebInfo, and a stale Debug tree silently skews
-# every ratio in the output jsons.)
+# every ratio in the output jsons.) The CMakeCache check catches a wrongly
+# configured tree early; the authoritative check is the binary's own
+# "rpdbscan_build_type" JSON context below — google-benchmark's
+# "library_build_type" reports how *libbenchmark* was compiled, which once
+# let a debug library build record itself as a release run.
 BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
   "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
 if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
@@ -63,6 +69,28 @@ if [[ "$BUILD_TYPE" != "Release" && "$ALLOW_DEBUG" != 1 ]]; then
        "--allow-debug to record anyway (smoke/CI only)." >&2
   exit 1
 fi
+
+# Fails unless the benchmark binary itself reports an NDEBUG build in its
+# JSON context (or --allow-debug was given).
+check_provenance() {
+  local json="$1"
+  python3 - "$json" "$ALLOW_DEBUG" <<'PY'
+import json
+import sys
+
+path, allow_debug = sys.argv[1], sys.argv[2] == "1"
+with open(path) as f:
+    ctx = json.load(f).get("context", {})
+bt = ctx.get("rpdbscan_build_type")
+if bt != "release" and not allow_debug:
+    sys.exit(f"run_bench.sh: benchmark binary reports rpdbscan_build_type="
+             f"{bt!r}, not 'release' — the library itself was compiled "
+             "without NDEBUG. Rebuild with -DCMAKE_BUILD_TYPE=Release "
+             "(or pass --allow-debug for smoke/CI runs).")
+print(f"  provenance: rpdbscan_build_type={bt!r}, "
+      f"simd={ctx.get('rpdbscan_simd')!r}")
+PY
+}
 
 BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
 BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
@@ -90,6 +118,7 @@ RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
   --benchmark_out="$TMP_DIR/phase1.json" \
   --benchmark_out_format=json \
   ${MIN_TIME:+$MIN_TIME}
+check_provenance "$TMP_DIR/phase1.json"
 
 echo "== Phase II query kernels (bench_micro, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
@@ -97,6 +126,15 @@ RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
   --benchmark_out="$TMP_DIR/phase2.json" \
   --benchmark_out_format=json \
   ${MIN_TIME:+$MIN_TIME}
+check_provenance "$TMP_DIR/phase2.json"
+
+echo "== Phase III merge engines (bench_micro, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_MICRO" \
+  --benchmark_filter='BM_MergeForest' \
+  --benchmark_out="$TMP_DIR/merge.json" \
+  --benchmark_out_format=json \
+  ${MIN_TIME:+$MIN_TIME}
+check_provenance "$TMP_DIR/merge.json"
 
 echo "== Phase breakdown (bench_fig12_breakdown, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_FIG12" | tee "$TMP_DIR/fig12.txt"
@@ -148,12 +186,12 @@ summary = ", ".join(f"{n}: {s:.2f}x" for n, s in speedups.items())
 print(f"wrote {out_path}" + (f" (sorted speedup {summary})" if summary else ""))
 PY
 
-python3 - "$TMP_DIR/phase2.json" "$TMP_DIR/fig12.txt" "$OUT_JSON" \
-    "$SCALE" <<'PY'
+python3 - "$TMP_DIR/phase2.json" "$TMP_DIR/merge.json" \
+    "$TMP_DIR/fig12.txt" "$OUT_JSON" "$SCALE" <<'PY'
 import json
 import sys
 
-bench_json, fig12_txt, out_path, scale = sys.argv[1:5]
+bench_json, merge_json, fig12_txt, out_path, scale = sys.argv[1:6]
 with open(bench_json) as f:
     raw = json.load(f)
 
@@ -171,14 +209,36 @@ for b in raw.get("benchmarks", []):
         "stencil_hits": b.get("stencil_hits"),
     })
 
-times = {k["kernel"]: k["real_time_ms"] for k in kernels
-         if k["kernel"] in ("per_point", "batched_tree", "stencil")}
+times = {k["kernel"]: k["real_time_ms"] for k in kernels}
 speedups = {}
 for fast, slow in (("batched_tree", "per_point"),
                    ("stencil", "per_point"),
-                   ("stencil", "batched_tree")):
+                   ("stencil", "batched_tree"),
+                   ("stencil", "stencil_scalar"),
+                   ("stencil_quant", "stencil_scalar")):
     if times.get(fast) and times.get(slow):
         speedups[f"speedup_{fast}_over_{slow}"] = times[slow] / times[fast]
+
+# Merge engines: "BM_MergeForest/sequential/2" -> engine + thread count.
+with open(merge_json) as f:
+    merge_raw = json.load(f)
+merge = []
+for b in merge_raw.get("benchmarks", []):
+    parts = b["name"].split("/")
+    merge.append({
+        "engine": parts[1] if len(parts) > 1 else b["name"],
+        "threads": int(parts[2]) if len(parts) > 2 else None,
+        "real_time_ms": b["real_time"],
+        "cpu_time_ms": b["cpu_time"],
+        "clusters": b.get("clusters"),
+    })
+merge_speedups = {}
+mt = {(m["engine"], m["threads"]): m["real_time_ms"] for m in merge}
+for threads in sorted({m["threads"] for m in merge if m["threads"]}):
+    seq = mt.get(("sequential", threads))
+    par = mt.get(("parallel", threads))
+    if seq and par:
+        merge_speedups[str(threads)] = seq / par
 
 with open(fig12_txt) as f:
     fig12 = f.read()
@@ -189,11 +249,16 @@ out = {
     "context": raw.get("context", {}),
     "phase2_kernels": kernels,
     **speedups,
+    "merge_engines": merge,
+    "merge_speedup_parallel_over_sequential": merge_speedups,
     "fig12_breakdown": fig12,
 }
 with open(out_path, "w") as f:
     json.dump(out, f, indent=2)
 summary = ", ".join(f"{k.removeprefix('speedup_')}: {v:.2f}x"
                     for k, v in speedups.items())
-print(f"wrote {out_path}" + (f" ({summary})" if summary else ""))
+merge_summary = ", ".join(f"{t}t: {s:.2f}x"
+                          for t, s in merge_speedups.items())
+print(f"wrote {out_path}" + (f" ({summary})" if summary else "")
+      + (f" (merge par/seq {merge_summary})" if merge_summary else ""))
 PY

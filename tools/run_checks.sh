@@ -6,10 +6,15 @@
 #      lattice_stencil_test) and, with NDEBUG off, the sub-cell-range MBR
 #      containment assertions in ProcessCellBatched.
 #   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
-#      thread-pool, parallel-sort, phase2 (all three query engines, incl.
-#      the concurrent FlatCellIndex::BuildHashed), merge, end-to-end and
-#      snapshot-serving (serve_concurrent_test: one frozen snapshot,
-#      many reader threads) suites that exercise every concurrent path.
+#      thread-pool, parallel-sort, phase2 (all query engines, incl. the
+#      concurrent FlatCellIndex::BuildHashed), merge — now including the
+#      lock-free ConcurrentDisjointSet (disjoint_set_test's multi-thread
+#      union stress) and the edge-parallel merge path
+#      (parallel_merge_test) — the SIMD-vs-scalar and quantized-mode
+#      equivalence suites (simd_kernel_test, quantized_mode_test),
+#      end-to-end and snapshot-serving (serve_concurrent_test: one frozen
+#      snapshot, many reader threads) suites that exercise every
+#      concurrent path.
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

@@ -1,17 +1,25 @@
-// Serving-layer throughput: batched queries/sec of the frozen-snapshot
-// LabelServer at 1, 2 and 4 worker threads on the GeoLife analogue.
+// Serving-layer throughput: the grouped batched classification path
+// head-to-head against the per-query baseline at 1, 2 and 4 worker
+// threads on the GeoLife analogue, with per-query latency percentiles.
 //
 // The workload is the round-trip contract's worst case: every *training*
 // point is served back, so every query takes the exact path (home-cell
 // density replay plus, for non-core cells, the border-reference walk) —
 // no query short-circuits through the cheap far-noise exit. Reported
-// queries/sec is the best of kReps timed batches after one warmup.
+// queries/sec is the best of kReps timed batches after one warmup, with
+// the reps of all (mode, threads) configurations interleaved round-robin
+// so a multi-second host-noise burst degrades every row's rep instead of
+// wiping out all reps of one row; latency percentiles (batch-sojourn,
+// monotonic clock) come from the best rep.
 //
-// On this one-core host the 2- and 4-thread rows measure scheduling
-// overhead rather than speed-up; the interesting single-machine number is
-// the 1-thread row, and the thread sweep verifies the wait-free read path
-// scales without contention (see tests/serve_concurrent_test.cc for the
-// correctness side).
+// Thread rows beyond hardware_concurrency (recorded in the report)
+// exercise the claimant cap, not speed-up: the serving path caps its
+// claimant tasks at the core count, so such rows resolve to the *same*
+// effective configuration as the widest row the machine can actually
+// run. Each distinct claimant count is measured once and shared by
+// every row it covers — re-measuring an identical setup would only
+// record scheduler noise as fake scaling differences. The JSON's
+// per-run `claimants` field says which rows shared a measurement.
 //
 // Usage: bench_serve [OUTPUT_JSON]
 //   OUTPUT_JSON  where to write the machine-readable report
@@ -20,13 +28,16 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/rp_dbscan.h"
+#include "core/simd.h"
 #include "parallel/thread_pool.h"
 #include "serve/label_server.h"
+#include "serve/latency.h"
 #include "serve/snapshot.h"
 #include "util/json_writer.h"
 #include "util/status.h"
@@ -36,20 +47,68 @@ namespace rpdbscan {
 namespace bench {
 namespace {
 
-constexpr size_t kReps = 3;
+constexpr size_t kReps = 7;
 constexpr size_t kThreadSweep[] = {1, 2, 4};
 
 struct ServeRun {
   size_t threads = 0;
+  size_t claimants = 0;
   double seconds = 0;
   ServeStats stats;
+  LatencySummary latency;
 };
+
+/// One (mode, claimants) configuration under interleaved best-of-kReps
+/// timing. `batched` selects ClassifyBatch (the grouped path) vs
+/// ClassifyEach (the per-query baseline). Results of the two modes are
+/// bit-identical; only the evaluation order differs.
+struct ModeConfig {
+  bool batched = false;
+  size_t claimants = 0;
+  std::unique_ptr<ThreadPool> pool;
+  ServeRun best;
+};
+
+/// Runs one rep of `cfg` and folds it into cfg->best (unless `warmup`).
+Status TimeRep(const LabelServer& server, const Dataset& queries,
+               ModeConfig* cfg, bool warmup) {
+  std::vector<ServeResult> results;
+  ServeStats stats;
+  LatencyReservoir latency;
+  Stopwatch watch;
+  const Status s = cfg->batched
+                       ? server.ClassifyBatch(queries, *cfg->pool, &results,
+                                              &stats, &latency)
+                       : server.ClassifyEach(queries, *cfg->pool, &results,
+                                             &stats, &latency);
+  const double seconds = watch.ElapsedSeconds();
+  if (!s.ok() || warmup) return s;
+  if (cfg->best.seconds == 0 || seconds < cfg->best.seconds) {
+    cfg->best.seconds = seconds;
+    cfg->best.stats = stats;
+    cfg->best.latency = latency.Summarize();
+  }
+  return s;
+}
+
+double Qps(const ServeRun& r) {
+  return r.seconds > 0
+             ? static_cast<double>(r.stats.queries) / r.seconds
+             : 0;
+}
+
+void PrintRun(const char* mode, const ServeRun& r) {
+  std::printf("%10s %8zu %10zu %12.4f %14.0f %12.1f %12.1f %12.1f\n", mode,
+              r.threads, r.claimants, r.seconds, Qps(r), r.latency.p50_us,
+              r.latency.p99_us, r.latency.p999_us);
+  std::fflush(stdout);
+}
 
 int Run(const std::string& out_path) {
   PrintHeader(
-      "Serving layer: batched label queries/sec vs thread count\n"
+      "Serving layer: grouped-batch vs per-query label queries/sec\n"
       "(GeoLife analogue, frozen snapshot, every training point served\n"
-      " back on the exact path)");
+      " back on the exact path; latency is batch sojourn time)");
 
   const BenchDataset geo = MakeGeoLife();
   const double eps = geo.eps10;
@@ -90,51 +149,92 @@ int Run(const std::string& out_path) {
   const LabelServer server(
       std::make_shared<const ClusterModelSnapshot>(std::move(*loaded)));
 
+  const size_t hardware = std::thread::hardware_concurrency();
+  const char* simd = SimdLevelName(DetectSimdLevel());
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
   std::printf(
       "dataset=%s points=%zu cells=%llu clusters=%llu "
-      "snapshot=%zu bytes (freeze %.3fs, load %.3fs)\n",
+      "snapshot=%zu bytes (freeze %.3fs, load %.3fs)\n"
+      "hardware_concurrency=%zu simd=%s build=%s\n",
       geo.name.c_str(), geo.data.size(),
       static_cast<unsigned long long>(meta.num_cells),
       static_cast<unsigned long long>(meta.num_clusters), bytes.size(),
-      freeze_seconds, load_seconds);
-  std::printf("%8s %12s %14s %10s %10s %10s\n", "threads", "seconds",
-              "queries/sec", "core", "border", "noise");
+      freeze_seconds, load_seconds, hardware, simd, build_type);
+  std::printf("%10s %8s %10s %12s %14s %12s %12s %12s\n", "mode", "threads",
+              "claimants", "seconds", "queries/sec", "p50_us", "p99_us",
+              "p999_us");
 
-  std::vector<ServeRun> runs;
+  // One configuration per (mode, claimants) pair; reps run interleaved
+  // round-robin so host-noise bursts cannot concentrate on one row.
+  // LabelServer caps a batch's claimants at hardware_concurrency
+  // (LabelServerOptions::cap_claimants_to_hardware), so sweep entries
+  // whose thread counts cap to the same claimant count are the same
+  // effective configuration and share one measurement.
+  std::vector<ModeConfig> configs;
   for (const size_t threads : kThreadSweep) {
-    ThreadPool pool(threads);
-    std::vector<ServeResult> results;
-    ServeRun best;
-    best.threads = threads;
-    for (size_t rep = 0; rep <= kReps; ++rep) {  // rep 0 is warmup
-      ServeStats stats;
-      Stopwatch watch;
-      const Status s =
-          server.ClassifyBatch(geo.data, pool, &results, &stats);
-      const double seconds = watch.ElapsedSeconds();
+    const size_t claimants =
+        hardware > 0 && threads > hardware ? hardware : threads;
+    bool measured = false;
+    for (const ModeConfig& cfg : configs) {
+      measured = measured || cfg.claimants == claimants;
+    }
+    if (measured) continue;
+    for (const bool batched : {false, true}) {
+      ModeConfig cfg;
+      cfg.batched = batched;
+      cfg.claimants = claimants;
+      cfg.pool = std::make_unique<ThreadPool>(threads);
+      cfg.best.threads = threads;
+      cfg.best.claimants = claimants;
+      configs.push_back(std::move(cfg));
+    }
+  }
+  for (size_t rep = 0; rep <= kReps; ++rep) {  // rep 0 is warmup
+    for (ModeConfig& cfg : configs) {
+      const Status s = TimeRep(server, geo.data, &cfg, rep == 0);
       if (!s.ok()) {
-        std::fprintf(stderr, "bench_serve: batch failed: %s\n",
+        std::fprintf(stderr, "bench_serve: %s batch failed: %s\n",
+                     cfg.batched ? "grouped" : "per-query",
                      s.ToString().c_str());
         return 1;
       }
-      if (rep == 0) continue;
-      if (best.seconds == 0 || seconds < best.seconds) {
-        best.seconds = seconds;
-        best.stats = stats;
+    }
+  }
+  std::vector<ServeRun> per_query_runs;
+  std::vector<ServeRun> batched_runs;
+  bool shared_rows = false;
+  for (const size_t threads : kThreadSweep) {
+    const size_t claimants =
+        hardware > 0 && threads > hardware ? hardware : threads;
+    for (const bool batched : {false, true}) {
+      for (const ModeConfig& cfg : configs) {
+        if (cfg.batched != batched || cfg.claimants != claimants) continue;
+        ServeRun row = cfg.best;
+        shared_rows = shared_rows || row.threads != threads;
+        row.threads = threads;
+        PrintRun(batched ? "batched" : "per_query", row);
+        (batched ? batched_runs : per_query_runs).push_back(row);
+        break;
       }
     }
-    const double qps =
-        best.seconds > 0 ? static_cast<double>(best.stats.queries) /
-                               best.seconds
-                         : 0;
-    std::printf("%8zu %12.4f %14.0f %10llu %10llu %10llu\n", threads,
-                best.seconds, qps,
-                static_cast<unsigned long long>(best.stats.core),
-                static_cast<unsigned long long>(best.stats.border),
-                static_cast<unsigned long long>(best.stats.noise));
-    std::fflush(stdout);
-    runs.push_back(best);
   }
+  if (shared_rows) {
+    std::printf(
+        "note: claimants cap at hardware_concurrency=%zu; rows with equal "
+        "claimants share one measurement\n",
+        hardware);
+  }
+
+  const double speedup =
+      Qps(per_query_runs.back()) > 0
+          ? Qps(batched_runs.back()) / Qps(per_query_runs.back())
+          : 0;
+  std::printf("batched speedup at %zu threads: %.2fx\n",
+              batched_runs.back().threads, speedup);
 
   JsonWriter w;
   w.BeginObject();
@@ -149,12 +249,23 @@ int Run(const std::string& out_path) {
   w.Key("snapshot_bytes").Value(static_cast<uint64_t>(bytes.size()));
   w.Key("freeze_seconds").Value(freeze_seconds);
   w.Key("load_seconds").Value(load_seconds);
+  w.Key("hardware_concurrency").Value(static_cast<uint64_t>(hardware));
+  w.Key("simd").Value(simd);
+  w.Key("build_type").Value(build_type);
   w.Key("reps").Value(static_cast<uint64_t>(kReps));
-  w.Key("runs").BeginArray();
-  for (const ServeRun& r : runs) {
-    w.Raw(ServeStatsToJson(r.stats, r.seconds, r.threads));
+  w.Key("per_query_runs").BeginArray();
+  for (const ServeRun& r : per_query_runs) {
+    w.Raw(ServeStatsToJson(r.stats, r.seconds, r.threads, &r.latency,
+                           r.claimants));
   }
   w.EndArray();
+  w.Key("batched_runs").BeginArray();
+  for (const ServeRun& r : batched_runs) {
+    w.Raw(ServeStatsToJson(r.stats, r.seconds, r.threads, &r.latency,
+                           r.claimants));
+  }
+  w.EndArray();
+  w.Key("batched_speedup").Value(speedup);
   w.EndObject();
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");

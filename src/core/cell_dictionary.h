@@ -471,6 +471,18 @@ class CellDictionary {
   bool has_stencil() const { return stencil_.enabled(); }
   const LatticeStencil& stencil() const { return stencil_; }
 
+  /// Precomputed stencil neighborhood of the cell at global slot `slot`
+  /// (an index into cell_refs()): the global slots of every dictionary
+  /// cell inside its stencil window, the cell itself first (stencil
+  /// offsets are non-zero, so no later entry can repeat it). This is the
+  /// CSR QueryCellStencil's fast path walks; the batched serving path
+  /// walks it once per query group. Only callable when has_stencil().
+  const uint32_t* StencilNeighborsOf(size_t slot, size_t* count) const {
+    const size_t begin = stencil_nbr_begin_[slot];
+    *count = stencil_nbr_begin_[slot + 1] - begin;
+    return stencil_nbr_slots_.data() + begin;
+  }
+
   /// True when the quantized coordinate lanes were built (opts.quantized
   /// set and the coordinate span within the uint32 lattice).
   bool has_quantized() const { return quantized_.enabled; }

@@ -70,6 +70,28 @@ SubcellCountFn GetSubcellCountFn(SimdLevel level, size_t dim) {
   }
 }
 
+SubcellCountMultiFn GetSubcellCountMultiFn(SimdLevel level, size_t dim) {
+#ifdef RPDBSCAN_HAVE_AVX2
+  if (level >= SimdLevel::kAvx2) {
+    return simd_internal::GetAvx2CountMultiFn(dim);
+  }
+#else
+  (void)level;
+#endif
+  switch (dim) {
+    case 2:
+      return &SubcellCountMultiScalar<2>;
+    case 3:
+      return &SubcellCountMultiScalar<3>;
+    case 4:
+      return &SubcellCountMultiScalar<4>;
+    case 5:
+      return &SubcellCountMultiScalar<5>;
+    default:
+      return &SubcellCountMultiScalar<0>;
+  }
+}
+
 SubcellCountQuantFn GetSubcellCountQuantFn(SimdLevel level, size_t dim) {
 #ifdef RPDBSCAN_HAVE_AVX2
   if (level >= SimdLevel::kAvx2) return simd_internal::GetAvx2QuantFn(dim);
@@ -97,6 +119,15 @@ PointBoundsFn GetPointBoundsFn(SimdLevel level) {
   (void)level;
 #endif
   return &PointBoundsScalar;
+}
+
+GroupBoundsFn GetGroupBoundsFn(SimdLevel level) {
+#ifdef RPDBSCAN_HAVE_AVX2
+  if (level >= SimdLevel::kAvx2) return &simd_internal::GroupBoundsAvx2;
+#else
+  (void)level;
+#endif
+  return &GroupBoundsScalar;
 }
 
 }  // namespace rpdbscan

@@ -1,6 +1,7 @@
 #ifndef RPDBSCAN_CORE_SIMD_H_
 #define RPDBSCAN_CORE_SIMD_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -56,6 +57,22 @@ using SubcellCountFn = uint32_t (*)(const float* q, const float* lanes,
                                     uint32_t padded_n, size_t dim,
                                     double eps2);
 
+/// The multi-query exact sub-cell classification kernel: the batched
+/// serving path's amortizer. Evaluates `nq` queries against ONE cell's
+/// lane block in a single invocation, so the lane loads (and their
+/// float->double widening) are paid once per vector stride instead of
+/// once per query. Query k's coordinates live at qs + qidx[k] * dim — a
+/// gather-index view over a packed row-major query buffer, so callers
+/// can route any subset of a group through the kernel without copying.
+/// Writes matched_out[0..nq); each entry is bit-identical to what
+/// SubcellCountFn returns for that query alone (same per-dimension
+/// double recurrence, same stride order), on every tier.
+using SubcellCountMultiFn = void (*)(const float* qs, const uint32_t* qidx,
+                                     size_t nq, const float* lanes,
+                                     const uint32_t* counts,
+                                     uint32_t padded_n, size_t dim,
+                                     double eps2, uint32_t* matched_out);
+
 /// The quantized sub-cell classification kernel: integer lattice deltas
 /// against uint32 quantized coordinate lanes (`qlanes`, same layout as
 /// the float lanes), branchless conservative in/out thresholds, and an
@@ -86,14 +103,39 @@ using PointBoundsFn = void (*)(const float* q, const float* lo_t,
                                const float* hi_t, size_t stride, size_t dim,
                                size_t num, double* min2_out);
 
+/// The group box-bounds kernel: squared min AND max distance from each of
+/// `num` group members to ONE axis-aligned box — the grouped serving
+/// path's per-neighbor pre-drop/containment pass, vectorized along the
+/// member axis. Member coordinates are transposed dimension-major with
+/// lane stride `stride` (a multiple of kSimdLaneWidth; dimension d of
+/// member k at qt[d * stride + k]); the box is `dim` double intervals
+/// [lo[d], hi[d]]. Writes min2_out/max2_out[0..num) — both output arrays
+/// (and the qt lanes) must extend to num rounded up to kSimdLaneWidth;
+/// the padded tail may receive garbage that callers never read. Per
+/// member the recurrence is exact and sequential in dimension order:
+/// with dlo = lo - v and dhi = v - hi (each an exact IEEE negation of
+/// its counterpart gap), min gap = max(dlo, dhi, 0) and max gap =
+/// max(|dlo|, |dhi|) — bit-identical across tiers for finite member
+/// coordinates. Non-finite members NaN/inf-poison both sums identically
+/// enough that every downstream verdict (pre-drop, containment, lane
+/// kernel) coincides on every tier.
+using GroupBoundsFn = void (*)(const float* qt, size_t stride, size_t num,
+                               const double* lo, const double* hi,
+                               size_t dim, double* min2_out,
+                               double* max2_out);
+
 /// Kernel lookup for a dimensionality (compile-time-unrolled bodies for
 /// d in {2,3,4,5}, a runtime-dim fallback otherwise). Requesting a level
 /// above CompiledSimdLevel() degrades to the highest compiled tier.
 SubcellCountFn GetSubcellCountFn(SimdLevel level, size_t dim);
+SubcellCountMultiFn GetSubcellCountMultiFn(SimdLevel level, size_t dim);
 SubcellCountQuantFn GetSubcellCountQuantFn(SimdLevel level, size_t dim);
 /// Bounds-kernel lookup (no dimension dispatch: the vector axis is the
 /// candidate index, so the dimension loop stays a short runtime loop).
 PointBoundsFn GetPointBoundsFn(SimdLevel level);
+/// Group-bounds-kernel lookup (no dimension dispatch: the vector axis is
+/// the group-member index).
+GroupBoundsFn GetGroupBoundsFn(SimdLevel level);
 
 // ---- Quantized fixed-point coordinate mode (uint32 lattice offsets) ----
 //
@@ -166,6 +208,24 @@ inline uint32_t SubcellCountScalar(const float* q, const float* lanes,
   return matched;
 }
 
+/// Reference implementation of SubcellCountMultiFn: one SubcellCountScalar
+/// evaluation per gathered query. Deliberately a per-query loop around the
+/// single-query reference — bit-identity with the per-query path is then a
+/// tautology, and the vector tiers are tested against this.
+template <size_t kDim>
+inline void SubcellCountMultiScalar(const float* qs, const uint32_t* qidx,
+                                    size_t nq, const float* lanes,
+                                    const uint32_t* counts,
+                                    uint32_t padded_n, size_t dim_rt,
+                                    double eps2, uint32_t* matched_out) {
+  const size_t dim = kDim ? kDim : dim_rt;
+  for (size_t k = 0; k < nq; ++k) {
+    matched_out[k] = SubcellCountScalar<kDim>(
+        qs + static_cast<size_t>(qidx[k]) * dim, lanes, counts, padded_n,
+        dim, eps2);
+  }
+}
+
 template <size_t kDim>
 inline uint32_t SubcellCountQuantScalar(const float* q, const int64_t* qq,
                                         const float* lanes,
@@ -233,6 +293,32 @@ inline void PointBoundsScalar(const float* q, const float* lo_t,
   }
 }
 
+/// Reference implementation of GroupBoundsFn: per member the branchless
+/// double recurrence the grouped serving walk needs — min gap as
+/// max(dlo, dhi, 0) (exactly one of dlo/dhi is positive outside the
+/// box), max gap as max(|dlo|, |dhi|), squared and accumulated in
+/// dimension order.
+inline void GroupBoundsScalar(const float* qt, size_t stride, size_t num,
+                              const double* lo, const double* hi,
+                              size_t dim, double* min2_out,
+                              double* max2_out) {
+  for (size_t k = 0; k < num; ++k) {
+    double mn = 0.0;
+    double mx = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      const double v = static_cast<double>(qt[d * stride + k]);
+      const double dlo = lo[d] - v;
+      const double dhi = v - hi[d];
+      const double mind = std::max(std::max(dlo, dhi), 0.0);
+      mn += mind * mind;
+      const double maxd = std::max(std::fabs(dlo), std::fabs(dhi));
+      mx += maxd * maxd;
+    }
+    min2_out[k] = mn;
+    max2_out[k] = mx;
+  }
+}
+
 namespace simd_internal {
 // AVX2 kernel tables, defined in simd_avx2.cc (compiled with -mavx2
 // only — deliberately without -mfma, so the compiler cannot contract the
@@ -240,10 +326,14 @@ namespace simd_internal {
 // recurrence). Declared unconditionally; referenced by the dispatcher
 // only when that translation unit was built.
 SubcellCountFn GetAvx2CountFn(size_t dim);
+SubcellCountMultiFn GetAvx2CountMultiFn(size_t dim);
 SubcellCountQuantFn GetAvx2QuantFn(size_t dim);
 void PointBoundsAvx2(const float* q, const float* lo_t, const float* hi_t,
                      size_t stride, size_t dim, size_t num,
                      double* min2_out);
+void GroupBoundsAvx2(const float* qt, size_t stride, size_t num,
+                     const double* lo, const double* hi, size_t dim,
+                     double* min2_out, double* max2_out);
 }  // namespace simd_internal
 
 }  // namespace rpdbscan

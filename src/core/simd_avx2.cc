@@ -42,6 +42,74 @@ uint32_t CountAvx2(const float* q, const float* lanes,
   return matched;
 }
 
+// Multi-query tier: queries are processed in register-resident tiles.
+// Per tile the query broadcasts are hoisted out of the stride loop, and
+// per stride the lane loads (and float->double widening) are shared by
+// every query of the tile — so classifying nq queries against one cell
+// costs nq compute passes but only ceil(nq / kTile) passes of lane
+// memory traffic, with no broadcast re-issued per stride. Matches are
+// accumulated as 4x-u32 vectors (compare mask narrowed to 32-bit lanes,
+// ANDed with the counts) and summed horizontally once per query at tile
+// end. Within each query the strides advance in the same order, with
+// the same sub-expression sequence, as CountAvx2, and the density sum
+// only reorders commutative u32 additions of the same per-lane terms
+// (bounded by the cell's total count, so no overflow at any order) — so
+// every per-query result is bit-identical to the single-query kernel
+// (and, through it, to the scalar reference).
+template <size_t kDim>
+void CountMultiAvx2(const float* qs, const uint32_t* qidx, size_t nq,
+                    const float* lanes, const uint32_t* counts,
+                    uint32_t padded_n, size_t dim_rt, double eps2,
+                    uint32_t* matched_out) {
+  const size_t dim = kDim ? kDim : dim_rt;
+  const __m256d veps2 = _mm256_set1_pd(eps2);
+  constexpr size_t kTile = 16;
+  __m256d qb[kTile * CellCoord::kMaxDim];
+  __m128i kacc[kTile];
+  __m256d cvec[CellCoord::kMaxDim];
+  for (size_t k0 = 0; k0 < nq; k0 += kTile) {
+    const size_t kt = nq - k0 < kTile ? nq - k0 : kTile;
+    for (size_t t = 0; t < kt; ++t) {
+      const float* q = qs + static_cast<size_t>(qidx[k0 + t]) * dim;
+      for (size_t d = 0; d < dim; ++d) {
+        qb[t * dim + d] = _mm256_set1_pd(static_cast<double>(q[d]));
+      }
+      kacc[t] = _mm_setzero_si128();
+    }
+    for (uint32_t s = 0; s < padded_n; s += 4) {
+      for (size_t d = 0; d < dim; ++d) {
+        cvec[d] = _mm256_cvtps_pd(_mm_loadu_ps(lanes + d * padded_n + s));
+      }
+      const __m128i vcnt = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(counts + s));
+      for (size_t t = 0; t < kt; ++t) {
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t d = 0; d < dim; ++d) {
+          const __m256d delta = _mm256_sub_pd(qb[t * dim + d], cvec[d]);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(delta, delta));
+        }
+        const __m256i hit =
+            _mm256_castpd_si256(_mm256_cmp_pd(acc, veps2, _CMP_LE_OQ));
+        // Narrow the four 64-bit lane masks to 32-bit (even words of
+        // each lane), gate the counts, accumulate.
+        const __m128i m32 = _mm_castps_si128(_mm_shuffle_ps(
+            _mm_castsi128_ps(_mm256_castsi256_si128(hit)),
+            _mm_castsi128_ps(_mm256_extracti128_si256(hit, 1)),
+            _MM_SHUFFLE(2, 0, 2, 0)));
+        kacc[t] = _mm_add_epi32(kacc[t], _mm_and_si128(m32, vcnt));
+      }
+    }
+    for (size_t t = 0; t < kt; ++t) {
+      const __m128i h1 = _mm_add_epi32(
+          kacc[t], _mm_shuffle_epi32(kacc[t], _MM_SHUFFLE(1, 0, 3, 2)));
+      const __m128i h2 = _mm_add_epi32(
+          h1, _mm_shuffle_epi32(h1, _MM_SHUFFLE(2, 3, 0, 1)));
+      matched_out[k0 + t] =
+          static_cast<uint32_t>(_mm_cvtsi128_si32(h2));
+    }
+  }
+}
+
 // Integer-lattice tier: conservative in/out verdicts from branchless
 // int64 arithmetic (abs via compare+blend, clamp, +-band, squares via
 // _mm256_mul_epi32 — post-clamp magnitudes fit the low 32 bits), exact
@@ -123,6 +191,21 @@ SubcellCountFn GetAvx2CountFn(size_t dim) {
   }
 }
 
+SubcellCountMultiFn GetAvx2CountMultiFn(size_t dim) {
+  switch (dim) {
+    case 2:
+      return &CountMultiAvx2<2>;
+    case 3:
+      return &CountMultiAvx2<3>;
+    case 4:
+      return &CountMultiAvx2<4>;
+    case 5:
+      return &CountMultiAvx2<5>;
+    default:
+      return &CountMultiAvx2<0>;
+  }
+}
+
 SubcellCountQuantFn GetAvx2QuantFn(size_t dim) {
   switch (dim) {
     case 2:
@@ -147,6 +230,42 @@ SubcellCountQuantFn GetAvx2QuantFn(size_t dim) {
 // recurrence's double ops in the same order. Arrays are padded to the
 // lane stride, so the tail iteration reads (and stores bounds for)
 // initialized padding candidates that callers never inspect.
+// Four group members per iteration, one per double lane, against a
+// single box. dlo/dhi are exact subtractions; the min gap selects
+// max(dlo, dhi, 0) (exactly one of the two is positive outside the
+// interval) and the max gap max(|dlo|, |dhi|) — |x| as a sign-bit mask,
+// bit-exact with std::fabs. maxpd returns its SECOND operand when a lane
+// compares unordered, so the operand order below (zero first, then the
+// member-derived values) propagates NaN exactly like the scalar
+// std::max chain in GroupBoundsScalar. Squares and per-dimension
+// accumulation run in the scalar recurrence's order, lane by lane.
+void GroupBoundsAvx2(const float* qt, size_t stride, size_t num,
+                     const double* lo, const double* hi, size_t dim,
+                     double* min2_out, double* max2_out) {
+  const __m256d vzero = _mm256_setzero_pd();
+  const __m256d vabs = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  for (size_t k = 0; k < num; k += 4) {
+    __m256d mn = vzero;
+    __m256d mx = vzero;
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(qt + d * stride + k));
+      const __m256d vlo = _mm256_set1_pd(lo[d]);
+      const __m256d vhi = _mm256_set1_pd(hi[d]);
+      const __m256d dlo = _mm256_sub_pd(vlo, v);
+      const __m256d dhi = _mm256_sub_pd(v, vhi);
+      const __m256d mind =
+          _mm256_max_pd(vzero, _mm256_max_pd(dlo, dhi));
+      mn = _mm256_add_pd(mn, _mm256_mul_pd(mind, mind));
+      const __m256d maxd = _mm256_max_pd(_mm256_and_pd(dlo, vabs),
+                                         _mm256_and_pd(dhi, vabs));
+      mx = _mm256_add_pd(mx, _mm256_mul_pd(maxd, maxd));
+    }
+    _mm256_storeu_pd(min2_out + k, mn);
+    _mm256_storeu_pd(max2_out + k, mx);
+  }
+}
+
 void PointBoundsAvx2(const float* q, const float* lo_t, const float* hi_t,
                      size_t stride, size_t dim, size_t num,
                      double* min2_out) {

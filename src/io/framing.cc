@@ -1,0 +1,129 @@
+#include "io/framing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <unistd.h>
+
+namespace rpdbscan {
+namespace {
+
+constexpr size_t kHeaderSize = 16;
+
+void StoreU32(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void StoreU64(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string ErrnoName() {
+  return std::string(std::strerror(errno));
+}
+
+/// Writes exactly `size` bytes, looping over short writes and EINTR.
+Status WriteAll(int fd, const uint8_t* data, size_t size,
+                const char* what) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("frame ") + what + ": write: " +
+                             ErrnoName());
+    }
+    if (n == 0) {
+      return Status::IOError(std::string("frame ") + what +
+                             ": write returned 0 (peer closed?)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes, looping over short reads and EINTR.
+/// `*eof_at_start` reports a clean EOF before the first byte.
+Status ReadAll(int fd, uint8_t* data, size_t size, bool* eof_at_start,
+               const std::string& stream, const char* what) {
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(stream + ": frame " + what + ": read: " +
+                             ErrnoName());
+    }
+    if (n == 0) {
+      if (done == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::OK();
+      }
+      return Status::IOError(stream + ": frame " + what + ": truncated (" +
+                             std::to_string(done) + " of " +
+                             std::to_string(size) + " bytes before EOF)");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, uint32_t magic, uint32_t type,
+                  const uint8_t* payload, size_t size) {
+  uint8_t header[kHeaderSize];
+  StoreU32(header, magic);
+  StoreU32(header + 4, type);
+  StoreU64(header + 8, static_cast<uint64_t>(size));
+  RPDBSCAN_RETURN_IF_ERROR(WriteAll(fd, header, kHeaderSize, "header"));
+  if (size > 0) {
+    RPDBSCAN_RETURN_IF_ERROR(WriteAll(fd, payload, size, "payload"));
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, uint32_t magic, size_t max_payload, Frame* out,
+                 const std::string& stream) {
+  uint8_t header[kHeaderSize];
+  bool eof = false;
+  RPDBSCAN_RETURN_IF_ERROR(
+      ReadAll(fd, header, kHeaderSize, &eof, stream, "header"));
+  if (eof) {
+    return Status::NotFound(stream + ": end of stream");
+  }
+  const uint32_t got_magic = LoadU32(header);
+  if (got_magic != magic) {
+    return Status::IOError(stream + ": frame header: bad magic 0x" +
+                           std::to_string(got_magic) + " (want 0x" +
+                           std::to_string(magic) + ")");
+  }
+  out->type = LoadU32(header + 4);
+  const uint64_t length = LoadU64(header + 8);
+  if (length > max_payload) {
+    return Status::IOError(stream + ": frame header: declared payload of " +
+                           std::to_string(length) + " bytes exceeds the " +
+                           std::to_string(max_payload) + "-byte cap");
+  }
+  out->payload.resize(static_cast<size_t>(length));
+  if (length > 0) {
+    RPDBSCAN_RETURN_IF_ERROR(ReadAll(fd, out->payload.data(),
+                                     out->payload.size(), nullptr, stream,
+                                     "payload"));
+  }
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,52 @@
+#ifndef RPDBSCAN_IO_FRAMING_H_
+#define RPDBSCAN_IO_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Length-prefixed frames over a byte-stream file descriptor — the
+/// transport under the serving request loop (docs/WIRE_FORMATS.md §4).
+/// A frame is a fixed 16-byte header followed by `length` payload bytes:
+///
+///   u32 magic     stream identity, caller-chosen
+///   u32 type      frame meaning, caller-chosen (serve/request_loop.h)
+///   u64 length    payload bytes following the header
+///
+/// All integers little-endian, like every other wire format here. The
+/// payload typically carries a checksummed section_file container, so the
+/// frame layer only delimits messages; integrity lives one layer down.
+///
+/// Works over anything read()/write() works over — pipes, socketpairs,
+/// unix sockets — with short reads/writes and EINTR handled internally.
+
+/// One decoded frame.
+struct Frame {
+  uint32_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes one frame. Loops over short writes; IOError (errno-named) on
+/// failure, including a peer that closed mid-frame.
+Status WriteFrame(int fd, uint32_t magic, uint32_t type,
+                  const uint8_t* payload, size_t size);
+
+/// Reads one frame into `*out`. Returns:
+///  * OK — a whole frame arrived; `*out` holds it.
+///  * NotFound — the stream ended cleanly BEFORE any header byte (the
+///    peer hung up between frames; the loop's normal exit).
+///  * IOError — a truncated header/payload (EOF mid-frame), a read
+///    failure, a magic mismatch, or a declared length above `max_payload`
+///    (refused before allocating).
+/// `stream` names the connection in error messages.
+Status ReadFrame(int fd, uint32_t magic, size_t max_payload, Frame* out,
+                 const std::string& stream);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_FRAMING_H_

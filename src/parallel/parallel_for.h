@@ -46,20 +46,29 @@ void ParallelFor(ThreadPool& pool, size_t n, Fn&& fn, size_t chunk = 0) {
 /// server's batched API. Returns the number of claimants used (at most
 /// pool.num_threads(); 1 on the sequential fallback), i.e. how many
 /// worker slots `fn` may have seen.
+///
+/// `max_claimants` (0 = no cap) bounds how many claimant tasks are
+/// submitted. A CPU-bound caller on a pool wider than the machine can cap
+/// at hardware_concurrency: claimants beyond the core count cannot add
+/// throughput — they only time-slice one another and shred each other's
+/// cache residency (the bench_serve 1-vCPU inversion).
 template <typename Fn>
 size_t ParallelForWorkers(ThreadPool& pool, size_t n, Fn&& fn,
-                          size_t chunk = 0) {
+                          size_t chunk = 0, size_t max_claimants = 0) {
   if (n == 0) return 0;
-  if (pool.num_threads() == 1 || n == 1) {
+  size_t claimants = pool.num_threads();
+  if (max_claimants > 0 && max_claimants < claimants) {
+    claimants = max_claimants;
+  }
+  if (claimants <= 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(size_t{0}, i);
     return 1;
   }
   if (chunk == 0) {
-    chunk = n / (pool.num_threads() * 8);
+    chunk = n / (claimants * 8);
     if (chunk == 0) chunk = 1;
   }
   std::atomic<size_t> cursor{0};
-  const size_t claimants = pool.num_threads();
   for (size_t t = 0; t < claimants; ++t) {
     pool.Submit([&cursor, &fn, n, chunk, t] {
       for (;;) {

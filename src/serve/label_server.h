@@ -10,6 +10,7 @@
 #include "core/simd.h"
 #include "io/dataset.h"
 #include "parallel/thread_pool.h"
+#include "serve/latency.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 
@@ -68,6 +69,20 @@ struct LabelServerOptions {
   /// fixed-point path: a served density feeds a core verdict, and the
   /// serving layer keeps training-time replay trivially auditable).
   bool scalar_kernels = false;
+  /// Group batch queries by home cell and walk each cell's precomputed
+  /// stencil neighborhood once per group, classifying the whole group
+  /// through the multi-query lane kernel — instead of re-deriving the
+  /// neighborhood per query. Results are bit-identical either way (the
+  /// grouping is a pure evaluation-order change); off, or on tree-engine
+  /// snapshots (no stencil), ClassifyBatch degrades to the per-query
+  /// path.
+  bool grouped_batches = true;
+  /// Cap a batch's claimant tasks at std::thread::hardware_concurrency().
+  /// The serving path is CPU-bound and wait-free, so claimants beyond the
+  /// core count cannot add throughput — they only time-slice one another
+  /// (the source of the historical 1-vCPU thread-scaling inversion).
+  /// Results never depend on the claimant count.
+  bool cap_claimants_to_hardware = true;
 };
 
 /// Per-thread serving counters. Plain integers — each worker of a batch
@@ -81,9 +96,16 @@ struct ServeStats {
   uint64_t core = 0;
   uint64_t border = 0;
   uint64_t noise = 0;
-  /// Stencil engine only: lattice hash probes issued (offsets surviving
-  /// the arithmetic pre-drop, plus the home-cell probe) and probes that
-  /// found a dictionary cell.
+  /// Stencil engine only. On the per-query path: lattice hash probes
+  /// issued (offsets surviving the arithmetic pre-drop, plus the
+  /// home-cell probe) and probes that found a dictionary cell. On the
+  /// grouped batch path a neighborhood is walked once per *group*, so
+  /// both counters count precomputed-neighborhood entries walked (every
+  /// entry is a present cell — probes == hits) and are much smaller than
+  /// the per-query path's for the same query set. Deterministic for a
+  /// given query set on either path (grouping is by home-cell slot, not
+  /// by thread), but NOT comparable across paths — the semantic counters
+  /// above are.
   uint64_t stencil_probes = 0;
   uint64_t stencil_hits = 0;
   /// Stored core-point distance evaluations spent replaying border walks.
@@ -105,8 +127,15 @@ struct ServeStats {
 /// Serving counters as one JSON object (the --stats-json emitter of the
 /// serve subcommand; bench_serve writes the same shape). `seconds` and
 /// `threads` describe the timed batch; queries_per_second is derived.
+/// When `latency` is given, its nearest-rank percentiles ride along as
+/// latency_p50_us / latency_p99_us / latency_p999_us / latency_max_us /
+/// latency_samples. A non-zero `claimants` records the effective claimant
+/// count the batch ran with (threads after the hardware cap — see
+/// LabelServerOptions::cap_claimants_to_hardware); zero omits the field.
 std::string ServeStatsToJson(const ServeStats& stats, double seconds,
-                             size_t threads);
+                             size_t threads,
+                             const LatencySummary* latency = nullptr,
+                             size_t claimants = 0);
 
 /// Classifies out-of-sample points against a frozen ClusterModelSnapshot.
 ///
@@ -147,19 +176,52 @@ class LabelServer {
 
   /// Classifies every point of `queries` on `pool`, writing one result
   /// per point into `*out` (resized; order matches `queries`). Results
-  /// and merged stats are independent of the thread count and identical
-  /// to calling Classify point by point. Fails with InvalidArgument on a
-  /// dimensionality mismatch.
+  /// are independent of the thread count and bit-identical to calling
+  /// Classify point by point ({cluster, kind, certainty, density} all
+  /// match); merged semantic stats match the serial path too, while the
+  /// probe counters follow the grouped accounting documented on
+  /// ServeStats. Fails with InvalidArgument on a dimensionality mismatch.
+  ///
+  /// This is the batched hot path: queries are grouped by home-cell slot
+  /// (a deterministic radix sort of (slot, index) keys — groups never
+  /// depend on the thread count), each group's stencil neighborhood is
+  /// walked once, and the group is classified against each neighbor cell
+  /// in one multi-query lane-kernel invocation. Per-worker scratch lives
+  /// in an arena reused across the batch — no per-query or per-group
+  /// allocation in steady state — and per-worker stats are cache-line
+  /// padded. When `latency` is given, every query contributes one
+  /// completion-time sample (monotonic clock, one stamp per group)
+  /// measured from batch admission.
   Status ClassifyBatch(const Dataset& queries, ThreadPool& pool,
                        std::vector<ServeResult>* out,
-                       ServeStats* stats = nullptr) const;
+                       ServeStats* stats = nullptr,
+                       LatencyReservoir* latency = nullptr) const;
+
+  /// The pre-grouping baseline: the same parallel loop over Classify the
+  /// seed batch path ran, kept as the bench_serve head-to-head and the
+  /// fallback for tree-engine snapshots. Identical results and stats to
+  /// serial Classify; per-query latency stamps when `latency` is given.
+  Status ClassifyEach(const Dataset& queries, ThreadPool& pool,
+                      std::vector<ServeResult>* out,
+                      ServeStats* stats = nullptr,
+                      LatencyReservoir* latency = nullptr) const;
 
  private:
+  Status ClassifyPerQuery(const Dataset& queries, ThreadPool& pool,
+                          std::vector<ServeResult>* out, ServeStats* stats,
+                          LatencyReservoir* latency) const;
+  Status ClassifyGrouped(const Dataset& queries, ThreadPool& pool,
+                         std::vector<ServeResult>* out, ServeStats* stats,
+                         LatencyReservoir* latency) const;
+  size_t MaxClaimants(ThreadPool& pool) const;
+
   std::shared_ptr<const ClusterModelSnapshot> snapshot_;
   LabelServerOptions opts_;
-  /// Sub-cell classification kernel, resolved once at construction for
+  /// Sub-cell classification kernels, resolved once at construction for
   /// the snapshot's dimensionality and the detected SIMD tier.
   SubcellCountFn count_fn_ = nullptr;
+  SubcellCountMultiFn multi_fn_ = nullptr;
+  GroupBoundsFn bounds_fn_ = nullptr;
 };
 
 }  // namespace rpdbscan

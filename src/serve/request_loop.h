@@ -1,0 +1,93 @@
+#ifndef RPDBSCAN_SERVE_REQUEST_LOOP_H_
+#define RPDBSCAN_SERVE_REQUEST_LOOP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "io/dataset.h"
+#include "io/framing.h"
+#include "parallel/thread_pool.h"
+#include "serve/label_server.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// A minimal request/response loop over the label server: length-prefixed
+/// frames (io/framing.h) whose payloads are checksummed section_file
+/// containers — the same wire discipline as the snapshot format, over a
+/// pipe, socketpair, or unix socket (docs/WIRE_FORMATS.md §4).
+///
+/// Frame types on a serving stream (header magic kServeFrameMagic):
+///   kFrameClassify  client -> server   a classify-request container
+///   kFrameResults   server -> client   a result container, same order
+///   kFrameError     server -> client   UTF-8 error text (bad request;
+///                                      the loop keeps serving)
+///   kFrameShutdown  client -> server   empty; the loop drains and exits
+///
+/// Request container (magic kRequestMagic): section 1 = meta
+/// (u32 dim, u32 count), section 2 = count*dim f32 coordinates.
+/// Response container (magic kResponseMagic): section 1 = meta
+/// (u32 count, u32 reserved), section 2 = count 24-byte records
+/// { i64 cluster, u64 density, u8 kind, u8 certainty, u8 pad[6] }.
+
+inline constexpr uint32_t kServeFrameMagic = 0x52505346;  // "RPSF"
+inline constexpr uint32_t kRequestMagic = 0x52505351;     // "RPSQ"
+inline constexpr uint32_t kResponseMagic = 0x52505352;    // "RPSR"
+inline constexpr uint32_t kServeWireVersion = 1;
+
+inline constexpr uint32_t kFrameClassify = 1;
+inline constexpr uint32_t kFrameResults = 2;
+inline constexpr uint32_t kFrameError = 3;
+inline constexpr uint32_t kFrameShutdown = 4;
+
+struct RequestLoopOptions {
+  /// Refuse request frames declaring a larger payload (before allocating).
+  size_t max_request_bytes = size_t{1} << 30;
+};
+
+/// Counters of one ServeRequestLoop run, merged onto the batch stats.
+struct RequestLoopStats {
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t errors = 0;  // error frames sent (malformed requests)
+  ServeStats serve;
+  LatencyReservoir latency;  // response-written minus frame-admitted, ns
+};
+
+/// Encodes `queries` as a classify-request container.
+std::vector<uint8_t> EncodeClassifyRequest(const Dataset& queries);
+
+/// Decodes a classify-request container. InvalidArgument on framing,
+/// checksum, or geometry (count * dim vs payload size) violations.
+StatusOr<Dataset> DecodeClassifyRequest(const std::vector<uint8_t>& payload);
+
+/// Encodes classification results as a response container.
+std::vector<uint8_t> EncodeClassifyResponse(
+    const std::vector<ServeResult>& results);
+
+/// Decodes a response container back into results.
+StatusOr<std::vector<ServeResult>> DecodeClassifyResponse(
+    const std::vector<uint8_t>& payload);
+
+/// Serves classify frames from `in_fd`, writing responses to `out_fd`
+/// (the same fd for sockets, distinct fds for pipe pairs), until a
+/// shutdown frame or a clean end of stream. Malformed requests earn an
+/// error frame and the loop continues; transport failures end the loop
+/// with IOError. Each request is classified as one batch on `pool`
+/// through `server.ClassifyBatch`, and its queries' sojourn latencies
+/// (monotonic clock, admitted at frame arrival) land in `stats->latency`.
+Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
+                        ThreadPool& pool,
+                        const RequestLoopOptions& opts = RequestLoopOptions(),
+                        RequestLoopStats* stats = nullptr);
+
+/// Client helpers: one classify round-trip, and the shutdown signal.
+Status SendClassifyRequest(int fd, const Dataset& queries);
+StatusOr<std::vector<ServeResult>> ReadClassifyResponse(
+    int fd, size_t max_response_bytes = size_t{1} << 30);
+Status SendShutdown(int fd);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_SERVE_REQUEST_LOOP_H_

@@ -1,0 +1,228 @@
+// The bit-identity contract of batched classification: ClassifyBatch —
+// whichever path it takes (grouped stencil walk, per-query fallback,
+// scalar or SIMD kernels, any thread count, any batch size) — returns
+// exactly what serial Classify returns, query by query.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "parallel/thread_pool.h"
+#include "serve/label_server.h"
+#include "serve/snapshot.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+std::shared_ptr<const ClusterModelSnapshot> Load(
+    const std::vector<uint8_t>& bytes, bool stencil) {
+  SnapshotOptions sopts;
+  sopts.dict_opts.build_stencil = stencil;
+  auto loaded = ClusterModelSnapshot::Deserialize(bytes, sopts);
+  EXPECT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->dictionary().has_stencil(), stencil);
+  return std::make_shared<const ClusterModelSnapshot>(std::move(*loaded));
+}
+
+struct Trained {
+  Dataset data{3};
+  std::vector<uint8_t> snapshot_bytes;
+};
+
+Trained Train(uint64_t seed) {
+  Trained t;
+  t.data = synth::Blobs(1200, 4, 1.5, seed, 3);
+  RpDbscanOptions o;
+  o.eps = 2.0;
+  o.min_pts = 15;
+  o.num_threads = 2;
+  o.num_partitions = 4;
+  o.capture_model = true;
+  auto run = RunRpDbscan(t.data, o);
+  EXPECT_TRUE(run.ok()) << run.status();
+  auto snap = ClusterModelSnapshot::FromModel(std::move(*run->model));
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  t.snapshot_bytes = snap->Serialize();
+  return t;
+}
+
+/// A query mix exercising every serving branch: training points (all home
+/// hits), jittered near-misses (some hit, some miss), and far outliers
+/// (guaranteed home-cell misses, i.e. singleton groups on the grouped
+/// path).
+Dataset MixedQueries(const Dataset& training, size_t count) {
+  Dataset q(training.dim());
+  for (size_t i = 0; i < count && i < training.size(); ++i) {
+    if (i % 3 == 0) {
+      q.Append(training.point(i));
+    } else if (i % 3 == 1) {
+      std::vector<float> p(training.point(i),
+                           training.point(i) + training.dim());
+      for (float& v : p) v += 0.37f;
+      q.Append(p.data());
+    } else {
+      std::vector<float> p(training.point(i),
+                           training.point(i) + training.dim());
+      for (size_t d = 0; d < p.size(); ++d) {
+        p[d] += 500.0f + static_cast<float>(i % 7) * 31.0f +
+                static_cast<float>(d) * 11.0f;
+      }
+      q.Append(p.data());
+    }
+  }
+  return q;
+}
+
+Dataset Slice(const Dataset& q, size_t begin, size_t count) {
+  Dataset out(q.dim());
+  for (size_t i = begin; i < begin + count && i < q.size(); ++i) {
+    out.Append(q.point(i));
+  }
+  return out;
+}
+
+void ExpectSame(const ServeResult& got, const ServeResult& want,
+                const std::string& what) {
+  ASSERT_EQ(got.cluster, want.cluster) << what;
+  ASSERT_EQ(got.kind, want.kind) << what;
+  ASSERT_EQ(got.certainty, want.certainty) << what;
+  ASSERT_EQ(got.density, want.density) << what;
+}
+
+TEST(ServeBatchTest, BatchBitIdenticalToSerialEverywhere) {
+  const uint64_t seed = TestSeed(6800);
+  SCOPED_TRACE(SeedNote(seed));
+  const Trained t = Train(seed);
+  const Dataset queries = MixedQueries(t.data, 300);
+
+  for (const bool stencil : {true, false}) {
+    SCOPED_TRACE(stencil ? "stencil engine" : "tree fallback engine");
+    const auto snapshot = Load(t.snapshot_bytes, stencil);
+    for (const bool scalar : {false, true}) {
+      SCOPED_TRACE(scalar ? "scalar kernels" : "simd kernels");
+      LabelServerOptions o;
+      o.scalar_kernels = scalar;
+      const LabelServer server(snapshot, o);
+
+      std::vector<ServeResult> serial(queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        serial[i] = server.Classify(queries.point(i));
+      }
+
+      for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadPool pool(threads);
+        // Batch sizes cover the edges: empty, single, odd sizes that
+        // leave lane remainders and partial groups, and the full set.
+        for (const size_t batch :
+             {size_t{0}, size_t{1}, size_t{3}, size_t{17}, queries.size()}) {
+          SCOPED_TRACE("batch=" + std::to_string(batch));
+          const Dataset sub = Slice(queries, 0, batch);
+          std::vector<ServeResult> got;
+          const Status s = server.ClassifyBatch(sub, pool, &got);
+          ASSERT_TRUE(s.ok()) << s;
+          ASSERT_EQ(got.size(), sub.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            ExpectSame(got[i], serial[i], "query " + std::to_string(i));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ServeBatchTest, ClassifyEachMatchesClassifyBatch) {
+  const uint64_t seed = TestSeed(6900);
+  SCOPED_TRACE(SeedNote(seed));
+  const Trained t = Train(seed);
+  const Dataset queries = MixedQueries(t.data, 200);
+  const LabelServer server(Load(t.snapshot_bytes, /*stencil=*/true));
+  ThreadPool pool(2);
+
+  std::vector<ServeResult> each;
+  std::vector<ServeResult> batch;
+  ServeStats each_stats;
+  ServeStats batch_stats;
+  ASSERT_TRUE(server.ClassifyEach(queries, pool, &each, &each_stats).ok());
+  ASSERT_TRUE(server.ClassifyBatch(queries, pool, &batch, &batch_stats).ok());
+  ASSERT_EQ(each.size(), batch.size());
+  for (size_t i = 0; i < each.size(); ++i) {
+    ExpectSame(batch[i], each[i], "query " + std::to_string(i));
+  }
+  // Semantic counters agree across paths; the probe counters follow each
+  // path's own accounting (documented on ServeStats).
+  EXPECT_EQ(each_stats.queries, batch_stats.queries);
+  EXPECT_EQ(each_stats.cell_hits, batch_stats.cell_hits);
+  EXPECT_EQ(each_stats.exact, batch_stats.exact);
+  EXPECT_EQ(each_stats.core, batch_stats.core);
+  EXPECT_EQ(each_stats.border, batch_stats.border);
+  EXPECT_EQ(each_stats.noise, batch_stats.noise);
+  EXPECT_EQ(each_stats.border_ref_scans, batch_stats.border_ref_scans);
+}
+
+TEST(ServeBatchTest, GroupingToggleChangesNothing) {
+  const uint64_t seed = TestSeed(7000);
+  SCOPED_TRACE(SeedNote(seed));
+  const Trained t = Train(seed);
+  const Dataset queries = MixedQueries(t.data, 200);
+  const auto snapshot = Load(t.snapshot_bytes, /*stencil=*/true);
+
+  LabelServerOptions grouped_opts;
+  grouped_opts.grouped_batches = true;
+  LabelServerOptions ungrouped_opts;
+  ungrouped_opts.grouped_batches = false;
+  const LabelServer grouped(snapshot, grouped_opts);
+  const LabelServer ungrouped(snapshot, ungrouped_opts);
+
+  ThreadPool pool(2);
+  std::vector<ServeResult> a;
+  std::vector<ServeResult> b;
+  ASSERT_TRUE(grouped.ClassifyBatch(queries, pool, &a).ok());
+  ASSERT_TRUE(ungrouped.ClassifyBatch(queries, pool, &b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ExpectSame(a[i], b[i], "query " + std::to_string(i));
+  }
+}
+
+TEST(ServeBatchTest, BatchLatencySamplesOnePerQuery) {
+  const uint64_t seed = TestSeed(7100);
+  SCOPED_TRACE(SeedNote(seed));
+  const Trained t = Train(seed);
+  const Dataset queries = MixedQueries(t.data, 150);
+  const LabelServer server(Load(t.snapshot_bytes, /*stencil=*/true));
+  ThreadPool pool(2);
+
+  std::vector<ServeResult> out;
+  LatencyReservoir latency;
+  ASSERT_TRUE(
+      server.ClassifyBatch(queries, pool, &out, nullptr, &latency).ok());
+  EXPECT_EQ(latency.seen(), queries.size());
+  const LatencySummary s = latency.Summarize();
+  EXPECT_EQ(s.samples, queries.size());
+  EXPECT_GT(s.max_us, 0.0);
+  EXPECT_LE(s.p50_us, s.p99_us);
+  EXPECT_LE(s.p99_us, s.p999_us);
+  EXPECT_LE(s.p999_us, s.max_us);
+}
+
+TEST(ServeBatchTest, DimensionMismatchRejected) {
+  const uint64_t seed = TestSeed(7200);
+  SCOPED_TRACE(SeedNote(seed));
+  const Trained t = Train(seed);
+  const LabelServer server(Load(t.snapshot_bytes, /*stencil=*/true));
+  ThreadPool pool(2);
+  const Dataset wrong = synth::Blobs(10, 2, 1.0, seed, 2);
+  std::vector<ServeResult> out;
+  EXPECT_FALSE(server.ClassifyBatch(wrong, pool, &out).ok());
+  EXPECT_FALSE(server.ClassifyEach(wrong, pool, &out).ok());
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -202,6 +202,61 @@ TEST(SimdKernelTest, PointBoundsMatchesScalarBitExactly) {
   }
 }
 
+TEST(SimdKernelTest, GroupBoundsMatchesScalarBitExactly) {
+  // The grouped box-bounds kernel: transposed member coordinates against
+  // one box, min2 AND max2 from the detected tier must be bit-identical
+  // doubles to the scalar reference — including members exactly on a box
+  // face (one gap exactly zero) and members inside the box (min2 exactly
+  // zero, max2 positive).
+  Rng rng(505);
+  for (const size_t dim : {2u, 3u, 4u, 5u, 7u}) {
+    GroupBoundsFn vec = GetGroupBoundsFn(DetectSimdLevel());
+    for (int trial = 0; trial < 40; ++trial) {
+      const size_t num = rng.Uniform(27);
+      const size_t stride =
+          (num + kSimdLaneWidth - 1) / kSimdLaneWidth * kSimdLaneWidth;
+      double lo[CellCoord::kMaxDim];
+      double hi[CellCoord::kMaxDim];
+      for (size_t d = 0; d < dim; ++d) {
+        double a = rng.UniformDouble(-1.0, 4.0);
+        double b = rng.UniformDouble(-1.0, 4.0);
+        if (a > b) std::swap(a, b);
+        lo[d] = a;
+        hi[d] = b;
+      }
+      std::vector<float> qt(stride * dim, 0.0f);
+      for (size_t k = 0; k < stride; ++k) {
+        for (size_t d = 0; d < dim; ++d) {
+          float v = static_cast<float>(rng.UniformDouble(-1.0, 4.0));
+          // A third of the coordinates land exactly on a box face, and
+          // a third strictly inside the interval — the equality and
+          // in-box cases where the max selects must agree.
+          const uint32_t pick = rng.Uniform(6);
+          if (pick == 0) v = static_cast<float>(lo[d]);
+          if (pick == 1) v = static_cast<float>(hi[d]);
+          if (pick == 2 || pick == 3) {
+            v = static_cast<float>(
+                rng.UniformDouble(lo[d], std::max(lo[d], hi[d])));
+          }
+          qt[d * stride + k] = v;
+        }
+      }
+      std::vector<double> want_min(stride, -1.0), want_max(stride, -1.0);
+      std::vector<double> got_min(stride, -1.0), got_max(stride, -1.0);
+      GroupBoundsScalar(qt.data(), stride, num, lo, hi, dim,
+                        want_min.data(), want_max.data());
+      vec(qt.data(), stride, num, lo, hi, dim, got_min.data(),
+          got_max.data());
+      for (size_t k = 0; k < num; ++k) {
+        EXPECT_EQ(want_min[k], got_min[k])
+            << "dim=" << dim << " trial=" << trial << " k=" << k;
+        EXPECT_EQ(want_max[k], got_max[k])
+            << "dim=" << dim << " trial=" << trial << " k=" << k;
+      }
+    }
+  }
+}
+
 TEST(SimdKernelTest, QuantizeQueryRejectsUnsafeInputs) {
   const QuantizedSpec spec = MakeSpec(1.0, 2);
   int64_t qq[CellCoord::kMaxDim];

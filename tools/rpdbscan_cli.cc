@@ -17,11 +17,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "baselines/exact_dbscan.h"
 #include "baselines/naive_random_split.h"
@@ -35,6 +40,7 @@
 #include "metrics/cluster_stats.h"
 #include "parallel/thread_pool.h"
 #include "serve/label_server.h"
+#include "serve/request_loop.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_audit.h"
 #include "spatial/kdtree.h"
@@ -93,15 +99,28 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
 
 serving (classify out-of-sample points against a frozen model):
   rpdbscan_cli serve --snapshot=f.rpsnap --queries=q.csv [--threads=N]
-    --snapshot=PATH       .rpsnap written by --save-snapshot (required)
-    --queries=PATH        .csv or .rpds query points (required)
+  rpdbscan_cli serve --snapshot=f.rpsnap --listen=/tmp/rp.sock
+  rpdbscan_cli serve --connect=/tmp/rp.sock --queries=q.csv
+    --snapshot=PATH       .rpsnap written by --save-snapshot (required
+                          unless --connect)
+    --queries=PATH        .csv or .rpds query points (required unless
+                          --listen)
     --threads=T           serving threads (default 4)
     --verify              audit the snapshot (container + structure)
                           before serving; violations fail the command
     --approx-border       skip the exact border replay (answer non-core
                           cells by nearest labeled cell, kApprox)
+    --listen=WHERE        serve framed classify requests instead of a
+                          one-shot batch: `stdio` reads frames on stdin
+                          and answers on stdout; any other value is a
+                          unix socket path (one connection, served until
+                          a shutdown frame or hangup)
+    --connect=PATH        client mode: send --queries to a --listen=PATH
+                          server over its unix socket and print/collect
+                          the served labels (sends shutdown after)
     --output=PATH         write query points + served labels as CSV
-    --stats-json=PATH     write serving throughput stats as JSON
+    --stats-json=PATH     write serving throughput stats as JSON,
+                          latency percentiles included
 )";
 
 Status WriteTextFile(const std::string& path, const std::string& text) {
@@ -256,14 +275,142 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
   return Status::InvalidArgument("unknown --algo: " + algo);
 }
 
-/// The `serve` subcommand: load a frozen .rpsnap model, classify a query
-/// set concurrently, report labels and throughput.
+StatusOr<Dataset> LoadQueries(const std::string& path) {
+  if (path.size() >= 5 && path.substr(path.size() - 5) == ".rpds") {
+    return ReadBinary(path);
+  }
+  return ReadCsv(path);
+}
+
+/// Binds a unix stream socket at `path` (replacing any stale socket file)
+/// and returns the listening fd, or -1 with a message on stderr.
+int ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(fd, 1) < 0) {
+    std::fprintf(stderr, "bind/listen %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "socket: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::fprintf(stderr, "connect %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int WriteServeOutput(const FlagSet& flags, const Dataset& queries,
+                     const std::vector<ServeResult>& results) {
+  const std::string output = flags.GetString("output");
+  if (output.empty()) return 0;
+  Labels labels(results.size(), kNoise);
+  for (size_t i = 0; i < results.size(); ++i) {
+    labels[i] = results[i].cluster;
+  }
+  const Status w = WriteCsv(output, queries, &labels);
+  if (!w.ok()) {
+    std::fprintf(stderr, "output failed: %s\n", w.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %s\n", output.c_str());
+  return 0;
+}
+
+/// `serve --connect`: ship the query set to a --listen server over its
+/// unix socket, collect the served labels, send shutdown.
+int ServeClientMain(const FlagSet& flags, const std::string& socket_path) {
+  const std::string queries_path = flags.GetString("queries");
+  if (queries_path.empty()) {
+    std::fprintf(stderr, "serve --connect needs --queries=PATH\n%s", kUsage);
+    return 1;
+  }
+  auto queries_or = LoadQueries(queries_path);
+  if (!queries_or.ok()) {
+    std::fprintf(stderr, "query load failed: %s\n",
+                 queries_or.status().ToString().c_str());
+    return 1;
+  }
+  const Dataset& queries = *queries_or;
+
+  const int fd = ConnectUnix(socket_path);
+  if (fd < 0) return 1;
+  const Stopwatch watch;
+  Status s = SendClassifyRequest(fd, queries);
+  StatusOr<std::vector<ServeResult>> results_or =
+      s.ok() ? ReadClassifyResponse(fd) : StatusOr<std::vector<ServeResult>>(s);
+  if (results_or.ok()) SendShutdown(fd);  // best-effort: we are done
+  const double seconds = watch.ElapsedSeconds();
+  ::close(fd);
+  if (!results_or.ok()) {
+    std::fprintf(stderr, "serve round-trip failed: %s\n",
+                 results_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ServeResult>& results = *results_or;
+  size_t core = 0, border = 0, noise = 0;
+  for (const ServeResult& r : results) {
+    if (r.kind == PointKind::kCore) ++core;
+    if (r.kind == PointKind::kBorder) ++border;
+    if (r.kind == PointKind::kNoise) ++noise;
+  }
+  std::printf(
+      "served %zu queries over %s in %.3fs (%.0f queries/s round-trip): "
+      "%zu core, %zu border, %zu noise\n",
+      results.size(), socket_path.c_str(), seconds,
+      seconds > 0 ? static_cast<double>(results.size()) / seconds : 0.0,
+      core, border, noise);
+  return WriteServeOutput(flags, queries, results);
+}
+
+/// The `serve` subcommand: load a frozen .rpsnap model, then either
+/// classify a query set as one batch, or serve framed classify requests
+/// over stdio / a unix socket (--listen).
 int ServeMain(const FlagSet& flags) {
+  const std::string connect = flags.GetString("connect");
+  if (!connect.empty()) return ServeClientMain(flags, connect);
+
   const std::string snap_path = flags.GetString("snapshot");
   const std::string queries_path = flags.GetString("queries");
+  const std::string listen = flags.GetString("listen");
   auto threads_or = flags.GetInt("threads", 4);
-  if (snap_path.empty() || queries_path.empty() || !threads_or.ok()) {
-    std::fprintf(stderr, "serve needs --snapshot=PATH and --queries=PATH\n%s",
+  if (snap_path.empty() || (queries_path.empty() && listen.empty()) ||
+      !threads_or.ok()) {
+    std::fprintf(stderr,
+                 "serve needs --snapshot=PATH and --queries=PATH (or "
+                 "--listen)\n%s",
                  kUsage);
     return 1;
   }
@@ -302,11 +449,64 @@ int ServeMain(const FlagSet& flags) {
     if (!report.ok()) return 1;
   }
 
-  auto queries_or =
-      queries_path.size() >= 5 &&
-              queries_path.substr(queries_path.size() - 5) == ".rpds"
-          ? ReadBinary(queries_path)
-          : ReadCsv(queries_path);
+  LabelServerOptions sopts;
+  sopts.exact_border = !flags.GetBool("approx-border");
+  const LabelServer server(snapshot, sopts);
+  const std::string stats_json = flags.GetString("stats-json");
+
+  if (!listen.empty()) {
+    RequestLoopStats rstats;
+    Status s;
+    const Stopwatch watch;
+    if (listen == "stdio") {
+      std::fprintf(stderr, "serving framed classify requests on stdio\n");
+      s = ServeRequestLoop(/*in_fd=*/0, /*out_fd=*/1, server, pool,
+                           RequestLoopOptions(), &rstats);
+    } else {
+      const int lfd = ListenUnix(listen);
+      if (lfd < 0) return 1;
+      std::fprintf(stderr, "listening on %s\n", listen.c_str());
+      const int cfd = ::accept(lfd, nullptr, nullptr);
+      ::close(lfd);
+      if (cfd < 0) {
+        std::fprintf(stderr, "accept: %s\n", std::strerror(errno));
+        ::unlink(listen.c_str());
+        return 1;
+      }
+      s = ServeRequestLoop(cfd, cfd, server, pool, RequestLoopOptions(),
+                           &rstats);
+      ::close(cfd);
+      ::unlink(listen.c_str());
+    }
+    // Wall time spans the whole loop, idle waits included — the sojourn
+    // percentiles below are the per-request latency story.
+    const double seconds = watch.ElapsedSeconds();
+    if (!s.ok()) {
+      std::fprintf(stderr, "request loop failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const LatencySummary lat = rstats.latency.Summarize();
+    std::printf(
+        "served %llu requests (%llu ok, %llu errors), %llu queries in "
+        "%.3fs on %zu threads; sojourn p50 %.1fus p99 %.1fus p999 %.1fus\n",
+        static_cast<unsigned long long>(rstats.requests),
+        static_cast<unsigned long long>(rstats.responses),
+        static_cast<unsigned long long>(rstats.errors),
+        static_cast<unsigned long long>(rstats.serve.queries), seconds,
+        threads, lat.p50_us, lat.p99_us, lat.p999_us);
+    if (!stats_json.empty()) {
+      const Status w = WriteTextFile(
+          stats_json, ServeStatsToJson(rstats.serve, seconds, threads, &lat));
+      if (!w.ok()) {
+        std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+    }
+    return 0;
+  }
+
+  auto queries_or = LoadQueries(queries_path);
   if (!queries_or.ok()) {
     std::fprintf(stderr, "query load failed: %s\n",
                  queries_or.status().ToString().c_str());
@@ -314,55 +514,41 @@ int ServeMain(const FlagSet& flags) {
   }
   const Dataset& queries = *queries_or;
 
-  LabelServerOptions sopts;
-  sopts.exact_border = !flags.GetBool("approx-border");
-  const LabelServer server(snapshot, sopts);
-
   std::vector<ServeResult> results;
   ServeStats stats;
+  LatencyReservoir latency;
   const Stopwatch watch;
-  const Status s = server.ClassifyBatch(queries, pool, &results, &stats);
+  const Status s =
+      server.ClassifyBatch(queries, pool, &results, &stats, &latency);
   const double seconds = watch.ElapsedSeconds();
   if (!s.ok()) {
     std::fprintf(stderr, "serving failed: %s\n", s.ToString().c_str());
     return 1;
   }
+  const LatencySummary lat = latency.Summarize();
   std::printf(
       "served %zu queries in %.3fs on %zu threads (%.0f queries/s): "
-      "%llu core, %llu border, %llu noise; %llu exact, %llu cell hits\n",
+      "%llu core, %llu border, %llu noise; %llu exact, %llu cell hits; "
+      "latency p50 %.1fus p99 %.1fus p999 %.1fus\n",
       queries.size(), seconds, threads,
       seconds > 0 ? static_cast<double>(queries.size()) / seconds : 0.0,
       static_cast<unsigned long long>(stats.core),
       static_cast<unsigned long long>(stats.border),
       static_cast<unsigned long long>(stats.noise),
       static_cast<unsigned long long>(stats.exact),
-      static_cast<unsigned long long>(stats.cell_hits));
+      static_cast<unsigned long long>(stats.cell_hits), lat.p50_us,
+      lat.p99_us, lat.p999_us);
 
-  const std::string stats_json = flags.GetString("stats-json");
   if (!stats_json.empty()) {
     const Status w = WriteTextFile(
-        stats_json, ServeStatsToJson(stats, seconds, threads));
+        stats_json, ServeStatsToJson(stats, seconds, threads, &lat));
     if (!w.ok()) {
       std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
       return 1;
     }
     std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
   }
-
-  const std::string output = flags.GetString("output");
-  if (!output.empty()) {
-    Labels labels(results.size(), kNoise);
-    for (size_t i = 0; i < results.size(); ++i) {
-      labels[i] = results[i].cluster;
-    }
-    const Status w = WriteCsv(output, queries, &labels);
-    if (!w.ok()) {
-      std::fprintf(stderr, "output failed: %s\n", w.ToString().c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote %s\n", output.c_str());
-  }
-  return 0;
+  return WriteServeOutput(flags, queries, results);
 }
 
 int Main(int argc, char** argv) {

@@ -8,8 +8,10 @@
 #     the Phase III merge engines (BM_MergeForest: edge-parallel lock-free
 #     union-find vs sequential tournament at 1/2/4 threads), plus the
 #     Fig. 12 phase breakdown -> BENCH_phase2.json
-#   * Serving layer (bench_serve): batched label queries/sec against a
-#     frozen snapshot at 1/2/4 threads -> BENCH_serve.json
+#   * Serving layer (bench_serve): grouped-batch vs per-query label
+#     queries/sec against a frozen snapshot at 1/2/4 threads, with
+#     latency percentiles -> BENCH_serve.json (validated below: both
+#     modes and the percentile fields must be present)
 #
 # Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
 #                           [OUTPUT_JSON] [PHASE1_JSON] [SERVE_JSON]
@@ -141,6 +143,36 @@ RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_FIG12" | tee "$TMP_DIR/fig12.txt"
 
 echo "== Serving layer (bench_serve, scale=$SCALE) =="
 RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_SERVE" "$OUT_SERVE_JSON"
+
+# A serve report without both classification modes or without latency
+# percentiles is a regression in the bench itself — fail loudly rather
+# than quietly recording a report later tooling can't compare.
+python3 - "$OUT_SERVE_JSON" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path) as f:
+    report = json.load(f)
+
+required_run_keys = (
+    "threads", "queries_per_second",
+    "latency_p50_us", "latency_p99_us", "latency_p999_us",
+)
+for mode in ("per_query_runs", "batched_runs"):
+    runs = report.get(mode)
+    if not runs:
+        sys.exit(f"{path}: missing or empty '{mode}'")
+    for run in runs:
+        for key in required_run_keys:
+            if key not in run:
+                sys.exit(f"{path}: {mode} entry lacks '{key}'")
+for key in ("hardware_concurrency", "batched_speedup"):
+    if key not in report:
+        sys.exit(f"{path}: missing '{key}'")
+print(f"{path}: serve report OK "
+      f"(batched speedup {report['batched_speedup']:.2f}x)")
+PY
 
 python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'
 import json

@@ -13,8 +13,10 @@
 #      (parallel_merge_test) — the SIMD-vs-scalar and quantized-mode
 #      equivalence suites (simd_kernel_test, quantized_mode_test),
 #      end-to-end and snapshot-serving (serve_concurrent_test: one frozen
-#      snapshot, many reader threads) suites that exercise every
-#      concurrent path.
+#      snapshot, many reader threads; serve_batch_test: grouped-batch
+#      bit-identity across thread counts; request_loop_test: the framed
+#      request loop's reader thread + admission queue + classification
+#      pool) suites that exercise every concurrent path.
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

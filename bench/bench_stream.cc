@@ -1,0 +1,226 @@
+// Streaming epochs: incremental re-cluster latency vs. ingest batch size
+// on the GeoLife analogue, head-to-head against a from-scratch
+// RunRpDbscan over the same accumulated points.
+//
+// The stream seeds on 90% of the data (epoch 0 — a full recompute through
+// the incremental path) and replays the remaining 10% at each swept batch
+// size, publishing an epoch per batch. Every epoch is timed twice: the
+// incremental PublishEpoch (dirty-subgraph recompute + splice + merge +
+// snapshot packaging) and a from-scratch run on the identical prefix.
+// Both produce bit-identical labels (tests/stream_incremental_test.cc),
+// so the ratio is a pure like-for-like latency comparison. Smaller
+// batches touch fewer cells, so the dirty fraction — and with it the
+// epoch latency — should fall well below the from-scratch cost; the
+// recorded rows show that trend (the target regime: latency under 50% of
+// from-scratch once dirty cells are at or below 10%).
+//
+// Usage: bench_stream [OUTPUT_JSON]
+//   OUTPUT_JSON  where to write the machine-readable report
+//                (default: BENCH_stream.json in the working directory)
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rp_dbscan.h"
+#include "core/simd.h"
+#include "io/dataset.h"
+#include "stream/incremental.h"
+#include "util/json_writer.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+namespace bench {
+namespace {
+
+/// Batch sizes as fractions of the full data set (the streamed tail is
+/// 10%, so the largest sweep value replays it in ~4 batches).
+constexpr double kBatchFractions[] = {0.00025, 0.0005, 0.001,
+                                      0.0025,  0.005,  0.01};
+
+struct StreamRow {
+  size_t batch_points = 0;
+  size_t epochs = 0;
+  double dirty_cells_mean = 0;
+  double dirty_fraction_mean = 0;
+  double reclustered_mean = 0;
+  size_t total_cells_final = 0;
+  double epoch_seconds_mean = 0;
+  double scratch_seconds_mean = 0;
+  double ratio = 0;  // epoch_seconds_mean / scratch_seconds_mean
+  double seed_epoch_seconds = 0;
+};
+
+Dataset Prefix(const Dataset& all, size_t n) {
+  Dataset out(all.dim());
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.Append(all.point(i));
+  return out;
+}
+
+StatusOr<StreamRow> RunOneBatchSize(const Dataset& all,
+                                    const RpDbscanOptions& opts,
+                                    size_t seed_points,
+                                    size_t batch_points) {
+  StreamRow row;
+  row.batch_points = batch_points;
+  auto clusterer_or = StreamClusterer::Create(Prefix(all, seed_points), opts);
+  if (!clusterer_or.ok()) return clusterer_or.status();
+  StreamClusterer clusterer = std::move(*clusterer_or);
+  {
+    auto epoch0 = clusterer.PublishEpoch();  // full recompute, not a row
+    if (!epoch0.ok()) return epoch0.status();
+    row.seed_epoch_seconds = epoch0->stats.epoch_publish_seconds;
+  }
+  size_t pos = seed_points;
+  double dirty_sum = 0, dirty_frac_sum = 0, reclustered_sum = 0;
+  double epoch_sum = 0, scratch_sum = 0;
+  while (pos < all.size()) {
+    const size_t take = std::min(batch_points, all.size() - pos);
+    const Dataset batch = [&] {
+      Dataset b(all.dim());
+      b.Reserve(take);
+      for (size_t i = 0; i < take; ++i) b.Append(all.point(pos + i));
+      return b;
+    }();
+    pos += take;
+    RPDBSCAN_RETURN_IF_ERROR(clusterer.Ingest(batch));
+    auto epoch_or = clusterer.PublishEpoch();
+    if (!epoch_or.ok()) return epoch_or.status();
+    const EpochStats& st = epoch_or->stats;
+
+    Stopwatch scratch_watch;
+    auto scratch_or = RunRpDbscan(Prefix(all, pos), opts);
+    if (!scratch_or.ok()) return scratch_or.status();
+    const double scratch_seconds = scratch_watch.ElapsedSeconds();
+
+    ++row.epochs;
+    dirty_sum += static_cast<double>(st.dirty_cells);
+    dirty_frac_sum += st.total_cells > 0
+                          ? static_cast<double>(st.dirty_cells) /
+                                static_cast<double>(st.total_cells)
+                          : 0;
+    reclustered_sum += static_cast<double>(st.reclustered_points);
+    epoch_sum += st.epoch_publish_seconds;
+    scratch_sum += scratch_seconds;
+    row.total_cells_final = st.total_cells;
+  }
+  if (row.epochs > 0) {
+    const double n = static_cast<double>(row.epochs);
+    row.dirty_cells_mean = dirty_sum / n;
+    row.dirty_fraction_mean = dirty_frac_sum / n;
+    row.reclustered_mean = reclustered_sum / n;
+    row.epoch_seconds_mean = epoch_sum / n;
+    row.scratch_seconds_mean = scratch_sum / n;
+    row.ratio = scratch_sum > 0 ? epoch_sum / scratch_sum : 0;
+  }
+  return row;
+}
+
+int Run(const std::string& out_path) {
+  PrintHeader(
+      "Streaming epochs: incremental publish latency vs batch size\n"
+      "(GeoLife analogue, 90% seeded, 10% streamed; each epoch timed\n"
+      " against a from-scratch run on the identical accumulated prefix)");
+
+  const BenchDataset geo = MakeGeoLife();
+  RpDbscanOptions opts;
+  opts.eps = geo.eps10;
+  opts.min_pts = kMinPts;
+  opts.num_threads = kThreads;
+  const size_t n = geo.data.size();
+  const size_t seed_points = n * 9 / 10;
+
+  const size_t hardware = std::thread::hardware_concurrency();
+  const char* simd = SimdLevelName(DetectSimdLevel());
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::printf(
+      "dataset=%s points=%zu seed=%zu streamed=%zu eps=%g minpts=%zu\n"
+      "hardware_concurrency=%zu simd=%s build=%s\n",
+      geo.name.c_str(), n, seed_points, n - seed_points, opts.eps,
+      opts.min_pts, hardware, simd, build_type);
+  std::printf("%12s %7s %12s %10s %12s %12s %12s %7s\n", "batch_points",
+              "epochs", "dirty_cells", "dirty_pct", "reclustered",
+              "epoch_s", "scratch_s", "ratio");
+
+  std::vector<StreamRow> rows;
+  for (const double fraction : kBatchFractions) {
+    const size_t batch_points = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(n) * fraction));
+    auto row_or = RunOneBatchSize(geo.data, opts, seed_points, batch_points);
+    if (!row_or.ok()) {
+      std::fprintf(stderr, "bench_stream: batch_points=%zu failed: %s\n",
+                   batch_points, row_or.status().ToString().c_str());
+      return 1;
+    }
+    const StreamRow& row = *row_or;
+    std::printf("%12zu %7zu %12.0f %9.1f%% %12.0f %12.4f %12.4f %6.2f%%\n",
+                row.batch_points, row.epochs, row.dirty_cells_mean,
+                100.0 * row.dirty_fraction_mean, row.reclustered_mean,
+                row.epoch_seconds_mean, row.scratch_seconds_mean,
+                100.0 * row.ratio);
+    std::fflush(stdout);
+    rows.push_back(row);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("generated_by").Value("bench/bench_stream");
+  w.Key("bench_scale").Value(BenchScale());
+  w.Key("dataset").Value(geo.name);
+  w.Key("eps").Value(opts.eps);
+  w.Key("min_pts").Value(static_cast<uint64_t>(opts.min_pts));
+  w.Key("num_points").Value(static_cast<uint64_t>(n));
+  w.Key("seed_points").Value(static_cast<uint64_t>(seed_points));
+  w.Key("hardware_concurrency").Value(static_cast<uint64_t>(hardware));
+  w.Key("simd").Value(simd);
+  w.Key("build_type").Value(build_type);
+  w.Key("epoch_runs").BeginArray();
+  for (const StreamRow& r : rows) {
+    w.BeginObject();
+    w.Key("batch_points").Value(static_cast<uint64_t>(r.batch_points));
+    w.Key("epochs").Value(static_cast<uint64_t>(r.epochs));
+    w.Key("total_cells").Value(static_cast<uint64_t>(r.total_cells_final));
+    w.Key("dirty_cells_mean").Value(r.dirty_cells_mean);
+    w.Key("dirty_fraction_mean").Value(r.dirty_fraction_mean);
+    w.Key("reclustered_points_mean").Value(r.reclustered_mean);
+    w.Key("seed_epoch_seconds").Value(r.seed_epoch_seconds);
+    w.Key("epoch_seconds_mean").Value(r.epoch_seconds_mean);
+    w.Key("scratch_seconds_mean").Value(r.scratch_seconds_mean);
+    w.Key("ratio_incremental_over_scratch").Value(r.ratio);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_stream: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const std::string json = w.TakeString();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace rpdbscan
+
+int main(int argc, char** argv) {
+  const std::string out = argc > 1 ? argv[1] : "BENCH_stream.json";
+  return rpdbscan::bench::Run(out);
+}

@@ -188,27 +188,42 @@ StatusOr<CellDictionary> CellDictionary::Build(
   // task per cell.
   std::vector<CellEntry> entries(cells.num_cells());
   auto build_entry = [&](size_t id) {
-    const CellData& cell = cells.cell(static_cast<uint32_t>(id));
-    CellEntry& entry = entries[id];
-    entry.coord = cell.coord;
-    entry.cell_id = static_cast<uint32_t>(id);
-    std::unordered_map<SubcellId, uint32_t, SubcellIdHash> histogram;
-    histogram.reserve(cell.point_ids.size());
-    for (const uint32_t pid : cell.point_ids) {
-      ++histogram[geom.SubcellOf(data.point(pid), cell.coord)];
-    }
-    entry.subcells.reserve(histogram.size());
-    for (const auto& kv : histogram) {
-      entry.subcells.push_back(DictSubcell{kv.first, kv.second});
-    }
-    // Deterministic order independent of hash-map iteration.
-    std::sort(entry.subcells.begin(), entry.subcells.end(), SubcellLess);
+    entries[id] = MakeCellEntry(data, geom, cells.cell(static_cast<uint32_t>(id)),
+                                static_cast<uint32_t>(id));
   };
   if (pool != nullptr) {
     ParallelFor(*pool, entries.size(), build_entry);
   } else {
     for (size_t id = 0; id < entries.size(); ++id) build_entry(id);
   }
+  return Assemble(geom, std::move(entries), opts, pool);
+}
+
+CellEntry CellDictionary::MakeCellEntry(const Dataset& data,
+                                        const GridGeometry& geom,
+                                        const CellData& cell,
+                                        uint32_t cell_id) {
+  // Per-cell sub-cell histogram (Alg. 2 lines 13-17).
+  CellEntry entry;
+  entry.coord = cell.coord;
+  entry.cell_id = cell_id;
+  std::unordered_map<SubcellId, uint32_t, SubcellIdHash> histogram;
+  histogram.reserve(cell.point_ids.size());
+  for (const uint32_t pid : cell.point_ids) {
+    ++histogram[geom.SubcellOf(data.point(pid), cell.coord)];
+  }
+  entry.subcells.reserve(histogram.size());
+  for (const auto& kv : histogram) {
+    entry.subcells.push_back(DictSubcell{kv.first, kv.second});
+  }
+  // Deterministic order independent of hash-map iteration.
+  std::sort(entry.subcells.begin(), entry.subcells.end(), SubcellLess);
+  return entry;
+}
+
+StatusOr<CellDictionary> CellDictionary::FromEntries(
+    const GridGeometry& geom, std::vector<CellEntry> entries,
+    const CellDictionaryOptions& opts, ThreadPool* pool) {
   return Assemble(geom, std::move(entries), opts, pool);
 }
 

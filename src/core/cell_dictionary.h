@@ -317,6 +317,22 @@ class CellDictionary {
       const CellDictionaryOptions& opts = CellDictionaryOptions(),
       ThreadPool* pool = nullptr);
 
+  /// One cell's dictionary entry — the per-cell unit of work inside Build,
+  /// exposed so the streaming ingest path can recompute only the touched
+  /// cells' entries. A pure function of the cell's point list: the sub-cell
+  /// histogram in a deterministic sorted order.
+  static CellEntry MakeCellEntry(const Dataset& data, const GridGeometry& geom,
+                                 const CellData& cell, uint32_t cell_id);
+
+  /// Assembles a dictionary from precomputed entries (dense cell-id order;
+  /// `entries[i].cell_id == i`). `Build` == MakeCellEntry per cell +
+  /// FromEntries, so a dictionary assembled from cached entries is
+  /// structurally identical to a from-scratch Build over the same cells.
+  static StatusOr<CellDictionary> FromEntries(
+      const GridGeometry& geom, std::vector<CellEntry> entries,
+      const CellDictionaryOptions& opts = CellDictionaryOptions(),
+      ThreadPool* pool = nullptr);
+
   const GridGeometry& geom() const { return geom_; }
   size_t num_cells() const { return num_cells_; }
   size_t num_subcells() const { return num_subcells_; }

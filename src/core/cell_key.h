@@ -33,18 +33,19 @@ struct CellKeyLayout {
   unsigned NumKeyBytes() const { return (total_bits + 7) / 8; }
 };
 
-/// Builds the layout from per-dimension float data bounds. `fmin`/`fmax`
-/// are the column-wise min/max of the data set ( `dim` entries each).
-inline CellKeyLayout MakeCellKeyLayout(const GridGeometry& geom,
-                                       const float* fmin, const float* fmax) {
+/// Builds the layout directly from per-dimension lattice index bounds
+/// (`lat_lo[d] <= lat_hi[d]`, `dim` entries each) — the primitive behind
+/// MakeCellKeyLayout, exposed so the streaming ingest path can re-key from
+/// its running lattice bounds without materializing float bounds first.
+inline CellKeyLayout MakeCellKeyLayoutFromLattice(size_t dim,
+                                                  const int64_t* lat_lo,
+                                                  const int64_t* lat_hi) {
   CellKeyLayout layout;
-  layout.dim = geom.dim();
+  layout.dim = dim;
   unsigned pos = 0;
-  for (size_t d = 0; d < layout.dim; ++d) {
-    const int64_t lo = geom.CellIndexOf(fmin[d]);
-    const int64_t hi = geom.CellIndexOf(fmax[d]);
-    layout.coord_min[d] = lo;
-    uint64_t range = static_cast<uint64_t>(hi - lo);
+  for (size_t d = 0; d < dim; ++d) {
+    layout.coord_min[d] = lat_lo[d];
+    uint64_t range = static_cast<uint64_t>(lat_hi[d] - lat_lo[d]);
     unsigned bits = 0;
     while (range > 0) {
       ++bits;
@@ -56,6 +57,42 @@ inline CellKeyLayout MakeCellKeyLayout(const GridGeometry& geom,
   }
   layout.total_bits = pos;
   return layout;
+}
+
+/// Builds the layout from per-dimension float data bounds. `fmin`/`fmax`
+/// are the column-wise min/max of the data set ( `dim` entries each).
+inline CellKeyLayout MakeCellKeyLayout(const GridGeometry& geom,
+                                       const float* fmin, const float* fmax) {
+  int64_t lo[CellCoord::kMaxDim];
+  int64_t hi[CellCoord::kMaxDim];
+  for (size_t d = 0; d < geom.dim(); ++d) {
+    lo[d] = geom.CellIndexOf(fmin[d]);
+    hi[d] = geom.CellIndexOf(fmax[d]);
+  }
+  return MakeCellKeyLayoutFromLattice(geom.dim(), lo, hi);
+}
+
+/// True iff point `p`'s cell coordinate is representable under `layout`:
+/// every per-dimension lattice offset from coord_min is non-negative and
+/// fits the dimension's allotted bit width. EncodeCellKey silently wraps
+/// out-of-range offsets — and drops them entirely in 0-bit dimensions —
+/// which would alias distinct cells onto one key. A layout derived from
+/// the data's own bounds covers every point of that data set by
+/// construction; callers that bin points *after* deriving the layout (the
+/// streaming ingest path) must check this per point and re-key on failure
+/// instead of encoding a wrapped key.
+inline bool CellKeyLayoutCovers(const CellKeyLayout& layout,
+                                const GridGeometry& geom, const float* p) {
+  for (size_t d = 0; d < layout.dim; ++d) {
+    const int64_t off =
+        static_cast<int64_t>(geom.CellIndexOf(p[d])) - layout.coord_min[d];
+    if (off < 0) return false;
+    if (layout.bits[d] < 64 &&
+        (static_cast<uint64_t>(off) >> layout.bits[d]) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 /// A 128-bit key as two 64-bit halves; compared low byte first by the

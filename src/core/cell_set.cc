@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <type_traits>
 #include <unordered_map>
 
 #include "core/cell_key.h"
@@ -101,6 +102,85 @@ void EmitCsrGroups(const Dataset& data, const GridGeometry& geom,
   }
 }
 
+/// Batch-local variant of the sorted grouping pass for IngestAppended:
+/// encodes and radix-sorts only the appended suffix, then emits the
+/// groups in ascending-first-pid order with their point ids group-major
+/// (and ascending within each group) in *grouped_pids. Group `begin`
+/// indexes into *grouped_pids.
+template <typename Pair>
+void GroupBatchSorted(const Dataset& data, const GridGeometry& geom,
+                      const CellKeyLayout& layout, size_t first_new,
+                      ThreadPool* pool, std::vector<uint32_t>* grouped_pids,
+                      std::vector<CellGroup>* out_groups) {
+  const size_t num_new = data.size() - first_new;
+  const bool parallel =
+      pool != nullptr && pool->num_threads() > 1 && num_new >= 4096;
+  std::vector<Pair> pairs(num_new);
+  auto encode = [&](size_t i) {
+    const size_t pid = first_new + i;
+    const CellKey128 key = EncodeCellKey(layout, geom, data.point(pid));
+    if constexpr (std::is_same_v<Pair, Key64Pair>) {
+      pairs[i] = Key64Pair{key.lo, static_cast<uint32_t>(pid)};
+    } else {
+      pairs[i] = Key128Pair{key.lo, key.hi, static_cast<uint32_t>(pid)};
+    }
+  };
+  if (parallel) {
+    ParallelFor(*pool, num_new, encode);
+  } else {
+    for (size_t i = 0; i < num_new; ++i) encode(i);
+  }
+  std::vector<Pair> scratch;
+  ParallelRadixSort(
+      pairs, scratch, layout.NumKeyBytes(),
+      [](const Pair& p, unsigned b) { return KeyByte(p, b); }, pool);
+  std::vector<CellGroup> groups;
+  size_t begin = 0;
+  for (size_t i = 1; i <= num_new; ++i) {
+    if (i == num_new || !SameKey(pairs[i], pairs[begin])) {
+      groups.push_back(CellGroup{pairs[begin].pid, begin, i - begin});
+      begin = i;
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const CellGroup& a, const CellGroup& b) {
+              return a.first_pid < b.first_pid;
+            });
+  grouped_pids->resize(num_new);
+  uint64_t dst = 0;
+  for (CellGroup& g : groups) {
+    for (uint64_t i = 0; i < g.count; ++i) {
+      (*grouped_pids)[dst + i] = pairs[g.begin + i].pid;
+    }
+    g.begin = dst;
+    dst += g.count;
+  }
+  *out_groups = std::move(groups);
+}
+
+/// Hash fallback of the batch grouping (no valid key layout). The forward
+/// scan yields first-encounter group order and ascending pids directly.
+void GroupBatchHashed(const Dataset& data, const GridGeometry& geom,
+                      size_t first_new, std::vector<uint32_t>* grouped_pids,
+                      std::vector<CellGroup>* out_groups) {
+  std::unordered_map<CellCoord, uint32_t, CellCoordHash> index;
+  std::vector<std::vector<uint32_t>> lists;
+  for (size_t i = first_new; i < data.size(); ++i) {
+    const CellCoord coord = geom.CellOf(data.point(i));
+    auto [it, inserted] =
+        index.emplace(coord, static_cast<uint32_t>(lists.size()));
+    if (inserted) lists.emplace_back();
+    lists[it->second].push_back(static_cast<uint32_t>(i));
+  }
+  grouped_pids->clear();
+  out_groups->clear();
+  for (const std::vector<uint32_t>& list : lists) {
+    out_groups->push_back(
+        CellGroup{list.front(), grouped_pids->size(), list.size()});
+    grouped_pids->insert(grouped_pids->end(), list.begin(), list.end());
+  }
+}
+
 }  // namespace
 
 bool CellSet::BuildSortedGroups(const Dataset& data, ThreadPool* pool) {
@@ -157,6 +237,14 @@ bool CellSet::BuildSortedGroups(const Dataset& data, ThreadPool* pool) {
   if (!layout.Fits128()) {
     return false;  // grid too wide for a 128-bit key: hash fallback
   }
+  // Persist the layout plus the lattice bounds it covers: IngestAppended
+  // encodes batches against them and re-keys when a batch escapes.
+  layout_ = layout;
+  for (size_t d = 0; d < dim; ++d) {
+    lat_min_[d] = geom_.CellIndexOf(fmin[d]);
+    lat_max_[d] = geom_.CellIndexOf(fmax[d]);
+  }
+  layout_valid_ = true;
 
   if (layout.Fits64()) {
     std::vector<Key64Pair> pairs(n);
@@ -269,6 +357,8 @@ StatusOr<CellSet> CellSet::Build(const Dataset& data,
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
   CellSet set(geom);
+  set.target_partitions_ = num_partitions;
+  set.seed_ = seed;
   bool used_sorted = false;
   if (sorted) {
     used_sorted = set.BuildSortedGroups(data, pool);
@@ -289,6 +379,141 @@ StatusOr<CellSet> CellSet::Build(const Dataset& data,
   set.index_.Build(set.cells_);
   set.AssignPartitions(num_partitions, seed);
   return set;
+}
+
+Status CellSet::IngestAppended(const Dataset& data, size_t first_new,
+                               ThreadPool* pool,
+                               std::vector<uint32_t>* touched) {
+  if (touched != nullptr) touched->clear();
+  if (data.dim() != geom_.dim()) {
+    return Status::InvalidArgument("dataset dim does not match grid dim");
+  }
+  if (first_new != point_ids_.size() || first_new > data.size()) {
+    return Status::InvalidArgument(
+        "ingest suffix must start exactly at the binned point count");
+  }
+  const size_t n = data.size();
+  if (first_new == n) return Status::OK();  // empty batch
+
+  // Out-of-bounds detection (the lattice bounds are NOT immutable after
+  // Build): extend the running bounds by the batch, and when any batch
+  // point escapes the current key layout's coverage, rebuild the layout
+  // from the extended bounds before encoding — EncodeCellKey would
+  // otherwise wrap the offset and alias distinct cells onto one key. Only
+  // batch *grouping* reads the layout, so a re-key never perturbs the
+  // existing CSR or cell numbering.
+  if (layout_valid_) {
+    bool covered = true;
+    for (size_t i = first_new; i < n; ++i) {
+      const float* p = data.point(i);
+      if (covered && !CellKeyLayoutCovers(layout_, geom_, p)) covered = false;
+      for (size_t d = 0; d < geom_.dim(); ++d) {
+        const int64_t idx = geom_.CellIndexOf(p[d]);
+        lat_min_[d] = std::min(lat_min_[d], idx);
+        lat_max_[d] = std::max(lat_max_[d], idx);
+      }
+    }
+    if (!covered) {
+      layout_ = MakeCellKeyLayoutFromLattice(geom_.dim(), lat_min_, lat_max_);
+      ++rekey_count_;
+      if (!layout_.Fits128()) {
+        layout_valid_ = false;  // grid grew too wide: hash grouping from here
+      }
+    }
+  }
+
+  // Group the batch by cell. Both paths yield groups in first-encounter
+  // (== ascending-first-pid) order with pids ascending within each group;
+  // distinct coords map to distinct groups, so each cell receives at most
+  // one group.
+  std::vector<uint32_t> grouped_pids;
+  std::vector<CellGroup> groups;
+  if (layout_valid_) {
+    if (layout_.Fits64()) {
+      GroupBatchSorted<Key64Pair>(data, geom_, layout_, first_new, pool,
+                                  &grouped_pids, &groups);
+    } else {
+      GroupBatchSorted<Key128Pair>(data, geom_, layout_, first_new, pool,
+                                   &grouped_pids, &groups);
+    }
+  } else {
+    GroupBatchHashed(data, geom_, first_new, &grouped_pids, &groups);
+  }
+
+  // Resolve each group to its cell id, appending new cells in the batch's
+  // first-encounter order — their ids continue the dense numbering, which
+  // is exactly what a from-scratch Build over all of `data` assigns (every
+  // new cell's first pid exceeds every existing cell's).
+  const size_t old_cells = cells_.size();
+  std::vector<uint32_t> group_cell(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const CellCoord coord =
+        geom_.CellOf(data.point(grouped_pids[groups[g].begin]));
+    const int64_t found = index_.Find(coord, cells_);
+    if (found >= 0) {
+      group_cell[g] = static_cast<uint32_t>(found);
+    } else {
+      group_cell[g] = static_cast<uint32_t>(cells_.size());
+      cells_.emplace_back();
+      cells_.back().coord = coord;
+    }
+  }
+
+  // Splice the CSR arrays: count each cell's additions, prefix-sum the new
+  // offsets, then scatter old runs first and batch runs after them —
+  // old pids precede new ones and both are ascending, preserving the
+  // per-cell ascending order Build produces.
+  const size_t num_cells = cells_.size();
+  std::vector<uint64_t> adds(num_cells, 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    adds[group_cell[g]] += groups[g].count;
+  }
+  std::vector<uint64_t> new_offsets(num_cells + 1);
+  new_offsets[0] = 0;
+  for (size_t c = 0; c < num_cells; ++c) {
+    const uint64_t old_count =
+        c < old_cells ? cell_point_offsets_[c + 1] - cell_point_offsets_[c]
+                      : 0;
+    new_offsets[c + 1] = new_offsets[c] + old_count + adds[c];
+  }
+  std::vector<uint32_t> new_ids(n);
+  for (size_t c = 0; c < old_cells; ++c) {
+    std::copy(point_ids_.begin() +
+                  static_cast<ptrdiff_t>(cell_point_offsets_[c]),
+              point_ids_.begin() +
+                  static_cast<ptrdiff_t>(cell_point_offsets_[c + 1]),
+              new_ids.begin() + static_cast<ptrdiff_t>(new_offsets[c]));
+  }
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const uint32_t c = group_cell[g];
+    const uint64_t old_count =
+        c < old_cells ? cell_point_offsets_[c + 1] - cell_point_offsets_[c]
+                      : 0;
+    std::copy(grouped_pids.begin() + static_cast<ptrdiff_t>(groups[g].begin),
+              grouped_pids.begin() +
+                  static_cast<ptrdiff_t>(groups[g].begin + groups[g].count),
+              new_ids.begin() +
+                  static_cast<ptrdiff_t>(new_offsets[c] + old_count));
+  }
+  cell_point_offsets_ = std::move(new_offsets);
+  point_ids_ = std::move(new_ids);
+  for (size_t c = 0; c < num_cells; ++c) {
+    cells_[c].point_ids = PointIdSpan(
+        point_ids_.data() + cell_point_offsets_[c],
+        cell_point_offsets_[c + 1] - cell_point_offsets_[c]);
+  }
+  index_.Build(cells_);
+  // Re-draw the partition split over the grown cell count from the
+  // build-time seed — bit-identical to what Build would draw.
+  AssignPartitions(target_partitions_, seed_);
+
+  if (touched != nullptr) {
+    touched->assign(group_cell.begin(), group_cell.end());
+    std::sort(touched->begin(), touched->end());
+    touched->erase(std::unique(touched->begin(), touched->end()),
+                   touched->end());
+  }
+  return Status::OK();
 }
 
 size_t CellSet::MaxPartitionPoints() const {

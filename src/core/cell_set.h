@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/cell_coord.h"
+#include "core/cell_key.h"
 #include "core/flat_cell_index.h"
 #include "core/grid.h"
 #include "io/dataset.h"
@@ -90,6 +91,34 @@ class CellSet {
                                  ThreadPool* pool = nullptr,
                                  bool sorted = true);
 
+  /// Incrementally bins the appended suffix of `data` — points
+  /// [first_new, data.size()) — into the existing structures (the
+  /// streaming ingest path). `data` must be the build-time data set plus
+  /// appended points, so `first_new` must equal the number of points
+  /// already binned. The result is bit-identical to a from-scratch Build
+  /// over all of `data`:
+  ///  * existing cells keep their ids and append the new point ids (old
+  ///    ids precede new ones, both ascending, so per-cell lists stay in
+  ///    first-encounter — i.e. ascending — order);
+  ///  * new cells get the next dense ids in first-encounter order of the
+  ///    batch (every new cell's first point id exceeds every existing
+  ///    cell's, so the global first-encounter numbering is preserved);
+  ///  * the partition assignment is re-drawn from the build-time seed over
+  ///    the grown cell count — exactly what Build would draw.
+  /// The batch is grouped through the same key-encode + radix-sort path as
+  /// Build. Lattice bounds are NOT assumed immutable: a batch point whose
+  /// cell falls outside the build-time key layout triggers a re-key (the
+  /// layout is rebuilt from the extended lattice bounds; rekeys() counts
+  /// these) instead of silently wrapping onto an aliased key. When even
+  /// the extended layout exceeds 128 bits — or the set was built on the
+  /// hash path — the batch is grouped by hashing instead.
+  ///
+  /// `*touched` (optional) receives the ascending, duplicate-free ids of
+  /// every cell that gained at least one point, new cells included.
+  Status IngestAppended(const Dataset& data, size_t first_new,
+                        ThreadPool* pool = nullptr,
+                        std::vector<uint32_t>* touched = nullptr);
+
   // Spans point into this object's flat arrays: moving preserves them
   // (vector buffers are stable under move), copying would not.
   CellSet(const CellSet&) = delete;
@@ -135,8 +164,17 @@ class CellSet {
   size_t MaxPartitionPoints() const;
   size_t MinPartitionPoints() const;
 
-  /// Build-time sub-phase breakdown of the last Build.
+  /// Build-time sub-phase breakdown of the last Build (IngestAppended
+  /// does not update it).
   const Phase1Breakdown& breakdown() const { return breakdown_; }
+
+  /// Total points currently binned (== the CSR point-id array length).
+  size_t num_points() const { return point_ids_.size(); }
+
+  /// Key-layout rebuilds forced by out-of-bounds ingest (see
+  /// IngestAppended). 0 until a batch point falls outside the lattice
+  /// bounds the current layout was derived from.
+  size_t rekeys() const { return rekey_count_; }
 
  private:
   explicit CellSet(const GridGeometry& geom) : geom_(geom) {}
@@ -155,6 +193,18 @@ class CellSet {
   std::vector<std::vector<uint32_t>> partitions_;
   std::vector<size_t> partition_points_;
   Phase1Breakdown breakdown_;
+  /// Build-time inputs replayed by IngestAppended: the partition draw
+  /// (count + seed) and the sorted path's key layout with the running
+  /// per-dimension lattice bounds it was derived from. layout_valid_ is
+  /// false on the hash path (no layout exists) and after a re-key grew
+  /// the layout past 128 bits.
+  size_t target_partitions_ = 1;
+  uint64_t seed_ = 0;
+  CellKeyLayout layout_;
+  int64_t lat_min_[CellCoord::kMaxDim] = {};
+  int64_t lat_max_[CellCoord::kMaxDim] = {};
+  bool layout_valid_ = false;
+  size_t rekey_count_ = 0;
 };
 
 }  // namespace rpdbscan

@@ -202,7 +202,7 @@ template <size_t kDim, typename Counter>
 void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
                     const CandidateCellList& cand, size_t min_pts,
                     Counter& counter, Phase2Scratch& scratch,
-                    Phase2Result& result, bool& cell_core,
+                    uint8_t* point_is_core, bool& cell_core,
                     TaskCounters& counters) {
   const size_t num_maybe = cand.num_maybe();
   size_t num_matched = 0;
@@ -240,7 +240,7 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
     }
     if (count < min_pts) continue;  // not core: neighbors are irrelevant
     if (i < num_maybe) ++counters.early_exits;
-    result.point_is_core[point_id] = 1;
+    point_is_core[point_id] = 1;
     cell_core = true;
     for (const uint32_t idx : scratch.neighbor_cells) record_matched(idx);
     if (num_matched == num_maybe) continue;  // edge union already complete
@@ -263,7 +263,7 @@ void ScanCellDispatch(const Dataset& data, const CellData& cell,
                       uint32_t cid, const CandidateCellList& cand,
                       size_t min_pts, size_t dim, double eps2,
                       const KernelConfig& kernels, Phase2Scratch& scratch,
-                      Phase2Result& result, bool& cell_core,
+                      uint8_t* point_is_core, bool& cell_core,
                       TaskCounters& counters) {
   if (kernels.quant_fn != nullptr) {
     QuantCounter<kDim> counter;
@@ -276,7 +276,7 @@ void ScanCellDispatch(const Dataset& data, const CellData& cell,
     counter.eps2 = eps2;
     counter.fallbacks = &counters.quant_fallbacks;
     ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
-                         result, cell_core, counters);
+                         point_is_core, cell_core, counters);
   } else {
     ExactCounter<kDim> counter;
     counter.fn = kernels.exact_fn;
@@ -285,7 +285,7 @@ void ScanCellDispatch(const Dataset& data, const CellData& cell,
     counter.dim_rt = dim;
     counter.eps2 = eps2;
     ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
-                         result, cell_core, counters);
+                         point_is_core, cell_core, counters);
   }
 }
 
@@ -296,7 +296,7 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
                         uint32_t cid, const CellDictionary& dict,
                         size_t min_pts, size_t num_subdicts,
                         bool use_stencil, const KernelConfig& kernels,
-                        Phase2Scratch& scratch, Phase2Result& result,
+                        Phase2Scratch& scratch, uint8_t* point_is_core,
                         bool& cell_core, TaskCounters& counters) {
   const GridGeometry& geom = dict.geom();
   const size_t dim = geom.dim();
@@ -362,24 +362,24 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
   }
   switch (dim) {
     case 2:
-      ScanCellDispatch<2>(data, cell, cid, cand, min_pts, dim, eps2,
-                          kernels, scratch, result, cell_core, counters);
+      ScanCellDispatch<2>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
+                          scratch, point_is_core, cell_core, counters);
       break;
     case 3:
-      ScanCellDispatch<3>(data, cell, cid, cand, min_pts, dim, eps2,
-                          kernels, scratch, result, cell_core, counters);
+      ScanCellDispatch<3>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
+                          scratch, point_is_core, cell_core, counters);
       break;
     case 4:
-      ScanCellDispatch<4>(data, cell, cid, cand, min_pts, dim, eps2,
-                          kernels, scratch, result, cell_core, counters);
+      ScanCellDispatch<4>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
+                          scratch, point_is_core, cell_core, counters);
       break;
     case 5:
-      ScanCellDispatch<5>(data, cell, cid, cand, min_pts, dim, eps2,
-                          kernels, scratch, result, cell_core, counters);
+      ScanCellDispatch<5>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
+                          scratch, point_is_core, cell_core, counters);
       break;
     default:
-      ScanCellDispatch<0>(data, cell, cid, cand, min_pts, dim, eps2,
-                          kernels, scratch, result, cell_core, counters);
+      ScanCellDispatch<0>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
+                          scratch, point_is_core, cell_core, counters);
       break;
   }
   if (cell_core) {
@@ -398,7 +398,7 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
 void ProcessCellPerPoint(const Dataset& data, const CellData& cell,
                          uint32_t cid, const CellDictionary& dict,
                          size_t min_pts, size_t num_subdicts,
-                         Phase2Scratch& scratch, Phase2Result& result,
+                         Phase2Scratch& scratch, uint8_t* point_is_core,
                          bool& cell_core, TaskCounters& counters) {
   for (const uint32_t point_id : cell.point_ids) {
     const float* p = data.point(point_id);
@@ -415,13 +415,73 @@ void ProcessCellPerPoint(const Dataset& data, const CellData& cell,
     if (count >= min_pts) {
       // Core point (Example 5.7): its neighbor cells become
       // reachability successors of this cell.
-      result.point_is_core[point_id] = 1;
+      point_is_core[point_id] = 1;
       cell_core = true;
       scratch.cell_edges.insert(scratch.cell_edges.end(),
                                 scratch.neighbor_cells.begin(),
                                 scratch.neighbor_cells.end());
     }
   }
+}
+
+/// Kernel dispatch plus engine selection, resolved once per run (shared by
+/// BuildSubgraphs and RecomputeCells so the incremental path always runs
+/// the exact engine the full run would): SIMD tier (runtime-detected
+/// unless the option or RPDBSCAN_FORCE_SCALAR forces scalar), the
+/// quantized fixed-point path (only when the dictionary carries the
+/// quantized lanes — absent lanes silently degrade to exact), and the
+/// stencil candidate engine.
+struct EngineSetup {
+  KernelConfig kernels;
+  SimdLevel level = SimdLevel::kScalar;
+  bool use_quantized = false;
+  bool use_stencil = false;
+};
+
+EngineSetup ResolveEngine(const CellDictionary& dict,
+                          const Phase2Options& opts) {
+  EngineSetup setup;
+  setup.level = opts.scalar_kernels ? SimdLevel::kScalar : DetectSimdLevel();
+  setup.use_quantized = opts.quantized && dict.has_quantized();
+  setup.kernels.exact_fn = GetSubcellCountFn(setup.level, dict.geom().dim());
+  setup.kernels.bounds_fn = GetPointBoundsFn(setup.level);
+  if (setup.use_quantized) {
+    setup.kernels.quant_fn =
+        GetSubcellCountQuantFn(setup.level, dict.geom().dim());
+    setup.kernels.qspec = &dict.quantized_spec();
+  }
+  setup.use_stencil =
+      opts.batched_queries && opts.stencil_queries && dict.has_stencil();
+  return setup;
+}
+
+/// Runs one cell through the selected engine. Leaves the cell's
+/// deduplicated, ascending neighbor-cell list in scratch.cell_edges
+/// (always empty for a non-core cell — only core points contribute edges)
+/// and returns the cell's core flag. The per-cell unit shared by the full
+/// run and the incremental recompute.
+bool ProcessOneCell(const Dataset& data, const CellData& cell, uint32_t cid,
+                    const CellDictionary& dict, size_t min_pts,
+                    size_t num_subdicts, bool batched,
+                    const EngineSetup& setup, Phase2Scratch& scratch,
+                    uint8_t* point_is_core, TaskCounters& counters) {
+  bool cell_core = false;
+  scratch.cell_edges.clear();
+  if (batched) {
+    ProcessCellBatched(data, cell, cid, dict, min_pts, num_subdicts,
+                       setup.use_stencil, setup.kernels, scratch,
+                       point_is_core, cell_core, counters);
+  } else {
+    ProcessCellPerPoint(data, cell, cid, dict, min_pts, num_subdicts,
+                        scratch, point_is_core, cell_core, counters);
+  }
+  if (!scratch.cell_edges.empty()) {
+    std::vector<uint32_t>& cell_edges = scratch.cell_edges;
+    std::sort(cell_edges.begin(), cell_edges.end());
+    cell_edges.erase(std::unique(cell_edges.begin(), cell_edges.end()),
+                     cell_edges.end());
+  }
+  return cell_core;
 }
 
 }  // namespace
@@ -443,25 +503,9 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   std::atomic<size_t> stencil_hits{0};
   std::atomic<uint64_t> quant_fallbacks{0};
   const size_t num_subdicts = dict.num_subdictionaries();
-  const bool use_stencil =
-      opts.batched_queries && opts.stencil_queries && dict.has_stencil();
-
-  // Kernel dispatch, resolved once per run: SIMD tier (runtime-detected
-  // unless the option or RPDBSCAN_FORCE_SCALAR forces scalar) and the
-  // quantized fixed-point path (only when the dictionary carries the
-  // quantized lanes — absent lanes silently degrade to exact).
-  const SimdLevel level =
-      opts.scalar_kernels ? SimdLevel::kScalar : DetectSimdLevel();
-  const bool use_quantized = opts.quantized && dict.has_quantized();
-  KernelConfig kernels;
-  kernels.exact_fn = GetSubcellCountFn(level, dict.geom().dim());
-  kernels.bounds_fn = GetPointBoundsFn(level);
-  if (use_quantized) {
-    kernels.quant_fn = GetSubcellCountQuantFn(level, dict.geom().dim());
-    kernels.qspec = &dict.quantized_spec();
-  }
-  result.simd_level = level;
-  result.quantized = use_quantized;
+  const EngineSetup setup = ResolveEngine(dict, opts);
+  result.simd_level = setup.level;
+  result.quantized = setup.use_quantized;
 
   // Longest-first schedule (LPT): partition tasks are submitted by
   // descending cached point count so a straggler cannot land on the last
@@ -487,31 +531,15 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
         Phase2Scratch scratch;
         scratch.neighbor_cells.reserve(64);
         for (const uint32_t cid : cells.partition(pid)) {
-          const CellData& cell = cells.cell(cid);
-          bool cell_core = false;
-          scratch.cell_edges.clear();
-          if (opts.batched_queries) {
-            ProcessCellBatched(data, cell, cid, dict, min_pts,
-                               num_subdicts, use_stencil, kernels, scratch,
-                               result, cell_core, counters);
-          } else {
-            ProcessCellPerPoint(data, cell, cid, dict, min_pts,
-                                num_subdicts, scratch, result, cell_core,
-                                counters);
-          }
+          const bool cell_core = ProcessOneCell(
+              data, cells.cell(cid), cid, dict, min_pts, num_subdicts,
+              opts.batched_queries, setup, scratch,
+              result.point_is_core.data(), counters);
           result.cell_is_core[cid] = cell_core ? 1 : 0;
           graph.owned.emplace_back(
               cid, cell_core ? CellType::kCore : CellType::kNonCore);
-          if (cell_core && !scratch.cell_edges.empty()) {
-            std::vector<uint32_t>& cell_edges = scratch.cell_edges;
-            std::sort(cell_edges.begin(), cell_edges.end());
-            cell_edges.erase(
-                std::unique(cell_edges.begin(), cell_edges.end()),
-                cell_edges.end());
-            for (const uint32_t to : cell_edges) {
-              graph.edges.push_back(
-                  CellEdge{cid, to, EdgeType::kUndetermined});
-            }
+          for (const uint32_t to : scratch.cell_edges) {
+            graph.edges.push_back(CellEdge{cid, to, EdgeType::kUndetermined});
           }
         }
         subdict_visited.fetch_add(counters.visited,
@@ -541,6 +569,83 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
   result.quantized_exact_fallbacks =
       static_cast<size_t>(quant_fallbacks.load());
   return result;
+}
+
+Phase2CellUpdate RecomputeCells(const Dataset& data, const CellSet& cells,
+                                const CellDictionary& dict, size_t min_pts,
+                                ThreadPool& pool, const Phase2Options& opts,
+                                const std::vector<uint32_t>& targets,
+                                uint8_t* point_is_core) {
+  Phase2CellUpdate update;
+  const EngineSetup setup = ResolveEngine(dict, opts);
+  update.simd_level = setup.level;
+  update.quantized = setup.use_quantized;
+  const size_t m = targets.size();
+  update.cell_is_core.assign(m, 0);
+  update.cell_edges.resize(m);
+  if (m == 0) return update;
+  // The scan only *sets* core bits, so stale flags from the prior epoch
+  // must be cleared up front for every target cell's points (densities are
+  // monotone under appends, but targets are caller-chosen — clear all).
+  for (const uint32_t cid : targets) {
+    for (const uint32_t pid : cells.cell(cid).point_ids) {
+      point_is_core[pid] = 0;
+    }
+    update.recomputed_points += cells.cell(cid).point_ids.size();
+  }
+  std::atomic<size_t> subdict_visited{0};
+  std::atomic<size_t> subdict_possible{0};
+  std::atomic<size_t> cells_scanned{0};
+  std::atomic<size_t> early_exits{0};
+  std::atomic<size_t> stencil_probes{0};
+  std::atomic<size_t> stencil_hits{0};
+  std::atomic<uint64_t> quant_fallbacks{0};
+  const size_t num_subdicts = dict.num_subdictionaries();
+  // Chunked over the target list (targets share no points, so the per-cell
+  // tasks are independent); each chunk reuses one scratch set like a
+  // partition task does.
+  const size_t num_chunks = std::min(m, pool.num_threads() * 4);
+  const size_t chunk_len = (m + num_chunks - 1) / num_chunks;
+  ParallelFor(
+      pool, num_chunks,
+      [&](size_t c) {
+        TaskCounters counters;
+        Phase2Scratch scratch;
+        scratch.neighbor_cells.reserve(64);
+        const size_t end = std::min(m, (c + 1) * chunk_len);
+        for (size_t t = c * chunk_len; t < end; ++t) {
+          const uint32_t cid = targets[t];
+          const bool cell_core = ProcessOneCell(
+              data, cells.cell(cid), cid, dict, min_pts, num_subdicts,
+              opts.batched_queries, setup, scratch, point_is_core, counters);
+          update.cell_is_core[t] = cell_core ? 1 : 0;
+          update.cell_edges[t].assign(scratch.cell_edges.begin(),
+                                      scratch.cell_edges.end());
+        }
+        subdict_visited.fetch_add(counters.visited,
+                                  std::memory_order_relaxed);
+        subdict_possible.fetch_add(counters.possible,
+                                   std::memory_order_relaxed);
+        cells_scanned.fetch_add(counters.scanned, std::memory_order_relaxed);
+        early_exits.fetch_add(counters.early_exits,
+                              std::memory_order_relaxed);
+        stencil_probes.fetch_add(counters.stencil_probes,
+                                 std::memory_order_relaxed);
+        stencil_hits.fetch_add(counters.stencil_hits,
+                               std::memory_order_relaxed);
+        quant_fallbacks.fetch_add(counters.quant_fallbacks,
+                                  std::memory_order_relaxed);
+      },
+      /*chunk=*/1);
+  update.subdict_visited = subdict_visited.load();
+  update.subdict_possible = subdict_possible.load();
+  update.candidate_cells_scanned = cells_scanned.load();
+  update.early_exits = early_exits.load();
+  update.stencil_probes = stencil_probes.load();
+  update.stencil_hits = stencil_hits.load();
+  update.quantized_exact_fallbacks =
+      static_cast<size_t>(quant_fallbacks.load());
+  return update;
 }
 
 }  // namespace rpdbscan

@@ -105,6 +105,44 @@ Phase2Result BuildSubgraphs(const Dataset& data, const CellSet& cells,
                             ThreadPool& pool,
                             const Phase2Options& opts = Phase2Options());
 
+/// Output of RecomputeCells: Phase II results for just the target cells,
+/// arrays parallel to the `targets` argument.
+struct Phase2CellUpdate {
+  /// cell_is_core[t] is the recomputed core flag of targets[t].
+  std::vector<uint8_t> cell_is_core;
+  /// cell_edges[t] is targets[t]'s recomputed neighbor-cell list, sorted
+  /// ascending and deduplicated — empty for non-core cells (only core
+  /// points contribute edges). Exactly the edges BuildSubgraphs would emit
+  /// for the cell.
+  std::vector<std::vector<uint32_t>> cell_edges;
+  /// Total points of the target cells (their core flags were recomputed).
+  size_t recomputed_points = 0;
+  /// Same per-run counters as Phase2Result, over the targets only.
+  size_t subdict_visited = 0;
+  size_t subdict_possible = 0;
+  size_t candidate_cells_scanned = 0;
+  size_t early_exits = 0;
+  size_t stencil_probes = 0;
+  size_t stencil_hits = 0;
+  SimdLevel simd_level = SimdLevel::kScalar;
+  bool quantized = false;
+  size_t quantized_exact_fallbacks = 0;
+};
+
+/// Re-runs the Phase II per-cell unit for exactly `targets` (dense cell
+/// ids, no duplicates), writing per-point core flags into `point_is_core`
+/// (size data.size(); target cells' flags are cleared first, all other
+/// entries untouched) — the streaming path's incremental recompute.
+/// Because a cell's Phase II output is a pure function of its own points
+/// and the dictionary (partition assignment never enters), recomputing a
+/// cell here yields bit-identically what a from-scratch BuildSubgraphs
+/// over the same data and dictionary would produce for it.
+Phase2CellUpdate RecomputeCells(const Dataset& data, const CellSet& cells,
+                                const CellDictionary& dict, size_t min_pts,
+                                ThreadPool& pool, const Phase2Options& opts,
+                                const std::vector<uint32_t>& targets,
+                                uint8_t* point_is_core);
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_CORE_PHASE2_H_

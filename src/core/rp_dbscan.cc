@@ -279,48 +279,57 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   // needs the CellSet (which cells of which points) alive, and the
   // dictionary move must come after the final audit that reads it.
   if (options.capture_model) {
-    auto model = std::make_shared<CapturedModel>();
-    model->min_pts = options.min_pts;
-    model->num_points = data.size();
-    const size_t dim = data.dim();
-    const size_t num_cells = cells.num_cells();
-    // Border references: for every cell that appears in some non-core
-    // cell's predecessor list, the coordinates of its core points in cell
-    // point-id order — exactly the points, and exactly the order, that
-    // LabelPoints' first-match walk tests. Serving replays that walk
-    // bit-for-bit from these copies.
-    std::vector<uint8_t> referenced(num_cells, 0);
-    for (const std::vector<uint32_t>& preds : merged.predecessors) {
-      for (const uint32_t p : preds) referenced[p] = 1;
-    }
-    model->ref_offsets.assign(num_cells + 1, 0);
-    for (uint32_t cid = 0; cid < num_cells; ++cid) {
-      uint64_t count = 0;
-      if (referenced[cid]) {
-        for (const uint32_t pid : cells.cell(cid).point_ids) {
-          count += phase2.point_is_core[pid];
-        }
-      }
-      model->ref_offsets[cid + 1] = model->ref_offsets[cid] + count;
-    }
-    model->ref_coords.resize(model->ref_offsets[num_cells] * dim);
-    for (uint32_t cid = 0; cid < num_cells; ++cid) {
-      if (referenced[cid] == 0) continue;
-      float* out = model->ref_coords.data() + model->ref_offsets[cid] * dim;
-      for (const uint32_t pid : cells.cell(cid).point_ids) {
-        if (phase2.point_is_core[pid] == 0) continue;
-        const float* p = data.point(pid);
-        out = std::copy(p, p + dim, out);
-      }
-    }
-    model->point_is_core = std::move(phase2.point_is_core);
-    model->merged = std::move(merged);
-    model->dictionary = std::move(*dict_or);
-    result.model = std::move(model);
+    result.model = std::make_shared<CapturedModel>(BuildCapturedModel(
+        data, cells, std::move(merged), std::move(phase2.point_is_core),
+        std::move(*dict_or), options.min_pts));
   }
 
   stats.total_seconds = total.ElapsedSeconds();
   return result;
+}
+
+CapturedModel BuildCapturedModel(const Dataset& data, const CellSet& cells,
+                                 MergeResult merged,
+                                 std::vector<uint8_t> point_is_core,
+                                 CellDictionary dictionary, size_t min_pts) {
+  CapturedModel model;
+  model.min_pts = min_pts;
+  model.num_points = data.size();
+  const size_t dim = data.dim();
+  const size_t num_cells = cells.num_cells();
+  // Border references: for every cell that appears in some non-core
+  // cell's predecessor list, the coordinates of its core points in cell
+  // point-id order — exactly the points, and exactly the order, that
+  // LabelPoints' first-match walk tests. Serving replays that walk
+  // bit-for-bit from these copies.
+  std::vector<uint8_t> referenced(num_cells, 0);
+  for (const std::vector<uint32_t>& preds : merged.predecessors) {
+    for (const uint32_t p : preds) referenced[p] = 1;
+  }
+  model.ref_offsets.assign(num_cells + 1, 0);
+  for (uint32_t cid = 0; cid < num_cells; ++cid) {
+    uint64_t count = 0;
+    if (referenced[cid]) {
+      for (const uint32_t pid : cells.cell(cid).point_ids) {
+        count += point_is_core[pid];
+      }
+    }
+    model.ref_offsets[cid + 1] = model.ref_offsets[cid] + count;
+  }
+  model.ref_coords.resize(model.ref_offsets[num_cells] * dim);
+  for (uint32_t cid = 0; cid < num_cells; ++cid) {
+    if (referenced[cid] == 0) continue;
+    float* out = model.ref_coords.data() + model.ref_offsets[cid] * dim;
+    for (const uint32_t pid : cells.cell(cid).point_ids) {
+      if (point_is_core[pid] == 0) continue;
+      const float* p = data.point(pid);
+      out = std::copy(p, p + dim, out);
+    }
+  }
+  model.point_is_core = std::move(point_is_core);
+  model.merged = std::move(merged);
+  model.dictionary = std::move(dictionary);
+  return model;
 }
 
 }  // namespace rpdbscan

@@ -226,6 +226,15 @@ struct RpDbscanResult {
 StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
                                      const RpDbscanOptions& options);
 
+/// Assembles a CapturedModel from finished pipeline outputs — the capture
+/// step of RunRpDbscan, exposed so the streaming path can package each
+/// epoch's incremental results exactly the way a from-scratch run would
+/// (border references included).
+CapturedModel BuildCapturedModel(const Dataset& data, const CellSet& cells,
+                                 MergeResult merged,
+                                 std::vector<uint8_t> point_is_core,
+                                 CellDictionary dictionary, size_t min_pts);
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_CORE_RP_DBSCAN_H_

@@ -44,7 +44,12 @@ float LoadF32(const uint8_t* p) { return std::bit_cast<float>(LoadU32(p)); }
 
 constexpr size_t kMetaBytes = 64;
 constexpr size_t kEngineBytes = 48;
+constexpr size_t kEpochBytes = 32;
 constexpr uint32_t kFlagBorderRefs = 1u << 0;
+// Presence of the epoch-lineage section (streaming snapshots). A flag bit
+// plus an extra section, no version bump: readers without the bit set skip
+// the section, old files without the bit load unchanged.
+constexpr uint32_t kFlagEpoch = 1u << 1;
 
 Status SectionError(const std::string& name, const std::string& detail) {
   return Status::InvalidArgument("snapshot section '" + name + "': " +
@@ -131,7 +136,9 @@ std::vector<uint8_t> ClusterModelSnapshot::Serialize() const {
   std::vector<uint8_t> meta;
   meta.reserve(kMetaBytes);
   StoreU32(&meta, static_cast<uint32_t>(meta_.dim));
-  StoreU32(&meta, meta_.has_border_refs ? kFlagBorderRefs : 0);
+  uint32_t flags = meta_.has_border_refs ? kFlagBorderRefs : 0;
+  if (has_epoch_) flags |= kFlagEpoch;
+  StoreU32(&meta, flags);
   StoreF64(&meta, meta_.eps);
   StoreF64(&meta, meta_.rho);
   StoreU64(&meta, meta_.min_pts);
@@ -178,6 +185,16 @@ std::vector<uint8_t> ClusterModelSnapshot::Serialize() const {
     for (const uint64_t o : ref_offsets_) StoreU64(&refs, o);
     for (const float c : ref_coords_) StoreF32(&refs, c);
     writer.AddSection(kSectionBorderRefs, std::move(refs));
+  }
+
+  if (has_epoch_) {
+    std::vector<uint8_t> epoch;
+    epoch.reserve(kEpochBytes);
+    StoreU64(&epoch, epoch_.sequence);
+    StoreU64(&epoch, epoch_.parent_sequence);
+    StoreU64(&epoch, epoch_.points_ingested);
+    StoreU64(&epoch, epoch_.batches_ingested);
+    writer.AddSection(kSectionEpoch, std::move(epoch));
   }
   return writer.Finish();
 }
@@ -361,6 +378,22 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::Deserialize(
     }
   } else {
     snap.ref_offsets_.assign(num_cells + 1, 0);
+  }
+
+  // --- epoch lineage (optional) ---
+  if ((flags & kFlagEpoch) != 0) {
+    auto epoch_or = reader.Section(kSectionEpoch, "epoch");
+    if (!epoch_or.ok()) return epoch_or.status();
+    if (epoch_or->size != kEpochBytes) {
+      return SectionError("epoch", "unexpected size " +
+                                       std::to_string(epoch_or->size));
+    }
+    const uint8_t* ep = epoch_or->data;
+    snap.epoch_.sequence = LoadU64(ep);
+    snap.epoch_.parent_sequence = LoadU64(ep + 8);
+    snap.epoch_.points_ingested = LoadU64(ep + 16);
+    snap.epoch_.batches_ingested = LoadU64(ep + 24);
+    snap.has_epoch_ = true;
   }
   return snap;
 }

@@ -54,6 +54,7 @@ class ClusterModelSnapshot {
   static constexpr uint32_t kSectionLabels = 4;
   static constexpr uint32_t kSectionPredecessors = 5;
   static constexpr uint32_t kSectionBorderRefs = 6;
+  static constexpr uint32_t kSectionEpoch = 7;
 
   /// Geometry and run parameters of the frozen clustering.
   struct Meta {
@@ -66,6 +67,19 @@ class ClusterModelSnapshot {
     size_t num_subcells = 0;
     size_t num_clusters = 0;
     bool has_border_refs = false;
+  };
+
+  /// Streaming-epoch lineage (docs/WIRE_FORMATS.md §3, section 7 —
+  /// optional; written only for snapshots published by the streaming
+  /// pipeline). `sequence` is the epoch's position in the ingest stream
+  /// (0 = the seed batch), `parent_sequence` the epoch it was spliced
+  /// from (== sequence for epoch 0), and the ingested counters describe
+  /// the accumulated stream up to this epoch.
+  struct EpochInfo {
+    uint64_t sequence = 0;
+    uint64_t parent_sequence = 0;
+    uint64_t points_ingested = 0;
+    uint64_t batches_ingested = 0;
   };
 
   /// Freezes a CapturedModel (RunRpDbscan with capture_model on).
@@ -95,6 +109,19 @@ class ClusterModelSnapshot {
   const Meta& meta() const { return meta_; }
   const CellDictionary& dictionary() const { return dict_; }
   bool has_border_refs() const { return meta_.has_border_refs; }
+
+  /// Epoch lineage (streaming snapshots only; round-trips through
+  /// Serialize/Deserialize). Absent on one-shot freezes and on snapshots
+  /// written before the epoch section existed — the flag bit keeps old
+  /// files loading unchanged.
+  bool has_epoch() const { return has_epoch_; }
+  const EpochInfo& epoch() const { return epoch_; }
+  /// Attaches epoch lineage before Serialize. Metadata-only: no clustering
+  /// state changes, so the snapshot stays safe to share once published.
+  void set_epoch(const EpochInfo& info) {
+    epoch_ = info;
+    has_epoch_ = true;
+  }
 
   /// Per cell id: dense cluster id for core cells, kNoCluster otherwise
   /// (the merged Phase III table).
@@ -133,6 +160,8 @@ class ClusterModelSnapshot {
   std::vector<uint32_t> preds_;
   std::vector<uint64_t> ref_offsets_;
   std::vector<float> ref_coords_;
+  EpochInfo epoch_;
+  bool has_epoch_ = false;
 };
 
 }  // namespace rpdbscan

@@ -1,0 +1,48 @@
+#include "stream/dirty_set.h"
+
+#include <numeric>
+
+namespace rpdbscan {
+namespace {
+
+DirtySet AllDirty(size_t num_cells) {
+  DirtySet dirty;
+  dirty.cells.resize(num_cells);
+  std::iota(dirty.cells.begin(), dirty.cells.end(), 0u);
+  dirty.used_stencil = false;
+  return dirty;
+}
+
+}  // namespace
+
+DirtySet DirtySetTracker::Resolve(const CellDictionary& dict,
+                                  const CellSet& cells,
+                                  const std::vector<uint32_t>& touched) {
+  const size_t num_cells = cells.num_cells();
+  if (!dict.has_stencil()) return AllDirty(num_cells);
+  std::vector<uint8_t> mark(num_cells, 0);
+  const std::vector<GlobalCellRef>& refs = dict.cell_refs();
+  for (const uint32_t cid : touched) {
+    const int64_t slot = dict.FindCellRefIndex(cells.cell(cid).coord);
+    if (slot < 0) {
+      // The dictionary predates this cell — the caller rebuilt it before
+      // resolving, so this cannot happen in the pipeline; degrade safely.
+      return AllDirty(num_cells);
+    }
+    mark[cid] = 1;
+    size_t count = 0;
+    const uint32_t* neighbors =
+        dict.StencilNeighborsOf(static_cast<size_t>(slot), &count);
+    for (size_t i = 0; i < count; ++i) {
+      mark[refs[neighbors[i]].cell_id] = 1;
+    }
+  }
+  DirtySet dirty;
+  dirty.used_stencil = true;
+  for (uint32_t cid = 0; cid < num_cells; ++cid) {
+    if (mark[cid]) dirty.cells.push_back(cid);
+  }
+  return dirty;
+}
+
+}  // namespace rpdbscan

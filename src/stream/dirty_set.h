@@ -1,0 +1,45 @@
+#ifndef RPDBSCAN_STREAM_DIRTY_SET_H_
+#define RPDBSCAN_STREAM_DIRTY_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_set.h"
+
+namespace rpdbscan {
+
+/// The cells an epoch must recompute, plus how the set was derived.
+struct DirtySet {
+  /// Ascending, duplicate-free dense cell ids.
+  std::vector<uint32_t> cells;
+  /// True when the set is the stencil closure of the touched cells; false
+  /// when it degraded to every cell (no stencil, or an unresolvable
+  /// touched cell).
+  bool used_stencil = false;
+};
+
+/// Maps the cells touched by ingest to the cells whose Phase II outputs
+/// could have changed (DESIGN.md §9). A cell's density flags and edges
+/// depend only on its own points and the dictionary cells inside its
+/// eps-neighborhood — exactly the window the precomputed lattice stencil
+/// enumerates. The stencil offset set is closed under negation, so
+/// "touched t lies in c's window" is equivalent to "c lies in t's window":
+/// the union of the touched cells' stencil windows therefore covers every
+/// cell whose inputs changed. (Appends only grow densities, and a cell
+/// with no new points in its window sees the same candidates, point list,
+/// and sub-cell histograms as last epoch.)
+class DirtySetTracker {
+ public:
+  /// Resolves the dirty set of `touched` (ascending unique ids from
+  /// IngestBuffer::TakeTouched) against the *current* epoch's dictionary.
+  /// Without a stencil (dimensionality above the offset cap), or when a
+  /// touched cell cannot be resolved in the dictionary, every cell is
+  /// dirty — correct, just not incremental.
+  static DirtySet Resolve(const CellDictionary& dict, const CellSet& cells,
+                          const std::vector<uint32_t>& touched);
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_STREAM_DIRTY_SET_H_

@@ -1,0 +1,29 @@
+#include "stream/epoch_registry.h"
+
+#include <utility>
+
+namespace rpdbscan {
+
+StatusOr<std::shared_ptr<const PublishedEpoch>> EpochRegistry::Publish(
+    ClusterModelSnapshot snap) {
+  auto epoch = std::make_shared<PublishedEpoch>();
+  if (snap.has_epoch()) epoch->info = snap.epoch();
+  if (!snapshot_dir_.empty()) {
+    epoch->path = snapshot_dir_ + "/epoch-" +
+                  std::to_string(epoch->info.sequence) + ".rpsnap";
+    RPDBSCAN_RETURN_IF_ERROR(snap.WriteFile(epoch->path));
+  }
+  auto shared_snap =
+      std::make_shared<const ClusterModelSnapshot>(std::move(snap));
+  epoch->snapshot = shared_snap;
+  epoch->server =
+      std::make_shared<const LabelServer>(shared_snap, server_opts_);
+  std::shared_ptr<const PublishedEpoch> published = std::move(epoch);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = published;
+  }
+  return published;
+}
+
+}  // namespace rpdbscan

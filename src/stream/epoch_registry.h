@@ -1,0 +1,77 @@
+#ifndef RPDBSCAN_STREAM_EPOCH_REGISTRY_H_
+#define RPDBSCAN_STREAM_EPOCH_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "serve/label_server.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// One published epoch: the immutable snapshot, a LabelServer bound to it,
+/// and (when the registry persists) the .rpsnap path it was written to.
+/// Everything here is immutable after Publish, so any number of serving
+/// threads may read a pinned PublishedEpoch without synchronization.
+struct PublishedEpoch {
+  ClusterModelSnapshot::EpochInfo info;
+  std::string path;  // empty when the registry does not persist
+  std::shared_ptr<const ClusterModelSnapshot> snapshot;
+  std::shared_ptr<const LabelServer> server;
+};
+
+/// Hot-swap slot between the streaming writer and the serving readers:
+/// Publish atomically replaces the current epoch while queries keep
+/// flowing. The slot is a shared_ptr behind a mutex held only for the
+/// pointer copy/swap itself (GCC 12's std::atomic<std::shared_ptr> reads
+/// the stored pointer after a relaxed unlock, which TSan flags — the
+/// mutex costs a few ns per pin and is provably race-free), so a reader
+/// either sees the old epoch or the new one, never a mix — and because a
+/// reader pins one shared_ptr per query (Current()), every answer it
+/// computes is internally consistent with exactly one published epoch,
+/// torn reads are impossible by construction, and an epoch's memory stays
+/// alive until its last reader drops the pin (tests/epoch_swap_test.cc
+/// hammers this under TSan).
+class EpochRegistry {
+ public:
+  /// `server_opts` configure every published LabelServer. A non-empty
+  /// `snapshot_dir` persists each epoch as
+  /// `<snapshot_dir>/epoch-<sequence>.rpsnap` before it is swapped in.
+  explicit EpochRegistry(LabelServerOptions server_opts = {},
+                         std::string snapshot_dir = {})
+      : server_opts_(server_opts), snapshot_dir_(std::move(snapshot_dir)) {}
+
+  /// Publishes `snap` (which should carry epoch lineage via set_epoch) as
+  /// the current epoch: optionally persists it, builds the LabelServer,
+  /// then swaps the slot. Readers switch at the swap instant; in-flight
+  /// queries finish against the epoch they pinned.
+  StatusOr<std::shared_ptr<const PublishedEpoch>> Publish(
+      ClusterModelSnapshot snap);
+
+  /// Pins the current epoch (null before the first Publish). Callers keep
+  /// the returned pointer for the duration of whatever work must be
+  /// internally consistent — one query, one batch — and re-pin after.
+  std::shared_ptr<const PublishedEpoch> Current() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_;
+  }
+
+  /// Sequence of the current epoch, or -1 before the first Publish.
+  int64_t CurrentSequence() const {
+    const auto cur = Current();
+    return cur ? static_cast<int64_t>(cur->info.sequence) : -1;
+  }
+
+ private:
+  LabelServerOptions server_opts_;
+  std::string snapshot_dir_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const PublishedEpoch> current_;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_STREAM_EPOCH_REGISTRY_H_

@@ -117,6 +117,55 @@ TEST_F(CliTest, NormalizeModes) {
       0);
 }
 
+// End-to-end `stream`: ingest batches, publish epochs with the full
+// against-run audit, persist .rpsnap files, and emit the JSON stats; the
+// persisted final epoch must load back into `serve`.
+TEST_F(CliTest, StreamPublishesAuditedEpochs) {
+  const std::string epochs = dir_ + "/epochs";
+  ASSERT_EQ(std::system(("mkdir -p " + epochs).c_str()), 0);
+  const std::string stats = dir_ + "/stream.json";
+  const std::string labels = dir_ + "/stream_labels.csv";
+  ASSERT_EQ(Run("stream --generate=blobs --n=2500 --eps=1.0 --minpts=10 "
+                "--seed-points=2000 --batch-size=250 --epoch-every=1 "
+                "--audit=full --threads=2 --epoch-dir=" +
+                epochs + " --stats-json=" + stats + " --output=" + labels),
+            0);
+  const std::string out = Stdout();
+  EXPECT_NE(out.find("epoch 0:"), std::string::npos);
+  EXPECT_NE(out.find("epoch 2:"), std::string::npos);
+  EXPECT_NE(out.find("[audit pass]"), std::string::npos);
+  EXPECT_NE(out.find("stream done: 3 epochs"), std::string::npos);
+
+  std::ifstream stats_in(stats);
+  const std::string json((std::istreambuf_iterator<char>(stats_in)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"dirty_cells\""), std::string::npos);
+  EXPECT_NE(json.find("\"reclustered_points\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch_publish_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"epochs_published\": 3"), std::string::npos);
+
+  auto ds = ReadCsv(labels);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  EXPECT_EQ(ds->size(), 2500u);
+
+  // The last persisted epoch is a regular snapshot: serve from it (the
+  // labels CSV has a label column, so hand-write 2-d queries instead).
+  const std::string queries = dir_ + "/queries.csv";
+  {
+    std::ofstream q(queries);
+    q << "0.0,0.0\n1.5,-2.0\n10.0,10.0\n";
+  }
+  EXPECT_EQ(Run("serve --snapshot=" + epochs + "/epoch-2.rpsnap --verify "
+                "--queries=" + queries),
+            0);
+}
+
+TEST_F(CliTest, StreamRejectsBadAuditLevel) {
+  EXPECT_NE(Run("stream --generate=blobs --n=500 --eps=1.0 --minpts=10 "
+                "--audit=bogus"),
+            0);
+}
+
 TEST_F(CliTest, BadNumericFlagFails) {
   EXPECT_NE(Run("--generate=blobs --n=abc --eps=1"), 0);
 }

@@ -1,0 +1,235 @@
+// Hot-swap contract of the EpochRegistry (run under TSan by
+// tools/run_checks.sh): reader threads hammer LabelServer queries while a
+// writer publishes new epochs into the registry's hot-swap slot. Every
+// reply must be consistent with exactly ONE published epoch — the one the
+// reader pinned — which we check against per-epoch expected answers
+// precomputed from deterministically reconstructed snapshots. Readers
+// must also observe epoch sequences monotonically (the slot is a single
+// release/acquire atomic).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "io/dataset.h"
+#include "serve/label_server.h"
+#include "serve/snapshot.h"
+#include "stream/epoch_registry.h"
+#include "stream/incremental.h"
+#include "synth/generators.h"
+#include "util/random.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+bool SameResult(const ServeResult& a, const ServeResult& b) {
+  return a.cluster == b.cluster && a.kind == b.kind &&
+         a.certainty == b.certainty && a.density == b.density;
+}
+
+Dataset Slice(const Dataset& all, size_t begin, size_t count) {
+  Dataset out(all.dim());
+  out.Reserve(count);
+  for (size_t i = 0; i < count; ++i) out.Append(all.point(begin + i));
+  return out;
+}
+
+RpDbscanOptions SwapOptions(uint64_t seed) {
+  RpDbscanOptions o;
+  o.eps = 2.0;
+  o.min_pts = 10;
+  o.num_threads = 2;
+  o.num_partitions = 8;
+  o.seed = seed;
+  return o;
+}
+
+/// Streams `all` (seed prefix + equal batches) and returns the serialized
+/// bytes of every epoch snapshot. Serialization decouples the epochs from
+/// the stream so the test can reconstruct identical snapshots twice: once
+/// to precompute expected answers, once to feed the registry under load.
+std::vector<std::vector<uint8_t>> StreamEpochBytes(const Dataset& all,
+                                                   const RpDbscanOptions& o,
+                                                   size_t num_epochs) {
+  std::vector<std::vector<uint8_t>> bytes;
+  const size_t seed_points = all.size() * 3 / 5;
+  const size_t batch =
+      (all.size() - seed_points + num_epochs - 2) / (num_epochs - 1);
+  auto clusterer_or = StreamClusterer::Create(Slice(all, 0, seed_points), o);
+  EXPECT_TRUE(clusterer_or.ok()) << clusterer_or.status();
+  if (!clusterer_or.ok()) return bytes;
+  StreamClusterer clusterer = std::move(*clusterer_or);
+  size_t pos = seed_points;
+  for (size_t e = 0; e < num_epochs; ++e) {
+    if (e > 0) {
+      const size_t take = std::min(batch, all.size() - pos);
+      EXPECT_TRUE(clusterer.Ingest(Slice(all, pos, take)).ok());
+      pos += take;
+    }
+    auto epoch_or = clusterer.PublishEpoch();
+    EXPECT_TRUE(epoch_or.ok()) << epoch_or.status();
+    if (!epoch_or.ok()) return bytes;
+    bytes.push_back(epoch_or->snapshot.Serialize());
+  }
+  return bytes;
+}
+
+TEST(EpochSwapTest, ConcurrentReadersSeeExactlyOneEpochPerReply) {
+  const uint64_t seed = TestSeed(7701);
+  SCOPED_TRACE(SeedNote(seed));
+  const size_t kEpochs = 5;
+  const size_t kReaders = 4;
+  const Dataset all = synth::Blobs(2000, 5, 1.2, seed);
+  const RpDbscanOptions options = SwapOptions(seed);
+  const std::vector<std::vector<uint8_t>> epoch_bytes =
+      StreamEpochBytes(all, options, kEpochs);
+  ASSERT_EQ(epoch_bytes.size(), kEpochs);
+
+  // Query set: in-sample points plus uniform strays around the data.
+  Dataset queries(all.dim());
+  Rng qrng(seed ^ 0xfeedULL);
+  for (size_t i = 0; i < 32; ++i) {
+    queries.Append(all.point(qrng.Uniform(all.size())));
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    std::vector<float> p(all.dim());
+    for (auto& v : p) v = static_cast<float>(qrng.UniformDouble(-5.0, 45.0));
+    queries.Append(p.data());
+  }
+
+  // Expected answer table: epoch -> query -> result, from snapshots
+  // reconstructed out of the same bytes the registry will publish.
+  const LabelServerOptions server_opts;
+  std::vector<std::vector<ServeResult>> expected(kEpochs);
+  for (size_t e = 0; e < kEpochs; ++e) {
+    auto snap_or = ClusterModelSnapshot::Deserialize(epoch_bytes[e]);
+    ASSERT_TRUE(snap_or.ok()) << snap_or.status();
+    ASSERT_TRUE(snap_or->has_epoch());
+    ASSERT_EQ(snap_or->epoch().sequence, e);
+    const LabelServer server(
+        std::make_shared<const ClusterModelSnapshot>(std::move(*snap_or)),
+        server_opts);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      expected[e].push_back(server.Classify(queries.point(q)));
+    }
+  }
+
+  EpochRegistry registry(server_opts);
+  ASSERT_EQ(registry.CurrentSequence(), -1);
+  {
+    auto snap_or = ClusterModelSnapshot::Deserialize(epoch_bytes[0]);
+    ASSERT_TRUE(snap_or.ok()) << snap_or.status();
+    ASSERT_TRUE(registry.Publish(std::move(*snap_or)).ok());
+  }
+
+  struct ReaderLog {
+    size_t checks = 0;
+    size_t mismatches = 0;
+    std::string first_mismatch;
+    uint64_t max_seq = 0;
+    bool monotonic = true;
+  };
+  std::atomic<bool> stop{false};
+  std::vector<ReaderLog> logs(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      ReaderLog& log = logs[r];
+      uint64_t last_seq = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        // Pin ONE epoch, answer against it, compare against that epoch's
+        // table — never a mix, no matter when the writer swaps.
+        const std::shared_ptr<const PublishedEpoch> pin = registry.Current();
+        if (pin == nullptr) continue;
+        const uint64_t seq = pin->info.sequence;
+        if (seq < last_seq) log.monotonic = false;
+        last_seq = seq;
+        if (seq > log.max_seq) log.max_seq = seq;
+        const size_t q = log.checks % 48;
+        const ServeResult got = pin->server->Classify(queries.point(q));
+        if (!SameResult(got, expected[seq][q])) {
+          ++log.mismatches;
+          if (log.first_mismatch.empty()) {
+            log.first_mismatch = "epoch " + std::to_string(seq) +
+                                 " query " + std::to_string(q);
+          }
+        }
+        ++log.checks;
+      }
+    });
+  }
+
+  // Writer: swap in epochs 1..N-1 while the readers hammer away.
+  for (size_t e = 1; e < kEpochs; ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    auto snap_or = ClusterModelSnapshot::Deserialize(epoch_bytes[e]);
+    ASSERT_TRUE(snap_or.ok()) << snap_or.status();
+    auto published_or = registry.Publish(std::move(*snap_or));
+    ASSERT_TRUE(published_or.ok()) << published_or.status();
+    ASSERT_EQ((*published_or)->info.sequence, e);
+  }
+  ASSERT_EQ(registry.CurrentSequence(),
+            static_cast<int64_t>(kEpochs - 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  size_t total_checks = 0;
+  uint64_t max_seq_seen = 0;
+  for (size_t r = 0; r < kReaders; ++r) {
+    SCOPED_TRACE("reader " + std::to_string(r));
+    EXPECT_EQ(logs[r].mismatches, 0u) << logs[r].first_mismatch;
+    EXPECT_TRUE(logs[r].monotonic);
+    EXPECT_GT(logs[r].checks, 0u);
+    total_checks += logs[r].checks;
+    if (logs[r].max_seq > max_seq_seen) max_seq_seen = logs[r].max_seq;
+  }
+  EXPECT_GT(total_checks, kEpochs * kReaders);
+  // At least one reader ran past the final swap (we slept after it).
+  EXPECT_EQ(max_seq_seen, kEpochs - 1);
+}
+
+/// Epoch lineage survives the registry's on-disk persistence: the
+/// .rpsnap written by Publish round-trips the epoch section (flag bit,
+/// sequence, parent, point/batch counts) through ReadFile.
+TEST(EpochSwapTest, PersistedEpochSnapshotRoundTripsLineage) {
+  const uint64_t seed = TestSeed(7702);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset all = synth::Blobs(800, 4, 1.0, seed);
+  const std::vector<std::vector<uint8_t>> epoch_bytes =
+      StreamEpochBytes(all, SwapOptions(seed), 3);
+  ASSERT_EQ(epoch_bytes.size(), 3u);
+
+  const std::string dir = ::testing::TempDir();
+  EpochRegistry registry(LabelServerOptions(), dir);
+  for (size_t e = 0; e < 3; ++e) {
+    auto snap_or = ClusterModelSnapshot::Deserialize(epoch_bytes[e]);
+    ASSERT_TRUE(snap_or.ok()) << snap_or.status();
+    auto published_or = registry.Publish(std::move(*snap_or));
+    ASSERT_TRUE(published_or.ok()) << published_or.status();
+    const PublishedEpoch& published = **published_or;
+    ASSERT_FALSE(published.path.empty());
+
+    auto read_or = ClusterModelSnapshot::ReadFile(published.path);
+    ASSERT_TRUE(read_or.ok()) << read_or.status();
+    ASSERT_TRUE(read_or->has_epoch());
+    EXPECT_EQ(read_or->epoch().sequence, e);
+    EXPECT_EQ(read_or->epoch().parent_sequence, e == 0 ? 0 : e - 1);
+    EXPECT_EQ(read_or->epoch().points_ingested,
+              published.info.points_ingested);
+    EXPECT_EQ(read_or->epoch().batches_ingested, e + 1);
+    EXPECT_EQ(read_or->meta().num_points, published.info.points_ingested);
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

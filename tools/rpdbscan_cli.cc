@@ -44,6 +44,8 @@
 #include "serve/snapshot.h"
 #include "serve/snapshot_audit.h"
 #include "spatial/kdtree.h"
+#include "stream/epoch_registry.h"
+#include "stream/incremental.h"
 #include "synth/generators.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -121,6 +123,31 @@ serving (classify out-of-sample points against a frozen model):
     --output=PATH         write query points + served labels as CSV
     --stats-json=PATH     write serving throughput stats as JSON,
                           latency percentiles included
+
+streaming (replay the input as ingested batches, incrementally
+re-clustering and hot-swapping epoch snapshots into a label server):
+  rpdbscan_cli stream --generate=geolife --n=20000 --eps=2.0 --minpts=20
+      --seed-points=15000 --batch-size=1000 --epoch-every=2
+    --seed-points=S       points clustered up front as epoch 0 (default
+                          half the input)
+    --batch-size=B        points per ingested batch (default: the
+                          remaining points split into 8 batches)
+    --epoch-every=N       publish an epoch every N batches (default 1;
+                          a final epoch covers any leftover batches)
+    --epoch-dir=DIR       persist each epoch as DIR/epoch-<seq>.rpsnap
+                          (DIR must exist)
+    --audit[=LEVEL]       audit each epoch's pipeline stages at LEVEL
+                          and additionally check every published
+                          snapshot against a from-scratch run
+                          (snapshot_audit pass 3); violations fail
+    --output=PATH         write points + final-epoch labels as CSV
+    --stats-json=PATH     write per-epoch stream statistics as one JSON
+                          object (dirty_cells, reclustered_points,
+                          epoch_publish_seconds, ...)
+  the rp clustering flags (--eps --minpts --rho --partitions --threads
+  --perpoint --tree-queries --hashmap-phase1 --scalar-kernels
+  --quantized --sequential-merge) apply unchanged; every epoch's labels
+  are bit-identical to a from-scratch run with those flags.
 )";
 
 Status WriteTextFile(const std::string& path, const std::string& text) {
@@ -162,6 +189,47 @@ StatusOr<Dataset> LoadInput(const FlagSet& flags) {
   return Status::InvalidArgument("unknown generator: " + generate);
 }
 
+StatusOr<AuditLevel> ParseAuditFlag(const FlagSet& flags,
+                                    AuditLevel fallback) {
+  if (!flags.Has("audit")) return fallback;
+  const std::string level = flags.GetString("audit");
+  if (level.empty() || level == "full") return AuditLevel::kFull;
+  if (level == "cheap") return AuditLevel::kCheap;
+  if (level == "off") return AuditLevel::kOff;
+  return Status::InvalidArgument("--audit must be off|cheap|full");
+}
+
+/// The flag -> RpDbscanOptions mapping, shared by the cluster and stream
+/// paths so `stream` epochs are comparable to plain `--algo=rp` runs.
+StatusOr<RpDbscanOptions> RpOptionsFromFlags(const FlagSet& flags) {
+  auto eps_or = flags.GetDouble("eps", 0.0);
+  auto minpts_or = flags.GetInt("minpts", 20);
+  auto rho_or = flags.GetDouble("rho", 0.01);
+  auto parts_or = flags.GetInt("partitions", 16);
+  auto threads_or = flags.GetInt("threads", 4);
+  if (!eps_or.ok()) return eps_or.status();
+  if (!minpts_or.ok()) return minpts_or.status();
+  if (!rho_or.ok()) return rho_or.status();
+  if (!parts_or.ok()) return parts_or.status();
+  if (!threads_or.ok()) return threads_or.status();
+  RpDbscanOptions o;
+  o.eps = *eps_or;
+  o.min_pts = static_cast<size_t>(*minpts_or);
+  o.rho = *rho_or;
+  o.num_partitions = static_cast<size_t>(*parts_or);
+  o.num_threads = static_cast<size_t>(*threads_or);
+  o.batched_queries = !flags.GetBool("perpoint");
+  o.stencil_queries = !flags.GetBool("tree-queries");
+  o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
+  o.scalar_kernels = flags.GetBool("scalar-kernels");
+  o.quantized = flags.GetBool("quantized");
+  o.sequential_merge = flags.GetBool("sequential-merge");
+  auto audit_or = ParseAuditFlag(flags, o.audit_level);
+  if (!audit_or.ok()) return audit_or.status();
+  o.audit_level = *audit_or;
+  return o;
+}
+
 StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
                          bool print_stats) {
   auto eps_or = flags.GetDouble("eps", 0.0);
@@ -178,30 +246,9 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
   const std::string algo = flags.GetString("algo", "rp");
 
   if (algo == "rp") {
-    RpDbscanOptions o;
-    o.eps = params.eps;
-    o.min_pts = params.min_pts;
-    o.rho = *rho_or;
-    o.num_partitions = static_cast<size_t>(*parts_or);
-    o.num_threads = static_cast<size_t>(*threads_or);
-    o.batched_queries = !flags.GetBool("perpoint");
-    o.stencil_queries = !flags.GetBool("tree-queries");
-    o.sorted_phase1 = !flags.GetBool("hashmap-phase1");
-    o.scalar_kernels = flags.GetBool("scalar-kernels");
-    o.quantized = flags.GetBool("quantized");
-    o.sequential_merge = flags.GetBool("sequential-merge");
-    if (flags.Has("audit")) {
-      const std::string level = flags.GetString("audit");
-      if (level.empty() || level == "full") {
-        o.audit_level = AuditLevel::kFull;
-      } else if (level == "cheap") {
-        o.audit_level = AuditLevel::kCheap;
-      } else if (level == "off") {
-        o.audit_level = AuditLevel::kOff;
-      } else {
-        return Status::InvalidArgument("--audit must be off|cheap|full");
-      }
-    }
+    auto o_or = RpOptionsFromFlags(flags);
+    if (!o_or.ok()) return o_or.status();
+    RpDbscanOptions o = *o_or;
     const std::string save_snapshot = flags.GetString("save-snapshot");
     o.capture_model = !save_snapshot.empty();
     auto r = RunRpDbscan(data, o);
@@ -551,6 +598,186 @@ int ServeMain(const FlagSet& flags) {
   return WriteServeOutput(flags, queries, results);
 }
 
+/// The `stream` subcommand: replay the input as a seed set plus ingested
+/// batches through the incremental re-clusterer, publishing each epoch as
+/// a versioned snapshot into the EpochRegistry hot-swap slot (and
+/// optionally onto disk). With --audit, every published snapshot is also
+/// checked against a from-scratch RunRpDbscan on the accumulated points —
+/// the strongest per-epoch correctness gate the repo has.
+int StreamMain(const FlagSet& flags) {
+  auto data_or = LoadInput(flags);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "input error: %s\n%s",
+                 data_or.status().ToString().c_str(), kUsage);
+    return 1;
+  }
+  const Dataset& data = *data_or;
+  std::fprintf(stderr, "loaded %zu points, %zu dimensions\n", data.size(),
+               data.dim());
+
+  auto opts_or = RpOptionsFromFlags(flags);
+  auto seedpts_or = flags.GetInt("seed-points", 0);
+  auto batch_or = flags.GetInt("batch-size", 0);
+  auto every_or = flags.GetInt("epoch-every", 1);
+  if (!opts_or.ok() || !seedpts_or.ok() || !batch_or.ok() ||
+      !every_or.ok()) {
+    const Status& s = !opts_or.ok()
+                          ? opts_or.status()
+                          : (!seedpts_or.ok()
+                                 ? seedpts_or.status()
+                                 : (!batch_or.ok() ? batch_or.status()
+                                                   : every_or.status()));
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(), kUsage);
+    return 1;
+  }
+  size_t seed_points = *seedpts_or > 0
+                           ? std::min(static_cast<size_t>(*seedpts_or),
+                                      data.size())
+                           : data.size() / 2;
+  if (seed_points == 0) seed_points = data.size();
+  const size_t remaining = data.size() - seed_points;
+  const size_t batch_size =
+      *batch_or > 0 ? static_cast<size_t>(*batch_or)
+                    : std::max<size_t>(1, (remaining + 7) / 8);
+  const size_t epoch_every =
+      *every_or > 0 ? static_cast<size_t>(*every_or) : size_t{1};
+  const bool audit_epochs = opts_or->audit_level != AuditLevel::kOff;
+
+  Dataset seed(data.dim());
+  seed.Reserve(seed_points);
+  for (size_t i = 0; i < seed_points; ++i) seed.Append(data.point(i));
+  auto clusterer_or = StreamClusterer::Create(std::move(seed), *opts_or);
+  if (!clusterer_or.ok()) {
+    std::fprintf(stderr, "stream setup failed: %s\n",
+                 clusterer_or.status().ToString().c_str());
+    return 1;
+  }
+  StreamClusterer clusterer = std::move(*clusterer_or);
+
+  LabelServerOptions sopts;
+  sopts.exact_border = !flags.GetBool("approx-border");
+  EpochRegistry registry(sopts, flags.GetString("epoch-dir"));
+
+  Labels last_labels;
+  std::string epochs_json;
+  // Publishes one epoch: recompute + splice, hot-swap into the registry,
+  // optional against-run audit, one stdout line, one JSON record.
+  auto publish = [&]() -> int {
+    auto epoch_or = clusterer.PublishEpoch();
+    if (!epoch_or.ok()) {
+      std::fprintf(stderr, "epoch publish failed: %s\n",
+                   epoch_or.status().ToString().c_str());
+      return 1;
+    }
+    const EpochStats st = epoch_or->stats;
+    last_labels = std::move(epoch_or->labels);
+    auto published_or = registry.Publish(std::move(epoch_or->snapshot));
+    if (!published_or.ok()) {
+      std::fprintf(stderr, "epoch swap failed: %s\n",
+                   published_or.status().ToString().c_str());
+      return 1;
+    }
+    const PublishedEpoch& published = **published_or;
+    const char* audit_note = "skipped";
+    if (audit_epochs) {
+      const AuditReport report = AuditSnapshotAgainstRun(
+          *published.snapshot, clusterer.data(), clusterer.options());
+      if (!report.ok()) {
+        std::fprintf(stderr, "epoch %llu against-run audit FAILED: %s\n",
+                     static_cast<unsigned long long>(st.sequence),
+                     report.ToString().c_str());
+        return 1;
+      }
+      audit_note = "pass";
+    }
+    std::printf(
+        "epoch %llu: %zu points in %zu cells, %zu batches; %zu touched -> "
+        "%zu dirty cells (stencil %s), %zu points reclustered, %zu rekeys; "
+        "%zu clusters, %zu noise; published in %.3fs%s%s [audit %s]\n",
+        static_cast<unsigned long long>(st.sequence), st.total_points,
+        st.total_cells, st.batches_ingested, st.touched_cells,
+        st.dirty_cells, st.dirty_used_stencil ? "on" : "off",
+        st.reclustered_points, st.rekeys, st.num_clusters,
+        st.num_noise_points, st.epoch_publish_seconds,
+        published.path.empty() ? "" : " -> ",
+        published.path.c_str(), audit_note);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"sequence\": %llu, \"total_points\": %zu, "
+        "\"total_cells\": %zu, \"batches_ingested\": %zu, "
+        "\"touched_cells\": %zu, \"dirty_cells\": %zu, "
+        "\"dirty_used_stencil\": %s, \"reclustered_points\": %zu, "
+        "\"rekeys\": %zu, \"num_clusters\": %zu, "
+        "\"num_noise_points\": %zu, \"epoch_publish_seconds\": %.6f, "
+        "\"audit\": \"%s\"}",
+        static_cast<unsigned long long>(st.sequence), st.total_points,
+        st.total_cells, st.batches_ingested, st.touched_cells,
+        st.dirty_cells, st.dirty_used_stencil ? "true" : "false",
+        st.reclustered_points, st.rekeys, st.num_clusters,
+        st.num_noise_points, st.epoch_publish_seconds, audit_note);
+    if (!epochs_json.empty()) epochs_json += ",\n";
+    epochs_json += buf;
+    return 0;
+  };
+
+  // Epoch 0 is the seed set (everything dirty), then the batch replay.
+  if (publish() != 0) return 1;
+  size_t pos = seed_points;
+  size_t batches_since_epoch = 0;
+  while (pos < data.size()) {
+    const size_t take = std::min(batch_size, data.size() - pos);
+    Dataset batch(data.dim());
+    batch.Reserve(take);
+    for (size_t i = 0; i < take; ++i) batch.Append(data.point(pos + i));
+    pos += take;
+    const Status s = clusterer.Ingest(batch);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (++batches_since_epoch >= epoch_every) {
+      batches_since_epoch = 0;
+      if (publish() != 0) return 1;
+    }
+  }
+  if (batches_since_epoch > 0 && publish() != 0) return 1;
+
+  std::printf("stream done: %llu epochs, current sequence %lld\n",
+              static_cast<unsigned long long>(clusterer.next_sequence()),
+              static_cast<long long>(registry.CurrentSequence()));
+
+  const std::string stats_json = flags.GetString("stats-json");
+  if (!stats_json.empty()) {
+    std::string json = "{\n";
+    json += "  \"command\": \"stream\",\n";
+    json += "  \"total_points\": " + std::to_string(data.size()) + ",\n";
+    json += "  \"seed_points\": " + std::to_string(seed_points) + ",\n";
+    json += "  \"batch_size\": " + std::to_string(batch_size) + ",\n";
+    json += "  \"epoch_every\": " + std::to_string(epoch_every) + ",\n";
+    json += "  \"epochs_published\": " +
+            std::to_string(clusterer.next_sequence()) + ",\n";
+    json += "  \"epochs\": [\n" + epochs_json + "\n  ]\n}";
+    const Status w = WriteTextFile(stats_json, json);
+    if (!w.ok()) {
+      std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+  }
+
+  const std::string output = flags.GetString("output");
+  if (!output.empty()) {
+    const Status s = WriteCsv(output, clusterer.data(), &last_labels);
+    if (!s.ok()) {
+      std::fprintf(stderr, "output failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   auto flags_or = FlagSet::Parse(argc - 1, argv + 1);
   if (!flags_or.ok()) {
@@ -565,6 +792,7 @@ int Main(int argc, char** argv) {
   }
   if (!flags.positional().empty()) {
     if (flags.positional().front() == "serve") return ServeMain(flags);
+    if (flags.positional().front() == "stream") return StreamMain(flags);
     std::fprintf(stderr, "unknown subcommand: %s\n%s",
                  flags.positional().front().c_str(), kUsage);
     return 1;

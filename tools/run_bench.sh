@@ -12,9 +12,14 @@
 #     queries/sec against a frozen snapshot at 1/2/4 threads, with
 #     latency percentiles -> BENCH_serve.json (validated below: both
 #     modes and the percentile fields must be present)
+#   * Streaming epochs (bench_stream): incremental PublishEpoch latency
+#     vs a from-scratch run at swept ingest batch sizes ->
+#     BENCH_stream.json (validated below: epoch rows with dirty-cell and
+#     ratio fields, plus release provenance)
 #
 # Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
 #                           [OUTPUT_JSON] [PHASE1_JSON] [SERVE_JSON]
+#                           [STREAM_JSON]
 #   --smoke        tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
 #                  used by the `run_bench_smoke` ctest entry.
 #   --allow-debug  permit a non-Release build dir. Without it the script
@@ -26,6 +31,8 @@
 #                replaced by "phase1", else ./BENCH_phase1.json)
 #   SERVE_JSON   serving-layer output path (default: OUTPUT_JSON with
 #                "phase2" replaced by "serve", else ./BENCH_serve.json)
+#   STREAM_JSON  streaming-epoch output path (default: OUTPUT_JSON with
+#                "phase2" replaced by "stream", else ./BENCH_stream.json)
 set -euo pipefail
 
 SMOKE=0
@@ -52,6 +59,13 @@ if [[ -z "$OUT_SERVE_JSON" ]]; then
   OUT_SERVE_JSON="${OUT_JSON//phase2/serve}"
   if [[ "$OUT_SERVE_JSON" == "$OUT_JSON" ]]; then
     OUT_SERVE_JSON="BENCH_serve.json"
+  fi
+fi
+OUT_STREAM_JSON="${5:-}"
+if [[ -z "$OUT_STREAM_JSON" ]]; then
+  OUT_STREAM_JSON="${OUT_JSON//phase2/stream}"
+  if [[ "$OUT_STREAM_JSON" == "$OUT_JSON" ]]; then
+    OUT_STREAM_JSON="BENCH_stream.json"
   fi
 fi
 
@@ -97,7 +111,8 @@ PY
 BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
 BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
 BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
-for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE"; do
+BENCH_STREAM="$BUILD_DIR/bench/bench_stream"
+for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE" "$BENCH_STREAM"; do
   if [[ ! -x "$bin" ]]; then
     echo "run_bench.sh: missing binary $bin (build the project first)" >&2
     exit 1
@@ -172,6 +187,47 @@ for key in ("hardware_concurrency", "batched_speedup"):
         sys.exit(f"{path}: missing '{key}'")
 print(f"{path}: serve report OK "
       f"(batched speedup {report['batched_speedup']:.2f}x)")
+PY
+
+echo "== Streaming epochs (bench_stream, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_STREAM" "$OUT_STREAM_JSON"
+
+# The stream report must carry per-batch-size epoch rows (dirty-cell and
+# incremental-vs-scratch ratio fields) and release provenance — the
+# binary's own build_type field, same authority as the google-benchmark
+# context check above.
+python3 - "$OUT_STREAM_JSON" "$ALLOW_DEBUG" <<'PY'
+import json
+import sys
+
+path, allow_debug = sys.argv[1], sys.argv[2] == "1"
+with open(path) as f:
+    report = json.load(f)
+
+bt = report.get("build_type")
+if bt != "release" and not allow_debug:
+    sys.exit(f"run_bench.sh: {path} reports build_type={bt!r}, not "
+             "'release' — rebuild with -DCMAKE_BUILD_TYPE=Release (or "
+             "pass --allow-debug for smoke/CI runs).")
+
+runs = report.get("epoch_runs")
+if not runs:
+    sys.exit(f"{path}: missing or empty 'epoch_runs'")
+required = (
+    "batch_points", "epochs", "total_cells", "dirty_cells_mean",
+    "dirty_fraction_mean", "reclustered_points_mean",
+    "epoch_seconds_mean", "scratch_seconds_mean",
+    "ratio_incremental_over_scratch",
+)
+for run in runs:
+    for key in required:
+        if key not in run:
+            sys.exit(f"{path}: epoch_runs entry lacks '{key}'")
+best = min(runs, key=lambda r: r["ratio_incremental_over_scratch"])
+print(f"{path}: stream report OK (best ratio "
+      f"{best['ratio_incremental_over_scratch']:.2f} at "
+      f"batch_points={best['batch_points']}, dirty fraction "
+      f"{best['dirty_fraction_mean']:.1%})")
 PY
 
 python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'

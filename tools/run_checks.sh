@@ -16,7 +16,11 @@
 #      snapshot, many reader threads; serve_batch_test: grouped-batch
 #      bit-identity across thread counts; request_loop_test: the framed
 #      request loop's reader thread + admission queue + classification
-#      pool) suites that exercise every concurrent path.
+#      pool) suites that exercise every concurrent path, and the
+#      streaming layer (ingest_buffer_test: parallel batch re-grouping
+#      into the shared CSR; epoch_swap_test: reader threads hammering
+#      LabelServer queries while the EpochRegistry's shared_ptr slot
+#      hot-swaps epochs under them).
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

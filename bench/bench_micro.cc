@@ -132,7 +132,7 @@ BENCHMARK(BM_RegionQuery);
 void BM_KdTreeRadius(benchmark::State& state) {
   const Dataset& ds = BenchData();
   KdTree tree;
-  tree.Build(ds.flat().data(), ds.size(), ds.dim());
+  tree.Build(ds.raw(), ds.size(), ds.dim());
   size_t i = 0;
   for (auto _ : state) {
     size_t count = 0;

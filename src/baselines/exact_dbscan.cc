@@ -26,7 +26,7 @@ StatusOr<ExactDbscanResult> RunExactDbscan(const Dataset& data,
 
   KdTree tree;
   if (use_index) {
-    tree.Build(data.flat().data(), data.size(), data.dim());
+    tree.Build(data.raw(), data.size(), data.dim());
   }
   const double eps2 = params.eps * params.eps;
   auto region_query = [&](size_t i) {

@@ -123,6 +123,33 @@ inline CellKey128 EncodeCellKey(const CellKeyLayout& layout,
   return key;
 }
 
+/// Inverse of EncodeCellKey: recovers the CellCoord from a key produced
+/// under `layout`. The external Phase I-1 build uses this to materialize
+/// cell coordinates during the k-way merge without re-touching the (by
+/// then released) point data. Exact inverse for any in-range coordinate:
+/// Decode(Encode(p)) == CellOf(p) whenever CellKeyLayoutCovers(p).
+inline CellCoord DecodeCellKey(const CellKeyLayout& layout, CellKey128 key) {
+  int32_t coord[CellCoord::kMaxDim] = {};
+  for (size_t d = 0; d < layout.dim; ++d) {
+    uint64_t v = 0;
+    const unsigned bits = layout.bits[d];
+    if (bits > 0) {
+      const unsigned pos = layout.shift[d];
+      if (pos < 64) {
+        v = key.lo >> pos;
+        if (pos + bits > 64 && pos > 0) v |= key.hi << (64 - pos);
+      } else {
+        v = key.hi >> (pos - 64);
+      }
+      const uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+      v &= mask;
+    }
+    coord[d] = static_cast<int32_t>(layout.coord_min[d] +
+                                    static_cast<int64_t>(v));
+  }
+  return CellCoord(coord, layout.dim);
+}
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_CORE_CELL_KEY_H_

@@ -7,9 +7,12 @@
 
 #include "core/cell_coord.h"
 #include "core/cell_key.h"
+#include <string>
+
 #include "core/flat_cell_index.h"
 #include "core/grid.h"
 #include "io/dataset.h"
+#include "io/point_source.h"
 #include "parallel/thread_pool.h"
 #include "util/status.h"
 
@@ -59,6 +62,38 @@ struct Phase1Breakdown {
   bool sorted_path_used = false;
 };
 
+/// Knobs of the out-of-core Phase I-1 build (CellSet::BuildExternal).
+struct ExternalBuildOptions {
+  /// Upper bound on the bytes the build keeps resident at once: the pair
+  /// buffer of each chunk sort, the staging buffer of each spill, and the
+  /// merge readers are all sized from it. The input payload itself is
+  /// streamed through a chunk of this size and released.
+  size_t memory_budget_bytes = 64u << 20;
+  /// Directory for spill runs; empty uses the system temp directory. A
+  /// unique subdirectory is created (and removed) per build.
+  std::string spill_dir;
+};
+
+/// What the external build actually did (feeds RunStats and the smoke
+/// test's residency assertions).
+struct ExternalBuildStats {
+  /// False when the cell key exceeded 128 bits and the build fell back to
+  /// the in-RAM hash path over a borrowed view (no spill happened).
+  bool external_path_used = false;
+  size_t chunks = 0;
+  size_t runs = 0;
+  /// Bytes written to (and later merged from) the spill directory.
+  uint64_t spill_bytes = 0;
+  /// Peak bytes of build-owned transient buffers, as accounted by the
+  /// build itself (pair buffers, staging, merge readers). Excludes the
+  /// output CSR arrays and the mapped input (whose residency the chunk
+  /// budget already bounds).
+  uint64_t peak_accounted_bytes = 0;
+  double bounds_seconds = 0;  // streamed min/max pass
+  double spill_seconds = 0;   // chunk encode + sort + run write
+  double merge_seconds = 0;   // two k-way merge sweeps + CSR emit
+};
+
 /// The grid view of a data set plus its pseudo random partitioning
 /// (Phase I-1, Alg. 2 part 1): every point is binned to its cell, then
 /// whole *cells* — not points — are distributed across k partitions by a
@@ -90,6 +125,24 @@ class CellSet {
                                  size_t num_partitions, uint64_t seed,
                                  ThreadPool* pool = nullptr,
                                  bool sorted = true);
+
+  /// Out-of-core variant of Build: streams `source` in chunks that fit
+  /// `opts.memory_budget_bytes`, sorts each chunk's (cell key, point id)
+  /// pairs with the same LSD passes as the in-RAM sorted path, spills the
+  /// sorted runs to disk, and k-way merges them into the CSR cell layout —
+  /// so peak transient memory is bounded by the budget instead of the
+  /// input size. The result is bit-identical to
+  /// Build(borrowed-view-of-source, ...): same first-encounter cell
+  /// numbering, same ascending per-cell point lists, same partition draw.
+  /// When the cell key cannot fit 128 bits the build transparently falls
+  /// back to the in-RAM hash path (out-of-core needs the sorted
+  /// representation); stats->external_path_used records which happened.
+  static StatusOr<CellSet> BuildExternal(const PointSource& source,
+                                         const GridGeometry& geom,
+                                         size_t num_partitions, uint64_t seed,
+                                         const ExternalBuildOptions& opts,
+                                         ThreadPool* pool = nullptr,
+                                         ExternalBuildStats* stats = nullptr);
 
   /// Incrementally bins the appended suffix of `data` — points
   /// [first_new, data.size()) — into the existing structures (the

@@ -11,6 +11,7 @@
 #include "core/merge.h"
 #include "core/phase2.h"
 #include "core/simd.h"
+#include "parallel/shard/shard_executor.h"
 #include "parallel/thread_pool.h"
 #include "util/json_writer.h"
 #include "util/stopwatch.h"
@@ -47,6 +48,18 @@ std::string RunStats::ToString() const {
        << (static_cast<double>(stencil_hits) /
            static_cast<double>(stencil_probes))
        << ")\n";
+  }
+  if (memory_budget_bytes > 0) {
+    os << "  out-of-core phase1: " << (external_phase1 ? "on" : "fallback")
+       << " budget=" << memory_budget_bytes << " chunks=" << external_chunks
+       << " runs=" << external_runs << " spill=" << external_spill_bytes
+       << " peak_accounted=" << external_peak_accounted_bytes << "\n";
+  }
+  if (shard_workers > 0) {
+    os << "  sharded phase I-2: workers=" << shard_workers
+       << " slowest_build=" << shard_build_seconds << " s"
+       << " shuffle=" << shard_shuffle_bytes << " bytes"
+       << " wall=" << shard_wall_seconds << " s\n";
   }
   if (audit_checks > 0) {
     os << "  audit: " << audit_checks << " checks, " << audit_violations
@@ -92,6 +105,16 @@ std::string RunStats::ToJson() const {
   w.Key("quantized_mode").Value(quantized_mode);
   w.Key("quantized_exact_fallbacks").Value(quantized_exact_fallbacks);
   w.Key("parallel_merge").Value(parallel_merge);
+  w.Key("external_phase1").Value(external_phase1);
+  w.Key("external_chunks").Value(external_chunks);
+  w.Key("external_runs").Value(external_runs);
+  w.Key("external_spill_bytes").Value(external_spill_bytes);
+  w.Key("external_peak_accounted_bytes").Value(external_peak_accounted_bytes);
+  w.Key("memory_budget_bytes").Value(memory_budget_bytes);
+  w.Key("shard_workers").Value(shard_workers);
+  w.Key("shard_build_seconds").Value(shard_build_seconds);
+  w.Key("shard_shuffle_bytes").Value(shard_shuffle_bytes);
+  w.Key("shard_wall_seconds").Value(shard_wall_seconds);
   w.Key("phase2_task_seconds").BeginArray();
   for (const double s : phase2_task_seconds) w.Value(s);
   w.EndArray();
@@ -138,10 +161,36 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
     return rep.ToStatus(stage);
   };
 
-  // ---- Phase I-1: pseudo random partitioning (Sec. 4.1). ----
+  // ---- Phase I-1: pseudo random partitioning (Sec. 4.1). In-RAM by
+  // default; with a point_source the out-of-core external-sort build runs
+  // instead, streaming the source under the memory budget. Both produce
+  // bit-identical cell sets, so everything downstream is unchanged. ----
   Stopwatch phase_watch;
-  auto cells_or = CellSet::Build(data, geom, num_partitions, options.seed,
-                                 &pool, options.sorted_phase1);
+  StatusOr<CellSet> cells_or = [&]() -> StatusOr<CellSet> {
+    if (options.point_source == nullptr) {
+      return CellSet::Build(data, geom, num_partitions, options.seed, &pool,
+                            options.sorted_phase1);
+    }
+    if (options.point_source->size() != data.size() ||
+        options.point_source->dim() != data.dim()) {
+      return Status::InvalidArgument(
+          "point_source does not describe the same points as the dataset");
+    }
+    ExternalBuildOptions ext_opts;
+    ext_opts.memory_budget_bytes = options.memory_budget_bytes;
+    ext_opts.spill_dir = options.spill_dir;
+    ExternalBuildStats ext_stats;
+    auto built =
+        CellSet::BuildExternal(*options.point_source, geom, num_partitions,
+                               options.seed, ext_opts, &pool, &ext_stats);
+    stats.external_phase1 = ext_stats.external_path_used;
+    stats.external_chunks = ext_stats.chunks;
+    stats.external_runs = ext_stats.runs;
+    stats.external_spill_bytes = ext_stats.spill_bytes;
+    stats.external_peak_accounted_bytes = ext_stats.peak_accounted_bytes;
+    stats.memory_budget_bytes = options.memory_budget_bytes;
+    return built;
+  }();
   if (!cells_or.ok()) return cells_or.status();
   const CellSet& cells = *cells_or;
   stats.partition_seconds = phase_watch.ElapsedSeconds();
@@ -170,9 +219,39 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   dict_opts.build_stencil =
       options.batched_queries && options.stencil_queries;
   dict_opts.quantized = options.quantized;
-  auto dict_or = CellDictionary::Build(data, cells, dict_opts, &pool);
+  StatusOr<CellDictionary> dict_or = [&]() -> StatusOr<CellDictionary> {
+    if (options.shard_workers < 2) {
+      return CellDictionary::Build(data, cells, dict_opts, &pool);
+    }
+    // Multi-process mode: forked workers each build their partitions'
+    // entries and ship them back as checksummed shard containers; the
+    // dense entry table then assembles exactly like an in-process build
+    // (FromEntries == Build modulo who computed the entries).
+    ShardExecStats shard_stats;
+    auto entries_or = BuildDictionaryEntriesSharded(
+        data, cells, options.shard_workers, &shard_stats);
+    if (!entries_or.ok()) return entries_or.status();
+    stats.shard_workers = options.shard_workers;
+    stats.shard_wall_seconds = shard_stats.wall_seconds;
+    stats.shard_shuffle_bytes = shard_stats.TotalShuffleBytes();
+    for (const double s : shard_stats.worker_build_seconds) {
+      stats.shard_build_seconds = std::max(stats.shard_build_seconds, s);
+    }
+    return CellDictionary::FromEntries(geom, std::move(*entries_or),
+                                       dict_opts, &pool);
+  }();
   if (!dict_or.ok()) return dict_or.status();
   stats.dictionary_seconds = phase_watch.ElapsedSeconds();
+
+  // Shard-boundary audit: the assembled dictionary must be byte-equal to
+  // a single-process build — fork/encode/pipe/decode must be invisible.
+  if (options.shard_workers >= 2 && audit != AuditLevel::kOff) {
+    Stopwatch audit_watch;
+    const AuditReport rep =
+        AuditShardAssembly(data, cells, *dict_or, dict_opts, &pool);
+    stats.audit_seconds += audit_watch.ElapsedSeconds();
+    RPDBSCAN_RETURN_IF_ERROR(apply_audit("shard-assembly", rep));
+  }
 
   // Broadcast simulation (Alg. 1 line 5): serialize to the Lemma 4.3 wire
   // layout and decode, as every Spark worker would.

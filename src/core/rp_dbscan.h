@@ -103,6 +103,26 @@ struct RpDbscanOptions {
   /// see CapturedModel. Costs one pass over the cells plus copies of the
   /// referenced core points — nothing on the clustering hot path.
   bool capture_model = false;
+
+  // --- out-of-core & multi-process execution (ISSUE 9) ---
+
+  /// When set, Phase I-1 runs the out-of-core external-sort build
+  /// (CellSet::BuildExternal) over this source instead of the in-RAM
+  /// build over `data`. The source must describe the same points as the
+  /// `data` argument (which is then typically its BorrowedView); labels
+  /// are bit-identical either way. Borrowed, not owned.
+  const PointSource* point_source = nullptr;
+  /// Transient-memory budget of the external build (chunk, spill and
+  /// merge buffers).
+  size_t memory_budget_bytes = 64u << 20;
+  /// Spill directory of the external build; empty = system temp.
+  std::string spill_dir;
+  /// >= 2 runs Phase I-2 as real forked worker processes
+  /// (parallel/shard/shard_executor.h), each shipping its sub-dictionary
+  /// shard back through the checksummed shard container; 0/1 keeps the
+  /// in-process threaded build. The assembled dictionary is byte-equal
+  /// either way (audited when audit_level > kOff).
+  size_t shard_workers = 0;
 };
 
 /// The frozen artifacts of one finished run that out-of-sample label
@@ -199,6 +219,26 @@ struct RunStats {
   /// Whether Phase III-1 ran the edge-parallel lock-free union-find path
   /// (vs the sequential tournament).
   bool parallel_merge = false;
+
+  /// Out-of-core Phase I-1 accounting (all 0/false when no point_source
+  /// was given): whether the external spill+merge path actually ran (false
+  /// also when the key exceeded 128 bits and the in-RAM hash fallback
+  /// took over), chunk/run counts, spilled bytes, the build's own peak
+  /// transient-buffer accounting, and the configured budget.
+  bool external_phase1 = false;
+  size_t external_chunks = 0;
+  size_t external_runs = 0;
+  uint64_t external_spill_bytes = 0;
+  uint64_t external_peak_accounted_bytes = 0;
+  size_t memory_budget_bytes = 0;
+  /// Multi-process Phase I-2 accounting (0 when shard_workers < 2): the
+  /// worker count, the slowest worker's entry-build seconds, total shard
+  /// container bytes shipped over the pipes (the measured Lemma 4.3
+  /// shuffle traffic), and the executor's wall time.
+  size_t shard_workers = 0;
+  double shard_build_seconds = 0;
+  uint64_t shard_shuffle_bytes = 0;
+  double shard_wall_seconds = 0;
 
   /// Multi-line human-readable report.
   std::string ToString() const;

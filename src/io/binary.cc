@@ -5,11 +5,18 @@
 #include <fstream>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace rpdbscan {
 namespace {
 
 constexpr uint32_t kMagic = 0x53445052;  // "RPDS" little-endian
 constexpr uint32_t kVersion = 1;
+// "RPDSCKSM" little-endian: the first 8 bytes of the optional integrity
+// trailer. Deliberately improbable as float payload data and distinct from
+// the header magic, so a reader can tell "payload + trailer" from
+// "payload only" by length alone and then confirm via this marker.
+constexpr uint64_t kTrailerMagic = 0x4d534b4353445052ULL;
 
 struct Header {
   uint32_t magic;
@@ -20,21 +27,15 @@ struct Header {
 };
 static_assert(sizeof(Header) == 24, "header layout must be packed");
 
+struct Trailer {
+  uint64_t magic;
+  uint64_t checksum;
+};
+static_assert(sizeof(Trailer) == 16, "trailer layout must be packed");
+
 }  // namespace
 
-Status WriteBinary(const std::string& path, const Dataset& ds) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open " + path + " for writing");
-  Header header{kMagic, kVersion, static_cast<uint32_t>(ds.dim()), 0,
-                static_cast<uint64_t>(ds.size())};
-  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
-  out.write(reinterpret_cast<const char*>(ds.flat().data()),
-            static_cast<std::streamsize>(ds.flat().size() * sizeof(float)));
-  if (!out) return Status::IOError("write failure on " + path);
-  return Status::OK();
-}
-
-StatusOr<Dataset> ReadBinary(const std::string& path) {
+StatusOr<RpdsInfo> InspectBinary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
   Header header{};
@@ -52,27 +53,88 @@ StatusOr<Dataset> ReadBinary(const std::string& path) {
   if (header.dim == 0) {
     return Status::InvalidArgument(path + ": zero dimension");
   }
-  // Sanity-check the declared size against the actual file length before
-  // allocating.
-  const auto payload_start = in.tellg();
   in.seekg(0, std::ios::end);
-  const auto file_end = in.tellg();
-  const uint64_t available =
-      static_cast<uint64_t>(file_end - payload_start);
+  const uint64_t file_bytes = static_cast<uint64_t>(in.tellg());
+  const uint64_t available = file_bytes - sizeof(Header);
   const uint64_t bytes_per_point =
       static_cast<uint64_t>(header.dim) * sizeof(float);
-  // Overflow-safe: count * bytes_per_point must fit in the file.
+  // Validate the declared size against the actual file length before any
+  // allocation or mapping happens downstream. Division first keeps the
+  // product check overflow-safe against an adversarial count.
   if (header.count > available / bytes_per_point) {
     return Status::InvalidArgument(path + ": truncated payload");
   }
-  in.seekg(payload_start);
-  std::vector<float> flat(header.count * header.dim);
+  const uint64_t payload_bytes = header.count * bytes_per_point;
+  RpdsInfo info;
+  info.dim = header.dim;
+  info.count = header.count;
+  info.payload_offset = sizeof(Header);
+  info.payload_bytes = payload_bytes;
+  info.file_bytes = file_bytes;
+  if (available == payload_bytes) {
+    return info;  // no trailer
+  }
+  if (available != payload_bytes + sizeof(Trailer)) {
+    // Not "payload" and not "payload + trailer": either the header count
+    // undersells the payload or the file carries trailing garbage.
+    return Status::InvalidArgument(
+        path + ": file length does not match header point count");
+  }
+  in.seekg(static_cast<std::streamoff>(sizeof(Header) + payload_bytes));
+  Trailer trailer{};
+  in.read(reinterpret_cast<char*>(&trailer), sizeof(trailer));
+  if (!in || in.gcount() != sizeof(trailer)) {
+    return Status::InvalidArgument(path + ": unreadable checksum trailer");
+  }
+  if (trailer.magic != kTrailerMagic) {
+    return Status::InvalidArgument(path + ": malformed checksum trailer");
+  }
+  info.has_checksum = true;
+  info.checksum = trailer.checksum;
+  return info;
+}
+
+Status WriteBinary(const std::string& path, const Dataset& ds,
+                   const WriteBinaryOptions& opts) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  Header header{kMagic, kVersion, static_cast<uint32_t>(ds.dim()), 0,
+                static_cast<uint64_t>(ds.size())};
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  const size_t payload_bytes = ds.size() * ds.dim() * sizeof(float);
+  out.write(reinterpret_cast<const char*>(ds.raw()),
+            static_cast<std::streamsize>(payload_bytes));
+  if (opts.payload_checksum) {
+    const Trailer trailer{
+        kTrailerMagic,
+        Fnv1a64(reinterpret_cast<const uint8_t*>(ds.raw()), payload_bytes)};
+    out.write(reinterpret_cast<const char*>(&trailer), sizeof(trailer));
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+StatusOr<Dataset> ReadBinary(const std::string& path) {
+  auto info_or = InspectBinary(path);
+  if (!info_or.ok()) return info_or.status();
+  const RpdsInfo& info = *info_or;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(static_cast<std::streamoff>(info.payload_offset));
+  std::vector<float> flat(info.count * info.dim);
   in.read(reinterpret_cast<char*>(flat.data()),
-          static_cast<std::streamsize>(flat.size() * sizeof(float)));
+          static_cast<std::streamsize>(info.payload_bytes));
   if (!in && !flat.empty()) {
     return Status::InvalidArgument(path + ": short read");
   }
-  return Dataset::FromFlat(header.dim, std::move(flat));
+  if (info.has_checksum) {
+    const uint64_t actual = Fnv1a64(
+        reinterpret_cast<const uint8_t*>(flat.data()), info.payload_bytes);
+    if (actual != info.checksum) {
+      return Status::InvalidArgument(path + ": payload checksum mismatch");
+    }
+  }
+  return Dataset::FromFlat(info.dim, std::move(flat));
 }
 
 }  // namespace rpdbscan

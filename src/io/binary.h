@@ -1,6 +1,7 @@
 #ifndef RPDBSCAN_IO_BINARY_H_
 #define RPDBSCAN_IO_BINARY_H_
 
+#include <cstdint>
 #include <string>
 
 #include "io/dataset.h"
@@ -8,16 +9,52 @@
 
 namespace rpdbscan {
 
-/// Binary point-set format: a 24-byte header (magic "RPDS", version,
-/// dimension, point count) followed by the row-major float32 payload.
-/// This is the practical on-disk form for the multi-gigabyte inputs of
-/// Table 3 (CSV parsing would dominate load time at that scale).
+/// Binary point-set format (.rpds, docs/WIRE_FORMATS.md §1): a 24-byte
+/// header (magic "RPDS", version, dimension, point count) followed by the
+/// row-major float32 payload, optionally followed by a 16-byte integrity
+/// trailer (trailer magic + Fnv1a64 of the payload bytes). This is the
+/// practical on-disk form for the multi-gigabyte inputs of Table 3 (CSV
+/// parsing would dominate load time at that scale), and the layout the
+/// out-of-core path maps read-only (io/mmap_dataset.h).
 ///
 /// All integers little-endian; files are not portable to big-endian hosts.
-Status WriteBinary(const std::string& path, const Dataset& ds);
 
-/// Reads a WriteBinary file. Fails with IOError on missing files and with
-/// InvalidArgument on corrupt or truncated content.
+/// Parsed header/trailer metadata of an .rpds file, validated against the
+/// actual file length *before* anything is allocated or mapped: the file
+/// must hold exactly header + count * dim floats, plus optionally the
+/// checksum trailer. Shared by ReadBinary and MmapDataset::Open so both
+/// loaders enforce identical framing.
+struct RpdsInfo {
+  uint32_t dim = 0;
+  uint64_t count = 0;
+  /// Byte offset of the payload (the fixed header size).
+  uint64_t payload_offset = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t file_bytes = 0;
+  /// Trailer presence and its recorded payload checksum (Fnv1a64).
+  bool has_checksum = false;
+  uint64_t checksum = 0;
+};
+
+/// Reads and validates the framing of an .rpds file without touching the
+/// payload. Fails with IOError on unreadable files and InvalidArgument on
+/// bad magic/version/dim, a payload length that does not match the header
+/// (truncated or trailing garbage), or a malformed trailer.
+StatusOr<RpdsInfo> InspectBinary(const std::string& path);
+
+struct WriteBinaryOptions {
+  /// Append the Fnv1a64 payload-checksum trailer. Readers verify it when
+  /// present; files without it stay valid (and byte-identical to what
+  /// earlier revisions wrote).
+  bool payload_checksum = false;
+};
+
+Status WriteBinary(const std::string& path, const Dataset& ds,
+                   const WriteBinaryOptions& opts = WriteBinaryOptions());
+
+/// Reads a WriteBinary file into RAM. Fails with IOError on missing files
+/// and with InvalidArgument on corrupt or truncated content, including a
+/// payload whose Fnv1a64 does not match a present checksum trailer.
 StatusOr<Dataset> ReadBinary(const std::string& path);
 
 }  // namespace rpdbscan

@@ -1,0 +1,132 @@
+#include "io/mmap_dataset.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace rpdbscan {
+namespace {
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+}  // namespace
+
+StatusOr<MmapDataset> MmapDataset::Open(const std::string& path) {
+  auto info_or = InspectBinary(path);
+  if (!info_or.ok()) return info_or.status();
+
+  MmapDataset ds;
+  ds.info_ = *info_or;
+  ds.path_ = path;
+  if (ds.info_.count == 0) {
+    // Nothing to map; PointData(0) is never dereferenced for size() == 0.
+    return StatusOr<MmapDataset>(std::move(ds));
+  }
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  // Map from offset 0 (mmap offsets must be page-aligned and the 24-byte
+  // header is not); the payload pointer is adjusted below.
+  void* map = ::mmap(nullptr, static_cast<size_t>(ds.info_.file_bytes),
+                     PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  ds.map_ = static_cast<uint8_t*>(map);
+  ds.map_bytes_ = static_cast<size_t>(ds.info_.file_bytes);
+  ds.payload_ =
+      reinterpret_cast<const float*>(ds.map_ + ds.info_.payload_offset);
+  return StatusOr<MmapDataset>(std::move(ds));
+}
+
+MmapDataset::MmapDataset(MmapDataset&& other) noexcept
+    : info_(other.info_),
+      path_(std::move(other.path_)),
+      map_(other.map_),
+      map_bytes_(other.map_bytes_),
+      payload_(other.payload_) {
+  other.map_ = nullptr;
+  other.map_bytes_ = 0;
+  other.payload_ = nullptr;
+}
+
+MmapDataset& MmapDataset::operator=(MmapDataset&& other) noexcept {
+  if (this == &other) return *this;
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+  info_ = other.info_;
+  path_ = std::move(other.path_);
+  map_ = other.map_;
+  map_bytes_ = other.map_bytes_;
+  payload_ = other.payload_;
+  other.map_ = nullptr;
+  other.map_bytes_ = 0;
+  other.payload_ = nullptr;
+  return *this;
+}
+
+MmapDataset::~MmapDataset() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+void MmapDataset::Release(size_t first, size_t count) const {
+  if (map_ == nullptr || count == 0) return;
+  const size_t page = PageSize();
+  const size_t byte_begin =
+      info_.payload_offset + first * info_.dim * sizeof(float);
+  const size_t byte_end = byte_begin + count * info_.dim * sizeof(float);
+  // Only pages fully inside [byte_begin, byte_end): edge pages may carry
+  // neighbouring points (or the header) that are still live.
+  const size_t aligned_begin = (byte_begin + page - 1) / page * page;
+  const size_t aligned_end = byte_end / page * page;
+  if (aligned_end <= aligned_begin) return;
+  // Advisory: a kernel that refuses (e.g. locked pages) costs us RSS, not
+  // correctness, so the return value is deliberately ignored after EINVAL
+  // filtering in debug builds would add nothing.
+  ::madvise(map_ + aligned_begin, aligned_end - aligned_begin,
+            MADV_DONTNEED);
+}
+
+Status MmapDataset::VerifyChecksum() const {
+  if (!info_.has_checksum) return Status::OK();
+  uint64_t actual = 0xcbf29ce484222325ULL;  // FNV-1a basis
+  if (info_.payload_bytes > 0) {
+    // Fold in page-cache-friendly strides so verification itself stays
+    // within a modest resident footprint.
+    const uint8_t* base = map_ + info_.payload_offset;
+    const size_t stride = 4u << 20;
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t off = 0; off < info_.payload_bytes; off += stride) {
+      const size_t n =
+          std::min(stride, static_cast<size_t>(info_.payload_bytes) - off);
+      for (size_t i = 0; i < n; ++i) {
+        h ^= base[off + i];
+        h *= 0x100000001b3ULL;
+      }
+      const size_t first_pt = off / (info_.dim * sizeof(float));
+      const size_t last_pt = (off + n) / (info_.dim * sizeof(float));
+      Release(first_pt, last_pt - first_pt);
+    }
+    actual = h;
+  }
+  if (actual != info_.checksum) {
+    return Status::InvalidArgument(path_ + ": payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace rpdbscan

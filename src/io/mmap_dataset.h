@@ -1,0 +1,70 @@
+#ifndef RPDBSCAN_IO_MMAP_DATASET_H_
+#define RPDBSCAN_IO_MMAP_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/binary.h"
+#include "io/point_source.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// An .rpds file mapped read-only: the out-of-core PointSource. Open()
+/// validates the framing via InspectBinary (same checks as ReadBinary,
+/// nothing is mapped until the header passes), then maps the whole file
+/// once; pages fault in lazily as the payload is touched, and
+/// Release()/DropResidency() hand ranges back to the kernel with
+/// MADV_DONTNEED, so a chunked scan keeps resident only what the caller's
+/// budget allows. File-backed and read-only, dropping pages discards
+/// nothing — they re-fault from the page cache or disk on the next touch.
+///
+/// Move-only; the mapping lives until destruction.
+class MmapDataset : public PointSource {
+ public:
+  static StatusOr<MmapDataset> Open(const std::string& path);
+
+  MmapDataset(MmapDataset&& other) noexcept;
+  MmapDataset& operator=(MmapDataset&& other) noexcept;
+  MmapDataset(const MmapDataset&) = delete;
+  MmapDataset& operator=(const MmapDataset&) = delete;
+  ~MmapDataset() override;
+
+  size_t dim() const override { return info_.dim; }
+  size_t size() const override { return info_.count; }
+  const float* PointData(size_t first) const override {
+    return payload_ + first * info_.dim;
+  }
+
+  /// Drops the pages fully covered by points [first, first + count) from
+  /// RSS. Partial edge pages stay resident (they may be shared with
+  /// neighbouring points).
+  void Release(size_t first, size_t count) const override;
+
+  /// Drops every payload page from RSS.
+  void DropResidency() const { Release(0, info_.count); }
+
+  /// Framing metadata (header fields, trailer presence) of the open file.
+  const RpdsInfo& info() const { return info_; }
+
+  /// Recomputes the payload Fnv1a64 against the trailer, when the file has
+  /// one. Sequentially faults the whole payload in (and drops it again
+  /// afterwards); OK when no trailer is present.
+  Status VerifyChecksum() const;
+
+ private:
+  MmapDataset() = default;
+
+  RpdsInfo info_;
+  std::string path_;
+  /// Base of the mapping (file offset 0) and its total length.
+  uint8_t* map_ = nullptr;
+  size_t map_bytes_ = 0;
+  /// map_ + payload_offset, as floats.
+  const float* payload_ = nullptr;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_MMAP_DATASET_H_

@@ -1,0 +1,118 @@
+#ifndef RPDBSCAN_IO_POINT_SOURCE_H_
+#define RPDBSCAN_IO_POINT_SOURCE_H_
+
+#include <cstddef>
+
+#include "io/dataset.h"
+
+namespace rpdbscan {
+
+/// Read-only access to a row-major float32 point set whose resident
+/// footprint the caller controls — the common interface over the in-RAM
+/// Dataset and the memory-mapped MmapDataset that the out-of-core Phase I
+/// build streams chunks through.
+///
+/// Both implementations expose one contiguous coordinate region, so a
+/// "chunk" is just a point range [first, first + count) viewed in place;
+/// what differs is the cost model. Release(first, count) is the residency
+/// hint: a mapped source drops the range's pages from RSS (they re-fault
+/// from the page cache on the next touch), an in-RAM source ignores it.
+/// Chunked consumers (ChunkIterator below) release each chunk before
+/// moving to the next, which is what bounds peak RSS by the chunk budget
+/// instead of the input size.
+class PointSource {
+ public:
+  virtual ~PointSource() = default;
+
+  virtual size_t dim() const = 0;
+  virtual size_t size() const = 0;
+
+  /// The rows starting at point `first` (valid through `size() - 1`;
+  /// `first <= size()`). The pointer stays valid for the source's
+  /// lifetime — Release only affects residency, never addressability.
+  virtual const float* PointData(size_t first) const = 0;
+
+  /// Residency hint: the caller is done with points
+  /// [first, first + count) for now. Never required for correctness.
+  virtual void Release(size_t /*first*/, size_t /*count*/) const {}
+
+  /// A zero-copy Dataset view of the whole source (io/dataset.h borrowed
+  /// backing): how the unchanged Phase II/III pipeline consumes a mapped
+  /// source. Valid for the source's lifetime.
+  Dataset BorrowedView() const {
+    return Dataset::Borrowed(dim(), PointData(0), size());
+  }
+
+  size_t PayloadBytes() const { return size() * dim() * sizeof(float); }
+};
+
+/// PointSource over an in-RAM Dataset (no residency control — the data is
+/// resident by definition). Borrows the data set; it must outlive this.
+class DatasetSource : public PointSource {
+ public:
+  explicit DatasetSource(const Dataset& data) : data_(&data) {}
+
+  size_t dim() const override { return data_->dim(); }
+  size_t size() const override { return data_->size(); }
+  const float* PointData(size_t first) const override {
+    return data_->raw() + first * data_->dim();
+  }
+
+ private:
+  const Dataset* data_;
+};
+
+/// One chunk of a budgeted scan.
+struct PointChunk {
+  size_t first = 0;
+  size_t count = 0;
+  /// `count` rows of `dim` floats, viewed in place.
+  const float* data = nullptr;
+};
+
+/// Forward scan over a PointSource in chunks sized so one chunk's
+/// coordinates fit `budget_bytes` (at least one point per chunk). Each
+/// call to Next releases the previous chunk before returning the next, so
+/// a mapped source keeps at most one chunk of payload resident.
+class ChunkIterator {
+ public:
+  ChunkIterator(const PointSource& source, size_t budget_bytes)
+      : source_(&source) {
+    const size_t point_bytes = source.dim() * sizeof(float);
+    points_per_chunk_ = budget_bytes / (point_bytes == 0 ? 1 : point_bytes);
+    if (points_per_chunk_ == 0) points_per_chunk_ = 1;
+  }
+
+  size_t points_per_chunk() const { return points_per_chunk_; }
+  size_t num_chunks() const {
+    return (source_->size() + points_per_chunk_ - 1) / points_per_chunk_;
+  }
+
+  /// Fills `*out` with the next chunk; false at the end of the source
+  /// (after releasing the final chunk).
+  bool Next(PointChunk* out) {
+    if (prev_count_ > 0) {
+      source_->Release(next_ - prev_count_, prev_count_);
+      prev_count_ = 0;
+    }
+    if (next_ >= source_->size()) return false;
+    const size_t count =
+        std::min(points_per_chunk_, source_->size() - next_);
+    out->first = next_;
+    out->count = count;
+    out->data = source_->PointData(next_);
+    next_ += count;
+    prev_count_ = count;
+    return true;
+  }
+
+ private:
+  const PointSource* source_;
+  size_t points_per_chunk_ = 1;
+  size_t next_ = 0;
+  size_t prev_count_ = 0;
+};
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_IO_POINT_SOURCE_H_

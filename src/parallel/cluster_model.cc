@@ -1,16 +1,38 @@
 #include "parallel/cluster_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <queue>
 
 namespace rpdbscan {
 
 double LoadImbalance(const std::vector<double>& task_seconds) {
-  if (task_seconds.size() < 2) return 1.0;
-  const auto [min_it, max_it] =
-      std::minmax_element(task_seconds.begin(), task_seconds.end());
-  if (*min_it <= 1e-12) return 1.0;
-  return *max_it / *min_it;
+  // NaN poisons minmax_element (comparisons are all-false), and a stage
+  // that records Inf or a negative duration is a measurement glitch, not
+  // skew — ignore such entries instead of returning garbage ratios.
+  double min_t = std::numeric_limits<double>::infinity();
+  double max_t = 0.0;
+  size_t finite = 0;
+  for (const double t : task_seconds) {
+    if (!std::isfinite(t) || t < 0.0) continue;
+    ++finite;
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  if (finite < 2) return 1.0;
+  if (min_t <= 1e-12) return 1.0;
+  return max_t / min_t;
+}
+
+std::vector<StageImbalance> PerStageImbalance(
+    const std::vector<StageTaskTimes>& stages) {
+  std::vector<StageImbalance> out;
+  out.reserve(stages.size());
+  for (const StageTaskTimes& s : stages) {
+    out.push_back({s.stage_name, LoadImbalance(s.task_seconds)});
+  }
+  return out;
 }
 
 double MakespanForWorkers(const std::vector<double>& task_seconds,

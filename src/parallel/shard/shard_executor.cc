@@ -1,0 +1,193 @@
+#include "parallel/shard/shard_executor.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "io/framing.h"
+#include "parallel/shard/shard_protocol.h"
+#include "util/stopwatch.h"
+
+namespace rpdbscan {
+namespace {
+
+/// A shard container is dictionary-sized (Lemma 4.3: a few percent of the
+/// payload), so 1 GiB is a generous sanity bound, not a real limit.
+constexpr size_t kMaxShardBytes = 1ull << 30;
+
+struct WorkerProc {
+  pid_t pid = -1;
+  int read_fd = -1;
+};
+
+/// The worker body, run in the forked child. Builds the entries of every
+/// cell in the partitions this worker owns, ships the encoded shard, and
+/// _exit()s — never returns, never unwinds into the coordinator's state
+/// (a forked child must not run the parent's destructors or flush its
+/// stdio twice).
+[[noreturn]] void RunWorker(const Dataset& data, const CellSet& cells,
+                            uint32_t worker_id, size_t num_workers,
+                            int write_fd) {
+  Stopwatch build;
+  ShardResult shard;
+  shard.worker_id = worker_id;
+  for (uint32_t p = worker_id; p < cells.num_partitions();
+       p += static_cast<uint32_t>(num_workers)) {
+    for (const uint32_t cid : cells.partition(p)) {
+      shard.entries.push_back(CellDictionary::MakeCellEntry(
+          data, cells.geom(), cells.cell(cid), cid));
+    }
+  }
+  shard.build_seconds = build.ElapsedSeconds();
+  const std::vector<uint8_t> payload =
+      EncodeShardContainer(shard, data.dim());
+  const Status shipped =
+      WriteFrame(write_fd, kShardFrameMagic, kShardFrameResult,
+                 payload.data(), payload.size());
+  ::close(write_fd);
+  ::_exit(shipped.ok() ? 0 : 2);
+}
+
+/// Reaps one worker; folds an abnormal exit into `*first_error` (keeping
+/// the earliest failure) so every child is always waited on.
+void ReapWorker(const WorkerProc& proc, uint32_t worker_id,
+                Status* first_error) {
+  if (proc.pid < 0) return;
+  int status = 0;
+  const pid_t r = ::waitpid(proc.pid, &status, 0);
+  if (!first_error->ok()) return;
+  if (r != proc.pid) {
+    *first_error = Status::Internal("shard executor: waitpid failed for "
+                                    "worker " +
+                                    std::to_string(worker_id));
+  } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    *first_error = Status::Internal(
+        "shard executor: worker " + std::to_string(worker_id) +
+        " exited abnormally (status " + std::to_string(status) + ")");
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<CellEntry>> BuildDictionaryEntriesSharded(
+    const Dataset& data, const CellSet& cells, size_t num_workers,
+    ShardExecStats* stats) {
+  ShardExecStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  *stats = ShardExecStats{};
+  if (num_workers == 0) {
+    return Status::InvalidArgument("shard executor: need >= 1 worker");
+  }
+  stats->num_workers = num_workers;
+  stats->worker_build_seconds.assign(num_workers, 0);
+  stats->shard_bytes.assign(num_workers, 0);
+  stats->shard_cells.assign(num_workers, 0);
+  stats->shard_subcells.assign(num_workers, 0);
+
+  Stopwatch wall;
+  std::vector<WorkerProc> procs(num_workers);
+  Status failure = Status::OK();
+
+  for (size_t w = 0; w < num_workers; ++w) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      failure = Status::IOError(std::string("shard executor: pipe: ") +
+                                std::strerror(errno));
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      failure = Status::IOError(std::string("shard executor: fork: ") +
+                                std::strerror(errno));
+      break;
+    }
+    if (pid == 0) {
+      // Child: drop inherited read ends (ours and earlier workers').
+      ::close(fds[0]);
+      for (size_t e = 0; e < w; ++e) ::close(procs[e].read_fd);
+      RunWorker(data, cells, static_cast<uint32_t>(w), num_workers, fds[1]);
+    }
+    ::close(fds[1]);  // parent keeps only the read end
+    procs[w] = WorkerProc{pid, fds[0]};
+  }
+
+  // Collect every shard (in worker order; workers compute concurrently and
+  // block only on pipe backpressure while shipping).
+  std::vector<CellEntry> table(cells.num_cells());
+  std::vector<uint8_t> placed(cells.num_cells(), 0);
+  double assemble_seconds = 0;
+  for (size_t w = 0; w < num_workers && failure.ok(); ++w) {
+    Frame frame;
+    const Status read = ReadFrame(procs[w].read_fd, kShardFrameMagic,
+                                  kMaxShardBytes, &frame,
+                                  "shard pipe " + std::to_string(w));
+    if (!read.ok()) {
+      failure = read.code() == StatusCode::kNotFound
+                    ? Status::Internal("shard executor: worker " +
+                                       std::to_string(w) +
+                                       " died before shipping its shard")
+                    : read;
+      break;
+    }
+    if (frame.type != kShardFrameResult) {
+      failure = Status::Internal("shard executor: unexpected frame type " +
+                                 std::to_string(frame.type) + " from worker " +
+                                 std::to_string(w));
+      break;
+    }
+    Stopwatch assemble;
+    auto shard_or = DecodeShardContainer(frame.payload.data(),
+                                         frame.payload.size(), data.dim());
+    if (!shard_or.ok()) {
+      failure = shard_or.status();
+      break;
+    }
+    ShardResult& shard = *shard_or;
+    if (shard.worker_id != w) {
+      failure = Status::Internal(
+          "shard executor: worker id mismatch on pipe " + std::to_string(w));
+      break;
+    }
+    stats->worker_build_seconds[w] = shard.build_seconds;
+    stats->shard_bytes[w] = frame.payload.size();
+    stats->shard_cells[w] = shard.entries.size();
+    for (CellEntry& e : shard.entries) {
+      stats->shard_subcells[w] += e.subcells.size();
+      if (e.cell_id >= table.size() || placed[e.cell_id]) {
+        failure = Status::Internal(
+            "shard executor: worker " + std::to_string(w) +
+            " shipped out-of-range or duplicate cell id " +
+            std::to_string(e.cell_id));
+        break;
+      }
+      placed[e.cell_id] = 1;
+      table[e.cell_id] = std::move(e);
+    }
+    assemble_seconds += assemble.ElapsedSeconds();
+  }
+
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (procs[w].read_fd >= 0) ::close(procs[w].read_fd);
+    ReapWorker(procs[w], static_cast<uint32_t>(w), &failure);
+  }
+  RPDBSCAN_RETURN_IF_ERROR(failure);
+
+  for (size_t c = 0; c < placed.size(); ++c) {
+    if (!placed[c]) {
+      return Status::InvalidArgument(
+          "shard executor: assembled table has a hole at cell " +
+          std::to_string(c) + " (no worker owned it)");
+    }
+  }
+  stats->assemble_seconds = assemble_seconds;
+  stats->wall_seconds = wall.ElapsedSeconds();
+  return table;
+}
+
+}  // namespace rpdbscan

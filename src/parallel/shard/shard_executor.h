@@ -1,0 +1,69 @@
+#ifndef RPDBSCAN_PARALLEL_SHARD_SHARD_EXECUTOR_H_
+#define RPDBSCAN_PARALLEL_SHARD_SHARD_EXECUTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_set.h"
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Measured accounting of one sharded Phase I-2 execution: the numbers
+/// bench_oocore reports against cluster_model's predictions and against
+/// the Lemma 4.3 traffic claim.
+struct ShardExecStats {
+  size_t num_workers = 0;
+  /// Per-worker wall seconds spent building entries (reported by each
+  /// worker, indexed by worker id).
+  std::vector<double> worker_build_seconds;
+  /// Per-worker shard container bytes crossing the pipe (the measured
+  /// shuffle traffic), and its cell/sub-cell composition.
+  std::vector<uint64_t> shard_bytes;
+  std::vector<uint64_t> shard_cells;
+  std::vector<uint64_t> shard_subcells;
+  /// Coordinator wall seconds: fork through last shard decoded.
+  double wall_seconds = 0;
+  /// Coordinator-side decode + dense-table placement seconds.
+  double assemble_seconds = 0;
+
+  uint64_t TotalShuffleBytes() const {
+    uint64_t total = 0;
+    for (const uint64_t b : shard_bytes) total += b;
+    return total;
+  }
+};
+
+/// Multi-process Phase I-2: forks `num_workers` real processes, worker w
+/// builds the CellEntry of every cell in the partitions it owns
+/// (partition p goes to worker p % num_workers — the cell set's
+/// pseudo-random partitioning already balanced them), ships its shard
+/// back through a checksummed container framed on a pipe
+/// (parallel/shard/shard_protocol.h), and the coordinator places the
+/// decoded entries into the dense cell-id table that
+/// CellDictionary::FromEntries assembles.
+///
+/// Entry computation is MakeCellEntry — the same pure function the
+/// in-process build runs per cell — so the assembled entry table, and
+/// with it the dictionary and its Serialize() bytes, are bit-identical
+/// to CellDictionary::Build over the same cells
+/// (verify/audit.h AuditShardAssembly checks exactly this).
+///
+/// Workers inherit `data` and `cells` by fork (copy-on-write; a mapped
+/// Dataset view shares the page cache) and never touch the coordinator's
+/// thread pool: each worker is single-threaded, the process count is the
+/// parallelism. num_workers == 1 still forks (the measured 1-worker
+/// baseline includes real process + shuffle overhead). Requires
+/// num_workers >= 1; fails with Internal when a worker dies or ships a
+/// corrupt shard, and with InvalidArgument when the assembled table has
+/// holes (a cell no worker owned).
+StatusOr<std::vector<CellEntry>> BuildDictionaryEntriesSharded(
+    const Dataset& data, const CellSet& cells, size_t num_workers,
+    ShardExecStats* stats = nullptr);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_PARALLEL_SHARD_SHARD_EXECUTOR_H_

@@ -1,0 +1,145 @@
+#include "parallel/shard/shard_protocol.h"
+
+#include <cstring>
+#include <string>
+
+#include "io/section_file.h"
+
+namespace rpdbscan {
+namespace {
+
+/// META section: u32 worker_id, u32 dim, u64 num_entries,
+/// u64 num_subcells, u64 build_micros. Fixed 32 bytes.
+constexpr size_t kMetaBytes = 32;
+/// CELLS section, per entry: u32 cell_id, u32 num_subcells, i32 coord[dim].
+/// SUBCELLS section, per sub-cell (entry order): u64 lo, u64 hi, u32 count.
+constexpr size_t kSubcellBytes = 20;
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(T));
+  std::memcpy(out->data() + at, &v, sizeof(T));
+}
+
+template <typename T>
+T Get(const uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeShardContainer(const ShardResult& shard,
+                                          size_t dim) {
+  uint64_t num_subcells = 0;
+  for (const CellEntry& e : shard.entries) num_subcells += e.subcells.size();
+
+  std::vector<uint8_t> meta;
+  meta.reserve(kMetaBytes);
+  Put<uint32_t>(&meta, shard.worker_id);
+  Put<uint32_t>(&meta, static_cast<uint32_t>(dim));
+  Put<uint64_t>(&meta, shard.entries.size());
+  Put<uint64_t>(&meta, num_subcells);
+  Put<uint64_t>(&meta, static_cast<uint64_t>(shard.build_seconds * 1e6));
+
+  std::vector<uint8_t> cells;
+  cells.reserve(shard.entries.size() * (8 + dim * 4));
+  std::vector<uint8_t> subs;
+  subs.reserve(num_subcells * kSubcellBytes);
+  for (const CellEntry& e : shard.entries) {
+    Put<uint32_t>(&cells, e.cell_id);
+    Put<uint32_t>(&cells, static_cast<uint32_t>(e.subcells.size()));
+    for (size_t d = 0; d < dim; ++d) {
+      Put<int32_t>(&cells, e.coord[d]);
+    }
+    for (const DictSubcell& s : e.subcells) {
+      Put<uint64_t>(&subs, s.id.lo);
+      Put<uint64_t>(&subs, s.id.hi);
+      Put<uint32_t>(&subs, s.count);
+    }
+  }
+
+  SectionFileWriter writer(kShardContainerMagic, kShardContainerVersion);
+  writer.AddSection(kShardSectionMeta, std::move(meta));
+  writer.AddSection(kShardSectionCells, std::move(cells));
+  writer.AddSection(kShardSectionSubcells, std::move(subs));
+  return writer.Finish();
+}
+
+StatusOr<ShardResult> DecodeShardContainer(const uint8_t* data, size_t size,
+                                           size_t dim) {
+  auto reader_or = SectionFileReader::Parse(
+      data, size, kShardContainerMagic, kShardContainerVersion, "shard");
+  RPDBSCAN_RETURN_IF_ERROR(reader_or.status());
+  const SectionFileReader& reader = *reader_or;
+
+  auto meta_or = reader.Section(kShardSectionMeta, "meta");
+  RPDBSCAN_RETURN_IF_ERROR(meta_or.status());
+  if (meta_or->size != kMetaBytes) {
+    return Status::InvalidArgument("shard meta: wrong size " +
+                                   std::to_string(meta_or->size));
+  }
+  const uint8_t* m = meta_or->data;
+  ShardResult shard;
+  shard.worker_id = Get<uint32_t>(m);
+  const uint32_t wire_dim = Get<uint32_t>(m + 4);
+  const uint64_t num_entries = Get<uint64_t>(m + 8);
+  const uint64_t num_subcells = Get<uint64_t>(m + 16);
+  shard.build_seconds = static_cast<double>(Get<uint64_t>(m + 24)) * 1e-6;
+  if (wire_dim != dim || dim == 0 || dim > CellCoord::kMaxDim) {
+    return Status::InvalidArgument(
+        "shard meta: dimension mismatch (wire " + std::to_string(wire_dim) +
+        ", expected " + std::to_string(dim) + ")");
+  }
+
+  auto cells_or = reader.Section(kShardSectionCells, "cells");
+  RPDBSCAN_RETURN_IF_ERROR(cells_or.status());
+  auto subs_or = reader.Section(kShardSectionSubcells, "subcells");
+  RPDBSCAN_RETURN_IF_ERROR(subs_or.status());
+
+  const size_t cell_bytes = 8 + dim * 4;
+  if (cells_or->size != num_entries * cell_bytes) {
+    return Status::InvalidArgument("shard cells: size does not match meta");
+  }
+  if (subs_or->size != num_subcells * kSubcellBytes) {
+    return Status::InvalidArgument("shard subcells: size does not match meta");
+  }
+
+  shard.entries.resize(num_entries);
+  const uint8_t* c = cells_or->data;
+  const uint8_t* s = subs_or->data;
+  uint64_t subs_used = 0;
+  for (uint64_t i = 0; i < num_entries; ++i) {
+    CellEntry& e = shard.entries[i];
+    e.cell_id = Get<uint32_t>(c);
+    const uint32_t nsub = Get<uint32_t>(c + 4);
+    int32_t coord[CellCoord::kMaxDim];
+    for (size_t d = 0; d < dim; ++d) {
+      coord[d] = Get<int32_t>(c + 8 + d * 4);
+    }
+    e.coord = CellCoord(coord, dim);
+    c += cell_bytes;
+    if (subs_used + nsub > num_subcells) {
+      return Status::InvalidArgument(
+          "shard cells: sub-cell ranges overrun the subcells section");
+    }
+    e.subcells.resize(nsub);
+    for (uint32_t j = 0; j < nsub; ++j) {
+      e.subcells[j].id.lo = Get<uint64_t>(s);
+      e.subcells[j].id.hi = Get<uint64_t>(s + 8);
+      e.subcells[j].count = Get<uint32_t>(s + 16);
+      s += kSubcellBytes;
+    }
+    subs_used += nsub;
+  }
+  if (subs_used != num_subcells) {
+    return Status::InvalidArgument(
+        "shard subcells: " + std::to_string(num_subcells - subs_used) +
+        " sub-cells not claimed by any cell");
+  }
+  return shard;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,56 @@
+#ifndef RPDBSCAN_PARALLEL_SHARD_SHARD_PROTOCOL_H_
+#define RPDBSCAN_PARALLEL_SHARD_SHARD_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cell_dictionary.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Wire protocol of the multi-process Phase I-2 shuffle
+/// (docs/WIRE_FORMATS.md §5): each worker ships its sub-dictionary shard —
+/// the CellEntry of every cell it owns — back to the coordinator as a
+/// checksummed section_file container, framed on the pipe with the
+/// io/framing 16-byte header. This is the reproduction of the paper's
+/// core shuffle claim (Lemma 4.3): what crosses the process boundary is
+/// cell/sub-cell summaries, never point payload.
+
+/// Container identity ("RPSH" little-endian) and section ids.
+inline constexpr uint32_t kShardContainerMagic = 0x48535052;
+inline constexpr uint32_t kShardContainerVersion = 1;
+inline constexpr uint32_t kShardSectionMeta = 1;
+inline constexpr uint32_t kShardSectionCells = 2;
+inline constexpr uint32_t kShardSectionSubcells = 3;
+
+/// Pipe frame identity ("RPSC" little-endian) and the single frame type a
+/// worker emits.
+inline constexpr uint32_t kShardFrameMagic = 0x43535052;
+inline constexpr uint32_t kShardFrameResult = 1;
+
+/// One worker's shard: the dictionary entries of the cells it owns (any
+/// order — cell_id addresses each into the dense global table) plus its
+/// build timing for the predicted-vs-measured makespan comparison.
+struct ShardResult {
+  uint32_t worker_id = 0;
+  /// Wall seconds the worker spent building its entries (entry
+  /// computation only; excludes encode/ship).
+  double build_seconds = 0;
+  std::vector<CellEntry> entries;
+};
+
+/// Encodes a shard into the section container. `dim` fixes the per-cell
+/// coordinate width; every entry's coord must carry that dimension.
+std::vector<uint8_t> EncodeShardContainer(const ShardResult& shard,
+                                          size_t dim);
+
+/// Decodes and validates a container (framing, checksums, counts).
+/// Fails with InvalidArgument naming the broken stage on any corruption.
+StatusOr<ShardResult> DecodeShardContainer(const uint8_t* data, size_t size,
+                                           size_t dim);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_PARALLEL_SHARD_SHARD_PROTOCOL_H_

@@ -100,7 +100,7 @@ std::vector<uint8_t> EncodeClassifyRequest(const Dataset& queries) {
   StoreU32(&meta, static_cast<uint32_t>(queries.size()));
   std::vector<uint8_t> body(queries.size() * queries.dim() * sizeof(float));
   if (!body.empty()) {
-    std::memcpy(body.data(), queries.flat().data(), body.size());
+    std::memcpy(body.data(), queries.raw(), body.size());
   }
   SectionFileWriter w(kRequestMagic, kServeWireVersion);
   w.AddSection(kSectionMeta, std::move(meta));

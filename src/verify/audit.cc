@@ -763,4 +763,47 @@ AuditReport AuditLabels(const Dataset& data, const CellSet& cells,
   return report;
 }
 
+AuditReport AuditShardAssembly(const Dataset& data, const CellSet& cells,
+                               const CellDictionary& sharded,
+                               const CellDictionaryOptions& opts,
+                               ThreadPool* pool) {
+  AuditReport report;
+  auto reference_or = CellDictionary::Build(data, cells, opts, pool);
+  if (!reference_or.ok()) {
+    report.Fail("shard assembly: single-process reference build failed: " +
+                reference_or.status().ToString());
+    return report;
+  }
+  const CellDictionary& reference = *reference_or;
+  report.Check(sharded.num_cells() == reference.num_cells(), [&] {
+    return Cat("shard assembly: cell count ", sharded.num_cells(),
+               " != single-process ", reference.num_cells());
+  });
+  report.Check(sharded.num_subcells() == reference.num_subcells(), [&] {
+    return Cat("shard assembly: sub-cell count ", sharded.num_subcells(),
+               " != single-process ", reference.num_subcells());
+  });
+  const std::vector<uint8_t> sharded_bytes = sharded.Serialize();
+  const std::vector<uint8_t> reference_bytes = reference.Serialize();
+  report.Check(sharded_bytes.size() == reference_bytes.size(), [&] {
+    return Cat("shard assembly: serialized size ", sharded_bytes.size(),
+               " != single-process ", reference_bytes.size());
+  });
+  if (sharded_bytes.size() == reference_bytes.size()) {
+    size_t first_diff = sharded_bytes.size();
+    for (size_t i = 0; i < sharded_bytes.size(); ++i) {
+      if (sharded_bytes[i] != reference_bytes[i]) {
+        first_diff = i;
+        break;
+      }
+    }
+    report.Check(first_diff == sharded_bytes.size(), [&] {
+      return Cat("shard assembly: serialized dictionary diverges from the "
+                 "single-process build at byte ",
+                 first_diff, " of ", sharded_bytes.size());
+    });
+  }
+  return report;
+}
+
 }  // namespace rpdbscan

@@ -154,6 +154,19 @@ AuditReport AuditLabels(const Dataset& data, const CellSet& cells,
                         const Labels& labels, size_t min_pts,
                         AuditLevel level, uint64_t seed);
 
+/// Audits a multi-process sharded Phase I-2 assembly (the shard-boundary
+/// contract of parallel/shard/shard_executor.h): rebuilds the dictionary
+/// single-process over the same cells and checks the sharded dictionary's
+/// Serialize() bytes — the Lemma 4.3 broadcast payload — are byte-equal,
+/// plus the cell/sub-cell counts. Crossing the process boundary (fork,
+/// container encode/decode, pipe) must be invisible in the assembled
+/// dictionary; any divergence is a shard-protocol bug, not a modeling
+/// difference. O(dictionary) time plus one single-process Build.
+AuditReport AuditShardAssembly(const Dataset& data, const CellSet& cells,
+                               const CellDictionary& sharded,
+                               const CellDictionaryOptions& opts,
+                               ThreadPool* pool = nullptr);
+
 }  // namespace rpdbscan
 
 #endif  // RPDBSCAN_VERIFY_AUDIT_H_

@@ -100,6 +100,119 @@ TEST_F(BinaryIoTest, RejectsAbsurdCount) {
   EXPECT_FALSE(ReadBinary(path_).ok());
 }
 
+TEST_F(BinaryIoTest, ChecksumTrailerRoundTrip) {
+  const Dataset ds = synth::Blobs(777, 4, 1.0, 74, /*dim=*/3);
+  WriteBinaryOptions opts;
+  opts.payload_checksum = true;
+  ASSERT_TRUE(WriteBinary(path_, ds, opts).ok());
+  auto info = InspectBinary(path_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_TRUE(info->has_checksum);
+  EXPECT_EQ(info->payload_bytes, ds.size() * ds.dim() * sizeof(float));
+  EXPECT_EQ(info->file_bytes, info->payload_offset + info->payload_bytes + 16);
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->flat(), ds.flat());
+}
+
+TEST_F(BinaryIoTest, ChecksumTrailerEmptyDataset) {
+  WriteBinaryOptions opts;
+  opts.payload_checksum = true;
+  ASSERT_TRUE(WriteBinary(path_, Dataset(2), opts).ok());
+  auto back = ReadBinary(path_);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->size(), 0u);
+}
+
+TEST_F(BinaryIoTest, ChecksumTrailerDetectsPayloadBitFlip) {
+  const Dataset ds = synth::Blobs(300, 3, 1.0, 75);
+  WriteBinaryOptions opts;
+  opts.payload_checksum = true;
+  ASSERT_TRUE(WriteBinary(path_, ds, opts).ok());
+  // Flip one bit in the middle of the payload; the framing stays intact,
+  // so only the checksum can catch it.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(24 + 100);
+  char b = 0;
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x10);
+  f.seekp(24 + 100);
+  f.write(&b, 1);
+  f.close();
+  auto r = ReadBinary(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().ToString().find("checksum"), std::string::npos)
+      << r.status();
+}
+
+TEST_F(BinaryIoTest, ChecksumTrailerDetectsTrailerBitFlip) {
+  const Dataset ds = synth::Blobs(300, 3, 1.0, 76);
+  WriteBinaryOptions opts;
+  opts.payload_checksum = true;
+  ASSERT_TRUE(WriteBinary(path_, ds, opts).ok());
+  // Corrupt the stored checksum itself (last 8 bytes of the file).
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(-1, std::ios::end);
+  const char b = 0x7f;
+  f.write(&b, 1);
+  f.close();
+  EXPECT_FALSE(ReadBinary(path_).ok());
+}
+
+TEST_F(BinaryIoTest, ChecksumTrailerDetectsTruncation) {
+  const Dataset ds = synth::Blobs(300, 3, 1.0, 77);
+  WriteBinaryOptions opts;
+  opts.payload_checksum = true;
+  ASSERT_TRUE(WriteBinary(path_, ds, opts).ok());
+  // Chopping payload bytes shifts the trailer into the payload region:
+  // the length check must reject it before any checksum work.
+  std::ifstream in(path_, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  for (const size_t cut : {4u, 15u, 17u, 20u}) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() - cut));
+    out.close();
+    auto r = ReadBinary(path_);
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Cutting exactly the 16 trailer bytes yields a well-formed legacy file
+  // (the trailer is optional); integrity protection is gone but the data
+  // is intact — the reader accepts it by design.
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 16));
+  out.close();
+  auto legacy = ReadBinary(path_);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(legacy->flat(), ds.flat());
+}
+
+TEST_F(BinaryIoTest, InspectValidatesBeforeAllocation) {
+  // A header advertising (2^61 points, dim 4) would overflow a naive
+  // count*dim*4 size check into a small number; InspectBinary must reject
+  // it against the actual file length without ever allocating.
+  std::ofstream out(path_, std::ios::binary);
+  const uint32_t magic = 0x53445052;
+  const uint32_t version = 1;
+  const uint32_t dim = 4;
+  const uint32_t reserved = 0;
+  const uint64_t count = 1ULL << 61;
+  out.write(reinterpret_cast<const char*>(&magic), 4);
+  out.write(reinterpret_cast<const char*>(&version), 4);
+  out.write(reinterpret_cast<const char*>(&dim), 4);
+  out.write(reinterpret_cast<const char*>(&reserved), 4);
+  out.write(reinterpret_cast<const char*>(&count), 8);
+  out.close();
+  auto info = InspectBinary(path_);
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST_F(BinaryIoTest, HighDimensionalRoundTrip) {
   const Dataset ds = synth::TeraLike(500, 73);
   ASSERT_TRUE(WriteBinary(path_, ds).ok());

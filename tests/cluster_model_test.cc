@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace rpdbscan {
 namespace {
 
@@ -17,6 +20,35 @@ TEST(LoadImbalanceTest, DegenerateInputsReturnOne) {
   EXPECT_DOUBLE_EQ(LoadImbalance({}), 1.0);
   EXPECT_DOUBLE_EQ(LoadImbalance({5.0}), 1.0);
   EXPECT_DOUBLE_EQ(LoadImbalance({0.0, 1.0}), 1.0);  // guard against /0
+}
+
+TEST(LoadImbalanceTest, IgnoresNonFiniteAndNegativeTimes) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  // NaN / Inf / negative entries are timer glitches, not skew: they drop
+  // out and the ratio is computed over the remaining finite tasks.
+  EXPECT_DOUBLE_EQ(LoadImbalance({nan, 2.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({inf, 4.0, 1.0}), 4.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({-3.0, 6.0, 2.0}), 3.0);
+  // Result must never be NaN, even for all-bad input.
+  EXPECT_DOUBLE_EQ(LoadImbalance({nan, nan}), 1.0);
+  EXPECT_DOUBLE_EQ(LoadImbalance({nan, 5.0}), 1.0);  // one finite task
+  EXPECT_FALSE(std::isnan(LoadImbalance({nan, inf, -inf})));
+}
+
+TEST(PerStageImbalanceTest, OneEntryPerStageInOrder) {
+  const std::vector<StageTaskTimes> stages = {
+      {"phase2", {1.0, 2.0, 4.0}},
+      {"merge", {3.0, 3.0}},
+      {"empty", {}},
+  };
+  const auto per = PerStageImbalance(stages);
+  ASSERT_EQ(per.size(), 3u);
+  EXPECT_EQ(per[0].stage_name, "phase2");
+  EXPECT_DOUBLE_EQ(per[0].imbalance, 4.0);
+  EXPECT_EQ(per[1].stage_name, "merge");
+  EXPECT_DOUBLE_EQ(per[1].imbalance, 1.0);
+  EXPECT_DOUBLE_EQ(per[2].imbalance, 1.0);
 }
 
 TEST(MakespanTest, SingleWorkerSumsTasks) {

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "io/binary.h"
+#include "io/mmap_dataset.h"
+#include "io/point_source.h"
+#include "parallel/thread_pool.h"
+#include "synth/generators.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+GridGeometry MakeGeom(size_t dim, double eps, double rho = 0.1) {
+  auto g = GridGeometry::Create(dim, eps, rho);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+/// The bit-identity contract of CellSet::BuildExternal: every structure a
+/// downstream phase can observe must match the in-RAM build exactly.
+void ExpectIdenticalCellSets(const CellSet& a, const CellSet& b) {
+  ASSERT_EQ(a.num_cells(), b.num_cells());
+  ASSERT_EQ(a.num_partitions(), b.num_partitions());
+  EXPECT_EQ(a.cell_point_offsets(), b.cell_point_offsets());
+  EXPECT_EQ(a.point_ids(), b.point_ids());
+  for (uint32_t c = 0; c < a.num_cells(); ++c) {
+    ASSERT_EQ(a.cell(c).coord, b.cell(c).coord) << "cell " << c;
+    ASSERT_EQ(a.cell(c).owner_partition, b.cell(c).owner_partition)
+        << "cell " << c;
+  }
+  for (uint32_t p = 0; p < a.num_partitions(); ++p) {
+    EXPECT_EQ(a.partition(p), b.partition(p)) << "partition " << p;
+    EXPECT_EQ(a.PartitionPoints(p), b.PartitionPoints(p));
+  }
+}
+
+class ExternalPhase1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ext_phase1_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    const std::string mkdir = "mkdir -p " + dir_;
+    ASSERT_EQ(std::system(mkdir.c_str()), 0);
+  }
+  void TearDown() override {
+    const std::string rm = "rm -rf " + dir_;
+    (void)std::system(rm.c_str());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ExternalPhase1Test, ByteIdenticalToInRamBuild) {
+  const Dataset ds = synth::GeoLifeLike(30000, 91);
+  const GridGeometry geom = MakeGeom(ds.dim(), 2.0);
+  auto in_ram = CellSet::Build(ds, geom, 16, 7);
+  ASSERT_TRUE(in_ram.ok());
+
+  const DatasetSource source(ds);
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 256u << 10;  // forces several chunks / runs
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext = CellSet::BuildExternal(source, geom, 16, 7, opts, nullptr,
+                                    &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_TRUE(stats.external_path_used);
+  EXPECT_GT(stats.chunks, 1u);
+  EXPECT_GT(stats.runs, 1u);
+  EXPECT_GT(stats.spill_bytes, 0u);
+  ExpectIdenticalCellSets(*ext, *in_ram);
+  EXPECT_TRUE(ext->breakdown().sorted_path_used);
+}
+
+TEST_F(ExternalPhase1Test, ByteIdenticalFromMmapSourceWithPool) {
+  const Dataset ds = synth::GeoLifeLike(25000, 92);
+  const std::string path = dir_ + "/pts.rpds";
+  ASSERT_TRUE(WriteBinary(path, ds).ok());
+  auto m = MmapDataset::Open(path);
+  ASSERT_TRUE(m.ok());
+  const GridGeometry geom = MakeGeom(ds.dim(), 1.5);
+  ThreadPool pool(4);
+  auto in_ram = CellSet::Build(ds, geom, 8, 13, &pool);
+  ASSERT_TRUE(in_ram.ok());
+
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 200u << 10;
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext = CellSet::BuildExternal(*m, geom, 8, 13, opts, &pool, &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_TRUE(stats.external_path_used);
+  EXPECT_GT(stats.runs, 1u);
+  ExpectIdenticalCellSets(*ext, *in_ram);
+}
+
+TEST_F(ExternalPhase1Test, PeakAccountedBytesWithinBudget) {
+  const Dataset ds = synth::GeoLifeLike(20000, 93);
+  const DatasetSource source(ds);
+  const GridGeometry geom = MakeGeom(ds.dim(), 2.0);
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 256u << 10;
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext =
+      CellSet::BuildExternal(source, geom, 8, 7, opts, nullptr, &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_TRUE(stats.external_path_used);
+  EXPECT_GT(stats.peak_accounted_bytes, 0u);
+  EXPECT_LE(stats.peak_accounted_bytes, opts.memory_budget_bytes);
+}
+
+TEST_F(ExternalPhase1Test, LargeBudgetSingleChunkStillIdentical) {
+  const Dataset ds = synth::Blobs(5000, 6, 1.5, 94, /*dim=*/4);
+  const DatasetSource source(ds);
+  const GridGeometry geom = MakeGeom(ds.dim(), 1.0);
+  auto in_ram = CellSet::Build(ds, geom, 4, 3);
+  ASSERT_TRUE(in_ram.ok());
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 64u << 20;  // everything fits one chunk
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext =
+      CellSet::BuildExternal(source, geom, 4, 3, opts, nullptr, &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_EQ(stats.chunks, 1u);
+  EXPECT_EQ(stats.runs, 1u);
+  ExpectIdenticalCellSets(*ext, *in_ram);
+}
+
+TEST_F(ExternalPhase1Test, AbsurdlySmallBudgetStillCorrect) {
+  // A budget far below any floor: the build clamps chunk sizes (also
+  // bounding the number of spill files) and must still be exact.
+  const Dataset ds = synth::GeoLifeLike(6000, 95);
+  const DatasetSource source(ds);
+  const GridGeometry geom = MakeGeom(ds.dim(), 2.0);
+  auto in_ram = CellSet::Build(ds, geom, 8, 7);
+  ASSERT_TRUE(in_ram.ok());
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 1;
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext =
+      CellSet::BuildExternal(source, geom, 8, 7, opts, nullptr, &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_TRUE(stats.external_path_used);
+  EXPECT_LE(stats.runs, 512u);  // fd-bound clamp
+  ExpectIdenticalCellSets(*ext, *in_ram);
+}
+
+TEST_F(ExternalPhase1Test, OversizedKeyFallsBackToInRam) {
+  // 16 dimensions spanning a huge lattice: the cell key cannot fit 128
+  // bits, so the external build must transparently fall back to the
+  // in-RAM path (which itself falls back to the hash engine) and still
+  // produce the identical structure.
+  Dataset ds(16);
+  Rng rng(96);
+  for (size_t i = 0; i < 500; ++i) {
+    float p[16];
+    for (float& v : p) {
+      v = static_cast<float>(rng.Uniform(2000000)) / 7.0f;
+    }
+    ds.Append(p);
+  }
+  const GridGeometry geom = MakeGeom(16, 1.0);
+  auto in_ram = CellSet::Build(ds, geom, 4, 7);
+  ASSERT_TRUE(in_ram.ok());
+  const DatasetSource source(ds);
+  ExternalBuildOptions opts;
+  opts.spill_dir = dir_;
+  ExternalBuildStats stats;
+  auto ext =
+      CellSet::BuildExternal(source, geom, 4, 7, opts, nullptr, &stats);
+  ASSERT_TRUE(ext.ok()) << ext.status();
+  EXPECT_FALSE(stats.external_path_used);
+  EXPECT_EQ(stats.spill_bytes, 0u);
+  ExpectIdenticalCellSets(*ext, *in_ram);
+}
+
+TEST_F(ExternalPhase1Test, RejectsBadArguments) {
+  const Dataset empty(3);
+  const DatasetSource source(empty);
+  const GridGeometry geom = MakeGeom(3, 1.0);
+  ExternalBuildOptions opts;
+  opts.spill_dir = dir_;
+  EXPECT_FALSE(CellSet::BuildExternal(source, geom, 4, 7, opts).ok());
+
+  const Dataset ds = synth::Blobs(100, 2, 1.0, 97);
+  const DatasetSource ok_source(ds);
+  EXPECT_FALSE(
+      CellSet::BuildExternal(ok_source, MakeGeom(3, 1.0), 4, 7, opts).ok())
+      << "dim mismatch must be rejected";
+  EXPECT_FALSE(
+      CellSet::BuildExternal(ok_source, MakeGeom(2, 1.0), 0, 7, opts).ok())
+      << "zero partitions must be rejected";
+}
+
+TEST_F(ExternalPhase1Test, UnwritableSpillDirFails) {
+  // Point spill_dir at a regular file: the per-build subdirectory cannot
+  // be created beneath it (a plain nonexistent path would just be
+  // created, especially when tests run as root).
+  const std::string blocker = dir_ + "/blocker";
+  { std::FILE* f = std::fopen(blocker.c_str(), "w"); ASSERT_NE(f, nullptr);
+    std::fclose(f); }
+  const Dataset ds = synth::Blobs(1000, 2, 1.0, 98);
+  const DatasetSource source(ds);
+  ExternalBuildOptions opts;
+  opts.memory_budget_bytes = 4096;  // force spilling
+  opts.spill_dir = blocker;
+  auto ext =
+      CellSet::BuildExternal(source, MakeGeom(2, 1.0), 4, 7, opts);
+  EXPECT_FALSE(ext.ok());
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -111,6 +111,73 @@ TEST(ParallelSortTest, FullWidthRandomKeys) {
   ExpectStableSorted(keys, 4);
 }
 
+TEST(ParallelSortTest, SpillScaleStability) {
+  // The out-of-core Phase I-1 leans on radix-sort stability at run sizes
+  // of tens of thousands of records (core/external_phase1.cc). Exercise a
+  // spill-relevant scale with a skewed key distribution: long equal-key
+  // runs mixed with full-width outliers.
+  Rng rng(4242);
+  std::vector<uint64_t> keys(200000);
+  for (uint64_t& k : keys) {
+    k = rng.Uniform(10) == 0 ? rng.Next() : rng.Uniform(97);
+  }
+  ExpectStableSorted(keys, 4);
+}
+
+// Mirrors the external-sort spill/merge contract at the parallel_sort
+// level: sort fixed-size chunks independently (the spill pass), then
+// k-way merge with (key, chunk index) ordering (the merge sweep), and
+// check the result is *identical* — keys and position tags — to one
+// monolithic radix sort. Chunks carry ascending position ranges, so
+// stability inside each chunk plus the chunk-index tie-break must
+// reproduce the global stable order even when equal keys straddle chunk
+// boundaries.
+TEST(ParallelSortTest, ChunkedSortPlusMergeMatchesMonolithicSort) {
+  Rng rng(777);
+  const size_t n = 30000;
+  const size_t chunk = 4096;  // last chunk is partial on purpose
+  std::vector<uint64_t> keys(n);
+  // Few distinct keys: every chunk boundary cuts through an equal-key run.
+  for (uint64_t& k : keys) k = rng.Uniform(13);
+  std::vector<Item> monolithic = Tagged(keys);
+  std::vector<Item> scratch;
+  ThreadPool pool(4);
+  ParallelRadixSort(monolithic, scratch, 8, ByteOf, &pool);
+
+  // Spill pass: independent stable sorts over chunks.
+  std::vector<std::vector<Item>> runs;
+  for (size_t first = 0; first < n; first += chunk) {
+    const size_t count = std::min(chunk, n - first);
+    std::vector<Item> run(count);
+    for (size_t i = 0; i < count; ++i) {
+      run[i] = Item{keys[first + i], static_cast<uint32_t>(first + i)};
+    }
+    ParallelRadixSort(run, scratch, 8, ByteOf, &pool);
+    runs.push_back(std::move(run));
+  }
+  // Merge sweep: smallest (key, run index) first.
+  std::vector<Item> merged;
+  merged.reserve(n);
+  std::vector<size_t> cursor(runs.size(), 0);
+  while (merged.size() < n) {
+    size_t best = runs.size();
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (cursor[r] == runs[r].size()) continue;
+      if (best == runs.size() ||
+          runs[r][cursor[r]].key < runs[best][cursor[best]].key) {
+        best = r;
+      }
+    }
+    merged.push_back(runs[best][cursor[best]++]);
+  }
+  ASSERT_EQ(merged.size(), monolithic.size());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(merged[i].key, monolithic[i].key) << "at index " << i;
+    ASSERT_EQ(merged[i].pos, monolithic[i].pos)
+        << "chunk-boundary stability broken at index " << i;
+  }
+}
+
 TEST(ParallelSortTest, TruncatedKeyBytesSortOnlyLowBytes) {
   // num_key_bytes = 2 must order by the low 16 bits only — and remain
   // stable w.r.t. the high bits it never looks at.

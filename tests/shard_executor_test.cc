@@ -1,0 +1,159 @@
+#include "parallel/shard/shard_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/cell_dictionary.h"
+#include "core/cell_set.h"
+#include "core/grid.h"
+#include "parallel/shard/shard_protocol.h"
+#include "synth/generators.h"
+#include "verify/audit.h"
+
+namespace rpdbscan {
+namespace {
+
+struct Fixture {
+  Dataset data;
+  GridGeometry geom;
+  CellSet cells;
+};
+
+Fixture MakeFixture(size_t n, uint64_t seed, size_t partitions = 8) {
+  auto geom = GridGeometry::Create(3, 2.0, 0.1);
+  EXPECT_TRUE(geom.ok());
+  Dataset data = synth::GeoLifeLike(n, seed);
+  auto cells = CellSet::Build(data, *geom, partitions, 7);
+  EXPECT_TRUE(cells.ok());
+  return Fixture{std::move(data), *geom, std::move(*cells)};
+}
+
+TEST(ShardExecutorTest, AssembledDictionaryByteEqualToInProcess) {
+  Fixture f = MakeFixture(8000, 101);
+  const CellDictionaryOptions opts;
+  auto in_proc = CellDictionary::Build(f.data, f.cells, opts);
+  ASSERT_TRUE(in_proc.ok());
+  for (const size_t workers : {1u, 2u, 3u, 4u}) {
+    ShardExecStats stats;
+    auto entries =
+        BuildDictionaryEntriesSharded(f.data, f.cells, workers, &stats);
+    ASSERT_TRUE(entries.ok()) << entries.status();
+    ASSERT_EQ(entries->size(), f.cells.num_cells());
+    auto dict = CellDictionary::FromEntries(f.geom, std::move(*entries),
+                                            opts);
+    ASSERT_TRUE(dict.ok()) << dict.status();
+    // The Lemma 4.3 broadcast payload must be byte-identical: crossing
+    // the process boundary is invisible in the assembled dictionary.
+    EXPECT_EQ(dict->Serialize(), in_proc->Serialize())
+        << "workers=" << workers;
+    EXPECT_EQ(stats.num_workers, workers);
+    ASSERT_EQ(stats.shard_bytes.size(), workers);
+    ASSERT_EQ(stats.shard_cells.size(), workers);
+    ASSERT_EQ(stats.worker_build_seconds.size(), workers);
+    uint64_t cells_total = 0;
+    for (const uint64_t c : stats.shard_cells) cells_total += c;
+    EXPECT_EQ(cells_total, f.cells.num_cells());
+    EXPECT_GT(stats.TotalShuffleBytes(), 0u);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+  }
+}
+
+TEST(ShardExecutorTest, AuditShardAssemblyPasses) {
+  Fixture f = MakeFixture(5000, 102);
+  const CellDictionaryOptions opts;
+  auto entries = BuildDictionaryEntriesSharded(f.data, f.cells, 3);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  auto dict =
+      CellDictionary::FromEntries(f.geom, std::move(*entries), opts);
+  ASSERT_TRUE(dict.ok());
+  const AuditReport rep =
+      AuditShardAssembly(f.data, f.cells, *dict, opts);
+  EXPECT_TRUE(rep.ok()) << rep.ToString();
+  EXPECT_GT(rep.checks(), 0u);
+}
+
+TEST(ShardExecutorTest, MoreWorkersThanPartitionsLeavesIdleWorkers) {
+  // Workers beyond the partition count own no cells; their empty shards
+  // must still frame/decode cleanly and the assembly must be complete.
+  Fixture f = MakeFixture(3000, 103, /*partitions=*/2);
+  ShardExecStats stats;
+  auto entries =
+      BuildDictionaryEntriesSharded(f.data, f.cells, 5, &stats);
+  ASSERT_TRUE(entries.ok()) << entries.status();
+  EXPECT_EQ(entries->size(), f.cells.num_cells());
+  uint64_t cells_total = 0;
+  size_t empty_shards = 0;
+  for (const uint64_t c : stats.shard_cells) {
+    cells_total += c;
+    if (c == 0) ++empty_shards;
+  }
+  EXPECT_EQ(cells_total, f.cells.num_cells());
+  EXPECT_GE(empty_shards, 3u);  // workers 2..4 own no partition
+}
+
+TEST(ShardExecutorTest, ZeroWorkersRejected) {
+  Fixture f = MakeFixture(500, 104);
+  EXPECT_FALSE(BuildDictionaryEntriesSharded(f.data, f.cells, 0).ok());
+}
+
+TEST(ShardProtocolTest, ContainerRoundTrip) {
+  Fixture f = MakeFixture(2000, 105);
+  ShardResult result;
+  result.worker_id = 3;
+  result.build_seconds = 0.25;
+  for (uint32_t c = 0; c < f.cells.num_cells(); ++c) {
+    result.entries.push_back(CellDictionary::MakeCellEntry(
+        f.data, f.geom, f.cells.cell(c), c));
+  }
+  const std::vector<uint8_t> bytes =
+      EncodeShardContainer(result, f.geom.dim());
+  auto back = DecodeShardContainer(bytes.data(), bytes.size(),
+                                   f.geom.dim());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->worker_id, 3u);
+  EXPECT_DOUBLE_EQ(back->build_seconds, 0.25);
+  ASSERT_EQ(back->entries.size(), result.entries.size());
+  for (size_t i = 0; i < result.entries.size(); ++i) {
+    EXPECT_EQ(back->entries[i].cell_id, result.entries[i].cell_id);
+    EXPECT_EQ(back->entries[i].coord, result.entries[i].coord);
+    ASSERT_EQ(back->entries[i].subcells.size(),
+              result.entries[i].subcells.size());
+  }
+}
+
+TEST(ShardProtocolTest, DetectsCorruption) {
+  Fixture f = MakeFixture(1000, 106);
+  ShardResult result;
+  result.worker_id = 0;
+  result.entries.push_back(CellDictionary::MakeCellEntry(
+      f.data, f.geom, f.cells.cell(0), 0));
+  std::vector<uint8_t> bytes = EncodeShardContainer(result, f.geom.dim());
+  // Flip a byte somewhere in the middle: the section-file checksum must
+  // reject the container.
+  bytes[bytes.size() / 2] ^= 0x40;
+  EXPECT_FALSE(
+      DecodeShardContainer(bytes.data(), bytes.size(), f.geom.dim()).ok());
+}
+
+TEST(ShardProtocolTest, RejectsDimMismatchAndTruncation) {
+  Fixture f = MakeFixture(1000, 107);
+  ShardResult result;
+  result.worker_id = 1;
+  result.entries.push_back(CellDictionary::MakeCellEntry(
+      f.data, f.geom, f.cells.cell(0), 0));
+  const std::vector<uint8_t> bytes =
+      EncodeShardContainer(result, f.geom.dim());
+  EXPECT_FALSE(DecodeShardContainer(bytes.data(), bytes.size(),
+                                    f.geom.dim() + 1)
+                   .ok());
+  EXPECT_FALSE(
+      DecodeShardContainer(bytes.data(), bytes.size() - 9, f.geom.dim())
+          .ok());
+  EXPECT_FALSE(DecodeShardContainer(bytes.data(), 3, f.geom.dim()).ok());
+}
+
+}  // namespace
+}  // namespace rpdbscan

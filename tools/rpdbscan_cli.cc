@@ -15,11 +15,16 @@
 // Exit status: 0 on success, 1 on any error (message on stderr).
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +40,8 @@
 #include "core/rp_dbscan.h"
 #include "io/binary.h"
 #include "io/csv.h"
+#include "io/mmap_dataset.h"
+#include "io/point_source.h"
 #include "io/section_file.h"
 #include "io/transforms.h"
 #include "metrics/cluster_stats.h"
@@ -81,6 +88,16 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
                           band; labels identical, auto-off on overflow
     --sequential-merge    rp only: tournament merge (Fig. 17 series)
                           instead of the edge-parallel union-find
+    --mmap                rp only: memory-map an .rpds --input read-only
+                          and build Phase I-1 out-of-core (external sort
+                          spilling under --memory-budget); labels are
+                          bit-identical to the in-RAM path
+    --memory-budget=B     rp only: working-set budget for --mmap runs;
+                          bytes with optional k/m/g suffix (default 64m)
+    --shard-workers=W     rp only: build the Phase I-2 dictionary in W
+                          forked worker processes, each shipping its
+                          sub-dictionary shard back over a pipe
+                          (default 0 = in-process)
     --audit[=LEVEL]       rp only: audit pipeline invariants between
                           phases; LEVEL is off|cheap|full (bare --audit
                           means full). Violations fail the run.
@@ -149,6 +166,35 @@ re-clustering and hot-swapping epoch snapshots into a label server):
   --quantized --sequential-merge) apply unchanged; every epoch's labels
   are bit-identical to a from-scratch run with those flags.
 )";
+
+/// "262144", "256k", "64m", "1g" -> bytes ("64mb" style also accepted).
+StatusOr<size_t> ParseByteSize(const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno == ERANGE) {
+    return Status::InvalidArgument("bad byte size: " + text);
+  }
+  uint64_t shift = 0;
+  if (*end != '\0') {
+    switch (std::tolower(static_cast<unsigned char>(*end))) {
+      case 'k': shift = 10; break;
+      case 'm': shift = 20; break;
+      case 'g': shift = 30; break;
+      default:
+        return Status::InvalidArgument("bad byte-size suffix: " + text);
+    }
+    ++end;
+    if (std::tolower(static_cast<unsigned char>(*end)) == 'b') ++end;
+    if (*end != '\0') {
+      return Status::InvalidArgument("bad byte-size suffix: " + text);
+    }
+  }
+  if (value > (std::numeric_limits<uint64_t>::max() >> shift)) {
+    return Status::InvalidArgument("byte size overflows: " + text);
+  }
+  return static_cast<size_t>(value << shift);
+}
 
 Status WriteTextFile(const std::string& path, const std::string& text) {
   std::ofstream out(path, std::ios::trunc);
@@ -224,14 +270,33 @@ StatusOr<RpDbscanOptions> RpOptionsFromFlags(const FlagSet& flags) {
   o.scalar_kernels = flags.GetBool("scalar-kernels");
   o.quantized = flags.GetBool("quantized");
   o.sequential_merge = flags.GetBool("sequential-merge");
+  auto shard_or = flags.GetInt("shard-workers", 0);
+  if (!shard_or.ok()) return shard_or.status();
+  if (*shard_or < 0) {
+    return Status::InvalidArgument("--shard-workers must be >= 0");
+  }
+  o.shard_workers = static_cast<size_t>(*shard_or);
+  const std::string budget = flags.GetString("memory-budget");
+  if (!budget.empty()) {
+    auto budget_or = ParseByteSize(budget);
+    if (!budget_or.ok()) return budget_or.status();
+    if (*budget_or == 0) {
+      return Status::InvalidArgument("--memory-budget must be > 0");
+    }
+    o.memory_budget_bytes = *budget_or;
+  }
   auto audit_or = ParseAuditFlag(flags, o.audit_level);
   if (!audit_or.ok()) return audit_or.status();
   o.audit_level = *audit_or;
   return o;
 }
 
+/// `source` is non-null only for --mmap runs: the memory-mapped backing
+/// store of `data` (which is then a borrowed view of it), routed into
+/// RpDbscanOptions::point_source so Phase I-1 runs out-of-core.
 StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
-                         bool print_stats) {
+                         bool print_stats,
+                         const PointSource* source = nullptr) {
   auto eps_or = flags.GetDouble("eps", 0.0);
   auto minpts_or = flags.GetInt("minpts", 20);
   auto rho_or = flags.GetDouble("rho", 0.01);
@@ -245,10 +310,14 @@ StatusOr<Labels> Cluster(const FlagSet& flags, const Dataset& data,
   const DbscanParams params{*eps_or, static_cast<size_t>(*minpts_or)};
   const std::string algo = flags.GetString("algo", "rp");
 
+  if (source != nullptr && algo != "rp") {
+    return Status::InvalidArgument("--mmap requires --algo=rp");
+  }
   if (algo == "rp") {
     auto o_or = RpOptionsFromFlags(flags);
     if (!o_or.ok()) return o_or.status();
     RpDbscanOptions o = *o_or;
+    o.point_source = source;
     const std::string save_snapshot = flags.GetString("save-snapshot");
     o.capture_model = !save_snapshot.empty();
     auto r = RunRpDbscan(data, o);
@@ -797,15 +866,39 @@ int Main(int argc, char** argv) {
                  flags.positional().front().c_str(), kUsage);
     return 1;
   }
-  auto data_or = LoadInput(flags);
+  // --mmap maps the .rpds payload read-only and hands the pipeline a
+  // borrowed (zero-copy) view plus the PointSource for the out-of-core
+  // Phase I-1; everything downstream of LoadInput is unchanged.  The
+  // mapping is read-only, so flags that mutate the dataset in place are
+  // rejected up front instead of faulting later.
+  std::optional<MmapDataset> mmap_source;
+  auto data_or = [&]() -> StatusOr<Dataset> {
+    if (!flags.GetBool("mmap")) return LoadInput(flags);
+    const std::string input = flags.GetString("input");
+    if (input.size() < 5 || input.substr(input.size() - 5) != ".rpds") {
+      return Status::InvalidArgument("--mmap requires an .rpds --input");
+    }
+    if (!flags.GetString("generate").empty()) {
+      return Status::InvalidArgument("--input and --generate are exclusive");
+    }
+    if (!flags.GetString("normalize").empty()) {
+      return Status::InvalidArgument(
+          "--normalize mutates points in place; it cannot be combined "
+          "with the read-only --mmap input");
+    }
+    auto source_or = MmapDataset::Open(input);
+    if (!source_or.ok()) return source_or.status();
+    mmap_source.emplace(std::move(*source_or));
+    return mmap_source->BorrowedView();
+  }();
   if (!data_or.ok()) {
     std::fprintf(stderr, "input error: %s\n%s",
                  data_or.status().ToString().c_str(), kUsage);
     return 1;
   }
   Dataset& data = *data_or;
-  std::fprintf(stderr, "loaded %zu points, %zu dimensions\n", data.size(),
-               data.dim());
+  std::fprintf(stderr, "loaded %zu points, %zu dimensions%s\n", data.size(),
+               data.dim(), mmap_source ? " (mmap)" : "");
 
   const std::string normalize = flags.GetString("normalize");
   if (!normalize.empty()) {
@@ -835,7 +928,7 @@ int Main(int argc, char** argv) {
   if (*kdist_or > 0) {
     const size_t k = static_cast<size_t>(*kdist_or);
     KdTree tree;
-    tree.Build(data.flat().data(), data.size(), data.dim());
+    tree.Build(data.raw(), data.size(), data.dim());
     Rng rng(1);
     const size_t sample =
         data.size() < 20000 ? data.size() : static_cast<size_t>(20000);
@@ -871,7 +964,9 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
-  auto labels_or = Cluster(flags, data, flags.GetBool("stats"));
+  auto labels_or =
+      Cluster(flags, data, flags.GetBool("stats"),
+              mmap_source ? &*mmap_source : nullptr);
   if (!labels_or.ok()) {
     std::fprintf(stderr, "clustering failed: %s\n%s",
                  labels_or.status().ToString().c_str(), kUsage);

@@ -16,10 +16,15 @@
 #     vs a from-scratch run at swept ingest batch sizes ->
 #     BENCH_stream.json (validated below: epoch rows with dirty-cell and
 #     ratio fields, plus release provenance)
+#   * Out-of-core + sharding (bench_oocore): external Phase I-1 vs in-RAM
+#     over a memory-mapped .rpds, plus measured multi-process shard runs
+#     at 1/2/4 forked workers with shuffle bytes and predicted-vs-measured
+#     makespan -> BENCH_oocore.json (validated below: bit-identity flag,
+#     shard rows at 1/2/4 workers, release provenance)
 #
 # Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
 #                           [OUTPUT_JSON] [PHASE1_JSON] [SERVE_JSON]
-#                           [STREAM_JSON]
+#                           [STREAM_JSON] [OOCORE_JSON]
 #   --smoke        tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
 #                  used by the `run_bench_smoke` ctest entry.
 #   --allow-debug  permit a non-Release build dir. Without it the script
@@ -33,6 +38,9 @@
 #                "phase2" replaced by "serve", else ./BENCH_serve.json)
 #   STREAM_JSON  streaming-epoch output path (default: OUTPUT_JSON with
 #                "phase2" replaced by "stream", else ./BENCH_stream.json)
+#   OOCORE_JSON  out-of-core/sharding output path (default: OUTPUT_JSON
+#                with "phase2" replaced by "oocore", else
+#                ./BENCH_oocore.json)
 set -euo pipefail
 
 SMOKE=0
@@ -66,6 +74,13 @@ if [[ -z "$OUT_STREAM_JSON" ]]; then
   OUT_STREAM_JSON="${OUT_JSON//phase2/stream}"
   if [[ "$OUT_STREAM_JSON" == "$OUT_JSON" ]]; then
     OUT_STREAM_JSON="BENCH_stream.json"
+  fi
+fi
+OUT_OOCORE_JSON="${6:-}"
+if [[ -z "$OUT_OOCORE_JSON" ]]; then
+  OUT_OOCORE_JSON="${OUT_JSON//phase2/oocore}"
+  if [[ "$OUT_OOCORE_JSON" == "$OUT_JSON" ]]; then
+    OUT_OOCORE_JSON="BENCH_oocore.json"
   fi
 fi
 
@@ -112,7 +127,9 @@ BENCH_MICRO="$BUILD_DIR/bench/bench_micro"
 BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
 BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
 BENCH_STREAM="$BUILD_DIR/bench/bench_stream"
-for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE" "$BENCH_STREAM"; do
+BENCH_OOCORE="$BUILD_DIR/bench/bench_oocore"
+for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE" "$BENCH_STREAM" \
+           "$BENCH_OOCORE"; do
   if [[ ! -x "$bin" ]]; then
     echo "run_bench.sh: missing binary $bin (build the project first)" >&2
     exit 1
@@ -228,6 +245,63 @@ print(f"{path}: stream report OK (best ratio "
       f"{best['ratio_incremental_over_scratch']:.2f} at "
       f"batch_points={best['batch_points']}, dirty fraction "
       f"{best['dirty_fraction_mean']:.1%})")
+PY
+
+echo "== Out-of-core + sharding (bench_oocore, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_OOCORE" "$OUT_OOCORE_JSON"
+
+# The oocore report must prove the external build stayed bit-identical,
+# carry shard rows at 1/2/4 workers with shuffle bytes and the
+# predicted-vs-measured makespan error, and record release provenance.
+python3 - "$OUT_OOCORE_JSON" "$ALLOW_DEBUG" <<'PY'
+import json
+import sys
+
+path, allow_debug = sys.argv[1], sys.argv[2] == "1"
+with open(path) as f:
+    report = json.load(f)
+
+bt = report.get("build_type")
+if bt != "release" and not allow_debug:
+    sys.exit(f"run_bench.sh: {path} reports build_type={bt!r}, not "
+             "'release' — rebuild with -DCMAKE_BUILD_TYPE=Release (or "
+             "pass --allow-debug for smoke/CI runs).")
+
+phase1 = report.get("oocore_phase1")
+if not phase1:
+    sys.exit(f"{path}: missing 'oocore_phase1'")
+for key in ("memory_budget_bytes", "chunks", "runs", "spill_bytes",
+            "peak_accounted_bytes", "external_seconds", "in_ram_seconds",
+            "bit_identical"):
+    if key not in phase1:
+        sys.exit(f"{path}: oocore_phase1 lacks '{key}'")
+if phase1["bit_identical"] is not True:
+    sys.exit(f"{path}: external Phase I-1 diverged from the in-RAM build")
+
+runs = report.get("shard_runs")
+if not runs:
+    sys.exit(f"{path}: missing or empty 'shard_runs'")
+required = (
+    "workers", "wall_seconds", "speedup_vs_1_worker",
+    "predicted_makespan_host_seconds", "predicted_vs_measured_error",
+    "worker_imbalance", "shuffle_bytes_total", "shard_bytes",
+)
+for run in runs:
+    for key in required:
+        if key not in run:
+            sys.exit(f"{path}: shard_runs entry lacks '{key}'")
+    if not run["shuffle_bytes_total"]:
+        sys.exit(f"{path}: {run['workers']}-worker run shipped no bytes")
+workers = sorted(r["workers"] for r in runs)
+if workers != [1, 2, 4]:
+    sys.exit(f"{path}: shard_runs cover workers={workers}, want [1, 2, 4]")
+if "shuffle_over_payload_ratio" not in report:
+    sys.exit(f"{path}: missing 'shuffle_over_payload_ratio'")
+widest = max(runs, key=lambda r: r["workers"])
+print(f"{path}: oocore report OK (chunks={phase1['chunks']}, "
+      f"runs={phase1['runs']}, {widest['workers']}-worker speedup "
+      f"{widest['speedup_vs_1_worker']:.2f}x, shuffle/payload "
+      f"{report['shuffle_over_payload_ratio']:.3f})")
 PY
 
 python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'

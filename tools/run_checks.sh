@@ -3,7 +3,11 @@
 #   1. Debug + ASan + UBSan over the full test suite (minus `slow` tests —
 #      the bench smoke run rebuilds nothing and times out under ASan).
 #      Includes the lattice-stencil engine suites (stencil_query_test,
-#      lattice_stencil_test) and, with NDEBUG off, the sub-cell-range MBR
+#      lattice_stencil_test), the out-of-core layer (mmap_dataset_test,
+#      external_phase1_test's spill/merge paths, oocore_e2e_test with the
+#      forked-child builds at sanitizer-reduced sizes), the multi-process
+#      shard executor + wire protocol (shard_executor_test,
+#      oocore_cli_test), and, with NDEBUG off, the sub-cell-range MBR
 #      containment assertions in ProcessCellBatched.
 #   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
 #      thread-pool, parallel-sort, phase2 (all query engines, incl. the
@@ -20,7 +24,9 @@
 #      streaming layer (ingest_buffer_test: parallel batch re-grouping
 #      into the shared CSR; epoch_swap_test: reader threads hammering
 #      LabelServer queries while the EpochRegistry's shared_ptr slot
-#      hot-swaps epochs under them).
+#      hot-swaps epochs under them), and the external Phase I-1 build
+#      (external_phase1_test: chunked sort + spill + k-way merge driven
+#      through the shared thread pool).
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]

@@ -466,8 +466,13 @@ StatusOr<CellDictionary> CellDictionary::Assemble(
   }
 
   if (opts.build_stencil) {
-    dict.stencil_ =
-        LatticeStencil::Create(geom.dim(), opts.max_stencil_offsets);
+    // Scaled by stencil_eps_scale so one offset family (and the CSR
+    // below) covers every query radius up to scale * eps; 1.0 is the
+    // classic single-eps stencil. Family members are nested prefixes, so
+    // smaller radii reuse the CSR through the class filter in
+    // QueryCellStencilImpl.
+    dict.stencil_ = LatticeStencil::CreateScaled(
+        geom.dim(), opts.stencil_eps_scale, opts.max_stencil_offsets);
   }
 
   // Precomputed stencil neighborhoods: which dictionary cells occupy a
@@ -633,18 +638,22 @@ double MbrPairMinDist2(const Mbr& mbr, const float* a_lo, const float* a_hi,
 
 size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
                                  const float* mbr_hi,
-                                 CandidateCellList* out) const {
+                                 CandidateCellList* out,
+                                 const QueryEpsSpec& spec) const {
   out->Clear();
   const size_t dim = geom_.dim();
   const double eps = geom_.eps();
-  const double eps2 = eps * eps;
+  const double qeps = spec.query_eps > 0.0 ? spec.query_eps : eps;
+  const double eps2 = qeps * qeps;
   const double disjoint2 = eps2 * kDisjointMargin;
   const double contained2 = eps2 * kContainMargin;
-  // Per-point queries reach cells whose center is within 1.5*eps of the
-  // point (Query's candidate radius); every point lies within the MBR's
-  // half-diagonal of the MBR center, so one traversal at 1.5*eps plus that
-  // half-diagonal covers them all (at most 2*eps since the MBR fits the
-  // cell box). The margin keeps the cover robust to rounding.
+  // Per-point queries reach cells whose center is within query_eps +
+  // 0.5*eps of the point (Query's candidate radius; 1.5*eps in the
+  // classic query_eps == eps case, whose exact expression is kept so
+  // default queries stay bit-for-bit); every point lies within the MBR's
+  // half-diagonal of the MBR center, so one traversal at that radius plus
+  // the half-diagonal covers them all. The margin keeps the cover robust
+  // to rounding.
   float center[CellCoord::kMaxDim];
   double half_diag2 = 0.0;
   for (size_t d = 0; d < dim; ++d) {
@@ -656,8 +665,9 @@ size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
                                  static_cast<double>(mbr_hi[d]) - c);
     half_diag2 += half * half;
   }
+  const double reach = qeps == eps ? 1.5 * eps : qeps + 0.5 * eps;
   const double candidate_radius =
-      (1.5 * eps + std::sqrt(half_diag2)) * kDisjointMargin;
+      (reach + std::sqrt(half_diag2)) * kDisjointMargin;
 
   size_t visited = 0;
   for (size_t sdi = 0; sdi < subdicts_.size(); ++sdi) {
@@ -702,22 +712,23 @@ size_t CellDictionary::QueryCell(const CellCoord& cell, const float* mbr_lo,
 size_t CellDictionary::QueryCellStencil(const CellCoord& cell,
                                         const float* mbr_lo,
                                         const float* mbr_hi,
-                                        CandidateCellList* out) const {
+                                        CandidateCellList* out,
+                                        const QueryEpsSpec& spec) const {
   // Dimension dispatch: each instantiation unrolls the per-dimension
   // staging/hashing loops (same trick as the Phase II scan kernel). The
   // covered cases mirror the dimensions the synthetic generators and
   // benchmarks exercise; anything else takes the runtime-dim fallback.
   switch (geom_.dim()) {
     case 2:
-      return QueryCellStencilImpl<2>(cell, mbr_lo, mbr_hi, out);
+      return QueryCellStencilImpl<2>(cell, mbr_lo, mbr_hi, out, spec);
     case 3:
-      return QueryCellStencilImpl<3>(cell, mbr_lo, mbr_hi, out);
+      return QueryCellStencilImpl<3>(cell, mbr_lo, mbr_hi, out, spec);
     case 4:
-      return QueryCellStencilImpl<4>(cell, mbr_lo, mbr_hi, out);
+      return QueryCellStencilImpl<4>(cell, mbr_lo, mbr_hi, out, spec);
     case 5:
-      return QueryCellStencilImpl<5>(cell, mbr_lo, mbr_hi, out);
+      return QueryCellStencilImpl<5>(cell, mbr_lo, mbr_hi, out, spec);
     default:
-      return QueryCellStencilImpl<0>(cell, mbr_lo, mbr_hi, out);
+      return QueryCellStencilImpl<0>(cell, mbr_lo, mbr_hi, out, spec);
   }
 }
 
@@ -725,15 +736,23 @@ template <size_t kDim>
 size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
                                             const float* mbr_lo,
                                             const float* mbr_hi,
-                                            CandidateCellList* out) const {
+                                            CandidateCellList* out,
+                                            const QueryEpsSpec& spec) const {
   RPDBSCAN_CHECK(stencil_.enabled());
   out->Clear();
   const size_t dim = kDim ? kDim : geom_.dim();
   const double side = geom_.cell_side();
   const double eps = geom_.eps();
-  const double eps2 = eps * eps;
+  const double qeps = spec.query_eps > 0.0 ? spec.query_eps : eps;
+  const double eps2 = qeps * qeps;
   const double disjoint2 = eps2 * kDisjointMargin;
   const double contained2 = eps2 * kContainMargin;
+  // Class budget of the query radius in cell_side^2 units — the exact
+  // formula stencil family members are enumerated with, so the CSR class
+  // filter below and a fresh enumeration of the level's own stencil
+  // apply the identical integer criterion (the bit-identity the prefix
+  // reuse test pins).
+  const double budget_q = LatticeStencil::ScaledBudget(dim, qeps / eps);
 
   // Fast path — the source cell is a dictionary cell (always true in the
   // pipeline), so its stencil window was resolved once at Assemble into
@@ -745,16 +764,38 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   // skipped are classified here instead and dropped by the (tighter)
   // MBR-level lower bound, so the surviving candidate sequence is
   // identical either way.
-  const int64_t src_slot = FindCellRefIndex(cell);
-  if (src_slot >= 0) {
+  const int64_t src_slot =
+      spec.force_probe ? -1 : FindCellRefIndex(cell);
+  if (src_slot >= 0 && budget_q <= stencil_.budget()) {
     const size_t begin = stencil_nbr_begin_[static_cast<size_t>(src_slot)];
     const size_t count =
         stencil_nbr_begin_[static_cast<size_t>(src_slot) + 1] - begin;
     const uint32_t* nbr = stencil_nbr_slots_.data() + begin;
+    // A query radius below the assembled scale selects the nested family
+    // member: keep exactly the neighbors whose integer distance class
+    // fits the level budget, recomputed from the stored lattice
+    // coordinates. At the full budget every stored neighbor qualifies by
+    // construction, so the filter vanishes and the classic path runs
+    // untouched.
+    const bool class_filter = budget_q < stencil_.budget();
+    const int32_t* src_coords =
+        ref_coords_.data() + static_cast<size_t>(src_slot) * dim;
     constexpr size_t kMetaPrefetchAhead = 8;
     for (size_t j = 0; j < count; ++j) {
       if (j + kMetaPrefetchAhead < count) {
         __builtin_prefetch(&slot_meta_[nbr[j + kMetaPrefetchAhead]]);
+      }
+      if (class_filter && j != 0) {
+        const int32_t* nc =
+            ref_coords_.data() + static_cast<size_t>(nbr[j]) * dim;
+        uint64_t m = 0;
+        for (size_t d = 0; d < dim; ++d) {
+          const int64_t delta =
+              static_cast<int64_t>(nc[d]) - static_cast<int64_t>(src_coords[d]);
+          const int64_t a = delta < 0 ? -delta : delta;
+          if (a > 1) m += static_cast<uint64_t>((a - 1) * (a - 1));
+        }
+        if (static_cast<double>(m) > budget_q) continue;
       }
       const SlotMeta& sm = slot_meta_[nbr[j]];
       double pair_min2 = 0.0;
@@ -779,7 +820,9 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   }
 
   // Fallback — a source coordinate outside the dictionary has no
-  // precomputed neighborhood: stage and hash-probe its window directly.
+  // precomputed neighborhood (and force_probe selects this engine
+  // deliberately, as does a query budget beyond the assembled family):
+  // stage and hash-probe the window directly.
   //
   // Stage 1 — arithmetic pre-drop, no memory traffic beyond the stencil
   // itself. A neighbor's full box is a pure function of its integer
@@ -794,18 +837,29 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   // cannot make this move: it must walk its index to learn which cells
   // exist before it can reject them.
   //
-  // Per axis an offset component ranges over [-r, r] with
-  // r = 1 + floor(sqrt(d)) (LatticeStencil's per-axis bound), so each
+  // Per axis an offset component ranges over [-r, r] with r the chosen
+  // stencil's per-axis bound (1 + floor(sqrt(budget))), so each
   // (dimension, component) pair's neighbor coordinate and per-dimension
   // gap^2 term are precomputed once per source cell into small stack
   // tables; staging an offset is then one table lookup and add per
   // dimension.
-  const int32_t radius = 1 + static_cast<int32_t>(std::sqrt(
-                                 static_cast<double>(dim)));
+  // Offsets come from the level's own stencil when supplied (its budget
+  // must cover the query radius), else from the assembled family; either
+  // way only the PrefixCount(budget_q) prefix is walked, so the offsets
+  // enumerated satisfy exactly the class criterion the CSR filter above
+  // applies — the two engines stay bit-identical.
+  const LatticeStencil& st =
+      spec.level_stencil != nullptr && spec.level_stencil->enabled()
+          ? *spec.level_stencil
+          : stencil_;
+  RPDBSCAN_CHECK(st.budget() >= budget_q)
+      << "stencil budget " << st.budget()
+      << " does not cover query budget " << budget_q;
+  const int32_t radius = st.radius();
   const size_t width = static_cast<size_t>(2 * radius + 1);
-  int32_t coord_tab[CellCoord::kMaxDim][12];
-  double gap2_tab[CellCoord::kMaxDim][12];
-  RPDBSCAN_CHECK(width <= 12);
+  int32_t coord_tab[CellCoord::kMaxDim][16];
+  double gap2_tab[CellCoord::kMaxDim][16];
+  RPDBSCAN_CHECK(width <= 16);
   for (size_t d = 0; d < dim; ++d) {
     for (int32_t v = -radius; v <= radius; ++v) {
       // 64-bit intermediate: a wrapped coordinate could not hold data
@@ -837,7 +891,7 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   // pointers: this loop runs once per source cell over thousands of
   // offsets, and push_back growth checks showed up in the Phase II
   // profile.
-  const size_t n = stencil_.num_offsets();
+  const size_t n = st.PrefixCount(budget_q);
   out->staged_hash.resize(n + 1);
   out->staged_coords.resize((n + 1) * dim);
   uint64_t* sh = out->staged_hash.data();
@@ -853,7 +907,7 @@ size_t CellDictionary::QueryCellStencilImpl(const CellCoord& cell,
   }
   size_t staged = 1;
   for (size_t i = 0; i < n; ++i) {
-    const int32_t* off = stencil_.offset(i);
+    const int32_t* off = st.offset(i);
     // One branchless pass per offset: the bound and the coordinates are
     // computed unconditionally (coords land in the next staging slot and
     // are simply overwritten if the offset drops), then a single

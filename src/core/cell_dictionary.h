@@ -183,11 +183,44 @@ struct CellDictionaryOptions {
   /// covers d <= 5 (the d = 5 stencil holds 6094 offsets; d = 6 would need
   /// 41220).
   size_t max_stencil_offsets = 8192;
+  /// Query-radius headroom of the stencil: the assembled offset family
+  /// (and its precomputed neighborhood CSR) covers query radii up to
+  /// stencil_eps_scale * eps instead of exactly eps. Queries at smaller
+  /// radii reuse the CSR through an integer class filter (the family
+  /// members are nested prefixes, LatticeStencil::CreateScaled); 1.0
+  /// keeps the classic single-eps stencil bit-for-bit. The multi-eps
+  /// ladder (src/hierarchy/) builds one dictionary at its largest
+  /// level's scale and runs every level against it.
+  double stencil_eps_scale = 1.0;
   /// Also build the uint32 quantized coordinate lanes (core/simd.h): the
   /// fixed-point fast path for the sub-cell kernels. Auto-disabled (see
   /// CellDictionary::has_quantized) when the coordinate span per dimension
   /// exceeds the uint32 lattice at eps * 2^-16 quanta.
   bool quantized = false;
+};
+
+/// Decouples the region-query radius from the grid geometry: the ladder
+/// sweep (src/hierarchy/) runs many query radii over one dictionary whose
+/// cells stay eps-diagonal. Defaults reproduce the classic single-eps
+/// behavior bit-for-bit.
+struct QueryEpsSpec {
+  /// Region-query radius; 0 (or exactly the geometry eps) keeps the
+  /// classic behavior. Must be >= the geometry eps (the cell-diagonal
+  /// core-cell lemma needs the diagonal within the query radius) and
+  /// within the radius the dictionary's stencil was scaled for
+  /// (CellDictionaryOptions::stencil_eps_scale) unless a covering
+  /// `level_stencil` is supplied.
+  double query_eps = 0.0;
+  /// Offset family member covering this query radius, used only by the
+  /// stencil engine's hashed-probe fallback (source coordinate absent
+  /// from the dictionary, or force_probe). May exceed the query radius;
+  /// the probe loop restricts itself to the PrefixCount(budget) prefix
+  /// either way. Null falls back to the dictionary's own stencil.
+  const LatticeStencil* level_stencil = nullptr;
+  /// Bypass the precomputed neighborhood CSR and enumerate candidates by
+  /// staged hash probes — the reference engine the CSR-prefix reuse is
+  /// tested bit-identical against.
+  bool force_probe = false;
 };
 
 /// One cell's raw dictionary content: the unit of dictionary assembly and
@@ -359,12 +392,17 @@ class CellDictionary {
   /// Returns the number of sub-dictionaries actually inspected (after
   /// skipping) so callers can account for the Lemma 5.10 savings.
   template <typename Visitor>
-  size_t Query(const float* p, Visitor&& visit) const {
+  size_t Query(const float* p, Visitor&& visit,
+               double query_eps = 0.0) const {
     const double eps = geom_.eps();
-    const double eps2 = eps * eps;
-    // Any cell with a sub-cell center within eps has its own center within
-    // eps + cell_diagonal/2 = 1.5 * eps (cell diagonal is eps, Def. 3.1).
-    const double candidate_radius = 1.5 * eps;
+    const double qeps = query_eps > 0.0 ? query_eps : eps;
+    const double eps2 = qeps * qeps;
+    // Any cell with a sub-cell center within the query radius has its own
+    // center within query_eps + cell_diagonal/2 (cell diagonal is eps,
+    // Def. 3.1) — 1.5 * eps in the classic query_eps == eps case, whose
+    // exact expression is kept so default queries stay bit-for-bit.
+    const double candidate_radius =
+        qeps == eps ? 1.5 * eps : qeps + 0.5 * eps;
     size_t visited = 0;
     for (const SubDictionary& sd : subdicts_) {
       if (enable_skipping_ && sd.mbr_.MinDist2(p) > eps2) continue;
@@ -419,8 +457,11 @@ class CellDictionary {
   /// Returns the number of sub-dictionaries inspected after MBR skipping,
   /// here at most one visit per sub-dictionary per *cell* (vs per point
   /// for Query) — the Lemma 5.10 accounting for the batched kernel.
+  /// `spec` decouples the query radius from the geometry eps (see
+  /// QueryEpsSpec); the default reproduces the classic behavior exactly.
   size_t QueryCell(const CellCoord& cell, const float* mbr_lo,
-                   const float* mbr_hi, CandidateCellList* out) const;
+                   const float* mbr_hi, CandidateCellList* out,
+                   const QueryEpsSpec& spec = QueryEpsSpec()) const;
 
   /// Same contract as QueryCell and bit-identical Phase II results, but
   /// candidates are enumerated over the precomputed eps-ball lattice
@@ -454,8 +495,14 @@ class CellDictionary {
   /// that resolved to a dictionary cell (equal to the probe count on the
   /// precomputed path, where only present cells are stored). Returns the
   /// probe count.
+  /// With a `spec` below the assembled scale, the precomputed CSR is
+  /// reused through an integer class filter (identical inclusion
+  /// criterion as a fresh enumeration of the level's own stencil —
+  /// tested bit-identical); spec.force_probe selects the staged
+  /// hashed-probe reference engine instead.
   size_t QueryCellStencil(const CellCoord& cell, const float* mbr_lo,
-                          const float* mbr_hi, CandidateCellList* out) const;
+                          const float* mbr_hi, CandidateCellList* out,
+                          const QueryEpsSpec& spec = QueryEpsSpec()) const;
 
   /// O(1) lattice coordinate -> DictCell through the dictionary-global
   /// open-addressing index (always built, including after Deserialize).
@@ -507,9 +554,11 @@ class CellDictionary {
 
   /// Total density of all (eps, rho)-neighbor sub-cells of `p` — the count
   /// compared against minPts in core marking (Example 5.7).
-  uint32_t QueryCount(const float* p) const {
+  uint32_t QueryCount(const float* p, double query_eps = 0.0) const {
     uint32_t total = 0;
-    Query(p, [&total](const DictCell&, uint32_t c) { total += c; });
+    Query(
+        p, [&total](const DictCell&, uint32_t c) { total += c; },
+        query_eps);
     return total;
   }
 
@@ -555,8 +604,8 @@ class CellDictionary {
   /// them, so every instantiation classifies identically.
   template <size_t kDim>
   size_t QueryCellStencilImpl(const CellCoord& cell, const float* mbr_lo,
-                              const float* mbr_hi,
-                              CandidateCellList* out) const;
+                              const float* mbr_hi, CandidateCellList* out,
+                              const QueryEpsSpec& spec) const;
 
   /// Everything candidate classification and the SoA flatten need about
   /// one dictionary cell, resolved to direct pointers once at Assemble

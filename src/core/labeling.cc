@@ -7,9 +7,11 @@ namespace rpdbscan {
 Labels LabelPoints(const Dataset& data, const CellSet& cells,
                    const MergeResult& merge,
                    const std::vector<uint8_t>& point_is_core,
-                   ThreadPool& pool) {
+                   ThreadPool& pool, double query_eps) {
   Labels labels(data.size(), kNoise);
-  const double eps2 = cells.geom().eps() * cells.geom().eps();
+  const double eps =
+      query_eps > 0.0 ? query_eps : cells.geom().eps();
+  const double eps2 = eps * eps;
   ParallelFor(
       pool, cells.num_partitions(),
       [&](size_t pid) {

@@ -21,10 +21,13 @@ namespace rpdbscan {
 ///    first core point within eps, else noise.
 ///
 /// `point_is_core` comes from Phase II; `merge` from Phase III-1.
+/// `query_eps` overrides the border-point distance test radius for
+/// decoupled ladder levels (0 keeps the geometry eps) — it must match the
+/// Phase II radius that produced `point_is_core`.
 Labels LabelPoints(const Dataset& data, const CellSet& cells,
                    const MergeResult& merge,
                    const std::vector<uint8_t>& point_is_core,
-                   ThreadPool& pool);
+                   ThreadPool& pool, double query_eps = 0.0);
 
 }  // namespace rpdbscan
 

@@ -9,15 +9,23 @@
 namespace rpdbscan {
 
 LatticeStencil LatticeStencil::Create(size_t dim, size_t max_offsets) {
+  return CreateScaled(dim, 1.0, max_offsets);
+}
+
+LatticeStencil LatticeStencil::CreateScaled(size_t dim, double eps_scale,
+                                            size_t max_offsets) {
   LatticeStencil s;
   s.dim_ = dim;
   RPDBSCAN_CHECK(dim >= 1);
+  RPDBSCAN_CHECK(eps_scale >= 1.0);
   if (max_offsets == 0) return s;  // disabled by configuration
 
-  // Per-axis radius: (|o| - 1)^2 <= d  <=>  |o| <= 1 + floor(sqrt(d)).
+  // Per-axis radius: (|o| - 1)^2 <= budget  <=>  |o| <= 1 + sqrt(budget).
+  const double budget = ScaledBudget(dim, eps_scale);
   int32_t radius = 1;
-  while (static_cast<uint64_t>(radius) * radius <= dim) ++radius;
-  const uint32_t budget = static_cast<uint32_t>(dim);
+  while (static_cast<double>(radius) * radius <= budget) ++radius;
+  s.budget_ = budget;
+  s.radius_ = radius;
 
   // Depth-first enumeration with partial-sum pruning. Every viable
   // interior node extends through o = 0 (cost 0), so the number of tree
@@ -43,7 +51,7 @@ LatticeStencil LatticeStencil::Create(size_t dim, size_t max_offsets) {
     for (int32_t o = -radius; o <= radius; ++o) {
       const uint32_t a = static_cast<uint32_t>(o < 0 ? -o : o);
       const uint32_t c = a <= 1 ? 0 : (a - 1) * (a - 1);
-      if (m + c > budget) continue;
+      if (static_cast<double>(m + c) > budget) continue;
       coords[axis] = o;
       self(self, axis + 1, m + c);
       if (overflow) break;
@@ -79,6 +87,16 @@ LatticeStencil LatticeStencil::Create(size_t dim, size_t max_offsets) {
   s.classes_ = std::move(sorted_classes);
   s.enabled_ = true;
   return s;
+}
+
+size_t LatticeStencil::PrefixCount(double budget) const {
+  // classes_ is sorted ascending (the primary sort key), so the kept set
+  // is a prefix; find its end with the same (double)m <= budget
+  // comparison CreateScaled enumerates with.
+  const auto it = std::upper_bound(
+      classes_.begin(), classes_.end(), budget,
+      [](double b, uint32_t c) { return b < static_cast<double>(c); });
+  return static_cast<size_t>(it - classes_.begin());
 }
 
 }  // namespace rpdbscan

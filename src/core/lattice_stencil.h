@@ -38,8 +38,42 @@ class LatticeStencil {
   /// stencil when more than `max_offsets` offsets would be kept.
   static LatticeStencil Create(size_t dim, size_t max_offsets);
 
+  /// Enumerates the stencil family member covering a query radius of
+  /// `eps_scale` * eps over the same eps-diagonal lattice: the criterion
+  /// generalizes to m(o) <= d * eps_scale^2 (the budget in units of
+  /// cell_side^2), so eps_scale = 1 reproduces Create exactly. Members
+  /// of one family are nested prefixes of each other under the
+  /// (distance class, lex) order — the smaller budget's offset set is
+  /// literally the first PrefixCount(budget) offsets of the larger one.
+  static LatticeStencil CreateScaled(size_t dim, double eps_scale,
+                                     size_t max_offsets);
+
+  /// The class budget of an eps_scale-scaled family member:
+  /// d * eps_scale^2, nudged one relative 1e-9 up so the boundary class
+  /// (real-arithmetic equality) stays included under double rounding of
+  /// non-integer budgets. Shared by stencil construction and the
+  /// dictionary's CSR class filter so both sides apply the identical
+  /// comparison.
+  static double ScaledBudget(size_t dim, double eps_scale) {
+    return static_cast<double>(dim) * eps_scale * eps_scale *
+           (1.0 + 1e-9);
+  }
+
   bool enabled() const { return enabled_; }
   size_t dim() const { return dim_; }
+
+  /// The class budget this stencil was enumerated with (see
+  /// ScaledBudget); dim * (1 + 1e-9) for an unscaled Create stencil.
+  double budget() const { return budget_; }
+
+  /// Per-axis offset bound: every kept offset has |o_i| <= radius().
+  int32_t radius() const { return radius_; }
+
+  /// Offsets with m(o) <= `budget` form a prefix of the (class, lex)
+  /// order; returns its length. With `budget` >= this stencil's own
+  /// budget that is num_offsets() — a smaller budget selects the nested
+  /// family member without re-enumerating.
+  size_t PrefixCount(double budget) const;
 
   /// Number of offsets, the zero offset (the source cell itself)
   /// excluded — callers resolve their own cell separately.
@@ -61,6 +95,8 @@ class LatticeStencil {
  private:
   size_t dim_ = 0;
   bool enabled_ = false;
+  double budget_ = 0.0;
+  int32_t radius_ = 0;
   std::vector<int32_t> offsets_;   // num_offsets * dim, flat
   std::vector<uint32_t> classes_;  // num_offsets
 };

@@ -201,9 +201,9 @@ struct QuantCounter {
 template <size_t kDim, typename Counter>
 void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
                     const CandidateCellList& cand, size_t min_pts,
-                    Counter& counter, Phase2Scratch& scratch,
-                    uint8_t* point_is_core, bool& cell_core,
-                    TaskCounters& counters) {
+                    const uint8_t* seed, Counter& counter,
+                    Phase2Scratch& scratch, uint8_t* point_is_core,
+                    bool& cell_core, TaskCounters& counters) {
   const size_t num_maybe = cand.num_maybe();
   size_t num_matched = 0;
   // Records that a core point matched maybe-candidate `idx`: later points
@@ -220,6 +220,26 @@ void ScanCellPoints(const Dataset& data, const CellData& cell, uint32_t cid,
   };
   for (const uint32_t point_id : cell.point_ids) {
     const float* p = data.point(point_id);
+    if (seed != nullptr && seed[point_id] != 0) {
+      // Seeded core point (the ladder proved min_pts density at a smaller
+      // query radius — density is monotone in the radius at fixed
+      // geometry): skip the pass-1 count and finish the edge union
+      // directly over the candidates no earlier core point has matched.
+      // The per-point matched set is unchanged — pass 2 below covers
+      // exactly the same unmatched candidates a counted pass would leave
+      // — so the cell's edge union, and with it every label, is
+      // bit-identical to the unseeded scan.
+      point_is_core[point_id] = 1;
+      cell_core = true;
+      if (num_matched == num_maybe) continue;
+      counter.BeginPoint(p, cand);
+      for (size_t i = 0; i < num_maybe; ++i) {
+        if (scratch.maybe_matched[i]) continue;
+        ++counters.scanned;
+        if (counter.Count(cand, i, p) > 0) record_matched(i);
+      }
+      continue;
+    }
     counter.BeginPoint(p, cand);
     scratch.neighbor_cells.clear();
     uint64_t count = cand.always_count;
@@ -262,9 +282,9 @@ template <size_t kDim>
 void ScanCellDispatch(const Dataset& data, const CellData& cell,
                       uint32_t cid, const CandidateCellList& cand,
                       size_t min_pts, size_t dim, double eps2,
-                      const KernelConfig& kernels, Phase2Scratch& scratch,
-                      uint8_t* point_is_core, bool& cell_core,
-                      TaskCounters& counters) {
+                      const uint8_t* seed, const KernelConfig& kernels,
+                      Phase2Scratch& scratch, uint8_t* point_is_core,
+                      bool& cell_core, TaskCounters& counters) {
   if (kernels.quant_fn != nullptr) {
     QuantCounter<kDim> counter;
     counter.qfn = kernels.quant_fn;
@@ -275,8 +295,8 @@ void ScanCellDispatch(const Dataset& data, const CellData& cell,
     counter.dim_rt = dim;
     counter.eps2 = eps2;
     counter.fallbacks = &counters.quant_fallbacks;
-    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
-                         point_is_core, cell_core, counters);
+    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, seed, counter,
+                         scratch, point_is_core, cell_core, counters);
   } else {
     ExactCounter<kDim> counter;
     counter.fn = kernels.exact_fn;
@@ -284,8 +304,8 @@ void ScanCellDispatch(const Dataset& data, const CellData& cell,
     counter.point_min2 = scratch.point_min2.data();
     counter.dim_rt = dim;
     counter.eps2 = eps2;
-    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, counter, scratch,
-                         point_is_core, cell_core, counters);
+    ScanCellPoints<kDim>(data, cell, cid, cand, min_pts, seed, counter,
+                         scratch, point_is_core, cell_core, counters);
   }
 }
 
@@ -296,11 +316,12 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
                         uint32_t cid, const CellDictionary& dict,
                         size_t min_pts, size_t num_subdicts,
                         bool use_stencil, const KernelConfig& kernels,
-                        Phase2Scratch& scratch, uint8_t* point_is_core,
-                        bool& cell_core, TaskCounters& counters) {
+                        const QueryEpsSpec& spec, double eps2,
+                        const uint8_t* seed, Phase2Scratch& scratch,
+                        uint8_t* point_is_core, bool& cell_core,
+                        TaskCounters& counters) {
   const GridGeometry& geom = dict.geom();
   const size_t dim = geom.dim();
-  const double eps2 = geom.eps() * geom.eps();
   if (cell.point_ids.empty()) return;
   // Conservative bounding box of the cell's points: QueryCell classifies
   // candidates against it, which on skewed data resolves most of them at
@@ -339,11 +360,12 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
 #endif
   CandidateCellList& cand = scratch.candidates;
   if (use_stencil) {
-    dict.QueryCellStencil(cell.coord, mbr_lo, mbr_hi, &cand);
+    dict.QueryCellStencil(cell.coord, mbr_lo, mbr_hi, &cand, spec);
     counters.stencil_probes += cand.stencil_probes;
     counters.stencil_hits += cand.stencil_hits;
   } else {
-    counters.visited += dict.QueryCell(cell.coord, mbr_lo, mbr_hi, &cand);
+    counters.visited +=
+        dict.QueryCell(cell.coord, mbr_lo, mbr_hi, &cand, spec);
     counters.possible += num_subdicts;
   }
   const size_t num_maybe = cand.num_maybe();
@@ -358,28 +380,47 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
         scratch.suffix_remaining[i + 1] + cand.total_counts[i];
   }
   if (cand.always_count + scratch.suffix_remaining[0] < min_pts) {
-    return;  // no point of this cell can reach min_pts: all non-core
+    // No point of this cell can reach min_pts: all non-core. A *valid*
+    // core seed implies min_pts density, i.e. a bound at least min_pts —
+    // so the shortcut can only fire when the cell holds no seeded point,
+    // and scanning for one keeps even an invalid seed from being
+    // silently dropped.
+    bool has_seed = false;
+    if (seed != nullptr) {
+      for (const uint32_t point_id : cell.point_ids) {
+        if (seed[point_id] != 0) {
+          has_seed = true;
+          break;
+        }
+      }
+    }
+    if (!has_seed) return;
   }
   switch (dim) {
     case 2:
-      ScanCellDispatch<2>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
-                          scratch, point_is_core, cell_core, counters);
+      ScanCellDispatch<2>(data, cell, cid, cand, min_pts, dim, eps2, seed,
+                          kernels, scratch, point_is_core, cell_core,
+                          counters);
       break;
     case 3:
-      ScanCellDispatch<3>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
-                          scratch, point_is_core, cell_core, counters);
+      ScanCellDispatch<3>(data, cell, cid, cand, min_pts, dim, eps2, seed,
+                          kernels, scratch, point_is_core, cell_core,
+                          counters);
       break;
     case 4:
-      ScanCellDispatch<4>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
-                          scratch, point_is_core, cell_core, counters);
+      ScanCellDispatch<4>(data, cell, cid, cand, min_pts, dim, eps2, seed,
+                          kernels, scratch, point_is_core, cell_core,
+                          counters);
       break;
     case 5:
-      ScanCellDispatch<5>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
-                          scratch, point_is_core, cell_core, counters);
+      ScanCellDispatch<5>(data, cell, cid, cand, min_pts, dim, eps2, seed,
+                          kernels, scratch, point_is_core, cell_core,
+                          counters);
       break;
     default:
-      ScanCellDispatch<0>(data, cell, cid, cand, min_pts, dim, eps2, kernels,
-                          scratch, point_is_core, cell_core, counters);
+      ScanCellDispatch<0>(data, cell, cid, cand, min_pts, dim, eps2, seed,
+                          kernels, scratch, point_is_core, cell_core,
+                          counters);
       break;
   }
   if (cell_core) {
@@ -398,19 +439,22 @@ void ProcessCellBatched(const Dataset& data, const CellData& cell,
 void ProcessCellPerPoint(const Dataset& data, const CellData& cell,
                          uint32_t cid, const CellDictionary& dict,
                          size_t min_pts, size_t num_subdicts,
-                         Phase2Scratch& scratch, uint8_t* point_is_core,
-                         bool& cell_core, TaskCounters& counters) {
+                         double query_eps, Phase2Scratch& scratch,
+                         uint8_t* point_is_core, bool& cell_core,
+                         TaskCounters& counters) {
   for (const uint32_t point_id : cell.point_ids) {
     const float* p = data.point(point_id);
     scratch.neighbor_cells.clear();
     uint64_t count = 0;
     counters.visited += dict.Query(
-        p, [&](const DictCell& dc, uint32_t matched) {
+        p,
+        [&](const DictCell& dc, uint32_t matched) {
           count += matched;
           if (dc.cell_id != cid) {
             scratch.neighbor_cells.push_back(dc.cell_id);
           }
-        });
+        },
+        query_eps);
     counters.possible += num_subdicts;
     if (count >= min_pts) {
       // Core point (Example 5.7): its neighbor cells become
@@ -436,13 +480,26 @@ struct EngineSetup {
   SimdLevel level = SimdLevel::kScalar;
   bool use_quantized = false;
   bool use_stencil = false;
+  /// Query-radius decoupling (ladder levels): the spec handed to the
+  /// candidate gathers, the resolved eps^2 of the per-point tests, and
+  /// the borrowed seed/mask arrays.
+  QueryEpsSpec spec;
+  double eps2 = 0.0;
+  const uint8_t* seed = nullptr;
+  const uint8_t* mask = nullptr;
 };
 
 EngineSetup ResolveEngine(const CellDictionary& dict,
                           const Phase2Options& opts) {
   EngineSetup setup;
   setup.level = opts.scalar_kernels ? SimdLevel::kScalar : DetectSimdLevel();
-  setup.use_quantized = opts.quantized && dict.has_quantized();
+  // The fixed-point lanes bake the geometry eps into their integer
+  // thresholds (kQuantEps2) and candidate-span bound, so they only apply
+  // at the classic radius; a decoupled query_eps takes the exact kernels.
+  const bool classic_radius =
+      opts.query_eps == 0.0 || opts.query_eps == dict.geom().eps();
+  setup.use_quantized = opts.quantized && dict.has_quantized() &&
+                        classic_radius;
   setup.kernels.exact_fn = GetSubcellCountFn(setup.level, dict.geom().dim());
   setup.kernels.bounds_fn = GetPointBoundsFn(setup.level);
   if (setup.use_quantized) {
@@ -452,6 +509,14 @@ EngineSetup ResolveEngine(const CellDictionary& dict,
   }
   setup.use_stencil =
       opts.batched_queries && opts.stencil_queries && dict.has_stencil();
+  setup.spec.query_eps = opts.query_eps;
+  setup.spec.level_stencil = opts.level_stencil;
+  setup.spec.force_probe = opts.force_probe;
+  const double qeps =
+      opts.query_eps > 0.0 ? opts.query_eps : dict.geom().eps();
+  setup.eps2 = qeps * qeps;
+  setup.seed = opts.seed_point_core;
+  setup.mask = opts.core_cell_mask;
   return setup;
 }
 
@@ -467,13 +532,19 @@ bool ProcessOneCell(const Dataset& data, const CellData& cell, uint32_t cid,
                     uint8_t* point_is_core, TaskCounters& counters) {
   bool cell_core = false;
   scratch.cell_edges.clear();
+  // Sampled-core mode: unsampled cells are skipped outright — their points
+  // stay non-core and they emit no edges (border labeling through sampled
+  // neighbors still happens downstream).
+  if (setup.mask != nullptr && setup.mask[cid] == 0) return false;
   if (batched) {
     ProcessCellBatched(data, cell, cid, dict, min_pts, num_subdicts,
-                       setup.use_stencil, setup.kernels, scratch,
-                       point_is_core, cell_core, counters);
+                       setup.use_stencil, setup.kernels, setup.spec,
+                       setup.eps2, setup.seed, scratch, point_is_core,
+                       cell_core, counters);
   } else {
     ProcessCellPerPoint(data, cell, cid, dict, min_pts, num_subdicts,
-                        scratch, point_is_core, cell_core, counters);
+                        setup.spec.query_eps, scratch, point_is_core,
+                        cell_core, counters);
   }
   if (!scratch.cell_edges.empty()) {
     std::vector<uint32_t>& cell_edges = scratch.cell_edges;

@@ -39,6 +39,40 @@ struct Phase2Options {
   /// inside the quantization error band, so results still match the exact
   /// path; silently ignored when the dictionary has no quantized lanes.
   bool quantized = false;
+
+  // --- multi-eps ladder knobs (src/hierarchy/). Defaults reproduce the
+  // --- classic single-eps run bit-for-bit. ---
+
+  /// Region-query radius of the core test and edge collection; 0 keeps
+  /// the geometry eps. Must be >= the geometry eps (the cell diagonal
+  /// must stay within the query radius for the core-cell labeling lemma)
+  /// and within the dictionary's stencil_eps_scale headroom unless
+  /// `level_stencil` covers it.
+  double query_eps = 0.0;
+  /// Offset family member covering query_eps, for the stencil engine's
+  /// hashed-probe fallback (QueryEpsSpec::level_stencil). Borrowed.
+  const LatticeStencil* level_stencil = nullptr;
+  /// Force the hashed-probe candidate enumeration instead of the
+  /// precomputed-CSR reuse (QueryEpsSpec::force_probe) — the reference
+  /// engine of the prefix-reuse equivalence tests.
+  bool force_probe = false;
+  /// Per-point core seed (size data.size(), borrowed): points flagged 1
+  /// are known core at this level — the ladder's core-set monotonicity
+  /// (density at a fixed geometry is non-decreasing in query_eps, so a
+  /// level's cores stay core at any eps' >= eps with min_pts' <=
+  /// min_pts). Seeded points skip the pass-1 density count and go
+  /// straight to neighbor collection; the emitted edge union and labels
+  /// are bit-identical to an unseeded run (only valid seeds, i.e. true
+  /// cores, may be flagged). Ignored by the per-point reference engine,
+  /// which never counts past its single pass anyway.
+  const uint8_t* seed_point_core = nullptr;
+  /// Sampled-core candidate mask (size cells.num_cells(), borrowed): the
+  /// DBSCAN++-style approximation. Cells with mask 0 are excluded from
+  /// core marking entirely — their points stay non-core (border labeling
+  /// through sampled neighbors still applies downstream) and their
+  /// Phase II scan is skipped, which is where the speed-for-exactness
+  /// trade lands. Null keeps the exact run.
+  const uint8_t* core_cell_mask = nullptr;
 };
 
 /// Output of Phase II (cell graph construction, Alg. 3) across all

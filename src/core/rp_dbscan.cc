@@ -14,6 +14,7 @@
 #include "parallel/shard/shard_executor.h"
 #include "parallel/thread_pool.h"
 #include "util/json_writer.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
 #include "verify/audit.h"
 
@@ -133,6 +134,17 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   if (data.empty()) {
     return Status::InvalidArgument("dataset is empty");
   }
+  if (options.query_eps != 0.0 && options.query_eps < options.eps) {
+    return Status::InvalidArgument(
+        "query_eps must be >= eps (the cell diagonal must stay within the "
+        "query radius)");
+  }
+  if (options.stencil_eps_scale < 1.0) {
+    return Status::InvalidArgument("stencil_eps_scale must be >= 1");
+  }
+  if (!(options.sampled_core_fraction > 0.0)) {
+    return Status::InvalidArgument("sampled_core_fraction must be > 0");
+  }
   auto geom_or = GridGeometry::Create(data.dim(), options.eps, options.rho);
   if (!geom_or.ok()) return geom_or.status();
   const GridGeometry geom = *geom_or;
@@ -219,6 +231,15 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   dict_opts.build_stencil =
       options.batched_queries && options.stencil_queries;
   dict_opts.quantized = options.quantized;
+  // Decoupled query radii need stencil headroom: enumerate the offset
+  // family out to the largest radius this dictionary will be queried at,
+  // so those queries reuse the neighborhood CSR as a class-filtered
+  // prefix instead of falling back to hashed probes.
+  dict_opts.stencil_eps_scale = options.stencil_eps_scale;
+  if (options.query_eps > 0.0) {
+    dict_opts.stencil_eps_scale = std::max(dict_opts.stencil_eps_scale,
+                                           options.query_eps / options.eps);
+  }
   StatusOr<CellDictionary> dict_or = [&]() -> StatusOr<CellDictionary> {
     if (options.shard_workers < 2) {
       return CellDictionary::Build(data, cells, dict_opts, &pool);
@@ -289,6 +310,24 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   phase2_opts.stencil_queries = options.stencil_queries;
   phase2_opts.scalar_kernels = options.scalar_kernels;
   phase2_opts.quantized = options.quantized;
+  phase2_opts.query_eps = options.query_eps;
+  // Sampled-core mode (DBSCAN++-style): keep a deterministic fraction of
+  // cells as core candidates, chosen by hashing the cell coordinate with
+  // the sample seed — the same cell is kept at every ladder level, which
+  // preserves core-set monotonicity across levels. fraction >= 1 keeps the
+  // exact run with no mask at all.
+  std::vector<uint8_t> core_mask;
+  if (options.sampled_core_fraction < 1.0) {
+    const uint64_t threshold = static_cast<uint64_t>(
+        options.sampled_core_fraction * 18446744073709551616.0);
+    core_mask.resize(cells.num_cells());
+    for (uint32_t cid = 0; cid < cells.num_cells(); ++cid) {
+      const uint64_t h =
+          Mix64(cells.cell(cid).coord.hash() ^ options.core_sample_seed);
+      core_mask[cid] = h < threshold ? 1 : 0;
+    }
+    phase2_opts.core_cell_mask = core_mask.data();
+  }
   Phase2Result phase2 =
       BuildSubgraphs(data, cells, dict, options.min_pts, pool, phase2_opts);
   stats.phase2_seconds = phase_watch.ElapsedSeconds();
@@ -306,8 +345,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
     stats.num_core_cells += c;
   }
 
+  // The cell-graph and label audits recompute densities at the geometry
+  // eps and with exact cores, so they only apply to the classic coupled,
+  // unsampled run.
+  const bool classic_semantics =
+      options.query_eps == 0.0 && phase2_opts.core_cell_mask == nullptr;
+
   // Must run before MergeSubgraphs consumes the subgraphs.
-  if (audit != AuditLevel::kOff) {
+  if (audit != AuditLevel::kOff && classic_semantics) {
     Stopwatch audit_watch;
     const AuditReport rep = AuditCellGraph(data, cells, phase2, audit);
     stats.audit_seconds += audit_watch.ElapsedSeconds();
@@ -337,14 +382,14 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
 
   // ---- Phase III-2: point labeling (Sec. 6.2). ----
   phase_watch.Reset();
-  result.labels =
-      LabelPoints(data, cells, merged, phase2.point_is_core, pool);
+  result.labels = LabelPoints(data, cells, merged, phase2.point_is_core,
+                              pool, options.query_eps);
   stats.label_seconds = phase_watch.ElapsedSeconds();
   for (const int64_t l : result.labels) {
     if (l == kNoise) ++stats.num_noise_points;
   }
 
-  if (audit != AuditLevel::kOff) {
+  if (audit != AuditLevel::kOff && classic_semantics) {
     Stopwatch audit_watch;
     const AuditReport rep =
         AuditLabels(data, cells, merged, phase2.point_is_core, result.labels,
@@ -360,7 +405,7 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
   if (options.capture_model) {
     result.model = std::make_shared<CapturedModel>(BuildCapturedModel(
         data, cells, std::move(merged), std::move(phase2.point_is_core),
-        std::move(*dict_or), options.min_pts));
+        std::move(*dict_or), options.min_pts, options.query_eps));
   }
 
   stats.total_seconds = total.ElapsedSeconds();
@@ -370,10 +415,13 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
 CapturedModel BuildCapturedModel(const Dataset& data, const CellSet& cells,
                                  MergeResult merged,
                                  std::vector<uint8_t> point_is_core,
-                                 CellDictionary dictionary, size_t min_pts) {
+                                 CellDictionary dictionary, size_t min_pts,
+                                 double query_eps) {
   CapturedModel model;
   model.min_pts = min_pts;
   model.num_points = data.size();
+  model.query_eps =
+      query_eps > 0.0 ? query_eps : dictionary.geom().eps();
   const size_t dim = data.dim();
   const size_t num_cells = cells.num_cells();
   // Border references: for every cell that appears in some non-core

@@ -123,6 +123,32 @@ struct RpDbscanOptions {
   /// in-process threaded build. The assembled dictionary is byte-equal
   /// either way (audited when audit_level > kOff).
   size_t shard_workers = 0;
+
+  // --- multi-eps ladder & sampled-core knobs (src/hierarchy/) ---
+
+  /// Region-query radius decoupled from the cell geometry: the grid is
+  /// still built with diagonal `eps`, but the core test, edge collection
+  /// and border labeling use this radius. 0 keeps the classic coupled run
+  /// (bit-identical to before the knob existed). Must be >= eps — the
+  /// cell-diagonal <= radius invariant is what makes a fully-populated
+  /// cell's points mutually reachable (Lemma 3.2).
+  double query_eps = 0.0;
+  /// Stencil headroom: the dictionary's offset family is enumerated for
+  /// radii up to stencil_eps_scale * eps, so ladder levels up to that
+  /// scale can reuse the precomputed neighborhood CSR as a class-filtered
+  /// prefix. Raised automatically to query_eps / eps when query_eps is
+  /// set. 1 keeps the classic family (bit-identical offsets).
+  double stencil_eps_scale = 1.0;
+  /// DBSCAN++-style sampled-core approximation: fraction of cells that
+  /// remain core candidates, chosen by a deterministic per-cell-coordinate
+  /// hash so the same cell is sampled at every ladder level (preserving
+  /// core-set monotonicity across levels). Points of unsampled cells can
+  /// still be labeled as border points of sampled neighbors. >= 1 (the
+  /// default) keeps the exact run — the ROADMAP's exact-fallback
+  /// requirement.
+  double sampled_core_fraction = 1.0;
+  /// Seed of the sampled-core cell hash.
+  uint64_t core_sample_seed = 0x9e3779b97f4a7c15ull;
 };
 
 /// The frozen artifacts of one finished run that out-of-sample label
@@ -143,6 +169,10 @@ struct CapturedModel {
   std::vector<uint8_t> point_is_core;
   size_t min_pts = 0;
   size_t num_points = 0;
+  /// Effective region-query radius of the run (== geometry eps for the
+  /// classic coupled run; the level radius for decoupled ladder levels).
+  /// Serving replays the border walk at this radius.
+  double query_eps = 0.0;
   /// CSR over cell ids: cell c's stored core-point coordinates are
   /// ref_coords[ref_offsets[c] * dim .. ref_offsets[c + 1] * dim).
   /// Non-empty only for cells referenced as a labeling predecessor.
@@ -273,7 +303,8 @@ StatusOr<RpDbscanResult> RunRpDbscan(const Dataset& data,
 CapturedModel BuildCapturedModel(const Dataset& data, const CellSet& cells,
                                  MergeResult merged,
                                  std::vector<uint8_t> point_is_core,
-                                 CellDictionary dictionary, size_t min_pts);
+                                 CellDictionary dictionary, size_t min_pts,
+                                 double query_eps = 0.0);
 
 }  // namespace rpdbscan
 

@@ -8,6 +8,7 @@ namespace rpdbscan {
 namespace {
 
 constexpr size_t kHeaderSize = 16;
+constexpr size_t kRoutedHeaderSize = 24;
 
 void StoreU32(uint8_t* p, uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
@@ -95,6 +96,22 @@ Status WriteFrame(int fd, uint32_t magic, uint32_t type,
   return Status::OK();
 }
 
+Status WriteRoutedFrame(int fd, uint32_t magic, uint32_t type,
+                        uint32_t model_id, const uint8_t* payload,
+                        size_t size) {
+  uint8_t header[kRoutedHeaderSize];
+  StoreU32(header, magic | kFrameRouted);
+  StoreU32(header + 4, type);
+  StoreU64(header + 8, static_cast<uint64_t>(size));
+  StoreU32(header + 16, model_id);
+  StoreU32(header + 20, 0);
+  RPDBSCAN_RETURN_IF_ERROR(WriteAll(fd, header, kRoutedHeaderSize, "header"));
+  if (size > 0) {
+    RPDBSCAN_RETURN_IF_ERROR(WriteAll(fd, payload, size, "payload"));
+  }
+  return Status::OK();
+}
+
 Status ReadFrame(int fd, uint32_t magic, size_t max_payload, Frame* out,
                  const std::string& stream) {
   uint8_t header[kHeaderSize];
@@ -105,12 +122,26 @@ Status ReadFrame(int fd, uint32_t magic, size_t max_payload, Frame* out,
     return Status::NotFound(stream + ": end of stream");
   }
   const uint32_t got_magic = LoadU32(header);
-  if (got_magic != magic) {
+  out->routed = got_magic == (magic | kFrameRouted);
+  if (got_magic != magic && !out->routed) {
     return Status::IOError(stream + ": frame header: bad magic 0x" +
                            std::to_string(got_magic) + " (want 0x" +
                            std::to_string(magic) + ")");
   }
   out->type = LoadU32(header + 4);
+  out->model_id = 0;
+  if (out->routed) {
+    uint8_t ext[kRoutedHeaderSize - kHeaderSize];
+    RPDBSCAN_RETURN_IF_ERROR(
+        ReadAll(fd, ext, sizeof(ext), nullptr, stream, "routed header"));
+    out->model_id = LoadU32(ext);
+    const uint32_t reserved = LoadU32(ext + 4);
+    if (reserved != 0) {
+      return Status::IOError(stream +
+                             ": frame header: non-zero reserved field " +
+                             std::to_string(reserved));
+    }
+  }
   const uint64_t length = LoadU64(header + 8);
   if (length > max_payload) {
     return Status::IOError(stream + ": frame header: declared payload of " +

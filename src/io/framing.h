@@ -12,11 +12,23 @@ namespace rpdbscan {
 
 /// Length-prefixed frames over a byte-stream file descriptor — the
 /// transport under the serving request loop (docs/WIRE_FORMATS.md §4).
-/// A frame is a fixed 16-byte header followed by `length` payload bytes:
+/// A v1 frame is a fixed 16-byte header followed by `length` payload
+/// bytes:
 ///
 ///   u32 magic     stream identity, caller-chosen
 ///   u32 type      frame meaning, caller-chosen (serve/request_loop.h)
 ///   u64 length    payload bytes following the header
+///
+/// A *routed* (v2) frame carries a model id for multi-model serving
+/// (docs/WIRE_FORMATS.md §6): bit 29 of the magic word — clear in every
+/// caller-chosen magic, so the two header forms are distinguishable from
+/// the first four bytes — marks a 24-byte header with two extra fields:
+///
+///   u32 magic | kFrameRouted
+///   u32 type
+///   u64 length
+///   u32 model_id  registry routing key (serve/model_registry.h)
+///   u32 reserved  must be 0
 ///
 /// All integers little-endian, like every other wire format here. The
 /// payload typically carries a checksummed section_file container, so the
@@ -25,24 +37,38 @@ namespace rpdbscan {
 /// Works over anything read()/write() works over — pipes, socketpairs,
 /// unix sockets — with short reads/writes and EINTR handled internally.
 
-/// One decoded frame.
+/// The routed-header marker bit OR'd into the magic word on the wire.
+/// Caller-chosen magics must keep this bit clear.
+inline constexpr uint32_t kFrameRouted = 1u << 29;
+
+/// One decoded frame. `model_id` is 0 for v1 (unrouted) frames; `routed`
+/// records which header form arrived so a responder can mirror it.
 struct Frame {
   uint32_t type = 0;
+  uint32_t model_id = 0;
+  bool routed = false;
   std::vector<uint8_t> payload;
 };
 
-/// Writes one frame. Loops over short writes; IOError (errno-named) on
+/// Writes one v1 frame. Loops over short writes; IOError (errno-named) on
 /// failure, including a peer that closed mid-frame.
 Status WriteFrame(int fd, uint32_t magic, uint32_t type,
                   const uint8_t* payload, size_t size);
 
-/// Reads one frame into `*out`. Returns:
+/// Writes one routed (v2) frame carrying `model_id`.
+Status WriteRoutedFrame(int fd, uint32_t magic, uint32_t type,
+                        uint32_t model_id, const uint8_t* payload,
+                        size_t size);
+
+/// Reads one frame into `*out`, accepting both header forms (the routed
+/// bit in the first word selects). Returns:
 ///  * OK — a whole frame arrived; `*out` holds it.
 ///  * NotFound — the stream ended cleanly BEFORE any header byte (the
 ///    peer hung up between frames; the loop's normal exit).
 ///  * IOError — a truncated header/payload (EOF mid-frame), a read
-///    failure, a magic mismatch, or a declared length above `max_payload`
-///    (refused before allocating).
+///    failure, a magic mismatch, a routed header with a non-zero
+///    reserved field, or a declared length above `max_payload` (refused
+///    before allocating).
 /// `stream` names the connection in error messages.
 Status ReadFrame(int fd, uint32_t magic, size_t max_payload, Frame* out,
                  const std::string& stream);

@@ -1,0 +1,98 @@
+#include "metrics/hausdorff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace rpdbscan {
+namespace {
+
+double Dist2(const float* p, const float* q, size_t dim) {
+  double s = 0.0;
+  for (size_t d = 0; d < dim; ++d) {
+    const double delta =
+        static_cast<double>(p[d]) - static_cast<double>(q[d]);
+    s += delta * delta;
+  }
+  return s;
+}
+
+}  // namespace
+
+double DirectedHausdorff(const float* a, size_t na, const float* b,
+                         size_t nb, size_t dim) {
+  if (na == 0) return 0.0;
+  if (nb == 0) return std::numeric_limits<double>::infinity();
+  double cmax2 = 0.0;
+  for (size_t i = 0; i < na; ++i) {
+    const float* p = a + i * dim;
+    double cmin2 = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < nb; ++j) {
+      const double d2 = Dist2(p, b + j * dim, dim);
+      if (d2 < cmin2) {
+        cmin2 = d2;
+        // Early break: this a is already covered more tightly than the
+        // running maximum, so it cannot raise it.
+        if (cmin2 <= cmax2) break;
+      }
+    }
+    if (cmin2 > cmax2) cmax2 = cmin2;
+  }
+  return std::sqrt(cmax2);
+}
+
+double HausdorffDistance(const float* a, size_t na, const float* b,
+                         size_t nb, size_t dim) {
+  return std::max(DirectedHausdorff(a, na, b, nb, dim),
+                  DirectedHausdorff(b, nb, a, na, dim));
+}
+
+StatusOr<ClusterHausdorffResult> ClusterHausdorff(const Dataset& data,
+                                                  const Labels& a,
+                                                  const Labels& b) {
+  if (a.size() != data.size() || b.size() != data.size()) {
+    return Status::InvalidArgument(
+        "labelings do not match the dataset size");
+  }
+  const size_t dim = data.dim();
+  // Gather each labeling's clusters as packed coordinate blocks (noise
+  // forms no cluster).
+  auto gather = [&](const Labels& labels) {
+    std::unordered_map<int64_t, std::vector<float>> clusters;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == kNoise) continue;
+      std::vector<float>& pts = clusters[labels[i]];
+      const float* p = data.point(i);
+      pts.insert(pts.end(), p, p + dim);
+    }
+    return clusters;
+  };
+  const auto ca = gather(a);
+  const auto cb = gather(b);
+
+  ClusterHausdorffResult result;
+  result.clusters_a = ca.size();
+  result.clusters_b = cb.size();
+  if (ca.empty() && cb.empty()) return result;  // zero distances
+  if (ca.empty() || cb.empty()) {
+    result.max_distance = std::numeric_limits<double>::infinity();
+    result.mean_distance = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  double sum = 0.0;
+  for (const auto& [la, pa] : ca) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& [lb, pb] : cb) {
+      const double h = HausdorffDistance(pa.data(), pa.size() / dim,
+                                         pb.data(), pb.size() / dim, dim);
+      best = std::min(best, h);
+      if (best == 0.0) break;
+    }
+    sum += best;
+    result.max_distance = std::max(result.max_distance, best);
+  }
+  result.mean_distance = sum / static_cast<double>(ca.size());
+  return result;
+}
+
+}  // namespace rpdbscan

@@ -1,0 +1,55 @@
+#ifndef RPDBSCAN_METRICS_HAUSDORFF_H_
+#define RPDBSCAN_METRICS_HAUSDORFF_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "io/dataset.h"
+#include "util/status.h"
+
+namespace rpdbscan {
+
+/// Directed Hausdorff distance h(A -> B) = max over a of min over b of
+/// ||a - b||, over row-major float point sets of dimension `dim`.
+/// Conventions (pinned by hausdorff_test): both sets empty -> 0; exactly
+/// one empty -> +infinity (nothing can cover the non-empty side).
+/// O(|A| |B| d) worst case with the classic early-break: the inner scan
+/// aborts as soon as some b is closer than the running maximum, which on
+/// clustered data cuts most of the quadratic work.
+double DirectedHausdorff(const float* a, size_t na, const float* b,
+                         size_t nb, size_t dim);
+
+/// Symmetric Hausdorff H(A, B) = max(h(A -> B), h(B -> A)).
+double HausdorffDistance(const float* a, size_t na, const float* b,
+                         size_t nb, size_t dim);
+
+/// Cluster-level comparison of two labelings over the same dataset — the
+/// geometric complement of the pair-counting (Rand) and information
+/// (NMI) metrics: how far, in data units, must each cluster of one
+/// labeling travel to land on its best-matching cluster of the other.
+///
+/// Each cluster of `a` is greedily matched to the cluster of `b` whose
+/// symmetric Hausdorff distance to it is smallest (noise points form no
+/// cluster). The result aggregates those per-cluster best distances.
+struct ClusterHausdorffResult {
+  /// max over a-clusters of (min over b-clusters of H) — the worst
+  /// cluster displacement; 0 iff the cluster point sets coincide.
+  double max_distance = 0.0;
+  /// Mean of the per-a-cluster best distances.
+  double mean_distance = 0.0;
+  /// Cluster counts actually compared.
+  size_t clusters_a = 0;
+  size_t clusters_b = 0;
+};
+
+/// Conventions: no clusters on either side -> zero distances; clusters on
+/// exactly one side -> +infinity max (and mean). Fails only when the
+/// labelings and dataset disagree in size.
+StatusOr<ClusterHausdorffResult> ClusterHausdorff(const Dataset& data,
+                                                  const Labels& a,
+                                                  const Labels& b);
+
+}  // namespace rpdbscan
+
+#endif  // RPDBSCAN_METRICS_HAUSDORFF_H_

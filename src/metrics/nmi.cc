@@ -51,9 +51,8 @@ StatusOr<double> NormalizedMutualInformation(const Labels& a,
   if (a.size() != b.size()) {
     return Status::InvalidArgument("labelings differ in size");
   }
-  if (a.empty()) {
-    return Status::InvalidArgument("labelings are empty");
-  }
+  // Two empty labelings are (vacuously) identical partitions.
+  if (a.empty()) return 1.0;
   const std::vector<int64_t> na = Normalize(a, noise);
   const std::vector<int64_t> nb = Normalize(b, noise);
   std::unordered_map<std::pair<int64_t, int64_t>, int64_t, PairHash> joint;

@@ -14,8 +14,10 @@ namespace rpdbscan {
 /// approximate algorithm loses *small* clusters.
 ///
 /// Noise points are handled per `noise` (same semantics as RandIndex).
-/// Returns 1.0 when both partitions are trivial (single cluster or all
-/// singletons) and identical; fails on empty or mismatched inputs.
+/// Degenerate inputs have pinned conventions (metrics_edge_case_test):
+/// returns 1.0 for empty labelings and when both partitions are trivial
+/// (single cluster or all singletons) and identical, 0.0 when exactly one
+/// side is trivial; fails only on mismatched sizes.
 StatusOr<double> NormalizedMutualInformation(
     const Labels& a, const Labels& b,
     NoiseHandling noise = NoiseHandling::kSingleton);

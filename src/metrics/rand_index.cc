@@ -57,9 +57,6 @@ StatusOr<Contingency> BuildContingency(const Labels& a, const Labels& b,
   if (a.size() != b.size()) {
     return Status::InvalidArgument("labelings differ in size");
   }
-  if (a.empty()) {
-    return Status::InvalidArgument("labelings are empty");
-  }
   const std::vector<int64_t> na = Normalize(a, noise);
   const std::vector<int64_t> nb = Normalize(b, noise);
   std::unordered_map<std::pair<int64_t, int64_t>, int64_t, PairHash> cells;

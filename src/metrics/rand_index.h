@@ -21,7 +21,11 @@ enum class NoiseHandling {
 /// 1 meaning identical clusterings. Computed in O(n + #distinct pairs) via
 /// a contingency table, so it is usable on the 100k-point accuracy sets.
 ///
-/// Fails if the labelings are empty or differ in size.
+/// Degenerate inputs have pinned conventions (metrics_edge_case_test):
+/// empty or single-point labelings (no pairs to disagree on) return 1.0;
+/// all-noise and single-cluster labelings flow through the normal
+/// contingency path under both NoiseHandling modes. Fails only when the
+/// labelings differ in size.
 StatusOr<double> RandIndex(const Labels& a, const Labels& b,
                            NoiseHandling noise = NoiseHandling::kSingleton);
 

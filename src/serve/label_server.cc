@@ -204,7 +204,11 @@ ServeResult LabelServer::Classify(const float* q, ServeStats* stats) const {
   const CellDictionary& dict = snap.dictionary();
   const GridGeometry& geom = dict.geom();
   const size_t dim = geom.dim();
-  const double eps2 = geom.eps() * geom.eps();
+  // The run's effective query radius (== geom eps for coupled runs; the
+  // rung radius for eps-ladder snapshots, whose stencil was rebuilt with
+  // matching headroom at load).
+  const double qeps = snap.meta().query_eps;
+  const double eps2 = qeps * qeps;
   const double side = geom.cell_side();
   const std::vector<uint32_t>& cell_cluster = snap.cell_cluster();
   const std::vector<GlobalCellRef>& refs = dict.cell_refs();
@@ -311,12 +315,15 @@ ServeResult LabelServer::Classify(const float* q, ServeStats* stats) const {
     // Query() visits exactly the cells with a matched sub-cell, with the
     // same matched arithmetic — density and best-cell tracking are
     // engine-independent.
-    dict.Query(q, [&](const DictCell& cell, uint32_t matched) {
-      density += matched;
-      if (cell_cluster[cell.cell_id] != kNoCluster) {
-        best.Offer(geom.CellMinDist2(cell.coord, q), cell.cell_id);
-      }
-    });
+    dict.Query(
+        q,
+        [&](const DictCell& cell, uint32_t matched) {
+          density += matched;
+          if (cell_cluster[cell.cell_id] != kNoCluster) {
+            best.Offer(geom.CellMinDist2(cell.coord, q), cell.cell_id);
+          }
+        },
+        qeps);
   }
 
   uint64_t ref_scans = 0;
@@ -383,7 +390,11 @@ Status LabelServer::ClassifyGrouped(const Dataset& queries, ThreadPool& pool,
   const CellDictionary& dict = snap.dictionary();
   const GridGeometry& geom = dict.geom();
   const size_t dim = geom.dim();
-  const double eps2 = geom.eps() * geom.eps();
+  // The run's effective query radius (== geom eps for coupled runs; the
+  // rung radius for eps-ladder snapshots, whose stencil was rebuilt with
+  // matching headroom at load).
+  const double qeps = snap.meta().query_eps;
+  const double eps2 = qeps * qeps;
   const double side = geom.cell_side();
   const std::vector<uint32_t>& cell_cluster = snap.cell_cluster();
   const std::vector<GlobalCellRef>& refs = dict.cell_refs();

@@ -1,0 +1,61 @@
+#include "serve/model_registry.h"
+
+#include <utility>
+
+namespace rpdbscan {
+
+Status ModelRegistry::Add(
+    uint32_t model_id, std::shared_ptr<const ClusterModelSnapshot> snapshot,
+    const LabelServerOptions& opts) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("model registry: null snapshot for id " +
+                                   std::to_string(model_id));
+  }
+  if (servers_.count(model_id) != 0) {
+    return Status::InvalidArgument("model registry: duplicate model id " +
+                                   std::to_string(model_id));
+  }
+  const bool first = servers_.empty();
+  servers_.emplace(model_id, std::unique_ptr<LabelServer>(new LabelServer(
+                                 std::move(snapshot), opts)));
+  if (first) default_id_ = model_id;
+  return Status::OK();
+}
+
+Status ModelRegistry::AddFile(uint32_t model_id, const std::string& path,
+                              const SnapshotOptions& snap_opts,
+                              const LabelServerOptions& serve_opts,
+                              ThreadPool* pool) {
+  auto snap = ClusterModelSnapshot::ReadFile(path, snap_opts, pool);
+  if (!snap.ok()) {
+    return Status(snap.status().code(),
+                  "model registry: model " + std::to_string(model_id) + " (" +
+                      path + "): " + snap.status().message());
+  }
+  return Add(model_id,
+             std::make_shared<const ClusterModelSnapshot>(std::move(*snap)),
+             serve_opts);
+}
+
+Status ModelRegistry::SetDefault(uint32_t model_id) {
+  if (servers_.count(model_id) == 0) {
+    return Status::NotFound("model registry: no model with id " +
+                            std::to_string(model_id));
+  }
+  default_id_ = model_id;
+  return Status::OK();
+}
+
+const LabelServer* ModelRegistry::Find(uint32_t model_id) const {
+  const auto it = servers_.find(model_id);
+  return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<uint32_t> ModelRegistry::ids() const {
+  std::vector<uint32_t> out;
+  out.reserve(servers_.size());
+  for (const auto& entry : servers_) out.push_back(entry.first);
+  return out;
+}
+
+}  // namespace rpdbscan

@@ -198,9 +198,36 @@ StatusOr<std::vector<ServeResult>> DecodeClassifyResponse(
   return results;
 }
 
-Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
-                        ThreadPool& pool, const RequestLoopOptions& opts,
-                        RequestLoopStats* stats) {
+namespace {
+
+/// Where a classify frame resolved: the serving model and its registry id
+/// (id 0 / null per-model stats on the single-server loop), or — with
+/// `server == nullptr` — an error to report on the wire.
+struct Resolution {
+  const LabelServer* server = nullptr;
+  uint32_t model_id = 0;
+  std::string error;
+};
+
+/// Writes a frame mirroring the request's header form: routed requests
+/// get routed responses carrying the resolved model id.
+Status WriteMirroredFrame(int out_fd, const Admitted& item, uint32_t model_id,
+                          uint32_t type, const uint8_t* payload,
+                          size_t size) {
+  if (item.frame.routed) {
+    return WriteRoutedFrame(out_fd, kServeFrameMagic, type, model_id, payload,
+                            size);
+  }
+  return WriteFrame(out_fd, kServeFrameMagic, type, payload, size);
+}
+
+/// The loop body shared by the single-server and registry overloads.
+/// `resolve` maps an admitted classify frame to its serving model;
+/// `track_per_model` turns on the per-model split in `stats`.
+template <typename Resolver>
+Status RunRequestLoop(int in_fd, int out_fd, ThreadPool& pool,
+                      const RequestLoopOptions& opts, RequestLoopStats* stats,
+                      bool track_per_model, const Resolver& resolve) {
   AdmissionQueue queue(/*capacity=*/8);
   const Stopwatch watch;  // the loop's monotonic epoch
 
@@ -236,40 +263,68 @@ Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
       const std::string msg = "serve stream: unexpected frame type " +
                               std::to_string(item.frame.type);
       if (stats != nullptr) ++stats->errors;
-      result = WriteFrame(out_fd, kServeFrameMagic, kFrameError,
-                          reinterpret_cast<const uint8_t*>(msg.data()),
-                          msg.size());
+      result = WriteMirroredFrame(
+          out_fd, item, item.frame.model_id, kFrameError,
+          reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
       if (!result.ok()) break;
       continue;
     }
     if (stats != nullptr) ++stats->requests;
-    auto queries = DecodeClassifyRequest(item.frame.payload);
+    const Resolution target = resolve(item.frame);
+    ModelLoopStats* mstats = nullptr;
+    if (stats != nullptr && track_per_model && target.server != nullptr) {
+      mstats = &stats->per_model[target.model_id];
+      ++mstats->requests;
+    }
     Status handled;
+    if (target.server == nullptr) {
+      // An unknown model id poisons neither the stream nor the registry:
+      // report it on the wire and keep serving.
+      if (stats != nullptr) ++stats->errors;
+      handled = WriteMirroredFrame(
+          out_fd, item, item.frame.model_id, kFrameError,
+          reinterpret_cast<const uint8_t*>(target.error.data()),
+          target.error.size());
+      if (!handled.ok()) {
+        result = handled;
+        break;
+      }
+      continue;
+    }
+    auto queries = DecodeClassifyRequest(item.frame.payload);
     if (!queries.ok()) {
       // A malformed request poisons neither the stream nor the server:
       // report it on the wire and keep serving.
       const std::string msg = queries.status().ToString();
       if (stats != nullptr) ++stats->errors;
-      handled = WriteFrame(out_fd, kServeFrameMagic, kFrameError,
-                           reinterpret_cast<const uint8_t*>(msg.data()),
-                           msg.size());
+      if (mstats != nullptr) ++mstats->errors;
+      handled = WriteMirroredFrame(
+          out_fd, item, target.model_id, kFrameError,
+          reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
     } else {
       std::vector<ServeResult> results;
-      const Status cs = server.ClassifyBatch(
-          *queries, pool, &results,
-          stats != nullptr ? &stats->serve : nullptr);
+      ServeStats batch;
+      const Status cs = target.server->ClassifyBatch(
+          *queries, pool, &results, stats != nullptr ? &batch : nullptr);
+      if (cs.ok() && stats != nullptr) {
+        stats->serve.Merge(batch);
+        if (mstats != nullptr) mstats->serve.Merge(batch);
+      }
       if (!cs.ok()) {
         const std::string msg = cs.ToString();
         if (stats != nullptr) ++stats->errors;
-        handled = WriteFrame(out_fd, kServeFrameMagic, kFrameError,
-                             reinterpret_cast<const uint8_t*>(msg.data()),
-                             msg.size());
+        if (mstats != nullptr) ++mstats->errors;
+        handled = WriteMirroredFrame(
+            out_fd, item, target.model_id, kFrameError,
+            reinterpret_cast<const uint8_t*>(msg.data()), msg.size());
       } else {
         const std::vector<uint8_t> payload = EncodeClassifyResponse(results);
-        handled = WriteFrame(out_fd, kServeFrameMagic, kFrameResults,
-                             payload.data(), payload.size());
+        handled = WriteMirroredFrame(out_fd, item, target.model_id,
+                                     kFrameResults, payload.data(),
+                                     payload.size());
         if (handled.ok() && stats != nullptr) {
           ++stats->responses;
+          if (mstats != nullptr) ++mstats->responses;
           // Sojourn latency: response on the wire minus request admitted,
           // one sample per query of the request.
           const uint64_t done_ns =
@@ -277,6 +332,7 @@ Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
           const uint64_t sojourn = done_ns - item.admit_ns;
           for (size_t i = 0; i < results.size(); ++i) {
             stats->latency.Add(sojourn);
+            if (mstats != nullptr) mstats->latency.Add(sojourn);
           }
         }
       }
@@ -296,10 +352,56 @@ Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
   return result;
 }
 
+}  // namespace
+
+Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
+                        ThreadPool& pool, const RequestLoopOptions& opts,
+                        RequestLoopStats* stats) {
+  return RunRequestLoop(in_fd, out_fd, pool, opts, stats,
+                        /*track_per_model=*/false, [&](const Frame&) {
+                          Resolution r;
+                          r.server = &server;
+                          return r;
+                        });
+}
+
+Status ServeRequestLoop(int in_fd, int out_fd, const ModelRegistry& registry,
+                        ThreadPool& pool, const RequestLoopOptions& opts,
+                        RequestLoopStats* stats) {
+  if (registry.empty()) {
+    return Status::FailedPrecondition(
+        "serve stream: the model registry is empty");
+  }
+  return RunRequestLoop(
+      in_fd, out_fd, pool, opts, stats,
+      /*track_per_model=*/true, [&](const Frame& frame) {
+        Resolution r;
+        if (!frame.routed) {
+          r.server = registry.Default();
+          r.model_id = registry.default_id();
+          return r;
+        }
+        r.model_id = frame.model_id;
+        r.server = registry.Find(frame.model_id);
+        if (r.server == nullptr) {
+          r.error = "serve stream: no model with id " +
+                    std::to_string(frame.model_id);
+        }
+        return r;
+      });
+}
+
 Status SendClassifyRequest(int fd, const Dataset& queries) {
   const std::vector<uint8_t> payload = EncodeClassifyRequest(queries);
   return WriteFrame(fd, kServeFrameMagic, kFrameClassify, payload.data(),
                     payload.size());
+}
+
+Status SendRoutedClassifyRequest(int fd, uint32_t model_id,
+                                 const Dataset& queries) {
+  const std::vector<uint8_t> payload = EncodeClassifyRequest(queries);
+  return WriteRoutedFrame(fd, kServeFrameMagic, kFrameClassify, model_id,
+                          payload.data(), payload.size());
 }
 
 StatusOr<std::vector<ServeResult>> ReadClassifyResponse(

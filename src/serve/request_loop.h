@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "io/dataset.h"
 #include "io/framing.h"
 #include "parallel/thread_pool.h"
 #include "serve/label_server.h"
+#include "serve/model_registry.h"
 #include "util/status.h"
 
 namespace rpdbscan {
@@ -24,6 +26,13 @@ namespace rpdbscan {
 ///   kFrameError     server -> client   UTF-8 error text (bad request;
 ///                                      the loop keeps serving)
 ///   kFrameShutdown  client -> server   empty; the loop drains and exits
+///
+/// Requests arrive in either frame form (io/framing.h): an unrouted v1
+/// frame resolves against the registry's default model, a routed v2
+/// frame against the model registered under its model_id (an unknown id
+/// earns an error frame; the loop keeps serving). Responses mirror the
+/// request's form — a routed request gets a routed response carrying the
+/// resolved model id.
 ///
 /// Request container (magic kRequestMagic): section 1 = meta
 /// (u32 dim, u32 count), section 2 = count*dim f32 coordinates.
@@ -46,6 +55,17 @@ struct RequestLoopOptions {
   size_t max_request_bytes = size_t{1} << 30;
 };
 
+/// Per-resolved-model counters of a registry-routed loop. `requests`
+/// counts classify frames that resolved to this model; unknown-id frames
+/// land on no model (only the stream-wide error counter sees them).
+struct ModelLoopStats {
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t errors = 0;
+  ServeStats serve;
+  LatencyReservoir latency;
+};
+
 /// Counters of one ServeRequestLoop run, merged onto the batch stats.
 struct RequestLoopStats {
   uint64_t requests = 0;
@@ -53,6 +73,9 @@ struct RequestLoopStats {
   uint64_t errors = 0;  // error frames sent (malformed requests)
   ServeStats serve;
   LatencyReservoir latency;  // response-written minus frame-admitted, ns
+  /// Registry-routed loops only: the same counters split by the resolved
+  /// model id (the stream-wide counters above stay the totals).
+  std::map<uint32_t, ModelLoopStats> per_model;
 };
 
 /// Encodes `queries` as a classify-request container.
@@ -82,8 +105,23 @@ Status ServeRequestLoop(int in_fd, int out_fd, const LabelServer& server,
                         const RequestLoopOptions& opts = RequestLoopOptions(),
                         RequestLoopStats* stats = nullptr);
 
+/// The multi-model loop: classify frames dispatch against `registry` by
+/// model id (see the routing rules above), per-model counters land in
+/// `stats->per_model`. FailedPrecondition on an empty registry. With a
+/// single-model registry and unrouted clients this behaves exactly like
+/// the single-server overload.
+Status ServeRequestLoop(int in_fd, int out_fd, const ModelRegistry& registry,
+                        ThreadPool& pool,
+                        const RequestLoopOptions& opts = RequestLoopOptions(),
+                        RequestLoopStats* stats = nullptr);
+
 /// Client helpers: one classify round-trip, and the shutdown signal.
 Status SendClassifyRequest(int fd, const Dataset& queries);
+
+/// Routed variant: the request frame carries `model_id` for registry
+/// dispatch.
+Status SendRoutedClassifyRequest(int fd, uint32_t model_id,
+                                 const Dataset& queries);
 StatusOr<std::vector<ServeResult>> ReadClassifyResponse(
     int fd, size_t max_response_bytes = size_t{1} << 30);
 Status SendShutdown(int fd);

@@ -1,5 +1,6 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <limits>
@@ -42,7 +43,10 @@ uint64_t LoadU64(const uint8_t* p) {
 double LoadF64(const uint8_t* p) { return std::bit_cast<double>(LoadU64(p)); }
 float LoadF32(const uint8_t* p) { return std::bit_cast<float>(LoadU32(p)); }
 
-constexpr size_t kMetaBytes = 64;
+// The meta section grew from 64 to 72 bytes when query_eps was appended;
+// loading is size-gated so pre-growth files read as query_eps == eps.
+constexpr size_t kMetaBytesV1 = 64;
+constexpr size_t kMetaBytes = 72;
 constexpr size_t kEngineBytes = 48;
 constexpr size_t kEpochBytes = 32;
 constexpr uint32_t kFlagBorderRefs = 1u << 0;
@@ -50,6 +54,8 @@ constexpr uint32_t kFlagBorderRefs = 1u << 0;
 // plus an extra section, no version bump: readers without the bit set skip
 // the section, old files without the bit load unchanged.
 constexpr uint32_t kFlagEpoch = 1u << 1;
+// Presence of the multi-level eps-ladder section, same discipline.
+constexpr uint32_t kFlagHierarchy = 1u << 2;
 
 Status SectionError(const std::string& name, const std::string& detail) {
   return Status::InvalidArgument("snapshot section '" + name + "': " +
@@ -97,6 +103,12 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::FromModel(
   snap.meta_.num_subcells = dict.num_subcells();
   snap.meta_.num_clusters = model.merged.num_clusters;
   snap.meta_.has_border_refs = opts.include_border_refs;
+  snap.meta_.query_eps =
+      model.query_eps > 0 ? model.query_eps : dict.geom().eps();
+  if (snap.meta_.query_eps < snap.meta_.eps) {
+    return Status::InvalidArgument(
+        "captured model query_eps is below the cell-diagonal eps");
+  }
   snap.dict_opts_ = opts.dict_opts;
   snap.cell_cluster_ = std::move(model.merged.core_cluster);
 
@@ -138,6 +150,7 @@ std::vector<uint8_t> ClusterModelSnapshot::Serialize() const {
   StoreU32(&meta, static_cast<uint32_t>(meta_.dim));
   uint32_t flags = meta_.has_border_refs ? kFlagBorderRefs : 0;
   if (has_epoch_) flags |= kFlagEpoch;
+  if (!hierarchy_.empty()) flags |= kFlagHierarchy;
   StoreU32(&meta, flags);
   StoreF64(&meta, meta_.eps);
   StoreF64(&meta, meta_.rho);
@@ -146,6 +159,7 @@ std::vector<uint8_t> ClusterModelSnapshot::Serialize() const {
   StoreU64(&meta, meta_.num_cells);
   StoreU64(&meta, meta_.num_subcells);
   StoreU64(&meta, meta_.num_clusters);
+  StoreF64(&meta, meta_.query_eps);
   writer.AddSection(kSectionMeta, std::move(meta));
 
   writer.AddSection(kSectionDictionary, dict_.Serialize());
@@ -196,6 +210,23 @@ std::vector<uint8_t> ClusterModelSnapshot::Serialize() const {
     StoreU64(&epoch, epoch_.batches_ingested);
     writer.AddSection(kSectionEpoch, std::move(epoch));
   }
+
+  if (!hierarchy_.empty()) {
+    // Multi-level ladder lineage: a level-count header, then per rung its
+    // parameters, the num_cells cluster table and the per-cluster parent
+    // array (docs/WIRE_FORMATS.md §6).
+    std::vector<uint8_t> hier;
+    StoreU32(&hier, static_cast<uint32_t>(hierarchy_.size()));
+    StoreU32(&hier, 0);  // reserved
+    for (const HierarchyLevelInfo& level : hierarchy_) {
+      StoreF64(&hier, level.eps);
+      StoreU64(&hier, level.min_pts);
+      StoreU64(&hier, level.parent.size());
+      for (const uint32_t c : level.cell_cluster) StoreU32(&hier, c);
+      for (const uint32_t p : level.parent) StoreU32(&hier, p);
+    }
+    writer.AddSection(kSectionHierarchy, std::move(hier));
+  }
   return writer.Finish();
 }
 
@@ -211,7 +242,7 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::Deserialize(
   // --- meta ---
   auto meta_or = reader.Section(kSectionMeta, "meta");
   if (!meta_or.ok()) return meta_or.status();
-  if (meta_or->size != kMetaBytes) {
+  if (meta_or->size != kMetaBytes && meta_or->size != kMetaBytesV1) {
     return SectionError("meta", "unexpected size " +
                                     std::to_string(meta_or->size));
   }
@@ -226,7 +257,13 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::Deserialize(
   snap.meta_.num_cells = LoadU64(m + 40);
   snap.meta_.num_subcells = LoadU64(m + 48);
   snap.meta_.num_clusters = LoadU64(m + 56);
+  // Pre-growth files stop at 64 bytes: their runs were always coupled.
+  snap.meta_.query_eps =
+      meta_or->size >= kMetaBytes ? LoadF64(m + 64) : snap.meta_.eps;
   snap.meta_.has_border_refs = (flags & kFlagBorderRefs) != 0;
+  if (snap.meta_.query_eps < snap.meta_.eps) {
+    return SectionError("meta", "query_eps below the cell-diagonal eps");
+  }
   snap.dict_opts_ = opts.dict_opts;
   const size_t dim = snap.meta_.dim;
   const size_t num_cells = snap.meta_.num_cells;
@@ -247,8 +284,16 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::Deserialize(
   if (!dict_bytes_or.ok()) return dict_bytes_or.status();
   std::vector<uint8_t> dict_bytes(dict_bytes_or->data,
                                   dict_bytes_or->data + dict_bytes_or->size);
+  // A decoupled run's stencil must reach its query radius, whatever scale
+  // the caller's rebuild options carry — serving enumerates candidates
+  // through it.
+  if (snap.meta_.query_eps > snap.meta_.eps) {
+    snap.dict_opts_.stencil_eps_scale =
+        std::max(snap.dict_opts_.stencil_eps_scale,
+                 snap.meta_.query_eps / snap.meta_.eps);
+  }
   auto dict_or =
-      CellDictionary::Deserialize(dict_bytes, opts.dict_opts, pool);
+      CellDictionary::Deserialize(dict_bytes, snap.dict_opts_, pool);
   if (!dict_or.ok()) {
     return SectionError("dictionary", dict_or.status().message());
   }
@@ -394,6 +439,89 @@ StatusOr<ClusterModelSnapshot> ClusterModelSnapshot::Deserialize(
     snap.epoch_.points_ingested = LoadU64(ep + 16);
     snap.epoch_.batches_ingested = LoadU64(ep + 24);
     snap.has_epoch_ = true;
+  }
+
+  // --- eps-ladder lineage (optional) ---
+  if ((flags & kFlagHierarchy) != 0) {
+    auto hier_or = reader.Section(kSectionHierarchy, "hierarchy");
+    if (!hier_or.ok()) return hier_or.status();
+    const uint8_t* h = hier_or->data;
+    size_t remain = hier_or->size;
+    if (remain < 8) return SectionError("hierarchy", "truncated header");
+    const uint32_t num_levels = LoadU32(h);
+    h += 8;
+    remain -= 8;
+    if (num_levels == 0 || num_levels > 1024) {
+      return SectionError("hierarchy", "implausible level count " +
+                                           std::to_string(num_levels));
+    }
+    snap.hierarchy_.resize(num_levels);
+    double prev_eps = 0.0;
+    for (uint32_t i = 0; i < num_levels; ++i) {
+      HierarchyLevelInfo& level = snap.hierarchy_[i];
+      if (remain < 24) {
+        return SectionError("hierarchy", "truncated level header at level " +
+                                             std::to_string(i));
+      }
+      level.eps = LoadF64(h);
+      level.min_pts = LoadU64(h + 8);
+      const uint64_t level_clusters = LoadU64(h + 16);
+      h += 24;
+      remain -= 24;
+      if (!(level.eps > prev_eps) || level.min_pts == 0) {
+        return SectionError("hierarchy",
+                            "levels must have ascending eps and min_pts "
+                            ">= 1 (level " +
+                                std::to_string(i) + ")");
+      }
+      prev_eps = level.eps;
+      const size_t need = num_cells * 4 + level_clusters * 4;
+      if (remain < need) {
+        return SectionError("hierarchy", "truncated tables at level " +
+                                             std::to_string(i));
+      }
+      level.cell_cluster.resize(num_cells);
+      for (size_t c = 0; c < num_cells; ++c) {
+        const uint32_t v = LoadU32(h + c * 4);
+        if (v != kNoCluster && v >= level_clusters) {
+          return SectionError("hierarchy",
+                              "level " + std::to_string(i) + " cell " +
+                                  std::to_string(c) +
+                                  " has out-of-range cluster id");
+        }
+        level.cell_cluster[c] = v;
+      }
+      h += num_cells * 4;
+      level.parent.resize(level_clusters);
+      for (size_t c = 0; c < level_clusters; ++c) {
+        level.parent[c] = LoadU32(h + c * 4);
+      }
+      h += level_clusters * 4;
+      remain -= need;
+    }
+    if (remain != 0) {
+      return SectionError("hierarchy", "trailing bytes after last level");
+    }
+    // Forest check across the parsed rungs: parents point one rung up,
+    // the top rung has none (same invariant
+    // ClusterHierarchy::ValidateForest enforces on the in-memory side).
+    constexpr uint32_t kNoParentWire =
+        std::numeric_limits<uint32_t>::max();
+    for (uint32_t i = 0; i < num_levels; ++i) {
+      const bool top = i + 1 == num_levels;
+      const size_t next_clusters =
+          top ? 0 : snap.hierarchy_[i + 1].parent.size();
+      for (size_t c = 0; c < snap.hierarchy_[i].parent.size(); ++c) {
+        const uint32_t parent = snap.hierarchy_[i].parent[c];
+        if (parent == kNoParentWire) continue;
+        if (top || parent >= next_clusters) {
+          return SectionError("hierarchy",
+                              "level " + std::to_string(i) + " cluster " +
+                                  std::to_string(c) +
+                                  " has an invalid parent");
+        }
+      }
+    }
   }
   return snap;
 }

@@ -55,6 +55,7 @@ class ClusterModelSnapshot {
   static constexpr uint32_t kSectionPredecessors = 5;
   static constexpr uint32_t kSectionBorderRefs = 6;
   static constexpr uint32_t kSectionEpoch = 7;
+  static constexpr uint32_t kSectionHierarchy = 8;
 
   /// Geometry and run parameters of the frozen clustering.
   struct Meta {
@@ -67,6 +68,23 @@ class ClusterModelSnapshot {
     size_t num_subcells = 0;
     size_t num_clusters = 0;
     bool has_border_refs = false;
+    /// Effective region-query radius of the frozen run (== eps for a
+    /// classic coupled run; the rung radius for eps-ladder levels, whose
+    /// grid stays at the base eps). Serving replays the border walk at
+    /// this radius. Files written before the field existed load as eps
+    /// (the meta section is size-gated).
+    double query_eps = 0;
+  };
+
+  /// One rung of a persisted eps-ladder (kSectionHierarchy): its query
+  /// radius and threshold, the per-cell cluster table at that rung, and
+  /// each cluster's containing cluster one rung up (kNoParent sentinel,
+  /// as in hierarchy/eps_ladder.h, for the top rung).
+  struct HierarchyLevelInfo {
+    double eps = 0;
+    uint64_t min_pts = 0;
+    std::vector<uint32_t> cell_cluster;
+    std::vector<uint32_t> parent;
   };
 
   /// Streaming-epoch lineage (docs/WIRE_FORMATS.md §3, section 7 —
@@ -123,6 +141,20 @@ class ClusterModelSnapshot {
     has_epoch_ = true;
   }
 
+  /// Multi-level eps-ladder lineage (optional, flag-gated like the epoch
+  /// section). Level 0 is the finest rung; the snapshot's own tables are
+  /// typically that rung's. Round-trips through Serialize/Deserialize
+  /// with full per-level validation.
+  bool has_hierarchy() const { return !hierarchy_.empty(); }
+  const std::vector<HierarchyLevelInfo>& hierarchy() const {
+    return hierarchy_;
+  }
+  /// Attaches ladder lineage before Serialize. Metadata-only, like
+  /// set_epoch. Levels must carry num_cells-sized cluster tables.
+  void set_hierarchy(std::vector<HierarchyLevelInfo> levels) {
+    hierarchy_ = std::move(levels);
+  }
+
   /// Per cell id: dense cluster id for core cells, kNoCluster otherwise
   /// (the merged Phase III table).
   const std::vector<uint32_t>& cell_cluster() const { return cell_cluster_; }
@@ -162,6 +194,7 @@ class ClusterModelSnapshot {
   std::vector<float> ref_coords_;
   EpochInfo epoch_;
   bool has_epoch_ = false;
+  std::vector<HierarchyLevelInfo> hierarchy_;
 };
 
 }  // namespace rpdbscan

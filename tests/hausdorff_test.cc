@@ -1,0 +1,169 @@
+// The Hausdorff metric (metrics/hausdorff.h): the early-break directed
+// pass must agree with a brute-force O(|A| |B|) reference on random point
+// sets, and the degenerate-input conventions are pinned here.
+
+#include "metrics/hausdorff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "io/dataset.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The definition, with no early break: max over a of min over b.
+double BruteDirected(const std::vector<float>& a, const std::vector<float>& b,
+                     size_t dim) {
+  const size_t na = a.size() / dim;
+  const size_t nb = b.size() / dim;
+  if (na == 0) return 0.0;
+  if (nb == 0) return kInf;
+  double max2 = 0.0;
+  for (size_t i = 0; i < na; ++i) {
+    double min2 = kInf;
+    for (size_t j = 0; j < nb; ++j) {
+      double d2 = 0.0;
+      for (size_t k = 0; k < dim; ++k) {
+        const double d = static_cast<double>(a[i * dim + k]) -
+                         static_cast<double>(b[j * dim + k]);
+        d2 += d * d;
+      }
+      if (d2 < min2) min2 = d2;
+    }
+    if (min2 > max2) max2 = min2;
+  }
+  return std::sqrt(max2);
+}
+
+std::vector<float> RandomPoints(Rng& rng, size_t n, size_t dim) {
+  std::vector<float> pts(n * dim);
+  for (float& v : pts) {
+    v = static_cast<float>(rng.UniformDouble(-10.0, 10.0));
+  }
+  return pts;
+}
+
+TEST(HausdorffTest, MatchesBruteForceOnRandomSets) {
+  const uint64_t seed = TestSeed(8100);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
+  for (int round = 0; round < 20; ++round) {
+    const size_t dim = 1 + static_cast<size_t>(rng.Uniform(5));
+    const size_t na = 1 + static_cast<size_t>(rng.Uniform(60));
+    const size_t nb = 1 + static_cast<size_t>(rng.Uniform(60));
+    const std::vector<float> a = RandomPoints(rng, na, dim);
+    const std::vector<float> b = RandomPoints(rng, nb, dim);
+    const double want_ab = BruteDirected(a, b, dim);
+    const double want_ba = BruteDirected(b, a, dim);
+    EXPECT_DOUBLE_EQ(DirectedHausdorff(a.data(), na, b.data(), nb, dim),
+                     want_ab)
+        << "round " << round;
+    EXPECT_DOUBLE_EQ(HausdorffDistance(a.data(), na, b.data(), nb, dim),
+                     std::max(want_ab, want_ba))
+        << "round " << round;
+  }
+}
+
+TEST(HausdorffTest, DirectedIsAsymmetric) {
+  // B = A plus one far outlier: A -> B is 0 (A is covered), B -> A is the
+  // outlier's distance.
+  const std::vector<float> a = {0, 0, 1, 0};
+  const std::vector<float> b = {0, 0, 1, 0, 11, 0};
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(a.data(), 2, b.data(), 3, 2), 0.0);
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(b.data(), 3, a.data(), 2, 2), 10.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a.data(), 2, b.data(), 3, 2), 10.0);
+}
+
+TEST(HausdorffTest, EmptySetConventions) {
+  const std::vector<float> a = {1, 2};
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(nullptr, 0, nullptr, 0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(nullptr, 0, nullptr, 0, 2), 0.0);
+  EXPECT_EQ(DirectedHausdorff(a.data(), 1, nullptr, 0, 2), kInf);
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(nullptr, 0, a.data(), 1, 2), 0.0);
+  EXPECT_EQ(HausdorffDistance(a.data(), 1, nullptr, 0, 2), kInf);
+}
+
+TEST(ClusterHausdorffTest, IdenticalLabelingsAreAtZero) {
+  const uint64_t seed = TestSeed(8200);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(500, 3, 1.0, seed);
+  Labels a(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    a[i] = static_cast<int64_t>(i % 3);
+  }
+  auto r = ClusterHausdorff(ds, a, a);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r->max_distance, 0.0);
+  EXPECT_DOUBLE_EQ(r->mean_distance, 0.0);
+  EXPECT_EQ(r->clusters_a, 3u);
+  EXPECT_EQ(r->clusters_b, 3u);
+}
+
+TEST(ClusterHausdorffTest, InvariantToLabelPermutation) {
+  const uint64_t seed = TestSeed(8300);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(400, 4, 1.0, seed);
+  Labels a(ds.size());
+  Labels b(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    a[i] = static_cast<int64_t>(i % 4);
+    b[i] = static_cast<int64_t>((i + 2) % 4) + 10;  // renamed clusters
+  }
+  auto r = ClusterHausdorff(ds, a, b);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(r->max_distance, 0.0);
+}
+
+TEST(ClusterHausdorffTest, NoiseFormsNoCluster) {
+  Dataset ds(2);
+  for (int i = 0; i < 6; ++i) {
+    ds.Append({static_cast<float>(i), 0.0f});
+  }
+  // a clusters the first four points; b additionally clusters the two
+  // points a calls noise, one unit away from a's cluster points.
+  const Labels a = {0, 0, 1, 1, kNoise, kNoise};
+  const Labels b = {0, 0, 1, 1, 1, kNoise};
+  auto r = ClusterHausdorff(ds, a, b);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->clusters_a, 2u);
+  EXPECT_EQ(r->clusters_b, 2u);
+  // a's cluster {2,3} best-matches b's {2,3,4}: covered, so directed
+  // a->b is 0, but b's extra point 4 is 1 unit from a's cluster.
+  EXPECT_DOUBLE_EQ(r->max_distance, 1.0);
+}
+
+TEST(ClusterHausdorffTest, DegenerateConventions) {
+  Dataset ds(2);
+  ds.Append({0, 0});
+  ds.Append({1, 1});
+  const Labels none = {kNoise, kNoise};
+  const Labels one = {0, 0};
+
+  auto both_empty = ClusterHausdorff(ds, none, none);
+  ASSERT_TRUE(both_empty.ok());
+  EXPECT_DOUBLE_EQ(both_empty->max_distance, 0.0);
+  EXPECT_EQ(both_empty->clusters_a, 0u);
+
+  auto a_only = ClusterHausdorff(ds, one, none);
+  ASSERT_TRUE(a_only.ok());
+  EXPECT_EQ(a_only->max_distance, kInf);
+
+  auto b_only = ClusterHausdorff(ds, none, one);
+  ASSERT_TRUE(b_only.ok());
+  EXPECT_EQ(b_only->max_distance, kInf);
+
+  const Labels short_labels = {0};
+  EXPECT_FALSE(ClusterHausdorff(ds, short_labels, one).ok());
+}
+
+}  // namespace
+}  // namespace rpdbscan

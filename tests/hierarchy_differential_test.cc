@@ -1,0 +1,137 @@
+// The ladder's central contract, checked differentially: every rung of
+// BuildClusterHierarchy is bit-identical to an independent RunRpDbscan at
+// the same geometry with query_eps decoupled to the rung's radius — even
+// though the ladder shares one Phase I, one dictionary (stencil family
+// assembled out to the top rung) and seeds core marking across levels,
+// and the independent runs rebuild everything per setting. Runs across
+// dimensionalities 2-5 and under both candidate engines (neighborhood-CSR
+// prefix reuse, and forced hashed probes).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "hierarchy/eps_ladder.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+struct LadderCase {
+  size_t dim;
+  std::vector<double> eps_levels;
+  size_t min_pts;
+};
+
+TEST(HierarchyDifferentialTest, LevelsMatchIndependentRunsAcrossDims) {
+  const uint64_t seed = TestSeed(9800);
+  SCOPED_TRACE(SeedNote(seed));
+  const std::vector<LadderCase> cases = {
+      {2, {0.8, 1.1, 1.5, 2.1}, 10},
+      {3, {1.0, 1.3, 1.8}, 12},
+      {4, {1.2, 1.5, 1.9}, 14},
+      {5, {1.5, 1.8}, 16},
+  };
+  for (const LadderCase& c : cases) {
+    SCOPED_TRACE("dim " + std::to_string(c.dim));
+    const Dataset ds =
+        synth::Blobs(2500, 3, 1.0, seed + c.dim, c.dim);
+    for (const bool force_probe : {false, true}) {
+      SCOPED_TRACE(force_probe ? "engine probe" : "engine csr-prefix");
+      HierarchyOptions ho;
+      ho.eps_levels = c.eps_levels;
+      ho.min_pts_levels = {c.min_pts};
+      ho.num_threads = 2;
+      ho.num_partitions = 4;
+      ho.force_probe = force_probe;
+      auto h = BuildClusterHierarchy(ds, ho);
+      ASSERT_TRUE(h.ok()) << h.status();
+      ASSERT_EQ(h->levels.size(), c.eps_levels.size());
+      std::string err;
+      ASSERT_TRUE(h->ValidateForest(&err)) << err;
+
+      for (size_t i = 0; i < h->levels.size(); ++i) {
+        RpDbscanOptions o;
+        o.eps = c.eps_levels[0];  // the shared grid geometry
+        o.query_eps = c.eps_levels[i];
+        o.min_pts = c.min_pts;
+        o.num_threads = 2;
+        o.num_partitions = 4;
+        auto independent = RunRpDbscan(ds, o);
+        ASSERT_TRUE(independent.ok())
+            << "level " << i << ": " << independent.status();
+        EXPECT_EQ(h->levels[i].labels, independent->labels)
+            << "level " << i << " (eps " << c.eps_levels[i] << ")";
+        EXPECT_EQ(h->levels[i].num_clusters,
+                  independent->stats.num_clusters)
+            << "level " << i;
+        EXPECT_EQ(h->levels[i].num_noise_points,
+                  independent->stats.num_noise_points)
+            << "level " << i;
+      }
+    }
+  }
+}
+
+TEST(HierarchyDifferentialTest, EnginesAgreeBitForBit) {
+  // Satellite of the prefix-reuse proof: the reused-CSR ladder and the
+  // forced-hashed-probe ladder must agree exactly at every level, not
+  // just up to cluster renaming.
+  const uint64_t seed = TestSeed(9900);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(3000, 4, 1.0, seed, 3);
+  HierarchyOptions csr;
+  csr.eps_levels = {1.0, 1.4, 1.9, 2.5};
+  csr.min_pts_levels = {12};
+  csr.num_threads = 2;
+  csr.num_partitions = 4;
+  HierarchyOptions probe = csr;
+  probe.force_probe = true;
+  auto a = BuildClusterHierarchy(ds, csr);
+  auto b = BuildClusterHierarchy(ds, probe);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->levels.size(), b->levels.size());
+  for (size_t i = 0; i < a->levels.size(); ++i) {
+    EXPECT_EQ(a->levels[i].labels, b->levels[i].labels) << "level " << i;
+    EXPECT_EQ(a->levels[i].parent, b->levels[i].parent) << "level " << i;
+    EXPECT_EQ(a->levels[i].num_core_cells, b->levels[i].num_core_cells);
+  }
+}
+
+TEST(HierarchyDifferentialTest, SampledLadderMatchesSampledIndependentRuns) {
+  // The sampled-core mask is a pure function of (cell coord, seed), so
+  // the ladder and the independent runs sample identically — the
+  // differential contract holds under approximation too.
+  const uint64_t seed = TestSeed(10000);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(2500, 3, 1.0, seed, 2);
+  HierarchyOptions ho;
+  ho.eps_levels = {0.9, 1.3, 1.9};
+  ho.min_pts_levels = {10};
+  ho.num_threads = 2;
+  ho.num_partitions = 4;
+  ho.sampled_core_fraction = 0.6;
+  ho.core_sample_seed = seed;
+  auto h = BuildClusterHierarchy(ds, ho);
+  ASSERT_TRUE(h.ok()) << h.status();
+  for (size_t i = 0; i < h->levels.size(); ++i) {
+    RpDbscanOptions o;
+    o.eps = ho.eps_levels[0];
+    o.query_eps = ho.eps_levels[i];
+    o.min_pts = 10;
+    o.num_threads = 2;
+    o.num_partitions = 4;
+    o.sampled_core_fraction = 0.6;
+    o.core_sample_seed = seed;
+    auto independent = RunRpDbscan(ds, o);
+    ASSERT_TRUE(independent.ok()) << independent.status();
+    EXPECT_EQ(h->levels[i].labels, independent->labels) << "level " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

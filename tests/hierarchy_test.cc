@@ -1,0 +1,245 @@
+// The eps-ladder hierarchy subsystem: option validation, forest
+// structure, cluster nesting under monotone schedules, core-set-monotone
+// seeding as a pure optimization, the sampled-core approximation, and the
+// persisted hierarchy section of the snapshot container.
+
+#include "hierarchy/eps_ladder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/nmi.h"
+#include "metrics/rand_index.h"
+#include "serve/snapshot.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+HierarchyOptions Opts(std::vector<double> eps_levels, size_t min_pts) {
+  HierarchyOptions o;
+  o.eps_levels = std::move(eps_levels);
+  o.min_pts_levels = {min_pts};
+  o.num_threads = 2;
+  o.num_partitions = 4;
+  return o;
+}
+
+TEST(HierarchyTest, RejectsInvalidOptions) {
+  const Dataset ds = synth::Blobs(200, 2, 1.0, 1);
+  // No levels.
+  EXPECT_FALSE(BuildClusterHierarchy(ds, Opts({}, 10)).ok());
+  // Not strictly ascending.
+  EXPECT_FALSE(BuildClusterHierarchy(ds, Opts({1.0, 1.0}, 10)).ok());
+  EXPECT_FALSE(BuildClusterHierarchy(ds, Opts({2.0, 1.0}, 10)).ok());
+  EXPECT_FALSE(BuildClusterHierarchy(ds, Opts({0.0, 1.0}, 10)).ok());
+  // min_pts list neither 1 nor num-levels long, or containing zero.
+  HierarchyOptions bad = Opts({1.0, 2.0, 3.0}, 10);
+  bad.min_pts_levels = {10, 10};
+  EXPECT_FALSE(BuildClusterHierarchy(ds, bad).ok());
+  bad.min_pts_levels = {10, 0, 10};
+  EXPECT_FALSE(BuildClusterHierarchy(ds, bad).ok());
+  // Sampled-core fraction must be positive.
+  bad = Opts({1.0, 2.0}, 10);
+  bad.sampled_core_fraction = 0.0;
+  EXPECT_FALSE(BuildClusterHierarchy(ds, bad).ok());
+}
+
+TEST(HierarchyTest, BuildsAValidForestOnBlobs) {
+  const uint64_t seed = TestSeed(9100);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(4000, 5, 1.0, seed, 3);
+  auto h = BuildClusterHierarchy(ds, Opts({0.8, 1.2, 1.8, 2.6}, 12));
+  ASSERT_TRUE(h.ok()) << h.status();
+  ASSERT_EQ(h->levels.size(), 4u);
+
+  std::string err;
+  EXPECT_TRUE(h->ValidateForest(&err)) << err;
+  EXPECT_GT(h->num_cells, 0u);
+  EXPECT_GT(h->dictionary_bytes, 0u);
+
+  size_t prev_noise = ds.size() + 1;
+  for (size_t i = 0; i < h->levels.size(); ++i) {
+    const HierarchyLevel& level = h->levels[i];
+    EXPECT_EQ(level.labels.size(), ds.size()) << "level " << i;
+    EXPECT_EQ(level.parent.size(), level.num_clusters) << "level " << i;
+    // Monotone schedule: eps grows and min_pts holds, so density only
+    // relaxes — noise shrinks and clusters nest exactly.
+    EXPECT_LE(level.num_noise_points, prev_noise) << "level " << i;
+    prev_noise = level.num_noise_points;
+    EXPECT_EQ(level.containment_violations, 0u) << "level " << i;
+    EXPECT_EQ(level.seeded, i > 0) << "level " << i;
+  }
+  for (const uint32_t p : h->levels.back().parent) {
+    EXPECT_EQ(p, kNoParent);
+  }
+  // Every non-top cluster with surviving points has a real container.
+  const HierarchyLevel& finest = h->levels.front();
+  EXPECT_GT(finest.num_clusters, 0u);
+  size_t rooted = 0;
+  for (const uint32_t p : finest.parent) {
+    if (p != kNoParent) ++rooted;
+  }
+  EXPECT_GT(rooted, 0u);
+}
+
+TEST(HierarchyTest, SeedingIsAPureOptimization) {
+  const uint64_t seed = TestSeed(9200);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(3000, 4, 1.0, seed, 2);
+  HierarchyOptions seeded = Opts({0.9, 1.3, 2.0}, 10);
+  HierarchyOptions unseeded = seeded;
+  unseeded.seed_from_previous = false;
+  auto a = BuildClusterHierarchy(ds, seeded);
+  auto b = BuildClusterHierarchy(ds, unseeded);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->levels.size(), b->levels.size());
+  for (size_t i = 0; i < a->levels.size(); ++i) {
+    EXPECT_EQ(a->levels[i].labels, b->levels[i].labels) << "level " << i;
+    EXPECT_EQ(a->levels[i].num_clusters, b->levels[i].num_clusters);
+    EXPECT_EQ(a->levels[i].parent, b->levels[i].parent) << "level " << i;
+    EXPECT_EQ(b->levels[i].seeded, false);
+  }
+}
+
+TEST(HierarchyTest, RisingMinPtsDisablesSeedingForThatLevel) {
+  const uint64_t seed = TestSeed(9300);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(2000, 3, 1.0, seed, 2);
+  HierarchyOptions o = Opts({0.9, 1.3, 2.0}, 0);
+  o.min_pts_levels = {10, 20, 15};  // level 1 rises, level 2 falls
+  auto h = BuildClusterHierarchy(ds, o);
+  ASSERT_TRUE(h.ok()) << h.status();
+  EXPECT_FALSE(h->levels[0].seeded);
+  EXPECT_FALSE(h->levels[1].seeded);  // min_pts rose: monotonicity broken
+  EXPECT_TRUE(h->levels[2].seeded);
+  std::string err;
+  EXPECT_TRUE(h->ValidateForest(&err)) << err;
+}
+
+TEST(HierarchyTest, SampledCoresApproximateTheExactLadder) {
+  const uint64_t seed = TestSeed(9400);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(4000, 4, 1.0, seed, 2);
+  const HierarchyOptions exact = Opts({1.0, 1.5, 2.2}, 10);
+  HierarchyOptions sampled = exact;
+  sampled.sampled_core_fraction = 0.7;
+  auto he = BuildClusterHierarchy(ds, exact);
+  auto hs = BuildClusterHierarchy(ds, sampled);
+  ASSERT_TRUE(he.ok()) << he.status();
+  ASSERT_TRUE(hs.ok()) << hs.status();
+  std::string err;
+  EXPECT_TRUE(hs->ValidateForest(&err)) << err;
+  for (size_t i = 0; i < he->levels.size(); ++i) {
+    // A 70% core-cell sample keeps dense blobs essentially intact.
+    auto ri = RandIndex(he->levels[i].labels, hs->levels[i].labels);
+    ASSERT_TRUE(ri.ok());
+    EXPECT_GE(*ri, 0.95) << "level " << i;
+    EXPECT_LE(hs->levels[i].num_core_cells, he->levels[i].num_core_cells);
+  }
+  // Fraction 1.0 short-circuits to the exact ladder.
+  HierarchyOptions full = exact;
+  full.sampled_core_fraction = 1.0;
+  auto hf = BuildClusterHierarchy(ds, full);
+  ASSERT_TRUE(hf.ok());
+  for (size_t i = 0; i < he->levels.size(); ++i) {
+    EXPECT_EQ(he->levels[i].labels, hf->levels[i].labels);
+  }
+  // Same fraction and seed reproduce bit-identically.
+  auto hs2 = BuildClusterHierarchy(ds, sampled);
+  ASSERT_TRUE(hs2.ok());
+  for (size_t i = 0; i < hs->levels.size(); ++i) {
+    EXPECT_EQ(hs->levels[i].labels, hs2->levels[i].labels);
+  }
+}
+
+TEST(HierarchyTest, CapturedModelsFreezePerLevel) {
+  const uint64_t seed = TestSeed(9500);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(2000, 3, 1.2, seed, 2);
+  HierarchyOptions o = Opts({1.0, 1.5, 2.2}, 10);
+  o.capture_models = true;
+  auto h = BuildClusterHierarchy(ds, o);
+  ASSERT_TRUE(h.ok()) << h.status();
+  for (size_t i = 0; i < h->levels.size(); ++i) {
+    ASSERT_NE(h->levels[i].model, nullptr) << "level " << i;
+    EXPECT_DOUBLE_EQ(h->levels[i].model->query_eps, h->levels[i].eps);
+    EXPECT_EQ(h->levels[i].model->min_pts, h->levels[i].min_pts);
+  }
+}
+
+TEST(HierarchyTest, SnapshotHierarchySectionRoundTrips) {
+  const uint64_t seed = TestSeed(9600);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(2000, 3, 1.2, seed, 2);
+  HierarchyOptions o = Opts({1.0, 1.6, 2.4}, 10);
+  o.capture_models = true;
+  auto h = BuildClusterHierarchy(ds, o);
+  ASSERT_TRUE(h.ok()) << h.status();
+
+  // Freeze the finest level and attach the whole ladder's lineage: each
+  // level's per-cell table comes from its own frozen model.
+  std::vector<ClusterModelSnapshot::HierarchyLevelInfo> lineage;
+  std::vector<ClusterModelSnapshot> frozen;
+  for (size_t i = 0; i < h->levels.size(); ++i) {
+    auto snap =
+        ClusterModelSnapshot::FromModel(std::move(*h->levels[i].model));
+    ASSERT_TRUE(snap.ok()) << "level " << i << ": " << snap.status();
+    ClusterModelSnapshot::HierarchyLevelInfo info;
+    info.eps = h->levels[i].eps;
+    info.min_pts = h->levels[i].min_pts;
+    info.cell_cluster = snap->cell_cluster();
+    info.parent = h->levels[i].parent;
+    lineage.push_back(std::move(info));
+    frozen.push_back(std::move(*snap));
+  }
+  ClusterModelSnapshot& finest = frozen.front();
+  EXPECT_FALSE(finest.has_hierarchy());
+  EXPECT_DOUBLE_EQ(finest.meta().query_eps, h->levels[0].eps);
+  finest.set_hierarchy(lineage);
+  ASSERT_TRUE(finest.has_hierarchy());
+
+  const std::vector<uint8_t> bytes = finest.Serialize();
+  auto loaded = ClusterModelSnapshot::Deserialize(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_hierarchy());
+  ASSERT_EQ(loaded->hierarchy().size(), lineage.size());
+  for (size_t i = 0; i < lineage.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded->hierarchy()[i].eps, lineage[i].eps);
+    EXPECT_EQ(loaded->hierarchy()[i].min_pts, lineage[i].min_pts);
+    EXPECT_EQ(loaded->hierarchy()[i].cell_cluster, lineage[i].cell_cluster);
+    EXPECT_EQ(loaded->hierarchy()[i].parent, lineage[i].parent);
+  }
+  EXPECT_DOUBLE_EQ(loaded->meta().query_eps, h->levels[0].eps);
+
+  // A corrupted hierarchy section must fail validation, not load.
+  std::vector<ClusterModelSnapshot::HierarchyLevelInfo> bad = lineage;
+  bad[0].eps = bad[1].eps + 1.0;  // no longer ascending
+  finest.set_hierarchy(bad);
+  auto reloaded = ClusterModelSnapshot::Deserialize(finest.Serialize());
+  EXPECT_FALSE(reloaded.ok());
+}
+
+TEST(HierarchyTest, SingleLevelLadderIsDegenerate) {
+  const uint64_t seed = TestSeed(9700);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(1500, 3, 1.0, seed, 2);
+  auto h = BuildClusterHierarchy(ds, Opts({1.0}, 10));
+  ASSERT_TRUE(h.ok()) << h.status();
+  ASSERT_EQ(h->levels.size(), 1u);
+  EXPECT_FALSE(h->levels[0].seeded);
+  for (const uint32_t p : h->levels[0].parent) {
+    EXPECT_EQ(p, kNoParent);
+  }
+  std::string err;
+  EXPECT_TRUE(h->ValidateForest(&err)) << err;
+}
+
+}  // namespace
+}  // namespace rpdbscan

@@ -1,0 +1,111 @@
+// Degenerate-input conventions of the clustering-agreement metrics,
+// pinned so the hierarchy scoring path (sampled-core vs exact) never
+// trips over an all-noise level, a single-cluster level, or an empty
+// labeling. nmi.h / rand_index.h document exactly what this suite pins.
+
+#include <gtest/gtest.h>
+
+#include "io/dataset.h"
+#include "metrics/nmi.h"
+#include "metrics/rand_index.h"
+
+namespace rpdbscan {
+namespace {
+
+const Labels kAllNoise = {kNoise, kNoise, kNoise, kNoise};
+const Labels kOneClusterLabels = {0, 0, 0, 0};
+const Labels kTwoClusters = {0, 0, 1, 1};
+
+TEST(MetricsEdgeCaseTest, EmptyLabelingsArePerfectAgreement) {
+  const Labels empty;
+  for (const NoiseHandling noise :
+       {NoiseHandling::kSingleton, NoiseHandling::kOneCluster}) {
+    auto ri = RandIndex(empty, empty, noise);
+    ASSERT_TRUE(ri.ok()) << ri.status();
+    EXPECT_DOUBLE_EQ(*ri, 1.0);
+    auto ari = AdjustedRandIndex(empty, empty, noise);
+    ASSERT_TRUE(ari.ok()) << ari.status();
+    EXPECT_DOUBLE_EQ(*ari, 1.0);
+    auto nmi = NormalizedMutualInformation(empty, empty, noise);
+    ASSERT_TRUE(nmi.ok()) << nmi.status();
+    EXPECT_DOUBLE_EQ(*nmi, 1.0);
+  }
+}
+
+TEST(MetricsEdgeCaseTest, AllNoiseAgreesWithItselfUnderBothModes) {
+  for (const NoiseHandling noise :
+       {NoiseHandling::kSingleton, NoiseHandling::kOneCluster}) {
+    auto ri = RandIndex(kAllNoise, kAllNoise, noise);
+    ASSERT_TRUE(ri.ok()) << ri.status();
+    EXPECT_DOUBLE_EQ(*ri, 1.0);
+    auto nmi = NormalizedMutualInformation(kAllNoise, kAllNoise, noise);
+    ASSERT_TRUE(nmi.ok()) << nmi.status();
+    EXPECT_DOUBLE_EQ(*nmi, 1.0);
+  }
+}
+
+TEST(MetricsEdgeCaseTest, AllNoiseVersusOneClusterDependsOnNoiseMode) {
+  // Singleton mode: noise points are all separate, the single cluster
+  // puts every pair together — total disagreement. One-cluster mode: the
+  // noise points form one cluster themselves — total agreement.
+  auto ri_singleton =
+      RandIndex(kAllNoise, kOneClusterLabels, NoiseHandling::kSingleton);
+  ASSERT_TRUE(ri_singleton.ok()) << ri_singleton.status();
+  EXPECT_DOUBLE_EQ(*ri_singleton, 0.0);
+  auto ri_one =
+      RandIndex(kAllNoise, kOneClusterLabels, NoiseHandling::kOneCluster);
+  ASSERT_TRUE(ri_one.ok()) << ri_one.status();
+  EXPECT_DOUBLE_EQ(*ri_one, 1.0);
+
+  auto nmi_singleton = NormalizedMutualInformation(
+      kAllNoise, kOneClusterLabels, NoiseHandling::kSingleton);
+  ASSERT_TRUE(nmi_singleton.ok()) << nmi_singleton.status();
+  EXPECT_DOUBLE_EQ(*nmi_singleton, 0.0);
+  auto nmi_one = NormalizedMutualInformation(kAllNoise, kOneClusterLabels,
+                                             NoiseHandling::kOneCluster);
+  ASSERT_TRUE(nmi_one.ok()) << nmi_one.status();
+  EXPECT_DOUBLE_EQ(*nmi_one, 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, SingleClusterBothSidesIsPerfect) {
+  for (const NoiseHandling noise :
+       {NoiseHandling::kSingleton, NoiseHandling::kOneCluster}) {
+    auto ri = RandIndex(kOneClusterLabels, kOneClusterLabels, noise);
+    ASSERT_TRUE(ri.ok()) << ri.status();
+    EXPECT_DOUBLE_EQ(*ri, 1.0);
+    auto nmi = NormalizedMutualInformation(kOneClusterLabels,
+                                           kOneClusterLabels, noise);
+    ASSERT_TRUE(nmi.ok()) << nmi.status();
+    EXPECT_DOUBLE_EQ(*nmi, 1.0);
+  }
+}
+
+TEST(MetricsEdgeCaseTest, OneTrivialSideScoresZeroNmi) {
+  // Exactly one side carries structure: mutual information is zero, and
+  // the zero-entropy denominator resolves to 0, not NaN.
+  auto nmi = NormalizedMutualInformation(kOneClusterLabels, kTwoClusters);
+  ASSERT_TRUE(nmi.ok()) << nmi.status();
+  EXPECT_DOUBLE_EQ(*nmi, 0.0);
+  auto flipped = NormalizedMutualInformation(kTwoClusters, kOneClusterLabels);
+  ASSERT_TRUE(flipped.ok()) << flipped.status();
+  EXPECT_DOUBLE_EQ(*flipped, 0.0);
+}
+
+TEST(MetricsEdgeCaseTest, SinglePointIsPerfect) {
+  const Labels a = {5};
+  const Labels b = {kNoise};
+  auto ri = RandIndex(a, b);
+  ASSERT_TRUE(ri.ok()) << ri.status();
+  EXPECT_DOUBLE_EQ(*ri, 1.0);  // no pairs to disagree on
+}
+
+TEST(MetricsEdgeCaseTest, SizeMismatchStillFails) {
+  const Labels a = {0, 1};
+  const Labels b = {0};
+  EXPECT_FALSE(RandIndex(a, b).ok());
+  EXPECT_FALSE(AdjustedRandIndex(a, b).ok());
+  EXPECT_FALSE(NormalizedMutualInformation(a, b).ok());
+}
+
+}  // namespace
+}  // namespace rpdbscan

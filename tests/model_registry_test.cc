@@ -1,0 +1,241 @@
+// Multi-model serving: the ModelRegistry, routed (v2) frames, and the
+// registry request loop. Answers routed by model id must be bit-identical
+// to single-model serving against the same snapshot, unrouted frames must
+// hit the default model, and unknown ids must earn an error frame without
+// poisoning the stream. Runs in the TSan leg of tools/run_checks.sh
+// (label sanitizer-safe): several serving loops share one registry from
+// concurrent threads here.
+
+#include "serve/model_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/rp_dbscan.h"
+#include "io/framing.h"
+#include "parallel/thread_pool.h"
+#include "serve/request_loop.h"
+#include "serve/snapshot.h"
+#include "synth/generators.h"
+#include "test_seed.h"
+
+namespace rpdbscan {
+namespace {
+
+std::shared_ptr<const ClusterModelSnapshot> Freeze(const Dataset& data,
+                                                   double eps,
+                                                   size_t min_pts) {
+  RpDbscanOptions o;
+  o.eps = eps;
+  o.min_pts = min_pts;
+  o.num_threads = 2;
+  o.num_partitions = 4;
+  o.capture_model = true;
+  auto run = RunRpDbscan(data, o);
+  EXPECT_TRUE(run.ok()) << run.status();
+  auto snap = ClusterModelSnapshot::FromModel(std::move(*run->model));
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  return std::make_shared<const ClusterModelSnapshot>(std::move(*snap));
+}
+
+void ExpectSameResults(const std::vector<ServeResult>& got,
+                       const std::vector<ServeResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got[i].cluster, want[i].cluster) << i;
+    ASSERT_EQ(got[i].kind, want[i].kind) << i;
+    ASSERT_EQ(got[i].certainty, want[i].certainty) << i;
+    ASSERT_EQ(got[i].density, want[i].density) << i;
+  }
+}
+
+TEST(ModelRegistryTest, AddFindDefaultAndDuplicates) {
+  const uint64_t seed = TestSeed(10100);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(600, 3, 1.2, seed, 2);
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.Default(), nullptr);
+
+  ASSERT_TRUE(registry.Add(7, Freeze(ds, 1.5, 10)).ok());
+  ASSERT_TRUE(registry.Add(2, Freeze(ds, 2.0, 12)).ok());
+  EXPECT_FALSE(registry.Add(7, Freeze(ds, 2.5, 15)).ok());  // duplicate
+  EXPECT_FALSE(registry.Add(9, nullptr).ok());
+
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_NE(registry.Find(7), nullptr);
+  EXPECT_NE(registry.Find(2), nullptr);
+  EXPECT_EQ(registry.Find(3), nullptr);
+  EXPECT_EQ(registry.default_id(), 7u);  // first added wins
+  EXPECT_EQ(registry.Default(), registry.Find(7));
+  ASSERT_TRUE(registry.SetDefault(2).ok());
+  EXPECT_EQ(registry.Default(), registry.Find(2));
+  EXPECT_FALSE(registry.SetDefault(99).ok());
+  EXPECT_EQ(registry.ids(), (std::vector<uint32_t>{2, 7}));
+}
+
+TEST(ModelRegistryTest, EmptyRegistryRefusesToServe) {
+  ModelRegistry registry;
+  ThreadPool pool(2);
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const Status s = ServeRequestLoop(fds[0], fds[0], registry, pool);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s;
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ModelRegistryTest, RoutesThreeResidentModelsBitIdentically) {
+  const uint64_t seed = TestSeed(10200);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(800, 4, 1.5, seed, 3);
+
+  // Three models over the same data at different (eps, min_pts): the
+  // routing decides which clustering answers, so the answers differ
+  // between models but must match each model's own LabelServer exactly.
+  const std::vector<std::pair<uint32_t, std::pair<double, size_t>>> specs = {
+      {10, {2.0, 15}}, {20, {2.6, 10}}, {30, {3.4, 8}}};
+  ModelRegistry registry;
+  for (const auto& [id, params] : specs) {
+    ASSERT_TRUE(
+        registry.Add(id, Freeze(ds, params.first, params.second)).ok());
+  }
+  ASSERT_EQ(registry.size(), 3u);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int server_fd = fds[0];
+  const int client_fd = fds[1];
+  RequestLoopStats stats;
+  std::thread serving([&] {
+    ThreadPool pool(2);
+    const Status s = ServeRequestLoop(server_fd, server_fd, registry, pool,
+                                      RequestLoopOptions(), &stats);
+    EXPECT_TRUE(s.ok()) << s;
+  });
+
+  // Per-model local baselines.
+  std::vector<std::vector<ServeResult>> local(specs.size());
+  {
+    ThreadPool pool(2);
+    for (size_t m = 0; m < specs.size(); ++m) {
+      ASSERT_TRUE(registry.Find(specs[m].first)
+                      ->ClassifyBatch(ds, pool, &local[m])
+                      .ok());
+    }
+  }
+
+  // Routed requests interleaved across the three models.
+  for (int round = 0; round < 2; ++round) {
+    for (size_t m = 0; m < specs.size(); ++m) {
+      ASSERT_TRUE(
+          SendRoutedClassifyRequest(client_fd, specs[m].first, ds).ok());
+      auto results = ReadClassifyResponse(client_fd);
+      ASSERT_TRUE(results.ok()) << results.status();
+      ExpectSameResults(*results, local[m]);
+    }
+  }
+  // An unrouted (v1) request resolves to the default model — the first
+  // one added — keeping old clients wire-compatible.
+  ASSERT_TRUE(SendClassifyRequest(client_fd, ds).ok());
+  auto unrouted = ReadClassifyResponse(client_fd);
+  ASSERT_TRUE(unrouted.ok()) << unrouted.status();
+  ExpectSameResults(*unrouted, local[0]);
+
+  // An unknown id earns an error frame and the loop keeps serving.
+  ASSERT_TRUE(SendRoutedClassifyRequest(client_fd, 999, ds).ok());
+  auto err = ReadClassifyResponse(client_fd);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal) << err.status();
+  ASSERT_TRUE(SendRoutedClassifyRequest(client_fd, 30, ds).ok());
+  auto after = ReadClassifyResponse(client_fd);
+  ASSERT_TRUE(after.ok()) << after.status();
+  ExpectSameResults(*after, local[2]);
+
+  ASSERT_TRUE(SendShutdown(client_fd).ok());
+  serving.join();
+  ::close(client_fd);
+  ::close(server_fd);
+
+  // Stream-wide counters: 6 routed + 1 unrouted + 1 unknown + 1 retry.
+  EXPECT_EQ(stats.requests, 9u);
+  EXPECT_EQ(stats.responses, 8u);
+  EXPECT_EQ(stats.errors, 1u);
+  // Per-model split: the unknown id lands on no model.
+  ASSERT_EQ(stats.per_model.size(), 3u);
+  EXPECT_EQ(stats.per_model.at(10).requests, 3u);  // 2 routed + default
+  EXPECT_EQ(stats.per_model.at(10).responses, 3u);
+  EXPECT_EQ(stats.per_model.at(20).requests, 2u);
+  EXPECT_EQ(stats.per_model.at(30).requests, 3u);  // 2 routed + retry
+  EXPECT_EQ(stats.per_model.at(30).responses, 3u);
+  uint64_t split_queries = 0;
+  for (const auto& [id, ms] : stats.per_model) {
+    EXPECT_EQ(ms.errors, 0u) << "model " << id;
+    EXPECT_EQ(ms.serve.queries, ms.requests * ds.size()) << "model " << id;
+    EXPECT_EQ(ms.latency.seen(), ms.responses * ds.size()) << "model " << id;
+    split_queries += ms.serve.queries;
+  }
+  EXPECT_EQ(split_queries, stats.serve.queries);
+}
+
+TEST(ModelRegistryTest, ConcurrentLoopsShareOneRegistry) {
+  const uint64_t seed = TestSeed(10300);
+  SCOPED_TRACE(SeedNote(seed));
+  const Dataset ds = synth::Blobs(500, 3, 1.5, seed, 2);
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.Add(1, Freeze(ds, 2.0, 12)).ok());
+  ASSERT_TRUE(registry.Add(2, Freeze(ds, 2.8, 9)).ok());
+  ASSERT_TRUE(registry.Add(3, Freeze(ds, 3.6, 7)).ok());
+
+  std::vector<std::vector<ServeResult>> local(3);
+  {
+    ThreadPool pool(2);
+    for (uint32_t id = 1; id <= 3; ++id) {
+      ASSERT_TRUE(registry.Find(id)
+                      ->ClassifyBatch(ds, pool, &local[id - 1])
+                      .ok());
+    }
+  }
+
+  // Three independent serving streams over the one immutable registry,
+  // each with its own client hammering a different model mix.
+  constexpr int kStreams = 3;
+  std::vector<std::thread> servers;
+  std::vector<std::thread> clients;
+  for (int s = 0; s < kStreams; ++s) {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const int server_fd = fds[0];
+    const int client_fd = fds[1];
+    servers.emplace_back([&registry, server_fd] {
+      ThreadPool pool(2);
+      const Status st =
+          ServeRequestLoop(server_fd, server_fd, registry, pool);
+      EXPECT_TRUE(st.ok()) << st;
+      ::close(server_fd);
+    });
+    clients.emplace_back([&, client_fd, s] {
+      for (int round = 0; round < 4; ++round) {
+        const uint32_t id = 1 + static_cast<uint32_t>((s + round) % 3);
+        ASSERT_TRUE(SendRoutedClassifyRequest(client_fd, id, ds).ok());
+        auto results = ReadClassifyResponse(client_fd);
+        ASSERT_TRUE(results.ok()) << results.status();
+        ExpectSameResults(*results, local[id - 1]);
+      }
+      ASSERT_TRUE(SendShutdown(client_fd).ok());
+      ::close(client_fd);
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (auto& t : servers) t.join();
+}
+
+}  // namespace
+}  // namespace rpdbscan

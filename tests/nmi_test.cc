@@ -82,11 +82,18 @@ TEST(NmiTest, TrivialPartitionsBothSingleCluster) {
   EXPECT_DOUBLE_EQ(*nmi, 1.0);
 }
 
-TEST(NmiTest, RejectsBadInputs) {
+TEST(NmiTest, RejectsSizeMismatch) {
   const Labels a = {0, 1};
   const Labels b = {0};
   EXPECT_FALSE(NormalizedMutualInformation(a, b).ok());
-  EXPECT_FALSE(NormalizedMutualInformation({}, {}).ok());
+}
+
+TEST(NmiTest, EmptyIsPerfect) {
+  // Two empty labelings are vacuously identical partitions
+  // (metrics_edge_case_test pins the full convention set).
+  auto nmi = NormalizedMutualInformation({}, {});
+  ASSERT_TRUE(nmi.ok());
+  EXPECT_DOUBLE_EQ(*nmi, 1.0);
 }
 
 TEST(NmiTest, BoundedInUnitInterval) {

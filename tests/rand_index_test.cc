@@ -69,9 +69,13 @@ TEST(RandIndexTest, RejectsSizeMismatch) {
   EXPECT_FALSE(RandIndex(a, b).ok());
 }
 
-TEST(RandIndexTest, RejectsEmpty) {
+TEST(RandIndexTest, EmptyIsPerfect) {
+  // Two empty labelings are vacuously identical partitions
+  // (metrics_edge_case_test pins the full convention set).
   const Labels a;
-  EXPECT_FALSE(RandIndex(a, a).ok());
+  auto ri = RandIndex(a, a);
+  ASSERT_TRUE(ri.ok());
+  EXPECT_DOUBLE_EQ(*ri, 1.0);
 }
 
 TEST(RandIndexTest, SinglePointIsPerfect) {

@@ -70,6 +70,54 @@ TEST(FramingTest, RoundTripOverPipe) {
   EXPECT_EQ(s.code(), StatusCode::kNotFound) << s;
 }
 
+TEST(FramingTest, RoutedFramesInterleaveWithClassic) {
+  Pipe p;
+  const std::vector<uint8_t> payload = {10, 20, 30};
+  ASSERT_TRUE(WriteRoutedFrame(p.write_fd, kTestMagic, 5, /*model_id=*/42,
+                               payload.data(), payload.size())
+                  .ok());
+  ASSERT_TRUE(
+      WriteFrame(p.write_fd, kTestMagic, 6, payload.data(), payload.size())
+          .ok());
+  ASSERT_TRUE(
+      WriteRoutedFrame(p.write_fd, kTestMagic, 7, /*model_id=*/0, nullptr, 0)
+          .ok());
+  p.CloseWrite();
+
+  Frame f;
+  ASSERT_TRUE(ReadFrame(p.read_fd, kTestMagic, 1 << 20, &f, "test").ok());
+  EXPECT_TRUE(f.routed);
+  EXPECT_EQ(f.type, 5u);
+  EXPECT_EQ(f.model_id, 42u);
+  EXPECT_EQ(f.payload, payload);
+  ASSERT_TRUE(ReadFrame(p.read_fd, kTestMagic, 1 << 20, &f, "test").ok());
+  EXPECT_FALSE(f.routed);  // a v1 frame resets the routing fields
+  EXPECT_EQ(f.type, 6u);
+  EXPECT_EQ(f.model_id, 0u);
+  ASSERT_TRUE(ReadFrame(p.read_fd, kTestMagic, 1 << 20, &f, "test").ok());
+  EXPECT_TRUE(f.routed);
+  EXPECT_EQ(f.model_id, 0u);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(FramingTest, RoutedReservedFieldMustBeZero) {
+  // Hand-build a routed header with a poisoned reserved word.
+  Pipe p;
+  std::vector<uint8_t> header(24, 0);
+  const uint32_t magic = kTestMagic | kFrameRouted;
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(magic >> (8 * i));
+  }
+  header[4] = 1;   // type
+  header[20] = 9;  // reserved != 0
+  ASSERT_EQ(::write(p.write_fd, header.data(), header.size()),
+            static_cast<ssize_t>(header.size()));
+  p.CloseWrite();
+  Frame f;
+  const Status s = ReadFrame(p.read_fd, kTestMagic, 1 << 20, &f, "test");
+  EXPECT_EQ(s.code(), StatusCode::kIOError) << s;
+}
+
 TEST(FramingTest, TruncationAndBadHeaderAreIOErrors) {
   {
     // Header cut mid-way.

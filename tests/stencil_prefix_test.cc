@@ -1,0 +1,118 @@
+// Randomized proof obligations of the stencil-family prefix reuse (the
+// machinery letting every eps-ladder level run against one assembled
+// dictionary): a family member enumerated fresh at a smaller scale must
+// be bit-identical to the corresponding prefix of the larger member, and
+// PrefixCount must select exactly the offsets passing the shared integer
+// class criterion. hierarchy_differential_test checks the same property
+// end-to-end through clustering results; this suite checks the offset
+// sets themselves.
+
+#include "core/lattice_stencil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "test_seed.h"
+#include "util/random.h"
+
+namespace rpdbscan {
+namespace {
+
+constexpr size_t kMaxOffsets = 200000;
+
+/// Largest eps scale whose stencil stays well under kMaxOffsets — the
+/// kept-offset count grows like (2 scale sqrt(d) + 3)^d, so high
+/// dimensions get a shorter ladder.
+double MaxExtraScale(size_t dim) {
+  if (dim <= 3) return 1.6;
+  return dim == 4 ? 0.8 : 0.5;
+}
+
+TEST(StencilPrefixTest, ScaledFamilyMembersAreNestedPrefixes) {
+  const uint64_t seed = TestSeed(8700);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
+  for (int round = 0; round < 12; ++round) {
+    const size_t dim = 2 + static_cast<size_t>(rng.Uniform(4));  // 2..5
+    const double top_scale =
+        1.0 + rng.UniformDouble(0.0, MaxExtraScale(dim));
+    SCOPED_TRACE("round " + std::to_string(round) + " dim " +
+                 std::to_string(dim) + " top scale " +
+                 std::to_string(top_scale));
+    const LatticeStencil assembled =
+        LatticeStencil::CreateScaled(dim, top_scale, kMaxOffsets);
+    ASSERT_TRUE(assembled.enabled());
+
+    // Random ladder of sub-scales, each compared against the prefix.
+    for (int level = 0; level < 4; ++level) {
+      const double scale = 1.0 + rng.UniformDouble(0.0, top_scale - 1.0);
+      const LatticeStencil fresh =
+          LatticeStencil::CreateScaled(dim, scale, kMaxOffsets);
+      ASSERT_TRUE(fresh.enabled());
+      const double budget = LatticeStencil::ScaledBudget(dim, scale);
+      const size_t prefix = assembled.PrefixCount(budget);
+      ASSERT_EQ(prefix, fresh.num_offsets())
+          << "scale " << scale << ": prefix length differs from a fresh "
+          << "enumeration at that scale";
+      // Bit-identical offsets in identical order, not just the same set.
+      if (prefix > 0) {
+        EXPECT_EQ(std::memcmp(assembled.offset(0), fresh.offset(0),
+                              prefix * dim * sizeof(int32_t)),
+                  0)
+            << "scale " << scale;
+      }
+      for (size_t i = 0; i < prefix; ++i) {
+        ASSERT_EQ(assembled.min_dist_class(i), fresh.min_dist_class(i));
+      }
+    }
+  }
+}
+
+TEST(StencilPrefixTest, PrefixCountMatchesTheSharedCriterion) {
+  const uint64_t seed = TestSeed(8800);
+  SCOPED_TRACE(SeedNote(seed));
+  Rng rng(seed);
+  for (int round = 0; round < 12; ++round) {
+    const size_t dim = 2 + static_cast<size_t>(rng.Uniform(4));
+    const double top_scale =
+        1.0 + rng.UniformDouble(0.0, MaxExtraScale(dim));
+    const LatticeStencil st =
+        LatticeStencil::CreateScaled(dim, top_scale, kMaxOffsets);
+    ASSERT_TRUE(st.enabled());
+    const double budget =
+        LatticeStencil::ScaledBudget(dim, 1.0 + rng.UniformDouble(0.0, 0.9));
+    const size_t prefix = st.PrefixCount(budget);
+    // Every offset in the prefix passes `(double)m <= budget`, the first
+    // one past it fails — the identical comparison the dictionary's CSR
+    // class filter and the probe loop apply.
+    for (size_t i = 0; i < st.num_offsets(); ++i) {
+      const bool kept =
+          static_cast<double>(st.min_dist_class(i)) <= budget;
+      ASSERT_EQ(kept, i < prefix)
+          << "offset " << i << " class " << st.min_dist_class(i)
+          << " budget " << budget;
+    }
+  }
+}
+
+TEST(StencilPrefixTest, ScaleOneReproducesTheClassicStencil) {
+  for (size_t dim = 1; dim <= 5; ++dim) {
+    const LatticeStencil classic = LatticeStencil::Create(dim, kMaxOffsets);
+    const LatticeStencil scaled =
+        LatticeStencil::CreateScaled(dim, 1.0, kMaxOffsets);
+    ASSERT_EQ(classic.num_offsets(), scaled.num_offsets()) << "dim " << dim;
+    ASSERT_TRUE(classic.enabled());
+    EXPECT_EQ(std::memcmp(classic.offset(0), scaled.offset(0),
+                          classic.num_offsets() * dim * sizeof(int32_t)),
+              0)
+        << "dim " << dim;
+    // The classic budget admits every enumerated offset and nothing
+    // forces re-enumeration: PrefixCount at the full budget is total.
+    EXPECT_EQ(scaled.PrefixCount(scaled.budget()), scaled.num_offsets());
+  }
+}
+
+}  // namespace
+}  // namespace rpdbscan

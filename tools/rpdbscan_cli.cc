@@ -38,6 +38,7 @@
 #include "baselines/ng_dbscan.h"
 #include "baselines/region_split.h"
 #include "core/rp_dbscan.h"
+#include "hierarchy/eps_ladder.h"
 #include "io/binary.h"
 #include "io/csv.h"
 #include "io/mmap_dataset.h"
@@ -45,8 +46,12 @@
 #include "io/section_file.h"
 #include "io/transforms.h"
 #include "metrics/cluster_stats.h"
+#include "metrics/hausdorff.h"
+#include "metrics/nmi.h"
+#include "metrics/rand_index.h"
 #include "parallel/thread_pool.h"
 #include "serve/label_server.h"
+#include "serve/model_registry.h"
 #include "serve/request_loop.h"
 #include "serve/snapshot.h"
 #include "serve/snapshot_audit.h"
@@ -116,12 +121,47 @@ constexpr char kUsage[] = R"(usage: rpdbscan_cli [flags]
                           .rpsnap model for the serve subcommand
     --convert=PATH        just convert the input to .rpds binary and exit
 
+hierarchy (multi-eps cluster hierarchy over one shared dictionary):
+  rpdbscan_cli hierarchy --generate=blobs --n=20000
+      --eps-levels=0.8,1.2,1.8 --minpts=12 [--sampled-cores=0.5 --score]
+    --eps-levels=E1,E2,..  strictly ascending query radii; E1 also sets
+                          the shared grid geometry (required)
+    --min-pts=M1,M2,..    per-level density thresholds (one per level, or
+                          a single value broadcast; default --minpts)
+    --sampled-cores=F     DBSCAN++-style approximation: only a seeded
+                          F-fraction of cells may become core (default 1)
+    --sample-seed=S       cell-sampling seed (fixed default: a sampled
+                          ladder matches sampled independent runs)
+    --force-probe         hashed-probe candidate enumeration per level
+                          instead of the neighborhood-CSR prefix reuse
+    --no-seeding          re-count every level from scratch instead of
+                          seeding core marking from the level below
+    --score               also build the exact ladder and score each
+                          level's labels against it (NMI, Rand index,
+                          cluster Hausdorff)
+    --save-snapshot=PATH  freeze the finest level with the whole ladder
+                          attached as the snapshot's hierarchy section
+    --output=PATH         write points + finest-level labels as CSV
+    --stats-json=PATH     per-level and shared-stage statistics as JSON
+  the rp engine flags (--rho --partitions --threads --perpoint
+  --tree-queries --hashmap-phase1 --scalar-kernels --quantized
+  --sequential-merge) apply to every level.
+
 serving (classify out-of-sample points against a frozen model):
   rpdbscan_cli serve --snapshot=f.rpsnap --queries=q.csv [--threads=N]
   rpdbscan_cli serve --snapshot=f.rpsnap --listen=/tmp/rp.sock
-  rpdbscan_cli serve --connect=/tmp/rp.sock --queries=q.csv
+  rpdbscan_cli serve --models=1=a.rpsnap,2=b.rpsnap --listen=/tmp/rp.sock
+  rpdbscan_cli serve --connect=/tmp/rp.sock --queries=q.csv [--model-id=2]
     --snapshot=PATH       .rpsnap written by --save-snapshot (required
-                          unless --connect)
+                          unless --connect or --models)
+    --models=ID=PATH,..   multi-model registry: keep every listed
+                          snapshot resident and route each framed
+                          request by its model id (requires --listen;
+                          unrouted v1 frames hit the default model)
+    --default-model=ID    model answering unrouted requests (default:
+                          the first listed)
+    --model-id=ID         client mode: tag requests with this model id
+                          (routed v2 frames)
     --queries=PATH        .csv or .rpds query points (required unless
                           --listen)
     --threads=T           serving threads (default 4)
@@ -139,7 +179,8 @@ serving (classify out-of-sample points against a frozen model):
                           the served labels (sends shutdown after)
     --output=PATH         write query points + served labels as CSV
     --stats-json=PATH     write serving throughput stats as JSON,
-                          latency percentiles included
+                          latency percentiles included (per-model
+                          breakdown under --models)
 
 streaming (replay the input as ingested batches, incrementally
 re-clustering and hot-swapping epoch snapshots into a label server):
@@ -194,6 +235,56 @@ StatusOr<size_t> ParseByteSize(const std::string& text) {
     return Status::InvalidArgument("byte size overflows: " + text);
   }
   return static_cast<size_t>(value << shift);
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// "0.8,1.2,1.8" -> {0.8, 1.2, 1.8}; empty entries and trailing junk fail.
+StatusOr<std::vector<double>> ParseDoubleCsv(const std::string& text,
+                                             const std::string& flag) {
+  std::vector<double> values;
+  for (const std::string& part : SplitCsv(text)) {
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(part.c_str(), &end);
+    if (part.empty() || end != part.c_str() + part.size() ||
+        errno == ERANGE) {
+      return Status::InvalidArgument("bad " + flag + " entry: '" + part +
+                                     "'");
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+StatusOr<std::vector<size_t>> ParseSizeCsv(const std::string& text,
+                                           const std::string& flag) {
+  std::vector<size_t> values;
+  for (const std::string& part : SplitCsv(text)) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(part.c_str(), &end, 10);
+    if (part.empty() || end != part.c_str() + part.size() ||
+        errno == ERANGE) {
+      return Status::InvalidArgument("bad " + flag + " entry: '" + part +
+                                     "'");
+    }
+    values.push_back(static_cast<size_t>(v));
+  }
+  return values;
 }
 
 Status WriteTextFile(const std::string& path, const std::string& text) {
@@ -481,10 +572,23 @@ int ServeClientMain(const FlagSet& flags, const std::string& socket_path) {
   }
   const Dataset& queries = *queries_or;
 
+  auto model_or = flags.GetInt("model-id", -1);
+  if (!model_or.ok() ||
+      *model_or > std::numeric_limits<uint32_t>::max()) {
+    std::fprintf(stderr, "bad --model-id\n%s", kUsage);
+    return 1;
+  }
+
   const int fd = ConnectUnix(socket_path);
   if (fd < 0) return 1;
   const Stopwatch watch;
-  Status s = SendClassifyRequest(fd, queries);
+  // A --model-id tags the request with a routed (v2) frame so a --models
+  // server answers from that snapshot; without it the classic v1 frame
+  // reaches the server's default model.
+  Status s = *model_or >= 0
+                 ? SendRoutedClassifyRequest(
+                       fd, static_cast<uint32_t>(*model_or), queries)
+                 : SendClassifyRequest(fd, queries);
   StatusOr<std::vector<ServeResult>> results_or =
       s.ok() ? ReadClassifyResponse(fd) : StatusOr<std::vector<ServeResult>>(s);
   if (results_or.ok()) SendShutdown(fd);  // best-effort: we are done
@@ -511,12 +615,171 @@ int ServeClientMain(const FlagSet& flags, const std::string& socket_path) {
   return WriteServeOutput(flags, queries, results);
 }
 
+/// `serve --models`: keep every listed snapshot resident in a
+/// ModelRegistry and serve one framed request loop that routes each
+/// request by its model id (routed v2 frames; unrouted v1 frames resolve
+/// to the default model, so old clients keep working).
+int ServeRegistryMain(const FlagSet& flags, const std::string& models_flag) {
+  const std::string listen = flags.GetString("listen");
+  auto threads_or = flags.GetInt("threads", 4);
+  if (listen.empty() || !threads_or.ok()) {
+    std::fprintf(stderr,
+                 "serve --models needs --listen (stdio or a socket "
+                 "path)\n%s",
+                 kUsage);
+    return 1;
+  }
+  if (!flags.GetString("snapshot").empty()) {
+    std::fprintf(stderr, "--models and --snapshot are exclusive\n%s",
+                 kUsage);
+    return 1;
+  }
+  const size_t threads = *threads_or > 0 ? static_cast<size_t>(*threads_or)
+                                         : size_t{1};
+  ThreadPool pool(threads);
+
+  LabelServerOptions sopts;
+  sopts.exact_border = !flags.GetBool("approx-border");
+
+  ModelRegistry registry;
+  for (const std::string& entry : SplitCsv(models_flag)) {
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == entry.size()) {
+      std::fprintf(stderr, "bad --models entry '%s' (want ID=PATH)\n%s",
+                   entry.c_str(), kUsage);
+      return 1;
+    }
+    auto id_or = ParseSizeCsv(entry.substr(0, eq), "--models id");
+    if (!id_or.ok() ||
+        id_or->front() > std::numeric_limits<uint32_t>::max()) {
+      std::fprintf(stderr, "bad --models id in '%s'\n%s", entry.c_str(),
+                   kUsage);
+      return 1;
+    }
+    const uint32_t id = static_cast<uint32_t>(id_or->front());
+    const std::string path = entry.substr(eq + 1);
+    const Status s =
+        registry.AddFile(id, path, SnapshotOptions(), sopts, &pool);
+    if (!s.ok()) {
+      std::fprintf(stderr, "model load failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const ClusterModelSnapshot::Meta& meta =
+        registry.Find(id)->snapshot().meta();
+    std::fprintf(stderr,
+                 "model %u: %s (dim %zu, eps %g, query eps %g, %zu cells, "
+                 "%zu clusters)\n",
+                 id, path.c_str(), meta.dim, meta.eps, meta.query_eps,
+                 meta.num_cells, meta.num_clusters);
+  }
+  if (flags.Has("default-model")) {
+    auto def_or = flags.GetInt("default-model", 0);
+    const Status s = def_or.ok()
+                         ? registry.SetDefault(
+                               static_cast<uint32_t>(*def_or))
+                         : def_or.status();
+    if (!s.ok()) {
+      std::fprintf(stderr, "--default-model: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "registry: %zu resident models, default %u\n",
+               registry.size(), registry.default_id());
+
+  RequestLoopStats rstats;
+  Status s;
+  const Stopwatch watch;
+  if (listen == "stdio") {
+    std::fprintf(stderr, "serving routed classify requests on stdio\n");
+    s = ServeRequestLoop(/*in_fd=*/0, /*out_fd=*/1, registry, pool,
+                         RequestLoopOptions(), &rstats);
+  } else {
+    const int lfd = ListenUnix(listen);
+    if (lfd < 0) return 1;
+    std::fprintf(stderr, "listening on %s\n", listen.c_str());
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    ::close(lfd);
+    if (cfd < 0) {
+      std::fprintf(stderr, "accept: %s\n", std::strerror(errno));
+      ::unlink(listen.c_str());
+      return 1;
+    }
+    s = ServeRequestLoop(cfd, cfd, registry, pool, RequestLoopOptions(),
+                         &rstats);
+    ::close(cfd);
+    ::unlink(listen.c_str());
+  }
+  const double seconds = watch.ElapsedSeconds();
+  if (!s.ok()) {
+    std::fprintf(stderr, "request loop failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const LatencySummary lat = rstats.latency.Summarize();
+  std::printf(
+      "served %llu requests (%llu ok, %llu errors), %llu queries across "
+      "%zu models in %.3fs on %zu threads; sojourn p50 %.1fus p99 %.1fus "
+      "p999 %.1fus\n",
+      static_cast<unsigned long long>(rstats.requests),
+      static_cast<unsigned long long>(rstats.responses),
+      static_cast<unsigned long long>(rstats.errors),
+      static_cast<unsigned long long>(rstats.serve.queries),
+      registry.size(), seconds, threads, lat.p50_us, lat.p99_us,
+      lat.p999_us);
+  for (const auto& [id, ms] : rstats.per_model) {
+    const LatencySummary mlat = ms.latency.Summarize();
+    std::printf(
+        "  model %u: %llu requests (%llu ok, %llu errors), %llu queries; "
+        "sojourn p50 %.1fus p99 %.1fus\n",
+        id, static_cast<unsigned long long>(ms.requests),
+        static_cast<unsigned long long>(ms.responses),
+        static_cast<unsigned long long>(ms.errors),
+        static_cast<unsigned long long>(ms.serve.queries), mlat.p50_us,
+        mlat.p99_us);
+  }
+
+  const std::string stats_json = flags.GetString("stats-json");
+  if (!stats_json.empty()) {
+    std::string json = "{\n";
+    json += "  \"command\": \"serve-registry\",\n";
+    json += "  \"models_resident\": " + std::to_string(registry.size()) +
+            ",\n";
+    json += "  \"default_model\": " +
+            std::to_string(registry.default_id()) + ",\n";
+    json += "  \"requests\": " + std::to_string(rstats.requests) + ",\n";
+    json += "  \"responses\": " + std::to_string(rstats.responses) + ",\n";
+    json += "  \"errors\": " + std::to_string(rstats.errors) + ",\n";
+    json += "  \"stream\": " +
+            ServeStatsToJson(rstats.serve, seconds, threads, &lat) + ",\n";
+    json += "  \"per_model\": {\n";
+    size_t emitted = 0;
+    for (const auto& [id, ms] : rstats.per_model) {
+      const LatencySummary mlat = ms.latency.Summarize();
+      json += "    \"" + std::to_string(id) + "\": {\"requests\": " +
+              std::to_string(ms.requests) + ", \"responses\": " +
+              std::to_string(ms.responses) + ", \"errors\": " +
+              std::to_string(ms.errors) + ", \"stats\": " +
+              ServeStatsToJson(ms.serve, seconds, threads, &mlat) + "}";
+      json += ++emitted < rstats.per_model.size() ? ",\n" : "\n";
+    }
+    json += "  }\n}";
+    const Status w = WriteTextFile(stats_json, json);
+    if (!w.ok()) {
+      std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+  }
+  return 0;
+}
+
 /// The `serve` subcommand: load a frozen .rpsnap model, then either
 /// classify a query set as one batch, or serve framed classify requests
 /// over stdio / a unix socket (--listen).
 int ServeMain(const FlagSet& flags) {
   const std::string connect = flags.GetString("connect");
   if (!connect.empty()) return ServeClientMain(flags, connect);
+  const std::string models = flags.GetString("models");
+  if (!models.empty()) return ServeRegistryMain(flags, models);
 
   const std::string snap_path = flags.GetString("snapshot");
   const std::string queries_path = flags.GetString("queries");
@@ -665,6 +928,268 @@ int ServeMain(const FlagSet& flags) {
     std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
   }
   return WriteServeOutput(flags, queries, results);
+}
+
+/// JSON-safe double: the Hausdorff conventions yield +infinity when one
+/// labeling has clusters and the other none, which JSON cannot carry.
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// The `hierarchy` subcommand: run the multi-eps ladder (one shared
+/// Phase I and cell dictionary, Phase II/III per rung with query_eps
+/// decoupling and core-set seeding), optionally scoring a sampled-core
+/// approximation against the exact ladder and freezing the finest rung as
+/// a snapshot carrying the whole ladder in its hierarchy section.
+int HierarchyMain(const FlagSet& flags) {
+  auto data_or = LoadInput(flags);
+  if (!data_or.ok()) {
+    std::fprintf(stderr, "input error: %s\n%s",
+                 data_or.status().ToString().c_str(), kUsage);
+    return 1;
+  }
+  const Dataset& data = *data_or;
+  std::fprintf(stderr, "loaded %zu points, %zu dimensions\n", data.size(),
+               data.dim());
+
+  const std::string levels_flag = flags.GetString("eps-levels");
+  if (levels_flag.empty()) {
+    std::fprintf(stderr, "hierarchy needs --eps-levels=E1,E2,...\n%s",
+                 kUsage);
+    return 1;
+  }
+  auto eps_or = ParseDoubleCsv(levels_flag, "--eps-levels");
+  auto minpts_or = flags.GetInt("minpts", 20);
+  auto rho_or = flags.GetDouble("rho", 0.01);
+  auto parts_or = flags.GetInt("partitions", 16);
+  auto threads_or = flags.GetInt("threads", 4);
+  auto frac_or = flags.GetDouble("sampled-cores", 1.0);
+  auto sample_seed_or = flags.GetInt("sample-seed", 0);
+  for (const Status& s :
+       {eps_or.status(), minpts_or.status(), rho_or.status(),
+        parts_or.status(), threads_or.status(), frac_or.status(),
+        sample_seed_or.status()}) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n%s", s.ToString().c_str(), kUsage);
+      return 1;
+    }
+  }
+
+  HierarchyOptions ho;
+  ho.eps_levels = *eps_or;
+  if (flags.Has("min-pts")) {
+    auto mp_or = ParseSizeCsv(flags.GetString("min-pts"), "--min-pts");
+    if (!mp_or.ok()) {
+      std::fprintf(stderr, "%s\n%s", mp_or.status().ToString().c_str(),
+                   kUsage);
+      return 1;
+    }
+    ho.min_pts_levels = *mp_or;
+  } else {
+    ho.min_pts_levels = {static_cast<size_t>(*minpts_or)};
+  }
+  ho.rho = *rho_or;
+  ho.num_partitions = static_cast<size_t>(*parts_or);
+  ho.num_threads = static_cast<size_t>(*threads_or);
+  ho.batched_queries = !flags.GetBool("perpoint");
+  ho.stencil_queries = !flags.GetBool("tree-queries");
+  ho.sorted_phase1 = !flags.GetBool("hashmap-phase1");
+  ho.scalar_kernels = flags.GetBool("scalar-kernels");
+  ho.quantized = flags.GetBool("quantized");
+  ho.sequential_merge = flags.GetBool("sequential-merge");
+  ho.force_probe = flags.GetBool("force-probe");
+  ho.seed_from_previous = !flags.GetBool("no-seeding");
+  ho.sampled_core_fraction = *frac_or;
+  if (flags.Has("sample-seed")) {
+    ho.core_sample_seed = static_cast<uint64_t>(*sample_seed_or);
+  }
+  const std::string save_snapshot = flags.GetString("save-snapshot");
+  ho.capture_models = !save_snapshot.empty();
+
+  auto h_or = BuildClusterHierarchy(data, ho);
+  if (!h_or.ok()) {
+    std::fprintf(stderr, "hierarchy failed: %s\n%s",
+                 h_or.status().ToString().c_str(), kUsage);
+    return 1;
+  }
+  ClusterHierarchy& h = *h_or;
+  std::string forest_err;
+  if (!h.ValidateForest(&forest_err)) {
+    std::fprintf(stderr, "hierarchy forest invalid: %s\n",
+                 forest_err.c_str());
+    return 1;
+  }
+  std::printf(
+      "ladder: %zu levels over %zu cells in %.3fs (shared phase1 %.3fs, "
+      "dictionary %.3fs / %.1f MiB, broadcast %.3fs)\n",
+      h.levels.size(), h.num_cells, h.total_seconds, h.phase1_seconds,
+      h.dictionary_seconds,
+      static_cast<double>(h.dictionary_bytes) / (1024.0 * 1024.0),
+      h.broadcast_seconds);
+
+  // --score: each level's labels against the exact ladder at the same
+  // schedule. The exact reference is only rebuilt when this run actually
+  // approximated (a fraction-1 run *is* the exact ladder).
+  struct LevelScore {
+    double nmi = 1.0;
+    double rand_index = 1.0;
+    ClusterHausdorffResult hausdorff;
+  };
+  std::vector<LevelScore> scores;
+  if (flags.GetBool("score")) {
+    const ClusterHierarchy* exact = &h;
+    std::optional<ClusterHierarchy> exact_store;
+    if (ho.sampled_core_fraction < 1.0) {
+      HierarchyOptions eo = ho;
+      eo.sampled_core_fraction = 1.0;
+      eo.capture_models = false;
+      auto exact_or = BuildClusterHierarchy(data, eo);
+      if (!exact_or.ok()) {
+        std::fprintf(stderr, "exact reference ladder failed: %s\n",
+                     exact_or.status().ToString().c_str());
+        return 1;
+      }
+      exact_store = std::move(*exact_or);
+      exact = &*exact_store;
+    }
+    for (size_t i = 0; i < h.levels.size(); ++i) {
+      const Labels& got = h.levels[i].labels;
+      const Labels& want = exact->levels[i].labels;
+      auto nmi = NormalizedMutualInformation(got, want);
+      auto ri = RandIndex(got, want);
+      auto haus = ClusterHausdorff(data, got, want);
+      if (!nmi.ok() || !ri.ok() || !haus.ok()) {
+        const Status& s =
+            !nmi.ok() ? nmi.status()
+                      : (!ri.ok() ? ri.status() : haus.status());
+        std::fprintf(stderr, "scoring level %zu failed: %s\n", i,
+                     s.ToString().c_str());
+        return 1;
+      }
+      scores.push_back({*nmi, *ri, *haus});
+    }
+  }
+
+  for (size_t i = 0; i < h.levels.size(); ++i) {
+    const HierarchyLevel& lv = h.levels[i];
+    std::printf(
+        "level %zu: eps %g minpts %zu -> %zu clusters, %zu noise, "
+        "%zu core cells%s; phase2 %.3fs merge %.3fs label %.3fs",
+        i, lv.eps, lv.min_pts, lv.num_clusters, lv.num_noise_points,
+        lv.num_core_cells, lv.seeded ? " (seeded)" : "",
+        lv.phase2_seconds, lv.merge_seconds, lv.label_seconds);
+    if (!scores.empty()) {
+      std::printf(" | vs exact: NMI %.4f RI %.4f hausdorff max %g",
+                  scores[i].nmi, scores[i].rand_index,
+                  scores[i].hausdorff.max_distance);
+    }
+    std::printf("\n");
+  }
+
+  if (!save_snapshot.empty()) {
+    // Freeze every rung, attach the ladder to the finest one and persist
+    // it — the multi-level .rpsnap the serve subcommand loads.
+    std::vector<ClusterModelSnapshot::HierarchyLevelInfo> lineage;
+    std::optional<ClusterModelSnapshot> finest;
+    for (size_t i = 0; i < h.levels.size(); ++i) {
+      auto snap =
+          ClusterModelSnapshot::FromModel(std::move(*h.levels[i].model));
+      if (!snap.ok()) {
+        std::fprintf(stderr, "freezing level %zu failed: %s\n", i,
+                     snap.status().ToString().c_str());
+        return 1;
+      }
+      ClusterModelSnapshot::HierarchyLevelInfo info;
+      info.eps = h.levels[i].eps;
+      info.min_pts = h.levels[i].min_pts;
+      info.cell_cluster = snap->cell_cluster();
+      info.parent = h.levels[i].parent;
+      lineage.push_back(std::move(info));
+      if (i == 0) finest = std::move(*snap);
+    }
+    finest->set_hierarchy(std::move(lineage));
+    const Status w = finest->WriteFile(save_snapshot);
+    if (!w.ok()) {
+      std::fprintf(stderr, "snapshot write failed: %s\n",
+                   w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote snapshot %s (finest level + %zu-level ladder)\n",
+                 save_snapshot.c_str(), h.levels.size());
+  }
+
+  const std::string stats_json = flags.GetString("stats-json");
+  if (!stats_json.empty()) {
+    std::string json = "{\n";
+    json += "  \"command\": \"hierarchy\",\n";
+    json += "  \"num_points\": " + std::to_string(data.size()) + ",\n";
+    json += "  \"dim\": " + std::to_string(data.dim()) + ",\n";
+    json += "  \"num_levels\": " + std::to_string(h.levels.size()) + ",\n";
+    json += "  \"sampled_core_fraction\": " +
+            JsonDouble(ho.sampled_core_fraction) + ",\n";
+    json += std::string("  \"force_probe\": ") +
+            (ho.force_probe ? "true" : "false") + ",\n";
+    json += std::string("  \"seed_from_previous\": ") +
+            (ho.seed_from_previous ? "true" : "false") + ",\n";
+    json += "  \"phase1_seconds\": " + JsonDouble(h.phase1_seconds) + ",\n";
+    json += "  \"dictionary_seconds\": " + JsonDouble(h.dictionary_seconds) +
+            ",\n";
+    json += "  \"broadcast_seconds\": " + JsonDouble(h.broadcast_seconds) +
+            ",\n";
+    json += "  \"total_seconds\": " + JsonDouble(h.total_seconds) + ",\n";
+    json += "  \"num_cells\": " + std::to_string(h.num_cells) + ",\n";
+    json += "  \"dictionary_bytes\": " + std::to_string(h.dictionary_bytes) +
+            ",\n";
+    json += "  \"levels\": [\n";
+    for (size_t i = 0; i < h.levels.size(); ++i) {
+      const HierarchyLevel& lv = h.levels[i];
+      json += "    {\"eps\": " + JsonDouble(lv.eps) +
+              ", \"min_pts\": " + std::to_string(lv.min_pts) +
+              ", \"num_clusters\": " + std::to_string(lv.num_clusters) +
+              ", \"num_noise_points\": " +
+              std::to_string(lv.num_noise_points) +
+              ", \"num_core_cells\": " + std::to_string(lv.num_core_cells) +
+              ", \"containment_violations\": " +
+              std::to_string(lv.containment_violations) +
+              std::string(", \"seeded\": ") + (lv.seeded ? "true" : "false") +
+              ", \"phase2_seconds\": " + JsonDouble(lv.phase2_seconds) +
+              ", \"merge_seconds\": " + JsonDouble(lv.merge_seconds) +
+              ", \"label_seconds\": " + JsonDouble(lv.label_seconds);
+      if (!scores.empty()) {
+        json += ", \"nmi_vs_exact\": " + JsonDouble(scores[i].nmi) +
+                ", \"rand_index_vs_exact\": " +
+                JsonDouble(scores[i].rand_index) +
+                ", \"hausdorff_max_vs_exact\": " +
+                JsonDouble(scores[i].hausdorff.max_distance) +
+                ", \"hausdorff_mean_vs_exact\": " +
+                JsonDouble(scores[i].hausdorff.mean_distance);
+      }
+      json += "}";
+      json += i + 1 < h.levels.size() ? ",\n" : "\n";
+    }
+    json += "  ]\n}";
+    const Status w = WriteTextFile(stats_json, json);
+    if (!w.ok()) {
+      std::fprintf(stderr, "stats-json failed: %s\n", w.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
+  }
+
+  const std::string output = flags.GetString("output");
+  if (!output.empty()) {
+    const Status s = WriteCsv(output, data, &h.levels[0].labels);
+    if (!s.ok()) {
+      std::fprintf(stderr, "output failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (finest-level labels)\n", output.c_str());
+  }
+  return 0;
 }
 
 /// The `stream` subcommand: replay the input as a seed set plus ingested
@@ -862,6 +1387,9 @@ int Main(int argc, char** argv) {
   if (!flags.positional().empty()) {
     if (flags.positional().front() == "serve") return ServeMain(flags);
     if (flags.positional().front() == "stream") return StreamMain(flags);
+    if (flags.positional().front() == "hierarchy") {
+      return HierarchyMain(flags);
+    }
     std::fprintf(stderr, "unknown subcommand: %s\n%s",
                  flags.positional().front().c_str(), kUsage);
     return 1;

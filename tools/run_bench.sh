@@ -21,10 +21,16 @@
 #     at 1/2/4 forked workers with shuffle bytes and predicted-vs-measured
 #     makespan -> BENCH_oocore.json (validated below: bit-identity flag,
 #     shard rows at 1/2/4 workers, release provenance)
+#   * Multi-eps hierarchy (bench_hierarchy): one shared-dictionary sweep
+#     vs N independent runs at the same (eps, minPts) settings, plus a
+#     sampled-core ladder scored against the exact one ->
+#     BENCH_hierarchy.json (validated below: >= 4 levels, per-level
+#     bit-identity to the independent runs, the sweep/independent cost
+#     ratio, release provenance)
 #
 # Usage: tools/run_bench.sh [--smoke] [--allow-debug] [BUILD_DIR]
 #                           [OUTPUT_JSON] [PHASE1_JSON] [SERVE_JSON]
-#                           [STREAM_JSON] [OOCORE_JSON]
+#                           [STREAM_JSON] [OOCORE_JSON] [HIERARCHY_JSON]
 #   --smoke        tiny data (RPDBSCAN_BENCH_SCALE=0.02) + short min_time;
 #                  used by the `run_bench_smoke` ctest entry.
 #   --allow-debug  permit a non-Release build dir. Without it the script
@@ -41,6 +47,9 @@
 #   OOCORE_JSON  out-of-core/sharding output path (default: OUTPUT_JSON
 #                with "phase2" replaced by "oocore", else
 #                ./BENCH_oocore.json)
+#   HIERARCHY_JSON  multi-eps hierarchy output path (default: OUTPUT_JSON
+#                with "phase2" replaced by "hierarchy", else
+#                ./BENCH_hierarchy.json)
 set -euo pipefail
 
 SMOKE=0
@@ -81,6 +90,13 @@ if [[ -z "$OUT_OOCORE_JSON" ]]; then
   OUT_OOCORE_JSON="${OUT_JSON//phase2/oocore}"
   if [[ "$OUT_OOCORE_JSON" == "$OUT_JSON" ]]; then
     OUT_OOCORE_JSON="BENCH_oocore.json"
+  fi
+fi
+OUT_HIERARCHY_JSON="${7:-}"
+if [[ -z "$OUT_HIERARCHY_JSON" ]]; then
+  OUT_HIERARCHY_JSON="${OUT_JSON//phase2/hierarchy}"
+  if [[ "$OUT_HIERARCHY_JSON" == "$OUT_JSON" ]]; then
+    OUT_HIERARCHY_JSON="BENCH_hierarchy.json"
   fi
 fi
 
@@ -128,8 +144,9 @@ BENCH_FIG12="$BUILD_DIR/bench/bench_fig12_breakdown"
 BENCH_SERVE="$BUILD_DIR/bench/bench_serve"
 BENCH_STREAM="$BUILD_DIR/bench/bench_stream"
 BENCH_OOCORE="$BUILD_DIR/bench/bench_oocore"
+BENCH_HIERARCHY="$BUILD_DIR/bench/bench_hierarchy"
 for bin in "$BENCH_MICRO" "$BENCH_FIG12" "$BENCH_SERVE" "$BENCH_STREAM" \
-           "$BENCH_OOCORE"; do
+           "$BENCH_OOCORE" "$BENCH_HIERARCHY"; do
   if [[ ! -x "$bin" ]]; then
     echo "run_bench.sh: missing binary $bin (build the project first)" >&2
     exit 1
@@ -302,6 +319,59 @@ print(f"{path}: oocore report OK (chunks={phase1['chunks']}, "
       f"runs={phase1['runs']}, {widest['workers']}-worker speedup "
       f"{widest['speedup_vs_1_worker']:.2f}x, shuffle/payload "
       f"{report['shuffle_over_payload_ratio']:.3f})")
+PY
+
+echo "== Multi-eps hierarchy (bench_hierarchy, scale=$SCALE) =="
+RPDBSCAN_BENCH_SCALE="$SCALE" "$BENCH_HIERARCHY" "$OUT_HIERARCHY_JSON"
+
+# The hierarchy report must prove every ladder rung stayed bit-identical
+# to its independent run, cover at least 4 levels (the regime where the
+# shared-stage economy is the story), carry the sweep/independent cost
+# ratio and the sampled-core scores, and record release provenance.
+python3 - "$OUT_HIERARCHY_JSON" "$ALLOW_DEBUG" <<'PY'
+import json
+import sys
+
+path, allow_debug = sys.argv[1], sys.argv[2] == "1"
+with open(path) as f:
+    report = json.load(f)
+
+bt = report.get("build_type")
+if bt != "release" and not allow_debug:
+    sys.exit(f"run_bench.sh: {path} reports build_type={bt!r}, not "
+             "'release' — rebuild with -DCMAKE_BUILD_TYPE=Release (or "
+             "pass --allow-debug for smoke/CI runs).")
+
+for key in ("num_levels", "sweep_seconds", "independent_seconds_total",
+            "ratio_sweep_over_independent", "bit_identical",
+            "sampled_sweep_seconds"):
+    if key not in report:
+        sys.exit(f"{path}: missing '{key}'")
+if report["num_levels"] < 4:
+    sys.exit(f"{path}: only {report['num_levels']} ladder levels, want "
+             ">= 4")
+if report["bit_identical"] is not True:
+    sys.exit(f"{path}: a ladder level diverged from its independent run")
+levels = report.get("levels")
+if not levels or len(levels) != report["num_levels"]:
+    sys.exit(f"{path}: missing or short 'levels'")
+required = ("eps", "num_clusters", "num_core_cells", "seeded",
+            "phase2_seconds", "independent_seconds", "bit_identical")
+for lv in levels:
+    for key in required:
+        if key not in lv:
+            sys.exit(f"{path}: levels entry lacks '{key}'")
+sampled = report.get("sampled_levels")
+if not sampled:
+    sys.exit(f"{path}: missing or empty 'sampled_levels'")
+for lv in sampled:
+    for key in ("nmi_vs_exact", "rand_index_vs_exact"):
+        if key not in lv:
+            sys.exit(f"{path}: sampled_levels entry lacks '{key}'")
+ratio = report["ratio_sweep_over_independent"]
+print(f"{path}: hierarchy report OK ({report['num_levels']} levels, "
+      f"sweep/independent {ratio:.1%}, sampled NMI "
+      f"{min(l['nmi_vs_exact'] for l in sampled):.3f} min)")
 PY
 
 python3 - "$TMP_DIR/phase1.json" "$OUT1_JSON" "$SCALE" <<'PY'

@@ -7,8 +7,10 @@
 #      external_phase1_test's spill/merge paths, oocore_e2e_test with the
 #      forked-child builds at sanitizer-reduced sizes), the multi-process
 #      shard executor + wire protocol (shard_executor_test,
-#      oocore_cli_test), and, with NDEBUG off, the sub-cell-range MBR
-#      containment assertions in ProcessCellBatched.
+#      oocore_cli_test), the hierarchy metrics + stencil-family suites
+#      (hausdorff_test, metrics_edge_case_test, stencil_prefix_test's
+#      randomized prefix-vs-probe ladders), and, with NDEBUG off, the
+#      sub-cell-range MBR containment assertions in ProcessCellBatched.
 #   2. TSan (RelWithDebInfo) over the `sanitizer-safe` subset: the
 #      thread-pool, parallel-sort, phase2 (all query engines, incl. the
 #      concurrent FlatCellIndex::BuildHashed), merge — now including the
@@ -24,9 +26,13 @@
 #      streaming layer (ingest_buffer_test: parallel batch re-grouping
 #      into the shared CSR; epoch_swap_test: reader threads hammering
 #      LabelServer queries while the EpochRegistry's shared_ptr slot
-#      hot-swaps epochs under them), and the external Phase I-1 build
+#      hot-swaps epochs under them), the external Phase I-1 build
 #      (external_phase1_test: chunked sort + spill + k-way merge driven
-#      through the shared thread pool).
+#      through the shared thread pool), and the multi-eps hierarchy +
+#      multi-model serving layer (hierarchy_test /
+#      hierarchy_differential_test: thread-pooled ladder sweeps vs
+#      independent runs; model_registry_test: routed frames against N
+#      resident snapshots through the concurrent request loop).
 #   3. Plain Release over everything, including the slow tests.
 #
 # Usage: tools/run_checks.sh [build-root]
